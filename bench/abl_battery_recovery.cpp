@@ -1,0 +1,93 @@
+// Ablation A9: why battery-aware DPM does not transfer to fuel cells
+// (the paper's Section 1 argument: "FCs have no recovery effect. Thus
+// battery-aware DPM policies cannot be applied to FC systems.").
+//
+// Part 1 measures the kinetic-battery recovery effect directly: the same
+// pulsed demand extracts far more charge when rests are interleaved.
+// Part 2 applies the corresponding "insert rests" intuition to the FC:
+// duty-cycling the FC between a high level and off *costs* fuel compared
+// to running flat at the average, because the FC has no recovery and a
+// convex fuel curve. The two sources reward opposite load shapes.
+#include <cstdio>
+#include <iostream>
+
+#include "power/efficiency_model.hpp"
+#include "power/storage.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+/// Deliver 2 A-s pulses until the first brownout; optionally rest
+/// between pulses. Returns total delivered charge.
+double battery_delivered(bool rest_between_pulses, Seconds rest) {
+  power::KineticBattery::Params params;
+  params.total_capacity = Coulomb(100.0);
+  params.available_fraction = 0.4;
+  params.recovery_rate_per_s = 0.05;
+  power::KineticBattery battery(params);
+  battery.set_charge(Coulomb(100.0));
+
+  Coulomb delivered{0.0};
+  for (int k = 0; k < 10000; ++k) {
+    const Coulomb got = battery.draw(Coulomb(2.0));
+    delivered += got;
+    if (got.value() < 2.0 - 1e-12) {
+      break;
+    }
+    if (rest_between_pulses) {
+      battery.advance(rest);
+    }
+  }
+  return delivered.value();
+}
+
+}  // namespace
+
+int main() {
+  report::Table battery_table(
+      "Ablation A9a — kinetic battery: charge extracted before brownout "
+      "(2 A-s pulses from a 100 A-s battery)",
+      {"rest between pulses", "delivered (A-s)", "vs no rest"});
+  const double none = battery_delivered(false, Seconds(0.0));
+  battery_table.add_row({"none", report::cell(none, 1), "1.00x"});
+  for (const double rest : {2.0, 5.0, 10.0, 30.0}) {
+    const double delivered = battery_delivered(true, Seconds(rest));
+    battery_table.add_row(
+        {report::cell(rest, 0) + " s", report::cell(delivered, 1),
+         report::cell(delivered / none, 2) + "x"});
+  }
+  std::cout << battery_table << '\n';
+
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();
+  report::Table fc_table(
+      "Ablation A9b — fuel cell: fuel for the same delivered charge "
+      "(average 0.5 A over 100 s)",
+      {"source profile", "fuel (A-s)", "vs flat"});
+  const double flat =
+      (model.stack_current(Ampere(0.5)) * Seconds(100.0)).value();
+  fc_table.add_row({"flat 0.5 A", report::cell(flat, 2), "1.00x"});
+  for (const double duty : {0.8, 0.6, 0.5}) {
+    // Duty-cycle between I/duty and 0 (rests), same average charge.
+    const Ampere high(0.5 / duty);
+    const double fuel =
+        (model.stack_current(high) * Seconds(100.0 * duty)).value();
+    char label[48];
+    std::snprintf(label, sizeof label, "%.2f A for %.0f%% + rest",
+                  high.value(), duty * 100.0);
+    fc_table.add_row(
+        {label, report::cell(fuel, 2),
+         report::cell(fuel / flat, 2) + "x"});
+  }
+  std::cout << fc_table << '\n';
+
+  std::printf(
+      "Reading: resting multiplies what the battery can deliver (bound\n"
+      "charge becomes available again), so battery-aware DPM shapes the\n"
+      "load into bursts-plus-rests. The FC gains nothing from rests and\n"
+      "pays the convex fuel curve for every burst — the same shaping\n"
+      "*costs* up to ~29%% fuel. Hence FC-DPM flattens instead (Fig 7c).\n");
+  return 0;
+}

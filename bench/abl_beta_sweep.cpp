@@ -1,0 +1,43 @@
+// Ablation A4: efficiency slope beta. The whole FC-DPM advantage comes
+// from the convexity of Ifc(IF) = k*IF/(alpha - beta*IF); with beta = 0
+// the fuel rate is linear and a flat setting buys nothing over load
+// following. Sweep beta and find where the scheme stops paying.
+#include <cstdio>
+#include <iostream>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  report::Table table(
+      "Ablation A4 — efficiency slope beta (eta_s = 0.45 - beta*IF, "
+      "Experiment 1)",
+      {"beta", "eta_s(1.2A)", "Conv fuel", "ASAP fuel", "FC-DPM fuel",
+       "FC-DPM vs ASAP"});
+
+  for (const double beta : {0.0, 0.02, 0.05, 0.09, 0.13, 0.2, 0.3}) {
+    sim::ExperimentConfig config = sim::experiment1_config();
+    config.efficiency =
+        config.efficiency.with_coefficients(0.45, beta);
+
+    const sim::PolicyComparison c = sim::compare_policies(config);
+    table.add_row(
+        {report::cell(beta, 2),
+         report::percent_cell(config.efficiency.efficiency(Ampere(1.2))),
+         report::cell(c.conv.fuel().value(), 1),
+         report::cell(c.asap.fuel().value(), 1),
+         report::cell(c.fcdpm.fuel().value(), 1),
+         report::percent_cell(sim::fuel_saving(c.fcdpm, c.asap))});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: at beta = 0 the fuel curve is linear, so FC-DPM and ASAP\n"
+      "tie (to within transition bookkeeping); the saving grows with the\n"
+      "slope, reaching the paper's regime at the measured beta = 0.13.\n"
+      "This is the design-space answer to \"when is fuel-aware DPM worth\n"
+      "it\": whenever the source's efficiency falls visibly with load.\n");
+  return 0;
+}

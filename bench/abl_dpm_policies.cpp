@@ -1,0 +1,97 @@
+// Ablation A13: the device-side DPM policy under FC-DPM's output
+// control. The paper fixes the predictive-shutdown policy of [1]; this
+// sweep swaps in the related-work alternatives (timeout, stochastic
+// distribution-based [4]/[5], never-sleep, always-sleep) on both
+// workloads.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "dpm/stochastic_policy.hpp"
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+std::unique_ptr<dpm::DpmPolicy> make_policy(const std::string& kind,
+                                            const sim::ExperimentConfig&
+                                                config) {
+  if (kind == "predictive") {
+    return std::make_unique<dpm::PredictiveDpmPolicy>(
+        dpm::PredictiveDpmPolicy::paper_policy(
+            config.device, config.rho, config.initial_idle_estimate));
+  }
+  if (kind == "timeout(3s)") {
+    return std::make_unique<dpm::TimeoutDpmPolicy>(config.device,
+                                                   Seconds(3.0));
+  }
+  if (kind == "stochastic") {
+    return std::make_unique<dpm::StochasticDpmPolicy>(
+        config.device, 16, 4, config.initial_idle_estimate);
+  }
+  if (kind == "never-sleep") {
+    return std::make_unique<dpm::AlwaysStandbyDpmPolicy>(config.device);
+  }
+  // always-sleep: a predictive policy whose prediction is infinite.
+  return std::make_unique<dpm::PredictiveDpmPolicy>(
+      config.device, std::make_unique<dpm::FixedPredictor>(Seconds(1e9)));
+}
+
+double run(const std::string& kind, const sim::ExperimentConfig& config,
+           std::size_t* sleeps) {
+  const std::unique_ptr<dpm::DpmPolicy> dpm_policy =
+      make_policy(kind, config);
+  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+      sim::make_fc_policy(sim::PolicyKind::FcDpm, config);
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+  const sim::SimulationResult r = sim::simulate(
+      config.trace, *dpm_policy, *fc_policy, hybrid, options);
+  if (sleeps != nullptr) {
+    *sleeps = r.sleeps;
+  }
+  return r.fuel().value();
+}
+
+}  // namespace
+
+int main() {
+  const sim::ExperimentConfig e1 = sim::experiment1_config();
+  const sim::ExperimentConfig e2 = sim::experiment2_config();
+
+  report::Table table(
+      "Ablation A13 — device-side DPM policy under FC-DPM output "
+      "control (fuel in A-s; sleeps in parens)",
+      {"DPM policy", "Exp 1 (camcorder)", "Exp 2 (synthetic)"});
+
+  for (const char* kind : {"predictive", "stochastic", "timeout(3s)",
+                           "always-sleep", "never-sleep"}) {
+    std::size_t sleeps1 = 0;
+    std::size_t sleeps2 = 0;
+    const double fuel1 = run(kind, e1, &sleeps1);
+    const double fuel2 = run(kind, e2, &sleeps2);
+    table.add_row({kind,
+                   report::cell(fuel1, 1) + " (" +
+                       std::to_string(sleeps1) + ")",
+                   report::cell(fuel2, 1) + " (" +
+                       std::to_string(sleeps2) + ")"});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: on the camcorder every idle clears the 1 s break-even,\n"
+      "so all sleeping policies tie and never-sleep pays heavily. On the\n"
+      "synthetic workload (Tbe ~ 10 s vs idle U[5,25]) always-sleep\n"
+      "edges out the Tbe-based policies — not because fuel changes the\n"
+      "break-even (under a flat FC setting fuel is monotone in device\n"
+      "charge, so the energy break-even carries over), but because the\n"
+      "payoff is asymmetric: a wrong sleep costs at most the ~24 J\n"
+      "transition overhead while a wrong standby wastes up to ~37 J on a\n"
+      "25 s idle, and the exponential-average predictor misclassifies\n"
+      "about a third of these uniform-random idles. With a perfect\n"
+      "predictor the Tbe rule would dominate.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A14 (extension): model mismatch and run-time adaptation. The
+// paper characterizes (alpha, beta) once; a deployed stack drifts. Run
+// Experiment 1 where the *true* source follows a drifted curve while
+// FC-DPM plans with the paper's constants — then let the RLS estimator
+// adapt from fuel telemetry and measure what it recovers.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+sim::SimulationResult run_case(const sim::ExperimentConfig& config,
+                               const power::LinearEfficiencyModel& truth,
+                               const power::LinearEfficiencyModel& planner,
+                               bool adaptive,
+                               power::LinearEfficiencyModel* final_model) {
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  core::FcDpmPolicy fc_policy = core::FcDpmPolicy::paper_policy(
+      planner, config.device, config.sigma,
+      config.initial_active_estimate, config.active_current_estimate);
+  if (adaptive) {
+    fc_policy.enable_adaptation(0.98);
+  }
+
+  power::HybridPowerSource hybrid(
+      std::make_unique<power::LinearFuelSource>(truth),
+      std::make_unique<power::SuperCapacitor>(config.storage_capacity,
+                                              1.0));
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+  const sim::SimulationResult r = sim::simulate(
+      config.trace, dpm_policy, fc_policy, hybrid, options);
+  if (final_model != nullptr) {
+    *final_model = fc_policy.planning_model();
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const sim::ExperimentConfig config = sim::experiment1_config();
+  const power::LinearEfficiencyModel paper =
+      power::LinearEfficiencyModel::paper_default();
+
+  report::Table table(
+      "Ablation A14 — planning-model mismatch on a drifted stack "
+      "(Experiment 1, fuel in A-s)",
+      {"true curve", "static paper model", "adaptive (RLS)",
+       "true-model plan", "adapted (alpha, beta)"});
+
+  struct Drift {
+    const char* label;
+    double alpha;
+    double beta;
+  };
+  for (const Drift drift : {Drift{"as characterized", 0.45, 0.13},
+                            Drift{"aged: a=0.40, b=0.16", 0.40, 0.16},
+                            Drift{"cold: a=0.38, b=0.10", 0.38, 0.10},
+                            Drift{"degraded: a=0.35, b=0.20", 0.35, 0.20}}) {
+    const power::LinearEfficiencyModel truth =
+        paper.with_coefficients(drift.alpha, drift.beta);
+
+    const sim::SimulationResult stale =
+        run_case(config, truth, paper, false, nullptr);
+    power::LinearEfficiencyModel adapted = paper;
+    const sim::SimulationResult adaptive =
+        run_case(config, truth, paper, true, &adapted);
+    const sim::SimulationResult oracle_model =
+        run_case(config, truth, truth, false, nullptr);
+
+    char coeffs[48];
+    std::snprintf(coeffs, sizeof coeffs, "(%.3f, %.3f)",
+                  adapted.alpha(), adapted.beta());
+    table.add_row({drift.label, report::cell(stale.fuel().value(), 1),
+                   report::cell(adaptive.fuel().value(), 1),
+                   report::cell(oracle_model.fuel().value(), 1), coeffs});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: the flat setting is remarkably robust — planning with\n"
+      "stale coefficients costs little because Eq. (11)'s optimum (the\n"
+      "average load) does not depend on (alpha, beta) at all; the curve\n"
+      "only matters when constraints bind or levels differ. The RLS\n"
+      "estimator still recovers the true coefficients from telemetry\n"
+      "(last column), which matters for anything that *reads* the model:\n"
+      "remaining-lifetime prediction, DVS level choice, admission\n"
+      "control.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation A17: multiple devices on one hybrid source (related work
+// [7]). Merge three device timelines — the DVD camcorder, a comms
+// module (bursty synthetic), and a chatty sensor — into one aggregate
+// load and compare the policies. The aggregate's burstier, higher-
+// variance profile is where a fuel-aware flat setting earns its keep.
+#include <cstdio>
+#include <iostream>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+#include "workload/aggregation.hpp"
+#include "workload/analysis.hpp"
+#include "workload/camcorder.hpp"
+#include "workload/merge.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  const wl::Trace camcorder = wl::paper_camcorder_trace();
+
+  wl::SyntheticConfig comms;  // periodic transfer bursts
+  comms.idle_min = Seconds(20.0);
+  comms.idle_max = Seconds(40.0);
+  comms.active_min = Seconds(1.0);
+  comms.active_max = Seconds(2.5);
+  comms.power_min = Watt(3.0);
+  comms.power_max = Watt(5.0);
+  comms.duration = Seconds(28.0 * 60.0);
+  comms.seed = 11;
+
+  wl::SyntheticConfig sensor;  // frequent tiny samples
+  sensor.idle_min = Seconds(4.0);
+  sensor.idle_max = Seconds(8.0);
+  sensor.active_min = Seconds(0.2);
+  sensor.active_max = Seconds(0.5);
+  sensor.power_min = Watt(1.0);
+  sensor.power_max = Watt(2.0);
+  sensor.duration = Seconds(28.0 * 60.0);
+  sensor.seed = 13;
+
+  const wl::Trace aggregate = wl::merge_traces(
+      {camcorder, wl::generate_synthetic_trace(comms),
+       wl::generate_synthetic_trace(sensor)},
+      "camcorder+comms+sensor");
+
+  const wl::TraceStats stats = aggregate.stats();
+  std::printf(
+      "Aggregate: %zu slots over %.1f min; active power %.1f-%.1f W; "
+      "duty cycle %.0f%%\n\n",
+      stats.slots, stats.total_duration().value() / 60.0,
+      stats.min_active_power.value(), stats.max_active_power.value(),
+      100.0 * wl::duty_cycle(aggregate));
+
+  sim::ExperimentConfig config = sim::experiment1_config();
+  config.trace = aggregate;
+  // The busier aggregate needs a bigger buffer for its swings.
+  config.storage_capacity = Coulomb(12.0);
+  config.initial_storage = Coulomb(2.0);
+  config.simulation.initial_storage = config.initial_storage;
+
+  const sim::PolicyComparison raw = sim::compare_policies(config);
+
+  // The merge fragments the timeline into hundreds of short slots,
+  // collapsing FC-DPM's per-slot horizon. [7]'s actual proposal is to
+  // *schedule* the devices' requests together — our procrastination
+  // transform (A11) plays that role on the aggregate.
+  sim::ExperimentConfig scheduled = config;
+  scheduled.trace = wl::aggregate_trace(aggregate, Seconds(15.0));
+  const sim::PolicyComparison batched =
+      sim::compare_policies(scheduled);
+
+  report::Table table(
+      "Ablation A17 — three devices on one hybrid source "
+      "(fuel in A-s; 'scheduled' batches requests within 15 s, per [7])",
+      {"policy", "merged as-is", "vs Conv", "scheduled", "vs Conv"});
+  const sim::SimulationResult* raw_rows[] = {&raw.conv, &raw.asap,
+                                             &raw.fcdpm};
+  const sim::SimulationResult* batched_rows[] = {
+      &batched.conv, &batched.asap, &batched.fcdpm};
+  for (int k = 0; k < 3; ++k) {
+    table.add_row(
+        {raw_rows[k]->fc_policy,
+         report::cell(raw_rows[k]->fuel().value(), 1),
+         report::percent_cell(sim::normalized_fuel(*raw_rows[k],
+                                                   raw.conv)),
+         report::cell(batched_rows[k]->fuel().value(), 1),
+         report::percent_cell(
+             sim::normalized_fuel(*batched_rows[k], batched.conv))});
+  }
+  std::cout << table << '\n';
+  std::printf(
+      "FC-DPM vs ASAP-DPM: %.1f%% saving on the raw merge, %.1f%% once\n"
+      "requests are batched (%zu -> %zu slots).\n"
+      "Reading: naively merged devices fragment the timeline into\n"
+      "hundreds of sub-4-second slots, starving FC-DPM's per-slot\n"
+      "planning; co-scheduling the devices' requests — [7]'s point —\n"
+      "restores the horizon and with it the fuel-aware advantage.\n",
+      100.0 * sim::fuel_saving(raw.fcdpm, raw.asap),
+      100.0 * sim::fuel_saving(batched.fcdpm, batched.asap),
+      aggregate.size(), scheduled.trace.size());
+  return 0;
+}

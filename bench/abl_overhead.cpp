@@ -1,0 +1,88 @@
+// Ablation A5: transition-overhead handling in the slot optimizer
+// (Section 3.3.2). Compares the overhead-aware objective against
+// ignoring overheads, across a range of sleep-transition costs, on the
+// single-slot program where the effect is exact and isolated.
+#include <cstdio>
+#include <iostream>
+
+#include "core/slot_optimizer.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace fcdpm;
+  using core::SleepOverhead;
+  using core::SlotLoad;
+  using core::SlotOptimizer;
+  using core::SlotSetting;
+  using core::StorageBounds;
+
+  const SlotOptimizer optimizer(power::LinearEfficiencyModel::paper_default());
+  const SlotLoad load{Seconds(14.0), Ampere(0.2), Seconds(5.0),
+                      Ampere(1.2)};
+  const StorageBounds storage{Coulomb(1.0), Coulomb(1.0), Coulomb(6.0)};
+
+  // True cost of an idle-phase choice under overheads: the transition
+  // charge is physically there whether or not the planner modeled it, so
+  // the active phase is re-solved against the true (extended) demand and
+  // the same end-state target — both plans then deliver the same charge
+  // and their fuel is comparable.
+  const auto true_fuel = [&](Ampere if_idle,
+                             const SleepOverhead& overhead) {
+    const Seconds ta_eff = load.active + overhead.powerdown_delay +
+                           (overhead.sleeps ? overhead.wake_delay
+                                            : Seconds(0.0));
+    const Coulomb qa_eff =
+        load.active_current * load.active +
+        overhead.powerdown_current * overhead.powerdown_delay +
+        (overhead.sleeps ? overhead.wake_current * overhead.wake_delay
+                         : Coulomb(0.0));
+    const Coulomb after_idle = clamp(
+        storage.initial + (if_idle - load.idle_current) * load.idle,
+        Coulomb(0.0), storage.capacity);
+    const StorageBounds active_bounds{after_idle, storage.target_end,
+                                      storage.capacity};
+    const SlotSetting fixup =
+        optimizer.solve_active_only(ta_eff, qa_eff, active_bounds);
+    return (optimizer.fuel_rate(if_idle) * load.idle +
+            optimizer.fuel_rate(fixup.if_active) * ta_eff)
+        .value();
+  };
+
+  report::Table table(
+      "Ablation A5 — overhead-aware vs overhead-blind slot planning "
+      "(fuel in A-s for one slot)",
+      {"transition (s @ A)", "blind plan", "aware plan", "penalty of "
+                                                         "ignoring"});
+
+  for (const double delay : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    SleepOverhead overhead;
+    overhead.sleeps = true;
+    overhead.wake_delay = Seconds(delay);
+    overhead.wake_current = Ampere(1.2);
+    overhead.powerdown_delay = Seconds(delay);
+    overhead.powerdown_current = Ampere(1.2);
+
+    const SlotSetting blind = optimizer.solve(load, storage);
+    const SlotSetting aware =
+        optimizer.solve_with_overhead(load, overhead, storage);
+
+    const double blind_fuel = true_fuel(blind.if_idle, overhead);
+    const double aware_fuel = true_fuel(aware.if_idle, overhead);
+
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1f s @ 1.2 A", delay);
+    table.add_row({label, report::cell(blind_fuel, 3),
+                   report::cell(aware_fuel, 3),
+                   report::percent_cell(
+                       blind_fuel / aware_fuel - 1.0, 2)});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: the blind plan under-delivers during the (unmodeled)\n"
+      "transition charge and must make it up at an inefficient operating\n"
+      "point; the Section 3.3.2 extension folds the transitions into the\n"
+      "active phase and keeps the setting flat. The penalty grows with\n"
+      "the transition cost.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A1: predictor sensitivity. Swap the idle-period predictor
+// driving the DPM sleep decision (exponential average [1], sliding
+// regression [2], adaptive learning tree [3], last-value, always-sleep)
+// and measure FC-DPM's fuel on both workloads, against the oracle bound.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "dpm/dpm_policy.hpp"
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+std::unique_ptr<dpm::DurationPredictor> make_predictor(
+    const std::string& kind, Seconds initial) {
+  if (kind == "exp-average") {
+    return std::make_unique<dpm::ExponentialAveragePredictor>(0.5, initial);
+  }
+  if (kind == "last-value") {
+    return std::make_unique<dpm::ExponentialAveragePredictor>(0.0, initial);
+  }
+  if (kind == "regression") {
+    return std::make_unique<dpm::RegressionPredictor>(8, initial);
+  }
+  if (kind == "learning-tree") {
+    return std::make_unique<dpm::LearningTreePredictor>(
+        std::vector<Seconds>{Seconds(5.0), Seconds(10.0), Seconds(15.0),
+                             Seconds(20.0)},
+        2, initial);
+  }
+  // always-sleep: an infinite prediction.
+  return std::make_unique<dpm::FixedPredictor>(Seconds(1e9));
+}
+
+sim::SimulationResult run_with_predictor(const sim::ExperimentConfig& config,
+                                         const std::string& kind) {
+  dpm::PredictiveDpmPolicy dpm_policy(
+      config.device,
+      make_predictor(kind, config.initial_idle_estimate));
+  const std::unique_ptr<core::FcOutputPolicy> fc =
+      sim::make_fc_policy(sim::PolicyKind::FcDpm, config);
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+  return sim::simulate(config.trace, dpm_policy, *fc, hybrid, options);
+}
+
+}  // namespace
+
+int main() {
+  const char* kinds[] = {"exp-average", "last-value", "regression",
+                         "learning-tree", "always-sleep"};
+
+  report::Table table(
+      "Ablation A1 — idle predictor driving FC-DPM (fuel in A-s, "
+      "decision accuracy in parens)",
+      {"predictor", "Exp 1 (camcorder)", "Exp 2 (synthetic)"});
+
+  const sim::ExperimentConfig e1 = sim::experiment1_config();
+  const sim::ExperimentConfig e2 = sim::experiment2_config();
+
+  for (const char* kind : kinds) {
+    const sim::SimulationResult r1 = run_with_predictor(e1, kind);
+    const sim::SimulationResult r2 = run_with_predictor(e2, kind);
+    const auto fmt = [](const sim::SimulationResult& r) {
+      std::string cell = report::cell(r.fuel().value(), 1);
+      if (r.idle_accuracy.has_value()) {
+        cell += " (" +
+                report::percent_cell(r.idle_accuracy->decision_accuracy(),
+                                     0) +
+                ")";
+      }
+      return cell;
+    };
+    table.add_row({kind, fmt(r1), fmt(r2)});
+  }
+
+  const sim::SimulationResult o1 =
+      sim::run_policy(sim::PolicyKind::Oracle, e1);
+  const sim::SimulationResult o2 =
+      sim::run_policy(sim::PolicyKind::Oracle, e2);
+  table.add_row({"oracle FC setting (bound)",
+                 report::cell(o1.fuel().value(), 1),
+                 report::cell(o2.fuel().value(), 1)});
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: the camcorder's regular idle pattern makes the predictor\n"
+      "nearly irrelevant; the synthetic workload separates them, and the\n"
+      "paper's simple exponential average (rho = 0.5) remains close to\n"
+      "the best.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation A2: sensitivity to the prediction factor rho (Eq. (14)) on
+// both experiments. The paper fixes rho = 0.5; this sweep shows how much
+// that choice matters.
+#include <cstdio>
+#include <iostream>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  report::Table table(
+      "Ablation A2 — prediction factor rho (FC-DPM fuel, A-s; "
+      "saving vs same-rho ASAP-DPM)",
+      {"rho", "Exp 1 fuel", "Exp 1 saving", "Exp 2 fuel",
+       "Exp 2 saving"});
+
+  for (const double rho : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    sim::ExperimentConfig e1 = sim::experiment1_config();
+    e1.rho = rho;
+    sim::ExperimentConfig e2 = sim::experiment2_config();
+    e2.rho = rho;
+
+    const sim::SimulationResult f1 =
+        sim::run_policy(sim::PolicyKind::FcDpm, e1);
+    const sim::SimulationResult a1 =
+        sim::run_policy(sim::PolicyKind::Asap, e1);
+    const sim::SimulationResult f2 =
+        sim::run_policy(sim::PolicyKind::FcDpm, e2);
+    const sim::SimulationResult a2 =
+        sim::run_policy(sim::PolicyKind::Asap, e2);
+
+    table.add_row({report::cell(rho, 2),
+                   report::cell(f1.fuel().value(), 1),
+                   report::percent_cell(sim::fuel_saving(f1, a1)),
+                   report::cell(f2.fuel().value(), 1),
+                   report::percent_cell(sim::fuel_saving(f2, a2))});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Reading: any rho < 1 adapts; rho = 1 never updates the initial\n"
+      "estimate and is the only clearly bad setting. The paper's 0.5 is\n"
+      "a safe middle.\n");
+  return 0;
+}

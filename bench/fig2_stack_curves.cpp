@@ -1,0 +1,42 @@
+// Figure 2: measured FC stack voltage (Vfc) and power versus stack
+// current (Ifc) of the BCS 20 W, 20-cell stack. Regenerates the V-I and
+// P-I series from the calibrated polarization model and prints the
+// anchors the paper annotates (open-circuit voltage, maximum power
+// capacity, load-following range).
+#include <cstdio>
+#include <iostream>
+
+#include "fuelcell/stack.hpp"
+#include "power/fc_system.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  const fc::FuelCellStack stack = fc::FuelCellStack::bcs_20w();
+  const fc::StackPoint mpp = stack.maximum_power_point();
+  const power::FcSystem system = power::FcSystem::paper_system();
+
+  report::Table table(
+      "Figure 2 — BCS 20 W stack V-I-P characteristics "
+      "(@2 psig H2, room temperature)",
+      {"Ifc (mA)", "Vfc (V)", "Power (W)"});
+  for (const fc::StackPoint& p :
+       stack.sample_curve(Ampere(0.0), Ampere(1.6), 17)) {
+    table.add_row({report::cell(p.current.value() * 1000.0, 0),
+                   report::cell(p.voltage.value(), 2),
+                   report::cell(p.power.value(), 2)});
+  }
+  std::cout << table << '\n';
+
+  std::printf("Anchors (paper values in parentheses):\n");
+  std::printf("  open-circuit voltage Vo : %6.2f V   (18.2 V)\n",
+              stack.open_circuit_voltage().value());
+  std::printf("  maximum power capacity  : %6.2f W   (~20 W) at %.2f A\n",
+              mpp.power.value(), mpp.current.value());
+  std::printf(
+      "  load-following range    : up to %.2f A of system output\n"
+      "                            (paper uses [0.1, 1.2] A)\n",
+      system.max_output_current().value());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7: 300 s of current profiles from Experiment 1 — (a) the DVD
+// camcorder load current, (b) the FC system output under ASAP-DPM,
+// (c) the FC system output under FC-DPM. Rendered as ASCII strip charts
+// (the paper's three stacked panels) plus summary statistics showing
+// ASAP tracks the load while FC-DPM stays nearly flat.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "report/series_export.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  sim::ExperimentConfig config = sim::experiment1_config();
+  config.simulation.record_profiles = true;
+  config.simulation.profile_limit = Seconds(300.0);
+
+  const sim::SimulationResult asap =
+      sim::run_policy(sim::PolicyKind::Asap, config);
+  const sim::SimulationResult fcdpm =
+      sim::run_policy(sim::PolicyKind::FcDpm, config);
+
+  const Seconds t0(0.0);
+  const Seconds t1(300.0);
+  const double y_max = 1.5;
+
+  std::printf("Figure 7 — current profiles of Experiment 1 (first 300 s)\n\n");
+  std::cout << "(a) "
+            << report::ascii_chart(asap.profiles->load_current(), t0, t1,
+                                   y_max)
+            << '\n';
+  std::cout << "(b) ASAP-DPM "
+            << report::ascii_chart(asap.profiles->fc_output(), t0, t1,
+                                   y_max)
+            << '\n';
+  std::cout << "(c) FC-DPM "
+            << report::ascii_chart(fcdpm.profiles->fc_output(), t0, t1,
+                                   y_max)
+            << '\n';
+
+  const auto spread = [](const sim::StepSeries& s) {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (const sim::StepPoint& p : s.points()) {
+      lo = std::min(lo, p.value);
+      hi = std::max(hi, p.value);
+    }
+    return std::pair<double, double>(lo, hi);
+  };
+
+  const auto [asap_lo, asap_hi] = spread(asap.profiles->fc_output());
+  const auto [fc_lo, fc_hi] = spread(fcdpm.profiles->fc_output());
+  std::printf(
+      "FC output statistics over the window:\n"
+      "  ASAP-DPM : mean %.3f A, range [%.2f, %.2f] A — follows the load\n"
+      "  FC-DPM   : mean %.3f A, range [%.2f, %.2f] A — near-flat, set by\n"
+      "             the per-slot fuel optimum (Conv-DPM would be a flat\n"
+      "             1.2 A line and is omitted, as in the paper)\n",
+      asap.profiles->fc_output().time_average(), asap_lo, asap_hi,
+      fcdpm.profiles->fc_output().time_average(), fc_lo, fc_hi);
+  return 0;
+}

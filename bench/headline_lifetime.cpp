@@ -1,0 +1,72 @@
+// The paper's headline, measured head-on: "demonstrated up to 32 % more
+// system lifetime extension compared to a competing scheme". Loop the
+// camcorder workload on a finite fuel tank until it runs dry and report
+// each policy's measured lifetime (instead of inferring it from fuel
+// ratios — the two agree, which Lifetime tests assert).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "fuelcell/fuel_model.hpp"
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+#include "sim/lifetime.hpp"
+
+int main() {
+  using namespace fcdpm;
+  using sim::PolicyKind;
+
+  const sim::ExperimentConfig config = sim::experiment1_config();
+  const fc::FuelModel fuel = fc::FuelModel::bcs_20w();
+
+  // A tank worth ~2 hours of Conv-DPM: 10000 A-s of stack charge.
+  const Coulomb tank(10000.0);
+
+  report::Table table(
+      "Headline — measured operational lifetime on a " +
+          report::cell(fuel.hydrogen_litres_stp(tank), 1) +
+          " L (STP) hydrogen tank, camcorder workload looped until dry",
+      {"policy", "lifetime (min)", "vs Conv-DPM", "vs ASAP-DPM",
+       "passes", "avg fuel current (A)"});
+
+  double conv_life = 0.0;
+  double asap_life = 0.0;
+  for (const PolicyKind kind : {PolicyKind::Conv, PolicyKind::Asap,
+                                PolicyKind::FcDpm, PolicyKind::Oracle}) {
+    dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+        sim::make_fc_policy(kind, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
+
+    sim::LifetimeOptions options;
+    options.tank = tank;
+    options.simulation = config.simulation;
+    options.simulation.initial_storage = config.initial_storage;
+    const sim::LifetimeResult r = sim::measure_lifetime(
+        config.trace, dpm_policy, *fc_policy, hybrid, options);
+
+    if (kind == PolicyKind::Conv) {
+      conv_life = r.lifetime.value();
+    }
+    if (kind == PolicyKind::Asap) {
+      asap_life = r.lifetime.value();
+    }
+    table.add_row(
+        {sim::to_string(kind), report::cell(r.lifetime.value() / 60.0, 1),
+         conv_life > 0.0
+             ? report::cell(r.lifetime.value() / conv_life, 2) + "x"
+             : "1.00x",
+         asap_life > 0.0
+             ? report::cell(r.lifetime.value() / asap_life, 2) + "x"
+             : "-",
+         std::to_string(r.passes),
+         report::cell(r.average_fuel_current.value(), 3)});
+  }
+
+  std::cout << table << '\n';
+  std::printf(
+      "Paper: FC-DPM's lifetime is 40.8/30.8 = 1.32x ASAP-DPM's. Our\n"
+      "synthesized trace lands near 1.18x; the ordering and the Conv gap\n"
+      "(~3x) match. See EXPERIMENTS.md for the trace-fidelity account.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Performance A7: simulator throughput — slots per second for the exact
+// slot simulator under each policy, and the dt-stepped simulator for
+// comparison. Bounds how large a trace the harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sim/experiments.hpp"
+#include "sim/slot_simulator.hpp"
+#include "sim/timed_simulator.hpp"
+#include "workload/camcorder.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+const sim::ExperimentConfig& config1() {
+  static const sim::ExperimentConfig config = sim::experiment1_config();
+  return config;
+}
+
+void run_slot_sim(benchmark::State& state, sim::PolicyKind kind) {
+  const sim::ExperimentConfig& config = config1();
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc =
+        sim::make_fc_policy(kind, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
+    sim::SimulationOptions options = config.simulation;
+    const sim::SimulationResult r =
+        sim::simulate(config.trace, dpm_policy, *fc, hybrid, options);
+    benchmark::DoNotOptimize(r.totals.fuel);
+    slots += r.slots;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+  state.SetLabel("items = task slots");
+}
+
+void BM_SlotSim_Conv(benchmark::State& state) {
+  run_slot_sim(state, sim::PolicyKind::Conv);
+}
+BENCHMARK(BM_SlotSim_Conv);
+
+void BM_SlotSim_Asap(benchmark::State& state) {
+  run_slot_sim(state, sim::PolicyKind::Asap);
+}
+BENCHMARK(BM_SlotSim_Asap);
+
+void BM_SlotSim_FcDpm(benchmark::State& state) {
+  run_slot_sim(state, sim::PolicyKind::FcDpm);
+}
+BENCHMARK(BM_SlotSim_FcDpm);
+
+void BM_TimedSim_FcDpm_10ms(benchmark::State& state) {
+  const sim::ExperimentConfig& config = config1();
+  std::size_t slots = 0;
+  for (auto _ : state) {
+    dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc =
+        sim::make_fc_policy(sim::PolicyKind::FcDpm, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
+    sim::TimedOptions options;
+    options.initial_storage = config.initial_storage;
+    const sim::SimulationResult r = sim::simulate_timed(
+        config.trace, dpm_policy, *fc, hybrid, options);
+    benchmark::DoNotOptimize(r.totals.fuel);
+    slots += r.slots;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(slots));
+  state.SetLabel("items = task slots (dt = 10 ms)");
+}
+BENCHMARK(BM_TimedSim_FcDpm_10ms);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::paper_camcorder_trace());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Performance A6: throughput of the per-slot solvers. FC-DPM runs the
+// closed-form solve twice per task slot at run time (idle start + active
+// start), so it must be cheap enough for an embedded power manager; the
+// numerical validator is the reference cost.
+#include <benchmark/benchmark.h>
+
+#include "core/efficiency_estimator.hpp"
+#include "core/numerical_solver.hpp"
+#include "core/quantized_optimizer.hpp"
+#include "core/slot_optimizer.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+core::SlotLoad load_for(std::int64_t variant) {
+  const double t = static_cast<double>(variant % 7);
+  return {Seconds(10.0 + t), Ampere(0.15 + 0.01 * t), Seconds(3.0 + t),
+          Ampere(1.0 + 0.02 * t)};
+}
+
+void BM_ClosedFormSolve(benchmark::State& state) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  const core::StorageBounds storage{Coulomb(1.0), Coulomb(1.0),
+                                    Coulomb(6.0)};
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const core::SlotSetting s = optimizer.solve(load_for(k++), storage);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClosedFormSolve);
+
+void BM_ClosedFormSolveWithOverhead(benchmark::State& state) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  const core::StorageBounds storage{Coulomb(1.0), Coulomb(1.0),
+                                    Coulomb(6.0)};
+  core::SleepOverhead overhead;
+  overhead.sleeps = true;
+  overhead.wake_delay = Seconds(0.5);
+  overhead.wake_current = Ampere(0.4);
+  overhead.powerdown_delay = Seconds(0.5);
+  overhead.powerdown_current = Ampere(0.4);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const core::SlotSetting s =
+        optimizer.solve_with_overhead(load_for(k++), overhead, storage);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClosedFormSolveWithOverhead);
+
+void BM_NumericalSolve(benchmark::State& state) {
+  const core::NumericalSlotSolver solver(
+      power::LinearEfficiencyModel::paper_default());
+  const core::StorageBounds storage{Coulomb(1.0), Coulomb(1.0),
+                                    Coulomb(6.0)};
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const core::NumericalSlotResult s =
+        solver.solve(load_for(k++), storage);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NumericalSolve);
+
+void BM_QuantizedSolve(benchmark::State& state) {
+  const core::QuantizedSlotOptimizer optimizer =
+      core::QuantizedSlotOptimizer::with_uniform_levels(
+          power::LinearEfficiencyModel::paper_default(),
+          static_cast<std::size_t>(state.range(0)));
+  const core::StorageBounds storage{Coulomb(1.0), Coulomb(1.0),
+                                    Coulomb(6.0)};
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    const core::QuantizedSetting s =
+        optimizer.solve(load_for(k++), storage);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizedSolve)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EfficiencyEstimatorObserve(benchmark::State& state) {
+  core::EfficiencyEstimator estimator(0.45, 0.13, 0.98);
+  double i = 0.1;
+  for (auto _ : state) {
+    estimator.observe(Ampere(i), 0.45 - 0.13 * i);
+    i = (i >= 1.2) ? 0.1 : i + 0.01;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EfficiencyEstimatorObserve);
+
+void BM_FuelRateEvaluation(benchmark::State& state) {
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();
+  double i = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.stack_current(Ampere(i)));
+    i = (i >= 1.2) ? 0.1 : i + 0.001;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FuelRateEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

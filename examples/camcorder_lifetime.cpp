@@ -1,0 +1,59 @@
+// Experiment 1 end-to-end: record 28 minutes of MPEG video on the DVD
+// camcorder under each DPM policy and project how long a hydrogen
+// cartridge would last — the paper's headline "32 % more lifetime"
+// argument, with physical units attached.
+//
+// Run: ./build/examples/camcorder_lifetime
+#include <cstdio>
+
+#include "fuelcell/fuel_model.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fcdpm;
+  using sim::PolicyKind;
+
+  const sim::ExperimentConfig config = sim::experiment1_config();
+  const wl::TraceStats stats = config.trace.stats();
+  std::printf("Camcorder trace: %zu slots, %.1f min, idle %.1f-%.1f s\n\n",
+              stats.slots, stats.total_duration().value() / 60.0,
+              stats.min_idle.value(), stats.max_idle.value());
+
+  // A small consumer hydrogen cartridge: ~10 standard litres.
+  const fc::FuelModel fuel = fc::FuelModel::bcs_20w();
+  const double cartridge_litres = 10.0;
+
+  const sim::SimulationResult conv =
+      sim::run_policy(PolicyKind::Conv, config);
+
+  std::printf("%-14s %10s %8s %12s %12s %10s\n", "policy", "fuel A-s",
+              "vs Conv", "avg Ifc (A)", "H2 (L STP)", "lifetime");
+  for (const PolicyKind kind :
+       {PolicyKind::Conv, PolicyKind::Asap, PolicyKind::FcDpm,
+        PolicyKind::Oracle}) {
+    const sim::SimulationResult r = sim::run_policy(kind, config);
+    const double litres = fuel.hydrogen_litres_stp(r.fuel());
+    // Fuel charge equivalent of the cartridge, then lifetime at this
+    // policy's average burn rate.
+    const double cartridge_charge =
+        r.fuel().value() * cartridge_litres / litres;
+    const Seconds lifetime =
+        r.lifetime_on(Coulomb(cartridge_charge));
+    std::printf("%-14s %10.1f %7.1f%% %12.3f %12.3f %8.1f min\n",
+                r.fc_policy.c_str(), r.fuel().value(),
+                100.0 * sim::normalized_fuel(r, conv),
+                r.average_fuel_current().value(), litres,
+                lifetime.value() / 60.0);
+  }
+
+  const sim::SimulationResult asap =
+      sim::run_policy(PolicyKind::Asap, config);
+  const sim::SimulationResult fcdpm =
+      sim::run_policy(PolicyKind::FcDpm, config);
+  std::printf(
+      "\nFC-DPM saves %.1f%% fuel over ASAP-DPM -> %.2fx the lifetime\n"
+      "(paper reports 24.4%% and 1.32x on the authors' measured trace).\n",
+      100.0 * sim::fuel_saving(fcdpm, asap),
+      sim::lifetime_extension(fcdpm, asap));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Explore DVS on the fuel-cell hybrid: for a periodic task, print every
+// level's schedule, device energy and fuel, and what each strategy
+// picks — the prior-work ([10]/[11]) layer under this paper's DPM.
+//
+// Usage: dvs_explorer [work_s [period_s]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+#include "dvs/planner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcdpm;
+  using dvs::DvsEvaluation;
+  using dvs::DvsStrategy;
+
+  dvs::PeriodicTask task{1.0, Seconds(3.0)};
+  if (argc >= 2) {
+    task.work_full_speed_s = std::atof(argv[1]);
+  }
+  if (argc >= 3) {
+    task.period = Seconds(std::atof(argv[2]));
+  }
+
+  const dvs::DvsPlanner planner(
+      dvs::DvsProcessor::typical_embedded(),
+      power::LinearEfficiencyModel::paper_default(), 0.90);
+  const dvs::DvsProcessor& cpu = planner.processor();
+
+  std::printf(
+      "Task: %.2f s of full-speed work every %.2f s (utilization "
+      "%.0f%%)\n\n",
+      task.work_full_speed_s, task.period.value(),
+      100.0 * task.utilization());
+
+  std::printf("%5s %6s %9s %9s %11s %10s %12s %13s\n", "level", "speed",
+              "P_run (W)", "I_run (A)", "run (s)", "energy (J)",
+              "fuel (A-s)", "sustainable?");
+  for (std::size_t k = 0; k < cpu.level_count(); ++k) {
+    if (cpu.time_for(task.work_full_speed_s, k) > task.period) {
+      std::printf("%5zu %6.2f %9.2f %9.3f %11s\n", k, cpu.level(k).speed,
+                  cpu.level(k).run_power.value(),
+                  cpu.run_current(k).value(), "too slow");
+      continue;
+    }
+    const DvsEvaluation e = planner.evaluate(task, k);
+    std::printf("%5zu %6.2f %9.2f %9.3f %11.2f %10.2f %12.3f %13s\n", k,
+                cpu.level(k).speed, cpu.level(k).run_power.value(),
+                cpu.run_current(k).value(), e.run_time.value(),
+                e.device_energy.value(), e.fuel.value(),
+                e.sustainable ? "yes" : "NO");
+  }
+
+  std::printf("\nStrategy choices:\n");
+  for (const DvsStrategy strategy :
+       {DvsStrategy::RaceToIdle, DvsStrategy::MinDeviceEnergy,
+        DvsStrategy::MinFuel}) {
+    try {
+      const DvsEvaluation e = planner.plan(task, strategy);
+      std::printf("  %-18s -> level %zu (%.2f A-s fuel per period)\n",
+                  dvs::to_string(strategy), e.level, e.fuel.value());
+    } catch (const PreconditionError& error) {
+      std::printf("  %-18s -> infeasible: %s\n", dvs::to_string(strategy),
+                  error.what());
+    }
+  }
+  return 0;
+}

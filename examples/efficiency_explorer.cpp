@@ -1,0 +1,72 @@
+// Explore the physical fuel-cell system model: sample the stack's V-I-P
+// curve (Figure 2), both FC-system efficiency configurations (Figure 3)
+// and the linear characterization eta_s = alpha - beta*IF the optimizer
+// consumes (Eq. (2)). Optionally writes the curves as CSV for plotting.
+//
+// Usage: efficiency_explorer [output_dir]
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/text.hpp"
+#include "power/fc_system.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcdpm;
+
+  const fc::FuelCellStack stack = fc::FuelCellStack::bcs_20w();
+  const fc::StackPoint mpp = stack.maximum_power_point();
+
+  std::printf("BCS 20 W stack model (20 cells):\n");
+  std::printf("  open-circuit voltage : %.2f V (paper: 18.2 V)\n",
+              stack.open_circuit_voltage().value());
+  std::printf("  maximum power        : %.2f W at %.2f A\n",
+              mpp.power.value(), mpp.current.value());
+
+  std::printf("\nStack V-I-P curve (Figure 2):\n");
+  std::printf("  %8s %10s %9s\n", "Ifc (A)", "Vfc (V)", "P (W)");
+  for (const fc::StackPoint& p :
+       stack.sample_curve(Ampere(0.0), Ampere(1.6), 9)) {
+    std::printf("  %8.2f %10.2f %9.2f\n", p.current.value(),
+                p.voltage.value(), p.power.value());
+  }
+
+  const power::FcSystem paper = power::FcSystem::paper_system();
+  const power::FcSystem legacy = power::FcSystem::legacy_system();
+
+  std::printf(
+      "\nSystem efficiency vs output current (Figure 3):\n"
+      "  %8s %26s %26s\n",
+      "IF (A)", "(b) PWM-PFM + var. fan", "(c) PWM + on/off fan");
+  for (double i = 0.1; i <= 1.2001; i += 0.1) {
+    std::printf("  %8.1f %25.1f%% %25.1f%%\n", i,
+                100.0 * paper.system_efficiency(Ampere(i)),
+                100.0 * legacy.system_efficiency(Ampere(i)));
+  }
+
+  const power::LinearEfficiencyModel fit =
+      paper.fit_linear_efficiency(Ampere(0.1), Ampere(1.2));
+  std::printf(
+      "\nLinear characterization over the load-following range:\n"
+      "  eta_s ~= %.3f - %.3f * IF   (paper: 0.45 - 0.13 * IF)\n"
+      "  -> Ifc = %.2f * IF / eta_s(IF)\n",
+      fit.alpha(), fit.beta(), fit.k());
+
+  if (argc >= 2) {
+    const std::string dir = argv[1];
+    CsvDocument doc;
+    doc.header = {"if_a", "eta_paper", "eta_legacy", "eta_fit"};
+    for (const auto& s :
+         paper.sample_efficiency(Ampere(0.1), Ampere(1.2), 45)) {
+      doc.rows.push_back(
+          {format_fixed(s.output_current.value(), 4),
+           format_fixed(s.system_efficiency, 5),
+           format_fixed(legacy.system_efficiency(s.output_current), 5),
+           format_fixed(fit.efficiency(s.output_current), 5)});
+    }
+    const std::string path = dir + "/fig3_efficiency.csv";
+    write_csv_file(path, doc);
+    std::printf("\nWrote %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Export every paper figure as SVG (and the profile data as CSV) for
+// inclusion in reports — the graphical counterpart of the bench
+// harness's textual tables.
+//
+// Usage: export_figures [output_dir]   (default: current directory)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "power/fc_system.hpp"
+#include "report/series_export.hpp"
+#include "report/svg_export.hpp"
+#include "sim/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcdpm;
+
+  const std::string dir = (argc >= 2) ? argv[1] : ".";
+  const auto path = [&](const char* file) { return dir + "/" + file; };
+
+  // --- Figure 2: stack V-I and P-I curves --------------------------------
+  {
+    const fc::FuelCellStack stack = fc::FuelCellStack::bcs_20w();
+    report::SvgSeries volts{"Vfc (V)", {}, {}};
+    report::SvgSeries watts{"Power (W)", {}, {}};
+    for (const fc::StackPoint& p :
+         stack.sample_curve(Ampere(0.0), Ampere(1.6), 81)) {
+      volts.xs.push_back(p.current.value());
+      volts.ys.push_back(p.voltage.value());
+      watts.xs.push_back(p.current.value());
+      watts.ys.push_back(p.power.value());
+    }
+    report::SvgOptions options;
+    options.title = "Figure 2 - BCS 20 W stack characteristics";
+    options.x_label = "fuel cell current Ifc (A)";
+    options.y_label = "V / W";
+    report::write_svg_file(path("fig2_stack.svg"),
+                           report::render_line_svg({volts, watts},
+                                                   options));
+    std::printf("wrote %s\n", path("fig2_stack.svg").c_str());
+  }
+
+  // --- Figure 3: efficiency curves ----------------------------------------
+  {
+    const power::FcSystem paper = power::FcSystem::paper_system();
+    const power::FcSystem legacy = power::FcSystem::legacy_system();
+    const fc::FuelModel fuel = fc::FuelModel::bcs_20w();
+
+    report::SvgSeries stack_eta{"(a) stack", {}, {}};
+    report::SvgSeries system_eta{"(b) variable fan", {}, {}};
+    report::SvgSeries legacy_eta{"(c) on/off fan", {}, {}};
+    for (const auto& sample :
+         paper.sample_efficiency(Ampere(0.05), Ampere(1.2), 60)) {
+      const double i = sample.output_current.value();
+      const power::FcOperatingPoint op =
+          paper.operating_point(sample.output_current);
+      stack_eta.xs.push_back(i);
+      stack_eta.ys.push_back(
+          100.0 * fuel.stack_efficiency(op.stack_voltage));
+      system_eta.xs.push_back(i);
+      system_eta.ys.push_back(100.0 * sample.system_efficiency);
+      legacy_eta.xs.push_back(i);
+      legacy_eta.ys.push_back(
+          100.0 * legacy.system_efficiency(sample.output_current));
+    }
+    report::SvgOptions options;
+    options.title = "Figure 3 - efficiency vs FC system output current";
+    options.x_label = "IF (A)";
+    options.y_label = "efficiency (%)";
+    options.y_min = 0.0;
+    options.y_max = 60.0;
+    options.x_min = 0.0;
+    options.x_max = 1.25;
+    report::write_svg_file(
+        path("fig3_efficiency.svg"),
+        report::render_line_svg({stack_eta, system_eta, legacy_eta},
+                                options));
+    std::printf("wrote %s\n", path("fig3_efficiency.svg").c_str());
+  }
+
+  // --- Figure 7: 300 s current profiles -----------------------------------
+  {
+    sim::ExperimentConfig config = sim::experiment1_config();
+    config.simulation.record_profiles = true;
+    config.simulation.profile_limit = Seconds(300.0);
+    const sim::SimulationResult asap =
+        sim::run_policy(sim::PolicyKind::Asap, config);
+    const sim::SimulationResult fcdpm =
+        sim::run_policy(sim::PolicyKind::FcDpm, config);
+
+    const auto panel = [&](const char* file, const char* title,
+                           const sim::StepSeries& series) {
+      report::SvgOptions options;
+      options.title = title;
+      options.x_label = "time (s)";
+      options.y_label = "current (A)";
+      options.y_min = 0.0;
+      options.y_max = 1.5;
+      report::write_svg_file(
+          path(file), report::render_step_svg({&series}, Seconds(0.0),
+                                              Seconds(300.0), options));
+      std::printf("wrote %s\n", path(file).c_str());
+    };
+    panel("fig7a_load.svg", "Figure 7(a) - load current",
+          asap.profiles->load_current());
+    panel("fig7b_asap.svg", "Figure 7(b) - FC output, ASAP-DPM",
+          asap.profiles->fc_output());
+    panel("fig7c_fcdpm.svg", "Figure 7(c) - FC output, FC-DPM",
+          fcdpm.profiles->fc_output());
+
+    // Raw profile data as CSV for replotting.
+    std::ofstream csv(path("fig7_profiles.csv"));
+    csv << report::series_to_csv({&asap.profiles->load_current(),
+                                  &asap.profiles->fc_output(),
+                                  &fcdpm.profiles->fc_output()});
+    std::printf("wrote %s\n", path("fig7_profiles.csv").c_str());
+  }
+
+  return 0;
+}

@@ -1,0 +1,319 @@
+// fcdpm_cli — command-line front end to the library.
+//
+//   fcdpm_cli gen      --kind camcorder|synthetic --out trace.csv [--seed N]
+//   fcdpm_cli analyze  --trace trace.csv
+//   fcdpm_cli run      --policy conv|asap|fcdpm|oracle
+//                      [--trace trace.csv | --kind camcorder|synthetic]
+//                      [--rho R] [--capacity A-s] [--initial A-s]
+//   fcdpm_cli compare  [--trace ... | --kind ...] (all policies, one table)
+//   fcdpm_cli lifetime --tank A-s [--policy ...] [--kind ...]
+//
+// Exit code 0 on success, 1 on CLI errors, 2 on runtime errors.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+#include "sim/lifetime.hpp"
+#include "workload/aggregation.hpp"
+#include "workload/analysis.hpp"
+#include "workload/camcorder.hpp"
+#include "workload/merge.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+/// "--key value" pairs after the subcommand.
+using Options = std::map<std::string, std::string>;
+
+Options parse_options(int argc, char** argv, int start) {
+  Options options;
+  for (int k = start; k + 1 < argc; k += 2) {
+    const std::string key = argv[k];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --option, got: " + key);
+    }
+    options[key.substr(2)] = argv[k + 1];
+  }
+  if ((argc - start) % 2 != 0) {
+    throw std::runtime_error("dangling option: " +
+                             std::string(argv[argc - 1]));
+  }
+  return options;
+}
+
+std::string option_or(const Options& options, const std::string& key,
+                      const std::string& fallback) {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+double number_or(const Options& options, const std::string& key,
+                 double fallback) {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : std::atof(it->second.c_str());
+}
+
+wl::Trace load_workload(const Options& options) {
+  const auto trace_it = options.find("trace");
+  if (trace_it != options.end()) {
+    return wl::load_trace_file(trace_it->second);
+  }
+  const std::string kind = option_or(options, "kind", "camcorder");
+  const auto seed =
+      static_cast<std::uint64_t>(number_or(options, "seed", 0.0));
+  if (kind == "camcorder") {
+    wl::CamcorderConfig config;
+    if (seed != 0) {
+      config.seed = seed;
+    }
+    return wl::generate_camcorder_trace(config);
+  }
+  if (kind == "synthetic") {
+    wl::SyntheticConfig config;
+    if (seed != 0) {
+      config.seed = seed;
+    }
+    return wl::generate_synthetic_trace(config);
+  }
+  throw std::runtime_error("unknown workload kind: " + kind);
+}
+
+sim::ExperimentConfig build_config(const Options& options) {
+  const std::string kind = option_or(options, "kind", "camcorder");
+  sim::ExperimentConfig config = (kind == "synthetic")
+                                     ? sim::experiment2_config()
+                                     : sim::experiment1_config();
+  config.trace = load_workload(options);
+  config.rho = number_or(options, "rho", config.rho);
+  config.sigma = number_or(options, "sigma", config.sigma);
+  config.storage_capacity = Coulomb(
+      number_or(options, "capacity", config.storage_capacity.value()));
+  config.initial_storage = Coulomb(
+      number_or(options, "initial", config.initial_storage.value()));
+  config.simulation.initial_storage = config.initial_storage;
+  return config;
+}
+
+sim::PolicyKind parse_policy(const std::string& name) {
+  if (name == "conv") {
+    return sim::PolicyKind::Conv;
+  }
+  if (name == "asap") {
+    return sim::PolicyKind::Asap;
+  }
+  if (name == "fcdpm") {
+    return sim::PolicyKind::FcDpm;
+  }
+  if (name == "oracle") {
+    return sim::PolicyKind::Oracle;
+  }
+  throw std::runtime_error("unknown policy: " + name +
+                           " (use conv|asap|fcdpm|oracle)");
+}
+
+int cmd_gen(const Options& options) {
+  const auto out_it = options.find("out");
+  if (out_it == options.end()) {
+    throw std::runtime_error("gen requires --out <file>");
+  }
+  const wl::Trace trace = load_workload(options);
+  wl::save_trace_file(out_it->second, trace);
+  std::printf("wrote %zu slots (%.1f min) to %s\n", trace.size(),
+              trace.stats().total_duration().value() / 60.0,
+              out_it->second.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Options& options) {
+  const wl::Trace trace = load_workload(options);
+  const wl::TraceStats stats = trace.stats();
+  std::printf("trace: %s\n", trace.name().c_str());
+  std::printf("  slots          : %zu\n", stats.slots);
+  std::printf("  duration       : %.1f s (%.1f min)\n",
+              stats.total_duration().value(),
+              stats.total_duration().value() / 60.0);
+  std::printf("  idle           : %.2f - %.2f s (mean %.2f)\n",
+              stats.min_idle.value(), stats.max_idle.value(),
+              stats.mean_idle.value());
+  std::printf("  active         : %.2f - %.2f s (mean %.2f)\n",
+              stats.min_active.value(), stats.max_active.value(),
+              stats.mean_active.value());
+  std::printf("  active power   : %.2f - %.2f W (mean %.2f)\n",
+              stats.min_active_power.value(),
+              stats.max_active_power.value(),
+              stats.mean_active_power.value());
+  std::printf("  duty cycle     : %.1f%%\n",
+              100.0 * wl::duty_cycle(trace));
+  if (trace.size() > 3) {
+    std::printf("  idle lag-1 ac  : %.2f\n",
+                wl::autocorrelation(wl::idle_durations(trace), 1));
+  }
+  std::printf("  avg load (slept idles) : %.3f A on 12 V\n",
+              wl::average_load_current(trace, Volt(12.0), Ampere(0.2))
+                  .value());
+  return 0;
+}
+
+void print_result(const sim::SimulationResult& result) {
+  std::printf("%-14s fuel %9.2f A-s | avg Ifc %6.3f A | sleeps %zu/%zu | "
+              "bled %6.2f | unserved %6.2f\n",
+              result.fc_policy.c_str(), result.fuel().value(),
+              result.average_fuel_current().value(), result.sleeps,
+              result.slots, result.totals.bled.value(),
+              result.totals.unserved.value());
+}
+
+int cmd_run(const Options& options) {
+  const sim::ExperimentConfig config = build_config(options);
+  const sim::PolicyKind kind =
+      parse_policy(option_or(options, "policy", "fcdpm"));
+  print_result(sim::run_policy(kind, config));
+  return 0;
+}
+
+int cmd_compare(const Options& options) {
+  const sim::ExperimentConfig config = build_config(options);
+  const sim::PolicyComparison c = sim::compare_policies(config);
+
+  report::Table table("normalized fuel consumption",
+                      {"DPM policy", "Conv-DPM", "ASAP-DPM", "FC-DPM"});
+  table.add_row(
+      {"compared to Conv-DPM", "100%",
+       report::percent_cell(sim::normalized_fuel(c.asap, c.conv)),
+       report::percent_cell(sim::normalized_fuel(c.fcdpm, c.conv))});
+  std::printf("%s\n", table.to_ascii().c_str());
+  print_result(c.conv);
+  print_result(c.asap);
+  print_result(c.fcdpm);
+  std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
+              100.0 * sim::fuel_saving(c.fcdpm, c.asap),
+              sim::lifetime_extension(c.fcdpm, c.asap));
+  return 0;
+}
+
+int cmd_lifetime(const Options& options) {
+  const sim::ExperimentConfig config = build_config(options);
+  const sim::PolicyKind kind =
+      parse_policy(option_or(options, "policy", "fcdpm"));
+  const Coulomb tank(number_or(options, "tank", 10000.0));
+
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+      sim::make_fc_policy(kind, config);
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+
+  sim::LifetimeOptions lifetime_options;
+  lifetime_options.tank = tank;
+  lifetime_options.simulation = config.simulation;
+  const sim::LifetimeResult r = sim::measure_lifetime(
+      config.trace, dpm_policy, *fc_policy, hybrid, lifetime_options);
+
+  std::printf("%s on a %.0f A-s tank: ", sim::to_string(kind),
+              tank.value());
+  if (r.tank_emptied) {
+    std::printf("%.1f min (%zu workload passes, avg Ifc %.3f A)\n",
+                r.lifetime.value() / 60.0, r.passes,
+                r.average_fuel_current.value());
+  } else {
+    std::printf("did not empty within %zu passes (%.1f min simulated)\n",
+                r.passes, r.lifetime.value() / 60.0);
+  }
+  return 0;
+}
+
+int cmd_aggregate(const Options& options) {
+  const auto out_it = options.find("out");
+  if (out_it == options.end()) {
+    throw std::runtime_error("aggregate requires --out <file>");
+  }
+  const wl::Trace trace = load_workload(options);
+  const Seconds budget(number_or(options, "defer", 30.0));
+  wl::AggregationReport report;
+  const wl::Trace merged = wl::aggregate_trace(trace, budget, &report);
+  wl::save_trace_file(out_it->second, merged);
+  std::printf(
+      "aggregated %zu slots into %zu (deferral budget %.1f s, worst "
+      "deferral %.1f s) -> %s\n",
+      report.original_slots, report.merged_slots, budget.value(),
+      report.worst_deferral.value(), out_it->second.c_str());
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  // merge out.csv in1.csv in2.csv [...]
+  if (argc < 5) {
+    throw std::runtime_error(
+        "merge requires: merge <out.csv> <in1.csv> <in2.csv> [...]");
+  }
+  std::vector<wl::Trace> traces;
+  for (int k = 3; k < argc; ++k) {
+    traces.push_back(wl::load_trace_file(argv[k]));
+  }
+  const wl::Trace merged = wl::merge_traces(traces, "merged");
+  wl::save_trace_file(argv[2], merged);
+  std::printf("merged %zu traces into %zu aggregate slots -> %s\n",
+              traces.size(), merged.size(), argv[2]);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fcdpm_cli <command> [--option value ...]\n"
+      "  gen      --kind camcorder|synthetic --out trace.csv [--seed N]\n"
+      "  analyze  [--trace f.csv | --kind camcorder|synthetic]\n"
+      "  run      --policy conv|asap|fcdpm|oracle [--trace f.csv |\n"
+      "           --kind ...] [--rho R] [--capacity C] [--initial C]\n"
+      "  compare  [--trace f.csv | --kind ...] [--rho R] ...\n"
+      "  lifetime --tank A-s [--policy ...] [--kind ...]\n"
+      "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
+      "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "merge") {
+      return cmd_merge(argc, argv);  // positional arguments
+    }
+    const Options options = parse_options(argc, argv, 2);
+    if (command == "gen") {
+      return cmd_gen(options);
+    }
+    if (command == "analyze") {
+      return cmd_analyze(options);
+    }
+    if (command == "run") {
+      return cmd_run(options);
+    }
+    if (command == "compare") {
+      return cmd_compare(options);
+    }
+    if (command == "lifetime") {
+      return cmd_lifetime(options);
+    }
+    if (command == "aggregate") {
+      return cmd_aggregate(options);
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}

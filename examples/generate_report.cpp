@@ -1,0 +1,36 @@
+// Regenerate the reproduction summary (REPORT.md) from live simulation
+// runs — documentation that cannot drift from the code.
+//
+// Usage: generate_report [output.md]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "report/experiment_report.hpp"
+#include "sim/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcdpm;
+
+  std::printf("Running Experiment 1 (camcorder)...\n");
+  const sim::PolicyComparison exp1 =
+      sim::compare_policies(sim::experiment1_config());
+  std::printf("Running Experiment 2 (synthetic)...\n");
+  const sim::PolicyComparison exp2 =
+      sim::compare_policies(sim::experiment2_config());
+
+  const std::string markdown = report::reproduction_report(exp1, exp2);
+
+  if (argc >= 2) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    out << markdown;
+    std::printf("Wrote %s\n", argv[1]);
+  } else {
+    std::cout << '\n' << markdown;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Policy design space exploration: sweep the idle-predictor factor rho
+// and the storage capacity and watch how FC-DPM's fuel saving responds —
+// the knobs Section 4 leaves open ("the value of rho and sigma could be
+// different, depending on the pre-known pattern of the load profile").
+//
+// Run: ./build/examples/policy_explorer
+#include <cstdio>
+
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  std::printf(
+      "Sweep 1: prediction factor rho on the camcorder trace\n"
+      "  (rho = 1 freezes the initial estimate; rho = 0 is last-value)\n\n"
+      "  %5s %12s %14s %16s\n",
+      "rho", "fuel (A-s)", "vs ASAP-DPM", "decision errors");
+  {
+    sim::ExperimentConfig config = sim::experiment1_config();
+    const sim::SimulationResult asap =
+        sim::run_policy(sim::PolicyKind::Asap, config);
+    for (const double rho : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      config.rho = rho;
+      const sim::SimulationResult r =
+          sim::run_policy(sim::PolicyKind::FcDpm, config);
+      std::size_t errors = 0;
+      if (r.idle_accuracy.has_value()) {
+        errors = r.idle_accuracy->false_sleeps() +
+                 r.idle_accuracy->missed_sleeps();
+      }
+      std::printf("  %5.2f %12.1f %13.1f%% %16zu\n", rho,
+                  r.fuel().value(), 100.0 * sim::fuel_saving(r, asap),
+                  errors);
+    }
+  }
+
+  std::printf(
+      "\nSweep 2: storage capacity on the synthetic workload\n"
+      "  (the paper's 1 F supercap = 6 A-s; bigger buffers give the\n"
+      "   optimizer more room before the capacity constraint binds)\n\n"
+      "  %10s %12s %14s %12s\n",
+      "cap (A-s)", "fuel (A-s)", "vs ASAP-DPM", "bled (A-s)");
+  for (const double capacity : {2.0, 4.0, 6.0, 12.0, 24.0, 48.0}) {
+    sim::ExperimentConfig config = sim::experiment2_config();
+    config.storage_capacity = Coulomb(capacity);
+    config.initial_storage = Coulomb(capacity / 6.0);
+    const sim::SimulationResult asap =
+        sim::run_policy(sim::PolicyKind::Asap, config);
+    const sim::SimulationResult r =
+        sim::run_policy(sim::PolicyKind::FcDpm, config);
+    std::printf("  %10.1f %12.1f %13.1f%% %12.2f\n", capacity,
+                r.fuel().value(), 100.0 * sim::fuel_saving(r, asap),
+                r.totals.bled.value());
+  }
+
+  std::printf(
+      "\nReading: rho barely matters on the regular camcorder load, and\n"
+      "FC-DPM's edge grows with buffer headroom until the flat optimum\n"
+      "fits unconstrained.\n");
+  return 0;
+}

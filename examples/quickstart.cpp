@@ -1,0 +1,61 @@
+// Quickstart: the paper's Section 3.2 example in ~40 lines.
+//
+// One task slot (20 s idle @ 0.2 A, 10 s active @ 1.2 A) powered by a
+// fuel-cell hybrid. Compare three FC output settings and print their
+// fuel consumption, then let the slot optimizer find the best setting
+// itself.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/slot_optimizer.hpp"
+#include "power/hybrid.hpp"
+
+int main() {
+  using namespace fcdpm;
+
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();
+
+  // The load profile of the motivational example.
+  const Seconds idle_time(20.0);
+  const Seconds active_time(10.0);
+  const Ampere idle_load(0.2);
+  const Ampere active_load(1.2);
+
+  // Run one slot under a given (IF_idle, IF_active) setting and report
+  // the fuel burned (in stack A-s, the paper's unit).
+  const auto fuel_for = [&](Ampere if_idle, Ampere if_active) {
+    power::HybridPowerSource hybrid(
+        std::make_unique<power::LinearFuelSource>(model),
+        std::make_unique<power::SuperCapacitor>(Coulomb(200.0), 1.0));
+    hybrid.reset(Coulomb(0.0));
+    (void)hybrid.run_segment(idle_time, idle_load, if_idle);
+    (void)hybrid.run_segment(active_time, active_load, if_active);
+    return hybrid.totals().fuel.value();
+  };
+
+  std::printf("Fuel for one 30 s task slot (lower is better):\n");
+  std::printf("  (a) Conv   - FC pinned at 1.2 A     : %6.2f A-s\n",
+              fuel_for(Ampere(1.2), Ampere(1.2)));
+  std::printf("  (b) ASAP   - FC follows the load    : %6.2f A-s\n",
+              fuel_for(idle_load, active_load));
+
+  // (c) Let the optimizer choose: it lands on the charge-weighted
+  // average load (Eq. (11)) because the fuel curve is convex.
+  const core::SlotOptimizer optimizer(model);
+  const core::SlotSetting best = optimizer.solve(
+      {idle_time, idle_load, active_time, active_load},
+      {Coulomb(0.0), Coulomb(0.0), Coulomb(200.0)});
+  std::printf("  (c) FC-DPM - optimizer's flat %.3f A: %6.2f A-s\n",
+              best.if_idle.value(),
+              fuel_for(best.if_idle, best.if_active));
+
+  std::printf(
+      "\nThe flat setting matches the paper's 13.45 A-s: 15.9%% less fuel\n"
+      "than load following, because eta_s falls with output current and\n"
+      "the storage buffer absorbs the difference.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment 2 with knobs: run the synthetic uniform-random workload
+// under all policies, optionally overriding the workload bounds from the
+// command line.
+//
+// Usage: synthetic_workload [idle_min idle_max [active_min active_max
+//                            [power_min power_max [seed]]]]
+// e.g.   ./build/examples/synthetic_workload 5 25 2 4 12 16 424242
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiments.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fcdpm;
+
+  wl::SyntheticConfig workload;  // defaults are the paper's Experiment 2
+  if (argc >= 3) {
+    workload.idle_min = Seconds(std::atof(argv[1]));
+    workload.idle_max = Seconds(std::atof(argv[2]));
+  }
+  if (argc >= 5) {
+    workload.active_min = Seconds(std::atof(argv[3]));
+    workload.active_max = Seconds(std::atof(argv[4]));
+  }
+  if (argc >= 7) {
+    workload.power_min = Watt(std::atof(argv[5]));
+    workload.power_max = Watt(std::atof(argv[6]));
+  }
+  if (argc >= 8) {
+    workload.seed = static_cast<std::uint64_t>(std::atoll(argv[7]));
+  }
+
+  sim::ExperimentConfig config = sim::experiment2_config();
+  config.trace = wl::generate_synthetic_trace(workload);
+
+  const wl::TraceStats stats = config.trace.stats();
+  std::printf(
+      "Synthetic workload: %zu slots, %.1f min\n"
+      "  idle U[%.1f, %.1f] s, active U[%.1f, %.1f] s, power U[%.1f, "
+      "%.1f] W\n"
+      "  device break-even time: %.2f s\n\n",
+      stats.slots, stats.total_duration().value() / 60.0,
+      workload.idle_min.value(), workload.idle_max.value(),
+      workload.active_min.value(), workload.active_max.value(),
+      workload.power_min.value(), workload.power_max.value(),
+      config.device.break_even_time().value());
+
+  const sim::PolicyComparison comparison = sim::compare_policies(config);
+
+  std::printf("%-10s %10s %9s %8s %12s\n", "policy", "fuel A-s", "vs Conv",
+              "sleeps", "unserved A-s");
+  for (const sim::SimulationResult* r :
+       {&comparison.conv, &comparison.asap, &comparison.fcdpm}) {
+    std::printf("%-10s %10.1f %8.1f%% %5zu/%zu %12.2f\n",
+                r->fc_policy.c_str(), r->fuel().value(),
+                100.0 * sim::normalized_fuel(*r, comparison.conv),
+                r->sleeps, r->slots, r->totals.unserved.value());
+  }
+
+  std::printf("\nFC-DPM saves %.1f%% fuel over ASAP-DPM on this workload\n",
+              100.0 * sim::fuel_saving(comparison.fcdpm, comparison.asap));
+
+  if (comparison.fcdpm.idle_accuracy.has_value()) {
+    const dpm::PredictionAccuracy& acc = *comparison.fcdpm.idle_accuracy;
+    std::printf(
+        "Idle predictor: %.0f%% correct sleep decisions "
+        "(%zu false sleeps, %zu missed sleeps, MAE %.1f s)\n",
+        100.0 * acc.decision_accuracy(), acc.false_sleeps(),
+        acc.missed_sleeps(), acc.mean_absolute_error());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace fcdpm::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream out;
+  out << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  return out.str();
+}
+}  // namespace
+
+void fail_precondition(const char* expr, const char* file, int line,
+                       const std::string& message) {
+  throw PreconditionError(format("precondition", expr, file, line, message));
+}
+
+void fail_invariant(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  throw InvariantError(format("invariant", expr, file, line, message));
+}
+
+}  // namespace fcdpm::detail

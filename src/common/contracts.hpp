@@ -1,0 +1,50 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw rather than abort so that a
+// simulation host application can recover and report.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fcdpm {
+
+/// Thrown when a precondition (argument contract) is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a postcondition or internal invariant is violated.
+/// Indicates a bug in this library, not in caller input.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_precondition(const char* expr, const char* file,
+                                    int line, const std::string& message);
+[[noreturn]] void fail_invariant(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+}  // namespace fcdpm
+
+/// Check a caller-facing precondition; throws fcdpm::PreconditionError.
+#define FCDPM_EXPECTS(cond, message)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fcdpm::detail::fail_precondition(#cond, __FILE__, __LINE__,      \
+                                         (message));                    \
+    }                                                                    \
+  } while (false)
+
+/// Check an internal invariant or postcondition; throws
+/// fcdpm::InvariantError.
+#define FCDPM_ENSURES(cond, message)                                  \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::fcdpm::detail::fail_invariant(#cond, __FILE__, __LINE__,      \
+                                      (message));                    \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,130 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/text.hpp"
+
+namespace fcdpm {
+
+std::size_t CsvDocument::column(std::string_view name) const {
+  for (std::size_t k = 0; k < header.size(); ++k) {
+    if (header[k] == name) {
+      return k;
+    }
+  }
+  throw CsvError("CSV column not found: " + std::string(name));
+}
+
+CsvRow parse_csv_line(std::string_view line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+
+  for (std::size_t k = 0; k < line.size(); ++k) {
+    const char c = line[k];
+    if (in_quotes) {
+      if (c == '"') {
+        if (k + 1 < line.size() && line[k + 1] == '"') {
+          current += '"';
+          ++k;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    throw CsvError("unterminated quote in CSV line: " + std::string(line));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvDocument read_csv(std::istream& in, bool has_header) {
+  CsvDocument doc;
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') {
+      continue;
+    }
+    CsvRow row = parse_csv_line(line);
+    if (header_pending) {
+      doc.header = std::move(row);
+      header_pending = false;
+    } else {
+      doc.rows.push_back(std::move(row));
+    }
+  }
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CsvError("cannot open CSV file: " + path);
+  }
+  return read_csv(in, has_header);
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos ||
+      (!field.empty() && (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_csv_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (k != 0) {
+      out += ',';
+    }
+    out += csv_escape(row[k]);
+  }
+  return out;
+}
+
+void write_csv(std::ostream& out, const CsvDocument& doc) {
+  if (!doc.header.empty()) {
+    out << format_csv_row(doc.header) << '\n';
+  }
+  for (const CsvRow& row : doc.rows) {
+    out << format_csv_row(row) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    throw CsvError("cannot create CSV file: " + path);
+  }
+  write_csv(out, doc);
+}
+
+}  // namespace fcdpm

@@ -1,0 +1,56 @@
+// Minimal RFC-4180-ish CSV reader/writer used for trace files and for
+// exporting figure series. Handles quoting, embedded commas/quotes and
+// blank-line skipping; does not handle embedded newlines inside fields
+// (trace files never contain them).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcdpm {
+
+/// Thrown on malformed CSV input or file I/O failure.
+class CsvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed row; fields are unquoted/unescaped.
+using CsvRow = std::vector<std::string>;
+
+/// A fully parsed document: optional header plus data rows.
+struct CsvDocument {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a named header column; throws CsvError when absent.
+  [[nodiscard]] std::size_t column(std::string_view name) const;
+};
+
+/// Parse one CSV line into fields (handles quotes and escaped quotes).
+[[nodiscard]] CsvRow parse_csv_line(std::string_view line);
+
+/// Parse a whole stream; when `has_header` the first non-blank line is the
+/// header. Blank lines and lines starting with '#' are skipped.
+[[nodiscard]] CsvDocument read_csv(std::istream& in, bool has_header);
+
+/// Parse a file by path; throws CsvError when it cannot be opened.
+[[nodiscard]] CsvDocument read_csv_file(const std::string& path,
+                                        bool has_header);
+
+/// Quote a field if it contains a comma, quote or leading/trailing space.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Serialize one row (fields escaped as needed), no trailing newline.
+[[nodiscard]] std::string format_csv_row(const CsvRow& row);
+
+/// Write a document (header first when non-empty).
+void write_csv(std::ostream& out, const CsvDocument& doc);
+
+/// Write a document to a file; throws CsvError when it cannot be created.
+void write_csv_file(const std::string& path, const CsvDocument& doc);
+
+}  // namespace fcdpm

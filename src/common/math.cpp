@@ -1,0 +1,139 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+
+LinearFit linear_least_squares(std::span<const double> xs,
+                               std::span<const double> ys) {
+  FCDPM_EXPECTS(xs.size() == ys.size(),
+                "x and y sample counts must match");
+  FCDPM_EXPECTS(xs.size() >= 2, "need at least two samples to fit a line");
+
+  const double x_bar = mean(xs);
+  const double y_bar = mean(ys);
+
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    const double dx = xs[k] - x_bar;
+    const double dy = ys[k] - y_bar;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  FCDPM_EXPECTS(sxx > 0.0, "x samples are all identical; line is undefined");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = y_bar - fit.slope * x_bar;
+  // All-equal y values are a perfect (horizontal) fit; avoid 0/0.
+  fit.r_squared = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+double mean(std::span<const double> values) {
+  FCDPM_EXPECTS(!values.empty(), "mean of an empty range");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  const double m = mean(values);
+  double sum = 0.0;
+  for (const double v : values) {
+    const double d = v - m;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double standard_deviation(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double rms_error(std::span<const double> a, std::span<const double> b) {
+  FCDPM_EXPECTS(a.size() == b.size(), "series sizes must match");
+  FCDPM_EXPECTS(!a.empty(), "rms_error of empty series");
+  double sum = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t count) {
+  FCDPM_EXPECTS(count >= 2, "linspace needs at least two points");
+  std::vector<double> grid(count);
+  const double step = (hi - lo) / static_cast<double>(count - 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    grid[k] = lo + step * static_cast<double>(k);
+  }
+  grid.back() = hi;  // avoid accumulated rounding at the endpoint
+  return grid;
+}
+
+bool approx_equal(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) {
+    return true;
+  }
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+double percentile(std::vector<double> values, double q) {
+  FCDPM_EXPECTS(!values.empty(), "percentile of an empty sample");
+  FCDPM_EXPECTS(q >= 0.0 && q <= 1.0, "q must lie in [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double position = q * static_cast<double>(values.size() - 1);
+  const auto below = static_cast<std::size_t>(position);
+  if (below + 1 >= values.size()) {
+    return values.back();
+  }
+  const double fraction = position - static_cast<double>(below);
+  return values[below] * (1.0 - fraction) + values[below + 1] * fraction;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> samples,
+                                     double level, std::size_t resamples,
+                                     std::uint64_t seed) {
+  FCDPM_EXPECTS(samples.size() >= 2, "need at least two samples");
+  FCDPM_EXPECTS(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+  FCDPM_EXPECTS(resamples >= 100, "too few resamples for a stable CI");
+
+  // Local PRNG (seeded; keeps common/math independent of common/random).
+  std::uint64_t state = seed * 0x9E3779B97F4A7C15ULL + 1;
+  const auto next_index = [&state](std::size_t n) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<std::size_t>(state % n);
+  };
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      sum += samples[next_index(samples.size())];
+    }
+    means.push_back(sum / static_cast<double>(samples.size()));
+  }
+
+  ConfidenceInterval ci;
+  ci.mean = mean(samples);
+  ci.lo = percentile(means, (1.0 - level) / 2.0);
+  ci.hi = percentile(means, (1.0 + level) / 2.0);
+  return ci;
+}
+
+}  // namespace fcdpm

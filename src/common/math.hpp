@@ -1,0 +1,72 @@
+// Small numeric toolbox: descriptive statistics and linear least squares.
+//
+// The paper fits the fuel-cell system efficiency to a line (eta = alpha -
+// beta * IF); `linear_least_squares` is what "determined by the measured
+// efficiency curve" becomes in this reproduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fcdpm {
+
+/// Result of fitting y = intercept + slope * x by ordinary least squares.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0, 1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+
+  [[nodiscard]] double operator()(double x) const {
+    return intercept + slope * x;
+  }
+};
+
+/// Ordinary least-squares line fit.
+///
+/// Preconditions: xs.size() == ys.size(), at least two samples, and the xs
+/// are not all identical.
+[[nodiscard]] LinearFit linear_least_squares(std::span<const double> xs,
+                                             std::span<const double> ys);
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Population variance (divides by N).
+[[nodiscard]] double variance(std::span<const double> values);
+
+[[nodiscard]] double standard_deviation(std::span<const double> values);
+
+/// Root-mean-square deviation between two equally sized series.
+[[nodiscard]] double rms_error(std::span<const double> a,
+                               std::span<const double> b);
+
+/// Evenly spaced grid of `count` points covering [lo, hi] inclusive.
+/// Requires count >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t count);
+
+/// Relative closeness test with an absolute floor; symmetric in a and b.
+[[nodiscard]] bool approx_equal(double a, double b, double rel_tol = 1e-9,
+                                double abs_tol = 1e-12);
+
+/// q-th percentile (q in [0, 1]) by linear interpolation between order
+/// statistics. Requires a non-empty sample.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// A two-sided confidence interval around a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Bootstrap percentile CI of the mean: resample with replacement
+/// `resamples` times (seeded, deterministic) and take the
+/// [(1-level)/2, (1+level)/2] percentiles of the resampled means.
+/// Requires >= 2 samples, level in (0, 1), resamples >= 100.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    std::span<const double> samples, double level = 0.95,
+    std::size_t resamples = 2000, std::uint64_t seed = 42);
+
+}  // namespace fcdpm

@@ -1,0 +1,47 @@
+#include "common/random.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+
+double Rng::uniform(double lo, double hi) {
+  FCDPM_EXPECTS(lo <= hi, "uniform bounds are inverted");
+  if (lo == hi) {
+    return lo;
+  }
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FCDPM_EXPECTS(lo <= hi, "uniform_int bounds are inverted");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  FCDPM_EXPECTS(sigma >= 0.0, "sigma must be non-negative");
+  if (sigma == 0.0) {
+    return mean;
+  }
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+bool Rng::chance(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return std::bernoulli_distribution(clamped)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  FCDPM_EXPECTS(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  // Draw a word from this stream and mix with the salt so forks with
+  // different salts (or at different points) are independent.
+  const std::uint64_t word = engine_();
+  return Rng(word ^ (salt * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace fcdpm

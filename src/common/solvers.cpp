@@ -1,0 +1,116 @@
+#include "common/solvers.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+
+namespace {
+constexpr double kInvPhi = 0.6180339887498949;  // 1/golden ratio
+}
+
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double x_tolerance,
+                                      int max_iterations) {
+  FCDPM_EXPECTS(lo < hi, "golden section needs a non-empty bracket");
+  FCDPM_EXPECTS(x_tolerance > 0.0, "tolerance must be positive");
+
+  double a = lo;
+  double b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+
+  int iterations = 0;
+  while ((b - a) > x_tolerance && iterations < max_iterations) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+    ++iterations;
+  }
+
+  ScalarMinimum result;
+  result.x = 0.5 * (a + b);
+  result.value = f(result.x);
+  result.iterations = iterations;
+  return result;
+}
+
+ScalarRoot bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double x_tolerance, int max_iterations) {
+  FCDPM_EXPECTS(lo <= hi, "bisection bracket is inverted");
+
+  double fa = f(lo);
+  double fb = f(hi);
+
+  ScalarRoot result;
+  if (fa == 0.0) {
+    result = {lo, 0.0, 0, true};
+    return result;
+  }
+  if (fb == 0.0) {
+    result = {hi, 0.0, 0, true};
+    return result;
+  }
+  FCDPM_EXPECTS(std::signbit(fa) != std::signbit(fb),
+                "bisection requires a sign change on the bracket");
+
+  double a = lo;
+  double b = hi;
+  int iterations = 0;
+  double mid = 0.5 * (a + b);
+  double fm = f(mid);
+  while ((b - a) > x_tolerance && iterations < max_iterations &&
+         fm != 0.0) {
+    if (std::signbit(fm) == std::signbit(fa)) {
+      a = mid;
+      fa = fm;
+    } else {
+      b = mid;
+    }
+    mid = 0.5 * (a + b);
+    fm = f(mid);
+    ++iterations;
+  }
+
+  result.x = mid;
+  result.residual = fm;
+  result.iterations = iterations;
+  result.converged = (b - a) <= x_tolerance || fm == 0.0;
+  return result;
+}
+
+ScalarMinimum minimize_on_box(const std::function<double(double)>& f,
+                              double lo, double hi, double x_tolerance) {
+  FCDPM_EXPECTS(lo <= hi, "box is inverted");
+  if (lo == hi) {
+    return {lo, f(lo), 0};
+  }
+
+  ScalarMinimum interior = golden_section_minimize(f, lo, hi, x_tolerance);
+
+  const double f_lo = f(lo);
+  const double f_hi = f(hi);
+  if (f_lo <= interior.value && f_lo <= f_hi) {
+    return {lo, f_lo, interior.iterations};
+  }
+  if (f_hi <= interior.value) {
+    return {hi, f_hi, interior.iterations};
+  }
+  return interior;
+}
+
+}  // namespace fcdpm

@@ -1,0 +1,49 @@
+// Scalar optimization / root-finding used to *validate* the paper's
+// closed-form Lagrange solution (Section 3.3) against a derivative-free
+// numerical optimum, and to solve the constrained variants where the
+// closed form is projected onto box/charge constraints.
+#pragma once
+
+#include <functional>
+
+namespace fcdpm {
+
+/// A bracketed scalar minimization result.
+struct ScalarMinimum {
+  double x = 0.0;
+  double value = 0.0;
+  int iterations = 0;
+};
+
+/// Golden-section search for the minimum of a unimodal `f` on [lo, hi].
+///
+/// Requires lo < hi. Terminates when the bracket is narrower than
+/// `x_tolerance`. For non-unimodal functions this returns *a* local
+/// minimum inside the bracket.
+[[nodiscard]] ScalarMinimum golden_section_minimize(
+    const std::function<double(double)>& f, double lo, double hi,
+    double x_tolerance = 1e-10, int max_iterations = 200);
+
+/// A bracketed root-finding result.
+struct ScalarRoot {
+  double x = 0.0;
+  double residual = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Bisection for f(x) = 0 on [lo, hi]; requires f(lo) and f(hi) to have
+/// opposite signs (or either endpoint to already be a root).
+[[nodiscard]] ScalarRoot bisect(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                double x_tolerance = 1e-12,
+                                int max_iterations = 200);
+
+/// Minimize a convex `f` over the box [lo, hi] by golden section and
+/// explicit endpoint comparison; robust when the unconstrained optimum
+/// lies outside the box.
+[[nodiscard]] ScalarMinimum minimize_on_box(
+    const std::function<double(double)>& f, double lo, double hi,
+    double x_tolerance = 1e-10);
+
+}  // namespace fcdpm

@@ -1,0 +1,104 @@
+#include "common/text.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    if (k != 0) {
+      out += separator;
+    }
+    out += parts[k];
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int max_decimals) {
+  FCDPM_EXPECTS(max_decimals >= 0 && max_decimals <= 17,
+                "decimals out of range");
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", max_decimals, value);
+  std::string text(buffer);
+  if (text.find('.') != std::string::npos) {
+    while (text.back() == '0') {
+      text.pop_back();
+    }
+    if (text.back() == '.') {
+      text.pop_back();
+    }
+  }
+  if (text == "-0") {
+    text = "0";
+  }
+  return text;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f%%", decimals,
+                fraction * 100.0);
+  return buffer;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    return false;
+  }
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) {
+    return std::string(text);
+  }
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  std::string out(text);
+  if (out.size() < width) {
+    out.append(width - out.size(), ' ');
+  }
+  return out;
+}
+
+}  // namespace fcdpm

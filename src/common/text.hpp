@@ -1,0 +1,36 @@
+// String utilities shared by the CSV layer and report renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fcdpm {
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Split on a single-character delimiter; adjacent delimiters yield empty
+/// fields, and splitting "" yields one empty field (CSV semantics).
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// printf-style "%.*f" with trailing-zero trimming ("1.30" -> "1.3",
+/// "2.00" -> "2"). Used for table cells.
+[[nodiscard]] std::string format_fixed(double value, int max_decimals);
+
+/// Render a fraction as a percentage string, e.g. 0.308 -> "30.8%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+
+/// True when `text` parses fully as a floating-point number.
+[[nodiscard]] bool parse_double(std::string_view text, double& out);
+
+/// Left-pad / right-pad to a minimum width with spaces.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace fcdpm

@@ -1,0 +1,42 @@
+#include "common/units.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace fcdpm {
+
+namespace {
+template <typename Tag>
+std::string render(detail::Quantity<Tag> q) {
+  std::ostringstream out;
+  out << q.value() << ' ' << Tag::symbol();
+  return out.str();
+}
+}  // namespace
+
+template <typename Tag>
+std::string to_string(detail::Quantity<Tag> q) {
+  return render(q);
+}
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& out, detail::Quantity<Tag> q) {
+  return out << q.value() << ' ' << Tag::symbol();
+}
+
+// Explicit instantiations for every dimension used by the library.
+#define FCDPM_INSTANTIATE_UNIT(Tag)                                         \
+  template std::string to_string<Tag>(detail::Quantity<Tag>);               \
+  template std::ostream& operator<< <Tag>(std::ostream&, detail::Quantity<Tag>)
+
+FCDPM_INSTANTIATE_UNIT(CurrentTag);
+FCDPM_INSTANTIATE_UNIT(VoltageTag);
+FCDPM_INSTANTIATE_UNIT(PowerTag);
+FCDPM_INSTANTIATE_UNIT(TimeTag);
+FCDPM_INSTANTIATE_UNIT(ChargeTag);
+FCDPM_INSTANTIATE_UNIT(EnergyTag);
+FCDPM_INSTANTIATE_UNIT(CapacitanceTag);
+
+#undef FCDPM_INSTANTIATE_UNIT
+
+}  // namespace fcdpm

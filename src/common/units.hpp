@@ -1,0 +1,262 @@
+// Strongly-typed physical quantities for the power-management domain.
+//
+// The paper's math mixes currents, voltages, powers, times, charges and
+// energies; silently mixing them up is the classic bug in power simulators.
+// Each quantity is a distinct type; only physically meaningful operations
+// compile (e.g. Volt * Ampere -> Watt, Ampere * Seconds -> Coulomb).
+//
+// Quantities are thin wrappers over `double` (SI base units), trivially
+// copyable and constexpr-friendly; there is no runtime overhead at -O1+.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace fcdpm {
+
+namespace detail {
+
+/// CRTP-free tagged scalar. `Tag` makes each physical dimension a distinct
+/// type; `Tag::symbol()` supplies the SI unit suffix used for printing.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() noexcept = default;
+  constexpr explicit Quantity(double value) noexcept : value_(value) {}
+
+  /// Magnitude in the SI base unit of this dimension.
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) noexcept = default;
+
+  constexpr Quantity operator-() const noexcept { return Quantity(-value_); }
+
+  constexpr Quantity& operator+=(Quantity other) noexcept {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) noexcept {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double scale) noexcept {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scale) noexcept {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) noexcept {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) noexcept {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) noexcept {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) noexcept {
+    return Quantity(s * a.value_);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) noexcept {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) noexcept {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+struct CurrentTag {
+  static constexpr const char* symbol() { return "A"; }
+};
+struct VoltageTag {
+  static constexpr const char* symbol() { return "V"; }
+};
+struct PowerTag {
+  static constexpr const char* symbol() { return "W"; }
+};
+struct TimeTag {
+  static constexpr const char* symbol() { return "s"; }
+};
+struct ChargeTag {
+  static constexpr const char* symbol() { return "A-s"; }
+};
+struct EnergyTag {
+  static constexpr const char* symbol() { return "J"; }
+};
+struct CapacitanceTag {
+  static constexpr const char* symbol() { return "F"; }
+};
+
+using Ampere = detail::Quantity<CurrentTag>;
+using Volt = detail::Quantity<VoltageTag>;
+using Watt = detail::Quantity<PowerTag>;
+using Seconds = detail::Quantity<TimeTag>;
+using Coulomb = detail::Quantity<ChargeTag>;  // printed as A-s per the paper
+using Joule = detail::Quantity<EnergyTag>;
+using Farad = detail::Quantity<CapacitanceTag>;
+
+// --- physically meaningful cross-dimension operations -----------------------
+
+constexpr Watt operator*(Volt v, Ampere i) noexcept {
+  return Watt(v.value() * i.value());
+}
+constexpr Watt operator*(Ampere i, Volt v) noexcept { return v * i; }
+constexpr Ampere operator/(Watt p, Volt v) noexcept {
+  return Ampere(p.value() / v.value());
+}
+constexpr Volt operator/(Watt p, Ampere i) noexcept {
+  return Volt(p.value() / i.value());
+}
+
+constexpr Coulomb operator*(Ampere i, Seconds t) noexcept {
+  return Coulomb(i.value() * t.value());
+}
+constexpr Coulomb operator*(Seconds t, Ampere i) noexcept { return i * t; }
+constexpr Ampere operator/(Coulomb q, Seconds t) noexcept {
+  return Ampere(q.value() / t.value());
+}
+constexpr Seconds operator/(Coulomb q, Ampere i) noexcept {
+  return Seconds(q.value() / i.value());
+}
+
+constexpr Joule operator*(Watt p, Seconds t) noexcept {
+  return Joule(p.value() * t.value());
+}
+constexpr Joule operator*(Seconds t, Watt p) noexcept { return p * t; }
+constexpr Watt operator/(Joule e, Seconds t) noexcept {
+  return Watt(e.value() / t.value());
+}
+constexpr Seconds operator/(Joule e, Watt p) noexcept {
+  return Seconds(e.value() / p.value());
+}
+
+constexpr Joule operator*(Coulomb q, Volt v) noexcept {
+  return Joule(q.value() * v.value());
+}
+constexpr Joule operator*(Volt v, Coulomb q) noexcept { return q * v; }
+constexpr Coulomb operator/(Joule e, Volt v) noexcept {
+  return Coulomb(e.value() / v.value());
+}
+
+constexpr Coulomb operator*(Farad c, Volt v) noexcept {
+  return Coulomb(c.value() * v.value());
+}
+constexpr Farad operator/(Coulomb q, Volt v) noexcept {
+  return Farad(q.value() / v.value());
+}
+
+// --- small helpers -----------------------------------------------------------
+
+template <typename Tag>
+constexpr detail::Quantity<Tag> abs(detail::Quantity<Tag> q) noexcept {
+  return detail::Quantity<Tag>(q.value() < 0 ? -q.value() : q.value());
+}
+
+template <typename Tag>
+constexpr detail::Quantity<Tag> min(detail::Quantity<Tag> a,
+                                    detail::Quantity<Tag> b) noexcept {
+  return a < b ? a : b;
+}
+
+template <typename Tag>
+constexpr detail::Quantity<Tag> max(detail::Quantity<Tag> a,
+                                    detail::Quantity<Tag> b) noexcept {
+  return a < b ? b : a;
+}
+
+template <typename Tag>
+constexpr detail::Quantity<Tag> clamp(detail::Quantity<Tag> q,
+                                      detail::Quantity<Tag> lo,
+                                      detail::Quantity<Tag> hi) noexcept {
+  return q < lo ? lo : (hi < q ? hi : q);
+}
+
+/// True when |a - b| <= tolerance (both in the quantity's SI base unit).
+template <typename Tag>
+constexpr bool near(detail::Quantity<Tag> a, detail::Quantity<Tag> b,
+                    double tolerance) noexcept {
+  const double d = a.value() - b.value();
+  return (d < 0 ? -d : d) <= tolerance;
+}
+
+/// "1.234 A"-style rendering; used by tables and trace dumps.
+template <typename Tag>
+std::string to_string(detail::Quantity<Tag> q);
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& out, detail::Quantity<Tag> q);
+
+// --- literals ----------------------------------------------------------------
+
+inline namespace literals {
+
+constexpr Ampere operator""_A(long double v) {
+  return Ampere(static_cast<double>(v));
+}
+constexpr Ampere operator""_mA(long double v) {
+  return Ampere(static_cast<double>(v) * 1e-3);
+}
+constexpr Volt operator""_V(long double v) {
+  return Volt(static_cast<double>(v));
+}
+constexpr Watt operator""_W(long double v) {
+  return Watt(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_min(long double v) {
+  return Seconds(static_cast<double>(v) * 60.0);
+}
+constexpr Coulomb operator""_As(long double v) {
+  return Coulomb(static_cast<double>(v));
+}
+constexpr Joule operator""_J(long double v) {
+  return Joule(static_cast<double>(v));
+}
+constexpr Farad operator""_F(long double v) {
+  return Farad(static_cast<double>(v));
+}
+
+constexpr Ampere operator""_A(unsigned long long v) {
+  return Ampere(static_cast<double>(v));
+}
+constexpr Ampere operator""_mA(unsigned long long v) {
+  return Ampere(static_cast<double>(v) * 1e-3);
+}
+constexpr Volt operator""_V(unsigned long long v) {
+  return Volt(static_cast<double>(v));
+}
+constexpr Watt operator""_W(unsigned long long v) {
+  return Watt(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Seconds operator""_min(unsigned long long v) {
+  return Seconds(static_cast<double>(v) * 60.0);
+}
+constexpr Coulomb operator""_As(unsigned long long v) {
+  return Coulomb(static_cast<double>(v));
+}
+constexpr Joule operator""_J(unsigned long long v) {
+  return Joule(static_cast<double>(v));
+}
+constexpr Farad operator""_F(unsigned long long v) {
+  return Farad(static_cast<double>(v));
+}
+
+}  // namespace literals
+
+}  // namespace fcdpm

@@ -1,0 +1,87 @@
+#include "core/efficiency_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::core {
+
+namespace {
+// Standard diffuse RLS prior: the seed only matters until the first few
+// samples arrive, then the data dominates.
+constexpr double kInitialVariance = 1.0e4;
+}  // namespace
+
+EfficiencyEstimator::EfficiencyEstimator(double alpha0, double beta0,
+                                         double forgetting)
+    : alpha_(alpha0),
+      beta_(beta0),
+      forgetting_(forgetting),
+      p00_(kInitialVariance),
+      p01_(0.0),
+      p11_(kInitialVariance) {
+  FCDPM_EXPECTS(alpha0 > 0.0, "alpha seed must be positive");
+  FCDPM_EXPECTS(beta0 >= 0.0, "beta seed must be non-negative");
+  FCDPM_EXPECTS(forgetting > 0.0 && forgetting <= 1.0,
+                "forgetting factor must be in (0, 1]");
+}
+
+EfficiencyEstimator::EfficiencyEstimator(
+    const power::LinearEfficiencyModel& model, double forgetting)
+    : EfficiencyEstimator(model.alpha(), model.beta(), forgetting) {}
+
+void EfficiencyEstimator::observe(Ampere i_f, double eta) {
+  FCDPM_EXPECTS(i_f.value() > 0.0, "sample current must be positive");
+  FCDPM_EXPECTS(eta > 0.0 && eta < 1.0,
+                "efficiency sample must lie in (0, 1)");
+
+  // RLS with regressor x = [1, -IF], parameters th = [alpha, beta]:
+  //   k = P x / (lambda + x' P x)
+  //   th += k (eta - x' th)
+  //   P = (P - k x' P) / lambda
+  const double x0 = 1.0;
+  const double x1 = -i_f.value();
+
+  const double px0 = p00_ * x0 + p01_ * x1;
+  const double px1 = p01_ * x0 + p11_ * x1;
+  const double denom = forgetting_ + x0 * px0 + x1 * px1;
+  const double k0 = px0 / denom;
+  const double k1 = px1 / denom;
+
+  const double residual = eta - (alpha_ * x0 + beta_ * x1);
+  alpha_ += k0 * residual;
+  beta_ += k1 * residual;
+
+  const double new_p00 = (p00_ - k0 * px0) / forgetting_;
+  const double new_p01 = (p01_ - k0 * px1) / forgetting_;
+  const double new_p11 = (p11_ - k1 * px1) / forgetting_;
+  p00_ = new_p00;
+  p01_ = new_p01;
+  p11_ = new_p11;
+  ++samples_;
+}
+
+void EfficiencyEstimator::observe_charges(
+    const power::LinearEfficiencyModel& reference, Coulomb delivered,
+    Coulomb fuel, Seconds span) {
+  FCDPM_EXPECTS(span.value() > 0.0, "span must be positive");
+  if (delivered.value() <= 0.0 || fuel.value() <= 0.0) {
+    return;  // FC idle or no fuel burned: no information
+  }
+  const double eta = reference.bus_voltage().value() * delivered.value() /
+                     (reference.zeta() * fuel.value());
+  if (eta <= 0.0 || eta >= 1.0) {
+    return;  // telemetry glitch; skip rather than poison the filter
+  }
+  observe(delivered / span, eta);
+}
+
+power::LinearEfficiencyModel EfficiencyEstimator::apply_to(
+    const power::LinearEfficiencyModel& base) const {
+  const double alpha = std::max(alpha_, 0.05);
+  const double beta_cap = (alpha - 0.02) / base.max_output().value();
+  const double beta = std::clamp(beta_, 0.0, std::max(beta_cap, 0.0));
+  return base.with_coefficients(alpha, beta);
+}
+
+}  // namespace fcdpm::core

@@ -1,0 +1,59 @@
+// Online estimation of the linear efficiency model eta = alpha - beta*IF
+// by recursive least squares with exponential forgetting.
+//
+// The paper characterizes (alpha, beta) once, offline ("determined by the
+// measured efficiency curve"). A deployed stack drifts — aging membranes,
+// temperature, H2 pressure — so a production governor should re-estimate
+// the curve from run-time telemetry: each task slot yields one
+// (IF, eta) sample from the fuel it actually burned. The model-mismatch
+// ablation (bench abl_model_mismatch) quantifies what this buys.
+#pragma once
+
+#include "common/units.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::core {
+
+class EfficiencyEstimator {
+ public:
+  /// Seeds the estimate at (alpha0, beta0). `forgetting` in (0, 1]:
+  /// 1 = ordinary RLS, smaller forgets faster (tracks drift).
+  EfficiencyEstimator(double alpha0, double beta0,
+                      double forgetting = 0.98);
+
+  /// Seed from an existing model.
+  explicit EfficiencyEstimator(const power::LinearEfficiencyModel& model,
+                               double forgetting = 0.98);
+
+  /// One telemetry sample: the system delivered at (average) current
+  /// `i_f` with measured efficiency `eta` in (0, 1).
+  void observe(Ampere i_f, double eta);
+
+  /// Derive the sample from charge telemetry: `delivered` bus charge and
+  /// `fuel` stack charge over a stretch of `span` seconds (eta =
+  /// VF*delivered / (zeta*fuel), IF = delivered/span).
+  void observe_charges(const power::LinearEfficiencyModel& reference,
+                       Coulomb delivered, Coulomb fuel, Seconds span);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// Current estimate as a model sharing `base`'s bus/zeta/range. The
+  /// coefficients are clamped so the model stays positive over the range
+  /// (alpha >= 0.05; beta in [0, (alpha-0.02)/if_max]).
+  [[nodiscard]] power::LinearEfficiencyModel apply_to(
+      const power::LinearEfficiencyModel& base) const;
+
+ private:
+  double alpha_;
+  double beta_;
+  double forgetting_;
+  // RLS covariance (2x2 symmetric), regressors x = [1, -IF].
+  double p00_;
+  double p01_;
+  double p11_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace fcdpm::core

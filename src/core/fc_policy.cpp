@@ -1,0 +1,299 @@
+#include "core/fc_policy.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::core {
+
+namespace {
+
+/// Average device current over an idle period of length `idle` laid out
+/// per the sleep decision (physical layout: power-down, sleep, wake-up).
+Ampere planned_idle_current(const dpm::DevicePowerModel& device,
+                            bool will_sleep, Seconds idle) {
+  if (!will_sleep) {
+    return device.standby_current();
+  }
+  const Seconds transitions = device.sleep_transition_delay();
+  const Seconds sleep_time = max(idle - transitions, Seconds(0.0));
+  const Coulomb charge = device.sleep_transition_charge() +
+                         device.sleep_current() * sleep_time;
+  const Seconds span = max(idle, transitions);
+  return charge / span;
+}
+
+}  // namespace
+
+// --- ConvFcPolicy ------------------------------------------------------------
+
+ConvFcPolicy::ConvFcPolicy(power::LinearEfficiencyModel model)
+    : model_(model) {}
+
+SegmentSetpoint ConvFcPolicy::segment_setpoint(const SegmentContext&) {
+  return {model_.max_output(), false};
+}
+
+std::unique_ptr<FcOutputPolicy> ConvFcPolicy::clone() const {
+  return std::make_unique<ConvFcPolicy>(*this);
+}
+
+// --- AsapFcPolicy ------------------------------------------------------------
+
+AsapFcPolicy::AsapFcPolicy(power::LinearEfficiencyModel model)
+    : model_(model) {}
+
+SegmentSetpoint AsapFcPolicy::segment_setpoint(
+    const SegmentContext& context) {
+  const double fraction =
+      context.storage_capacity.value() > 0.0
+          ? context.storage_charge / context.storage_capacity
+          : 1.0;
+
+  if (recharging_ && fraction >= 1.0 - 1e-9) {
+    recharging_ = false;
+  }
+  if (!recharging_ && fraction < 0.5) {
+    recharging_ = true;
+  }
+
+  if (recharging_) {
+    // Recharge to full as soon as possible: maximum output, and let the
+    // simulator cut back to load following the moment the buffer fills.
+    return {model_.max_output(), true};
+  }
+  return {model_.clamp_to_range(context.device_current), false};
+}
+
+std::unique_ptr<FcOutputPolicy> AsapFcPolicy::clone() const {
+  return std::make_unique<AsapFcPolicy>(*this);
+}
+
+// --- FcDpmPolicy -------------------------------------------------------------
+
+FcDpmPolicy::FcDpmPolicy(
+    power::LinearEfficiencyModel model, dpm::DevicePowerModel device,
+    std::unique_ptr<dpm::DurationPredictor> active_predictor,
+    Ampere initial_current_estimate)
+    : optimizer_(model),
+      device_(device),
+      active_predictor_(std::move(active_predictor)),
+      current_estimator_(initial_current_estimate) {
+  FCDPM_EXPECTS(active_predictor_ != nullptr,
+                "active-period predictor must be provided");
+}
+
+FcDpmPolicy FcDpmPolicy::paper_policy(power::LinearEfficiencyModel model,
+                                      dpm::DevicePowerModel device,
+                                      double sigma, Seconds initial_active,
+                                      Ampere initial_current_estimate) {
+  return FcDpmPolicy(model, device,
+                     std::make_unique<dpm::ExponentialAveragePredictor>(
+                         sigma, initial_active),
+                     initial_current_estimate);
+}
+
+void FcDpmPolicy::restrict_to_levels(std::vector<Ampere> levels) {
+  quantizer_.emplace(optimizer_.model(), std::move(levels));
+}
+
+void FcDpmPolicy::enable_adaptation(double forgetting) {
+  estimator_.emplace(optimizer_.model(), forgetting);
+}
+
+void FcDpmPolicy::enable_fc_shutdown(Seconds min_idle, double margin) {
+  FCDPM_EXPECTS(min_idle.value() >= 0.0,
+                "shutdown threshold must be non-negative");
+  FCDPM_EXPECTS(margin >= 1.0, "margin must be at least 1");
+  shutdown_enabled_ = true;
+  shutdown_min_idle_ = min_idle;
+  shutdown_margin_ = margin;
+}
+
+void FcDpmPolicy::on_idle_start(const IdleContext& context) {
+  if (!have_target_) {
+    // The paper pins the desired end-of-slot charge to Cini of the first
+    // slot (Section 3.3.1, "Cend != Cini" discussion).
+    target_end_ = context.storage_charge;
+    have_target_ = true;
+  }
+
+  // Predictions: T'i comes from the DPM side, T'a and I'ld,a from this
+  // policy's own estimators (Eq. (15) and Section 4.2).
+  const Seconds predicted_idle =
+      max(context.predicted_idle, Seconds(0.1));
+  const Seconds predicted_active =
+      max(active_predictor_->predict(), Seconds(0.1));
+  const Ampere predicted_current = current_estimator_.estimate();
+
+  SlotLoad load;
+  load.idle = predicted_idle;
+  load.idle_current =
+      planned_idle_current(device_, context.will_sleep, predicted_idle);
+  load.active = predicted_active;
+  load.active_current = predicted_current;
+
+  const StorageBounds storage{context.storage_charge, target_end_,
+                              context.storage_capacity};
+
+  // Note on Section 3.3.2: the paper folds the sleep transitions into an
+  // extended active phase because its slot accounting keeps the idle
+  // period at Islp throughout. Our physical idle layout already carries
+  // both transitions (planned_idle_current above), so adding the
+  // overhead term again would double-count it — and bias the active
+  // re-solve into the storage floor.
+  if (quantizer_.has_value()) {
+    const QuantizedSetting setting = quantizer_->solve(load, storage);
+    if_idle_ = setting.if_idle;
+    if_active_ = setting.if_active;
+  } else {
+    const SlotSetting setting = optimizer_.solve(load, storage);
+    if_idle_ = setting.if_idle;
+    if_active_ = setting.if_active;
+  }
+
+  // Deep idle: if the whole idle period can run off the buffer (with
+  // margin), switch the FC off and let the active re-solve refill.
+  if (shutdown_enabled_ && context.will_sleep &&
+      predicted_idle >= shutdown_min_idle_) {
+    const Coulomb idle_need = load.idle_current * predicted_idle;
+    if (context.storage_charge >= idle_need * shutdown_margin_) {
+      if_idle_ = Ampere(0.0);
+    }
+  }
+}
+
+void FcDpmPolicy::on_active_start(const ActiveContext& context) {
+  // Re-solve the active phase with the actual Ta and Ild,a (Section 4.2).
+  const Coulomb charge =
+      context.active_current * context.active_duration;
+
+  const StorageBounds storage{context.storage_charge, target_end_,
+                              context.storage_capacity};
+  if (quantizer_.has_value()) {
+    SlotLoad active_only;
+    active_only.active = context.active_duration;
+    active_only.active_current = context.active_current;
+    const QuantizedSetting setting =
+        quantizer_->solve(active_only, storage);
+    if_active_ = setting.if_active;
+    return;
+  }
+  const SlotSetting setting = optimizer_.solve_active_only(
+      context.active_duration, charge, storage);
+  if_active_ = setting.if_active;
+}
+
+SegmentSetpoint FcDpmPolicy::segment_setpoint(
+    const SegmentContext& context) {
+  return {context.phase == Phase::Idle ? if_idle_ : if_active_, false};
+}
+
+void FcDpmPolicy::on_slot_end(const SlotObservation& observation) {
+  active_predictor_->observe(observation.actual_active);
+  current_estimator_.observe(observation.actual_active_current);
+
+  if (estimator_.has_value()) {
+    const Seconds span =
+        observation.actual_idle + observation.actual_active;
+    if (span.value() > 0.0) {
+      estimator_->observe_charges(optimizer_.model(),
+                                  observation.delivered_charge,
+                                  observation.fuel_used, span);
+      // Re-plan against the refreshed curve (the load-following range,
+      // bus and zeta are hardware constants and stay).
+      optimizer_ =
+          SlotOptimizer(estimator_->apply_to(optimizer_.model()));
+      if (quantizer_.has_value()) {
+        quantizer_.emplace(optimizer_.model(), quantizer_->levels());
+      }
+    }
+  }
+}
+
+std::unique_ptr<FcOutputPolicy> FcDpmPolicy::clone() const {
+  auto copy = std::make_unique<FcDpmPolicy>(
+      optimizer_.model(), device_, active_predictor_->clone(),
+      current_estimator_.estimate());
+  copy->quantizer_ = quantizer_;
+  copy->estimator_ = estimator_;
+  copy->shutdown_enabled_ = shutdown_enabled_;
+  copy->shutdown_min_idle_ = shutdown_min_idle_;
+  copy->shutdown_margin_ = shutdown_margin_;
+  copy->current_estimator_ = current_estimator_;
+  copy->have_target_ = have_target_;
+  copy->target_end_ = target_end_;
+  copy->if_idle_ = if_idle_;
+  copy->if_active_ = if_active_;
+  return copy;
+}
+
+void FcDpmPolicy::reset() {
+  active_predictor_->reset();
+  current_estimator_.reset();
+  if (estimator_.has_value()) {
+    estimator_.emplace(optimizer_.model(), 0.98);
+  }
+  have_target_ = false;
+  target_end_ = Coulomb(0.0);
+  if_idle_ = Ampere(0.0);
+  if_active_ = Ampere(0.0);
+}
+
+// --- OracleFcPolicy ----------------------------------------------------------
+
+OracleFcPolicy::OracleFcPolicy(power::LinearEfficiencyModel model,
+                               dpm::DevicePowerModel device)
+    : optimizer_(model), device_(device) {}
+
+void OracleFcPolicy::on_idle_start(const IdleContext& context) {
+  if (!have_target_) {
+    target_end_ = context.storage_charge;
+    have_target_ = true;
+  }
+
+  const Seconds idle = max(context.actual_idle, Seconds(0.1));
+
+  SlotLoad load;
+  load.idle = idle;
+  load.idle_current =
+      planned_idle_current(device_, context.will_sleep, idle);
+  load.active = max(context.actual_active, Seconds(0.1));
+  load.active_current = context.actual_active_current;
+
+  const StorageBounds storage{context.storage_charge, target_end_,
+                              context.storage_capacity};
+
+  const SlotSetting setting = optimizer_.solve(load, storage);
+  if_idle_ = setting.if_idle;
+  if_active_ = setting.if_active;
+}
+
+void OracleFcPolicy::on_active_start(const ActiveContext& context) {
+  const Coulomb charge =
+      context.active_current * context.active_duration;
+
+  const StorageBounds storage{context.storage_charge, target_end_,
+                              context.storage_capacity};
+  const SlotSetting setting = optimizer_.solve_active_only(
+      context.active_duration, charge, storage);
+  if_active_ = setting.if_active;
+}
+
+SegmentSetpoint OracleFcPolicy::segment_setpoint(
+    const SegmentContext& context) {
+  return {context.phase == Phase::Idle ? if_idle_ : if_active_, false};
+}
+
+std::unique_ptr<FcOutputPolicy> OracleFcPolicy::clone() const {
+  return std::make_unique<OracleFcPolicy>(*this);
+}
+
+void OracleFcPolicy::reset() {
+  have_target_ = false;
+  target_end_ = Coulomb(0.0);
+  if_idle_ = Ampere(0.0);
+  if_active_ = Ampere(0.0);
+}
+
+}  // namespace fcdpm::core

@@ -1,0 +1,77 @@
+#include "core/numerical_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/solvers.hpp"
+
+namespace fcdpm::core {
+
+NumericalSlotSolver::NumericalSlotSolver(power::LinearEfficiencyModel model)
+    : model_(model) {}
+
+NumericalSlotResult NumericalSlotSolver::solve(
+    const SlotLoad& load, const StorageBounds& storage) const {
+  FCDPM_EXPECTS(load.idle.value() > 0.0 && load.active.value() > 0.0,
+                "numerical solver needs both phases non-empty");
+
+  const double ti = load.idle.value();
+  const double ta = load.active.value();
+  const double ild_i = load.idle_current.value();
+  const double qa = (load.active_current * load.active).value();
+  const double cini = storage.initial.value();
+  const double cend = storage.target_end.value();
+  const double cmax = storage.capacity.value();
+  const double lo = model_.min_output().value();
+  const double hi = model_.max_output().value();
+
+  const auto active_of_idle = [&](double x) {
+    // Charge balance (Eq. (13)) pins IF,a once IF,i is chosen.
+    return (qa + cend - cini - (x - ild_i) * ti) / ta;
+  };
+
+  const auto g = [this](double i_f) {
+    return model_.stack_current(Ampere(i_f)).value();
+  };
+
+  constexpr double kPenalty = 1e6;
+  const auto objective = [&](double x) {
+    const double xa = active_of_idle(x);
+    double value = ti * g(x);
+    // Penalize (convexly) any violated box constraint so the search is
+    // well-defined even when started infeasible.
+    if (xa < lo) {
+      value += ta * g(lo) + kPenalty * (lo - xa);
+    } else if (xa > hi) {
+      value += ta * g(hi) + kPenalty * (xa - hi);
+    } else {
+      value += ta * g(xa);
+    }
+    const double after_idle = cini + (x - ild_i) * ti;
+    if (after_idle > cmax) {
+      value += kPenalty * (after_idle - cmax);
+    }
+    if (after_idle < 0.0) {
+      value += kPenalty * (-after_idle);
+    }
+    return value;
+  };
+
+  const ScalarMinimum best = golden_section_minimize(objective, lo, hi,
+                                                     1e-12, 400);
+
+  NumericalSlotResult result;
+  result.if_idle = Ampere(best.x);
+  const double xa = active_of_idle(best.x);
+  result.if_active = Ampere(std::clamp(xa, lo, hi));
+
+  const double after_idle = cini + (best.x - ild_i) * ti;
+  result.feasible = (xa >= lo - 1e-9 && xa <= hi + 1e-9 &&
+                     after_idle >= -1e-9 && after_idle <= cmax + 1e-9);
+  result.fuel = Coulomb(ti * g(best.x) +
+                        ta * g(result.if_active.value()));
+  return result;
+}
+
+}  // namespace fcdpm::core

@@ -1,0 +1,37 @@
+// Derivative-free numerical counterpart of SlotOptimizer, used to
+// *validate* the closed-form Lagrange solution: the slot program reduces
+// to one dimension (IF,a is affine in IF,i through the charge balance),
+// and the objective is convex, so golden-section search finds the global
+// optimum of the penalized program.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/slot_optimizer.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::core {
+
+struct NumericalSlotResult {
+  Ampere if_idle{0.0};
+  Ampere if_active{0.0};
+  Coulomb fuel{0.0};
+  /// False when no setting in the load-following range satisfies the
+  /// balance and box constraints (the closed form then relaxes the end
+  /// target instead).
+  bool feasible = false;
+};
+
+class NumericalSlotSolver {
+ public:
+  explicit NumericalSlotSolver(power::LinearEfficiencyModel model);
+
+  /// Solve the equality-constrained slot program numerically. Requires
+  /// load.idle > 0 and load.active > 0.
+  [[nodiscard]] NumericalSlotResult solve(const SlotLoad& load,
+                                          const StorageBounds& storage) const;
+
+ private:
+  power::LinearEfficiencyModel model_;
+};
+
+}  // namespace fcdpm::core

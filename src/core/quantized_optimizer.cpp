@@ -1,0 +1,113 @@
+#include "core/quantized_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/math.hpp"
+
+namespace fcdpm::core {
+
+QuantizedSlotOptimizer::QuantizedSlotOptimizer(
+    power::LinearEfficiencyModel model, std::vector<Ampere> levels)
+    : model_(model), levels_(std::move(levels)) {
+  FCDPM_EXPECTS(!levels_.empty(), "need at least one output level");
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    FCDPM_EXPECTS(model_.in_range(levels_[k]),
+                  "every level must lie inside the load-following range");
+    if (k > 0) {
+      FCDPM_EXPECTS(levels_[k - 1] < levels_[k],
+                    "levels must be strictly ascending");
+    }
+  }
+}
+
+QuantizedSlotOptimizer QuantizedSlotOptimizer::with_uniform_levels(
+    power::LinearEfficiencyModel model, std::size_t count) {
+  FCDPM_EXPECTS(count >= 2, "need at least two levels");
+  std::vector<Ampere> levels;
+  for (const double value :
+       linspace(model.min_output().value(), model.max_output().value(),
+                count)) {
+    levels.push_back(Ampere(value));
+  }
+  return QuantizedSlotOptimizer(model, std::move(levels));
+}
+
+QuantizedSetting QuantizedSlotOptimizer::evaluate(
+    const SlotLoad& load, const StorageBounds& storage, Ampere if_idle,
+    Ampere if_active) const {
+  QuantizedSetting setting;
+  setting.if_idle = if_idle;
+  setting.if_active = if_active;
+
+  // Walk the two phases with capacity/floor clipping.
+  Coulomb charge = storage.initial;
+  const auto run_phase = [&](Seconds duration, Ampere device,
+                             Ampere output) {
+    const Coulomb net = (output - device) * duration;
+    charge += net;
+    if (charge > storage.capacity) {
+      setting.bled += charge - storage.capacity;
+      charge = storage.capacity;
+    }
+    if (charge.value() < 0.0) {
+      setting.unserved += Coulomb(-charge.value());
+      charge = Coulomb(0.0);
+    }
+  };
+  run_phase(load.idle, load.idle_current, if_idle);
+  run_phase(load.active, load.active_current, if_active);
+
+  setting.expected_end = charge;
+  setting.fuel = model_.stack_current(if_idle) * load.idle +
+                 model_.stack_current(if_active) * load.active;
+  return setting;
+}
+
+QuantizedSetting QuantizedSlotOptimizer::solve(
+    const SlotLoad& load, const StorageBounds& storage) const {
+  FCDPM_EXPECTS(load.idle.value() >= 0.0 && load.active.value() >= 0.0,
+                "durations must be non-negative");
+  FCDPM_EXPECTS(storage.capacity.value() > 0.0,
+                "storage capacity must be positive");
+
+  bool have_best = false;
+  QuantizedSetting best;
+  for (const Ampere if_idle : levels_) {
+    for (const Ampere if_active : levels_) {
+      const QuantizedSetting candidate =
+          evaluate(load, storage, if_idle, if_active);
+      if (!have_best) {
+        best = candidate;
+        have_best = true;
+        continue;
+      }
+      // Lexicographic: feasibility (no brownout), then fuel, then end
+      // charge closest to target.
+      const auto rank = [&](const QuantizedSetting& s) {
+        return std::make_tuple(
+            s.unserved.value(), s.fuel.value(),
+            std::abs((s.expected_end - storage.target_end).value()));
+      };
+      if (rank(candidate) < rank(best)) {
+        best = candidate;
+      }
+    }
+  }
+  FCDPM_ENSURES(have_best, "no candidate evaluated");
+  return best;
+}
+
+double QuantizedSlotOptimizer::quantization_penalty(
+    const SlotLoad& load, const StorageBounds& storage) const {
+  const SlotOptimizer continuous(model_);
+  const SlotSetting exact = continuous.solve(load, storage);
+  const QuantizedSetting snapped = solve(load, storage);
+  FCDPM_EXPECTS(exact.fuel.value() > 0.0, "slot burns no fuel");
+  return snapped.fuel / exact.fuel;
+}
+
+}  // namespace fcdpm::core

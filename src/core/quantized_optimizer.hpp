@@ -1,0 +1,69 @@
+// Discrete FC output levels (the authors' ISLPED'06 companion work
+// considered an FC that "supports multiple output levels" rather than a
+// continuously settable one). The slot program becomes a small discrete
+// search: pick one level per phase, check the storage trajectory, and
+// minimize fuel among feasible pairs. The gap to the continuous optimum
+// is the quantization cost ablation (bench abl_quantized_levels).
+#pragma once
+
+#include <vector>
+
+#include "core/slot_optimizer.hpp"
+
+namespace fcdpm::core {
+
+/// Result of the discrete search; extends the continuous setting with
+/// feasibility diagnostics.
+struct QuantizedSetting {
+  Ampere if_idle{0.0};
+  Ampere if_active{0.0};
+  Coulomb expected_end{0.0};
+  Coulomb fuel{0.0};
+  /// Charge the buffer could not supply under this pair (0 when the
+  /// chosen pair is fully feasible).
+  Coulomb unserved{0.0};
+  /// Charge bled when the buffer overflows under this pair.
+  Coulomb bled{0.0};
+};
+
+class QuantizedSlotOptimizer {
+ public:
+  /// `levels` must be non-empty, strictly ascending, and inside the
+  /// model's load-following range.
+  QuantizedSlotOptimizer(power::LinearEfficiencyModel model,
+                         std::vector<Ampere> levels);
+
+  /// `count` >= 2 evenly spaced levels spanning the full range.
+  [[nodiscard]] static QuantizedSlotOptimizer with_uniform_levels(
+      power::LinearEfficiencyModel model, std::size_t count);
+
+  [[nodiscard]] const std::vector<Ampere>& levels() const noexcept {
+    return levels_;
+  }
+  [[nodiscard]] const power::LinearEfficiencyModel& model() const noexcept {
+    return model_;
+  }
+
+  /// Exhaustive search over level pairs. Prefers pairs with no unserved
+  /// charge; among those, minimal fuel; ties broken by the end charge
+  /// closest to the target. When every pair browns out, the one with the
+  /// least unserved charge wins.
+  [[nodiscard]] QuantizedSetting solve(const SlotLoad& load,
+                                       const StorageBounds& storage) const;
+
+  /// Fuel penalty of quantization for one slot: quantized fuel divided
+  /// by the continuous optimum's (>= 1).
+  [[nodiscard]] double quantization_penalty(
+      const SlotLoad& load, const StorageBounds& storage) const;
+
+ private:
+  power::LinearEfficiencyModel model_;
+  std::vector<Ampere> levels_;
+
+  [[nodiscard]] QuantizedSetting evaluate(const SlotLoad& load,
+                                          const StorageBounds& storage,
+                                          Ampere if_idle,
+                                          Ampere if_active) const;
+};
+
+}  // namespace fcdpm::core

@@ -1,0 +1,166 @@
+#include "core/slot_optimizer.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::core {
+
+SlotOptimizer::SlotOptimizer(power::LinearEfficiencyModel model)
+    : model_(model) {}
+
+Ampere SlotOptimizer::fuel_rate(Ampere i_f) const {
+  FCDPM_EXPECTS(i_f.value() >= 0.0, "output current must be non-negative");
+  if (i_f.value() == 0.0) {
+    return Ampere(0.0);
+  }
+  return model_.stack_current(i_f);
+}
+
+SlotSetting SlotOptimizer::solve(const SlotLoad& load,
+                                 const StorageBounds& storage) const {
+  return solve_effective(load.idle, load.idle_current, load.active,
+                         load.active_current * load.active, storage);
+}
+
+SlotSetting SlotOptimizer::solve_with_overhead(
+    const SlotLoad& load, const SleepOverhead& overhead,
+    const StorageBounds& storage) const {
+  // Section 3.3.2: Ta' = Ta + delta*tWU + tPD; the transition charges are
+  // folded into the active-phase demand.
+  Seconds effective_active = load.active + overhead.powerdown_delay;
+  Coulomb active_charge =
+      load.active_current * load.active +
+      overhead.powerdown_current * overhead.powerdown_delay;
+  if (overhead.sleeps) {
+    effective_active += overhead.wake_delay;
+    active_charge += overhead.wake_current * overhead.wake_delay;
+  }
+  return solve_effective(load.idle, load.idle_current, effective_active,
+                         active_charge, storage);
+}
+
+SlotSetting SlotOptimizer::solve_active_only(
+    Seconds duration, Coulomb charge, const StorageBounds& storage) const {
+  return solve_effective(Seconds(0.0), Ampere(0.0), duration, charge,
+                         storage);
+}
+
+SlotSetting SlotOptimizer::solve_effective(Seconds idle, Ampere idle_current,
+                                           Seconds active,
+                                           Coulomb active_charge,
+                                           const StorageBounds& s) const {
+  FCDPM_EXPECTS(idle.value() >= 0.0 && active.value() >= 0.0,
+                "durations must be non-negative");
+  FCDPM_EXPECTS(idle_current.value() >= 0.0 && active_charge.value() >= 0.0,
+                "loads must be non-negative");
+  FCDPM_EXPECTS(s.capacity.value() > 0.0, "storage capacity must be > 0");
+  FCDPM_EXPECTS(
+      s.initial.value() >= 0.0 && s.initial <= s.capacity,
+      "initial charge outside [0, capacity]");
+  FCDPM_EXPECTS(
+      s.target_end.value() >= 0.0 && s.target_end <= s.capacity,
+      "target end charge outside [0, capacity]");
+
+  const Ampere if_min = model_.min_output();
+  const Ampere if_max = model_.max_output();
+
+  SlotSetting out;
+
+  const Seconds total = idle + active;
+  if (total.value() == 0.0) {
+    out.expected_end = s.initial;
+    return out;
+  }
+
+  // --- Eq. (11) with the Cini != Cend carry-over (Eq. (13)):
+  // flat IF covering the whole slot's charge demand plus the desired
+  // storage delta.
+  const Coulomb demand =
+      idle_current * idle + active_charge + (s.target_end - s.initial);
+  const Ampere unconstrained =
+      max(Ampere(0.0), demand / total);
+  out.unconstrained = unconstrained;
+
+  // --- Project onto the load-following range.
+  Ampere if_idle = clamp(unconstrained, if_min, if_max);
+  Ampere if_active = if_idle;
+  out.range_clamped = (if_idle != unconstrained);
+
+  // === Idle phase =========================================================
+  Coulomb after_idle = s.initial + (if_idle - idle_current) * idle;
+
+  if (idle.value() > 0.0) {
+    // Capacity ceiling (Eq. (12)).
+    if (after_idle > s.capacity) {
+      out.capacity_clamped = true;
+      if_idle = idle_current + (s.capacity - s.initial) / idle;
+      if (if_idle < if_min) {
+        // Even the minimum FC output overfills the buffer: the extreme
+        // case — surplus burns in the bleeder bypass.
+        if_idle = if_min;
+        out.bleed_expected = true;
+      }
+      after_idle =
+          min(s.capacity, s.initial + (if_idle - idle_current) * idle);
+    }
+
+    // Empty floor: the buffer cannot go negative during the idle phase.
+    if (after_idle.value() < 0.0) {
+      out.floor_clamped = true;
+      if_idle = idle_current - s.initial / idle;
+      if_idle = clamp(if_idle, if_min, if_max);
+      after_idle =
+          max(Coulomb(0.0), s.initial + (if_idle - idle_current) * idle);
+    }
+  } else {
+    if_idle = Ampere(0.0);
+    after_idle = s.initial;
+  }
+
+  // === Active phase =======================================================
+  Coulomb end = after_idle;
+  if (active.value() > 0.0) {
+    // Re-balance the active phase against what the idle phase actually
+    // stored (Eq. (6)/(13)).
+    if_active =
+        (active_charge + (s.target_end - after_idle)) / active;
+    const Ampere balanced = max(Ampere(0.0), if_active);
+    if_active = clamp(balanced, if_min, if_max);
+    if (if_active != balanced) {
+      out.range_clamped = true;
+    }
+
+    end = after_idle - active_charge + if_active * active;
+
+    if (end > s.capacity) {
+      out.capacity_clamped = true;
+      if_active = (s.capacity + active_charge - after_idle) / active;
+      if (if_active < if_min) {
+        if_active = if_min;
+        out.bleed_expected = true;
+      }
+      end = min(s.capacity, after_idle - active_charge + if_active * active);
+    }
+
+    if (end.value() < 0.0) {
+      out.floor_clamped = true;
+      if_active = (active_charge - after_idle) / active;
+      if (if_active > if_max) {
+        // Even flat-out the FC cannot carry the phase: the buffer will
+        // run dry (unserved charge at run time).
+        if_active = if_max;
+      }
+      end = max(Coulomb(0.0),
+                after_idle - active_charge + if_active * active);
+    }
+  } else {
+    if_active = Ampere(0.0);
+  }
+
+  out.if_idle = if_idle;
+  out.if_active = if_active;
+  out.expected_end = end;
+  out.fuel = fuel_rate(if_idle) * idle + fuel_rate(if_active) * active;
+  return out;
+}
+
+}  // namespace fcdpm::core

@@ -1,0 +1,117 @@
+// The paper's Section 3: per-task-slot fuel-optimal FC output setting.
+//
+// For one slot (idle period Ti at load Ild,i, then active period Ta at
+// load Ild,a) choose the FC system output currents (IF,i, IF,a) that
+// minimize fuel consumption
+//
+//   O = Ti * g(IF,i) + Ta * g(IF,a),     g(IF) = k * IF / (alpha - beta*IF)
+//
+// subject to the charge balance through the storage buffer, the FC's
+// load-following range, the buffer capacity, and its empty floor.
+// Because g is strictly convex and increasing, the Lagrange stationarity
+// conditions force IF,i = IF,a: the optimum is a *flat* FC current equal
+// to the charge-weighted average load (Eq. (11)), projected onto the
+// constraints (Section 3.3.1), with SLEEP-transition overheads absorbed
+// into an effective active phase (Section 3.3.2).
+#pragma once
+
+#include "common/units.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::core {
+
+/// One slot's load profile as the optimizer sees it. `active_charge` is
+/// the total charge the device consumes over the (effective) active
+/// phase; for a plain slot it is simply active_current * active.
+struct SlotLoad {
+  Seconds idle{0.0};
+  Ampere idle_current{0.0};
+  Seconds active{0.0};
+  Ampere active_current{0.0};
+};
+
+/// SLEEP transition overheads (Section 3.3.2). The wake-up applies when
+/// this idle period sleeps (delta = 1); the power-down of the *next* slot
+/// is charged to this slot conservatively, per the paper.
+struct SleepOverhead {
+  bool sleeps = false;        ///< delta
+  Seconds wake_delay{0.0};    ///< tau_WU
+  Ampere wake_current{0.0};   ///< I_WU
+  Seconds powerdown_delay{0.0};   ///< tau_PD (next slot's, conservative)
+  Ampere powerdown_current{0.0};  ///< I_PD
+};
+
+/// Storage boundary conditions: start charge Cini, desired end charge
+/// Cend (the paper pins it to the very first Cini for stability), and the
+/// capacity Cmax.
+struct StorageBounds {
+  Coulomb initial{0.0};
+  Coulomb target_end{0.0};
+  Coulomb capacity{0.0};
+};
+
+/// The optimizer's answer.
+struct SlotSetting {
+  Ampere if_idle{0.0};
+  Ampere if_active{0.0};
+  /// Storage charge expected when the slot ends (may differ from
+  /// target_end when constraints bound the solution).
+  Coulomb expected_end{0.0};
+  /// Objective value: fuel consumed over the slot, in stack A-s.
+  Coulomb fuel{0.0};
+  /// The unconstrained flat optimum (Eq. (11)), before any projection.
+  Ampere unconstrained{0.0};
+
+  // Which constraints shaped the answer (diagnostics / tests).
+  bool range_clamped = false;
+  bool capacity_clamped = false;
+  bool floor_clamped = false;
+  /// Even the minimum FC output overfills the buffer: the surplus must be
+  /// burned in the bleeder bypass (paper's "extreme case").
+  bool bleed_expected = false;
+};
+
+/// Closed-form constrained solver.
+class SlotOptimizer {
+ public:
+  explicit SlotOptimizer(power::LinearEfficiencyModel model);
+
+  [[nodiscard]] const power::LinearEfficiencyModel& model() const noexcept {
+    return model_;
+  }
+
+  /// Fuel rate g(IF) in stack amperes (Eq. (4)); IF == 0 is the idled FC.
+  [[nodiscard]] Ampere fuel_rate(Ampere i_f) const;
+
+  /// Solve a slot without transition overheads (Section 3.3.1).
+  /// Requires load.active > 0 or load.idle > 0, and storage bounds with
+  /// 0 <= initial, target_end <= capacity.
+  [[nodiscard]] SlotSetting solve(const SlotLoad& load,
+                                  const StorageBounds& storage) const;
+
+  /// Solve with SLEEP overheads folded into the active phase
+  /// (Section 3.3.2): Ta' = Ta + delta*tWU + tPD, and the transition
+  /// charges join the active-phase demand.
+  [[nodiscard]] SlotSetting solve_with_overhead(
+      const SlotLoad& load, const SleepOverhead& overhead,
+      const StorageBounds& storage) const;
+
+  /// Active-phase-only re-solve (Section 4.2: after the active period
+  /// starts, the FC output is recomputed from actual values): choose
+  /// IF,a for a phase of `duration` at device charge demand `charge`,
+  /// starting from storage `initial` aiming at `target_end`.
+  [[nodiscard]] SlotSetting solve_active_only(
+      Seconds duration, Coulomb charge,
+      const StorageBounds& storage) const;
+
+ private:
+  power::LinearEfficiencyModel model_;
+
+  [[nodiscard]] SlotSetting solve_effective(Seconds idle,
+                                            Ampere idle_current,
+                                            Seconds active,
+                                            Coulomb active_charge,
+                                            const StorageBounds& s) const;
+};
+
+}  // namespace fcdpm::core

@@ -1,0 +1,163 @@
+#include "dpm/dpm_policy.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dpm {
+
+Seconds IdlePlan::total_duration() const {
+  Seconds total{0.0};
+  for (const IdleSegment& segment : segments) {
+    total += segment.duration;
+  }
+  return total;
+}
+
+Coulomb IdlePlan::total_charge() const {
+  Coulomb total{0.0};
+  for (const IdleSegment& segment : segments) {
+    total += segment.current * segment.duration;
+  }
+  return total;
+}
+
+IdlePlan plan_standby(const DevicePowerModel& device, Seconds actual_idle) {
+  FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
+  IdlePlan plan;
+  plan.slept = false;
+  if (actual_idle.value() > 0.0) {
+    plan.segments.push_back(
+        {actual_idle, device.standby_current(), PowerState::Standby});
+  }
+  return plan;
+}
+
+IdlePlan plan_sleep(const DevicePowerModel& device, Seconds actual_idle) {
+  FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
+  IdlePlan plan;
+  plan.slept = true;
+
+  const Seconds transitions = device.sleep_transition_delay();
+  const Seconds sleep_time =
+      max(actual_idle - transitions, Seconds(0.0));
+  plan.latency_spill = max(transitions - actual_idle, Seconds(0.0));
+
+  if (device.power_down_delay.value() > 0.0) {
+    plan.segments.push_back({device.power_down_delay,
+                             device.power_down_current(),
+                             PowerState::Sleep});
+  }
+  if (sleep_time.value() > 0.0) {
+    plan.segments.push_back(
+        {sleep_time, device.sleep_current(), PowerState::Sleep});
+  }
+  if (device.wake_up_delay.value() > 0.0) {
+    plan.segments.push_back(
+        {device.wake_up_delay, device.wake_up_current(), PowerState::Sleep});
+  }
+  return plan;
+}
+
+// --- PredictiveDpmPolicy -----------------------------------------------------
+
+PredictiveDpmPolicy::PredictiveDpmPolicy(
+    DevicePowerModel device, std::unique_ptr<DurationPredictor> predictor)
+    : device_(device),
+      predictor_(std::move(predictor)),
+      break_even_(device.break_even_time()) {
+  FCDPM_EXPECTS(predictor_ != nullptr, "predictor must be provided");
+}
+
+PredictiveDpmPolicy PredictiveDpmPolicy::paper_policy(
+    DevicePowerModel device, double rho, Seconds initial) {
+  return PredictiveDpmPolicy(
+      device, std::make_unique<ExponentialAveragePredictor>(rho, initial));
+}
+
+IdlePlan PredictiveDpmPolicy::plan_idle(Seconds actual_idle) {
+  const Seconds predicted = predictor_->predict();
+  accuracy_.record(predicted, actual_idle, break_even_);
+
+  IdlePlan plan = (predicted >= break_even_)
+                      ? plan_sleep(device_, actual_idle)
+                      : plan_standby(device_, actual_idle);
+  plan.predicted_idle = predicted;
+  return plan;
+}
+
+void PredictiveDpmPolicy::observe_idle(Seconds actual_idle) {
+  predictor_->observe(actual_idle);
+}
+
+Seconds PredictiveDpmPolicy::predicted_idle() const {
+  return predictor_->predict();
+}
+
+std::string PredictiveDpmPolicy::name() const {
+  return "predictive(" + predictor_->name() + ")";
+}
+
+std::unique_ptr<DpmPolicy> PredictiveDpmPolicy::clone() const {
+  auto copy =
+      std::make_unique<PredictiveDpmPolicy>(device_, predictor_->clone());
+  copy->accuracy_ = accuracy_;
+  return copy;
+}
+
+void PredictiveDpmPolicy::reset() {
+  predictor_->reset();
+  accuracy_ = PredictionAccuracy{};
+}
+
+// --- TimeoutDpmPolicy --------------------------------------------------------
+
+TimeoutDpmPolicy::TimeoutDpmPolicy(DevicePowerModel device, Seconds timeout)
+    : device_(device), timeout_(timeout) {
+  FCDPM_EXPECTS(timeout.value() >= 0.0, "timeout must be non-negative");
+}
+
+IdlePlan TimeoutDpmPolicy::plan_idle(Seconds actual_idle) {
+  FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
+
+  // A timeout policy has no real prediction; the last observed idle is
+  // the best signal it can hand to prediction consumers (the FC-DPM
+  // output controller plans against this value).
+  const Seconds estimate =
+      (last_idle_.value() > 0.0) ? last_idle_ : timeout_;
+
+  if (actual_idle <= timeout_) {
+    IdlePlan plan = plan_standby(device_, actual_idle);
+    plan.predicted_idle = estimate;
+    return plan;
+  }
+
+  // STANDBY for the timeout, then a sleep episode in the remainder.
+  IdlePlan plan = plan_sleep(device_, actual_idle - timeout_);
+  if (timeout_.value() > 0.0) {
+    plan.segments.insert(
+        plan.segments.begin(),
+        {timeout_, device_.standby_current(), PowerState::Standby});
+  }
+  plan.predicted_idle = estimate;
+  return plan;
+}
+
+std::unique_ptr<DpmPolicy> TimeoutDpmPolicy::clone() const {
+  return std::make_unique<TimeoutDpmPolicy>(*this);
+}
+
+// --- AlwaysStandbyDpmPolicy --------------------------------------------------
+
+AlwaysStandbyDpmPolicy::AlwaysStandbyDpmPolicy(DevicePowerModel device)
+    : device_(device) {}
+
+IdlePlan AlwaysStandbyDpmPolicy::plan_idle(Seconds actual_idle) {
+  return plan_standby(device_, actual_idle);
+}
+
+std::unique_ptr<DpmPolicy> AlwaysStandbyDpmPolicy::clone() const {
+  return std::make_unique<AlwaysStandbyDpmPolicy>(*this);
+}
+
+}  // namespace fcdpm::dpm

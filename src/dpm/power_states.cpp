@@ -1,0 +1,100 @@
+#include "dpm/power_states.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dpm {
+
+const char* to_string(PowerState state) {
+  switch (state) {
+    case PowerState::Run:
+      return "RUN";
+    case PowerState::Standby:
+      return "STANDBY";
+    case PowerState::Sleep:
+      return "SLEEP";
+  }
+  return "?";
+}
+
+DevicePowerModel DevicePowerModel::dvd_camcorder() {
+  return DevicePowerModel{};  // defaults are the Figure 6 numbers
+}
+
+DevicePowerModel DevicePowerModel::experiment2_device() {
+  DevicePowerModel model;
+  model.power_down_delay = Seconds(1.0);
+  model.wake_up_delay = Seconds(1.0);
+  // IPD = IWU = 1.2 A @ 12 V.
+  model.power_down_power = Watt(14.4);
+  model.wake_up_power = Watt(14.4);
+  return model;
+}
+
+Ampere DevicePowerModel::run_current() const {
+  return run_power / bus_voltage;
+}
+Ampere DevicePowerModel::standby_current() const {
+  return standby_power / bus_voltage;
+}
+Ampere DevicePowerModel::sleep_current() const {
+  return sleep_power / bus_voltage;
+}
+Ampere DevicePowerModel::power_down_current() const {
+  return power_down_power / bus_voltage;
+}
+Ampere DevicePowerModel::wake_up_current() const {
+  return wake_up_power / bus_voltage;
+}
+
+Ampere DevicePowerModel::current_in(PowerState state) const {
+  switch (state) {
+    case PowerState::Run:
+      return run_current();
+    case PowerState::Standby:
+      return standby_current();
+    case PowerState::Sleep:
+      return sleep_current();
+  }
+  FCDPM_ENSURES(false, "unknown power state");
+}
+
+Seconds DevicePowerModel::sleep_transition_delay() const {
+  return power_down_delay + wake_up_delay;
+}
+
+Coulomb DevicePowerModel::sleep_transition_charge() const {
+  return power_down_current() * power_down_delay +
+         wake_up_current() * wake_up_delay;
+}
+
+Seconds DevicePowerModel::break_even_time() const {
+  validate();
+  const double overhead_energy =
+      (power_down_power * power_down_delay).value() +
+      (wake_up_power * wake_up_delay).value();
+  const double sleep_during_transitions =
+      (sleep_power * sleep_transition_delay()).value();
+  const double saving_rate = (standby_power - sleep_power).value();
+  const double t_be =
+      (overhead_energy - sleep_during_transitions) / saving_rate;
+  return max(sleep_transition_delay(), Seconds(t_be));
+}
+
+void DevicePowerModel::validate() const {
+  FCDPM_EXPECTS(bus_voltage.value() > 0.0, "bus voltage must be positive");
+  FCDPM_EXPECTS(run_power.value() > 0.0, "run power must be positive");
+  FCDPM_EXPECTS(standby_power.value() > 0.0,
+                "standby power must be positive");
+  FCDPM_EXPECTS(sleep_power.value() >= 0.0,
+                "sleep power must be non-negative");
+  FCDPM_EXPECTS(standby_power > sleep_power,
+                "sleep must save power over standby");
+  FCDPM_EXPECTS(power_down_delay.value() >= 0.0 &&
+                    wake_up_delay.value() >= 0.0,
+                "transition delays must be non-negative");
+  FCDPM_EXPECTS(power_down_power.value() >= 0.0 &&
+                    wake_up_power.value() >= 0.0,
+                "transition powers must be non-negative");
+}
+
+}  // namespace fcdpm::dpm

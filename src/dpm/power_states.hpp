@@ -1,0 +1,76 @@
+// Device-side power model: the RUN / STANDBY / SLEEP abstraction of the
+// paper's Figure 6, including transition overheads and the DPM break-even
+// time Tbe (Benini et al., the paper's reference [4]).
+//
+// All powers are on the regulated 12 V bus; currents are power / 12 V.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace fcdpm::dpm {
+
+/// Device power states. RUN serves the task; an idle period is spent in
+/// STANDBY, or in SLEEP when the predicted idle time justifies the
+/// transition overhead.
+enum class PowerState { Run, Standby, Sleep };
+
+[[nodiscard]] const char* to_string(PowerState state);
+
+/// Static power/timing description of a DPM-managed device.
+struct DevicePowerModel {
+  Volt bus_voltage{12.0};
+
+  Watt run_power{14.65};      ///< default active power (trace may override)
+  Watt standby_power{4.84};
+  Watt sleep_power{2.40};
+
+  /// SLEEP entry (power-down) and exit (wake-up) overheads.
+  Seconds power_down_delay{0.5};
+  Watt power_down_power{4.84};
+  Seconds wake_up_delay{0.5};
+  Watt wake_up_power{4.84};
+
+  /// STANDBY <-> RUN transition times; their energy is absorbed into the
+  /// active period (the transitions run at active power, Section 3.3.2).
+  Seconds standby_to_run_delay{1.5};
+  Seconds run_to_standby_delay{0.5};
+
+  /// The paper's DVD camcorder (Figure 6). Tbe computes to 1 s.
+  [[nodiscard]] static DevicePowerModel dvd_camcorder();
+
+  /// The synthetic device of Experiment 2: 1 s / 1.2 A sleep transitions.
+  /// Tbe computes to ~10 s.
+  [[nodiscard]] static DevicePowerModel experiment2_device();
+
+  [[nodiscard]] Ampere run_current() const;
+  [[nodiscard]] Ampere standby_current() const;
+  [[nodiscard]] Ampere sleep_current() const;
+  [[nodiscard]] Ampere power_down_current() const;
+  [[nodiscard]] Ampere wake_up_current() const;
+
+  [[nodiscard]] Ampere current_in(PowerState state) const;
+
+  /// Combined SLEEP entry+exit delay.
+  [[nodiscard]] Seconds sleep_transition_delay() const;
+
+  /// Charge cost of a full SLEEP entry+exit pair.
+  [[nodiscard]] Coulomb sleep_transition_charge() const;
+
+  /// DPM break-even time: the idle length at which sleeping and staying
+  /// in STANDBY cost the same energy,
+  ///
+  ///   Tbe = max( tPD + tWU,
+  ///              (tPD*P_PD + tWU*P_WU - (tPD+tWU)*P_sleep)
+  ///                / (P_standby - P_sleep) )
+  ///
+  /// Requires standby_power > sleep_power.
+  [[nodiscard]] Seconds break_even_time() const;
+
+  /// Sanity checks (positive powers, standby > sleep, non-negative
+  /// delays); throws PreconditionError on violation.
+  void validate() const;
+};
+
+}  // namespace fcdpm::dpm

@@ -1,0 +1,104 @@
+#include "dvs/planner.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dvs {
+
+const char* to_string(DvsStrategy strategy) {
+  switch (strategy) {
+    case DvsStrategy::RaceToIdle:
+      return "race-to-idle";
+    case DvsStrategy::MinDeviceEnergy:
+      return "min-device-energy";
+    case DvsStrategy::MinFuel:
+      return "min-fuel";
+  }
+  return "?";
+}
+
+DvsPlanner::DvsPlanner(DvsProcessor processor,
+                       power::LinearEfficiencyModel model,
+                       double buffer_round_trip)
+    : processor_(std::move(processor)),
+      model_(model),
+      buffer_round_trip_(buffer_round_trip) {
+  FCDPM_EXPECTS(buffer_round_trip > 0.0 && buffer_round_trip <= 1.0,
+                "round-trip efficiency must be in (0, 1]");
+}
+
+DvsEvaluation DvsPlanner::evaluate(const PeriodicTask& task,
+                                   std::size_t level) const {
+  FCDPM_EXPECTS(task.period.value() > 0.0, "period must be positive");
+
+  DvsEvaluation eval;
+  eval.level = level;
+  eval.run_time = processor_.time_for(task.work_full_speed_s, level);
+  FCDPM_EXPECTS(eval.run_time <= task.period,
+                "level too slow for the period");
+  eval.slack = task.period - eval.run_time;
+  eval.device_energy =
+      processor_.energy_for(task.work_full_speed_s, level, task.period);
+
+  const Ampere run_current = processor_.run_current(level);
+  const Ampere idle_current = processor_.idle_current();
+  const Ampere ceiling = model_.max_output();
+
+  // Charge the source must supply over one period. Peaks above the FC's
+  // load-following ceiling are served from the buffer, and the charge
+  // that refills the buffer pays the round-trip loss.
+  Coulomb source_charge =
+      run_current * eval.run_time + idle_current * eval.slack;
+  if (run_current > ceiling) {
+    eval.exceeds_fc_range = true;
+    const Coulomb excess = (run_current - ceiling) * eval.run_time;
+    source_charge += excess * (1.0 / buffer_round_trip_ - 1.0);
+  }
+
+  // Steady state: the fuel-optimal FC output is flat at the average
+  // demand (Eq. (11)); an average beyond the ceiling cannot be sustained
+  // (the buffer would drain without bound).
+  const Ampere average = source_charge / task.period;
+  eval.sustainable = average <= ceiling;
+  const Ampere flat = model_.clamp_to_range(average);
+  eval.fuel = model_.stack_current(flat) * task.period;
+  return eval;
+}
+
+DvsEvaluation DvsPlanner::plan(const PeriodicTask& task,
+                               DvsStrategy strategy) const {
+  const std::size_t slowest =
+      processor_.slowest_feasible(task.work_full_speed_s, task.period);
+
+  if (strategy == DvsStrategy::RaceToIdle) {
+    const DvsEvaluation eval =
+        evaluate(task, processor_.level_count() - 1);
+    FCDPM_EXPECTS(eval.sustainable,
+                  "race-to-idle demand exceeds the FC's capability");
+    return eval;
+  }
+
+  DvsEvaluation best;
+  bool have_best = false;
+  for (std::size_t k = slowest; k < processor_.level_count(); ++k) {
+    const DvsEvaluation eval = evaluate(task, k);
+    if (!eval.sustainable) {
+      continue;
+    }
+    const bool better =
+        !have_best ||
+        (strategy == DvsStrategy::MinDeviceEnergy
+             ? eval.device_energy < best.device_energy
+             : eval.fuel < best.fuel);
+    if (better) {
+      best = eval;
+      have_best = true;
+    }
+  }
+  FCDPM_EXPECTS(have_best,
+                "no deadline-feasible level is sustainable on this FC");
+  return best;
+}
+
+}  // namespace fcdpm::dvs

@@ -1,0 +1,83 @@
+#include "dvs/processor.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dvs {
+
+DvsProcessor::DvsProcessor(std::vector<DvsLevel> levels, Watt idle_power,
+                           Volt bus_voltage)
+    : levels_(std::move(levels)),
+      idle_power_(idle_power),
+      bus_voltage_(bus_voltage) {
+  FCDPM_EXPECTS(!levels_.empty(), "need at least one DVS level");
+  FCDPM_EXPECTS(idle_power.value() >= 0.0,
+                "idle power must be non-negative");
+  FCDPM_EXPECTS(bus_voltage.value() > 0.0, "bus voltage must be positive");
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    const DvsLevel& l = levels_[k];
+    FCDPM_EXPECTS(l.speed > 0.0 && l.speed <= 1.0,
+                  "speeds must lie in (0, 1]");
+    FCDPM_EXPECTS(l.run_power > idle_power,
+                  "running must cost more than idling");
+    if (k > 0) {
+      FCDPM_EXPECTS(levels_[k - 1].speed < l.speed,
+                    "levels must be sorted by ascending speed");
+      FCDPM_EXPECTS(levels_[k - 1].run_power < l.run_power,
+                    "power must increase with speed");
+    }
+  }
+}
+
+DvsProcessor DvsProcessor::typical_embedded() {
+  // Dynamic power ~ speed * V^2 (plus a 2.2 W board floor): quadratic-ish
+  // growth, top level at 18.4 W = 1.53 A on the 12 V bus.
+  return DvsProcessor(
+      {
+          {0.4, Volt(0.95), Watt(5.2)},
+          {0.6, Volt(1.10), Watt(8.1)},
+          {0.8, Volt(1.25), Watt(12.4)},
+          {1.0, Volt(1.40), Watt(18.4)},
+      },
+      /*idle_power=*/Watt(2.2));
+}
+
+const DvsLevel& DvsProcessor::level(std::size_t k) const {
+  FCDPM_EXPECTS(k < levels_.size(), "level index out of range");
+  return levels_[k];
+}
+
+Seconds DvsProcessor::time_for(double full_speed_seconds,
+                               std::size_t level) const {
+  FCDPM_EXPECTS(full_speed_seconds >= 0.0, "work must be non-negative");
+  return Seconds(full_speed_seconds / this->level(level).speed);
+}
+
+Joule DvsProcessor::energy_for(double full_speed_seconds,
+                               std::size_t level, Seconds period) const {
+  const Seconds run_time = time_for(full_speed_seconds, level);
+  FCDPM_EXPECTS(run_time <= period, "work does not fit in the period");
+  const Seconds slack = period - run_time;
+  return this->level(level).run_power * run_time + idle_power_ * slack;
+}
+
+Ampere DvsProcessor::run_current(std::size_t level) const {
+  return this->level(level).run_power / bus_voltage_;
+}
+
+Ampere DvsProcessor::idle_current() const {
+  return idle_power_ / bus_voltage_;
+}
+
+std::size_t DvsProcessor::slowest_feasible(double full_speed_seconds,
+                                           Seconds period) const {
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    if (time_for(full_speed_seconds, k) <= period) {
+      return k;
+    }
+  }
+  FCDPM_EXPECTS(false, "task infeasible even at full speed");
+}
+
+}  // namespace fcdpm::dvs

@@ -1,0 +1,41 @@
+#include "fuelcell/polarization.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::fc {
+
+Volt cell_voltage(const CellParams& params, Ampere i) {
+  FCDPM_EXPECTS(i.value() >= 0.0, "stack current must be non-negative");
+  FCDPM_EXPECTS(params.exchange_current.value() > 0.0,
+                "exchange current must be positive");
+  FCDPM_EXPECTS(params.crossover_current.value() > 0.0,
+                "crossover current must be positive");
+
+  const double current = i.value();
+  const double activation =
+      params.tafel_slope.value() *
+      std::log((current + params.crossover_current.value()) /
+               params.exchange_current.value());
+  const double ohmic = params.ohmic_resistance_ohm * current;
+  const double concentration =
+      params.concentration_m.value() *
+      std::exp(params.concentration_n_per_ampere * current);
+
+  const double v = params.reversible_voltage.value() - activation - ohmic -
+                   concentration;
+  return Volt(std::max(v, 0.0));
+}
+
+double cell_voltage_slope(const CellParams& params, Ampere i) {
+  const double h = 1e-6;
+  const double lo = std::max(i.value() - h, 0.0);
+  const double hi = i.value() + h;
+  const double v_lo = cell_voltage(params, Ampere(lo)).value();
+  const double v_hi = cell_voltage(params, Ampere(hi)).value();
+  return (v_hi - v_lo) / (hi - lo);
+}
+
+}  // namespace fcdpm::fc

@@ -1,0 +1,47 @@
+// Single-cell PEM polarization model after Larminie & Dicks, "Fuel Cell
+// Systems Explained" (the paper's reference [12]):
+//
+//   v(i) = E_rev - A·ln((i + i_n)/i0) - r·i - m·exp(n·i)
+//
+// activation loss (Tafel), ohmic loss, and concentration loss. The default
+// parameter set is calibrated so a 20-cell stack reproduces the published
+// anchors of the BCS 20 W stack in the paper's Figure 2: open-circuit
+// voltage 18.2 V, ~20 W maximum power near 1.5 A, monotonically falling
+// voltage.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace fcdpm::fc {
+
+/// Electrochemical parameters of one cell. All currents are absolute
+/// amperes through the cell (the BCS stack's area is folded in).
+struct CellParams {
+  /// Reversible (Nernst) cell potential.
+  Volt reversible_voltage{0.926};
+  /// Tafel slope A of the activation loss term.
+  Volt tafel_slope{0.007};
+  /// Exchange current i0 (sets where activation loss saturates).
+  Ampere exchange_current{1.0e-4};
+  /// Internal/crossover current i_n (makes v(0) finite and < E_rev).
+  Ampere crossover_current{1.0e-3};
+  /// Area-specific ohmic resistance, ohms per cell.
+  double ohmic_resistance_ohm = 0.14;
+  /// Concentration-loss magnitude m (volts).
+  Volt concentration_m{5.0e-8};
+  /// Concentration-loss exponent n (per ampere).
+  double concentration_n_per_ampere = 9.0;
+
+  /// Defaults above; named for discoverability.
+  [[nodiscard]] static CellParams bcs_20w_cell() { return {}; }
+};
+
+/// Cell terminal voltage at stack current `i` (>= 0). Never negative:
+/// the model floors at 0 V (a real stack would be shut down well before).
+[[nodiscard]] Volt cell_voltage(const CellParams& params, Ampere i);
+
+/// d(v)/d(i) by central finite difference; used in tests to assert the
+/// curve is monotonically decreasing.
+[[nodiscard]] double cell_voltage_slope(const CellParams& params, Ampere i);
+
+}  // namespace fcdpm::fc

@@ -1,0 +1,69 @@
+#include "fuelcell/stack.hpp"
+
+#include "common/contracts.hpp"
+#include "common/math.hpp"
+#include "common/solvers.hpp"
+
+namespace fcdpm::fc {
+
+FuelCellStack::FuelCellStack(CellParams cell, int cells)
+    : cell_(cell), cells_(cells) {
+  FCDPM_EXPECTS(cells >= 1, "a stack needs at least one cell");
+}
+
+FuelCellStack FuelCellStack::bcs_20w() {
+  return FuelCellStack(CellParams::bcs_20w_cell(), 20);
+}
+
+Volt FuelCellStack::voltage(Ampere ifc) const {
+  return cell_voltage(cell_, ifc) * static_cast<double>(cells_);
+}
+
+Watt FuelCellStack::power(Ampere ifc) const { return voltage(ifc) * ifc; }
+
+Volt FuelCellStack::open_circuit_voltage() const {
+  return voltage(Ampere(0.0));
+}
+
+StackPoint FuelCellStack::maximum_power_point(Ampere search_limit) const {
+  FCDPM_EXPECTS(search_limit.value() > 0.0, "search limit must be positive");
+  const ScalarMinimum minimum = golden_section_minimize(
+      [this](double i) { return -power(Ampere(i)).value(); }, 0.0,
+      search_limit.value(), 1e-9);
+  const Ampere i_star(minimum.x);
+  return {i_star, voltage(i_star), power(i_star)};
+}
+
+Ampere FuelCellStack::current_for_power(Watt demand) const {
+  FCDPM_EXPECTS(demand.value() >= 0.0, "power demand must be non-negative");
+  if (demand.value() == 0.0) {
+    return Ampere(0.0);
+  }
+  const StackPoint mpp = maximum_power_point();
+  FCDPM_EXPECTS(demand <= mpp.power,
+                "power demand exceeds the stack's maximum power capacity");
+
+  // The rising branch of P(I) spans [0, I_mpp]; P is strictly increasing
+  // there, so bisection on P(I) - demand is well posed.
+  const ScalarRoot root = bisect(
+      [this, demand](double i) {
+        return power(Ampere(i)).value() - demand.value();
+      },
+      0.0, mpp.current.value(), 1e-12);
+  FCDPM_ENSURES(root.converged, "power inversion failed to converge");
+  return Ampere(root.x);
+}
+
+std::vector<StackPoint> FuelCellStack::sample_curve(Ampere lo, Ampere hi,
+                                                    std::size_t count) const {
+  FCDPM_EXPECTS(lo.value() >= 0.0 && lo < hi, "bad sampling range");
+  std::vector<StackPoint> points;
+  points.reserve(count);
+  for (const double i : linspace(lo.value(), hi.value(), count)) {
+    const Ampere current(i);
+    points.push_back({current, voltage(current), power(current)});
+  }
+  return points;
+}
+
+}  // namespace fcdpm::fc

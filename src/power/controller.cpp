@@ -1,0 +1,62 @@
+#include "power/controller.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::power {
+
+OnOffFanController::OnOffFanController(Ampere base_draw,
+                                       Ampere cooling_fan_draw,
+                                       Ampere cooling_on_threshold)
+    : base_draw_(base_draw),
+      cooling_fan_draw_(cooling_fan_draw),
+      threshold_(cooling_on_threshold) {
+  FCDPM_EXPECTS(base_draw.value() >= 0.0, "base draw must be non-negative");
+  FCDPM_EXPECTS(cooling_fan_draw.value() >= 0.0,
+                "cooling fan draw must be non-negative");
+  FCDPM_EXPECTS(cooling_on_threshold.value() >= 0.0,
+                "threshold must be non-negative");
+}
+
+OnOffFanController OnOffFanController::typical() {
+  // Constant-speed cathode fan + microcontroller: ~50 mA whenever the
+  // system runs; cooling fan adds ~70 mA once the load passes 0.6 A
+  // (the "cooling fan is on" region of Figure 3(c)).
+  return OnOffFanController(Ampere(0.050), Ampere(0.070), Ampere(0.6));
+}
+
+Ampere OnOffFanController::control_current(Ampere i_f) const {
+  FCDPM_EXPECTS(i_f.value() >= 0.0, "output current must be non-negative");
+  Ampere draw = base_draw_;
+  if (i_f >= threshold_) {
+    draw += cooling_fan_draw_;
+  }
+  return draw;
+}
+
+std::unique_ptr<ControllerModel> OnOffFanController::clone() const {
+  return std::make_unique<OnOffFanController>(*this);
+}
+
+ProportionalFanController::ProportionalFanController(Ampere idle_draw,
+                                                     double slope)
+    : idle_draw_(idle_draw), slope_(slope) {
+  FCDPM_EXPECTS(idle_draw.value() >= 0.0, "idle draw must be non-negative");
+  FCDPM_EXPECTS(slope >= 0.0, "slope must be non-negative");
+}
+
+ProportionalFanController ProportionalFanController::typical() {
+  // Variable-speed fans spin down with the load: ~2 mA housekeeping plus
+  // 40 mA per delivered ampere.
+  return ProportionalFanController(Ampere(0.002), 0.040);
+}
+
+Ampere ProportionalFanController::control_current(Ampere i_f) const {
+  FCDPM_EXPECTS(i_f.value() >= 0.0, "output current must be non-negative");
+  return idle_draw_ + Ampere(slope_ * i_f.value());
+}
+
+std::unique_ptr<ControllerModel> ProportionalFanController::clone() const {
+  return std::make_unique<ProportionalFanController>(*this);
+}
+
+}  // namespace fcdpm::power

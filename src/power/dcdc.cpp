@@ -1,0 +1,94 @@
+#include "power/dcdc.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::power {
+
+Watt DcDcConverter::input_power(Ampere iout) const {
+  FCDPM_EXPECTS(iout.value() >= 0.0, "output current must be non-negative");
+  if (iout.value() == 0.0) {
+    return Watt(0.0);
+  }
+  const Watt pout = output_voltage() * iout;
+  return Watt(pout.value() / efficiency(iout));
+}
+
+Watt ConverterLosses::at(Ampere iout) const {
+  const double i = iout.value();
+  return Watt(fixed.value() + per_ampere_v * i + per_ampere_sq_ohm * i * i);
+}
+
+namespace {
+double efficiency_from_losses(Volt vout, const ConverterLosses& losses,
+                              Ampere iout) {
+  if (iout.value() <= 0.0) {
+    return 0.0;
+  }
+  const double pout = (vout * iout).value();
+  return pout / (pout + losses.at(iout).value());
+}
+}  // namespace
+
+PwmConverter::PwmConverter(Volt vout, ConverterLosses losses)
+    : vout_(vout), losses_(losses) {
+  FCDPM_EXPECTS(vout.value() > 0.0, "output voltage must be positive");
+}
+
+PwmConverter PwmConverter::typical_12v() {
+  // 0.45 W of gate-drive/magnetizing loss dominates at light load (about
+  // 71 % efficient at 0.1 A, 56 % at 0.05 A) while 0.25 V + 0.5 ohm keep
+  // the heavy-load efficiency near 88 %.
+  return PwmConverter(Volt(12.0), {Watt(0.45), 0.25, 0.5});
+}
+
+double PwmConverter::efficiency(Ampere iout) const {
+  FCDPM_EXPECTS(iout.value() >= 0.0, "output current must be non-negative");
+  return efficiency_from_losses(vout_, losses_, iout);
+}
+
+std::unique_ptr<DcDcConverter> PwmConverter::clone() const {
+  return std::make_unique<PwmConverter>(*this);
+}
+
+PwmPfmConverter::PwmPfmConverter(Volt vout, ConverterLosses pwm_losses,
+                                 ConverterLosses pfm_losses,
+                                 Ampere pfm_threshold)
+    : vout_(vout),
+      pwm_losses_(pwm_losses),
+      pfm_losses_(pfm_losses),
+      threshold_(pfm_threshold) {
+  FCDPM_EXPECTS(vout.value() > 0.0, "output voltage must be positive");
+  FCDPM_EXPECTS(pfm_threshold.value() > 0.0,
+                "PFM threshold must be positive");
+}
+
+PwmPfmConverter PwmPfmConverter::typical_12v() {
+  // PFM mode below 0.25 A has almost no fixed loss, so light-load
+  // efficiency stays near the heavy-load value: ~85 % across the range.
+  return PwmPfmConverter(Volt(12.0),
+                         /*pwm=*/{Watt(0.20), 1.45, 0.30},
+                         /*pfm=*/{Watt(0.03), 1.85, 0.30},
+                         /*threshold=*/Ampere(0.25));
+}
+
+PwmPfmConverter PwmPfmConverter::high_efficiency_12v() {
+  // Synchronous rectification and PFM light-load mode: ~94-95 % from
+  // 0.05 A to 1.3 A.
+  return PwmPfmConverter(Volt(12.0),
+                         /*pwm=*/{Watt(0.015), 0.55, 0.06},
+                         /*pfm=*/{Watt(0.008), 0.62, 0.06},
+                         /*threshold=*/Ampere(0.25));
+}
+
+double PwmPfmConverter::efficiency(Ampere iout) const {
+  FCDPM_EXPECTS(iout.value() >= 0.0, "output current must be non-negative");
+  const ConverterLosses& losses =
+      (iout < threshold_) ? pfm_losses_ : pwm_losses_;
+  return efficiency_from_losses(vout_, losses, iout);
+}
+
+std::unique_ptr<DcDcConverter> PwmPfmConverter::clone() const {
+  return std::make_unique<PwmPfmConverter>(*this);
+}
+
+}  // namespace fcdpm::power

@@ -1,0 +1,135 @@
+#include "power/fc_system.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/math.hpp"
+#include "common/solvers.hpp"
+
+namespace fcdpm::power {
+
+double FuelUtilization::at(Ampere ifc) const {
+  FCDPM_EXPECTS(ifc.value() >= 0.0, "stack current must be non-negative");
+  const double u = u0 - u1_per_ampere * ifc.value();
+  FCDPM_ENSURES(u > 0.0, "fuel utilization model went non-positive");
+  return u;
+}
+
+FcSystem::FcSystem(fc::FuelCellStack stack, fc::FuelModel fuel,
+                   std::unique_ptr<DcDcConverter> converter,
+                   std::unique_ptr<ControllerModel> controller,
+                   FuelUtilization utilization)
+    : stack_(std::move(stack)),
+      fuel_(std::move(fuel)),
+      converter_(std::move(converter)),
+      controller_(std::move(controller)),
+      utilization_(utilization) {
+  FCDPM_EXPECTS(converter_ != nullptr, "converter must be provided");
+  FCDPM_EXPECTS(controller_ != nullptr, "controller must be provided");
+}
+
+FcSystem FcSystem::paper_system() {
+  return FcSystem(
+      fc::FuelCellStack::bcs_20w(), fc::FuelModel::bcs_20w(),
+      std::make_unique<PwmPfmConverter>(PwmPfmConverter::high_efficiency_12v()),
+      std::make_unique<ProportionalFanController>(
+          ProportionalFanController::typical()));
+}
+
+FcSystem FcSystem::legacy_system() {
+  return FcSystem(fc::FuelCellStack::bcs_20w(), fc::FuelModel::bcs_20w(),
+                  std::make_unique<PwmConverter>(PwmConverter::typical_12v()),
+                  std::make_unique<OnOffFanController>(
+                      OnOffFanController::typical()));
+}
+
+FcSystem FcSystem::clone() const {
+  return FcSystem(stack_, fuel_, converter_->clone(), controller_->clone(),
+                  utilization_);
+}
+
+Volt FcSystem::bus_voltage() const { return converter_->output_voltage(); }
+
+FcOperatingPoint FcSystem::operating_point(Ampere i_f) const {
+  FCDPM_EXPECTS(i_f.value() >= 0.0, "output current must be non-negative");
+
+  FcOperatingPoint point;
+  point.output_current = i_f;
+  point.control_current = controller_->control_current(i_f);
+  point.dcdc_output = i_f + point.control_current;
+  point.dcdc_efficiency = converter_->efficiency(point.dcdc_output);
+  point.stack_power = converter_->input_power(point.dcdc_output);
+  point.stack_current = stack_.current_for_power(point.stack_power);
+  point.stack_voltage = stack_.voltage(point.stack_current);
+  point.fuel_utilization = utilization_.at(point.stack_current);
+  point.fuel_current =
+      Ampere(point.stack_current.value() / point.fuel_utilization);
+
+  if (i_f.value() == 0.0) {
+    point.system_efficiency = 0.0;
+  } else {
+    const Watt output = bus_voltage() * i_f;
+    const Watt gibbs = fuel_.gibbs_power(point.fuel_current);
+    point.system_efficiency = output.value() / gibbs.value();
+  }
+  return point;
+}
+
+double FcSystem::system_efficiency(Ampere i_f) const {
+  return operating_point(i_f).system_efficiency;
+}
+
+Ampere FcSystem::max_output_current() const {
+  const Watt capacity = stack_.maximum_power_point().power;
+
+  // Stack power demand is strictly increasing in IF, so bisect on the
+  // margin between capacity and demand.
+  const auto margin = [this, capacity](double i_f) {
+    const Ampere out(i_f);
+    const Ampere idc = out + controller_->control_current(out);
+    return capacity.value() - converter_->input_power(idc).value();
+  };
+
+  double hi = 1.0;
+  while (margin(hi) > 0.0 && hi < 64.0) {
+    hi *= 2.0;
+  }
+  FCDPM_ENSURES(hi < 64.0, "load-following bound search diverged");
+
+  const ScalarRoot root = bisect(margin, 0.0, hi, 1e-9);
+  FCDPM_ENSURES(root.converged, "load-following bound search failed");
+  return Ampere(root.x);
+}
+
+std::vector<EfficiencySample> FcSystem::sample_efficiency(
+    Ampere lo, Ampere hi, std::size_t count) const {
+  FCDPM_EXPECTS(lo.value() >= 0.0 && lo < hi, "bad sampling range");
+  std::vector<EfficiencySample> samples;
+  samples.reserve(count);
+  for (const double i : linspace(lo.value(), hi.value(), count)) {
+    samples.push_back({Ampere(i), system_efficiency(Ampere(i))});
+  }
+  return samples;
+}
+
+LinearEfficiencyModel FcSystem::fit_linear_efficiency(
+    Ampere lo, Ampere hi, std::size_t samples) const {
+  const std::vector<EfficiencySample> curve =
+      sample_efficiency(lo, hi, samples);
+
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(curve.size());
+  ys.reserve(curve.size());
+  for (const EfficiencySample& s : curve) {
+    xs.push_back(s.output_current.value());
+    ys.push_back(s.system_efficiency);
+  }
+
+  const LinearFit fit = linear_least_squares(xs, ys);
+  // eta = alpha - beta*IF  <=>  intercept = alpha, slope = -beta.
+  return LinearEfficiencyModel(bus_voltage(), fuel_.zeta(), fit.intercept,
+                               -fit.slope, lo, hi);
+}
+
+}  // namespace fcdpm::power

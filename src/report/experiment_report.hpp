@@ -1,0 +1,40 @@
+// Markdown report assembly: programmatically regenerate the
+// reproduction summary (the tables of EXPERIMENTS.md) from live
+// simulation results, so documentation can never drift from the code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "sim/experiments.hpp"
+
+namespace fcdpm::report {
+
+/// Small markdown document builder.
+class ReportBuilder {
+ public:
+  ReportBuilder& title(const std::string& text);
+  ReportBuilder& section(const std::string& text);
+  ReportBuilder& paragraph(const std::string& text);
+  ReportBuilder& bullet(const std::string& text);
+  ReportBuilder& table(const Table& table);
+
+  [[nodiscard]] std::string markdown() const;
+
+ private:
+  std::vector<std::string> blocks_;
+};
+
+/// Table 2/3-style normalized-fuel table from a policy comparison.
+[[nodiscard]] Table comparison_table(const std::string& title,
+                                     const sim::PolicyComparison& c);
+
+/// The full reproduction report: runs nothing itself — callers pass the
+/// comparisons (tests pass canned results; the generate_report example
+/// passes live runs).
+[[nodiscard]] std::string reproduction_report(
+    const sim::PolicyComparison& experiment1,
+    const sim::PolicyComparison& experiment2);
+
+}  // namespace fcdpm::report

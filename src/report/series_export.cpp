@@ -1,0 +1,81 @@
+#include "report/series_export.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/text.hpp"
+
+namespace fcdpm::report {
+
+std::string series_to_csv(
+    const std::vector<const sim::StepSeries*>& series) {
+  FCDPM_EXPECTS(!series.empty(), "need at least one series");
+  for (const sim::StepSeries* s : series) {
+    FCDPM_EXPECTS(s != nullptr, "null series");
+  }
+
+  // Union of change points.
+  std::set<double> times;
+  for (const sim::StepSeries* s : series) {
+    for (const sim::StepPoint& p : s->points()) {
+      times.insert(p.time.value());
+    }
+  }
+
+  std::ostringstream out;
+  out << "time_s";
+  for (const sim::StepSeries* s : series) {
+    out << ',' << s->name() << '_' << s->unit();
+  }
+  out << '\n';
+
+  for (const double t : times) {
+    out << format_fixed(t, 6);
+    for (const sim::StepSeries* s : series) {
+      out << ',' << format_fixed(s->sample(Seconds(t)), 6);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_chart(const sim::StepSeries& series, Seconds t0,
+                        Seconds t1, double y_max, int width, int height) {
+  FCDPM_EXPECTS(t0 < t1, "chart window is empty");
+  FCDPM_EXPECTS(y_max > 0.0, "y_max must be positive");
+  FCDPM_EXPECTS(width >= 10 && height >= 3, "chart too small");
+
+  // Column c covers time t0 + c * (t1-t0)/width; row r (from the top)
+  // covers value band [(height-1-r)/height, (height-r)/height] * y_max.
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+
+  const double span = (t1 - t0).value();
+  for (int c = 0; c < width; ++c) {
+    const Seconds t = t0 + Seconds(span * c / width);
+    const double v = std::clamp(series.sample(t), 0.0, y_max);
+    const int level = std::min(
+        height - 1, static_cast<int>(v / y_max * height));
+    // Fill from the bottom up to `level` for a solid profile look.
+    for (int r = 0; r <= level; ++r) {
+      const int row = height - 1 - r;
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(c)] =
+          (r == level) ? '#' : ':';
+    }
+  }
+
+  std::ostringstream out;
+  out << series.name() << " (" << series.unit() << "), y in [0, "
+      << format_fixed(y_max, 3) << "], t in [" << format_fixed(t0.value(), 1)
+      << ", " << format_fixed(t1.value(), 1) << "] s\n";
+  for (const std::string& row : grid) {
+    out << '|' << row << "|\n";
+  }
+  out << '+' << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace fcdpm::report

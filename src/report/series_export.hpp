@@ -1,0 +1,27 @@
+// Figure exports: render StepSeries profiles as aligned CSV (for
+// re-plotting) and as coarse ASCII strip charts (for eyeballing a bench
+// run in the terminal, like the paper's Figure 7 panels).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/recorder.hpp"
+
+namespace fcdpm::report {
+
+/// CSV with a shared time grid: time_s, then one column per series,
+/// sampled at every change point of any series.
+[[nodiscard]] std::string series_to_csv(
+    const std::vector<const sim::StepSeries*>& series);
+
+/// ASCII strip chart of one series: `width` character columns covering
+/// [t0, t1], `height` rows covering [0, y_max]. Each column shows the
+/// series value at the column's start time.
+[[nodiscard]] std::string ascii_chart(const sim::StepSeries& series,
+                                      Seconds t0, Seconds t1, double y_max,
+                                      int width = 100, int height = 12);
+
+}  // namespace fcdpm::report

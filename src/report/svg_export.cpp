@@ -1,0 +1,235 @@
+#include "report/svg_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/text.hpp"
+
+namespace fcdpm::report {
+
+namespace {
+
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 32;
+constexpr int kMarginBottom = 48;
+
+const char* stroke_for(std::size_t index) {
+  // Color-blind-safe cycle (Okabe-Ito).
+  static const char* kStrokes[] = {"#0072B2", "#D55E00", "#009E73",
+                                   "#CC79A7", "#E69F00", "#56B4E9"};
+  return kStrokes[index % std::size(kStrokes)];
+}
+
+struct Frame {
+  double x_min, x_max, y_min, y_max;
+  int width, height;
+
+  [[nodiscard]] double px(double x) const {
+    return kMarginLeft + (x - x_min) / (x_max - x_min) *
+                             (width - kMarginLeft - kMarginRight);
+  }
+  [[nodiscard]] double py(double y) const {
+    return height - kMarginBottom -
+           (y - y_min) / (y_max - y_min) *
+               (height - kMarginTop - kMarginBottom);
+  }
+};
+
+/// "Nice" tick step covering the span with ~5 ticks.
+double nice_step(double span) {
+  const double raw = span / 5.0;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw)));
+  const double residual = raw / magnitude;
+  if (residual < 1.5) {
+    return magnitude;
+  }
+  if (residual < 3.5) {
+    return 2.0 * magnitude;
+  }
+  if (residual < 7.5) {
+    return 5.0 * magnitude;
+  }
+  return 10.0 * magnitude;
+}
+
+void emit_frame(std::ostringstream& out, const Frame& frame,
+                const SvgOptions& options) {
+  out << "<rect x='" << kMarginLeft << "' y='" << kMarginTop
+      << "' width='" << frame.width - kMarginLeft - kMarginRight
+      << "' height='" << frame.height - kMarginTop - kMarginBottom
+      << "' fill='white' stroke='#333'/>\n";
+
+  if (!options.title.empty()) {
+    out << "<text x='" << frame.width / 2 << "' y='20' font-size='14' "
+           "text-anchor='middle' font-family='sans-serif'>"
+        << options.title << "</text>\n";
+  }
+  out << "<text x='" << frame.width / 2 << "' y='" << frame.height - 10
+      << "' font-size='12' text-anchor='middle' "
+         "font-family='sans-serif'>"
+      << options.x_label << "</text>\n";
+  out << "<text x='14' y='" << frame.height / 2
+      << "' font-size='12' text-anchor='middle' "
+         "font-family='sans-serif' transform='rotate(-90 14 "
+      << frame.height / 2 << ")'>" << options.y_label << "</text>\n";
+
+  // Ticks.
+  const double x_step = nice_step(frame.x_max - frame.x_min);
+  for (double x = std::ceil(frame.x_min / x_step) * x_step;
+       x <= frame.x_max + 1e-9; x += x_step) {
+    const double px = frame.px(x);
+    out << "<line x1='" << px << "' y1='"
+        << frame.height - kMarginBottom << "' x2='" << px << "' y2='"
+        << frame.height - kMarginBottom + 5 << "' stroke='#333'/>\n";
+    out << "<text x='" << px << "' y='"
+        << frame.height - kMarginBottom + 18
+        << "' font-size='10' text-anchor='middle' "
+           "font-family='sans-serif'>"
+        << format_fixed(x, 3) << "</text>\n";
+  }
+  const double y_step = nice_step(frame.y_max - frame.y_min);
+  for (double y = std::ceil(frame.y_min / y_step) * y_step;
+       y <= frame.y_max + 1e-9; y += y_step) {
+    const double py = frame.py(y);
+    out << "<line x1='" << kMarginLeft - 5 << "' y1='" << py << "' x2='"
+        << kMarginLeft << "' y2='" << py << "' stroke='#333'/>\n";
+    out << "<text x='" << kMarginLeft - 8 << "' y='" << py + 3
+        << "' font-size='10' text-anchor='end' "
+           "font-family='sans-serif'>"
+        << format_fixed(y, 3) << "</text>\n";
+  }
+}
+
+void emit_legend(std::ostringstream& out,
+                 const std::vector<std::string>& labels, int width) {
+  double y = kMarginTop + 14;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k].empty()) {
+      continue;
+    }
+    const int x = width - kMarginRight - 150;
+    out << "<line x1='" << x << "' y1='" << y - 4 << "' x2='" << x + 22
+        << "' y2='" << y - 4 << "' stroke='" << stroke_for(k)
+        << "' stroke-width='2'/>\n";
+    out << "<text x='" << x + 28 << "' y='" << y
+        << "' font-size='11' font-family='sans-serif'>" << labels[k]
+        << "</text>\n";
+    y += 16;
+  }
+}
+
+std::string document(int width, int height, const std::string& body) {
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+      << "' height='" << height << "' viewBox='0 0 " << width << ' '
+      << height << "'>\n"
+      << body << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_line_svg(const std::vector<SvgSeries>& series,
+                            const SvgOptions& options) {
+  FCDPM_EXPECTS(!series.empty(), "need at least one series");
+  for (const SvgSeries& s : series) {
+    FCDPM_EXPECTS(s.xs.size() == s.ys.size(),
+                  "series xs/ys sizes must match");
+    FCDPM_EXPECTS(s.xs.size() >= 2, "series needs at least two points");
+  }
+
+  Frame frame{options.x_min, options.x_max, options.y_min, options.y_max,
+              options.width, options.height};
+  if (frame.x_min == frame.x_max || frame.y_min == frame.y_max) {
+    frame.x_min = frame.y_min = 1e300;
+    frame.x_max = frame.y_max = -1e300;
+    for (const SvgSeries& s : series) {
+      for (const double x : s.xs) {
+        frame.x_min = std::min(frame.x_min, x);
+        frame.x_max = std::max(frame.x_max, x);
+      }
+      for (const double y : s.ys) {
+        frame.y_min = std::min(frame.y_min, y);
+        frame.y_max = std::max(frame.y_max, y);
+      }
+    }
+    if (frame.y_min == frame.y_max) {
+      frame.y_max = frame.y_min + 1.0;
+    }
+  }
+
+  std::ostringstream body;
+  emit_frame(body, frame, options);
+
+  std::vector<std::string> labels;
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const SvgSeries& s = series[k];
+    body << "<polyline fill='none' stroke='" << stroke_for(k)
+         << "' stroke-width='1.8' points='";
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      body << frame.px(s.xs[i]) << ',' << frame.py(s.ys[i]) << ' ';
+    }
+    body << "'/>\n";
+    labels.push_back(s.label);
+  }
+  emit_legend(body, labels, options.width);
+  return document(options.width, options.height, body.str());
+}
+
+std::string render_step_svg(
+    const std::vector<const sim::StepSeries*>& series, Seconds t0,
+    Seconds t1, const SvgOptions& options) {
+  FCDPM_EXPECTS(!series.empty(), "need at least one series");
+  FCDPM_EXPECTS(t0 < t1, "window is empty");
+
+  std::vector<SvgSeries> lines;
+  for (const sim::StepSeries* s : series) {
+    FCDPM_EXPECTS(s != nullptr, "null series");
+    SvgSeries line;
+    line.label = s->name();
+    const sim::StepSeries window = s->window(t0, t1);
+    // Emit explicit step corners: (t, v_prev) then (t, v).
+    double previous = window.points().empty()
+                          ? 0.0
+                          : window.points().front().value;
+    for (const sim::StepPoint& p : window.points()) {
+      const double t = t0.value() + p.time.value();
+      if (!line.xs.empty()) {
+        line.xs.push_back(t);
+        line.ys.push_back(previous);
+      }
+      line.xs.push_back(t);
+      line.ys.push_back(p.value);
+      previous = p.value;
+    }
+    line.xs.push_back(t1.value());
+    line.ys.push_back(previous);
+    if (line.xs.size() < 2) {
+      line.xs = {t0.value(), t1.value()};
+      line.ys = {0.0, 0.0};
+    }
+    lines.push_back(std::move(line));
+  }
+
+  SvgOptions opts = options;
+  if (opts.x_min == opts.x_max) {
+    opts.x_min = t0.value();
+    opts.x_max = t1.value();
+  }
+  return render_line_svg(lines, opts);
+}
+
+void write_svg_file(const std::string& path, const std::string& svg) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot create SVG file: " + path);
+  }
+  out << svg;
+}
+
+}  // namespace fcdpm::report

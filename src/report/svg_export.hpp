@@ -1,0 +1,51 @@
+// Standalone SVG rendering of the figure data — publication-style plots
+// of step series (Figure 7 current profiles) and sampled curves
+// (Figures 2/3) with axes, ticks and labels, no external dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/recorder.hpp"
+
+namespace fcdpm::report {
+
+/// One (x, y) curve for the generic line plot.
+struct SvgSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Plot geometry and labeling.
+struct SvgOptions {
+  int width = 720;
+  int height = 360;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Axis ranges; when lo == hi the range is derived from the data.
+  double x_min = 0.0;
+  double x_max = 0.0;
+  double y_min = 0.0;
+  double y_max = 0.0;
+};
+
+/// Render polyline series (each in a distinct stroke) as a complete SVG
+/// document. Requires at least one series with >= 2 points, and every
+/// series' xs/ys sizes to match.
+[[nodiscard]] std::string render_line_svg(
+    const std::vector<SvgSeries>& series, const SvgOptions& options);
+
+/// Render step series (piecewise-constant, like Figure 7's current
+/// profiles) over [t0, t1].
+[[nodiscard]] std::string render_step_svg(
+    const std::vector<const sim::StepSeries*>& series, Seconds t0,
+    Seconds t1, const SvgOptions& options);
+
+/// Write an SVG document to a file; throws CsvError-style runtime_error
+/// on I/O failure.
+void write_svg_file(const std::string& path, const std::string& svg);
+
+}  // namespace fcdpm::report

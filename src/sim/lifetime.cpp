@@ -1,0 +1,79 @@
+#include "sim/lifetime.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+LifetimeResult measure_lifetime(const wl::Trace& trace,
+                                dpm::DpmPolicy& dpm_policy,
+                                core::FcOutputPolicy& fc_policy,
+                                power::HybridPowerSource& hybrid,
+                                const LifetimeOptions& options) {
+  FCDPM_EXPECTS(options.tank.value() > 0.0, "tank must be positive");
+  FCDPM_EXPECTS(!trace.empty(), "lifetime needs a non-empty workload");
+
+  LifetimeResult result;
+
+  Coulomb fuel_before_pass{0.0};
+  Seconds elapsed{0.0};
+
+  SimulationOptions pass_options = options.simulation;
+  pass_options.keep_slot_records = true;
+
+  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+    const SimulationResult r =
+        simulate(trace, dpm_policy, fc_policy, hybrid, pass_options);
+    // Subsequent passes continue from the current source state.
+    pass_options.preserve_source_state = true;
+
+    const Coulomb pass_fuel = hybrid.totals().fuel - fuel_before_pass;
+    if (hybrid.totals().fuel < options.tank) {
+      fuel_before_pass = hybrid.totals().fuel;
+      elapsed = r.totals.duration;  // totals are cumulative across passes
+      result.passes = pass + 1;
+      result.slots_completed += r.slots;
+      FCDPM_EXPECTS(pass_fuel.value() > 0.0,
+                    "workload burns no fuel; lifetime unbounded");
+      continue;
+    }
+
+    // The tank empties within this pass: walk the slot records.
+    Coulomb cumulative = fuel_before_pass;
+    Seconds pass_elapsed{0.0};
+    for (const SlotRecord& record : r.slot_records) {
+      const Seconds slot_span =
+          record.idle + record.active + record.latency;
+      if (cumulative + record.fuel < options.tank) {
+        cumulative += record.fuel;
+        pass_elapsed += slot_span;
+        ++result.slots_completed;
+        continue;
+      }
+      // Linear interpolation inside the crossing slot (fuel accrues
+      // piecewise-linearly in time; the error is bounded by one slot).
+      const double need = (options.tank - cumulative).value();
+      const double fraction =
+          record.fuel.value() > 0.0 ? need / record.fuel.value() : 1.0;
+      pass_elapsed += slot_span * std::min(1.0, fraction);
+      break;
+    }
+
+    result.lifetime = elapsed + pass_elapsed;
+    result.tank_emptied = true;
+    result.passes = pass + 1;
+    result.average_fuel_current = options.tank / result.lifetime;
+    return result;
+  }
+
+  // Tank outlived max_passes: report what was measured.
+  result.lifetime = elapsed;
+  result.tank_emptied = false;
+  if (elapsed.value() > 0.0) {
+    result.average_fuel_current = fuel_before_pass / elapsed;
+  }
+  return result;
+}
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,45 @@
+// Direct lifetime measurement: loop a workload until a finite fuel tank
+// runs dry. This is the paper's headline metric ("up to 32 % more system
+// lifetime") measured head-on rather than inferred from fuel ratios —
+// the two must agree because fuel burn is stationary across passes.
+#pragma once
+
+#include "core/fc_policy.hpp"
+#include "dpm/dpm_policy.hpp"
+#include "power/hybrid.hpp"
+#include "sim/metrics.hpp"
+#include "sim/slot_simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::sim {
+
+struct LifetimeOptions {
+  /// Tank size in fuel A-s (stack charge).
+  Coulomb tank{3600.0};
+  SimulationOptions simulation;
+  /// Safety bound on workload repetitions.
+  std::size_t max_passes = 100000;
+};
+
+struct LifetimeResult {
+  /// Operational time until the tank emptied.
+  Seconds lifetime{0.0};
+  /// Whole task slots completed before the cutoff.
+  std::size_t slots_completed = 0;
+  /// Full passes over the workload.
+  std::size_t passes = 0;
+  /// True when the tank actually emptied within max_passes.
+  bool tank_emptied = false;
+  /// Average fuel current over the measured life.
+  Ampere average_fuel_current{0.0};
+};
+
+/// Measure the operational lifetime of (dpm, fc) on `trace`, looping the
+/// trace until `options.tank` of fuel is burned. Policies keep their
+/// state across passes (steady-state behaviour, as on a real device).
+[[nodiscard]] LifetimeResult measure_lifetime(
+    const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
+    core::FcOutputPolicy& fc_policy, power::HybridPowerSource& hybrid,
+    const LifetimeOptions& options);
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,40 @@
+#include "sim/metrics.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+Ampere SimulationResult::average_fuel_current() const {
+  if (totals.duration.value() <= 0.0) {
+    return Ampere(0.0);
+  }
+  return totals.fuel / totals.duration;
+}
+
+Seconds SimulationResult::lifetime_on(Coulomb tank) const {
+  FCDPM_EXPECTS(tank.value() > 0.0, "tank must be positive");
+  const Ampere burn = average_fuel_current();
+  FCDPM_EXPECTS(burn.value() > 0.0, "no fuel burned; lifetime unbounded");
+  return tank / burn;
+}
+
+double normalized_fuel(const SimulationResult& result,
+                       const SimulationResult& baseline) {
+  FCDPM_EXPECTS(baseline.fuel().value() > 0.0,
+                "baseline fuel must be positive");
+  return result.fuel() / baseline.fuel();
+}
+
+double lifetime_extension(const SimulationResult& result,
+                          const SimulationResult& other) {
+  FCDPM_EXPECTS(result.fuel().value() > 0.0, "fuel must be positive");
+  return other.fuel() / result.fuel();
+}
+
+double fuel_saving(const SimulationResult& result,
+                   const SimulationResult& other) {
+  FCDPM_EXPECTS(other.fuel().value() > 0.0, "fuel must be positive");
+  return 1.0 - result.fuel() / other.fuel();
+}
+
+}  // namespace fcdpm::sim

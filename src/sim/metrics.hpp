@@ -1,0 +1,74 @@
+// Results and derived metrics of one policy run.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dpm/predictors.hpp"
+#include "power/hybrid.hpp"
+#include "sim/recorder.hpp"
+
+namespace fcdpm::sim {
+
+/// Per-slot accounting (kept when SimulationOptions.keep_slot_records).
+struct SlotRecord {
+  std::size_t index = 0;
+  Seconds idle{0.0};
+  Seconds active{0.0};   ///< effective (incl. RUN transitions)
+  bool slept = false;
+  Ampere if_idle{0.0};   ///< time-averaged FC output over the idle phase
+  Ampere if_active{0.0};
+  Coulomb fuel{0.0};
+  Coulomb storage_end{0.0};
+  Seconds latency{0.0};
+};
+
+/// Complete result of simulating one (DPM policy, FC policy) pair.
+struct SimulationResult {
+  std::string trace_name;
+  std::string dpm_policy;
+  std::string fc_policy;
+
+  power::HybridTotals totals;
+  std::size_t slots = 0;
+  std::size_t sleeps = 0;
+  Seconds latency_added{0.0};
+
+  Coulomb storage_initial{0.0};
+  Coulomb storage_end{0.0};
+  Coulomb storage_min{0.0};
+  Coulomb storage_max{0.0};
+
+  std::optional<dpm::PredictionAccuracy> idle_accuracy;
+  std::vector<SlotRecord> slot_records;
+  std::optional<ProfileRecorder> profiles;
+
+  /// The paper's headline metric: fuel consumed, in stack A-s.
+  [[nodiscard]] Coulomb fuel() const { return totals.fuel; }
+
+  /// Time-averaged fuel (stack) current.
+  [[nodiscard]] Ampere average_fuel_current() const;
+
+  /// Operational lifetime on `tank` of fuel at this run's average burn
+  /// rate (lifetime is inversely proportional to fuel consumption).
+  [[nodiscard]] Seconds lifetime_on(Coulomb tank) const;
+};
+
+/// fuel(result) / fuel(baseline) — Table 2/3's "normalized fuel
+/// consumption"; requires baseline fuel > 0.
+[[nodiscard]] double normalized_fuel(const SimulationResult& result,
+                                     const SimulationResult& baseline);
+
+/// Lifetime-extension factor of `result` over `other` (inverse fuel
+/// ratio; the paper's "1.32x").
+[[nodiscard]] double lifetime_extension(const SimulationResult& result,
+                                        const SimulationResult& other);
+
+/// Fuel saving of `result` relative to `other` (the paper's "FC-DPM
+/// saves 24.4 % more fuel than ASAP-DPM").
+[[nodiscard]] double fuel_saving(const SimulationResult& result,
+                                 const SimulationResult& other);
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,95 @@
+#include "sim/recorder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+StepSeries::StepSeries(std::string name, std::string unit)
+    : name_(std::move(name)), unit_(std::move(unit)) {}
+
+void StepSeries::append(Seconds duration, double value) {
+  FCDPM_EXPECTS(duration.value() >= 0.0, "duration must be non-negative");
+  if (duration.value() == 0.0) {
+    return;
+  }
+  if (points_.empty() || points_.back().value != value) {
+    points_.push_back({end_time_, value});
+  }
+  end_time_ += duration;
+}
+
+double StepSeries::sample(Seconds t) const {
+  if (points_.empty() || t < points_.front().time) {
+    return 0.0;
+  }
+  // Last point whose time is <= t.
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](Seconds value, const StepPoint& p) { return value < p.time; });
+  return std::prev(it)->value;
+}
+
+StepSeries StepSeries::window(Seconds t0, Seconds t1) const {
+  FCDPM_EXPECTS(t0 <= t1, "window is inverted");
+  StepSeries out(name_, unit_);
+  if (points_.empty() || t0 >= end_time_) {
+    return out;
+  }
+
+  const Seconds stop = min(t1, end_time_);
+  Seconds cursor = t0;
+  while (cursor < stop) {
+    const double value = sample(cursor);
+    // Find the next change after `cursor`.
+    Seconds next = stop;
+    for (const StepPoint& p : points_) {
+      if (p.time > cursor) {
+        next = min(next, p.time);
+        break;
+      }
+    }
+    out.append(next - cursor, value);
+    cursor = next;
+  }
+  return out;
+}
+
+double StepSeries::time_average() const {
+  if (points_.empty() || end_time_.value() <= 0.0) {
+    return 0.0;
+  }
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < points_.size(); ++k) {
+    const Seconds start = points_[k].time;
+    const Seconds stop =
+        (k + 1 < points_.size()) ? points_[k + 1].time : end_time_;
+    weighted += points_[k].value * (stop - start).value();
+  }
+  return weighted / end_time_.value();
+}
+
+ProfileRecorder::ProfileRecorder()
+    : load_("load current", "A"),
+      fc_("FC system output current", "A"),
+      storage_("storage charge", "A-s") {}
+
+void ProfileRecorder::record(Seconds duration, Ampere load, Ampere fc_output,
+                             Coulomb storage) {
+  FCDPM_EXPECTS(duration.value() >= 0.0, "duration must be non-negative");
+  Seconds record_span = duration;
+  if (limit_.value() > 0.0) {
+    const Seconds room = limit_ - clock_;
+    record_span = clamp(duration, Seconds(0.0), max(room, Seconds(0.0)));
+  }
+  if (record_span.value() > 0.0) {
+    load_.append(record_span, load.value());
+    fc_.append(record_span, fc_output.value());
+    storage_.append(record_span, storage.value());
+  }
+  clock_ += duration;
+}
+
+}  // namespace fcdpm::sim

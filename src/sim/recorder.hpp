@@ -1,0 +1,85 @@
+// Piecewise-constant time series recording for the Figure 7 current
+// profiles (load current, FC output current, buffer charge vs time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fcdpm::sim {
+
+/// One step of a piecewise-constant signal: `value` holds from `time`
+/// until the next point's time.
+struct StepPoint {
+  Seconds time{0.0};
+  double value = 0.0;
+};
+
+/// Piecewise-constant signal. Appends must move forward in time.
+class StepSeries {
+ public:
+  StepSeries() = default;
+  StepSeries(std::string name, std::string unit);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& unit() const noexcept { return unit_; }
+  [[nodiscard]] const std::vector<StepPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] Seconds end_time() const noexcept { return end_time_; }
+
+  /// Append a stretch of `duration` at `value` starting at end_time().
+  /// Adjacent equal values are merged.
+  void append(Seconds duration, double value);
+
+  /// Signal value at time `t` (last value holds past the end; 0 before
+  /// the first point).
+  [[nodiscard]] double sample(Seconds t) const;
+
+  /// The sub-series covering [t0, t1).
+  [[nodiscard]] StepSeries window(Seconds t0, Seconds t1) const;
+
+  /// Time-weighted mean over the recorded span.
+  [[nodiscard]] double time_average() const;
+
+ private:
+  std::string name_;
+  std::string unit_;
+  std::vector<StepPoint> points_;
+  Seconds end_time_{0.0};
+};
+
+/// Bundles the three signals the paper plots.
+class ProfileRecorder {
+ public:
+  ProfileRecorder();
+
+  /// Record only the first `limit` of simulated time (Figure 7 shows
+  /// 300 s); records everything when limit <= 0.
+  void set_limit(Seconds limit) { limit_ = limit; }
+
+  void record(Seconds duration, Ampere load, Ampere fc_output,
+              Coulomb storage);
+
+  [[nodiscard]] const StepSeries& load_current() const noexcept {
+    return load_;
+  }
+  [[nodiscard]] const StepSeries& fc_output() const noexcept {
+    return fc_;
+  }
+  [[nodiscard]] const StepSeries& storage_charge() const noexcept {
+    return storage_;
+  }
+  [[nodiscard]] Seconds clock() const noexcept { return clock_; }
+
+ private:
+  StepSeries load_;
+  StepSeries fc_;
+  StepSeries storage_;
+  Seconds clock_{0.0};
+  Seconds limit_{0.0};
+};
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,54 @@
+#include "sim/remaining_lifetime.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+RemainingLifetimeEstimator::RemainingLifetimeEstimator(Coulomb tank,
+                                                       double smoothing)
+    : tank_(tank), smoothing_(smoothing) {
+  FCDPM_EXPECTS(tank.value() > 0.0, "tank must be positive");
+  FCDPM_EXPECTS(smoothing > 0.0 && smoothing <= 1.0,
+                "smoothing must be in (0, 1]");
+}
+
+void RemainingLifetimeEstimator::record(Coulomb fuel, Seconds span) {
+  FCDPM_EXPECTS(fuel.value() >= 0.0, "fuel must be non-negative");
+  FCDPM_EXPECTS(span.value() > 0.0, "span must be positive");
+  consumed_ += fuel;
+  const double rate = (fuel / span).value();
+  if (!have_rate_) {
+    rate_estimate_ = rate;
+    have_rate_ = true;
+  } else {
+    rate_estimate_ =
+        smoothing_ * rate_estimate_ + (1.0 - smoothing_) * rate;
+  }
+}
+
+Coulomb RemainingLifetimeEstimator::fuel_remaining() const {
+  return max(tank_ - consumed_, Coulomb(0.0));
+}
+
+bool RemainingLifetimeEstimator::empty() const {
+  return fuel_remaining().value() <= 0.0;
+}
+
+Ampere RemainingLifetimeEstimator::burn_rate() const {
+  return Ampere(have_rate_ ? rate_estimate_ : 0.0);
+}
+
+Seconds RemainingLifetimeEstimator::remaining() const {
+  FCDPM_EXPECTS(have_rate_ && rate_estimate_ > 0.0,
+                "no burn-rate telemetry yet");
+  return fuel_remaining() / burn_rate();
+}
+
+double RemainingLifetimeEstimator::extension_over(Ampere reference) const {
+  FCDPM_EXPECTS(reference.value() > 0.0, "reference rate must be > 0");
+  FCDPM_EXPECTS(have_rate_ && rate_estimate_ > 0.0,
+                "no burn-rate telemetry yet");
+  return reference.value() / rate_estimate_;
+}
+
+}  // namespace fcdpm::sim

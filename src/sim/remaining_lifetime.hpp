@@ -1,0 +1,46 @@
+// Remaining-runtime estimation: the "fuel gauge needle" a device built
+// on this library would show. Tracks an exponentially-weighted average
+// of the fuel current from slot telemetry and projects the remaining
+// tank over it. This is where the run-time efficiency model (A14)
+// actually pays off: the projection needs a *current* burn model, not
+// the factory characterization.
+#pragma once
+
+#include "common/units.hpp"
+#include "fuelcell/fuel_model.hpp"
+
+namespace fcdpm::sim {
+
+class RemainingLifetimeEstimator {
+ public:
+  /// `tank` of fuel (stack A-s); `smoothing` in (0, 1] weights history
+  /// (1 = plain cumulative average, smaller adapts faster).
+  RemainingLifetimeEstimator(Coulomb tank, double smoothing = 0.9);
+
+  /// Record a telemetry window: `fuel` burned over `span`.
+  void record(Coulomb fuel, Seconds span);
+
+  [[nodiscard]] Coulomb fuel_remaining() const;
+  [[nodiscard]] bool empty() const;
+
+  /// Smoothed burn rate (stack amperes); 0 until telemetry arrives.
+  [[nodiscard]] Ampere burn_rate() const;
+
+  /// Projected runtime left at the current burn rate; requires telemetry
+  /// with a positive burn rate.
+  [[nodiscard]] Seconds remaining() const;
+
+  /// Remaining runtime as a fraction of the projection at `reference`
+  /// burn rate (e.g. "1.32x the lifetime a load-following controller
+  /// would get"). Requires reference > 0.
+  [[nodiscard]] double extension_over(Ampere reference) const;
+
+ private:
+  Coulomb tank_;
+  double smoothing_;
+  Coulomb consumed_{0.0};
+  double rate_estimate_ = 0.0;  // amperes
+  bool have_rate_ = false;
+};
+
+}  // namespace fcdpm::sim

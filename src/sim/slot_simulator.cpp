@@ -1,0 +1,196 @@
+#include "sim/slot_simulator.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+namespace {
+
+/// Execute one constant-device-current stretch, honoring the policy's
+/// stop-charging-when-full request by splitting the segment at the
+/// instant the buffer fills (ASAP's recharge rule). Returns fuel burned.
+Coulomb run_segment(power::HybridPowerSource& hybrid,
+                    core::FcOutputPolicy& fc_policy,
+                    const core::SegmentContext& context, Seconds duration,
+                    ProfileRecorder* recorder, Coulomb& if_dt_accumulator) {
+  const core::SegmentSetpoint sp = fc_policy.segment_setpoint(context);
+
+  Seconds first_span = duration;
+  if (sp.stop_charging_when_full &&
+      sp.setpoint > context.device_current) {
+    const Ampere net = sp.setpoint - context.device_current;
+    const Seconds to_full = hybrid.storage().bus_charge_to_full() / net;
+    first_span = min(duration, to_full);
+  }
+
+  Coulomb fuel{0.0};
+  const power::SegmentResult first =
+      hybrid.run_segment(first_span, context.device_current, sp.setpoint);
+  fuel += first.fuel;
+  if_dt_accumulator += first.actual_if * first_span;
+  if (recorder != nullptr) {
+    recorder->record(first_span, context.device_current, first.actual_if,
+                     hybrid.storage().charge());
+  }
+
+  const Seconds remainder = duration - first_span;
+  if (remainder.value() > 0.0) {
+    // Buffer filled mid-segment: fall back to load following.
+    const Ampere follow = clamp(context.device_current,
+                                hybrid.source().min_output(),
+                                hybrid.source().max_output());
+    const power::SegmentResult rest =
+        hybrid.run_segment(remainder, context.device_current, follow);
+    fuel += rest.fuel;
+    if_dt_accumulator += rest.actual_if * remainder;
+    if (recorder != nullptr) {
+      recorder->record(remainder, context.device_current, rest.actual_if,
+                       hybrid.storage().charge());
+    }
+  }
+  return fuel;
+}
+
+}  // namespace
+
+SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
+                          core::FcOutputPolicy& fc_policy,
+                          power::HybridPowerSource& hybrid,
+                          const SimulationOptions& options) {
+  trace.validate();
+  const dpm::DevicePowerModel& device = dpm_policy.device();
+  device.validate();
+
+  const Coulomb capacity = hybrid.storage().capacity();
+  Coulomb initial = hybrid.storage().charge();
+  if (!options.preserve_source_state) {
+    initial = (options.initial_storage.value() < 0.0)
+                  ? capacity
+                  : min(options.initial_storage, capacity);
+    hybrid.reset(initial);
+  }
+
+  SimulationResult result;
+  result.trace_name = trace.name();
+  result.dpm_policy = dpm_policy.name();
+  result.fc_policy = fc_policy.name();
+  result.storage_initial = initial;
+  result.slots = trace.size();
+
+  ProfileRecorder recorder;
+  recorder.set_limit(options.profile_limit);
+  ProfileRecorder* rec = options.record_profiles ? &recorder : nullptr;
+
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const wl::TaskSlot& slot = trace[k];
+    const Ampere run_current = slot.active_power / device.bus_voltage;
+    const Seconds active_eff = device.standby_to_run_delay + slot.active +
+                               device.run_to_standby_delay;
+    const Coulomb fuel_before = hybrid.totals().fuel;
+
+    // --- idle phase --------------------------------------------------------
+    dpm::IdlePlan plan = dpm_policy.plan_idle(slot.idle);
+    if (plan.slept) {
+      ++result.sleeps;
+    }
+    result.latency_added += plan.latency_spill;
+
+    core::IdleContext idle_context;
+    idle_context.slot_index = k;
+    idle_context.will_sleep = plan.slept;
+    idle_context.predicted_idle = plan.predicted_idle;
+    idle_context.idle_current = plan.slept ? device.sleep_current()
+                                           : device.standby_current();
+    idle_context.storage_charge = hybrid.storage().charge();
+    idle_context.storage_capacity = capacity;
+    idle_context.actual_idle = slot.idle;
+    idle_context.actual_active = active_eff;
+    idle_context.actual_active_current = run_current;
+    fc_policy.on_idle_start(idle_context);
+
+    Coulomb if_dt_idle{0.0};
+    for (const dpm::IdleSegment& segment : plan.segments) {
+      core::SegmentContext context;
+      context.phase = core::Phase::Idle;
+      context.state = segment.state;
+      context.device_current = segment.current;
+      context.storage_charge = hybrid.storage().charge();
+      context.storage_capacity = capacity;
+      run_segment(hybrid, fc_policy, context, segment.duration, rec,
+                  if_dt_idle);
+    }
+
+    // --- active phase ------------------------------------------------------
+    core::ActiveContext active_context;
+    active_context.slot_index = k;
+    active_context.active_duration = active_eff;
+    active_context.active_current = run_current;
+    active_context.storage_charge = hybrid.storage().charge();
+    active_context.storage_capacity = capacity;
+    fc_policy.on_active_start(active_context);
+
+    core::SegmentContext context;
+    context.phase = core::Phase::Active;
+    context.state = dpm::PowerState::Run;
+    context.device_current = run_current;
+    context.storage_charge = hybrid.storage().charge();
+    context.storage_capacity = capacity;
+    Coulomb if_dt_active{0.0};
+    run_segment(hybrid, fc_policy, context, active_eff, rec, if_dt_active);
+
+    // --- bookkeeping -------------------------------------------------------
+    dpm_policy.observe_idle(slot.idle);
+
+    core::SlotObservation observation;
+    observation.slot_index = k;
+    observation.actual_idle = slot.idle;
+    observation.actual_active = active_eff;
+    observation.actual_active_current = run_current;
+    observation.storage_charge = hybrid.storage().charge();
+    observation.delivered_charge = if_dt_idle + if_dt_active;
+    observation.fuel_used = hybrid.totals().fuel - fuel_before;
+    fc_policy.on_slot_end(observation);
+
+    if (options.keep_slot_records) {
+      SlotRecord record;
+      record.index = k;
+      record.idle = slot.idle;
+      record.active = active_eff;
+      record.slept = plan.slept;
+      const Seconds idle_span = plan.total_duration();
+      record.if_idle = (idle_span.value() > 0.0) ? if_dt_idle / idle_span
+                                                 : Ampere(0.0);
+      record.if_active = if_dt_active / active_eff;
+      record.fuel = hybrid.totals().fuel - fuel_before;
+      record.storage_end = hybrid.storage().charge();
+      record.latency = plan.latency_spill;
+      result.slot_records.push_back(record);
+    }
+  }
+
+  result.totals = hybrid.totals();
+  result.storage_end = hybrid.storage().charge();
+  result.storage_min = hybrid.min_storage_seen();
+  result.storage_max = hybrid.max_storage_seen();
+
+  if (const auto* predictive =
+          dynamic_cast<const dpm::PredictiveDpmPolicy*>(&dpm_policy)) {
+    result.idle_accuracy = predictive->accuracy();
+  }
+  if (options.record_profiles) {
+    result.profiles = std::move(recorder);
+  }
+  return result;
+}
+
+SimulationResult simulate_paper_hybrid(const wl::Trace& trace,
+                                       dpm::DpmPolicy& dpm_policy,
+                                       core::FcOutputPolicy& fc_policy,
+                                       const SimulationOptions& options) {
+  power::HybridPowerSource hybrid = power::HybridPowerSource::paper_hybrid();
+  return simulate(trace, dpm_policy, fc_policy, hybrid, options);
+}
+
+}  // namespace fcdpm::sim

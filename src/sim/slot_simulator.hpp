@@ -1,0 +1,52 @@
+// Slot-level simulator: exact piecewise-constant integration of a trace
+// under a (DPM policy, FC output policy) pair over the hybrid source.
+//
+// Per slot: the DPM policy lays the idle period out (standby, or
+// power-down / sleep / wake-up); the FC policy is consulted at idle
+// start, per segment, and again at active start (with the actual Ta and
+// Ild,a, per Section 4.2). STANDBY<->RUN transitions extend the active
+// phase at run power (Section 3.3.2's absorption rule).
+#pragma once
+
+#include <memory>
+
+#include "core/fc_policy.hpp"
+#include "dpm/dpm_policy.hpp"
+#include "power/hybrid.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::sim {
+
+struct SimulationOptions {
+  /// Buffer charge at t = 0; negative means "start full". Default is
+  /// empty: FC-DPM pins its end-of-slot target to the initial charge
+  /// (Cini(1), Section 3.3.1), and an empty buffer gives it the headroom
+  /// its idle-phase charging needs — matching the paper's motivational
+  /// example where Cini = 0.
+  Coulomb initial_storage{0.0};
+  bool record_profiles = false;
+  /// Record only this much simulated time (0 = all); Figure 7 uses 300 s.
+  Seconds profile_limit{0.0};
+  bool keep_slot_records = false;
+  /// Continue from the hybrid source's current state instead of
+  /// resetting it (multi-pass runs, e.g. lifetime measurement). Totals
+  /// then accumulate across calls.
+  bool preserve_source_state = false;
+};
+
+/// Simulate `trace` with the given policies over `hybrid`. The policies
+/// and the hybrid source are mutated (they are stateful); pass fresh
+/// instances per run.
+[[nodiscard]] SimulationResult simulate(const wl::Trace& trace,
+                                        dpm::DpmPolicy& dpm_policy,
+                                        core::FcOutputPolicy& fc_policy,
+                                        power::HybridPowerSource& hybrid,
+                                        const SimulationOptions& options = {});
+
+/// Convenience overload: builds the paper's hybrid source internally.
+[[nodiscard]] SimulationResult simulate_paper_hybrid(
+    const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
+    core::FcOutputPolicy& fc_policy, const SimulationOptions& options = {});
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,128 @@
+#include "sim/timed_simulator.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+
+namespace {
+
+/// Step through `duration` in dt increments, querying the policy each
+/// step (so stateful rules like ASAP's recharge react at dt resolution).
+void run_stepped(power::HybridPowerSource& hybrid,
+                 core::FcOutputPolicy& fc_policy,
+                 core::SegmentContext context, Seconds duration,
+                 Seconds dt) {
+  Seconds remaining = duration;
+  while (remaining.value() > 0.0) {
+    const Seconds step = min(dt, remaining);
+    context.storage_charge = hybrid.storage().charge();
+    const core::SegmentSetpoint sp = fc_policy.segment_setpoint(context);
+    // stop_charging_when_full is naturally approximated at dt
+    // granularity: the policy sees the filled buffer next step.
+    hybrid.run_segment(step, context.device_current, sp.setpoint);
+    remaining -= step;
+  }
+}
+
+}  // namespace
+
+SimulationResult simulate_timed(const wl::Trace& trace,
+                                dpm::DpmPolicy& dpm_policy,
+                                core::FcOutputPolicy& fc_policy,
+                                power::HybridPowerSource& hybrid,
+                                const TimedOptions& options) {
+  FCDPM_EXPECTS(options.timestep.value() > 0.0, "timestep must be > 0");
+  trace.validate();
+  const dpm::DevicePowerModel& device = dpm_policy.device();
+  device.validate();
+
+  const Coulomb capacity = hybrid.storage().capacity();
+  const Coulomb initial = (options.initial_storage.value() < 0.0)
+                              ? capacity
+                              : min(options.initial_storage, capacity);
+  hybrid.reset(initial);
+
+  SimulationResult result;
+  result.trace_name = trace.name();
+  result.dpm_policy = dpm_policy.name();
+  result.fc_policy = fc_policy.name();
+  result.storage_initial = initial;
+  result.slots = trace.size();
+
+  const Seconds dt = options.timestep;
+
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const wl::TaskSlot& slot = trace[k];
+    const Ampere run_current = slot.active_power / device.bus_voltage;
+    const Seconds active_eff = device.standby_to_run_delay + slot.active +
+                               device.run_to_standby_delay;
+
+    const Coulomb fuel_before = hybrid.totals().fuel;
+    const Joule delivered_before = hybrid.totals().delivered_energy;
+
+    dpm::IdlePlan plan = dpm_policy.plan_idle(slot.idle);
+    if (plan.slept) {
+      ++result.sleeps;
+    }
+    result.latency_added += plan.latency_spill;
+
+    core::IdleContext idle_context;
+    idle_context.slot_index = k;
+    idle_context.will_sleep = plan.slept;
+    idle_context.predicted_idle = plan.predicted_idle;
+    idle_context.idle_current = plan.slept ? device.sleep_current()
+                                           : device.standby_current();
+    idle_context.storage_charge = hybrid.storage().charge();
+    idle_context.storage_capacity = capacity;
+    idle_context.actual_idle = slot.idle;
+    idle_context.actual_active = active_eff;
+    idle_context.actual_active_current = run_current;
+    fc_policy.on_idle_start(idle_context);
+
+    for (const dpm::IdleSegment& segment : plan.segments) {
+      core::SegmentContext context;
+      context.phase = core::Phase::Idle;
+      context.state = segment.state;
+      context.device_current = segment.current;
+      context.storage_capacity = capacity;
+      run_stepped(hybrid, fc_policy, context, segment.duration, dt);
+    }
+
+    core::ActiveContext active_context;
+    active_context.slot_index = k;
+    active_context.active_duration = active_eff;
+    active_context.active_current = run_current;
+    active_context.storage_charge = hybrid.storage().charge();
+    active_context.storage_capacity = capacity;
+    fc_policy.on_active_start(active_context);
+
+    core::SegmentContext context;
+    context.phase = core::Phase::Active;
+    context.state = dpm::PowerState::Run;
+    context.device_current = run_current;
+    context.storage_capacity = capacity;
+    run_stepped(hybrid, fc_policy, context, active_eff, dt);
+
+    dpm_policy.observe_idle(slot.idle);
+
+    core::SlotObservation observation;
+    observation.slot_index = k;
+    observation.actual_idle = slot.idle;
+    observation.actual_active = active_eff;
+    observation.actual_active_current = run_current;
+    observation.storage_charge = hybrid.storage().charge();
+    observation.fuel_used = hybrid.totals().fuel - fuel_before;
+    observation.delivered_charge =
+        (hybrid.totals().delivered_energy - delivered_before) /
+        device.bus_voltage;
+    fc_policy.on_slot_end(observation);
+  }
+
+  result.totals = hybrid.totals();
+  result.storage_end = hybrid.storage().charge();
+  result.storage_min = hybrid.min_storage_seen();
+  result.storage_max = hybrid.max_storage_seen();
+  return result;
+}
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,29 @@
+// Fixed-timestep simulator: integrates the same slot structure with a dt
+// grid, re-querying the FC policy every step. Slower but structurally
+// independent of the slot simulator's exact-integration and
+// segment-splitting logic — the property tests require both to agree to
+// within O(dt).
+#pragma once
+
+#include "core/fc_policy.hpp"
+#include "dpm/dpm_policy.hpp"
+#include "power/hybrid.hpp"
+#include "sim/metrics.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::sim {
+
+struct TimedOptions {
+  Seconds timestep{0.01};
+  /// Buffer charge at t = 0; negative means "start full". Default empty,
+  /// matching SimulationOptions.
+  Coulomb initial_storage{0.0};
+};
+
+/// dt-stepped counterpart of sim::simulate().
+[[nodiscard]] SimulationResult simulate_timed(
+    const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
+    core::FcOutputPolicy& fc_policy, power::HybridPowerSource& hybrid,
+    const TimedOptions& options = {});
+
+}  // namespace fcdpm::sim

@@ -1,0 +1,55 @@
+#include "workload/aggregation.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+
+Trace aggregate_trace(const Trace& trace, Seconds max_deferral,
+                      AggregationReport* report) {
+  FCDPM_EXPECTS(max_deferral.value() >= 0.0,
+                "deferral budget must be non-negative");
+  trace.validate();
+
+  Trace out(trace.name() + " (aggregated)", {});
+  AggregationReport stats;
+  stats.original_slots = trace.size();
+
+  std::size_t k = 0;
+  while (k < trace.size()) {
+    // Start a group at slot k and greedily extend it: the group's first
+    // burst is deferred by every idle hoisted ahead of it, i.e. the
+    // group's idle total minus the first slot's own idle.
+    Seconds group_idle = trace[k].idle;
+    Seconds group_active = trace[k].active;
+    Joule active_energy = trace[k].active_power * trace[k].active;
+    const Seconds first_idle = trace[k].idle;
+
+    std::size_t j = k + 1;
+    while (j < trace.size()) {
+      const Seconds deferral = group_idle + trace[j].idle - first_idle;
+      if (deferral > max_deferral) {
+        break;
+      }
+      group_idle += trace[j].idle;
+      group_active += trace[j].active;
+      active_energy += trace[j].active_power * trace[j].active;
+      ++j;
+    }
+
+    stats.worst_deferral =
+        max(stats.worst_deferral, group_idle - first_idle);
+    // Energy-preserving average power over the batched burst.
+    const Watt power = active_energy / group_active;
+    out.append({group_idle, group_active, power});
+    k = j;
+  }
+
+  stats.merged_slots = out.size();
+  if (report != nullptr) {
+    *report = stats;
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace fcdpm::wl

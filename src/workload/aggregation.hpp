@@ -1,0 +1,35 @@
+// Idle aggregation by task procrastination (the paper's related work
+// [6] Jejurikar/Gupta and [7] Lu/Benini/De Micheli): deferring task
+// bursts within a latency budget merges adjacent task slots, turning
+// many short idles into fewer long ones — which helps any DPM policy
+// (deeper sleeps, fewer transitions) and FC-DPM in particular (fewer
+// optimizer re-plans, flatter profile).
+#pragma once
+
+#include "common/units.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+/// Statistics of an aggregation pass.
+struct AggregationReport {
+  std::size_t original_slots = 0;
+  std::size_t merged_slots = 0;
+  /// Largest deferral any single burst experienced.
+  Seconds worst_deferral{0.0};
+};
+
+/// Merge consecutive task slots greedily while no burst in a merged
+/// group is deferred by more than `max_deferral`.
+///
+/// Within a merged group the idles are pulled to the front and the
+/// bursts batched at the end, so a burst originally at the start of the
+/// group is deferred by the idles (and bursts) that were hoisted ahead
+/// of it. The deferral of the group's first burst is the largest; the
+/// greedy pass extends a group only while that stays within budget.
+/// Total idle and active time are preserved exactly.
+[[nodiscard]] Trace aggregate_trace(const Trace& trace,
+                                    Seconds max_deferral,
+                                    AggregationReport* report = nullptr);
+
+}  // namespace fcdpm::wl

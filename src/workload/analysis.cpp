@@ -1,0 +1,128 @@
+#include "workload/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+
+std::size_t Histogram::total() const {
+  std::size_t sum = 0;
+  for (const std::size_t c : counts) {
+    sum += c;
+  }
+  return sum;
+}
+
+double Histogram::fraction(std::size_t k) const {
+  FCDPM_EXPECTS(k < counts.size(), "bin index out of range");
+  const std::size_t n = total();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts[k]) / static_cast<double>(n);
+}
+
+double Histogram::bin_width() const {
+  if (counts.empty()) {
+    return 0.0;
+  }
+  return (hi - lo) / static_cast<double>(counts.size());
+}
+
+Histogram histogram(const std::vector<double>& samples, std::size_t bins) {
+  FCDPM_EXPECTS(bins >= 1, "need at least one bin");
+  FCDPM_EXPECTS(!samples.empty(), "histogram of empty samples");
+
+  Histogram h;
+  h.lo = *std::min_element(samples.begin(), samples.end());
+  h.hi = *std::max_element(samples.begin(), samples.end());
+  h.counts.assign(bins, 0);
+
+  if (h.hi == h.lo) {
+    h.counts[0] = samples.size();
+    return h;
+  }
+
+  const double width = (h.hi - h.lo) / static_cast<double>(bins);
+  for (const double s : samples) {
+    const auto k = static_cast<std::size_t>(
+        std::min(static_cast<double>(bins - 1), (s - h.lo) / width));
+    ++h.counts[k];
+  }
+  return h;
+}
+
+std::vector<double> idle_durations(const Trace& trace) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const TaskSlot& slot : trace.slots()) {
+    out.push_back(slot.idle.value());
+  }
+  return out;
+}
+
+std::vector<double> active_durations(const Trace& trace) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const TaskSlot& slot : trace.slots()) {
+    out.push_back(slot.active.value());
+  }
+  return out;
+}
+
+std::vector<double> active_powers(const Trace& trace) {
+  std::vector<double> out;
+  out.reserve(trace.size());
+  for (const TaskSlot& slot : trace.slots()) {
+    out.push_back(slot.active_power.value());
+  }
+  return out;
+}
+
+double autocorrelation(const std::vector<double>& samples,
+                       std::size_t lag) {
+  FCDPM_EXPECTS(lag >= 1, "lag must be >= 1");
+  FCDPM_EXPECTS(samples.size() > lag, "need more samples than the lag");
+
+  double mean = 0.0;
+  for (const double s : samples) {
+    mean += s;
+  }
+  mean /= static_cast<double>(samples.size());
+
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const double d = samples[k] - mean;
+    denominator += d * d;
+    if (k >= lag) {
+      numerator += d * (samples[k - lag] - mean);
+    }
+  }
+  FCDPM_EXPECTS(denominator > 0.0,
+                "autocorrelation of a constant sequence is undefined");
+  return numerator / denominator;
+}
+
+double duty_cycle(const Trace& trace) {
+  const TraceStats stats = trace.stats();
+  return stats.total_active / stats.total_duration();
+}
+
+Ampere average_load_current(const Trace& trace, Volt bus,
+                            Ampere idle_current) {
+  FCDPM_EXPECTS(bus.value() > 0.0, "bus voltage must be positive");
+  Coulomb charge{0.0};
+  Seconds time{0.0};
+  for (const TaskSlot& slot : trace.slots()) {
+    charge += idle_current * slot.idle;
+    charge += (slot.active_power / bus) * slot.active;
+    time += slot.idle + slot.active;
+  }
+  FCDPM_EXPECTS(time.value() > 0.0, "empty trace");
+  return charge / time;
+}
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,51 @@
+// Trace analysis utilities: the statistics the paper's workloads are
+// characterized by (idle/active distributions, burstiness, scene
+// correlation). Used by the generators' tests and by users validating
+// that a captured trace matches a synthetic stand-in.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+/// Histogram of a sample set over uniform bins spanning [min, max].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] std::size_t total() const;
+  /// Fraction of samples in bin `k`.
+  [[nodiscard]] double fraction(std::size_t k) const;
+  [[nodiscard]] double bin_width() const;
+};
+
+/// Build a histogram with `bins` >= 1 uniform bins over the sample range
+/// (degenerate all-equal samples land in one bin).
+[[nodiscard]] Histogram histogram(const std::vector<double>& samples,
+                                  std::size_t bins);
+
+/// Idle durations / active durations / active powers of a trace.
+[[nodiscard]] std::vector<double> idle_durations(const Trace& trace);
+[[nodiscard]] std::vector<double> active_durations(const Trace& trace);
+[[nodiscard]] std::vector<double> active_powers(const Trace& trace);
+
+/// Lag-k autocorrelation of a sample sequence (k >= 1; requires more
+/// than k samples). Near 0 for i.i.d. draws, positive for scene-
+/// structured traces like the camcorder's.
+[[nodiscard]] double autocorrelation(const std::vector<double>& samples,
+                                     std::size_t lag);
+
+/// Duty cycle: active time / total time.
+[[nodiscard]] double duty_cycle(const Trace& trace);
+
+/// Time-average device current of a trace on `bus` given the idle-state
+/// current (what a DPM policy would pin during idles). This is the load
+/// the flat FC setting converges to.
+[[nodiscard]] Ampere average_load_current(const Trace& trace, Volt bus,
+                                          Ampere idle_current);
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,96 @@
+#include "workload/camcorder.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace fcdpm::wl {
+
+Seconds CamcorderConfig::write_burst() const {
+  FCDPM_EXPECTS(write_speed_mb_per_s > 0.0, "write speed must be positive");
+  return Seconds(buffer_mb / write_speed_mb_per_s);
+}
+
+namespace {
+
+/// Scene regimes with their typical encode-rate band (fraction of the
+/// [min, max] encode-rate range).
+struct SceneRegime {
+  double rate_lo;
+  double rate_hi;
+};
+
+constexpr SceneRegime kRegimes[] = {
+    {0.00, 0.30},  // placid: talking heads, static shots
+    {0.25, 0.70},  // normal motion
+    {0.60, 1.00},  // action: pans, high detail
+};
+constexpr std::size_t kRegimeCount = std::size(kRegimes);
+
+}  // namespace
+
+Trace generate_camcorder_trace(const CamcorderConfig& config) {
+  FCDPM_EXPECTS(config.buffer_mb > 0.0, "buffer size must be positive");
+  FCDPM_EXPECTS(config.min_encode_mb_per_s > 0.0 &&
+                    config.min_encode_mb_per_s < config.max_encode_mb_per_s,
+                "encode-rate band is empty");
+  FCDPM_EXPECTS(config.recording_length.value() > 0.0,
+                "recording length must be positive");
+  FCDPM_EXPECTS(config.mean_scene_length.value() > 0.0,
+                "mean scene length must be positive");
+
+  Rng rng(config.seed);
+  const Seconds burst = config.write_burst();
+  const double rate_span =
+      config.max_encode_mb_per_s - config.min_encode_mb_per_s;
+
+  Trace trace("camcorder", {});
+  Seconds elapsed{0.0};
+
+  std::size_t regime = 1;  // start in a normal scene
+  Seconds scene_left{0.0};
+  double scene_rate = 0.0;
+
+  while (elapsed < config.recording_length) {
+    if (scene_left.value() <= 0.0) {
+      // New scene: pick a regime (never repeat deterministically; a
+      // uniform choice keeps the mix rich) and a base rate within it.
+      regime = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kRegimeCount) - 1));
+      const SceneRegime& r = kRegimes[regime];
+      scene_rate = config.min_encode_mb_per_s +
+                   rate_span * rng.uniform(r.rate_lo, r.rate_hi);
+      // Exponential scene lengths give the bursty cut structure of real
+      // footage; floor at 5 s so scenes hold a few slots.
+      scene_left = Seconds(
+          std::max(5.0, rng.exponential(1.0 / config.mean_scene_length
+                                                  .value())));
+    }
+
+    // Per-slot jitter on the encode rate, clamped to the legal band.
+    const double rate = std::clamp(
+        scene_rate * (1.0 + rng.normal(0.0, config.within_scene_jitter)),
+        config.min_encode_mb_per_s, config.max_encode_mb_per_s);
+
+    const Seconds idle(config.buffer_mb / rate);
+    trace.append({idle, burst, config.write_power});
+
+    const Seconds slot_length = idle + burst;
+    elapsed += slot_length;
+    scene_left -= slot_length;
+  }
+
+  trace.validate();
+  return trace;
+}
+
+Trace paper_camcorder_trace() {
+  return generate_camcorder_trace(CamcorderConfig{});
+}
+
+dpm::DevicePowerModel camcorder_device() {
+  return dpm::DevicePowerModel::dvd_camcorder();
+}
+
+}  // namespace fcdpm::wl

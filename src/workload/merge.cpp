@@ -1,0 +1,73 @@
+#include "workload/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+
+namespace {
+
+struct PowerEvent {
+  double time = 0.0;
+  double delta_w = 0.0;
+};
+
+}  // namespace
+
+Trace merge_traces(const std::vector<Trace>& traces,
+                   const std::string& name) {
+  FCDPM_EXPECTS(!traces.empty(), "need at least one trace to merge");
+
+  std::vector<PowerEvent> events;
+  for (const Trace& trace : traces) {
+    trace.validate();
+    double clock = 0.0;
+    for (const TaskSlot& slot : trace.slots()) {
+      clock += slot.idle.value();
+      events.push_back({clock, slot.active_power.value()});
+      clock += slot.active.value();
+      events.push_back({clock, -slot.active_power.value()});
+    }
+  }
+  FCDPM_EXPECTS(!events.empty(), "all traces are empty");
+
+  std::sort(events.begin(), events.end(),
+            [](const PowerEvent& a, const PowerEvent& b) {
+              return a.time < b.time;
+            });
+
+  Trace out(name, {});
+  double cursor = 0.0;       // current sweep time
+  double power = 0.0;        // current total active power
+  double idle_accrued = 0.0; // zero-power time since the last busy slot
+
+  std::size_t k = 0;
+  while (k < events.size()) {
+    // Coalesce events at (numerically) the same instant.
+    const double t = events[k].time;
+    const double span = t - cursor;
+    if (span > 0.0) {
+      if (power > 1e-9) {
+        out.append({Seconds(idle_accrued), Seconds(span), Watt(power)});
+        idle_accrued = 0.0;
+      } else {
+        idle_accrued += span;
+      }
+    }
+    while (k < events.size() && events[k].time <= t + 1e-12) {
+      power += events[k].delta_w;
+      ++k;
+    }
+    power = std::max(power, 0.0);  // guard accumulated rounding
+    cursor = t;
+  }
+  // Trailing idle time (after the last burst) is dropped: a slot needs
+  // an active period by definition.
+
+  out.validate();
+  return out;
+}
+
+}  // namespace fcdpm::wl

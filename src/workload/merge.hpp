@@ -1,0 +1,25 @@
+// Multi-device aggregation (the paper's related work [7], Lu et al.,
+// "low-power task scheduling for multiple devices"): several devices
+// share the hybrid source; their individual request streams merge into
+// one aggregate load timeline. Each maximal stretch with a constant set
+// of active devices becomes one task slot (consecutive busy stretches
+// are slots with zero idle between them), so the single-device DPM/FC
+// machinery applies unchanged to the aggregate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+/// Merge device timelines into one aggregate trace. Each input trace is
+/// interpreted as a timeline (idle_0, active_0, idle_1, ...); the output
+/// covers the union of busy intervals with the summed active power.
+/// Total active energy is preserved exactly; the aggregate's "idle"
+/// periods are the stretches where *no* device is active.
+[[nodiscard]] Trace merge_traces(const std::vector<Trace>& traces,
+                                 const std::string& name);
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,105 @@
+#include "workload/mpeg_model.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace fcdpm::wl {
+
+FrameType frame_type_at(const MpegEncoderConfig& config, int index) {
+  FCDPM_EXPECTS(index >= 0 && index < config.gop_length,
+                "frame index outside the GOP");
+  if (index == 0) {
+    return FrameType::I;
+  }
+  // Anchor (P) frames every b_frames+1 positions after the I frame.
+  return (index % (config.b_frames + 1) == 0) ? FrameType::P
+                                              : FrameType::B;
+}
+
+double frame_size_mb(const MpegEncoderConfig& config, FrameType type,
+                     double complexity) {
+  FCDPM_EXPECTS(complexity > 0.0, "complexity must be positive");
+  switch (type) {
+    case FrameType::I:
+      return config.i_frame_mb * complexity;
+    case FrameType::P:
+      return config.p_frame_mb * complexity;
+    case FrameType::B:
+      return config.b_frame_mb * complexity;
+  }
+  FCDPM_ENSURES(false, "unknown frame type");
+}
+
+double nominal_stream_rate(const MpegEncoderConfig& config) {
+  double gop_mb = 0.0;
+  for (int k = 0; k < config.gop_length; ++k) {
+    gop_mb += frame_size_mb(config, frame_type_at(config, k), 1.0);
+  }
+  const double gop_seconds = config.gop_length / config.fps;
+  return gop_mb / gop_seconds;
+}
+
+Trace generate_mpeg_trace(const MpegEncoderConfig& config) {
+  FCDPM_EXPECTS(config.fps > 0.0, "fps must be positive");
+  FCDPM_EXPECTS(config.gop_length >= 1, "GOP needs at least one frame");
+  FCDPM_EXPECTS(config.b_frames >= 0, "b_frames must be non-negative");
+  FCDPM_EXPECTS(config.buffer_mb > 0.0, "buffer must be positive");
+  FCDPM_EXPECTS(config.write_speed_mb_per_s > 0.0,
+                "write speed must be positive");
+  FCDPM_EXPECTS(
+      config.min_complexity > 0.0 &&
+          config.min_complexity < config.max_complexity,
+      "complexity band is empty");
+  FCDPM_EXPECTS(config.recording_length.value() > 0.0,
+                "recording length must be positive");
+
+  Rng rng(config.seed);
+  const Seconds burst(config.buffer_mb / config.write_speed_mb_per_s);
+  const double frame_time = 1.0 / config.fps;
+
+  Trace trace("camcorder-mpeg", {});
+  Seconds elapsed{0.0};
+
+  double buffered_mb = 0.0;
+  long frames_since_flush = 0;
+  int gop_position = 0;
+
+  double scene_complexity =
+      0.5 * (config.min_complexity + config.max_complexity);
+  double scene_left = 0.0;
+
+  while (elapsed < config.recording_length) {
+    if (scene_left <= 0.0) {
+      scene_complexity =
+          rng.uniform(config.min_complexity, config.max_complexity);
+      scene_left = std::max(
+          5.0, rng.exponential(1.0 / config.mean_scene_length.value()));
+    }
+
+    const double complexity = std::clamp(
+        scene_complexity *
+            (1.0 + rng.normal(0.0, config.within_scene_jitter)),
+        config.min_complexity, config.max_complexity);
+
+    buffered_mb += frame_size_mb(
+        config, frame_type_at(config, gop_position), complexity);
+    ++frames_since_flush;
+    gop_position = (gop_position + 1) % config.gop_length;
+    scene_left -= frame_time;
+
+    if (buffered_mb >= config.buffer_mb) {
+      const Seconds idle(frames_since_flush * frame_time);
+      trace.append({idle, burst, config.write_power});
+      elapsed += idle + burst;
+      buffered_mb -= config.buffer_mb;  // carry the overflow
+      frames_since_flush = 0;
+    }
+  }
+
+  trace.validate();
+  return trace;
+}
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,68 @@
+// Frame-level MPEG encoder model: a finer-grained synthesis of the
+// camcorder workload than the rate-based generator in camcorder.hpp.
+//
+// The paper's idle periods are "varied from 8 s to 20 s, depending on
+// the characteristics of the MPEG frames". This model produces those
+// idle periods mechanistically: the encoder emits a 30 fps stream with a
+// classic IBBPBBPBBPBBPBB GOP; frame sizes depend on type (I >> P > B)
+// and on a scene-complexity process; the write burst triggers when the
+// accumulated stream fills the 16 MB buffer. Idle durations then emerge
+// from the data instead of being drawn directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+/// Frame types of an MPEG GOP.
+enum class FrameType { I, P, B };
+
+/// Encoder/GOP parameters. Defaults give a mean fill rate matching the
+/// paper's 8-20 s idle band for a 16 MB buffer.
+struct MpegEncoderConfig {
+  double fps = 30.0;
+  /// GOP pattern length (frames) and I/P spacing: IBBPBB... with one I
+  /// per GOP and a P every `b_frames + 1` frames.
+  int gop_length = 15;
+  int b_frames = 2;
+
+  /// Frame sizes at complexity 1.0, in megabytes.
+  double i_frame_mb = 0.140;
+  double p_frame_mb = 0.055;
+  double b_frame_mb = 0.028;
+
+  /// Scene complexity multiplies every frame size; it follows a bounded
+  /// random walk between scene cuts (as in camcorder.hpp).
+  double min_complexity = 0.62;
+  double max_complexity = 1.55;
+  Seconds mean_scene_length{45.0};
+  double within_scene_jitter = 0.05;
+
+  double buffer_mb = 16.0;
+  double write_speed_mb_per_s = 5.28;
+  Watt write_power{14.65};
+  Seconds recording_length{28.0 * 60.0};
+  std::uint64_t seed = 20070604;
+};
+
+/// Frame type at position `index` within the GOP (0 = the I frame).
+[[nodiscard]] FrameType frame_type_at(const MpegEncoderConfig& config,
+                                      int index);
+
+/// Size of one frame (MB) at the given complexity.
+[[nodiscard]] double frame_size_mb(const MpegEncoderConfig& config,
+                                   FrameType type, double complexity);
+
+/// Mean stream rate (MB/s) at complexity 1.0 — useful for sizing the
+/// complexity band against a target idle range.
+[[nodiscard]] double nominal_stream_rate(const MpegEncoderConfig& config);
+
+/// Generate the camcorder trace frame by frame. Deterministic in the
+/// config. Idle durations are quantized to whole frames (1/fps).
+[[nodiscard]] Trace generate_mpeg_trace(const MpegEncoderConfig& config);
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,61 @@
+#include "workload/synthetic.hpp"
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace fcdpm::wl {
+
+void SyntheticConfig::validate() const {
+  FCDPM_EXPECTS(idle_min.value() >= 0.0 && idle_min <= idle_max,
+                "idle bounds are invalid");
+  FCDPM_EXPECTS(active_min.value() > 0.0 && active_min <= active_max,
+                "active bounds are invalid");
+  FCDPM_EXPECTS(power_min.value() > 0.0 && power_min <= power_max,
+                "power bounds are invalid");
+  FCDPM_EXPECTS(slot_count > 0 || duration.value() > 0.0,
+                "either slot_count or duration must be set");
+}
+
+Trace generate_synthetic_trace(const SyntheticConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+
+  Trace trace("synthetic", {});
+  if (config.slot_count > 0) {
+    for (std::size_t k = 0; k < config.slot_count; ++k) {
+      trace.append(
+          {Seconds(rng.uniform(config.idle_min.value(),
+                               config.idle_max.value())),
+           Seconds(rng.uniform(config.active_min.value(),
+                               config.active_max.value())),
+           Watt(rng.uniform(config.power_min.value(),
+                            config.power_max.value()))});
+    }
+  } else {
+    Seconds elapsed{0.0};
+    while (elapsed < config.duration) {
+      const TaskSlot slot{
+          Seconds(rng.uniform(config.idle_min.value(),
+                              config.idle_max.value())),
+          Seconds(rng.uniform(config.active_min.value(),
+                              config.active_max.value())),
+          Watt(rng.uniform(config.power_min.value(),
+                           config.power_max.value()))};
+      trace.append(slot);
+      elapsed += slot.idle + slot.active;
+    }
+  }
+
+  trace.validate();
+  return trace;
+}
+
+Trace paper_synthetic_trace() {
+  return generate_synthetic_trace(SyntheticConfig{});
+}
+
+dpm::DevicePowerModel synthetic_device() {
+  return dpm::DevicePowerModel::experiment2_device();
+}
+
+}  // namespace fcdpm::wl

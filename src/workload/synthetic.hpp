@@ -1,0 +1,39 @@
+// Synthetic uniform-random workload (Experiment 2): idle U[5 s, 25 s],
+// active U[2 s, 4 s], active power U[12 W, 16 W].
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dpm/power_states.hpp"
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+struct SyntheticConfig {
+  Seconds idle_min{5.0};
+  Seconds idle_max{25.0};
+  Seconds active_min{2.0};
+  Seconds active_max{4.0};
+  Watt power_min{12.0};
+  Watt power_max{16.0};
+  /// Either a fixed slot count...
+  std::size_t slot_count = 0;
+  /// ...or a target duration (used when slot_count == 0).
+  Seconds duration{28.0 * 60.0};
+  std::uint64_t seed = 424242;
+
+  void validate() const;
+};
+
+/// Generate the synthetic trace; deterministic in the config.
+[[nodiscard]] Trace generate_synthetic_trace(const SyntheticConfig& config);
+
+/// The paper's exact Experiment-2 workload.
+[[nodiscard]] Trace paper_synthetic_trace();
+
+/// Experiment 2's device model (1 s / 14.4 W sleep transitions,
+/// break-even ~10 s).
+[[nodiscard]] dpm::DevicePowerModel synthetic_device();
+
+}  // namespace fcdpm::wl

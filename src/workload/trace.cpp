@@ -1,0 +1,83 @@
+#include "workload/trace.hpp"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+
+Trace::Trace(std::string name, std::vector<TaskSlot> slots)
+    : name_(std::move(name)), slots_(std::move(slots)) {}
+
+void Trace::append(TaskSlot slot) { slots_.push_back(slot); }
+
+TraceStats Trace::stats() const {
+  FCDPM_EXPECTS(!slots_.empty(), "stats of an empty trace");
+
+  TraceStats s;
+  s.slots = slots_.size();
+  s.min_idle = Seconds(std::numeric_limits<double>::infinity());
+  s.min_active = Seconds(std::numeric_limits<double>::infinity());
+  s.min_active_power = Watt(std::numeric_limits<double>::infinity());
+
+  double power_sum = 0.0;
+  for (const TaskSlot& slot : slots_) {
+    s.total_idle += slot.idle;
+    s.total_active += slot.active;
+    s.min_idle = min(s.min_idle, slot.idle);
+    s.max_idle = max(s.max_idle, slot.idle);
+    s.min_active = min(s.min_active, slot.active);
+    s.max_active = max(s.max_active, slot.active);
+    s.min_active_power = min(s.min_active_power, slot.active_power);
+    s.max_active_power = max(s.max_active_power, slot.active_power);
+    power_sum += slot.active_power.value();
+  }
+
+  const double n = static_cast<double>(slots_.size());
+  s.mean_idle = s.total_idle / n;
+  s.mean_active = s.total_active / n;
+  s.mean_active_power = Watt(power_sum / n);
+  return s;
+}
+
+Trace Trace::truncated(Seconds duration) const {
+  FCDPM_EXPECTS(duration.value() >= 0.0, "duration must be non-negative");
+  Trace out(name_ + " (truncated)", {});
+  Seconds elapsed{0.0};
+  for (const TaskSlot& slot : slots_) {
+    if (elapsed >= duration) {
+      break;
+    }
+    out.append(slot);
+    elapsed += slot.idle + slot.active;
+  }
+  return out;
+}
+
+Trace Trace::repeated(std::size_t count) const {
+  FCDPM_EXPECTS(count >= 1, "repeat count must be at least 1");
+  Trace out(name_ + " (x" + std::to_string(count) + ")", {});
+  for (std::size_t pass = 0; pass < count; ++pass) {
+    for (const TaskSlot& slot : slots_) {
+      out.append(slot);
+    }
+  }
+  return out;
+}
+
+void Trace::validate() const {
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    const TaskSlot& slot = slots_[k];
+    FCDPM_EXPECTS(slot.idle.value() >= 0.0,
+                  "slot " + std::to_string(k) + ": negative idle time");
+    FCDPM_EXPECTS(slot.active.value() > 0.0,
+                  "slot " + std::to_string(k) + ": active time must be > 0");
+    FCDPM_EXPECTS(slot.active_power.value() > 0.0,
+                  "slot " + std::to_string(k) +
+                      ": active power must be positive");
+  }
+}
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,79 @@
+// Load timing profile: a sequence of task slots, each an idle period
+// followed by an active period (Section 3.1). The active power may vary
+// per slot (Experiment 2); idle power is decided by the DPM policy, not
+// by the trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fcdpm::wl {
+
+/// One task slot: idle (no request), then active (task request).
+struct TaskSlot {
+  Seconds idle;
+  Seconds active;
+  Watt active_power;
+};
+
+/// Aggregate statistics of a trace (used in reports and tests).
+struct TraceStats {
+  std::size_t slots = 0;
+  Seconds total_idle{0.0};
+  Seconds total_active{0.0};
+  Seconds min_idle{0.0};
+  Seconds max_idle{0.0};
+  Seconds mean_idle{0.0};
+  Seconds min_active{0.0};
+  Seconds max_active{0.0};
+  Seconds mean_active{0.0};
+  Watt min_active_power{0.0};
+  Watt max_active_power{0.0};
+  Watt mean_active_power{0.0};
+
+  [[nodiscard]] Seconds total_duration() const {
+    return total_idle + total_active;
+  }
+};
+
+/// A named sequence of task slots on a fixed-voltage bus.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::vector<TaskSlot> slots);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<TaskSlot>& slots() const noexcept {
+    return slots_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slots_.empty(); }
+  [[nodiscard]] const TaskSlot& operator[](std::size_t k) const {
+    return slots_[k];
+  }
+
+  void append(TaskSlot slot);
+
+  /// Slot-wise statistics; requires a non-empty trace.
+  [[nodiscard]] TraceStats stats() const;
+
+  /// Prefix of this trace truncated at `duration` of wall time (slots are
+  /// kept whole; the slot that crosses the boundary is included).
+  [[nodiscard]] Trace truncated(Seconds duration) const;
+
+  /// This trace repeated `count` times back to back (steady-state and
+  /// lifetime studies). Requires count >= 1.
+  [[nodiscard]] Trace repeated(std::size_t count) const;
+
+  /// Validation: positive durations, positive active power. Throws
+  /// PreconditionError describing the first offending slot.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<TaskSlot> slots_;
+};
+
+}  // namespace fcdpm::wl

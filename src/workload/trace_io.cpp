@@ -1,0 +1,72 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/text.hpp"
+
+namespace fcdpm::wl {
+
+void save_trace(std::ostream& out, const Trace& trace) {
+  CsvDocument doc;
+  doc.header = {"idle_s", "active_s", "active_w"};
+  doc.rows.reserve(trace.size());
+  for (const TaskSlot& slot : trace.slots()) {
+    doc.rows.push_back({format_fixed(slot.idle.value(), 6),
+                        format_fixed(slot.active.value(), 6),
+                        format_fixed(slot.active_power.value(), 6)});
+  }
+  write_csv(out, doc);
+}
+
+void save_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw CsvError("cannot create trace file: " + path);
+  }
+  save_trace(out, trace);
+}
+
+Trace load_trace(std::istream& in, const std::string& name) {
+  const CsvDocument doc = read_csv(in, /*has_header=*/true);
+  const std::size_t idle_col = doc.column("idle_s");
+  const std::size_t active_col = doc.column("active_s");
+  const std::size_t power_col = doc.column("active_w");
+
+  Trace trace(name, {});
+  for (std::size_t k = 0; k < doc.rows.size(); ++k) {
+    const CsvRow& row = doc.rows[k];
+    const std::size_t needed =
+        std::max({idle_col, active_col, power_col}) + 1;
+    if (row.size() < needed) {
+      throw CsvError("trace row " + std::to_string(k) +
+                     " has too few fields");
+    }
+    double idle = 0.0;
+    double active = 0.0;
+    double power = 0.0;
+    if (!parse_double(row[idle_col], idle) ||
+        !parse_double(row[active_col], active) ||
+        !parse_double(row[power_col], power)) {
+      throw CsvError("trace row " + std::to_string(k) +
+                     " has non-numeric fields");
+    }
+    trace.append({Seconds(idle), Seconds(active), Watt(power)});
+  }
+
+  trace.validate();
+  return trace;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CsvError("cannot open trace file: " + path);
+  }
+  return load_trace(in, path);
+}
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,22 @@
+// Trace persistence: CSV with columns idle_s, active_s, active_w.
+// Lets users replay their own measured traces through the policies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace fcdpm::wl {
+
+/// Serialize a trace (header + one row per slot).
+void save_trace(std::ostream& out, const Trace& trace);
+void save_trace_file(const std::string& path, const Trace& trace);
+
+/// Parse a trace; validates slot values. The name comes from the caller
+/// (streams) or the file path (files). Throws CsvError / PreconditionError
+/// on malformed input.
+[[nodiscard]] Trace load_trace(std::istream& in, const std::string& name);
+[[nodiscard]] Trace load_trace_file(const std::string& path);
+
+}  // namespace fcdpm::wl

@@ -1,0 +1,41 @@
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fcdpm {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(FCDPM_EXPECTS(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Contracts, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(FCDPM_EXPECTS(false, "must fail"), PreconditionError);
+}
+
+TEST(Contracts, EnsuresThrowsInvariantError) {
+  EXPECT_THROW(FCDPM_ENSURES(false, "must fail"), InvariantError);
+}
+
+TEST(Contracts, MessageCarriesExpressionAndText) {
+  try {
+    FCDPM_EXPECTS(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, PreconditionIsAnInvalidArgument) {
+  // Callers should be able to catch the std hierarchy.
+  EXPECT_THROW(FCDPM_EXPECTS(false, ""), std::invalid_argument);
+  EXPECT_THROW(FCDPM_ENSURES(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fcdpm

@@ -1,0 +1,109 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcdpm {
+namespace {
+
+TEST(CsvParse, PlainFields) {
+  const CsvRow row = parse_csv_line("a,b,c");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], "a");
+  EXPECT_EQ(row[2], "c");
+}
+
+TEST(CsvParse, QuotedFieldWithComma) {
+  const CsvRow row = parse_csv_line(R"(x,"a,b",y)");
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[1], "a,b");
+}
+
+TEST(CsvParse, EscapedQuote) {
+  const CsvRow row = parse_csv_line(R"("say ""hi""",2)");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "say \"hi\"");
+}
+
+TEST(CsvParse, ToleratesCrlf) {
+  const CsvRow row = parse_csv_line("a,b\r");
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[1], "b");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)parse_csv_line(R"("oops,1)"), CsvError);
+}
+
+TEST(CsvRead, HeaderAndRows) {
+  std::istringstream in("h1,h2\n1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in, /*has_header=*/true);
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.column("h2"), 1u);
+  EXPECT_EQ(doc.rows[1][0], "3");
+}
+
+TEST(CsvRead, SkipsBlankAndCommentLines) {
+  std::istringstream in("h\n\n# comment\n1\n  \n2\n");
+  const CsvDocument doc = read_csv(in, true);
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvRead, NoHeaderMode) {
+  std::istringstream in("1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in, false);
+  EXPECT_TRUE(doc.header.empty());
+  ASSERT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvRead, MissingColumnThrows) {
+  std::istringstream in("a,b\n1,2\n");
+  const CsvDocument doc = read_csv(in, true);
+  EXPECT_THROW((void)doc.column("zzz"), CsvError);
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape(" lead"), "\" lead\"");
+  EXPECT_EQ(csv_escape("trail "), "\"trail \"");
+}
+
+TEST(CsvRoundTrip, WriteThenRead) {
+  CsvDocument doc;
+  doc.header = {"idle_s", "note"};
+  doc.rows = {{"8.5", "quiet, slow"}, {"20", "action \"cut\""}};
+
+  std::ostringstream out;
+  write_csv(out, doc);
+
+  std::istringstream in(out.str());
+  const CsvDocument parsed = read_csv(in, true);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_EQ(parsed.rows[0][1], "quiet, slow");
+  EXPECT_EQ(parsed.rows[1][1], "action \"cut\"");
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/nope.csv", true), CsvError);
+  CsvDocument doc;
+  doc.header = {"a"};
+  EXPECT_THROW(write_csv_file("/nonexistent/dir/nope.csv", doc), CsvError);
+}
+
+TEST(CsvFile, RoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/fcdpm_csv_test.csv";
+  CsvDocument doc;
+  doc.header = {"x", "y"};
+  doc.rows = {{"1", "2"}, {"3", "4"}};
+  write_csv_file(path, doc);
+  const CsvDocument parsed = read_csv_file(path, true);
+  ASSERT_EQ(parsed.rows.size(), 2u);
+  EXPECT_EQ(parsed.rows[1][1], "4");
+}
+
+}  // namespace
+}  // namespace fcdpm

@@ -1,0 +1,176 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace fcdpm {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs{0.1, 0.4, 0.7, 1.0, 1.2};
+  std::vector<double> ys;
+  for (const double x : xs) {
+    ys.push_back(0.45 - 0.13 * x);  // the paper's efficiency line
+  }
+  const LinearFit fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.intercept, 0.45, 1e-12);
+  EXPECT_NEAR(fit.slope, -0.13, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit(0.5), 0.385, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  Rng rng(7);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int k = 0; k < 200; ++k) {
+    const double x = rng.uniform(0.0, 2.0);
+    xs.push_back(x);
+    ys.push_back(3.0 + 2.0 * x + rng.normal(0.0, 0.01));
+  }
+  const LinearFit fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 0.01);
+  EXPECT_NEAR(fit.slope, 2.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(LinearFit, HorizontalLineHasUnitRSquared) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 5.0, 5.0};
+  const LinearFit fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(LinearFit, RejectsMismatchedSizes) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW((void)linear_least_squares(xs, ys), PreconditionError);
+}
+
+TEST(LinearFit, RejectsDegenerateInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)linear_least_squares(one, one), PreconditionError);
+  const std::vector<double> same_x{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)linear_least_squares(same_x, ys), PreconditionError);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(standard_deviation(v), 2.0);
+}
+
+TEST(Stats, MeanOfEmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), PreconditionError);
+}
+
+TEST(Stats, RmsError) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rms_error(a, b), 0.0);
+  const std::vector<double> c{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rms_error(a, c), 1.0);
+}
+
+TEST(Linspace, CoversEndpointsEvenly) {
+  const std::vector<double> grid = linspace(0.1, 1.2, 12);
+  ASSERT_EQ(grid.size(), 12u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.2);
+  EXPECT_NEAR(grid[1] - grid[0], 0.1, 1e-12);
+}
+
+TEST(Linspace, RejectsTooFewPoints) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), PreconditionError);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-13));
+  EXPECT_TRUE(approx_equal(0.0, 1e-15));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 + 1.0, 1e-5));
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.5), 7.0);
+}
+
+TEST(Percentile, OrderIndependent) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW((void)percentile({1.0}, 1.5), PreconditionError);
+}
+
+TEST(BootstrapCi, BracketsTheMeanAndIsDeterministic) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int k = 0; k < 40; ++k) {
+    samples.push_back(rng.normal(10.0, 1.0));
+  }
+  const ConfidenceInterval ci = bootstrap_mean_ci(samples, 0.95);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, 10.0, 0.5);
+  // ~95% CI of a sigma=1 mean over n=40: half-width near 1.96/sqrt(40).
+  EXPECT_NEAR(ci.hi - ci.lo, 2 * 1.96 / std::sqrt(40.0), 0.25);
+  // Same seed -> same interval.
+  const ConfidenceInterval again = bootstrap_mean_ci(samples, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, again.lo);
+  EXPECT_DOUBLE_EQ(ci.hi, again.hi);
+}
+
+TEST(BootstrapCi, WiderLevelGivesWiderInterval) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int k = 0; k < 30; ++k) {
+    samples.push_back(rng.uniform(0.0, 1.0));
+  }
+  const ConfidenceInterval narrow = bootstrap_mean_ci(samples, 0.80);
+  const ConfidenceInterval wide = bootstrap_mean_ci(samples, 0.99);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(BootstrapCi, RejectsBadInput) {
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)bootstrap_mean_ci(one), PreconditionError);
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)bootstrap_mean_ci(two, 1.5), PreconditionError);
+  EXPECT_THROW((void)bootstrap_mean_ci(two, 0.95, 10), PreconditionError);
+}
+
+class LinspaceCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LinspaceCountSweep, MonotoneAndEndpointExact) {
+  const std::size_t count = GetParam();
+  const std::vector<double> grid = linspace(-3.0, 7.0, count);
+  ASSERT_EQ(grid.size(), count);
+  EXPECT_DOUBLE_EQ(grid.front(), -3.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 7.0);
+  for (std::size_t k = 1; k < grid.size(); ++k) {
+    EXPECT_LT(grid[k - 1], grid[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, LinspaceCountSweep,
+                         ::testing::Values(2, 3, 5, 17, 101, 1000));
+
+}  // namespace
+}  // namespace fcdpm

@@ -1,0 +1,135 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/math.hpp"
+
+namespace fcdpm {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(9);
+  for (int k = 0; k < 10000; ++k) {
+    const double v = rng.uniform(5.0, 25.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 25.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int k = 0; k < 20000; ++k) {
+    samples.push_back(rng.uniform(5.0, 25.0));
+  }
+  EXPECT_NEAR(mean(samples), 15.0, 0.25);
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int k = 0; k < 1000; ++k) {
+    const std::int64_t v = rng.uniform_int(0, 2);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || (v == 0);
+    saw_hi = saw_hi || (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  std::vector<double> samples;
+  samples.reserve(30000);
+  for (int k = 0; k < 30000; ++k) {
+    samples.push_back(rng.normal(10.0, 2.0));
+  }
+  EXPECT_NEAR(mean(samples), 10.0, 0.05);
+  EXPECT_NEAR(standard_deviation(samples), 2.0, 0.05);
+}
+
+TEST(Rng, NormalZeroSigmaIsMean) {
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(rng.normal(4.0, 0.0), 4.0);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, ChanceClampedProbabilities) {
+  Rng rng(17);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_TRUE(rng.chance(1.5));
+    EXPECT_FALSE(rng.chance(-0.5));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  std::vector<double> samples;
+  samples.reserve(30000);
+  for (int k = 0; k < 30000; ++k) {
+    samples.push_back(rng.exponential(1.0 / 45.0));
+  }
+  EXPECT_NEAR(mean(samples), 45.0, 1.5);
+  EXPECT_THROW((void)rng.exponential(0.0), PreconditionError);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng a(100);
+  Rng b(100);
+  Rng fa = a.fork(1);
+  Rng fb = b.fork(1);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+  }
+
+  Rng c(100);
+  Rng f1 = c.fork(1);
+  Rng f2 = c.fork(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    if (f1.uniform(0.0, 1.0) == f2.uniform(0.0, 1.0)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace fcdpm

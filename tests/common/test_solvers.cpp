@@ -1,0 +1,124 @@
+#include "common/solvers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+namespace {
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 0.7) * (x - 0.7) + 2.0; };
+  const ScalarMinimum m = golden_section_minimize(f, 0.0, 2.0);
+  // Derivative-free minimization is limited to ~sqrt(machine epsilon).
+  EXPECT_NEAR(m.x, 0.7, 1e-6);
+  EXPECT_NEAR(m.value, 2.0, 1e-12);
+}
+
+TEST(GoldenSection, FindsFuelRateStyleMinimum) {
+  // The slot objective along the balance line is convex; check a
+  // representative instance: g(x)*20 + g(1.6-x)*10 with the paper's g.
+  const auto g = [](double i_f) { return 0.32 * i_f / (0.45 - 0.13 * i_f); };
+  const auto f = [&](double x) { return 20.0 * g(x) + 10.0 * g(1.6 - x) * 2.0; };
+  const ScalarMinimum m = golden_section_minimize(f, 0.4, 1.5, 1e-12);
+  // Interior minimum; verify stationarity by central difference.
+  const double h = 1e-6;
+  EXPECT_NEAR((f(m.x + h) - f(m.x - h)) / (2 * h), 0.0, 1e-4);
+}
+
+TEST(GoldenSection, MonotoneFunctionConvergesToBoundary) {
+  const auto f = [](double x) { return 3.0 * x; };
+  const ScalarMinimum m = golden_section_minimize(f, 1.0, 2.0);
+  EXPECT_NEAR(m.x, 1.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsEmptyBracket) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)golden_section_minimize(f, 2.0, 1.0), PreconditionError);
+  EXPECT_THROW((void)golden_section_minimize(f, 1.0, 2.0, -1.0),
+               PreconditionError);
+}
+
+TEST(Bisect, FindsRootOfCubic) {
+  const auto f = [](double x) { return x * x * x - 2.0; };
+  const ScalarRoot r = bisect(f, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::cbrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto f = [](double x) { return x - 1.0; };
+  const ScalarRoot lo = bisect(f, 1.0, 2.0);
+  EXPECT_TRUE(lo.converged);
+  EXPECT_DOUBLE_EQ(lo.x, 1.0);
+  const ScalarRoot hi = bisect(f, 0.0, 1.0);
+  EXPECT_TRUE(hi.converged);
+  EXPECT_DOUBLE_EQ(hi.x, 1.0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)bisect(f, -1.0, 1.0), PreconditionError);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const auto f = [](double x) { return 5.0 - x; };
+  const ScalarRoot r = bisect(f, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 5.0, 1e-10);
+}
+
+TEST(MinimizeOnBox, InteriorMinimum) {
+  const auto f = [](double x) { return (x - 0.5) * (x - 0.5); };
+  const ScalarMinimum m = minimize_on_box(f, 0.0, 1.0);
+  EXPECT_NEAR(m.x, 0.5, 1e-8);
+}
+
+TEST(MinimizeOnBox, MinimumAtLowerBound) {
+  const auto f = [](double x) { return x; };
+  const ScalarMinimum m = minimize_on_box(f, 0.1, 1.2);
+  EXPECT_DOUBLE_EQ(m.x, 0.1);
+}
+
+TEST(MinimizeOnBox, MinimumAtUpperBound) {
+  const auto f = [](double x) { return -x; };
+  const ScalarMinimum m = minimize_on_box(f, 0.1, 1.2);
+  EXPECT_DOUBLE_EQ(m.x, 1.2);
+}
+
+TEST(MinimizeOnBox, DegenerateBox) {
+  const auto f = [](double x) { return x * x; };
+  const ScalarMinimum m = minimize_on_box(f, 0.4, 0.4);
+  EXPECT_DOUBLE_EQ(m.x, 0.4);
+  EXPECT_DOUBLE_EQ(m.value, 0.16);
+}
+
+struct QuadraticCase {
+  double center;
+  double lo;
+  double hi;
+};
+
+class BoxMinimizationSweep : public ::testing::TestWithParam<QuadraticCase> {
+};
+
+TEST_P(BoxMinimizationSweep, MatchesClampedCenter) {
+  const QuadraticCase c = GetParam();
+  const auto f = [&](double x) { return (x - c.center) * (x - c.center); };
+  const ScalarMinimum m = minimize_on_box(f, c.lo, c.hi);
+  const double expected = std::min(std::max(c.center, c.lo), c.hi);
+  EXPECT_NEAR(m.x, expected, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BoxMinimizationSweep,
+    ::testing::Values(QuadraticCase{0.5, 0.0, 1.0},
+                      QuadraticCase{-2.0, 0.0, 1.0},
+                      QuadraticCase{3.0, 0.0, 1.0},
+                      QuadraticCase{0.1, 0.1, 1.2},
+                      QuadraticCase{1.2, 0.1, 1.2}));
+
+}  // namespace
+}  // namespace fcdpm

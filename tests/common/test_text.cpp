@@ -1,0 +1,99 @@
+#include "common/text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyFieldsPreserved) {
+  const auto parts = split(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, EmptyStringYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(FormatFixed, TrimsTrailingZeros) {
+  EXPECT_EQ(format_fixed(1.30, 2), "1.3");
+  EXPECT_EQ(format_fixed(2.00, 2), "2");
+  EXPECT_EQ(format_fixed(13.45, 2), "13.45");
+  EXPECT_EQ(format_fixed(0.448, 3), "0.448");
+  EXPECT_EQ(format_fixed(-0.0, 2), "0");
+  EXPECT_EQ(format_fixed(-1.50, 2), "-1.5");
+}
+
+TEST(FormatFixed, ZeroDecimalsRounds) {
+  EXPECT_EQ(format_fixed(39.18, 0), "39");
+  EXPECT_EQ(format_fixed(0.6, 0), "1");
+}
+
+TEST(FormatFixed, RejectsAbsurdDecimals) {
+  EXPECT_THROW((void)format_fixed(1.0, -1), PreconditionError);
+  EXPECT_THROW((void)format_fixed(1.0, 30), PreconditionError);
+}
+
+TEST(FormatPercent, RendersFraction) {
+  EXPECT_EQ(format_percent(0.308), "30.8%");
+  EXPECT_EQ(format_percent(0.408), "40.8%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(0.2444, 1), "24.4%");
+}
+
+TEST(ParseDouble, AcceptsNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.03", v));
+  EXPECT_DOUBLE_EQ(v, 3.03);
+  EXPECT_TRUE(parse_double("  14.65 ", v));
+  EXPECT_DOUBLE_EQ(v, 14.65);
+  EXPECT_TRUE(parse_double("-2e3", v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.2x", v));
+  EXPECT_FALSE(parse_double("1.2 3", v));
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace fcdpm

@@ -1,0 +1,135 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcdpm {
+namespace {
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(Ampere{}.value(), 0.0);
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+}
+
+TEST(Units, LiteralsProduceExpectedMagnitudes) {
+  EXPECT_DOUBLE_EQ((1.2_A).value(), 1.2);
+  EXPECT_DOUBLE_EQ((200.0_mA).value(), 0.2);
+  EXPECT_DOUBLE_EQ((12_V).value(), 12.0);
+  EXPECT_DOUBLE_EQ((28_min).value(), 1680.0);
+  EXPECT_DOUBLE_EQ((3_s).value(), 3.0);
+  EXPECT_DOUBLE_EQ((6.0_As).value(), 6.0);
+  EXPECT_DOUBLE_EQ((1_F).value(), 1.0);
+}
+
+TEST(Units, AdditionAndSubtractionStayInDimension) {
+  const Ampere a = 0.3_A + 0.2_A;
+  EXPECT_DOUBLE_EQ(a.value(), 0.5);
+  EXPECT_DOUBLE_EQ((a - 0.1_A).value(), 0.4);
+}
+
+TEST(Units, CompoundAssignment) {
+  Ampere a = 1.0_A;
+  a += 0.5_A;
+  a -= 0.25_A;
+  a *= 2.0;
+  a /= 4.0;
+  EXPECT_DOUBLE_EQ(a.value(), 0.625);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_DOUBLE_EQ((2.0 * 0.3_A).value(), 0.6);
+  EXPECT_DOUBLE_EQ((0.3_A * 2.0).value(), 0.6);
+  EXPECT_DOUBLE_EQ((0.3_A / 2.0).value(), 0.15);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = 0.6_A / 1.2_A;
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(Units, OhmsLawFamily) {
+  const Watt p = 12_V * 1.5_A;
+  EXPECT_DOUBLE_EQ(p.value(), 18.0);
+  EXPECT_DOUBLE_EQ((p / 12_V).value(), 1.5);  // back to amperes
+  EXPECT_DOUBLE_EQ((p / 1.5_A).value(), 12.0);  // back to volts
+}
+
+TEST(Units, ChargeFamily) {
+  const Coulomb q = 0.5_A * 20_s;
+  EXPECT_DOUBLE_EQ(q.value(), 10.0);
+  EXPECT_DOUBLE_EQ((q / 20_s).value(), 0.5);
+  EXPECT_DOUBLE_EQ((q / 0.5_A).value(), 20.0);
+}
+
+TEST(Units, EnergyFamily) {
+  const Joule e = 14.65_W * 2_s;
+  EXPECT_DOUBLE_EQ(e.value(), 29.3);
+  EXPECT_DOUBLE_EQ((e / 2_s).value(), 14.65);
+  EXPECT_DOUBLE_EQ((e / 14.65_W).value(), 2.0);
+  EXPECT_DOUBLE_EQ((10.0_As * 12_V).value(), 120.0);
+  EXPECT_DOUBLE_EQ((Joule(120.0) / 12_V).value(), 10.0);
+}
+
+TEST(Units, CapacitanceFamily) {
+  const Coulomb q = 1_F * 6_V;
+  EXPECT_DOUBLE_EQ(q.value(), 6.0);
+  EXPECT_DOUBLE_EQ((q / 6_V).value(), 1.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(0.1_A, 0.2_A);
+  EXPECT_GT(0.3_A, 0.2_A);
+  EXPECT_EQ(0.2_A, 0.2_A);
+  EXPECT_NE(0.2_A, 0.3_A);
+  EXPECT_LE(0.2_A, 0.2_A);
+  EXPECT_GE(0.2_A, 0.2_A);
+}
+
+TEST(Units, MinMaxClampAbs) {
+  EXPECT_EQ(min(0.1_A, 0.2_A), 0.1_A);
+  EXPECT_EQ(max(0.1_A, 0.2_A), 0.2_A);
+  EXPECT_EQ(clamp(0.05_A, 0.1_A, 1.2_A), 0.1_A);
+  EXPECT_EQ(clamp(1.5_A, 0.1_A, 1.2_A), 1.2_A);
+  EXPECT_EQ(clamp(0.5_A, 0.1_A, 1.2_A), 0.5_A);
+  EXPECT_TRUE(near(abs(-0.4_A + 0.1_A), 0.3_A, 1e-12));
+}
+
+TEST(Units, NearHelper) {
+  EXPECT_TRUE(near(0.4483_A, 0.448_A, 1e-3));
+  EXPECT_FALSE(near(0.46_A, 0.44_A, 1e-3));
+}
+
+TEST(Units, UnaryMinus) {
+  EXPECT_DOUBLE_EQ((-(0.3_A)).value(), -0.3);
+}
+
+TEST(Units, CompileTimeProperties) {
+  // Quantities are zero-overhead value types usable in constexpr math.
+  static_assert(std::is_trivially_copyable_v<Ampere>);
+  static_assert(std::is_trivially_copyable_v<Coulomb>);
+  static_assert(sizeof(Ampere) == sizeof(double));
+  constexpr Watt p = 12.0_V * 0.5_A;
+  static_assert(p.value() == 6.0);
+  constexpr Coulomb q = 0.5_A * 20.0_s;
+  static_assert(q.value() == 10.0);
+  constexpr Ampere clamped = clamp(2.0_A, 0.1_A, 1.2_A);
+  static_assert(clamped == Ampere(1.2));
+  SUCCEED();
+}
+
+TEST(Units, StreamingShowsUnitSymbol) {
+  std::ostringstream out;
+  out << 1.5_A << " / " << 12_V << " / " << 6.0_As;
+  EXPECT_EQ(out.str(), "1.5 A / 12 V / 6 A-s");
+}
+
+TEST(Units, ToStringShowsUnitSymbol) {
+  EXPECT_EQ(to_string(2.5_W), "2.5 W");
+  EXPECT_EQ(to_string(3_s), "3 s");
+  EXPECT_EQ(to_string(1_F), "1 F");
+  EXPECT_EQ(to_string(Joule(4.0)), "4 J");
+}
+
+}  // namespace
+}  // namespace fcdpm

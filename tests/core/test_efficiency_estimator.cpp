@@ -1,0 +1,130 @@
+#include "core/efficiency_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+
+namespace fcdpm::core {
+namespace {
+
+power::LinearEfficiencyModel paper_model() {
+  return power::LinearEfficiencyModel::paper_default();
+}
+
+TEST(EfficiencyEstimator, SeededAtInitialCoefficients) {
+  const EfficiencyEstimator est(0.45, 0.13);
+  EXPECT_DOUBLE_EQ(est.alpha(), 0.45);
+  EXPECT_DOUBLE_EQ(est.beta(), 0.13);
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(EfficiencyEstimator, RecoversExactLineFromCleanSamples) {
+  // Seed deliberately wrong; feed clean samples from the paper's line.
+  EfficiencyEstimator est(0.30, 0.05, /*forgetting=*/1.0);
+  const power::LinearEfficiencyModel truth = paper_model();
+  for (int pass = 0; pass < 4; ++pass) {
+    for (double i = 0.1; i <= 1.2; i += 0.1) {
+      est.observe(Ampere(i), truth.efficiency(Ampere(i)));
+    }
+  }
+  EXPECT_NEAR(est.alpha(), 0.45, 1e-3);
+  EXPECT_NEAR(est.beta(), 0.13, 1e-3);
+}
+
+TEST(EfficiencyEstimator, HandlesNoisySamples) {
+  EfficiencyEstimator est(0.40, 0.10, 1.0);
+  const power::LinearEfficiencyModel truth = paper_model();
+  Rng rng(17);
+  for (int k = 0; k < 500; ++k) {
+    const double i = rng.uniform(0.1, 1.2);
+    const double eta =
+        truth.efficiency(Ampere(i)) + rng.normal(0.0, 0.01);
+    est.observe(Ampere(i), std::clamp(eta, 0.01, 0.99));
+  }
+  EXPECT_NEAR(est.alpha(), 0.45, 0.01);
+  EXPECT_NEAR(est.beta(), 0.13, 0.01);
+}
+
+TEST(EfficiencyEstimator, ForgettingTracksDrift) {
+  // The line changes mid-stream; with forgetting the estimate follows.
+  EfficiencyEstimator est(0.45, 0.13, 0.9);
+  const power::LinearEfficiencyModel before = paper_model();
+  const power::LinearEfficiencyModel after =
+      before.with_coefficients(0.40, 0.20);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (double i = 0.1; i <= 1.2; i += 0.1) {
+      est.observe(Ampere(i), before.efficiency(Ampere(i)));
+    }
+  }
+  for (int pass = 0; pass < 10; ++pass) {
+    for (double i = 0.1; i <= 1.2; i += 0.1) {
+      est.observe(Ampere(i), after.efficiency(Ampere(i)));
+    }
+  }
+  EXPECT_NEAR(est.alpha(), 0.40, 0.01);
+  EXPECT_NEAR(est.beta(), 0.20, 0.01);
+}
+
+TEST(EfficiencyEstimator, ObserveChargesDerivesTheSample) {
+  EfficiencyEstimator est(0.30, 0.05, 1.0);
+  const power::LinearEfficiencyModel truth = paper_model();
+  // A slot delivering flat 0.5 A for 20 s burns fuel = g(0.5)*20.
+  const Coulomb delivered = Ampere(0.5) * Seconds(20.0);
+  const Coulomb fuel = truth.stack_current(Ampere(0.5)) * Seconds(20.0);
+  for (int k = 0; k < 50; ++k) {
+    // Vary the current to make the regression well-posed.
+    const double i = 0.2 + 0.02 * (k % 40);
+    const Coulomb d = Ampere(i) * Seconds(20.0);
+    const Coulomb f = truth.stack_current(Ampere(i)) * Seconds(20.0);
+    est.observe_charges(truth, d, f, Seconds(20.0));
+  }
+  (void)delivered;
+  (void)fuel;
+  // Residual prior bias decays with samples; 1e-5 after 50 samples.
+  EXPECT_NEAR(est.alpha(), 0.45, 1e-5);
+  EXPECT_NEAR(est.beta(), 0.13, 1e-5);
+}
+
+TEST(EfficiencyEstimator, ObserveChargesSkipsDegenerateTelemetry) {
+  EfficiencyEstimator est(0.45, 0.13);
+  est.observe_charges(paper_model(), Coulomb(0.0), Coulomb(1.0),
+                      Seconds(10.0));
+  est.observe_charges(paper_model(), Coulomb(1.0), Coulomb(0.0),
+                      Seconds(10.0));
+  // Absurd efficiency (>= 1) also skipped.
+  est.observe_charges(paper_model(), Coulomb(100.0), Coulomb(1.0),
+                      Seconds(10.0));
+  EXPECT_EQ(est.samples(), 0u);
+  EXPECT_THROW(est.observe_charges(paper_model(), Coulomb(1.0),
+                                   Coulomb(1.0), Seconds(0.0)),
+               PreconditionError);
+}
+
+TEST(EfficiencyEstimator, ApplyToClampsIntoValidity) {
+  EfficiencyEstimator est(0.45, 0.13);
+  // Poison toward a pole inside the range.
+  for (int k = 0; k < 50; ++k) {
+    est.observe(Ampere(0.2), 0.9);
+    est.observe(Ampere(1.1), 0.01);
+  }
+  const power::LinearEfficiencyModel model = est.apply_to(paper_model());
+  // Must stay positive over the whole range (constructor enforces).
+  EXPECT_GT(model.efficiency(Ampere(1.2)), 0.0);
+}
+
+TEST(EfficiencyEstimator, RejectsBadInput) {
+  EXPECT_THROW(EfficiencyEstimator(0.0, 0.1), PreconditionError);
+  EXPECT_THROW(EfficiencyEstimator(0.4, -0.1), PreconditionError);
+  EXPECT_THROW(EfficiencyEstimator(0.4, 0.1, 0.0), PreconditionError);
+  EXPECT_THROW(EfficiencyEstimator(0.4, 0.1, 1.1), PreconditionError);
+  EfficiencyEstimator est(0.45, 0.13);
+  EXPECT_THROW(est.observe(Ampere(0.0), 0.4), PreconditionError);
+  EXPECT_THROW(est.observe(Ampere(0.5), 0.0), PreconditionError);
+  EXPECT_THROW(est.observe(Ampere(0.5), 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::core

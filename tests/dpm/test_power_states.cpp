@@ -1,0 +1,95 @@
+#include "dpm/power_states.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dpm {
+namespace {
+
+TEST(PowerStates, ToStringNames) {
+  EXPECT_STREQ(to_string(PowerState::Run), "RUN");
+  EXPECT_STREQ(to_string(PowerState::Standby), "STANDBY");
+  EXPECT_STREQ(to_string(PowerState::Sleep), "SLEEP");
+}
+
+TEST(DevicePowerModel, CamcorderFigureSixNumbers) {
+  const DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  EXPECT_DOUBLE_EQ(device.run_power.value(), 14.65);
+  EXPECT_DOUBLE_EQ(device.standby_power.value(), 4.84);
+  EXPECT_DOUBLE_EQ(device.sleep_power.value(), 2.40);
+  EXPECT_DOUBLE_EQ(device.power_down_delay.value(), 0.5);
+  EXPECT_DOUBLE_EQ(device.wake_up_delay.value(), 0.5);
+  EXPECT_DOUBLE_EQ(device.standby_to_run_delay.value(), 1.5);
+  EXPECT_DOUBLE_EQ(device.run_to_standby_delay.value(), 0.5);
+}
+
+TEST(DevicePowerModel, CurrentsAreTwelveVoltReferred) {
+  const DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  EXPECT_NEAR(device.run_current().value(), 14.65 / 12.0, 1e-12);
+  EXPECT_NEAR(device.standby_current().value(), 4.84 / 12.0, 1e-12);
+  EXPECT_NEAR(device.sleep_current().value(), 0.2, 1e-12);
+  // Figure 6 quotes IWU = IPD ~= 0.40 A.
+  EXPECT_NEAR(device.wake_up_current().value(), 0.403, 1e-3);
+}
+
+TEST(DevicePowerModel, CurrentInMatchesState) {
+  const DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  EXPECT_EQ(device.current_in(PowerState::Run), device.run_current());
+  EXPECT_EQ(device.current_in(PowerState::Standby),
+            device.standby_current());
+  EXPECT_EQ(device.current_in(PowerState::Sleep), device.sleep_current());
+}
+
+TEST(DevicePowerModel, CamcorderBreakEvenIsOneSecond) {
+  // The paper states Tbe = tPD + tWU = 1 s for the camcorder.
+  const DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  EXPECT_NEAR(device.break_even_time().value(), 1.0, 1e-9);
+}
+
+TEST(DevicePowerModel, Experiment2BreakEvenIsTenSeconds) {
+  // The paper states the break-even time is 10 s for Experiment 2.
+  const DevicePowerModel device = DevicePowerModel::experiment2_device();
+  EXPECT_NEAR(device.break_even_time().value(), 9.84, 0.01);
+}
+
+TEST(DevicePowerModel, BreakEvenNeverBelowTransitionTime) {
+  DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  // Free transitions: break-even collapses to the transition time.
+  device.power_down_power = Watt(0.0);
+  device.wake_up_power = Watt(0.0);
+  EXPECT_DOUBLE_EQ(device.break_even_time().value(),
+                   device.sleep_transition_delay().value());
+}
+
+TEST(DevicePowerModel, BreakEvenGrowsWithTransitionCost) {
+  DevicePowerModel cheap = DevicePowerModel::dvd_camcorder();
+  DevicePowerModel costly = DevicePowerModel::dvd_camcorder();
+  costly.power_down_power = Watt(14.4);
+  costly.wake_up_power = Watt(14.4);
+  EXPECT_GT(costly.break_even_time(), cheap.break_even_time());
+}
+
+TEST(DevicePowerModel, SleepTransitionChargeMatchesHand) {
+  const DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  // 2 * 0.5 s * (4.84/12) A.
+  EXPECT_NEAR(device.sleep_transition_charge().value(),
+              2 * 0.5 * 4.84 / 12.0, 1e-12);
+}
+
+TEST(DevicePowerModel, ValidateCatchesNonsense) {
+  DevicePowerModel device = DevicePowerModel::dvd_camcorder();
+  device.standby_power = Watt(2.0);  // below sleep power
+  EXPECT_THROW(device.validate(), PreconditionError);
+
+  device = DevicePowerModel::dvd_camcorder();
+  device.bus_voltage = Volt(0.0);
+  EXPECT_THROW(device.validate(), PreconditionError);
+
+  device = DevicePowerModel::dvd_camcorder();
+  device.power_down_delay = Seconds(-1.0);
+  EXPECT_THROW(device.validate(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::dpm

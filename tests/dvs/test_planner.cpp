@@ -1,0 +1,142 @@
+#include "dvs/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dvs {
+namespace {
+
+DvsPlanner make_planner(double round_trip = 0.95) {
+  return DvsPlanner(DvsProcessor::typical_embedded(),
+                    power::LinearEfficiencyModel::paper_default(),
+                    round_trip);
+}
+
+TEST(DvsPlanner, EvaluateBasicAccounting) {
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsEvaluation e = planner.evaluate(task, 3);  // full speed
+  EXPECT_DOUBLE_EQ(e.run_time.value(), 1.0);
+  EXPECT_DOUBLE_EQ(e.slack.value(), 2.0);
+  EXPECT_NEAR(e.device_energy.value(), 18.4 + 4.4, 1e-12);
+  EXPECT_TRUE(e.exceeds_fc_range);  // 1.53 A > 1.2 A
+  EXPECT_GT(e.fuel.value(), 0.0);
+}
+
+TEST(DvsPlanner, WithinRangeLevelsDontFlagExcess) {
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsEvaluation e = planner.evaluate(task, 2);  // 1.03 A
+  EXPECT_FALSE(e.exceeds_fc_range);
+}
+
+TEST(DvsPlanner, RaceToIdleAlwaysPicksTopLevel) {
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsEvaluation e = planner.plan(task, DvsStrategy::RaceToIdle);
+  EXPECT_EQ(e.level, 3u);
+}
+
+TEST(DvsPlanner, MinDeviceEnergyFindsCriticalSpeed) {
+  // With a 2.2 W idle floor the slowest level is not automatically the
+  // energy optimum, but for this calibration it is for a 3 s period.
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsEvaluation best =
+      planner.plan(task, DvsStrategy::MinDeviceEnergy);
+  for (std::size_t k = 0; k < 4; ++k) {
+    if (planner.processor().time_for(1.0, k) <= task.period) {
+      EXPECT_LE(best.device_energy.value(),
+                planner.evaluate(task, k).device_energy.value());
+    }
+  }
+}
+
+TEST(DvsPlanner, MinFuelNeverWorseThanOtherStrategies) {
+  const DvsPlanner planner = make_planner();
+  for (const double period : {1.6, 2.0, 3.0, 5.0}) {
+    const PeriodicTask task{1.0, Seconds(period)};
+    const DvsEvaluation fuel_best =
+        planner.plan(task, DvsStrategy::MinFuel);
+    const DvsEvaluation race = planner.plan(task, DvsStrategy::RaceToIdle);
+    const DvsEvaluation energy =
+        planner.plan(task, DvsStrategy::MinDeviceEnergy);
+    EXPECT_LE(fuel_best.fuel.value(), race.fuel.value() + 1e-12)
+        << "period " << period;
+    EXPECT_LE(fuel_best.fuel.value(), energy.fuel.value() + 1e-12)
+        << "period " << period;
+  }
+}
+
+TEST(DvsPlanner, RaceToIdlePaysBufferPenalty) {
+  // Race-to-idle peaks at 1.53 A > the 1.2 A FC ceiling: with a lossy
+  // buffer its fuel must exceed the min-fuel schedule's.
+  const DvsPlanner planner = make_planner(0.90);
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsEvaluation race = planner.plan(task, DvsStrategy::RaceToIdle);
+  const DvsEvaluation best = planner.plan(task, DvsStrategy::MinFuel);
+  EXPECT_GT(race.fuel.value(), best.fuel.value());
+  EXPECT_NE(best.level, 3u);
+}
+
+TEST(DvsPlanner, UnsustainableDemandIsRejected) {
+  // At 1.53 A peak and near-unity utilization the *average* demand
+  // exceeds the FC's 1.2 A ceiling: deadline-feasible but unsustainable
+  // — the limited-power-capacity argument of the paper's Section 1.
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(1.0)};
+  const DvsEvaluation top = planner.evaluate(task, 3);
+  EXPECT_FALSE(top.sustainable);
+  EXPECT_THROW((void)planner.plan(task, DvsStrategy::RaceToIdle),
+               PreconditionError);
+  EXPECT_THROW((void)planner.plan(task, DvsStrategy::MinFuel),
+               PreconditionError);
+}
+
+TEST(DvsPlanner, TightButSustainableDeadlineForcesFastLevels) {
+  // Period 1.3 s, work 1.0 s: only levels 2 (1.25 s) and 3 fit; level 3
+  // is unsustainable, so every strategy that searches lands on level 2.
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{1.0, Seconds(1.3)};
+  EXPECT_EQ(planner.plan(task, DvsStrategy::MinFuel).level, 2u);
+  EXPECT_EQ(planner.plan(task, DvsStrategy::MinDeviceEnergy).level, 2u);
+}
+
+TEST(DvsPlanner, LosslessBufferShrinksTheGap) {
+  // With a lossless buffer the only penalty for racing is the convex
+  // efficiency curve on the *average*, which flat setting removes: the
+  // race-vs-best gap must be smaller than with a lossy buffer.
+  const PeriodicTask task{1.0, Seconds(3.0)};
+  const DvsPlanner lossy = make_planner(0.85);
+  const DvsPlanner lossless = make_planner(1.0);
+  const double gap_lossy =
+      lossy.plan(task, DvsStrategy::RaceToIdle).fuel.value() -
+      lossy.plan(task, DvsStrategy::MinFuel).fuel.value();
+  const double gap_lossless =
+      lossless.plan(task, DvsStrategy::RaceToIdle).fuel.value() -
+      lossless.plan(task, DvsStrategy::MinFuel).fuel.value();
+  EXPECT_LT(gap_lossless, gap_lossy);
+}
+
+TEST(DvsPlanner, InfeasibleTaskThrows) {
+  const DvsPlanner planner = make_planner();
+  const PeriodicTask task{2.0, Seconds(1.0)};
+  EXPECT_THROW((void)planner.plan(task, DvsStrategy::MinFuel),
+               PreconditionError);
+}
+
+TEST(DvsPlanner, RejectsBadRoundTrip) {
+  EXPECT_THROW(make_planner(0.0), PreconditionError);
+  EXPECT_THROW(make_planner(1.1), PreconditionError);
+}
+
+TEST(DvsStrategyNames, AreStable) {
+  EXPECT_STREQ(to_string(DvsStrategy::RaceToIdle), "race-to-idle");
+  EXPECT_STREQ(to_string(DvsStrategy::MinDeviceEnergy),
+               "min-device-energy");
+  EXPECT_STREQ(to_string(DvsStrategy::MinFuel), "min-fuel");
+}
+
+}  // namespace
+}  // namespace fcdpm::dvs

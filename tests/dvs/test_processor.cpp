@@ -1,0 +1,89 @@
+#include "dvs/processor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::dvs {
+namespace {
+
+TEST(DvsProcessor, TypicalEmbeddedIsWellFormed) {
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  ASSERT_EQ(cpu.level_count(), 4u);
+  EXPECT_DOUBLE_EQ(cpu.levels().back().speed, 1.0);
+  // Top level's current exceeds the paper FC's 1.2 A ceiling.
+  EXPECT_GT(cpu.run_current(3).value(), 1.2);
+  EXPECT_LT(cpu.run_current(2).value(), 1.2);
+}
+
+TEST(DvsProcessor, EnergyPerCycleFallsWithSpeed) {
+  // The DVS premise: slower levels spend less energy per unit of work.
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  double previous = 1e9;
+  for (std::size_t k = cpu.level_count(); k-- > 0;) {
+    const double per_work =
+        cpu.level(k).run_power.value() / cpu.level(k).speed;
+    EXPECT_LT(per_work, previous) << "level " << k;
+    previous = per_work;
+  }
+}
+
+TEST(DvsProcessor, TimeForScalesInverselyWithSpeed) {
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  EXPECT_DOUBLE_EQ(cpu.time_for(1.0, 3).value(), 1.0);
+  EXPECT_DOUBLE_EQ(cpu.time_for(1.0, 0).value(), 2.5);  // speed 0.4
+}
+
+TEST(DvsProcessor, EnergyAccountsRunPlusIdle) {
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  // 1 s of work at full speed within a 3 s period: 18.4 + 2 * 2.2.
+  const Joule e = cpu.energy_for(1.0, 3, Seconds(3.0));
+  EXPECT_NEAR(e.value(), 18.4 + 2.0 * 2.2, 1e-12);
+}
+
+TEST(DvsProcessor, EnergyRejectsOverfullPeriod) {
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  EXPECT_THROW((void)cpu.energy_for(4.0, 3, Seconds(3.0)),
+               PreconditionError);
+}
+
+TEST(DvsProcessor, SlowestFeasiblePicksByDeadline) {
+  const DvsProcessor cpu = DvsProcessor::typical_embedded();
+  // Work 1 s; period 3 s: speed 0.4 takes 2.5 s -> feasible.
+  EXPECT_EQ(cpu.slowest_feasible(1.0, Seconds(3.0)), 0u);
+  // Period 1.5 s: needs speed >= 2/3 -> level 2 (0.8).
+  EXPECT_EQ(cpu.slowest_feasible(1.0, Seconds(1.5)), 2u);
+  // Period 1.0 s: only full speed.
+  EXPECT_EQ(cpu.slowest_feasible(1.0, Seconds(1.0)), 3u);
+  // Period 0.5 s: infeasible.
+  EXPECT_THROW((void)cpu.slowest_feasible(1.0, Seconds(0.5)),
+               PreconditionError);
+}
+
+TEST(DvsProcessor, RejectsMalformedLevelSets) {
+  EXPECT_THROW(DvsProcessor({}, Watt(2.0)), PreconditionError);
+  // Unsorted speeds.
+  EXPECT_THROW(DvsProcessor({{0.8, Volt(1.2), Watt(10.0)},
+                             {0.4, Volt(1.0), Watt(5.0)}},
+                            Watt(2.0)),
+               PreconditionError);
+  // Power not increasing.
+  EXPECT_THROW(DvsProcessor({{0.4, Volt(1.0), Watt(10.0)},
+                             {0.8, Volt(1.2), Watt(5.0)}},
+                            Watt(2.0)),
+               PreconditionError);
+  // Speed above 1.
+  EXPECT_THROW(DvsProcessor({{1.4, Volt(1.2), Watt(10.0)}}, Watt(2.0)),
+               PreconditionError);
+  // Running cheaper than idle.
+  EXPECT_THROW(DvsProcessor({{0.4, Volt(1.0), Watt(1.0)}}, Watt(2.0)),
+               PreconditionError);
+}
+
+TEST(PeriodicTask, Utilization) {
+  const PeriodicTask task{1.5, Seconds(3.0)};
+  EXPECT_DOUBLE_EQ(task.utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace fcdpm::dvs

@@ -1,0 +1,91 @@
+#include "fuelcell/polarization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::fc {
+namespace {
+
+TEST(Polarization, OpenCircuitBelowReversible) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  const Volt v0 = cell_voltage(cell, Ampere(0.0));
+  EXPECT_GT(v0.value(), 0.0);
+  EXPECT_LT(v0, cell.reversible_voltage);
+}
+
+TEST(Polarization, CalibratedOpenCircuitMatchesBcsStack) {
+  // 20 cells * v(0) must give the paper's 18.2 V.
+  const CellParams cell = CellParams::bcs_20w_cell();
+  EXPECT_NEAR(20.0 * cell_voltage(cell, Ampere(0.0)).value(), 18.2, 0.15);
+}
+
+TEST(Polarization, VoltageIsMonotonicallyDecreasing) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  double previous = cell_voltage(cell, Ampere(0.0)).value();
+  // Sweep up to just below the concentration collapse (the model floors
+  // at 0 V past ~1.85 A, where strict monotonicity ends by design).
+  for (double i = 0.05; i <= 1.8; i += 0.05) {
+    const double v = cell_voltage(cell, Ampere(i)).value();
+    EXPECT_LT(v, previous) << "at " << i << " A";
+    previous = v;
+  }
+}
+
+TEST(Polarization, SlopeIsNegativeEverywhere) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  for (double i = 0.01; i <= 1.8; i += 0.1) {
+    EXPECT_LT(cell_voltage_slope(cell, Ampere(i)), 0.0) << "at " << i;
+  }
+}
+
+TEST(Polarization, ActivationRegionDominatesEarly) {
+  // The voltage drop from 0 to 0.1 A should exceed the drop from
+  // 0.1 to 0.2 A: the Tafel term is logarithmic.
+  const CellParams cell = CellParams::bcs_20w_cell();
+  const double d1 = cell_voltage(cell, Ampere(0.0)).value() -
+                    cell_voltage(cell, Ampere(0.1)).value();
+  const double d2 = cell_voltage(cell, Ampere(0.1)).value() -
+                    cell_voltage(cell, Ampere(0.2)).value();
+  EXPECT_GT(d1, d2);
+}
+
+TEST(Polarization, ConcentrationRegionCollapsesLate) {
+  // Past ~2x the nominal range the exponential term must dominate: the
+  // local slope steepens substantially.
+  const CellParams cell = CellParams::bcs_20w_cell();
+  const double mid_slope = cell_voltage_slope(cell, Ampere(0.8));
+  const double late_slope = cell_voltage_slope(cell, Ampere(1.7));
+  EXPECT_LT(late_slope, 3.0 * mid_slope);  // both negative
+}
+
+TEST(Polarization, FloorsAtZeroVolts) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  EXPECT_DOUBLE_EQ(cell_voltage(cell, Ampere(10.0)).value(), 0.0);
+}
+
+TEST(Polarization, RejectsNegativeCurrent) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  EXPECT_THROW((void)cell_voltage(cell, Ampere(-0.1)), PreconditionError);
+}
+
+TEST(Polarization, RejectsNonPositiveModelCurrents) {
+  CellParams cell = CellParams::bcs_20w_cell();
+  cell.exchange_current = Ampere(0.0);
+  EXPECT_THROW((void)cell_voltage(cell, Ampere(0.1)), PreconditionError);
+  cell = CellParams::bcs_20w_cell();
+  cell.crossover_current = Ampere(0.0);
+  EXPECT_THROW((void)cell_voltage(cell, Ampere(0.1)), PreconditionError);
+}
+
+TEST(Polarization, OhmicParameterShiftsMidRange) {
+  CellParams lossy = CellParams::bcs_20w_cell();
+  lossy.ohmic_resistance_ohm *= 2.0;
+  const CellParams nominal = CellParams::bcs_20w_cell();
+  const double dv = cell_voltage(nominal, Ampere(0.8)).value() -
+                    cell_voltage(lossy, Ampere(0.8)).value();
+  EXPECT_NEAR(dv, nominal.ohmic_resistance_ohm * 0.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace fcdpm::fc

@@ -1,0 +1,111 @@
+#include "fuelcell/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::fc {
+namespace {
+
+TEST(Stack, RequiresAtLeastOneCell) {
+  EXPECT_THROW(FuelCellStack(CellParams::bcs_20w_cell(), 0),
+               PreconditionError);
+}
+
+TEST(Stack, VoltageScalesWithCellCount) {
+  const CellParams cell = CellParams::bcs_20w_cell();
+  const FuelCellStack one(cell, 1);
+  const FuelCellStack twenty(cell, 20);
+  EXPECT_NEAR(twenty.voltage(Ampere(0.5)).value(),
+              20.0 * one.voltage(Ampere(0.5)).value(), 1e-12);
+}
+
+TEST(Stack, Bcs20wOpenCircuitIs18_2V) {
+  // Figure 2 anchor: Vo = 18.2 V.
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  EXPECT_NEAR(stack.open_circuit_voltage().value(), 18.2, 0.15);
+}
+
+TEST(Stack, Bcs20wMaximumPowerNearRating) {
+  // Figure 2 anchor: "maximum power capacity" of the BCS 20 W stack.
+  // Our calibration lands at ~18.4 W near 1.5 A (see EXPERIMENTS.md).
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  const StackPoint mpp = stack.maximum_power_point();
+  EXPECT_GT(mpp.power.value(), 16.0);
+  EXPECT_LT(mpp.power.value(), 22.0);
+  EXPECT_GT(mpp.current.value(), 1.2);
+  EXPECT_LT(mpp.current.value(), 1.7);
+}
+
+TEST(Stack, PowerRisesThenFalls) {
+  // Figure 2: power increases, peaks, then decreases.
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  const StackPoint mpp = stack.maximum_power_point();
+  EXPECT_LT(stack.power(mpp.current * 0.5).value(), mpp.power.value());
+  EXPECT_LT(stack.power(mpp.current * 1.3).value(), mpp.power.value());
+}
+
+TEST(Stack, PowerInversionRoundTrips) {
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  for (const double i : {0.1, 0.35, 0.7, 1.0, 1.3}) {
+    const Watt p = stack.power(Ampere(i));
+    const Ampere back = stack.current_for_power(p);
+    EXPECT_NEAR(back.value(), i, 1e-8) << "at " << i << " A";
+  }
+}
+
+TEST(Stack, PowerInversionOfZeroIsZero) {
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  EXPECT_DOUBLE_EQ(stack.current_for_power(Watt(0.0)).value(), 0.0);
+}
+
+TEST(Stack, PowerBeyondCapacityThrows) {
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  const Watt capacity = stack.maximum_power_point().power;
+  EXPECT_THROW((void)stack.current_for_power(capacity + Watt(1.0)),
+               PreconditionError);
+  EXPECT_THROW((void)stack.current_for_power(Watt(-1.0)),
+               PreconditionError);
+}
+
+TEST(Stack, SampleCurveIsOrderedAndConsistent) {
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  const auto curve = stack.sample_curve(Ampere(0.0), Ampere(1.5), 31);
+  ASSERT_EQ(curve.size(), 31u);
+  EXPECT_DOUBLE_EQ(curve.front().current.value(), 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().current.value(), 1.5);
+  for (const StackPoint& p : curve) {
+    EXPECT_NEAR(p.power.value(),
+                p.voltage.value() * p.current.value(), 1e-12);
+  }
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    EXPECT_LT(curve[k].voltage, curve[k - 1].voltage);
+  }
+}
+
+TEST(Stack, SampleCurveRejectsBadRange) {
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  EXPECT_THROW((void)stack.sample_curve(Ampere(1.0), Ampere(0.5), 5),
+               PreconditionError);
+  EXPECT_THROW((void)stack.sample_curve(Ampere(-0.1), Ampere(0.5), 5),
+               PreconditionError);
+}
+
+class StackPowerMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(StackPowerMonotoneSweep, RisingBranchIsMonotone) {
+  // P(I) must be strictly increasing below the maximum-power point
+  // (this is what makes current_for_power well-posed).
+  const FuelCellStack stack = FuelCellStack::bcs_20w();
+  const double fraction = GetParam();
+  const Ampere i_mpp = stack.maximum_power_point().current;
+  const Ampere lo(i_mpp.value() * fraction);
+  const Ampere hi(i_mpp.value() * (fraction + 0.05));
+  EXPECT_LT(stack.power(lo).value(), stack.power(hi).value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, StackPowerMonotoneSweep,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6, 0.8, 0.9));
+
+}  // namespace
+}  // namespace fcdpm::fc

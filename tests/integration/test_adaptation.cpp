@@ -1,0 +1,131 @@
+// End-to-end tests of the run-time adaptation path: FC-DPM planning with
+// wrong coefficients against a drifted "true" source, re-estimating the
+// curve from the telemetry the simulator feeds back.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/experiments.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace fcdpm {
+namespace {
+
+using power::LinearEfficiencyModel;
+
+struct AdaptationRun {
+  sim::SimulationResult result;
+  LinearEfficiencyModel final_model =
+      LinearEfficiencyModel::paper_default();
+};
+
+AdaptationRun run_adaptive(const LinearEfficiencyModel& truth,
+                           const LinearEfficiencyModel& seed,
+                           bool adaptive) {
+  sim::ExperimentConfig config = sim::experiment1_config();
+
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  core::FcDpmPolicy fc_policy = core::FcDpmPolicy::paper_policy(
+      seed, config.device, config.sigma, config.initial_active_estimate,
+      config.active_current_estimate);
+  if (adaptive) {
+    fc_policy.enable_adaptation(0.99);
+  }
+
+  power::HybridPowerSource hybrid(
+      std::make_unique<power::LinearFuelSource>(truth),
+      std::make_unique<power::SuperCapacitor>(config.storage_capacity,
+                                              1.0));
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+
+  AdaptationRun run{sim::simulate(config.trace, dpm_policy, fc_policy,
+                                  hybrid, options),
+                    fc_policy.planning_model()};
+  return run;
+}
+
+TEST(Adaptation, RecoversDriftedCoefficientsFromTelemetry) {
+  const LinearEfficiencyModel paper =
+      LinearEfficiencyModel::paper_default();
+  const LinearEfficiencyModel truth =
+      paper.with_coefficients(0.40, 0.16);
+  const AdaptationRun run = run_adaptive(truth, paper, true);
+  EXPECT_NEAR(run.final_model.alpha(), 0.40, 0.01);
+  EXPECT_NEAR(run.final_model.beta(), 0.16, 0.01);
+}
+
+TEST(Adaptation, StaysPutWhenModelIsCorrect) {
+  const LinearEfficiencyModel paper =
+      LinearEfficiencyModel::paper_default();
+  const AdaptationRun run = run_adaptive(paper, paper, true);
+  EXPECT_NEAR(run.final_model.alpha(), 0.45, 0.005);
+  EXPECT_NEAR(run.final_model.beta(), 0.13, 0.005);
+}
+
+TEST(Adaptation, StaticPolicyKeepsItsSeed) {
+  const LinearEfficiencyModel paper =
+      LinearEfficiencyModel::paper_default();
+  const LinearEfficiencyModel truth =
+      paper.with_coefficients(0.40, 0.16);
+  const AdaptationRun run = run_adaptive(truth, paper, false);
+  EXPECT_DOUBLE_EQ(run.final_model.alpha(), 0.45);
+  EXPECT_DOUBLE_EQ(run.final_model.beta(), 0.13);
+}
+
+TEST(Adaptation, FuelUnchangedOnCorrectModel) {
+  // Adaptation must be a no-op (to within noise) when nothing drifted.
+  const LinearEfficiencyModel paper =
+      LinearEfficiencyModel::paper_default();
+  const AdaptationRun adaptive = run_adaptive(paper, paper, true);
+  const AdaptationRun fixed = run_adaptive(paper, paper, false);
+  EXPECT_NEAR(adaptive.result.fuel().value(),
+              fixed.result.fuel().value(),
+              0.005 * fixed.result.fuel().value());
+}
+
+TEST(Adaptation, TelemetryFieldsArePopulated) {
+  // The slot simulator must hand real telemetry to on_slot_end: verify
+  // through a probe policy.
+  class ProbePolicy final : public core::FcOutputPolicy {
+   public:
+    void on_idle_start(const core::IdleContext&) override {}
+    void on_active_start(const core::ActiveContext&) override {}
+    core::SegmentSetpoint segment_setpoint(
+        const core::SegmentContext&) override {
+      return {Ampere(0.5), false};
+    }
+    void on_slot_end(const core::SlotObservation& obs) override {
+      delivered += obs.delivered_charge;
+      fuel += obs.fuel_used;
+      ++slots;
+    }
+    std::string name() const override { return "probe"; }
+    std::unique_ptr<core::FcOutputPolicy> clone() const override {
+      return std::make_unique<ProbePolicy>(*this);
+    }
+    void reset() override {}
+
+    Coulomb delivered{0.0};
+    Coulomb fuel{0.0};
+    std::size_t slots = 0;
+  };
+
+  sim::ExperimentConfig config = sim::experiment1_config();
+  config.trace = config.trace.truncated(Seconds(120.0));
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  ProbePolicy probe;
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+  sim::SimulationOptions options = config.simulation;
+  const sim::SimulationResult r =
+      sim::simulate(config.trace, dpm_policy, probe, hybrid, options);
+
+  EXPECT_EQ(probe.slots, r.slots);
+  // Per-slot telemetry must sum to the run totals.
+  EXPECT_NEAR(probe.fuel.value(), r.fuel().value(), 1e-9);
+  EXPECT_NEAR(probe.delivered.value(),
+              r.totals.delivered_energy.value() / 12.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fcdpm

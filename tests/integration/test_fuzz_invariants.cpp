@@ -1,0 +1,126 @@
+// Randomized end-to-end invariant checks ("fuzz light"): arbitrary
+// workloads, policies and buffer configurations must never crash the
+// simulator, and the charge books must balance on every run:
+//
+//   delivered = served_load + stored_delta + bled     (bus charge)
+//   served_load = load - unserved
+//
+// with a lossless buffer; lossy buffers may only *lose* charge.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.hpp"
+#include "dpm/stochastic_policy.hpp"
+#include "sim/experiments.hpp"
+#include "sim/slot_simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fcdpm {
+namespace {
+
+std::unique_ptr<dpm::DpmPolicy> random_dpm(Rng& rng,
+                                           const dpm::DevicePowerModel&
+                                               device) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return std::make_unique<dpm::PredictiveDpmPolicy>(
+          dpm::PredictiveDpmPolicy::paper_policy(
+              device, rng.uniform(0.0, 1.0),
+              Seconds(rng.uniform(0.0, 20.0))));
+    case 1:
+      return std::make_unique<dpm::TimeoutDpmPolicy>(
+          device, Seconds(rng.uniform(0.0, 10.0)));
+    case 2:
+      return std::make_unique<dpm::StochasticDpmPolicy>(
+          device, 8, 2, Seconds(rng.uniform(0.0, 20.0)));
+    default:
+      return std::make_unique<dpm::AlwaysStandbyDpmPolicy>(device);
+  }
+}
+
+std::unique_ptr<core::FcOutputPolicy> random_fc(
+    Rng& rng, const sim::ExperimentConfig& config) {
+  const auto kind = static_cast<sim::PolicyKind>(rng.uniform_int(0, 3));
+  auto policy = sim::make_fc_policy(kind, config);
+  if (kind == sim::PolicyKind::FcDpm && rng.chance(0.3)) {
+    auto* fcdpm = dynamic_cast<core::FcDpmPolicy*>(policy.get());
+    fcdpm->restrict_to_levels(
+        {Ampere(0.2), Ampere(0.6), Ampere(1.0)});
+  }
+  return policy;
+}
+
+class FuzzInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzInvariants, ChargeBooksBalanceOnRandomRuns) {
+  Rng rng(GetParam());
+
+  for (int round = 0; round < 12; ++round) {
+    // Random workload.
+    wl::SyntheticConfig workload;
+    workload.idle_min = Seconds(rng.uniform(0.0, 5.0));
+    workload.idle_max =
+        workload.idle_min + Seconds(rng.uniform(0.5, 30.0));
+    workload.active_min = Seconds(rng.uniform(0.2, 3.0));
+    workload.active_max =
+        workload.active_min + Seconds(rng.uniform(0.1, 5.0));
+    workload.power_min = Watt(rng.uniform(1.0, 10.0));
+    workload.power_max =
+        workload.power_min + Watt(rng.uniform(0.5, 10.0));
+    workload.slot_count = static_cast<std::size_t>(
+        rng.uniform_int(1, 40));
+    workload.seed = rng.uniform_int(1, 1 << 30);
+
+    sim::ExperimentConfig config = sim::experiment1_config();
+    config.trace = wl::generate_synthetic_trace(workload);
+    config.storage_capacity = Coulomb(rng.uniform(1.0, 30.0));
+    config.initial_storage =
+        Coulomb(rng.uniform(0.0, config.storage_capacity.value()));
+    config.simulation.initial_storage = config.initial_storage;
+
+    const std::unique_ptr<dpm::DpmPolicy> dpm_policy =
+        random_dpm(rng, config.device);
+    const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+        random_fc(rng, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
+
+    sim::SimulationOptions options = config.simulation;
+    const sim::SimulationResult r = sim::simulate(
+        config.trace, *dpm_policy, *fc_policy, hybrid, options);
+
+    // Physicality.
+    EXPECT_GE(r.fuel().value(), 0.0);
+    EXPECT_GE(r.storage_min.value(), -1e-9);
+    EXPECT_LE(r.storage_max.value(),
+              config.storage_capacity.value() + 1e-9);
+
+    // Charge balance (the buffer is lossless here).
+    const double bus = 12.0;
+    const double delivered = r.totals.delivered_energy.value() / bus;
+    const double load = r.totals.load_energy.value() / bus;
+    const double served = load - r.totals.unserved.value();
+    const double stored_delta =
+        r.storage_end.value() - r.storage_initial.value();
+    EXPECT_NEAR(delivered, served + stored_delta + r.totals.bled.value(),
+                1e-6)
+        << "seed " << GetParam() << " round " << round << " dpm "
+        << dpm_policy->name() << " fc " << fc_policy->name();
+
+    // Fuel never beats the thermodynamic floor: burning at the best
+    // efficiency point cannot deliver this charge for less.
+    const double best_rate =
+        config.efficiency
+            .stack_current(config.efficiency.min_output())
+            .value() /
+        config.efficiency.min_output().value();
+    EXPECT_GE(r.fuel().value(), delivered * best_rate - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvariants,
+                         ::testing::Values(101u, 202u, 303u, 404u,
+                                           505u));
+
+}  // namespace
+}  // namespace fcdpm

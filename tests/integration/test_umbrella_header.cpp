@@ -1,0 +1,47 @@
+// Compile-and-smoke test of the umbrella header: one include must bring
+// every public type into scope and the headline workflow must run.
+#include "fcdpm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, HeadlineWorkflowCompilesAndRuns) {
+  using namespace fcdpm;
+
+  // Touch one symbol from every layer.
+  const Ampere current = 0.5_A;                                 // common
+  const fc::FuelModel fuel = fc::FuelModel::bcs_20w();          // fuelcell
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();            // power
+  const dpm::DevicePowerModel device =
+      dpm::DevicePowerModel::dvd_camcorder();                   // dpm
+  wl::CamcorderConfig workload;                                 // workload
+  workload.recording_length = Seconds(90.0);
+  const wl::Trace trace = wl::generate_camcorder_trace(workload);
+  const core::SlotOptimizer optimizer(model);                   // core
+  const dvs::DvsProcessor cpu =
+      dvs::DvsProcessor::typical_embedded();                    // dvs
+
+  dpm::PredictiveDpmPolicy dpm_policy =
+      dpm::PredictiveDpmPolicy::paper_policy(device, 0.5,
+                                             Seconds(10.0));
+  core::FcDpmPolicy fc_policy = core::FcDpmPolicy::paper_policy(
+      model, device, 0.5, Seconds(5.0), device.run_current());
+  power::HybridPowerSource hybrid =
+      power::HybridPowerSource::paper_hybrid();
+  const sim::SimulationResult result =
+      sim::simulate(trace, dpm_policy, fc_policy, hybrid);      // sim
+
+  report::Table table("t", {"fuel"});                           // report
+  table.add_row({report::cell(result.fuel().value(), 1)});
+
+  EXPECT_GT(result.fuel().value(), 0.0);
+  EXPECT_GT(fuel.hydrogen_litres_stp(result.fuel()), 0.0);
+  EXPECT_GT(current.value(), 0.0);
+  EXPECT_GT(optimizer.fuel_rate(current).value(), 0.0);
+  EXPECT_EQ(cpu.level_count(), 4u);
+  EXPECT_FALSE(table.to_ascii().empty());
+}
+
+}  // namespace

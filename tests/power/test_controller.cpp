@@ -1,0 +1,72 @@
+#include "power/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::power {
+namespace {
+
+TEST(OnOffFan, BaseDrawBelowThreshold) {
+  const OnOffFanController fan(Ampere(0.05), Ampere(0.07), Ampere(0.6));
+  EXPECT_DOUBLE_EQ(fan.control_current(Ampere(0.0)).value(), 0.05);
+  EXPECT_DOUBLE_EQ(fan.control_current(Ampere(0.59)).value(), 0.05);
+}
+
+TEST(OnOffFan, CoolingFanKicksInAtThreshold) {
+  const OnOffFanController fan(Ampere(0.05), Ampere(0.07), Ampere(0.6));
+  EXPECT_DOUBLE_EQ(fan.control_current(Ampere(0.6)).value(), 0.12);
+  EXPECT_DOUBLE_EQ(fan.control_current(Ampere(1.2)).value(), 0.12);
+}
+
+TEST(OnOffFan, DrawIsStepNotProportional) {
+  const OnOffFanController fan = OnOffFanController::typical();
+  const Ampere below = fan.control_current(Ampere(0.3));
+  const Ampere also_below = fan.control_current(Ampere(0.5));
+  EXPECT_EQ(below, also_below);
+  const Ampere above = fan.control_current(Ampere(0.9));
+  const Ampere also_above = fan.control_current(Ampere(1.1));
+  EXPECT_EQ(above, also_above);
+  EXPECT_GT(above, below);
+}
+
+TEST(ProportionalFan, ScalesWithLoad) {
+  const ProportionalFanController fan(Ampere(0.002), 0.04);
+  EXPECT_DOUBLE_EQ(fan.control_current(Ampere(0.0)).value(), 0.002);
+  EXPECT_NEAR(fan.control_current(Ampere(1.0)).value(), 0.042, 1e-12);
+  EXPECT_NEAR(fan.control_current(Ampere(0.5)).value(), 0.022, 1e-12);
+}
+
+TEST(ProportionalFan, DrawsLessThanOnOffAtLightLoad) {
+  // The whole point of the variable-speed configuration (Figure 3(b) vs
+  // 3(c)): less controller overhead when the load is light.
+  const ProportionalFanController variable =
+      ProportionalFanController::typical();
+  const OnOffFanController fixed = OnOffFanController::typical();
+  for (const double i : {0.05, 0.1, 0.2, 0.4}) {
+    EXPECT_LT(variable.control_current(Ampere(i)).value(),
+              fixed.control_current(Ampere(i)).value())
+        << "at " << i;
+  }
+}
+
+TEST(Controllers, RejectInvalidInput) {
+  EXPECT_THROW(OnOffFanController(Ampere(-0.1), Ampere(0.1), Ampere(0.6)),
+               PreconditionError);
+  EXPECT_THROW(ProportionalFanController(Ampere(0.01), -0.1),
+               PreconditionError);
+  const ProportionalFanController fan = ProportionalFanController::typical();
+  EXPECT_THROW((void)fan.control_current(Ampere(-0.1)), PreconditionError);
+}
+
+TEST(Controllers, CloneIsIndependentCopy) {
+  const OnOffFanController fan = OnOffFanController::typical();
+  const std::unique_ptr<ControllerModel> copy = fan.clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->name(), "on/off fan");
+  EXPECT_EQ(copy->control_current(Ampere(0.8)),
+            fan.control_current(Ampere(0.8)));
+}
+
+}  // namespace
+}  // namespace fcdpm::power

@@ -1,0 +1,236 @@
+#include "power/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::power {
+namespace {
+
+HybridPowerSource make_lossless_hybrid(Coulomb capacity) {
+  return HybridPowerSource(
+      std::make_unique<LinearFuelSource>(
+          LinearEfficiencyModel::paper_default()),
+      std::make_unique<SuperCapacitor>(capacity, 1.0));
+}
+
+TEST(LinearFuelSource, MirrorsTheEfficiencyModel) {
+  const LinearFuelSource source(LinearEfficiencyModel::paper_default());
+  EXPECT_DOUBLE_EQ(source.min_output().value(), 0.1);
+  EXPECT_DOUBLE_EQ(source.max_output().value(), 1.2);
+  EXPECT_DOUBLE_EQ(source.bus_voltage().value(), 12.0);
+  EXPECT_NEAR(source.fuel_current(Ampere(1.2)).value(), 1.306, 1e-3);
+  EXPECT_DOUBLE_EQ(source.fuel_current(Ampere(0.0)).value(), 0.0);
+}
+
+TEST(PhysicalFuelSource, DerivesRangeFromStack) {
+  PhysicalFuelSource source(FcSystem::paper_system(), Ampere(0.1));
+  EXPECT_DOUBLE_EQ(source.min_output().value(), 0.1);
+  EXPECT_GT(source.max_output().value(), 1.25);
+  EXPECT_GT(source.fuel_current(Ampere(0.6)).value(), 0.0);
+  EXPECT_THROW(PhysicalFuelSource(FcSystem::paper_system(), Ampere(5.0)),
+               PreconditionError);
+}
+
+TEST(Hybrid, SurplusChargesTheBuffer) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(0.0));
+  const SegmentResult r =
+      hybrid.run_segment(Seconds(20.0), Ampere(0.2), Ampere(16.0 / 30.0));
+  // The motivational example's idle phase: stores (0.533-0.2)*20 = 6.67.
+  EXPECT_NEAR(r.stored.value(), 6.667, 1e-2);
+  EXPECT_NEAR(hybrid.storage().charge().value(), 6.667, 1e-2);
+  EXPECT_DOUBLE_EQ(r.bled.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.unserved.value(), 0.0);
+}
+
+TEST(Hybrid, DeficitDrawsFromBuffer) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(6.667));
+  const SegmentResult r =
+      hybrid.run_segment(Seconds(10.0), Ampere(1.2), Ampere(16.0 / 30.0));
+  EXPECT_NEAR(r.drawn.value(), 6.667, 1e-2);
+  EXPECT_NEAR(hybrid.storage().charge().value(), 0.0, 1e-2);
+  EXPECT_DOUBLE_EQ(r.unserved.value(), 0.0);
+}
+
+TEST(Hybrid, MotivationalExampleFuelTotals) {
+  // Section 3.2, Setting (c): 13.45 A-s over the 30 s slot.
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(0.0));
+  (void)hybrid.run_segment(Seconds(20.0), Ampere(0.2), Ampere(16.0 / 30.0));
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(1.2), Ampere(16.0 / 30.0));
+  EXPECT_NEAR(hybrid.totals().fuel.value(), 13.45, 0.01);
+  // Setting (b), load following: 16.08 A-s.
+  hybrid.reset(Coulomb(0.0));
+  (void)hybrid.run_segment(Seconds(20.0), Ampere(0.2), Ampere(0.2));
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(1.2), Ampere(1.2));
+  EXPECT_NEAR(hybrid.totals().fuel.value(), 16.08, 0.01);
+}
+
+TEST(Hybrid, SetpointClampedIntoLoadFollowingRange) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(0.0));
+  const SegmentResult low =
+      hybrid.run_segment(Seconds(1.0), Ampere(0.0), Ampere(0.05));
+  EXPECT_DOUBLE_EQ(low.actual_if.value(), 0.1);
+  const SegmentResult high =
+      hybrid.run_segment(Seconds(1.0), Ampere(0.0), Ampere(3.0));
+  EXPECT_DOUBLE_EQ(high.actual_if.value(), 1.2);
+}
+
+TEST(Hybrid, ZeroSetpointIdlesTheFc) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(10.0));
+  const SegmentResult r =
+      hybrid.run_segment(Seconds(5.0), Ampere(1.0), Ampere(0.0));
+  EXPECT_DOUBLE_EQ(r.actual_if.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.fuel.value(), 0.0);
+  EXPECT_NEAR(r.drawn.value(), 5.0, 1e-12);
+}
+
+TEST(Hybrid, OverflowGoesToBleeder) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(2.0));
+  hybrid.reset(Coulomb(0.0));
+  // Minimum FC output with zero load: 0.1 A for 40 s = 4 A-s, but only
+  // 2 A-s fit: the rest bleeds (the paper's "extreme case").
+  const SegmentResult r =
+      hybrid.run_segment(Seconds(40.0), Ampere(0.0), Ampere(0.1));
+  EXPECT_NEAR(r.stored.value(), 2.0, 1e-12);
+  EXPECT_NEAR(r.bled.value(), 2.0, 1e-12);
+  EXPECT_NEAR(hybrid.totals().bled.value(), 2.0, 1e-12);
+}
+
+TEST(Hybrid, UnservedChargeWhenBufferRunsDry) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(2.0));
+  hybrid.reset(Coulomb(2.0));
+  // Load exceeds max FC output by 0.8 A for 10 s = 8 A-s deficit; only
+  // 2 A-s buffered.
+  const SegmentResult r =
+      hybrid.run_segment(Seconds(10.0), Ampere(2.0), Ampere(1.2));
+  EXPECT_NEAR(r.drawn.value(), 2.0, 1e-12);
+  EXPECT_NEAR(r.unserved.value(), 6.0, 1e-12);
+}
+
+TEST(Hybrid, TotalsAccumulateAcrossSegments) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(200.0));
+  hybrid.reset(Coulomb(0.0));
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(0.5), Ampere(0.5));
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.5), Ampere(0.5));
+  EXPECT_DOUBLE_EQ(hybrid.totals().duration.value(), 15.0);
+  EXPECT_NEAR(hybrid.totals().delivered_energy.value(), 12.0 * 0.5 * 15.0,
+              1e-9);
+  EXPECT_NEAR(hybrid.totals().load_energy.value(), 12.0 * 0.5 * 15.0,
+              1e-9);
+}
+
+TEST(Hybrid, EnergyConservationProperty) {
+  // delivered = load + stored_delta + bled - drawn... all in bus charge:
+  // IF*t = Ild*t + stored - drawn + bled (lossless storage).
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(50.0));
+  hybrid.reset(Coulomb(25.0));
+  Coulomb delivered{0.0};
+  Coulomb load{0.0};
+  Coulomb bled{0.0};
+  const double loads[] = {0.2, 1.2, 0.4, 0.0, 0.9, 1.4};
+  const double setpoints[] = {0.5, 0.7, 1.2, 0.1, 0.3, 1.2};
+  for (int k = 0; k < 6; ++k) {
+    const SegmentResult r = hybrid.run_segment(
+        Seconds(7.0), Ampere(loads[k]), Ampere(setpoints[k]));
+    delivered += r.actual_if * Seconds(7.0);
+    load += Ampere(loads[k]) * Seconds(7.0);
+    bled += r.bled;
+    load -= r.unserved;  // unserved load never left the source
+  }
+  const Coulomb stored_delta = hybrid.storage().charge() - Coulomb(25.0);
+  EXPECT_NEAR(delivered.value(),
+              load.value() + stored_delta.value() + bled.value(), 1e-9);
+}
+
+TEST(Hybrid, MinMaxStorageTracking) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  hybrid.reset(Coulomb(5.0));
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(0.0), Ampere(0.4));  // +4
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(1.0), Ampere(0.2));  // -8
+  EXPECT_DOUBLE_EQ(hybrid.max_storage_seen().value(), 9.0);
+  EXPECT_DOUBLE_EQ(hybrid.min_storage_seen().value(), 1.0);
+}
+
+TEST(Hybrid, ResetClearsAccounting) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  (void)hybrid.run_segment(Seconds(10.0), Ampere(0.5), Ampere(0.5));
+  hybrid.reset(Coulomb(3.0));
+  EXPECT_DOUBLE_EQ(hybrid.totals().fuel.value(), 0.0);
+  EXPECT_DOUBLE_EQ(hybrid.totals().duration.value(), 0.0);
+  EXPECT_DOUBLE_EQ(hybrid.storage().charge().value(), 3.0);
+  EXPECT_DOUBLE_EQ(hybrid.min_storage_seen().value(), 3.0);
+}
+
+TEST(Hybrid, CloneIsDeepCopy) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  hybrid.reset(Coulomb(5.0));
+  HybridPowerSource copy = hybrid.clone();
+  (void)copy.run_segment(Seconds(10.0), Ampere(0.0), Ampere(0.4));
+  EXPECT_DOUBLE_EQ(hybrid.storage().charge().value(), 5.0);
+  EXPECT_DOUBLE_EQ(copy.storage().charge().value(), 9.0);
+}
+
+TEST(Hybrid, RejectsInvalidSegments) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  EXPECT_THROW(
+      (void)hybrid.run_segment(Seconds(-1.0), Ampere(0.1), Ampere(0.1)),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)hybrid.run_segment(Seconds(1.0), Ampere(-0.1), Ampere(0.1)),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)hybrid.run_segment(Seconds(1.0), Ampere(0.1), Ampere(-0.1)),
+      PreconditionError);
+}
+
+TEST(Hybrid, StartupFuelChargedOnRestart) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(50.0));
+  hybrid.reset(Coulomb(25.0));
+  hybrid.set_startup_fuel(Coulomb(2.0));
+
+  // Running -> off -> running again: one restart.
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.3));
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.0));
+  const SegmentResult restart =
+      hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.3));
+  EXPECT_EQ(hybrid.startups(), 1u);
+
+  const double g03 = 0.32 * 0.3 / (0.45 - 0.13 * 0.3);
+  EXPECT_NEAR(restart.fuel.value(), g03 * 5.0 + 2.0, 1e-9);
+}
+
+TEST(Hybrid, NoStartupFuelWhileRunningContinuously) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(50.0));
+  hybrid.reset(Coulomb(25.0));
+  hybrid.set_startup_fuel(Coulomb(2.0));
+  for (int k = 0; k < 5; ++k) {
+    (void)hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.3));
+  }
+  EXPECT_EQ(hybrid.startups(), 0u);
+}
+
+TEST(Hybrid, ResetClearsStartupCount) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(50.0));
+  hybrid.reset(Coulomb(25.0));
+  hybrid.set_startup_fuel(Coulomb(2.0));
+  (void)hybrid.run_segment(Seconds(1.0), Ampere(0.2), Ampere(0.0));
+  (void)hybrid.run_segment(Seconds(1.0), Ampere(0.2), Ampere(0.3));
+  EXPECT_EQ(hybrid.startups(), 1u);
+  hybrid.reset(Coulomb(25.0));
+  EXPECT_EQ(hybrid.startups(), 0u);
+  EXPECT_THROW(hybrid.set_startup_fuel(Coulomb(-1.0)), PreconditionError);
+}
+
+TEST(Hybrid, PaperHybridFactoryConfiguration) {
+  HybridPowerSource hybrid = HybridPowerSource::paper_hybrid();
+  EXPECT_DOUBLE_EQ(hybrid.storage().capacity().value(), 6.0);
+  EXPECT_DOUBLE_EQ(hybrid.source().max_output().value(), 1.2);
+}
+
+}  // namespace
+}  // namespace fcdpm::power

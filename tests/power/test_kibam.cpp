@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "power/storage.hpp"
+
+namespace fcdpm::power {
+namespace {
+
+KineticBattery::Params default_params() {
+  KineticBattery::Params p;
+  p.total_capacity = Coulomb(100.0);
+  p.available_fraction = 0.4;
+  p.recovery_rate_per_s = 0.1;
+  p.charge_efficiency = 1.0;
+  return p;
+}
+
+TEST(KineticBattery, SetChargeDistributesAtEquilibrium) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(50.0));
+  EXPECT_DOUBLE_EQ(battery.charge().value(), 50.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge().value(), 20.0);  // 0.4 * 50
+  EXPECT_DOUBLE_EQ(battery.bound_charge().value(), 30.0);
+}
+
+TEST(KineticBattery, DrawOnlyTapsTheAvailableWell) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(100.0));
+  // 40 A-s available; asking for 60 delivers only 40 even though the
+  // battery still holds 60 bound — the recovery effect's flip side.
+  const Coulomb delivered = battery.draw(Coulomb(60.0));
+  EXPECT_DOUBLE_EQ(delivered.value(), 40.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge().value(), 0.0);
+  EXPECT_DOUBLE_EQ(battery.bound_charge().value(), 60.0);
+}
+
+TEST(KineticBattery, RestRecoversAvailableCharge) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(100.0));
+  (void)battery.draw(Coulomb(40.0));  // drain the available well
+  EXPECT_DOUBLE_EQ(battery.available_charge().value(), 0.0);
+
+  battery.advance(Seconds(10.0));
+  // Bound charge flowed over: some is available again...
+  EXPECT_GT(battery.available_charge().value(), 5.0);
+  // ...while total charge is conserved.
+  EXPECT_NEAR(battery.charge().value(), 60.0, 1e-9);
+}
+
+TEST(KineticBattery, RecoveryConvergesToEquilibrium) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(100.0));
+  (void)battery.draw(Coulomb(40.0));
+  battery.advance(Seconds(1000.0));
+  // Equilibrium at 60 A-s total: available = 0.4 * 60.
+  EXPECT_NEAR(battery.available_charge().value(), 24.0, 1e-6);
+  EXPECT_NEAR(battery.bound_charge().value(), 36.0, 1e-6);
+}
+
+TEST(KineticBattery, RecoveryIsExponentialInTime) {
+  KineticBattery a(default_params());
+  KineticBattery b(default_params());
+  a.set_charge(Coulomb(100.0));
+  b.set_charge(Coulomb(100.0));
+  (void)a.draw(Coulomb(40.0));
+  (void)b.draw(Coulomb(40.0));
+
+  // Two half-steps must equal one full step (memoryless relaxation).
+  a.advance(Seconds(4.0));
+  b.advance(Seconds(2.0));
+  b.advance(Seconds(2.0));
+  EXPECT_NEAR(a.available_charge().value(), b.available_charge().value(),
+              1e-9);
+}
+
+TEST(KineticBattery, ZeroRateNeverRecovers) {
+  KineticBattery::Params p = default_params();
+  p.recovery_rate_per_s = 0.0;
+  KineticBattery battery(p);
+  battery.set_charge(Coulomb(100.0));
+  (void)battery.draw(Coulomb(40.0));
+  battery.advance(Seconds(1000.0));
+  EXPECT_DOUBLE_EQ(battery.available_charge().value(), 0.0);
+}
+
+TEST(KineticBattery, StoreFillsAvailableWellFirst) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(0.0));
+  const Coulomb overflow = battery.store(Coulomb(50.0));
+  // Available well holds 40; the remaining 10 overflow until diffusion
+  // makes room.
+  EXPECT_DOUBLE_EQ(overflow.value(), 10.0);
+  EXPECT_DOUBLE_EQ(battery.available_charge().value(), 40.0);
+  battery.advance(Seconds(1000.0));
+  EXPECT_DOUBLE_EQ(battery.store(Coulomb(10.0)).value(), 0.0);
+}
+
+TEST(KineticBattery, PulsedDischargeOutlastsContinuous) {
+  // The recovery effect the paper cites: a bursty load with rests
+  // extracts more charge before the first brownout than a continuous
+  // load at the burst rate. (FCs have no analogue: their fuel rate
+  // depends only on the instantaneous current.)
+  const auto drain_until_brownout = [](bool rest_between_pulses) {
+    KineticBattery battery(default_params());
+    battery.set_charge(Coulomb(100.0));
+    Coulomb delivered{0.0};
+    for (int k = 0; k < 1000; ++k) {
+      const Coulomb got = battery.draw(Coulomb(2.0));  // 2 A-s per pulse
+      delivered += got;
+      if (got.value() < 2.0 - 1e-12) {
+        break;  // brownout: the well ran dry mid-pulse
+      }
+      if (rest_between_pulses) {
+        battery.advance(Seconds(5.0));
+      }
+    }
+    return delivered.value();
+  };
+
+  const double without_rests = drain_until_brownout(false);
+  const double with_rests = drain_until_brownout(true);
+  EXPECT_NEAR(without_rests, 40.0, 1e-9);  // just the available well
+  EXPECT_GT(with_rests, 1.5 * without_rests);
+}
+
+TEST(KineticBattery, ChargeEfficiencyApplied) {
+  KineticBattery::Params p = default_params();
+  p.charge_efficiency = 0.8;
+  KineticBattery battery(p);
+  battery.set_charge(Coulomb(0.0));
+  EXPECT_DOUBLE_EQ(battery.store(Coulomb(10.0)).value(), 0.0);
+  EXPECT_NEAR(battery.available_charge().value(), 8.0, 1e-12);
+  EXPECT_NEAR(battery.bus_charge_to_full().value(), 92.0 / 0.8, 1e-9);
+}
+
+TEST(KineticBattery, RejectsInvalidParams) {
+  KineticBattery::Params p = default_params();
+  p.available_fraction = 0.0;
+  EXPECT_THROW(KineticBattery{p}, PreconditionError);
+  p = default_params();
+  p.available_fraction = 1.0;
+  EXPECT_THROW(KineticBattery{p}, PreconditionError);
+  p = default_params();
+  p.total_capacity = Coulomb(0.0);
+  EXPECT_THROW(KineticBattery{p}, PreconditionError);
+  p = default_params();
+  p.recovery_rate_per_s = -1.0;
+  EXPECT_THROW(KineticBattery{p}, PreconditionError);
+}
+
+TEST(KineticBattery, CloneIsIndependent) {
+  KineticBattery battery(default_params());
+  battery.set_charge(Coulomb(100.0));
+  const std::unique_ptr<ChargeStorage> copy = battery.clone();
+  (void)copy->draw(Coulomb(10.0));
+  EXPECT_DOUBLE_EQ(battery.charge().value(), 100.0);
+  EXPECT_DOUBLE_EQ(copy->charge().value(), 90.0);
+}
+
+TEST(ChargeStorage, DefaultAdvanceIsNoOp) {
+  SuperCapacitor cap(Coulomb(6.0), 1.0);
+  cap.set_charge(Coulomb(3.0));
+  cap.advance(Seconds(100.0));
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 3.0);
+  EXPECT_THROW(cap.advance(Seconds(-1.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::power

@@ -1,0 +1,168 @@
+#include "power/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::power {
+namespace {
+
+TEST(SuperCapacitor, PaperElementHoldsSixAmpSeconds) {
+  // "1 F super-capacitor (equivalent to 100 mA-min capacity @ 12 V)".
+  const SuperCapacitor cap = SuperCapacitor::paper_1f();
+  EXPECT_DOUBLE_EQ(cap.capacity().value(), 6.0);
+}
+
+TEST(SuperCapacitor, FromCapacitanceUsesVoltageWindow) {
+  const SuperCapacitor cap = SuperCapacitor::from_capacitance(
+      Farad(1.0), Volt(6.0), Volt(12.0), 1.0);
+  EXPECT_DOUBLE_EQ(cap.capacity().value(), 6.0);
+  const SuperCapacitor big = SuperCapacitor::from_capacitance(
+      Farad(10.0), Volt(0.0), Volt(12.0), 1.0);
+  EXPECT_DOUBLE_EQ(big.capacity().value(), 120.0);
+}
+
+TEST(SuperCapacitor, LosslessStoreAndDraw) {
+  SuperCapacitor cap(Coulomb(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cap.store(Coulomb(4.0)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 4.0);
+  EXPECT_DOUBLE_EQ(cap.draw(Coulomb(3.0)).value(), 3.0);
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 1.0);
+}
+
+TEST(SuperCapacitor, OverflowReported) {
+  SuperCapacitor cap(Coulomb(10.0), 1.0);
+  const Coulomb overflow = cap.store(Coulomb(15.0));
+  EXPECT_DOUBLE_EQ(overflow.value(), 5.0);
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 10.0);
+}
+
+TEST(SuperCapacitor, UnderflowDeliversWhatExists) {
+  SuperCapacitor cap(Coulomb(10.0), 1.0);
+  (void)cap.store(Coulomb(2.0));
+  const Coulomb delivered = cap.draw(Coulomb(5.0));
+  EXPECT_DOUBLE_EQ(delivered.value(), 2.0);
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 0.0);
+}
+
+TEST(SuperCapacitor, RoundTripEfficiencyApplies) {
+  SuperCapacitor cap(Coulomb(100.0), 0.81);  // one-way 0.9
+  EXPECT_DOUBLE_EQ(cap.store(Coulomb(10.0)).value(), 0.0);
+  EXPECT_NEAR(cap.charge().value(), 9.0, 1e-12);
+  const Coulomb delivered = cap.draw(Coulomb(100.0));
+  EXPECT_NEAR(delivered.value(), 8.1, 1e-12);  // 10 * 0.81 round trip
+}
+
+TEST(SuperCapacitor, BusChargeToFullAccountsForLosses) {
+  SuperCapacitor cap(Coulomb(9.0), 0.81);
+  EXPECT_NEAR(cap.bus_charge_to_full().value(), 10.0, 1e-12);
+  // Offering exactly that much fills it with no overflow.
+  EXPECT_NEAR(cap.store(cap.bus_charge_to_full()).value(), 0.0, 1e-9);
+  EXPECT_NEAR(cap.charge().value(), 9.0, 1e-9);
+  EXPECT_NEAR(cap.bus_charge_to_full().value(), 0.0, 1e-9);
+}
+
+TEST(SuperCapacitor, FractionAndSetCharge) {
+  SuperCapacitor cap(Coulomb(6.0), 1.0);
+  cap.set_charge(Coulomb(3.0));
+  EXPECT_DOUBLE_EQ(cap.fraction(), 0.5);
+  EXPECT_THROW(cap.set_charge(Coulomb(7.0)), PreconditionError);
+  EXPECT_THROW(cap.set_charge(Coulomb(-1.0)), PreconditionError);
+}
+
+TEST(SuperCapacitor, RejectsInvalidConstruction) {
+  EXPECT_THROW(SuperCapacitor(Coulomb(0.0), 1.0), PreconditionError);
+  EXPECT_THROW(SuperCapacitor(Coulomb(1.0), 0.0), PreconditionError);
+  EXPECT_THROW(SuperCapacitor(Coulomb(1.0), 1.1), PreconditionError);
+  EXPECT_THROW(SuperCapacitor::from_capacitance(Farad(1.0), Volt(12.0),
+                                                Volt(6.0)),
+               PreconditionError);
+}
+
+TEST(SuperCapacitor, NegativeAmountsRejected) {
+  SuperCapacitor cap(Coulomb(6.0), 1.0);
+  EXPECT_THROW((void)cap.store(Coulomb(-1.0)), PreconditionError);
+  EXPECT_THROW((void)cap.draw(Coulomb(-1.0)), PreconditionError);
+}
+
+TEST(LiIonBattery, StoreAppliesCoulombicEfficiency) {
+  LiIonBattery battery({Coulomb(100.0), 0.9, Ampere(0.1), 1.05});
+  EXPECT_DOUBLE_EQ(battery.store(Coulomb(10.0)).value(), 0.0);
+  EXPECT_NEAR(battery.charge().value(), 9.0, 1e-12);
+}
+
+TEST(LiIonBattery, SlowDischargeIsLossless) {
+  LiIonBattery battery({Coulomb(100.0), 1.0, Ampere(0.1), 1.05});
+  battery.set_charge(Coulomb(50.0));
+  const Coulomb delivered =
+      battery.draw_at_rate(Coulomb(10.0), Ampere(0.05));
+  EXPECT_DOUBLE_EQ(delivered.value(), 10.0);
+  EXPECT_DOUBLE_EQ(battery.charge().value(), 40.0);
+}
+
+TEST(LiIonBattery, FastDischargeWastesCapacity) {
+  LiIonBattery battery({Coulomb(100.0), 1.0, Ampere(0.1), 1.2});
+  battery.set_charge(Coulomb(100.0));
+  const double eff = battery.discharge_efficiency(Ampere(1.0));
+  EXPECT_LT(eff, 1.0);
+  EXPECT_NEAR(eff, std::pow(0.1, 0.2), 1e-12);
+  const Coulomb delivered = battery.draw_at_rate(Coulomb(10.0), Ampere(1.0));
+  EXPECT_NEAR(delivered.value(), 10.0, 1e-12);  // served...
+  EXPECT_NEAR(battery.charge().value(), 100.0 - 10.0 / eff, 1e-9);  // ...at a premium
+}
+
+TEST(LiIonBattery, PeukertExponentOneIsNeutral) {
+  LiIonBattery battery({Coulomb(100.0), 1.0, Ampere(0.1), 1.0});
+  EXPECT_DOUBLE_EQ(battery.discharge_efficiency(Ampere(5.0)), 1.0);
+}
+
+TEST(LiIonBattery, RejectsInvalidParams) {
+  EXPECT_THROW(LiIonBattery({Coulomb(0.0), 0.9, Ampere(0.1), 1.05}),
+               PreconditionError);
+  EXPECT_THROW(LiIonBattery({Coulomb(1.0), 0.0, Ampere(0.1), 1.05}),
+               PreconditionError);
+  EXPECT_THROW(LiIonBattery({Coulomb(1.0), 0.9, Ampere(0.0), 1.05}),
+               PreconditionError);
+  EXPECT_THROW(LiIonBattery({Coulomb(1.0), 0.9, Ampere(0.1), 0.9}),
+               PreconditionError);
+}
+
+TEST(Storage, CloneProducesIndependentState) {
+  SuperCapacitor cap(Coulomb(6.0), 1.0);
+  cap.set_charge(Coulomb(2.0));
+  const std::unique_ptr<ChargeStorage> copy = cap.clone();
+  (void)copy->store(Coulomb(1.0));
+  EXPECT_DOUBLE_EQ(copy->charge().value(), 3.0);
+  EXPECT_DOUBLE_EQ(cap.charge().value(), 2.0);
+}
+
+class StorageConservation
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(StorageConservation, NeverCreatesCharge) {
+  // Property: whatever sequence of store/draw happens, delivered bus
+  // charge never exceeds offered bus charge.
+  const auto [round_trip, amount] = GetParam();
+  SuperCapacitor cap(Coulomb(50.0), round_trip);
+  Coulomb offered{0.0};
+  Coulomb delivered{0.0};
+  for (int k = 0; k < 20; ++k) {
+    const Coulomb in(amount * ((k % 3) + 1));
+    offered += in - cap.store(in);
+    const Coulomb out = cap.draw(Coulomb(amount * ((k % 2) + 1)));
+    delivered += out;
+  }
+  delivered += cap.charge();  // residual still inside (stored units)
+  EXPECT_LE(delivered.value(), offered.value() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StorageConservation,
+    ::testing::Values(std::make_pair(1.0, 1.0), std::make_pair(0.98, 2.0),
+                      std::make_pair(0.81, 0.5), std::make_pair(0.9, 5.0)));
+
+}  // namespace
+}  // namespace fcdpm::power

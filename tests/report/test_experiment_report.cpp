@@ -1,0 +1,72 @@
+#include "report/experiment_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fcdpm::report {
+namespace {
+
+sim::PolicyComparison fake_comparison(double conv, double asap,
+                                      double fcdpm) {
+  sim::PolicyComparison c;
+  c.conv.fc_policy = "Conv-DPM";
+  c.conv.totals.fuel = Coulomb(conv);
+  c.asap.fc_policy = "ASAP-DPM";
+  c.asap.totals.fuel = Coulomb(asap);
+  c.fcdpm.fc_policy = "FC-DPM";
+  c.fcdpm.totals.fuel = Coulomb(fcdpm);
+  return c;
+}
+
+TEST(ReportBuilder, AssemblesBlocksInOrder) {
+  ReportBuilder builder;
+  builder.title("Title").section("Section").paragraph("Body text.");
+  const std::string md = builder.markdown();
+  EXPECT_NE(md.find("# Title"), std::string::npos);
+  EXPECT_NE(md.find("## Section"), std::string::npos);
+  EXPECT_LT(md.find("# Title"), md.find("## Section"));
+  EXPECT_LT(md.find("## Section"), md.find("Body text."));
+}
+
+TEST(ReportBuilder, BulletsCoalesceIntoOneList) {
+  ReportBuilder builder;
+  builder.bullet("one").bullet("two").paragraph("and then").bullet(
+      "separate");
+  const std::string md = builder.markdown();
+  EXPECT_NE(md.find("- one\n- two"), std::string::npos);
+  EXPECT_NE(md.find("- separate"), std::string::npos);
+}
+
+TEST(ReportBuilder, TableRendersAsMarkdown) {
+  Table t("T", {"a", "b"});
+  t.add_row({"1", "2"});
+  ReportBuilder builder;
+  builder.table(t);
+  EXPECT_NE(builder.markdown().find("| a | b |"), std::string::npos);
+}
+
+TEST(ComparisonTable, NormalizedRowMatchesArithmetic) {
+  const Table t =
+      comparison_table("X", fake_comparison(1000.0, 408.0, 308.0));
+  ASSERT_EQ(t.rows().size(), 2u);
+  EXPECT_EQ(t.rows()[1][1], "100%");
+  EXPECT_EQ(t.rows()[1][2], "40.8%");
+  EXPECT_EQ(t.rows()[1][3], "30.8%");
+}
+
+TEST(ReproductionReport, ContainsBothExperimentsAndHeadlines) {
+  const std::string md =
+      reproduction_report(fake_comparison(1000.0, 408.0, 308.0),
+                          fake_comparison(1000.0, 491.0, 415.0));
+  EXPECT_NE(md.find("Experiment 1"), std::string::npos);
+  EXPECT_NE(md.find("Experiment 2"), std::string::npos);
+  // 1 - 308/408 = 24.5%.
+  EXPECT_NE(md.find("24.5%"), std::string::npos);
+  // 408/308 = 1.32x.
+  EXPECT_NE(md.find("1.32x"), std::string::npos);
+  // 1 - 415/491 = 15.5%.
+  EXPECT_NE(md.find("15.5%"), std::string::npos);
+  EXPECT_NE(md.find("Provenance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcdpm::report

@@ -1,0 +1,89 @@
+#include "report/series_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::report {
+namespace {
+
+sim::StepSeries make_series(const char* name, double v1, double v2) {
+  sim::StepSeries s(name, "A");
+  s.append(Seconds(10.0), v1);
+  s.append(Seconds(10.0), v2);
+  return s;
+}
+
+TEST(SeriesCsv, SharedTimeGrid) {
+  const sim::StepSeries a = make_series("load", 0.2, 1.2);
+  sim::StepSeries b("fc", "A");
+  b.append(Seconds(5.0), 0.5);
+  b.append(Seconds(20.0), 0.6);
+
+  const std::string csv = series_to_csv({&a, &b});
+  std::istringstream lines(csv);
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header, "time_s,load_A,fc_A");
+
+  // Change points: 0 (both), 5 (b), 10 (a) -> three data rows.
+  int rows = 0;
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(csv.find("10,1.2,0.6"), std::string::npos);
+}
+
+TEST(SeriesCsv, RejectsEmptyAndNull) {
+  EXPECT_THROW((void)series_to_csv({}), PreconditionError);
+  EXPECT_THROW((void)series_to_csv({nullptr}), PreconditionError);
+}
+
+TEST(AsciiChart, ShapeAndMarks) {
+  const sim::StepSeries s = make_series("load", 0.2, 1.2);
+  const std::string chart =
+      ascii_chart(s, Seconds(0.0), Seconds(20.0), 1.5, 40, 6);
+  // Header + 6 rows + bottom rule.
+  int lines = 0;
+  for (const char c : chart) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 8);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("load (A)"), std::string::npos);
+}
+
+TEST(AsciiChart, LowAndHighValuesLandOnDifferentRows) {
+  const sim::StepSeries s = make_series("load", 0.1, 1.4);
+  const std::string chart =
+      ascii_chart(s, Seconds(0.0), Seconds(20.0), 1.5, 20, 10);
+  std::istringstream in(chart);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // top row
+  // The top row should only be marked in the second half (high value).
+  const std::size_t first_half_hash = line.find('#');
+  EXPECT_GT(first_half_hash, 10u);
+}
+
+TEST(AsciiChart, RejectsBadGeometry) {
+  const sim::StepSeries s = make_series("x", 0.1, 0.2);
+  EXPECT_THROW(
+      (void)ascii_chart(s, Seconds(10.0), Seconds(0.0), 1.0, 40, 6),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)ascii_chart(s, Seconds(0.0), Seconds(10.0), 0.0, 40, 6),
+      PreconditionError);
+  EXPECT_THROW(
+      (void)ascii_chart(s, Seconds(0.0), Seconds(10.0), 1.0, 4, 6),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::report

@@ -1,0 +1,111 @@
+#include "report/svg_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::report {
+namespace {
+
+SvgSeries ramp(const std::string& label) {
+  SvgSeries s;
+  s.label = label;
+  for (int k = 0; k <= 10; ++k) {
+    s.xs.push_back(k * 0.1);
+    s.ys.push_back(k * 0.05);
+  }
+  return s;
+}
+
+TEST(SvgExport, DocumentIsWellFormedSvg) {
+  SvgOptions options;
+  options.title = "Figure 2";
+  options.x_label = "Ifc (A)";
+  options.y_label = "Vfc (V)";
+  const std::string svg = render_line_svg({ramp("stack")}, options);
+  EXPECT_EQ(svg.rfind("<svg xmlns=", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("Figure 2"), std::string::npos);
+  EXPECT_NE(svg.find("Ifc (A)"), std::string::npos);
+  EXPECT_NE(svg.find("Vfc (V)"), std::string::npos);
+}
+
+TEST(SvgExport, OnePolylinePerSeriesWithDistinctStrokes) {
+  const std::string svg =
+      render_line_svg({ramp("a"), ramp("b")}, SvgOptions{});
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(svg.find("#0072B2"), std::string::npos);
+  EXPECT_NE(svg.find("#D55E00"), std::string::npos);
+  // Legend labels present.
+  EXPECT_NE(svg.find(">a</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">b</text>"), std::string::npos);
+}
+
+TEST(SvgExport, AxesHaveTicks) {
+  const std::string svg = render_line_svg({ramp("a")}, SvgOptions{});
+  // Tick labels from the nice-step logic.
+  EXPECT_NE(svg.find(">0.2</text>"), std::string::npos);
+}
+
+TEST(SvgExport, RejectsDegenerateSeries) {
+  SvgSeries bad;
+  bad.xs = {1.0};
+  bad.ys = {1.0};
+  EXPECT_THROW((void)render_line_svg({bad}, SvgOptions{}),
+               PreconditionError);
+  SvgSeries mismatched;
+  mismatched.xs = {1.0, 2.0};
+  mismatched.ys = {1.0};
+  EXPECT_THROW((void)render_line_svg({mismatched}, SvgOptions{}),
+               PreconditionError);
+  EXPECT_THROW((void)render_line_svg({}, SvgOptions{}),
+               PreconditionError);
+}
+
+TEST(SvgExport, StepSeriesRendersCorners) {
+  sim::StepSeries s("load", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(5.0), 1.2);
+  const std::string svg =
+      render_step_svg({&s}, Seconds(0.0), Seconds(15.0), SvgOptions{});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find(">load</text>"), std::string::npos);
+  EXPECT_THROW((void)render_step_svg({&s}, Seconds(5.0), Seconds(1.0),
+                                     SvgOptions{}),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)render_step_svg({nullptr}, Seconds(0.0), Seconds(1.0),
+                            SvgOptions{}),
+      PreconditionError);
+}
+
+TEST(SvgExport, EmptyStepSeriesStillRenders) {
+  const sim::StepSeries empty("x", "A");
+  const std::string svg = render_step_svg({&empty}, Seconds(0.0),
+                                          Seconds(10.0), SvgOptions{});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgExport, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fcdpm_test.svg";
+  write_svg_file(path, render_line_svg({ramp("a")}, SvgOptions{}));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  EXPECT_THROW(write_svg_file("/nonexistent/x.svg", "<svg/>"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fcdpm::report

@@ -1,0 +1,90 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::report {
+namespace {
+
+Table sample_table() {
+  Table t("Normalized fuel consumption of Exp. 1",
+          {"DPM policy", "Conv-DPM", "ASAP-DPM", "FC-DPM"});
+  t.add_row({"Compared to Conv-DPM", "100%", "40.8%", "30.8%"});
+  return t;
+}
+
+TEST(Table, RequiresColumns) {
+  EXPECT_THROW(Table("t", {}), PreconditionError);
+}
+
+TEST(Table, RowsPaddedToColumnCount) {
+  Table t("t", {"a", "b", "c"});
+  t.add_row({"1"});
+  ASSERT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.rows()[0].size(), 3u);
+  EXPECT_EQ(t.rows()[0][2], "");
+}
+
+TEST(Table, RejectsOversizedRow) {
+  Table t("t", {"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), PreconditionError);
+}
+
+TEST(Table, AsciiContainsEverything) {
+  const std::string text = sample_table().to_ascii();
+  EXPECT_NE(text.find("Normalized fuel consumption"), std::string::npos);
+  EXPECT_NE(text.find("FC-DPM"), std::string::npos);
+  EXPECT_NE(text.find("30.8%"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, AsciiColumnsAligned) {
+  Table t("t", {"x", "longheader"});
+  t.add_row({"aaaa", "b"});
+  const std::string text = t.to_ascii();
+  std::istringstream lines(text);
+  std::string title;
+  std::string header;
+  std::string rule;
+  std::string row;
+  std::getline(lines, title);
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, MarkdownShape) {
+  const std::string md = sample_table().to_markdown();
+  EXPECT_NE(md.find("### Normalized"), std::string::npos);
+  EXPECT_NE(md.find("| DPM policy |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 30.8% |"), std::string::npos);
+}
+
+TEST(Table, CsvShape) {
+  const std::string csv = sample_table().to_csv();
+  EXPECT_EQ(csv.substr(0, 2), "# ");
+  EXPECT_NE(csv.find("DPM policy,Conv-DPM,ASAP-DPM,FC-DPM"),
+            std::string::npos);
+}
+
+TEST(Table, StreamOperatorUsesAscii) {
+  std::ostringstream out;
+  out << sample_table();
+  EXPECT_EQ(out.str(), sample_table().to_ascii());
+}
+
+TEST(Cells, NumberFormatting) {
+  EXPECT_EQ(cell(13.45, 2), "13.45");
+  EXPECT_EQ(cell(1.3061, 2), "1.31");
+  EXPECT_EQ(cell(2.0, 3), "2");
+  EXPECT_EQ(percent_cell(0.308), "30.8%");
+  EXPECT_EQ(percent_cell(0.2444, 0), "24%");
+}
+
+}  // namespace
+}  // namespace fcdpm::report

@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+namespace {
+
+SimulationResult result_with_fuel(double fuel, double duration) {
+  SimulationResult r;
+  r.totals.fuel = Coulomb(fuel);
+  r.totals.duration = Seconds(duration);
+  return r;
+}
+
+TEST(Metrics, AverageFuelCurrent) {
+  const SimulationResult r = result_with_fuel(130.6, 100.0);
+  EXPECT_NEAR(r.average_fuel_current().value(), 1.306, 1e-12);
+  const SimulationResult empty = result_with_fuel(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(empty.average_fuel_current().value(), 0.0);
+}
+
+TEST(Metrics, LifetimeOnTank) {
+  const SimulationResult r = result_with_fuel(100.0, 100.0);  // 1 A burn
+  EXPECT_NEAR(r.lifetime_on(Coulomb(3600.0)).value(), 3600.0, 1e-9);
+  EXPECT_THROW((void)r.lifetime_on(Coulomb(0.0)), PreconditionError);
+  const SimulationResult idle = result_with_fuel(0.0, 100.0);
+  EXPECT_THROW((void)idle.lifetime_on(Coulomb(10.0)), PreconditionError);
+}
+
+TEST(Metrics, NormalizedFuelMatchesTableTwoArithmetic) {
+  // Table 2: ASAP 40.8 %, FC-DPM 30.8 % of Conv.
+  const SimulationResult conv = result_with_fuel(1000.0, 1.0);
+  const SimulationResult asap = result_with_fuel(408.0, 1.0);
+  const SimulationResult fcdpm = result_with_fuel(308.0, 1.0);
+  EXPECT_NEAR(normalized_fuel(asap, conv), 0.408, 1e-12);
+  EXPECT_NEAR(normalized_fuel(fcdpm, conv), 0.308, 1e-12);
+  // "FC-DPM saves 24.4 % more fuel" vs ASAP.
+  EXPECT_NEAR(fuel_saving(fcdpm, asap), 0.2451, 1e-3);
+  // "lifetime higher than ASAP-DPM by 40.8/30.8 = 1.32".
+  EXPECT_NEAR(lifetime_extension(fcdpm, asap), 1.3247, 1e-3);
+}
+
+TEST(Metrics, NormalizedFuelRequiresPositiveBaseline) {
+  const SimulationResult zero = result_with_fuel(0.0, 1.0);
+  const SimulationResult r = result_with_fuel(10.0, 1.0);
+  EXPECT_THROW((void)normalized_fuel(r, zero), PreconditionError);
+  EXPECT_THROW((void)lifetime_extension(zero, r), PreconditionError);
+  EXPECT_THROW((void)fuel_saving(r, zero), PreconditionError);
+}
+
+TEST(Metrics, SavingOfIdenticalRunsIsZero) {
+  const SimulationResult a = result_with_fuel(10.0, 1.0);
+  const SimulationResult b = result_with_fuel(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(fuel_saving(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(lifetime_extension(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace fcdpm::sim

@@ -1,0 +1,96 @@
+#include "sim/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::sim {
+namespace {
+
+TEST(StepSeries, AppendsAndSamples) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(5.0), 1.2);
+  EXPECT_DOUBLE_EQ(s.end_time().value(), 15.0);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(0.0)), 0.2);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(9.999)), 0.2);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(10.0)), 1.2);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(14.0)), 1.2);
+  // Last value holds past the end.
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(100.0)), 1.2);
+}
+
+TEST(StepSeries, EmptySeriesSamplesZero) {
+  const StepSeries s("x", "A");
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.time_average(), 0.0);
+}
+
+TEST(StepSeries, AdjacentEqualValuesMerge) {
+  StepSeries s("x", "A");
+  s.append(Seconds(5.0), 0.5);
+  s.append(Seconds(5.0), 0.5);
+  s.append(Seconds(5.0), 0.7);
+  EXPECT_EQ(s.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(s.end_time().value(), 15.0);
+}
+
+TEST(StepSeries, ZeroDurationIgnored) {
+  StepSeries s("x", "A");
+  s.append(Seconds(0.0), 5.0);
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.append(Seconds(-1.0), 1.0), PreconditionError);
+}
+
+TEST(StepSeries, TimeAverageIsDurationWeighted) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(10.0), 1.2);
+  EXPECT_NEAR(s.time_average(), 0.7, 1e-12);
+  s.append(Seconds(20.0), 0.7);
+  EXPECT_NEAR(s.time_average(), 0.7, 1e-12);
+}
+
+TEST(StepSeries, WindowExtractsSubRange) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(10.0), 1.2);
+  s.append(Seconds(10.0), 0.5);
+  const StepSeries w = s.window(Seconds(5.0), Seconds(25.0));
+  EXPECT_DOUBLE_EQ(w.end_time().value(), 20.0);
+  EXPECT_DOUBLE_EQ(w.sample(Seconds(0.0)), 0.2);
+  EXPECT_DOUBLE_EQ(w.sample(Seconds(6.0)), 1.2);
+  EXPECT_DOUBLE_EQ(w.sample(Seconds(19.0)), 0.5);
+}
+
+TEST(StepSeries, WindowPastEndIsEmpty) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  EXPECT_TRUE(s.window(Seconds(20.0), Seconds(30.0)).empty());
+  EXPECT_THROW((void)s.window(Seconds(5.0), Seconds(1.0)),
+               PreconditionError);
+}
+
+TEST(ProfileRecorder, RecordsThreeSignals) {
+  ProfileRecorder rec;
+  rec.record(Seconds(10.0), Ampere(0.2), Ampere(0.5), Coulomb(3.0));
+  rec.record(Seconds(5.0), Ampere(1.2), Ampere(0.5), Coulomb(1.5));
+  EXPECT_DOUBLE_EQ(rec.load_current().sample(Seconds(12.0)), 1.2);
+  EXPECT_DOUBLE_EQ(rec.fc_output().sample(Seconds(12.0)), 0.5);
+  EXPECT_DOUBLE_EQ(rec.storage_charge().sample(Seconds(12.0)), 1.5);
+  EXPECT_DOUBLE_EQ(rec.clock().value(), 15.0);
+}
+
+TEST(ProfileRecorder, LimitTruncatesRecordingButNotClock) {
+  ProfileRecorder rec;
+  rec.set_limit(Seconds(12.0));
+  rec.record(Seconds(10.0), Ampere(0.2), Ampere(0.5), Coulomb(3.0));
+  rec.record(Seconds(10.0), Ampere(1.2), Ampere(0.6), Coulomb(2.0));
+  rec.record(Seconds(10.0), Ampere(0.9), Ampere(0.7), Coulomb(1.0));
+  EXPECT_DOUBLE_EQ(rec.load_current().end_time().value(), 12.0);
+  EXPECT_DOUBLE_EQ(rec.clock().value(), 30.0);
+}
+
+}  // namespace
+}  // namespace fcdpm::sim

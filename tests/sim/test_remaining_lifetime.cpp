@@ -1,0 +1,90 @@
+#include "sim/remaining_lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/contracts.hpp"
+#include "sim/experiments.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace fcdpm::sim {
+namespace {
+
+TEST(RemainingLifetime, ProjectsConstantBurnExactly) {
+  RemainingLifetimeEstimator gauge(Coulomb(100.0), 0.9);
+  for (int k = 0; k < 10; ++k) {
+    gauge.record(Coulomb(2.0), Seconds(4.0));  // 0.5 A burn
+  }
+  EXPECT_NEAR(gauge.burn_rate().value(), 0.5, 1e-12);
+  EXPECT_NEAR(gauge.fuel_remaining().value(), 80.0, 1e-12);
+  EXPECT_NEAR(gauge.remaining().value(), 160.0, 1e-9);
+  EXPECT_FALSE(gauge.empty());
+}
+
+TEST(RemainingLifetime, SmoothingTracksRateChanges) {
+  RemainingLifetimeEstimator gauge(Coulomb(1000.0), 0.5);
+  gauge.record(Coulomb(1.0), Seconds(1.0));  // 1 A
+  for (int k = 0; k < 20; ++k) {
+    gauge.record(Coulomb(0.25), Seconds(1.0));  // 0.25 A regime
+  }
+  EXPECT_NEAR(gauge.burn_rate().value(), 0.25, 1e-4);
+}
+
+TEST(RemainingLifetime, EmptiesWhenConsumedExceedsTank) {
+  RemainingLifetimeEstimator gauge(Coulomb(3.0));
+  gauge.record(Coulomb(2.0), Seconds(1.0));
+  EXPECT_FALSE(gauge.empty());
+  gauge.record(Coulomb(2.0), Seconds(1.0));
+  EXPECT_TRUE(gauge.empty());
+  EXPECT_DOUBLE_EQ(gauge.fuel_remaining().value(), 0.0);
+}
+
+TEST(RemainingLifetime, ExtensionOverReference) {
+  RemainingLifetimeEstimator gauge(Coulomb(100.0));
+  gauge.record(Coulomb(1.0), Seconds(2.0));  // 0.5 A
+  // vs a 1.306 A load-following burn: 2.6x.
+  EXPECT_NEAR(gauge.extension_over(Ampere(1.306)), 2.612, 1e-3);
+  EXPECT_THROW((void)gauge.extension_over(Ampere(0.0)),
+               PreconditionError);
+}
+
+TEST(RemainingLifetime, RequiresTelemetryBeforeProjection) {
+  RemainingLifetimeEstimator gauge(Coulomb(10.0));
+  EXPECT_THROW((void)gauge.remaining(), PreconditionError);
+  EXPECT_DOUBLE_EQ(gauge.burn_rate().value(), 0.0);
+  EXPECT_THROW(gauge.record(Coulomb(1.0), Seconds(0.0)),
+               PreconditionError);
+  EXPECT_THROW(RemainingLifetimeEstimator(Coulomb(0.0)),
+               PreconditionError);
+}
+
+TEST(RemainingLifetime, AgreesWithDirectLifetimeMeasurement) {
+  // Feed the gauge from a real simulation's per-slot telemetry; its
+  // projection must land near the measured run duration scaled by
+  // tank/fuel.
+  ExperimentConfig config = experiment1_config();
+  config.trace = config.trace.truncated(Seconds(300.0));
+  config.simulation.keep_slot_records = true;
+
+  dpm::PredictiveDpmPolicy dpm_policy = make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc =
+      make_fc_policy(PolicyKind::FcDpm, config);
+  power::HybridPowerSource hybrid = make_hybrid(config);
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+  const SimulationResult r =
+      simulate(config.trace, dpm_policy, *fc, hybrid, options);
+
+  RemainingLifetimeEstimator gauge(Coulomb(10.0 * r.fuel().value()), 0.9);
+  for (const SlotRecord& record : r.slot_records) {
+    gauge.record(record.fuel, record.idle + record.active);
+  }
+  // 10 tanks' worth of this workload: ~10x the run's duration, minus
+  // one run already burned -> 9x remaining (within smoothing slack).
+  const double expected = 9.0 * r.totals.duration.value();
+  EXPECT_NEAR(gauge.remaining().value(), expected, 0.1 * expected);
+}
+
+}  // namespace
+}  // namespace fcdpm::sim

@@ -1,0 +1,98 @@
+#include "workload/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "workload/camcorder.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+Trace uniform_trace(std::size_t slots, double idle, double active,
+                    double power) {
+  Trace t("uniform", {});
+  for (std::size_t k = 0; k < slots; ++k) {
+    t.append({Seconds(idle), Seconds(active), Watt(power)});
+  }
+  return t;
+}
+
+TEST(Aggregation, ZeroBudgetIsIdentity) {
+  const Trace t = uniform_trace(5, 10.0, 3.0, 14.0);
+  AggregationReport report;
+  const Trace out = aggregate_trace(t, Seconds(0.0), &report);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(report.merged_slots, 5u);
+  EXPECT_DOUBLE_EQ(report.worst_deferral.value(), 0.0);
+}
+
+TEST(Aggregation, PreservesTotalIdleAndActiveTime) {
+  const Trace t = uniform_trace(10, 10.0, 3.0, 14.0);
+  const Trace out = aggregate_trace(t, Seconds(25.0));
+  EXPECT_NEAR(out.stats().total_idle.value(),
+              t.stats().total_idle.value(), 1e-9);
+  EXPECT_NEAR(out.stats().total_active.value(),
+              t.stats().total_active.value(), 1e-9);
+}
+
+TEST(Aggregation, GroupSizeFollowsBudget) {
+  // Budget of 25 s allows hoisting two extra 10 s idles (20 s <= 25)
+  // but not three (30 s > 25): groups of 3.
+  const Trace t = uniform_trace(9, 10.0, 3.0, 14.0);
+  AggregationReport report;
+  const Trace out = aggregate_trace(t, Seconds(25.0), &report);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].idle.value(), 30.0);
+  EXPECT_DOUBLE_EQ(out[0].active.value(), 9.0);
+  EXPECT_DOUBLE_EQ(report.worst_deferral.value(), 20.0);
+}
+
+TEST(Aggregation, EnergyPreservingPowerAverage) {
+  Trace t("mixed", {{Seconds(10.0), Seconds(2.0), Watt(12.0)},
+                    {Seconds(10.0), Seconds(6.0), Watt(16.0)}});
+  const Trace out = aggregate_trace(t, Seconds(100.0));
+  ASSERT_EQ(out.size(), 1u);
+  // (12*2 + 16*6) / 8 = 15 W.
+  EXPECT_NEAR(out[0].active_power.value(), 15.0, 1e-12);
+  EXPECT_DOUBLE_EQ(out[0].active.value(), 8.0);
+}
+
+TEST(Aggregation, HugeBudgetMergesEverything) {
+  const Trace t = uniform_trace(20, 10.0, 3.0, 14.0);
+  const Trace out = aggregate_trace(t, Seconds(1e6));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Aggregation, WorstDeferralNeverExceedsBudget) {
+  const Trace t = paper_camcorder_trace();
+  for (const double budget : {5.0, 15.0, 40.0, 90.0}) {
+    AggregationReport report;
+    (void)aggregate_trace(t, Seconds(budget), &report);
+    EXPECT_LE(report.worst_deferral.value(), budget + 1e-9)
+        << "budget " << budget;
+  }
+}
+
+TEST(Aggregation, MoreBudgetNeverMoreSlots) {
+  const Trace t = paper_camcorder_trace();
+  std::size_t previous = t.size() + 1;
+  for (const double budget : {0.0, 10.0, 30.0, 60.0, 120.0}) {
+    const Trace out = aggregate_trace(t, Seconds(budget));
+    EXPECT_LE(out.size(), previous) << "budget " << budget;
+    previous = out.size();
+  }
+}
+
+TEST(Aggregation, RejectsNegativeBudget) {
+  const Trace t = uniform_trace(2, 10.0, 3.0, 14.0);
+  EXPECT_THROW((void)aggregate_trace(t, Seconds(-1.0)),
+               PreconditionError);
+}
+
+TEST(Aggregation, ReportOptional) {
+  const Trace t = uniform_trace(2, 10.0, 3.0, 14.0);
+  EXPECT_NO_THROW((void)aggregate_trace(t, Seconds(5.0), nullptr));
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

@@ -1,0 +1,121 @@
+#include "workload/camcorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+TEST(CamcorderConfig, WriteBurstIsBufferOverSpeed) {
+  const CamcorderConfig config;
+  // 16 MB / 5.28 MB/s = 3.03 s (the paper's active period).
+  EXPECT_NEAR(config.write_burst().value(), 3.03, 0.01);
+}
+
+TEST(CamcorderTrace, CoversTwentyEightMinutes) {
+  const Trace trace = paper_camcorder_trace();
+  const TraceStats stats = trace.stats();
+  EXPECT_GE(stats.total_duration().value(), 28.0 * 60.0);
+  // ...but not wildly more (one slot of overshoot at most).
+  EXPECT_LE(stats.total_duration().value(), 28.0 * 60.0 + 25.0);
+}
+
+TEST(CamcorderTrace, IdleTimesWithinPaperBand) {
+  // "The length of the idle period is varied from 8 s to 20 s."
+  const TraceStats stats = paper_camcorder_trace().stats();
+  EXPECT_GE(stats.min_idle.value(), 8.0 - 1e-9);
+  EXPECT_LE(stats.max_idle.value(), 20.0 + 1e-9);
+}
+
+TEST(CamcorderTrace, ActivePeriodsAreTheWriteBurst) {
+  const Trace trace = paper_camcorder_trace();
+  for (const TaskSlot& slot : trace.slots()) {
+    EXPECT_NEAR(slot.active.value(), 3.03, 0.01);
+    EXPECT_DOUBLE_EQ(slot.active_power.value(), 14.65);
+  }
+}
+
+TEST(CamcorderTrace, DeterministicInSeed) {
+  const Trace a = paper_camcorder_trace();
+  const Trace b = paper_camcorder_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a[k].idle.value(), b[k].idle.value());
+  }
+}
+
+TEST(CamcorderTrace, DifferentSeedsDiffer) {
+  CamcorderConfig config;
+  config.seed = 1;
+  const Trace a = generate_camcorder_trace(config);
+  config.seed = 2;
+  const Trace b = generate_camcorder_trace(config);
+  // Traces should differ in at least one idle duration early on.
+  bool different = a.size() != b.size();
+  for (std::size_t k = 0; !different && k < std::min(a.size(), b.size());
+       ++k) {
+    different = a[k].idle.value() != b[k].idle.value();
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(CamcorderTrace, IdleDurationsActuallyVary) {
+  // Scene dynamics must produce a spread, not a constant.
+  const TraceStats stats = paper_camcorder_trace().stats();
+  EXPECT_GT(stats.max_idle.value() - stats.min_idle.value(), 4.0);
+}
+
+TEST(CamcorderTrace, SceneStructureCreatesCorrelation) {
+  // Within a scene, consecutive idle periods are similar: the lag-1
+  // autocorrelation of idle durations must be clearly positive (a
+  // memoryless i.i.d. draw would hover near 0).
+  const Trace trace = paper_camcorder_trace();
+  ASSERT_GE(trace.size(), 20u);
+  double mean = 0.0;
+  for (const TaskSlot& s : trace.slots()) {
+    mean += s.idle.value();
+  }
+  mean /= static_cast<double>(trace.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const double d = trace[k].idle.value() - mean;
+    den += d * d;
+    if (k > 0) {
+      num += d * (trace[k - 1].idle.value() - mean);
+    }
+  }
+  EXPECT_GT(num / den, 0.3);
+}
+
+TEST(CamcorderTrace, ShorterRecordingMakesShorterTrace) {
+  CamcorderConfig config;
+  config.recording_length = Seconds(120.0);
+  const Trace trace = generate_camcorder_trace(config);
+  EXPECT_LT(trace.stats().total_duration().value(), 160.0);
+  EXPECT_GE(trace.stats().total_duration().value(), 120.0);
+}
+
+TEST(CamcorderTrace, RejectsBadConfig) {
+  CamcorderConfig config;
+  config.buffer_mb = 0.0;
+  EXPECT_THROW((void)generate_camcorder_trace(config), PreconditionError);
+
+  config = CamcorderConfig{};
+  config.min_encode_mb_per_s = 3.0;  // above max
+  EXPECT_THROW((void)generate_camcorder_trace(config), PreconditionError);
+
+  config = CamcorderConfig{};
+  config.recording_length = Seconds(0.0);
+  EXPECT_THROW((void)generate_camcorder_trace(config), PreconditionError);
+}
+
+TEST(CamcorderDevice, MatchesFigureSix) {
+  const dpm::DevicePowerModel device = camcorder_device();
+  EXPECT_DOUBLE_EQ(device.run_power.value(), 14.65);
+  EXPECT_NEAR(device.break_even_time().value(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

@@ -1,0 +1,97 @@
+#include "workload/merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "workload/camcorder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+double active_energy(const Trace& trace) {
+  double total = 0.0;
+  for (const TaskSlot& slot : trace.slots()) {
+    total += slot.active_power.value() * slot.active.value();
+  }
+  return total;
+}
+
+TEST(Merge, SingleTraceRoundTrips) {
+  const Trace t("one", {{Seconds(5.0), Seconds(2.0), Watt(10.0)},
+                        {Seconds(3.0), Seconds(1.0), Watt(12.0)}});
+  const Trace merged = merge_traces({t}, "merged");
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].idle.value(), 5.0);
+  EXPECT_DOUBLE_EQ(merged[0].active.value(), 2.0);
+  EXPECT_DOUBLE_EQ(merged[0].active_power.value(), 10.0);
+  EXPECT_DOUBLE_EQ(merged[1].idle.value(), 3.0);
+}
+
+TEST(Merge, DisjointBurstsInterleave) {
+  // A busy at [5,7); B busy at [10,11).
+  const Trace a("a", {{Seconds(5.0), Seconds(2.0), Watt(10.0)}});
+  const Trace b("b", {{Seconds(10.0), Seconds(1.0), Watt(4.0)}});
+  const Trace merged = merge_traces({a, b}, "merged");
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_DOUBLE_EQ(merged[0].idle.value(), 5.0);
+  EXPECT_DOUBLE_EQ(merged[0].active_power.value(), 10.0);
+  EXPECT_DOUBLE_EQ(merged[1].idle.value(), 3.0);  // 7 -> 10
+  EXPECT_DOUBLE_EQ(merged[1].active_power.value(), 4.0);
+}
+
+TEST(Merge, OverlapSumsPower) {
+  // A busy [2,6) @10 W; B busy [4,8) @4 W: segments [2,4)@10,
+  // [4,6)@14, [6,8)@4, with zero idle between them.
+  const Trace a("a", {{Seconds(2.0), Seconds(4.0), Watt(10.0)}});
+  const Trace b("b", {{Seconds(4.0), Seconds(4.0), Watt(4.0)}});
+  const Trace merged = merge_traces({a, b}, "merged");
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged[0].active_power.value(), 10.0);
+  EXPECT_DOUBLE_EQ(merged[0].active.value(), 2.0);
+  EXPECT_DOUBLE_EQ(merged[1].idle.value(), 0.0);
+  EXPECT_DOUBLE_EQ(merged[1].active_power.value(), 14.0);
+  EXPECT_DOUBLE_EQ(merged[2].active_power.value(), 4.0);
+}
+
+TEST(Merge, IdenticalBurstsStack) {
+  const Trace a("a", {{Seconds(1.0), Seconds(2.0), Watt(5.0)}});
+  const Trace merged = merge_traces({a, a, a}, "merged");
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_DOUBLE_EQ(merged[0].active_power.value(), 15.0);
+}
+
+TEST(Merge, EnergyConserved) {
+  wl::SyntheticConfig config;
+  config.slot_count = 30;
+  const Trace a = generate_synthetic_trace(config);
+  config.seed = 7;
+  const Trace b = generate_synthetic_trace(config);
+  const Trace c = paper_camcorder_trace().truncated(Seconds(300.0));
+
+  const Trace merged = merge_traces({a, b, c}, "merged");
+  EXPECT_NEAR(active_energy(merged),
+              active_energy(a) + active_energy(b) + active_energy(c),
+              1e-6);
+}
+
+TEST(Merge, AggregateBusyTimeNeverExceedsUnion) {
+  wl::SyntheticConfig config;
+  config.slot_count = 20;
+  const Trace a = generate_synthetic_trace(config);
+  config.seed = 99;
+  const Trace b = generate_synthetic_trace(config);
+  const Trace merged = merge_traces({a, b}, "merged");
+  EXPECT_LE(merged.stats().total_active.value(),
+            a.stats().total_active.value() +
+                b.stats().total_active.value() + 1e-9);
+}
+
+TEST(Merge, RejectsEmptyInput) {
+  EXPECT_THROW((void)merge_traces({}, "x"), PreconditionError);
+  EXPECT_THROW((void)merge_traces({Trace("e", {})}, "x"),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

@@ -1,0 +1,110 @@
+#include "workload/mpeg_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "workload/analysis.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+TEST(MpegModel, GopPatternIsIbbPbb) {
+  const MpegEncoderConfig config;
+  EXPECT_EQ(frame_type_at(config, 0), FrameType::I);
+  EXPECT_EQ(frame_type_at(config, 1), FrameType::B);
+  EXPECT_EQ(frame_type_at(config, 2), FrameType::B);
+  EXPECT_EQ(frame_type_at(config, 3), FrameType::P);
+  EXPECT_EQ(frame_type_at(config, 6), FrameType::P);
+  EXPECT_EQ(frame_type_at(config, 14), FrameType::B);
+  EXPECT_THROW((void)frame_type_at(config, 15), PreconditionError);
+  EXPECT_THROW((void)frame_type_at(config, -1), PreconditionError);
+}
+
+TEST(MpegModel, FrameSizesOrderedAndScaled) {
+  const MpegEncoderConfig config;
+  const double i = frame_size_mb(config, FrameType::I, 1.0);
+  const double p = frame_size_mb(config, FrameType::P, 1.0);
+  const double b = frame_size_mb(config, FrameType::B, 1.0);
+  EXPECT_GT(i, p);
+  EXPECT_GT(p, b);
+  EXPECT_DOUBLE_EQ(frame_size_mb(config, FrameType::I, 2.0), 2.0 * i);
+  EXPECT_THROW((void)frame_size_mb(config, FrameType::I, 0.0),
+               PreconditionError);
+}
+
+TEST(MpegModel, NominalRateMatchesHandComputation) {
+  const MpegEncoderConfig config;
+  // Per GOP: 1 I + 4 P + 10 B over 0.5 s.
+  const double gop_mb =
+      config.i_frame_mb + 4 * config.p_frame_mb + 10 * config.b_frame_mb;
+  EXPECT_NEAR(nominal_stream_rate(config), gop_mb / 0.5, 1e-12);
+}
+
+TEST(MpegModel, ComplexityBandSpansThePaperIdleRange) {
+  // The calibration promise: min/max complexity put the buffer fill
+  // time inside (roughly) the paper's 8-20 s band.
+  const MpegEncoderConfig config;
+  const double rate = nominal_stream_rate(config);
+  const double fastest = config.buffer_mb / (rate * config.max_complexity);
+  const double slowest = config.buffer_mb / (rate * config.min_complexity);
+  EXPECT_GT(fastest, 7.0);
+  EXPECT_LT(fastest, 10.0);
+  EXPECT_GT(slowest, 18.0);
+  EXPECT_LT(slowest, 22.0);
+}
+
+TEST(MpegModel, GeneratedIdlesStayInBand) {
+  const Trace trace = generate_mpeg_trace(MpegEncoderConfig{});
+  const TraceStats stats = trace.stats();
+  // Whole-frame quantization and jitter may nudge the edges slightly.
+  EXPECT_GT(stats.min_idle.value(), 6.5);
+  EXPECT_LT(stats.max_idle.value(), 22.0);
+  EXPECT_GE(stats.total_duration().value(), 28.0 * 60.0);
+}
+
+TEST(MpegModel, ActiveBurstsMatchTheWriter) {
+  const Trace trace = generate_mpeg_trace(MpegEncoderConfig{});
+  for (const TaskSlot& slot : trace.slots()) {
+    EXPECT_NEAR(slot.active.value(), 16.0 / 5.28, 1e-9);
+    EXPECT_DOUBLE_EQ(slot.active_power.value(), 14.65);
+  }
+}
+
+TEST(MpegModel, DeterministicInSeed) {
+  const Trace a = generate_mpeg_trace(MpegEncoderConfig{});
+  const Trace b = generate_mpeg_trace(MpegEncoderConfig{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a[k].idle.value(), b[k].idle.value());
+  }
+}
+
+TEST(MpegModel, SceneStructureCorrelatesIdles) {
+  const Trace trace = generate_mpeg_trace(MpegEncoderConfig{});
+  ASSERT_GT(trace.size(), 20u);
+  EXPECT_GT(autocorrelation(idle_durations(trace), 1), 0.25);
+}
+
+TEST(MpegModel, IdleDurationsAreFrameQuantized) {
+  const MpegEncoderConfig config;
+  const Trace trace = generate_mpeg_trace(config);
+  for (const TaskSlot& slot : trace.slots()) {
+    const double frames = slot.idle.value() * config.fps;
+    EXPECT_NEAR(frames, std::round(frames), 1e-6);
+  }
+}
+
+TEST(MpegModel, RejectsBadConfig) {
+  MpegEncoderConfig config;
+  config.fps = 0.0;
+  EXPECT_THROW((void)generate_mpeg_trace(config), PreconditionError);
+  config = MpegEncoderConfig{};
+  config.min_complexity = 2.0;  // above max
+  EXPECT_THROW((void)generate_mpeg_trace(config), PreconditionError);
+  config = MpegEncoderConfig{};
+  config.buffer_mb = 0.0;
+  EXPECT_THROW((void)generate_mpeg_trace(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

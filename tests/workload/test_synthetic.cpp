@@ -1,0 +1,108 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+TEST(SyntheticTrace, ValuesWithinConfiguredBands) {
+  // Experiment 2: idle U[5,25] s, active U[2,4] s, power U[12,16] W.
+  const Trace trace = paper_synthetic_trace();
+  for (const TaskSlot& slot : trace.slots()) {
+    EXPECT_GE(slot.idle.value(), 5.0);
+    EXPECT_LE(slot.idle.value(), 25.0);
+    EXPECT_GE(slot.active.value(), 2.0);
+    EXPECT_LE(slot.active.value(), 4.0);
+    EXPECT_GE(slot.active_power.value(), 12.0);
+    EXPECT_LE(slot.active_power.value(), 16.0);
+  }
+}
+
+TEST(SyntheticTrace, MeansNearBandCenters) {
+  const TraceStats stats = paper_synthetic_trace().stats();
+  EXPECT_NEAR(stats.mean_idle.value(), 15.0, 1.5);
+  EXPECT_NEAR(stats.mean_active.value(), 3.0, 0.3);
+  EXPECT_NEAR(stats.mean_active_power.value(), 14.0, 0.5);
+}
+
+TEST(SyntheticTrace, DurationModeCoversTarget) {
+  const Trace trace = paper_synthetic_trace();
+  EXPECT_GE(trace.stats().total_duration().value(), 28.0 * 60.0);
+}
+
+TEST(SyntheticTrace, SlotCountModeProducesExactCount) {
+  SyntheticConfig config;
+  config.slot_count = 77;
+  const Trace trace = generate_synthetic_trace(config);
+  EXPECT_EQ(trace.size(), 77u);
+}
+
+TEST(SyntheticTrace, DeterministicInSeed) {
+  const Trace a = paper_synthetic_trace();
+  const Trace b = paper_synthetic_trace();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a[k].idle.value(), b[k].idle.value());
+    EXPECT_DOUBLE_EQ(a[k].active_power.value(), b[k].active_power.value());
+  }
+}
+
+TEST(SyntheticTrace, SeedChangesTrace) {
+  SyntheticConfig config;
+  config.slot_count = 50;
+  config.seed = 1;
+  const Trace a = generate_synthetic_trace(config);
+  config.seed = 2;
+  const Trace b = generate_synthetic_trace(config);
+  bool different = false;
+  for (std::size_t k = 0; k < 50 && !different; ++k) {
+    different = a[k].idle.value() != b[k].idle.value();
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(SyntheticTrace, DegenerateBandsAllowed) {
+  SyntheticConfig config;
+  config.idle_min = config.idle_max = Seconds(10.0);
+  config.active_min = config.active_max = Seconds(3.0);
+  config.power_min = config.power_max = Watt(14.0);
+  config.slot_count = 5;
+  const Trace trace = generate_synthetic_trace(config);
+  for (const TaskSlot& slot : trace.slots()) {
+    EXPECT_DOUBLE_EQ(slot.idle.value(), 10.0);
+    EXPECT_DOUBLE_EQ(slot.active.value(), 3.0);
+    EXPECT_DOUBLE_EQ(slot.active_power.value(), 14.0);
+  }
+}
+
+TEST(SyntheticTrace, RejectsBadConfig) {
+  SyntheticConfig config;
+  config.idle_min = Seconds(10.0);
+  config.idle_max = Seconds(5.0);
+  EXPECT_THROW((void)generate_synthetic_trace(config), PreconditionError);
+
+  config = SyntheticConfig{};
+  config.active_min = Seconds(0.0);
+  EXPECT_THROW((void)generate_synthetic_trace(config), PreconditionError);
+
+  config = SyntheticConfig{};
+  config.power_min = Watt(-1.0);
+  EXPECT_THROW((void)generate_synthetic_trace(config), PreconditionError);
+
+  config = SyntheticConfig{};
+  config.slot_count = 0;
+  config.duration = Seconds(0.0);
+  EXPECT_THROW((void)generate_synthetic_trace(config), PreconditionError);
+}
+
+TEST(SyntheticDevice, MatchesExperimentTwo) {
+  const dpm::DevicePowerModel device = synthetic_device();
+  EXPECT_DOUBLE_EQ(device.power_down_delay.value(), 1.0);
+  EXPECT_NEAR(device.power_down_current().value(), 1.2, 1e-12);
+  EXPECT_NEAR(device.break_even_time().value(), 9.84, 0.01);
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

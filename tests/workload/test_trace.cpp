@@ -1,0 +1,108 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+Trace small_trace() {
+  return Trace("t", {{Seconds(10.0), Seconds(3.0), Watt(14.0)},
+                     {Seconds(20.0), Seconds(4.0), Watt(12.0)},
+                     {Seconds(15.0), Seconds(2.0), Watt(16.0)}});
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = small_trace();
+  EXPECT_EQ(t.name(), "t");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t[1].idle.value(), 20.0);
+}
+
+TEST(Trace, AppendGrows) {
+  Trace t("x", {});
+  EXPECT_TRUE(t.empty());
+  t.append({Seconds(5.0), Seconds(1.0), Watt(10.0)});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Trace, StatsAreCorrect) {
+  const TraceStats s = small_trace().stats();
+  EXPECT_EQ(s.slots, 3u);
+  EXPECT_DOUBLE_EQ(s.total_idle.value(), 45.0);
+  EXPECT_DOUBLE_EQ(s.total_active.value(), 9.0);
+  EXPECT_DOUBLE_EQ(s.total_duration().value(), 54.0);
+  EXPECT_DOUBLE_EQ(s.min_idle.value(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max_idle.value(), 20.0);
+  EXPECT_DOUBLE_EQ(s.mean_idle.value(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min_active.value(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max_active.value(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_active.value(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min_active_power.value(), 12.0);
+  EXPECT_DOUBLE_EQ(s.max_active_power.value(), 16.0);
+  EXPECT_DOUBLE_EQ(s.mean_active_power.value(), 14.0);
+}
+
+TEST(Trace, StatsOfEmptyThrows) {
+  const Trace t("e", {});
+  EXPECT_THROW((void)t.stats(), PreconditionError);
+}
+
+TEST(Trace, TruncatedKeepsWholeSlots) {
+  const Trace t = small_trace();
+  // First slot spans 13 s, second ends at 37 s.
+  const Trace cut = t.truncated(Seconds(14.0));
+  EXPECT_EQ(cut.size(), 2u);  // slot crossing the boundary included
+  const Trace tiny = t.truncated(Seconds(1.0));
+  EXPECT_EQ(tiny.size(), 1u);
+  const Trace none = t.truncated(Seconds(0.0));
+  EXPECT_EQ(none.size(), 0u);
+  const Trace all = t.truncated(Seconds(1000.0));
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Trace, RepeatedConcatenatesWholePasses) {
+  const Trace t = small_trace();
+  const Trace r = t.repeated(3);
+  EXPECT_EQ(r.size(), 9u);
+  EXPECT_NEAR(r.stats().total_duration().value(),
+              3 * t.stats().total_duration().value(), 1e-9);
+  EXPECT_DOUBLE_EQ(r[3].idle.value(), t[0].idle.value());
+  EXPECT_DOUBLE_EQ(r[8].active_power.value(), t[2].active_power.value());
+  EXPECT_THROW((void)t.repeated(0), PreconditionError);
+}
+
+TEST(Trace, ValidateAcceptsGoodTrace) {
+  EXPECT_NO_THROW(small_trace().validate());
+}
+
+TEST(Trace, ValidateRejectsNegativeIdle) {
+  const Trace t("bad", {{Seconds(-1.0), Seconds(3.0), Watt(14.0)}});
+  EXPECT_THROW(t.validate(), PreconditionError);
+}
+
+TEST(Trace, ValidateRejectsZeroActive) {
+  const Trace t("bad", {{Seconds(1.0), Seconds(0.0), Watt(14.0)}});
+  EXPECT_THROW(t.validate(), PreconditionError);
+}
+
+TEST(Trace, ValidateRejectsNonPositivePower) {
+  const Trace t("bad", {{Seconds(1.0), Seconds(3.0), Watt(0.0)}});
+  EXPECT_THROW(t.validate(), PreconditionError);
+}
+
+TEST(Trace, ValidateNamesOffendingSlot) {
+  Trace t = small_trace();
+  t.append({Seconds(1.0), Seconds(3.0), Watt(-2.0)});
+  try {
+    t.validate();
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("slot 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fcdpm::wl

@@ -1,0 +1,101 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "workload/synthetic.hpp"
+
+namespace fcdpm::wl {
+namespace {
+
+Trace sample_trace() {
+  return Trace("sample", {{Seconds(8.5), Seconds(3.03), Watt(14.65)},
+                          {Seconds(20.0), Seconds(3.03), Watt(14.65)}});
+}
+
+TEST(TraceIo, RoundTripThroughStream) {
+  const Trace original = sample_trace();
+  std::ostringstream out;
+  save_trace(out, original);
+
+  std::istringstream in(out.str());
+  const Trace loaded = load_trace(in, "loaded");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t k = 0; k < loaded.size(); ++k) {
+    EXPECT_DOUBLE_EQ(loaded[k].idle.value(), original[k].idle.value());
+    EXPECT_DOUBLE_EQ(loaded[k].active.value(), original[k].active.value());
+    EXPECT_DOUBLE_EQ(loaded[k].active_power.value(),
+                     original[k].active_power.value());
+  }
+}
+
+TEST(TraceIo, HeaderIsStable) {
+  std::ostringstream out;
+  save_trace(out, sample_trace());
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')),
+            "idle_s,active_s,active_w");
+}
+
+TEST(TraceIo, ColumnsFoundByNameNotPosition) {
+  std::istringstream in(
+      "active_w,idle_s,active_s\n"
+      "14.65,8.5,3.03\n");
+  const Trace trace = load_trace(in, "shuffled");
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].idle.value(), 8.5);
+  EXPECT_DOUBLE_EQ(trace[0].active_power.value(), 14.65);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  std::istringstream in(
+      "idle_s,active_s,active_w\n"
+      "# a comment\n"
+      "\n"
+      "8.5,3.03,14.65\n");
+  EXPECT_EQ(load_trace(in, "x").size(), 1u);
+}
+
+TEST(TraceIo, MissingColumnThrows) {
+  std::istringstream in("idle_s,active_s\n1,2\n");
+  EXPECT_THROW((void)load_trace(in, "x"), CsvError);
+}
+
+TEST(TraceIo, ShortRowThrows) {
+  std::istringstream in("idle_s,active_s,active_w\n1,2\n");
+  EXPECT_THROW((void)load_trace(in, "x"), CsvError);
+}
+
+TEST(TraceIo, NonNumericThrows) {
+  std::istringstream in("idle_s,active_s,active_w\n1,abc,3\n");
+  EXPECT_THROW((void)load_trace(in, "x"), CsvError);
+}
+
+TEST(TraceIo, InvalidSlotValuesRejectedByValidate) {
+  std::istringstream in("idle_s,active_s,active_w\n-1,2,3\n");
+  EXPECT_THROW((void)load_trace(in, "x"), PreconditionError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fcdpm_trace_test.csv";
+  SyntheticConfig config;
+  config.slot_count = 25;
+  const Trace original = generate_synthetic_trace(config);
+  save_trace_file(path, original);
+  const Trace loaded = load_trace_file(path);
+  ASSERT_EQ(loaded.size(), 25u);
+  for (std::size_t k = 0; k < 25; ++k) {
+    EXPECT_NEAR(loaded[k].idle.value(), original[k].idle.value(), 1e-5);
+  }
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace_file("/nonexistent/trace.csv"), CsvError);
+  EXPECT_THROW(save_trace_file("/nonexistent/dir/t.csv", sample_trace()),
+               CsvError);
+}
+
+}  // namespace
+}  // namespace fcdpm::wl
