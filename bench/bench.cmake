@@ -47,3 +47,7 @@ fcdpm_add_bench(abl_buffer_technology)
 # google-benchmark performance suites (A6-A7).
 fcdpm_add_perf_bench(perf_solvers)
 fcdpm_add_perf_bench(perf_simulator)
+
+# Self-checking overhead budget: exits 1 when the null-sink tracing
+# path costs >= 2 % over observability disabled.
+fcdpm_add_bench(perf_tracing_overhead)

@@ -8,15 +8,23 @@
 //   fcdpm_cli compare  [--trace ... | --kind ...] (all policies, one table)
 //   fcdpm_cli lifetime --tank A-s [--policy ...] [--kind ...]
 //
+// run/compare/lifetime accept --trace-out / --metrics-out /
+// --profile-out to capture a Perfetto trace, a metrics dump and a
+// wall-clock profile of the run (see docs/ARCHITECTURE.md,
+// "Observability").
+//
 // Exit code 0 on success, 1 on CLI errors, 2 on runtime errors.
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/context.hpp"
+#include "report/obs_export.hpp"
 #include "report/table.hpp"
 #include "sim/experiments.hpp"
 #include "sim/lifetime.hpp"
@@ -31,21 +39,25 @@ namespace {
 
 using namespace fcdpm;
 
-/// "--key value" pairs after the subcommand.
+/// "--key value" / "--key=value" pairs after the subcommand.
 using Options = std::map<std::string, std::string>;
 
 Options parse_options(int argc, char** argv, int start) {
   Options options;
-  for (int k = start; k + 1 < argc; k += 2) {
+  for (int k = start; k < argc; ++k) {
     const std::string key = argv[k];
     if (key.rfind("--", 0) != 0) {
       throw std::runtime_error("expected --option, got: " + key);
     }
-    options[key.substr(2)] = argv[k + 1];
-  }
-  if ((argc - start) % 2 != 0) {
-    throw std::runtime_error("dangling option: " +
-                             std::string(argv[argc - 1]));
+    const std::size_t equals = key.find('=');
+    if (equals != std::string::npos) {
+      options[key.substr(2, equals - 2)] = key.substr(equals + 1);
+      continue;
+    }
+    if (k + 1 >= argc) {
+      throw std::runtime_error("dangling option: " + key);
+    }
+    options[key.substr(2)] = argv[++k];
   }
   return options;
 }
@@ -102,6 +114,87 @@ sim::ExperimentConfig build_config(const Options& options) {
   config.simulation.initial_storage = config.initial_storage;
   return config;
 }
+
+/// Observability wiring behind --trace-out / --metrics-out /
+/// --profile-out: owns the sink, registry and profiler for one command
+/// and writes the requested files when the command finishes. With none
+/// of the flags given, context() is nullptr and the simulation runs the
+/// untouched fast path.
+class ObsSession {
+ public:
+  explicit ObsSession(const Options& options)
+      : trace_path_(option_or(options, "trace-out", "")),
+        metrics_path_(option_or(options, "metrics-out", "")),
+        profile_path_(option_or(options, "profile-out", "")) {
+    if (!trace_path_.empty()) {
+      stream_.open(trace_path_);
+      if (!stream_) {
+        throw std::runtime_error("cannot create trace file: " + trace_path_);
+      }
+      const bool jsonl =
+          trace_path_.size() >= 6 &&
+          trace_path_.compare(trace_path_.size() - 6, 6, ".jsonl") == 0;
+      if (jsonl) {
+        sink_ = std::make_unique<obs::JsonlTraceSink>(stream_);
+      } else {
+        sink_ = std::make_unique<obs::ChromeTraceSink>(stream_);
+      }
+      context_.set_sink(sink_.get());
+    }
+    if (!metrics_path_.empty()) {
+      context_.set_metrics(&metrics_);
+    }
+    if (!profile_path_.empty()) {
+      context_.set_profiler(&profiler_);
+    }
+  }
+
+  /// nullptr when no observability flag was given.
+  [[nodiscard]] obs::Context* context() {
+    return enabled() ? &context_ : nullptr;
+  }
+
+  /// Rewind the simulated clock and switch tracks; one track per run
+  /// keeps sequential runs side by side in the trace viewer.
+  void start_run(int track) {
+    context_.set_track(track);
+    context_.set_now(Seconds(0.0));
+  }
+
+  /// Close the sink (Chrome traces need their closing bracket) and
+  /// write the metrics / profile files.
+  void finish() {
+    if (sink_ != nullptr) {
+      sink_->flush();
+      sink_.reset();
+      stream_.close();
+      std::printf("wrote trace to %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      report::write_metrics_file(metrics_path_, metrics_);
+      std::printf("wrote metrics to %s\n", metrics_path_.c_str());
+    }
+    if (!profile_path_.empty()) {
+      write_csv_file(profile_path_, report::profile_to_csv(profiler_));
+      std::printf("wrote profile to %s\n", profile_path_.c_str());
+    }
+  }
+
+ private:
+  [[nodiscard]] bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty() ||
+           !profile_path_.empty();
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::string profile_path_;
+  std::ofstream stream_;
+  std::unique_ptr<obs::TraceSink> sink_;
+  obs::MetricsRegistry metrics_;
+  obs::Profiler profiler_;
+  obs::Context context_;
+};
 
 sim::PolicyKind parse_policy(const std::string& name) {
   if (name == "conv") {
@@ -173,16 +266,35 @@ void print_result(const sim::SimulationResult& result) {
 }
 
 int cmd_run(const Options& options) {
-  const sim::ExperimentConfig config = build_config(options);
+  sim::ExperimentConfig config = build_config(options);
   const sim::PolicyKind kind =
       parse_policy(option_or(options, "policy", "fcdpm"));
+  ObsSession obs(options);
+  config.simulation.observer = obs.context();
   print_result(sim::run_policy(kind, config));
+  obs.finish();
   return 0;
 }
 
 int cmd_compare(const Options& options) {
-  const sim::ExperimentConfig config = build_config(options);
-  const sim::PolicyComparison c = sim::compare_policies(config);
+  sim::ExperimentConfig config = build_config(options);
+  ObsSession obs(options);
+
+  sim::PolicyComparison c;
+  if (obs.context() != nullptr) {
+    // Re-run per policy so each lands on its own trace track.
+    config.simulation.observer = obs.context();
+    sim::SimulationResult* const results[] = {&c.conv, &c.asap, &c.fcdpm};
+    const sim::PolicyKind kinds[] = {sim::PolicyKind::Conv,
+                                     sim::PolicyKind::Asap,
+                                     sim::PolicyKind::FcDpm};
+    for (int k = 0; k < 3; ++k) {
+      obs.start_run(k);
+      *results[k] = sim::run_policy(kinds[k], config);
+    }
+  } else {
+    c = sim::compare_policies(config);
+  }
 
   report::Table table("normalized fuel consumption",
                       {"DPM policy", "Conv-DPM", "ASAP-DPM", "FC-DPM"});
@@ -197,14 +309,18 @@ int cmd_compare(const Options& options) {
   std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
               100.0 * sim::fuel_saving(c.fcdpm, c.asap),
               sim::lifetime_extension(c.fcdpm, c.asap));
+  obs.finish();
   return 0;
 }
 
 int cmd_lifetime(const Options& options) {
-  const sim::ExperimentConfig config = build_config(options);
+  sim::ExperimentConfig config = build_config(options);
   const sim::PolicyKind kind =
       parse_policy(option_or(options, "policy", "fcdpm"));
   const Coulomb tank(number_or(options, "tank", 10000.0));
+
+  ObsSession obs(options);
+  config.simulation.observer = obs.context();
 
   dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
   const std::unique_ptr<core::FcOutputPolicy> fc_policy =
@@ -227,6 +343,7 @@ int cmd_lifetime(const Options& options) {
     std::printf("did not empty within %zu passes (%.1f min simulated)\n",
                 r.passes, r.lifetime.value() / 60.0);
   }
+  obs.finish();
   return 0;
 }
 
@@ -268,7 +385,7 @@ int cmd_merge(int argc, char** argv) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: fcdpm_cli <command> [--option value ...]\n"
+      "usage: fcdpm_cli <command> [--option value | --option=value ...]\n"
       "  gen      --kind camcorder|synthetic --out trace.csv [--seed N]\n"
       "  analyze  [--trace f.csv | --kind camcorder|synthetic]\n"
       "  run      --policy conv|asap|fcdpm|oracle [--trace f.csv |\n"
@@ -276,7 +393,11 @@ int usage() {
       "  compare  [--trace f.csv | --kind ...] [--rho R] ...\n"
       "  lifetime --tank A-s [--policy ...] [--kind ...]\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
-      "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n");
+      "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
+      "run/compare/lifetime also accept:\n"
+      "  --trace-out f.json    Chrome/Perfetto trace (f.jsonl for JSONL)\n"
+      "  --metrics-out f.csv   metrics registry dump (f.json for JSON)\n"
+      "  --profile-out f.csv   wall-clock hot-path profile\n");
   return 1;
 }
 

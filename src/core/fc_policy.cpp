@@ -23,6 +23,42 @@ Ampere planned_idle_current(const dpm::DevicePowerModel& device,
   return charge / span;
 }
 
+/// Record which Lagrange projections shaped a solved setting, and the
+/// plan itself, into the attached observability context (Section 3.3.1's
+/// range / Cmax / empty-floor clamps plus the bleeder extreme case).
+void note_projection(obs::Context* obs, const char* event,
+                     const SlotSetting& setting) {
+  if (obs == nullptr) {
+    return;
+  }
+  obs->count("core.solves");
+  if (setting.range_clamped) {
+    obs->count("core.clamp.range");
+  }
+  if (setting.capacity_clamped) {
+    obs->count("core.clamp.capacity");
+  }
+  if (setting.floor_clamped) {
+    obs->count("core.clamp.floor");
+  }
+  if (setting.bleed_expected) {
+    obs->count("core.clamp.bleed_expected");
+  }
+  obs->observe("core.setpoint_A", setting.if_active.value());
+  if (!obs->tracing()) {
+    return;
+  }
+  obs->instant("core", event,
+               {{"if_idle_A", setting.if_idle.value()},
+                {"if_active_A", setting.if_active.value()},
+                {"unconstrained_A", setting.unconstrained.value()},
+                {"clamped",
+                 (setting.range_clamped || setting.capacity_clamped ||
+                  setting.floor_clamped)
+                     ? 1.0
+                     : 0.0}});
+}
+
 }  // namespace
 
 // --- ConvFcPolicy ------------------------------------------------------------
@@ -52,9 +88,20 @@ SegmentSetpoint AsapFcPolicy::segment_setpoint(
 
   if (recharging_ && fraction >= 1.0 - 1e-9) {
     recharging_ = false;
+    if (obs_ != nullptr && obs_->tracing()) {
+      obs_->instant("core", "asap.recharge_done",
+                    {{"storage_fraction", fraction}});
+    }
   }
   if (!recharging_ && fraction < 0.5) {
     recharging_ = true;
+    if (obs_ != nullptr) {
+      obs_->count("core.asap.recharges");
+      if (obs_->tracing()) {
+        obs_->instant("core", "asap.recharge_start",
+                      {{"storage_fraction", fraction}});
+      }
+    }
   }
 
   if (recharging_) {
@@ -146,10 +193,20 @@ void FcDpmPolicy::on_idle_start(const IdleContext& context) {
     const QuantizedSetting setting = quantizer_->solve(load, storage);
     if_idle_ = setting.if_idle;
     if_active_ = setting.if_active;
+    if (obs_ != nullptr) {
+      obs_->count("core.solves");
+      obs_->observe("core.setpoint_A", setting.if_active.value());
+      if (obs_->tracing()) {
+        obs_->instant("core", "fc.plan_quantized",
+                      {{"if_idle_A", setting.if_idle.value()},
+                       {"if_active_A", setting.if_active.value()}});
+      }
+    }
   } else {
     const SlotSetting setting = optimizer_.solve(load, storage);
     if_idle_ = setting.if_idle;
     if_active_ = setting.if_active;
+    note_projection(obs_, "fc.plan", setting);
   }
 
   // Deep idle: if the whole idle period can run off the buffer (with
@@ -159,6 +216,15 @@ void FcDpmPolicy::on_idle_start(const IdleContext& context) {
     const Coulomb idle_need = load.idle_current * predicted_idle;
     if (context.storage_charge >= idle_need * shutdown_margin_) {
       if_idle_ = Ampere(0.0);
+      if (obs_ != nullptr) {
+        obs_->count("core.fc_shutdowns");
+        if (obs_->tracing()) {
+          obs_->instant("core", "fc.deep_idle",
+                        {{"predicted_idle_s", predicted_idle.value()},
+                         {"idle_need_As", idle_need.value()},
+                         {"storage_As", context.storage_charge.value()}});
+        }
+      }
     }
   }
 }
@@ -182,6 +248,7 @@ void FcDpmPolicy::on_active_start(const ActiveContext& context) {
   const SlotSetting setting = optimizer_.solve_active_only(
       context.active_duration, charge, storage);
   if_active_ = setting.if_active;
+  note_projection(obs_, "fc.replan", setting);
 }
 
 SegmentSetpoint FcDpmPolicy::segment_setpoint(
@@ -190,6 +257,14 @@ SegmentSetpoint FcDpmPolicy::segment_setpoint(
 }
 
 void FcDpmPolicy::on_slot_end(const SlotObservation& observation) {
+  if (obs_ != nullptr && obs_->metering()) {
+    // predict() still returns the value on_idle_start planned with (no
+    // observe happened in between), so this is the realized error.
+    obs_->observe(
+        "core.active_predictor_abs_error_s",
+        fcdpm::abs(active_predictor_->predict() - observation.actual_active)
+            .value());
+  }
   active_predictor_->observe(observation.actual_active);
   current_estimator_.observe(observation.actual_active_current);
 
@@ -206,6 +281,14 @@ void FcDpmPolicy::on_slot_end(const SlotObservation& observation) {
           SlotOptimizer(estimator_->apply_to(optimizer_.model()));
       if (quantizer_.has_value()) {
         quantizer_.emplace(optimizer_.model(), quantizer_->levels());
+      }
+      if (obs_ != nullptr) {
+        obs_->count("core.model_adaptations");
+        if (obs_->tracing()) {
+          obs_->instant("core", "fc.model_adapted",
+                        {{"alpha", optimizer_.model().alpha()},
+                         {"beta", optimizer_.model().beta()}});
+        }
       }
     }
   }
@@ -267,6 +350,7 @@ void OracleFcPolicy::on_idle_start(const IdleContext& context) {
   const SlotSetting setting = optimizer_.solve(load, storage);
   if_idle_ = setting.if_idle;
   if_active_ = setting.if_active;
+  note_projection(obs_, "fc.plan", setting);
 }
 
 void OracleFcPolicy::on_active_start(const ActiveContext& context) {
@@ -278,6 +362,7 @@ void OracleFcPolicy::on_active_start(const ActiveContext& context) {
   const SlotSetting setting = optimizer_.solve_active_only(
       context.active_duration, charge, storage);
   if_active_ = setting.if_active;
+  note_projection(obs_, "fc.replan", setting);
 }
 
 SegmentSetpoint OracleFcPolicy::segment_setpoint(

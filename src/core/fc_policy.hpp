@@ -29,6 +29,7 @@
 #include "core/slot_optimizer.hpp"
 #include "dpm/power_states.hpp"
 #include "dpm/predictors.hpp"
+#include "obs/context.hpp"
 
 namespace fcdpm::core {
 
@@ -109,6 +110,16 @@ class FcOutputPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual std::unique_ptr<FcOutputPolicy> clone() const = 0;
   virtual void reset() = 0;
+
+  /// Attach (or detach with nullptr) an observability context; the
+  /// simulator does this for the duration of a run and restores the
+  /// previous value when it returns. Policies emit plan/replan
+  /// instants and projection-clamp metrics through it. Not owned.
+  void set_observer(obs::Context* observer) noexcept { obs_ = observer; }
+  [[nodiscard]] obs::Context* observer() const noexcept { return obs_; }
+
+ protected:
+  obs::Context* obs_ = nullptr;
 };
 
 /// Conv-DPM: IF pinned at max_output; no control at all.

@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "common/solvers.hpp"
+#include "obs/profiler.hpp"
 
 namespace fcdpm::core {
 
@@ -58,8 +59,14 @@ NumericalSlotResult NumericalSlotSolver::solve(
     return value;
   };
 
+  const obs::ProfileScope profile(
+      obs_ != nullptr ? obs_->profiler() : nullptr, "core.numerical_solve");
   const ScalarMinimum best = golden_section_minimize(objective, lo, hi,
                                                      1e-12, 400);
+  if (obs_ != nullptr) {
+    obs_->observe("core.golden_iterations",
+                  static_cast<double>(best.iterations));
+  }
 
   NumericalSlotResult result;
   result.if_idle = Ampere(best.x);

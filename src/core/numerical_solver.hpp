@@ -7,6 +7,7 @@
 
 #include "common/units.hpp"
 #include "core/slot_optimizer.hpp"
+#include "obs/context.hpp"
 #include "power/efficiency_model.hpp"
 
 namespace fcdpm::core {
@@ -30,8 +31,14 @@ class NumericalSlotSolver {
   [[nodiscard]] NumericalSlotResult solve(const SlotLoad& load,
                                           const StorageBounds& storage) const;
 
+  /// Attach (or detach with nullptr) an observability context; solves
+  /// report golden-section iteration counts through it. Not owned.
+  void set_observer(obs::Context* observer) noexcept { obs_ = observer; }
+  [[nodiscard]] obs::Context* observer() const noexcept { return obs_; }
+
  private:
   power::LinearEfficiencyModel model_;
+  obs::Context* obs_ = nullptr;
 };
 
 }  // namespace fcdpm::core

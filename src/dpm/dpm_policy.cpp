@@ -83,6 +83,26 @@ IdlePlan PredictiveDpmPolicy::plan_idle(Seconds actual_idle) {
                       ? plan_sleep(device_, actual_idle)
                       : plan_standby(device_, actual_idle);
   plan.predicted_idle = predicted;
+
+  if (obs_ != nullptr) {
+    if (obs_->metering()) {
+      obs_->count(plan.slept ? "dpm.decision.sleep"
+                             : "dpm.decision.standby");
+      obs_->observe("dpm.predictor_abs_error_s",
+                    fcdpm::abs(predicted - actual_idle).value());
+      if (plan.latency_spill.value() > 0.0) {
+        obs_->count("dpm.latency_spills");
+        obs_->observe("dpm.latency_spill_s", plan.latency_spill.value());
+      }
+    }
+    if (obs_->tracing()) {
+      obs_->instant("dpm", plan.slept ? "dpm.sleep" : "dpm.standby",
+                    {{"predicted_idle_s", predicted.value()},
+                     {"actual_idle_s", actual_idle.value()},
+                     {"break_even_s", break_even_.value()},
+                     {"latency_spill_s", plan.latency_spill.value()}});
+    }
+  }
   return plan;
 }
 

@@ -15,6 +15,7 @@
 #include "common/units.hpp"
 #include "dpm/power_states.hpp"
 #include "dpm/predictors.hpp"
+#include "obs/context.hpp"
 
 namespace fcdpm::dpm {
 
@@ -73,6 +74,16 @@ class DpmPolicy {
   [[nodiscard]] virtual std::unique_ptr<DpmPolicy> clone() const = 0;
 
   virtual void reset() = 0;
+
+  /// Attach (or detach with nullptr) an observability context; the
+  /// simulator does this for the duration of a run and restores the
+  /// previous value when it returns. Policies emit decision instants
+  /// and predictor-error metrics through it. Not owned.
+  void set_observer(obs::Context* observer) noexcept { obs_ = observer; }
+  [[nodiscard]] obs::Context* observer() const noexcept { return obs_; }
+
+ protected:
+  obs::Context* obs_ = nullptr;
 };
 
 /// Predictive shutdown (Hwang-Wu style): sleep iff predicted idle >= Tbe.

@@ -5,6 +5,7 @@
 //
 // Layering (each header is also individually includable):
 //   common   — units, math, solvers, RNG, CSV, contracts
+//   obs      — tracing, metrics registry, wall-clock profiling (opt-in)
 //   fuelcell — polarization, stack, fuel/Gibbs model
 //   power    — converters, controllers, FC system, storage, hybrid
 //   dpm      — device power states, predictors, DPM policies
@@ -22,6 +23,11 @@
 #include "common/solvers.hpp"
 #include "common/text.hpp"
 #include "common/units.hpp"
+
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace_sink.hpp"
 
 #include "fuelcell/fuel_model.hpp"
 #include "fuelcell/polarization.hpp"
@@ -66,6 +72,7 @@
 #include "sim/timed_simulator.hpp"
 
 #include "report/experiment_report.hpp"
+#include "report/obs_export.hpp"
 #include "report/series_export.hpp"
 #include "report/svg_export.hpp"
 #include "report/table.hpp"

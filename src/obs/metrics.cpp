@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fcdpm::obs {
+
+namespace {
+
+/// Clamped integer binary exponent of |value| (value != 0).
+int clamped_exponent(double value) {
+  const int e = std::ilogb(std::fabs(value));
+  return std::clamp(e, -31, 31);
+}
+
+/// Geometric midpoint of the bucket holding `index` (inverse of
+/// Histogram::observe's index mapping).
+double bucket_representative(std::size_t index) {
+  if (index == Histogram::kZeroBucket) {
+    return 0.0;
+  }
+  if (index > Histogram::kZeroBucket) {
+    const int b = static_cast<int>(index) - 95;
+    return std::ldexp(1.5, b);
+  }
+  const int b = 31 - static_cast<int>(index);
+  return -std::ldexp(1.5, b);
+}
+
+}  // namespace
+
+void Histogram::observe(double value) noexcept {
+  if (std::isnan(value)) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+  ++count_;
+  sum_ += value;
+
+  std::size_t index = kZeroBucket;
+  if (value > 0.0) {
+    index = static_cast<std::size_t>(95 + clamped_exponent(value));
+  } else if (value < 0.0) {
+    index = static_cast<std::size_t>(31 - clamped_exponent(value));
+  }
+  ++buckets_[index];
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < kBuckets; ++k) {
+    cumulative += static_cast<double>(buckets_[k]);
+    if (cumulative >= target) {
+      return std::clamp(bucket_representative(k), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+std::vector<MetricRow> MetricsRegistry::rows() const {
+  std::vector<MetricRow> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricRow row;
+    row.name = name;
+    row.type = "counter";
+    row.count = c.count();
+    row.value = c.total();
+    row.min = c.total();
+    row.max = c.total();
+    out.push_back(std::move(row));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricRow row;
+    row.name = name;
+    row.type = "gauge";
+    row.count = g.count();
+    row.value = g.last();
+    row.min = g.min();
+    row.max = g.max();
+    out.push_back(std::move(row));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricRow row;
+    row.name = name;
+    row.type = "histogram";
+    row.count = h.count();
+    row.value = h.mean();
+    row.min = h.min();
+    row.max = h.max();
+    row.p50 = h.quantile(0.5);
+    row.p95 = h.quantile(0.95);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.type != b.type ? a.type < b.type : a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace fcdpm::obs

@@ -1,0 +1,134 @@
+// Named counters, gauges and histograms for simulation-internal
+// telemetry: solver invocations, projection-clamp activations per
+// constraint, predictor absolute error, storage headroom, sleep
+// decisions, and whatever later subsystems add.
+//
+// The registry hands out stable references (instruments live in a
+// node-based map), records are plain doubles, and observing a value
+// never allocates after the instrument exists — cheap enough to leave
+// attached in ablation sweeps. Export to CSV/JSON lives in
+// report/obs_export.hpp, keeping this layer dependency-free above
+// common/.
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fcdpm::obs {
+
+/// Monotonically accumulating total (events, clamps, sleeps...).
+class Counter {
+ public:
+  void increment(double amount = 1.0) noexcept {
+    total_ += amount;
+    ++count_;
+  }
+
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Number of increment() calls (not the accumulated amount).
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Last-value instrument that also tracks its observed range.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    if (count_ == 0) {
+      min_ = value;
+      max_ = value;
+    } else {
+      min_ = value < min_ ? value : min_;
+      max_ = value > max_ ? value : max_;
+    }
+    last_ = value;
+    ++count_;
+  }
+
+  [[nodiscard]] double last() const noexcept { return last_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming distribution summary: exact count/sum/min/max plus
+/// signed-log-spaced buckets for approximate quantiles. Deterministic,
+/// O(1) per observation, no samples retained.
+class Histogram {
+ public:
+  /// Power-of-two magnitude buckets with the sign folded around a
+  /// dedicated zero bucket: indices ascend with the value, magnitudes
+  /// span ~2^-31 .. 2^31 per sign — ample for seconds/amperes/coulombs.
+  static constexpr std::size_t kBuckets = 128;
+  static constexpr std::size_t kZeroBucket = 63;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Approximate quantile (q in [0, 1]) from the bucket midpoints;
+  /// exact for 0 and 1 (returns min/max). Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// One exported line of the registry (see report/obs_export.hpp).
+struct MetricRow {
+  std::string name;
+  std::string type;  ///< "counter" | "gauge" | "histogram"
+  std::uint64_t count = 0;
+  double value = 0.0;  ///< counter total / gauge last / histogram mean
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;  ///< histograms only (0 otherwise)
+  double p95 = 0.0;  ///< histograms only (0 otherwise)
+};
+
+/// Owns every instrument; lookups by name create on first use and stay
+/// valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Snapshot of every instrument, sorted by (type, name).
+  [[nodiscard]] std::vector<MetricRow> rows() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace fcdpm::obs

@@ -1,0 +1,57 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace fcdpm::obs {
+
+void Profiler::record(const char* name, std::chrono::nanoseconds elapsed) {
+  ScopeStats& stats = scopes_[name];
+  if (stats.calls == 0) {
+    stats.min = elapsed;
+    stats.max = elapsed;
+  } else {
+    stats.min = std::min(stats.min, elapsed);
+    stats.max = std::max(stats.max, elapsed);
+  }
+  ++stats.calls;
+  stats.total += elapsed;
+}
+
+std::string Profiler::summary() const {
+  std::vector<const std::map<std::string, ScopeStats>::value_type*> order;
+  order.reserve(scopes_.size());
+  for (const auto& entry : scopes_) {
+    order.push_back(&entry);
+  }
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->second.total > b->second.total;
+  });
+
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-32s %10s %12s %10s %10s %10s\n",
+                "scope", "calls", "total_ms", "mean_us", "min_us",
+                "max_us");
+  out += line;
+  for (const auto* entry : order) {
+    const ScopeStats& s = entry->second;
+    const double total_ms = static_cast<double>(s.total.count()) / 1e6;
+    const double mean_us =
+        s.calls == 0
+            ? 0.0
+            : static_cast<double>(s.total.count()) /
+                  (1e3 * static_cast<double>(s.calls));
+    std::snprintf(line, sizeof line,
+                  "%-32s %10llu %12.3f %10.2f %10.2f %10.2f\n",
+                  entry->first.c_str(),
+                  static_cast<unsigned long long>(s.calls), total_ms,
+                  mean_us, static_cast<double>(s.min.count()) / 1e3,
+                  static_cast<double>(s.max.count()) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fcdpm::obs

@@ -1,0 +1,73 @@
+// Wall-clock profiling for the hot paths (simulate loops, numerical
+// solvers): RAII scopes accumulate call count and elapsed nanoseconds
+// per named site. Unlike trace events, which live on the *simulated*
+// timeline, the profiler measures real CPU wall time — the tool for
+// "where does a sweep actually spend its milliseconds".
+//
+// A ProfileScope constructed with a null profiler never reads the
+// clock, so the disabled path costs one branch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fcdpm::obs {
+
+class Profiler {
+ public:
+  struct ScopeStats {
+    std::uint64_t calls = 0;
+    std::chrono::nanoseconds total{0};
+    std::chrono::nanoseconds min{0};
+    std::chrono::nanoseconds max{0};
+  };
+
+  void record(const char* name, std::chrono::nanoseconds elapsed);
+
+  [[nodiscard]] const std::map<std::string, ScopeStats>& scopes()
+      const noexcept {
+    return scopes_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return scopes_.empty(); }
+
+  /// "name  calls  total_ms  mean_us  min_us  max_us" lines, longest
+  /// total first; for logs and the CLI's --profile dump.
+  [[nodiscard]] std::string summary() const;
+
+  void clear() { scopes_.clear(); }
+
+ private:
+  std::map<std::string, ScopeStats> scopes_;
+};
+
+/// RAII timer; records on destruction. `name` must have static storage
+/// duration (it keys the profiler's map only when the scope closes).
+class ProfileScope {
+ public:
+  ProfileScope(Profiler* profiler, const char* name) noexcept
+      : profiler_(profiler), name_(name) {
+    if (profiler_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~ProfileScope() {
+    if (profiler_ != nullptr) {
+      profiler_->record(name_,
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_));
+    }
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler* profiler_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace fcdpm::obs

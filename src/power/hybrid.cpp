@@ -110,6 +110,13 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   if (fc_on && !fc_running_) {
     result.fuel += startup_fuel_;
     ++startups_;
+    if (observer_ != nullptr) {
+      observer_->count("power.fc_startups");
+      if (observer_->tracing()) {
+        observer_->instant("power", "fc.startup",
+                           {{"startup_fuel_As", startup_fuel_.value()}});
+      }
+    }
   }
   fc_running_ = fc_on;
 
@@ -137,6 +144,26 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   totals_.duration += duration;
 
   note_storage_level();
+
+  if (observer_ != nullptr) {
+    if (observer_->metering()) {
+      const Coulomb level = storage_->charge();
+      observer_->gauge("power.storage_charge_As", level.value());
+      observer_->observe("power.storage_headroom_As",
+                         (storage_->capacity() - level).value());
+      if (result.bled.value() > 0.0) {
+        observer_->count("power.bled_As", result.bled.value());
+      }
+      if (result.unserved.value() > 0.0) {
+        observer_->count("power.unserved_As", result.unserved.value());
+      }
+    }
+    if (observer_->tracing() && result.unserved.value() > 0.0) {
+      observer_->instant("power", "storage.brownout",
+                         {{"unserved_As", result.unserved.value()},
+                          {"load_A", load.value()}});
+    }
+  }
   return result;
 }
 

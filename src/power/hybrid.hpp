@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common/units.hpp"
+#include "obs/context.hpp"
 #include "power/efficiency_model.hpp"
 #include "power/fc_system.hpp"
 #include "power/storage.hpp"
@@ -142,6 +143,16 @@ class HybridPowerSource {
   /// Number of 0 -> on transitions seen since the last reset.
   [[nodiscard]] std::size_t startups() const noexcept { return startups_; }
 
+  /// Attach (or detach with nullptr) an observability context: every
+  /// segment then feeds storage/bleed/unserved metrics. Not owned; the
+  /// caller keeps it alive for the duration of the runs.
+  void set_observer(obs::Context* observer) noexcept {
+    observer_ = observer;
+  }
+  [[nodiscard]] obs::Context* observer() const noexcept {
+    return observer_;
+  }
+
  private:
   std::unique_ptr<FuelSource> source_;
   std::unique_ptr<ChargeStorage> storage_;
@@ -151,6 +162,7 @@ class HybridPowerSource {
   Coulomb startup_fuel_{0.0};
   std::size_t startups_ = 0;
   bool fc_running_ = true;
+  obs::Context* observer_ = nullptr;
 
   void note_storage_level();
 };

@@ -1,0 +1,32 @@
+// Export of an obs::MetricsRegistry snapshot: CSV (one row per
+// instrument, for spreadsheets and the CLI's --metrics-out) and a JSON
+// object (for dashboards). The registry itself stays dependency-free;
+// serialization lives here with the other report writers.
+#pragma once
+
+#include <string>
+
+#include "common/csv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace fcdpm::report {
+
+/// Columns: name, type, count, value, min, max, p50, p95.
+/// `value` is the counter total / gauge last / histogram mean.
+[[nodiscard]] CsvDocument metrics_to_csv(const obs::MetricsRegistry& metrics);
+
+/// `{"metrics":[{"name":...,"type":...,...},...]}`, rows sorted by
+/// (type, name) like the CSV.
+[[nodiscard]] std::string metrics_to_json(const obs::MetricsRegistry& metrics);
+
+/// Write the CSV form to `path` (.json extension switches to JSON).
+/// Throws CsvError when the file cannot be created.
+void write_metrics_file(const std::string& path,
+                        const obs::MetricsRegistry& metrics);
+
+/// CSV of wall-clock profile scopes: name, calls, total_ms, mean_us,
+/// min_us, max_us; longest total first.
+[[nodiscard]] CsvDocument profile_to_csv(const obs::Profiler& profiler);
+
+}  // namespace fcdpm::report

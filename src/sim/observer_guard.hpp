@@ -1,0 +1,54 @@
+// Internal to the simulators: attach the run's observability context to
+// the stateful actors (DPM policy, FC policy, hybrid source) and restore
+// whatever was attached before once the run returns. Exception safe, so
+// a throwing policy never leaves a dangling observer behind.
+#pragma once
+
+#include "core/fc_policy.hpp"
+#include "dpm/dpm_policy.hpp"
+#include "obs/context.hpp"
+#include "power/hybrid.hpp"
+
+namespace fcdpm::sim {
+
+class ObserverGuard {
+ public:
+  ObserverGuard(obs::Context* obs, dpm::DpmPolicy& dpm_policy,
+                core::FcOutputPolicy& fc_policy,
+                power::HybridPowerSource& hybrid) noexcept
+      : active_(obs != nullptr),
+        dpm_(dpm_policy),
+        fc_(fc_policy),
+        hybrid_(hybrid),
+        prev_dpm_(dpm_policy.observer()),
+        prev_fc_(fc_policy.observer()),
+        prev_hybrid_(hybrid.observer()) {
+    if (active_) {
+      dpm_.set_observer(obs);
+      fc_.set_observer(obs);
+      hybrid_.set_observer(obs);
+    }
+  }
+
+  ~ObserverGuard() {
+    if (active_) {
+      dpm_.set_observer(prev_dpm_);
+      fc_.set_observer(prev_fc_);
+      hybrid_.set_observer(prev_hybrid_);
+    }
+  }
+
+  ObserverGuard(const ObserverGuard&) = delete;
+  ObserverGuard& operator=(const ObserverGuard&) = delete;
+
+ private:
+  bool active_;
+  dpm::DpmPolicy& dpm_;
+  core::FcOutputPolicy& fc_;
+  power::HybridPowerSource& hybrid_;
+  obs::Context* prev_dpm_;
+  obs::Context* prev_fc_;
+  obs::Context* prev_hybrid_;
+};
+
+}  // namespace fcdpm::sim

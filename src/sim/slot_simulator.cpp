@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
+#include "sim/observer_guard.hpp"
 
 namespace fcdpm::sim {
 
@@ -10,11 +12,16 @@ namespace {
 
 /// Execute one constant-device-current stretch, honoring the policy's
 /// stop-charging-when-full request by splitting the segment at the
-/// instant the buffer fills (ASAP's recharge rule). Returns fuel burned.
+/// instant the buffer fills (ASAP's recharge rule). `trace_obs` is the
+/// run's context when a consuming sink is attached and nullptr
+/// otherwise (counter samples and the clock only matter to sinks, so
+/// the null-sink path skips them entirely). Returns fuel burned.
 Coulomb run_segment(power::HybridPowerSource& hybrid,
                     core::FcOutputPolicy& fc_policy,
                     const core::SegmentContext& context, Seconds duration,
-                    ProfileRecorder* recorder, Coulomb& if_dt_accumulator) {
+                    ProfileRecorder* recorder, Coulomb& if_dt_accumulator,
+                    obs::Context* trace_obs, obs::Profiler* profiler) {
+  const obs::ProfileScope profile(profiler, "sim.run_segment");
   const core::SegmentSetpoint sp = fc_policy.segment_setpoint(context);
 
   Seconds first_span = duration;
@@ -34,6 +41,12 @@ Coulomb run_segment(power::HybridPowerSource& hybrid,
     recorder->record(first_span, context.device_current, first.actual_if,
                      hybrid.storage().charge());
   }
+  if (trace_obs != nullptr) {
+    trace_obs->counter("fc_output_A", first.actual_if.value());
+    trace_obs->counter("load_A", context.device_current.value());
+    trace_obs->advance(first_span);
+    trace_obs->counter("storage_As", hybrid.storage().charge().value());
+  }
 
   const Seconds remainder = duration - first_span;
   if (remainder.value() > 0.0) {
@@ -48,6 +61,11 @@ Coulomb run_segment(power::HybridPowerSource& hybrid,
     if (recorder != nullptr) {
       recorder->record(remainder, context.device_current, rest.actual_if,
                        hybrid.storage().charge());
+    }
+    if (trace_obs != nullptr) {
+      trace_obs->counter("fc_output_A", rest.actual_if.value());
+      trace_obs->advance(remainder);
+      trace_obs->counter("storage_As", hybrid.storage().charge().value());
     }
   }
   return fuel;
@@ -83,6 +101,23 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   recorder.set_limit(options.profile_limit);
   ProfileRecorder* rec = options.record_profiles ? &recorder : nullptr;
 
+  // An inactive context (e.g. only a NullTraceSink attached) is
+  // treated exactly like no observer at all.
+  obs::Context* obs = (options.observer != nullptr &&
+                       options.observer->active())
+                          ? options.observer
+                          : nullptr;
+  // Resolved once: non-null only when events actually reach a sink.
+  obs::Context* trace_obs =
+      (obs != nullptr && obs->tracing()) ? obs : nullptr;
+  obs::Profiler* profiler = obs != nullptr ? obs->profiler() : nullptr;
+  const ObserverGuard observer_guard(obs, dpm_policy, fc_policy, hybrid);
+  const obs::ProfileScope profile(profiler, "sim.simulate");
+  if (trace_obs != nullptr) {
+    trace_obs->span_begin("sim", "simulate",
+                          {{"slots", static_cast<double>(trace.size())}});
+  }
+
   for (std::size_t k = 0; k < trace.size(); ++k) {
     const wl::TaskSlot& slot = trace[k];
     const Ampere run_current = slot.active_power / device.bus_voltage;
@@ -90,12 +125,27 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                                device.run_to_standby_delay;
     const Coulomb fuel_before = hybrid.totals().fuel;
 
+    if (obs != nullptr) {
+      if (trace_obs != nullptr) {
+        trace_obs->span_begin("sim", "slot",
+                              {{"index", static_cast<double>(k)}});
+      }
+      obs->count("sim.slots");
+    }
+
     // --- idle phase --------------------------------------------------------
     dpm::IdlePlan plan = dpm_policy.plan_idle(slot.idle);
     if (plan.slept) {
       ++result.sleeps;
     }
     result.latency_added += plan.latency_spill;
+
+    if (trace_obs != nullptr) {
+      trace_obs->span_begin("sim", "idle",
+                            {{"actual_s", slot.idle.value()},
+                             {"predicted_s", plan.predicted_idle.value()},
+                             {"slept", plan.slept ? 1.0 : 0.0}});
+    }
 
     core::IdleContext idle_context;
     idle_context.slot_index = k;
@@ -118,8 +168,21 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       context.device_current = segment.current;
       context.storage_charge = hybrid.storage().charge();
       context.storage_capacity = capacity;
+      const char* segment_name =
+          (segment.state == dpm::PowerState::Standby) ? "standby" : "sleep";
+      if (trace_obs != nullptr) {
+        trace_obs->span_begin("sim", segment_name,
+                              {{"current_A", segment.current.value()},
+                               {"duration_s", segment.duration.value()}});
+      }
       run_segment(hybrid, fc_policy, context, segment.duration, rec,
-                  if_dt_idle);
+                  if_dt_idle, trace_obs, profiler);
+      if (trace_obs != nullptr) {
+        trace_obs->span_end("sim", segment_name);
+      }
+    }
+    if (trace_obs != nullptr) {
+      trace_obs->span_end("sim", "idle");
     }
 
     // --- active phase ------------------------------------------------------
@@ -138,7 +201,16 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     context.storage_charge = hybrid.storage().charge();
     context.storage_capacity = capacity;
     Coulomb if_dt_active{0.0};
-    run_segment(hybrid, fc_policy, context, active_eff, rec, if_dt_active);
+    if (trace_obs != nullptr) {
+      trace_obs->span_begin("sim", "active",
+                            {{"duration_s", active_eff.value()},
+                             {"current_A", run_current.value()}});
+    }
+    run_segment(hybrid, fc_policy, context, active_eff, rec, if_dt_active,
+                trace_obs, profiler);
+    if (trace_obs != nullptr) {
+      trace_obs->span_end("sim", "active");
+    }
 
     // --- bookkeeping -------------------------------------------------------
     dpm_policy.observe_idle(slot.idle);
@@ -168,6 +240,13 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       record.latency = plan.latency_spill;
       result.slot_records.push_back(record);
     }
+    if (trace_obs != nullptr) {
+      trace_obs->span_end("sim", "slot");
+    }
+  }
+
+  if (trace_obs != nullptr) {
+    trace_obs->span_end("sim", "simulate");
   }
 
   result.totals = hybrid.totals();

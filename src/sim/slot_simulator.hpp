@@ -12,6 +12,7 @@
 
 #include "core/fc_policy.hpp"
 #include "dpm/dpm_policy.hpp"
+#include "obs/context.hpp"
 #include "power/hybrid.hpp"
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
@@ -33,6 +34,13 @@ struct SimulationOptions {
   /// resetting it (multi-pass runs, e.g. lifetime measurement). Totals
   /// then accumulate across calls.
   bool preserve_source_state = false;
+  /// Opt-in observability (tracing, metrics, profiling). The simulator
+  /// attaches it to the policies and the hybrid source for the duration
+  /// of the run and restores their previous observers on return; the
+  /// context's simulated clock advances with the run. Not owned.
+  /// nullptr (the default) keeps the hot path allocation-free and the
+  /// results bit-identical.
+  obs::Context* observer = nullptr;
 };
 
 /// Simulate `trace` with the given policies over `hybrid`. The policies

@@ -1,6 +1,8 @@
 #include "sim/timed_simulator.hpp"
 
 #include "common/contracts.hpp"
+#include "obs/profiler.hpp"
+#include "sim/observer_guard.hpp"
 
 namespace fcdpm::sim {
 
@@ -8,10 +10,13 @@ namespace {
 
 /// Step through `duration` in dt increments, querying the policy each
 /// step (so stateful rules like ASAP's recharge react at dt resolution).
+/// The observability clock advances per step (policies stamp instants
+/// mid-segment); counter samples are emitted once per segment to keep
+/// traces of fine-dt runs tractable.
 void run_stepped(power::HybridPowerSource& hybrid,
                  core::FcOutputPolicy& fc_policy,
                  core::SegmentContext context, Seconds duration,
-                 Seconds dt) {
+                 Seconds dt, obs::Context* trace_obs) {
   Seconds remaining = duration;
   while (remaining.value() > 0.0) {
     const Seconds step = min(dt, remaining);
@@ -20,7 +25,14 @@ void run_stepped(power::HybridPowerSource& hybrid,
     // stop_charging_when_full is naturally approximated at dt
     // granularity: the policy sees the filled buffer next step.
     hybrid.run_segment(step, context.device_current, sp.setpoint);
+    if (trace_obs != nullptr) {
+      trace_obs->advance(step);
+    }
     remaining -= step;
+  }
+  if (trace_obs != nullptr) {
+    trace_obs->counter("load_A", context.device_current.value());
+    trace_obs->counter("storage_As", hybrid.storage().charge().value());
   }
 }
 
@@ -51,6 +63,23 @@ SimulationResult simulate_timed(const wl::Trace& trace,
 
   const Seconds dt = options.timestep;
 
+  // An inactive context (e.g. only a NullTraceSink attached) is
+  // treated exactly like no observer at all.
+  obs::Context* obs = (options.observer != nullptr &&
+                       options.observer->active())
+                          ? options.observer
+                          : nullptr;
+  obs::Context* trace_obs =
+      (obs != nullptr && obs->tracing()) ? obs : nullptr;
+  const ObserverGuard observer_guard(obs, dpm_policy, fc_policy, hybrid);
+  const obs::ProfileScope profile(
+      obs != nullptr ? obs->profiler() : nullptr, "sim.simulate_timed");
+  if (trace_obs != nullptr) {
+    trace_obs->span_begin("sim", "simulate_timed",
+                          {{"slots", static_cast<double>(trace.size())},
+                           {"dt_s", dt.value()}});
+  }
+
   for (std::size_t k = 0; k < trace.size(); ++k) {
     const wl::TaskSlot& slot = trace[k];
     const Ampere run_current = slot.active_power / device.bus_voltage;
@@ -79,13 +108,25 @@ SimulationResult simulate_timed(const wl::Trace& trace,
     idle_context.actual_active_current = run_current;
     fc_policy.on_idle_start(idle_context);
 
+    if (obs != nullptr) {
+      if (trace_obs != nullptr) {
+        trace_obs->span_begin("sim", "idle",
+                              {{"actual_s", slot.idle.value()},
+                               {"slept", plan.slept ? 1.0 : 0.0}});
+      }
+      obs->count("sim.slots");
+    }
     for (const dpm::IdleSegment& segment : plan.segments) {
       core::SegmentContext context;
       context.phase = core::Phase::Idle;
       context.state = segment.state;
       context.device_current = segment.current;
       context.storage_capacity = capacity;
-      run_stepped(hybrid, fc_policy, context, segment.duration, dt);
+      run_stepped(hybrid, fc_policy, context, segment.duration, dt,
+                  trace_obs);
+    }
+    if (trace_obs != nullptr) {
+      trace_obs->span_end("sim", "idle");
     }
 
     core::ActiveContext active_context;
@@ -101,7 +142,15 @@ SimulationResult simulate_timed(const wl::Trace& trace,
     context.state = dpm::PowerState::Run;
     context.device_current = run_current;
     context.storage_capacity = capacity;
-    run_stepped(hybrid, fc_policy, context, active_eff, dt);
+    if (trace_obs != nullptr) {
+      trace_obs->span_begin("sim", "active",
+                            {{"duration_s", active_eff.value()},
+                             {"current_A", run_current.value()}});
+    }
+    run_stepped(hybrid, fc_policy, context, active_eff, dt, trace_obs);
+    if (trace_obs != nullptr) {
+      trace_obs->span_end("sim", "active");
+    }
 
     dpm_policy.observe_idle(slot.idle);
 
@@ -116,6 +165,10 @@ SimulationResult simulate_timed(const wl::Trace& trace,
         (hybrid.totals().delivered_energy - delivered_before) /
         device.bus_voltage;
     fc_policy.on_slot_end(observation);
+  }
+
+  if (trace_obs != nullptr) {
+    trace_obs->span_end("sim", "simulate_timed");
   }
 
   result.totals = hybrid.totals();

@@ -7,6 +7,7 @@
 
 #include "core/fc_policy.hpp"
 #include "dpm/dpm_policy.hpp"
+#include "obs/context.hpp"
 #include "power/hybrid.hpp"
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
@@ -18,6 +19,10 @@ struct TimedOptions {
   /// Buffer charge at t = 0; negative means "start full". Default empty,
   /// matching SimulationOptions.
   Coulomb initial_storage{0.0};
+  /// Opt-in observability, as in SimulationOptions. The dt loop advances
+  /// the context's simulated clock per step but emits counter samples
+  /// only per segment. Not owned.
+  obs::Context* observer = nullptr;
 };
 
 /// dt-stepped counterpart of sim::simulate().

@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fcdpm::obs {
+namespace {
+
+TEST(Counter, AccumulatesTotalAndCallCount) {
+  Counter counter;
+  counter.increment();
+  counter.increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.total(), 3.5);
+  EXPECT_EQ(counter.count(), 2u);
+}
+
+TEST(Gauge, TracksLastAndRange) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.count(), 0u);
+  gauge.set(5.0);
+  EXPECT_DOUBLE_EQ(gauge.min(), 5.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 5.0);
+  gauge.set(-1.0);
+  gauge.set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.last(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.min(), -1.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 5.0);
+  EXPECT_EQ(gauge.count(), 3u);
+}
+
+TEST(Histogram, ExactMoments) {
+  Histogram histogram;
+  histogram.observe(1.0);
+  histogram.observe(2.0);
+  histogram.observe(3.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 3.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 2.0);
+}
+
+TEST(Histogram, QuantilesExactAtEndsAndMonotonic) {
+  Histogram histogram;
+  for (int k = 1; k <= 100; ++k) {
+    histogram.observe(static_cast<double>(k));
+  }
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 100.0);
+  double previous = histogram.quantile(0.0);
+  for (double q = 0.1; q < 1.0; q += 0.1) {
+    const double value = histogram.quantile(q);
+    EXPECT_GE(value, previous);
+    EXPECT_GE(value, histogram.min());
+    EXPECT_LE(value, histogram.max());
+    previous = value;
+  }
+  // Log-spaced buckets: the median of 1..100 lands in the right octave.
+  EXPECT_GE(histogram.quantile(0.5), 32.0);
+  EXPECT_LE(histogram.quantile(0.5), 96.0);
+}
+
+TEST(Histogram, HandlesZeroNegativeAndTinyValues) {
+  Histogram histogram;
+  histogram.observe(0.0);
+  histogram.observe(-4.0);
+  histogram.observe(1e-12);
+  histogram.observe(4.0);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.min(), -4.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), -4.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 4.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+}
+
+TEST(MetricsRegistry, HandsOutStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  registry.counter("y").increment();
+  registry.histogram("h").observe(1.0);
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.increment(3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("x").total(), 3.0);
+}
+
+TEST(MetricsRegistry, RowsSortedByTypeThenName) {
+  MetricsRegistry registry;
+  registry.histogram("zz").observe(1.0);
+  registry.counter("beta").increment();
+  registry.counter("alpha").increment(2.0);
+  registry.gauge("g").set(7.0);
+
+  const std::vector<MetricRow> rows = registry.rows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[0].type, "counter");
+  EXPECT_DOUBLE_EQ(rows[0].value, 2.0);
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_EQ(rows[2].type, "gauge");
+  EXPECT_DOUBLE_EQ(rows[2].value, 7.0);
+  EXPECT_EQ(rows[3].type, "histogram");
+  EXPECT_EQ(rows[3].count, 1u);
+}
+
+TEST(MetricsRegistry, EmptyAndClear) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.counter("n").increment();
+  EXPECT_FALSE(registry.empty());
+  registry.clear();
+  EXPECT_TRUE(registry.empty());
+  EXPECT_TRUE(registry.rows().empty());
+}
+
+}  // namespace
+}  // namespace fcdpm::obs

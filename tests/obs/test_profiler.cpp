@@ -1,0 +1,64 @@
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace fcdpm::obs {
+namespace {
+
+using std::chrono::nanoseconds;
+
+TEST(Profiler, RecordAccumulatesStats) {
+  Profiler profiler;
+  profiler.record("solve", nanoseconds(100));
+  profiler.record("solve", nanoseconds(300));
+  profiler.record("solve", nanoseconds(200));
+
+  ASSERT_EQ(profiler.scopes().size(), 1u);
+  const Profiler::ScopeStats& stats = profiler.scopes().at("solve");
+  EXPECT_EQ(stats.calls, 3u);
+  EXPECT_EQ(stats.total, nanoseconds(600));
+  EXPECT_EQ(stats.min, nanoseconds(100));
+  EXPECT_EQ(stats.max, nanoseconds(300));
+}
+
+TEST(Profiler, ScopeRecordsOnDestruction) {
+  Profiler profiler;
+  {
+    ProfileScope scope(&profiler, "work");
+  }
+  ASSERT_FALSE(profiler.empty());
+  const Profiler::ScopeStats& stats = profiler.scopes().at("work");
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_GE(stats.total.count(), 0);
+}
+
+TEST(Profiler, NullProfilerScopeIsANoop) {
+  ProfileScope scope(nullptr, "ignored");
+  SUCCEED();
+}
+
+TEST(Profiler, SummaryOrdersByTotalDescending) {
+  Profiler profiler;
+  profiler.record("small", nanoseconds(1000));
+  profiler.record("large", nanoseconds(9000000));
+
+  const std::string summary = profiler.summary();
+  const std::size_t large_at = summary.find("large");
+  const std::size_t small_at = summary.find("small");
+  ASSERT_NE(large_at, std::string::npos);
+  ASSERT_NE(small_at, std::string::npos);
+  EXPECT_LT(large_at, small_at);
+}
+
+TEST(Profiler, ClearEmptiesScopes) {
+  Profiler profiler;
+  profiler.record("x", nanoseconds(10));
+  profiler.clear();
+  EXPECT_TRUE(profiler.empty());
+}
+
+}  // namespace
+}  // namespace fcdpm::obs

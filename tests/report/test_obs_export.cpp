@@ -1,0 +1,65 @@
+#include "report/obs_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+namespace fcdpm::report {
+namespace {
+
+obs::MetricsRegistry sample_registry() {
+  obs::MetricsRegistry registry;
+  registry.counter("core.solves").increment(5.0);
+  registry.gauge("power.storage_charge_As").set(4.5);
+  registry.histogram("dpm.predictor_abs_error_s").observe(0.5);
+  registry.histogram("dpm.predictor_abs_error_s").observe(1.5);
+  return registry;
+}
+
+TEST(ObsExport, CsvHasHeaderAndOneRowPerInstrument) {
+  const CsvDocument doc = metrics_to_csv(sample_registry());
+  ASSERT_EQ(doc.header.size(), 8u);
+  EXPECT_EQ(doc.header[0], "name");
+  EXPECT_EQ(doc.header[3], "value");
+  ASSERT_EQ(doc.rows.size(), 3u);
+  EXPECT_EQ(doc.rows[0][0], "core.solves");
+  EXPECT_EQ(doc.rows[0][1], "counter");
+  EXPECT_EQ(doc.rows[0][3], "5");
+  EXPECT_EQ(doc.rows[1][1], "gauge");
+  EXPECT_EQ(doc.rows[2][1], "histogram");
+  EXPECT_EQ(doc.rows[2][2], "2");
+}
+
+TEST(ObsExport, JsonContainsEveryInstrument) {
+  const std::string json = metrics_to_json(sample_registry());
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"core.solves\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(ObsExport, EmptyRegistrySerializes) {
+  const obs::MetricsRegistry registry;
+  EXPECT_TRUE(metrics_to_csv(registry).rows.empty());
+  EXPECT_EQ(metrics_to_json(registry), "{\"metrics\":[]}\n");
+}
+
+TEST(ObsExport, ProfileCsvSortedByTotal) {
+  obs::Profiler profiler;
+  profiler.record("fast", std::chrono::nanoseconds(2000));
+  profiler.record("slow", std::chrono::nanoseconds(8000000));
+  profiler.record("slow", std::chrono::nanoseconds(2000000));
+
+  const CsvDocument doc = profile_to_csv(profiler);
+  ASSERT_EQ(doc.header.size(), 6u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "slow");
+  EXPECT_EQ(doc.rows[0][1], "2");
+  EXPECT_EQ(doc.rows[0][2], "10");  // 10 ms total
+  EXPECT_EQ(doc.rows[1][0], "fast");
+}
+
+}  // namespace
+}  // namespace fcdpm::report

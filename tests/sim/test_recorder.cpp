@@ -72,6 +72,45 @@ TEST(StepSeries, WindowPastEndIsEmpty) {
                PreconditionError);
 }
 
+TEST(StepSeries, SampleAtEndTimeHoldsLastValue) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(5.0), 1.2);
+  // end_time() is the open end of the last step; sampling exactly there
+  // (and beyond) keeps returning the final value rather than 0.
+  EXPECT_DOUBLE_EQ(s.sample(s.end_time()), 1.2);
+  EXPECT_DOUBLE_EQ(s.sample(s.end_time() + Seconds(1.0)), 1.2);
+}
+
+TEST(StepSeries, EmptyWindowAtSameInstant) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.2);
+  s.append(Seconds(10.0), 1.2);
+  // [t, t) is a valid degenerate query anywhere on the timeline.
+  for (const double t : {0.0, 5.0, 10.0, 20.0, 25.0}) {
+    const StepSeries w = s.window(Seconds(t), Seconds(t));
+    EXPECT_TRUE(w.empty()) << "window at t=" << t;
+    EXPECT_DOUBLE_EQ(w.end_time().value(), 0.0);
+  }
+  // The open end itself also yields nothing, even with room above it.
+  EXPECT_TRUE(s.window(s.end_time(), s.end_time() + Seconds(5.0)).empty());
+}
+
+TEST(StepSeries, SamplingBeforeFirstPointIsZero) {
+  StepSeries s("x", "A");
+  s.append(Seconds(10.0), 0.7);
+  // Points always start at t=0, so "before the first point" means a
+  // negative query time; the series reads as silent there.
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(-1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(-1e-9)), 0.0);
+  EXPECT_DOUBLE_EQ(s.sample(Seconds(0.0)), 0.7);
+  // A window opening before t=0 only covers the recorded part.
+  const StepSeries w = s.window(Seconds(-5.0), Seconds(10.0));
+  EXPECT_DOUBLE_EQ(w.end_time().value(), 15.0);
+  EXPECT_DOUBLE_EQ(w.sample(Seconds(0.0)), 0.0);
+  EXPECT_DOUBLE_EQ(w.sample(Seconds(5.0)), 0.7);
+}
+
 TEST(ProfileRecorder, RecordsThreeSignals) {
   ProfileRecorder rec;
   rec.record(Seconds(10.0), Ampere(0.2), Ampere(0.5), Coulomb(3.0));
