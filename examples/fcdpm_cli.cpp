@@ -11,9 +11,11 @@
 // run/compare/lifetime accept --trace-out / --metrics-out /
 // --profile-out to capture a Perfetto trace, a metrics dump and a
 // wall-clock profile of the run (see docs/ARCHITECTURE.md,
-// "Observability").
+// "Observability"), and --faults <spec|file|storm:SEED[:N]> to inject a
+// fault schedule (see "Fault model & graceful degradation").
 //
 // Exit code 0 on success, 1 on CLI errors, 2 on runtime errors.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -23,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "obs/context.hpp"
 #include "report/obs_export.hpp"
 #include "report/table.hpp"
@@ -196,6 +200,53 @@ class ObsSession {
   obs::Context context_;
 };
 
+/// --faults wiring. Three argument forms:
+///   spec with '@'        inline schedule, e.g. converter_dropout@120:30
+///   storm:SEED[:COUNT]   seeded random storm over the trace duration
+///   anything else        CSV schedule file (kind,start_s,duration_s,...)
+/// Returns nullptr when --faults was not given.
+std::unique_ptr<fault::FaultInjector> make_fault_injector(
+    const Options& options, const wl::Trace& trace) {
+  const auto it = options.find("faults");
+  if (it == options.end()) {
+    return nullptr;
+  }
+  const std::string& value = it->second;
+  fault::FaultSchedule schedule;
+  if (value.rfind("storm:", 0) == 0) {
+    const std::string rest = value.substr(6);
+    const std::size_t colon = rest.find(':');
+    const auto seed = static_cast<std::uint64_t>(
+        std::strtoull(rest.substr(0, colon).c_str(), nullptr, 10));
+    const std::size_t count =
+        colon == std::string::npos
+            ? 12
+            : static_cast<std::size_t>(
+                  std::atoi(rest.substr(colon + 1).c_str()));
+    schedule = fault::FaultSchedule::random_storm(
+        seed, count, trace.stats().total_duration());
+    std::printf("fault storm (seed %llu): %s\n",
+                static_cast<unsigned long long>(seed),
+                schedule.to_spec().c_str());
+  } else if (value.find('@') != std::string::npos) {
+    schedule = fault::FaultSchedule::parse(value);
+  } else {
+    schedule = fault::FaultSchedule::load_file(value);
+  }
+  return std::make_unique<fault::FaultInjector>(schedule);
+}
+
+void print_robustness(const fault::RobustnessStats& r) {
+  std::printf("  robustness: %zu fault windows | %zu dropouts | "
+              "%zu brownouts (%.2f A-s lost) | %zu clamped segments\n"
+              "              %zu reprojections | %zu fallbacks | "
+              "%zu solver failures | degraded %.1f s | recovery %.1f s\n",
+              r.activations, r.dropouts, r.brownouts,
+              r.brownout_lost.value(), r.fc_clamped_segments,
+              r.reprojections, r.fallbacks, r.solver_failures,
+              r.degraded_time.value(), r.recovery_time.value());
+}
+
 sim::PolicyKind parse_policy(const std::string& name) {
   if (name == "conv") {
     return sim::PolicyKind::Conv;
@@ -271,7 +322,14 @@ int cmd_run(const Options& options) {
       parse_policy(option_or(options, "policy", "fcdpm"));
   ObsSession obs(options);
   config.simulation.observer = obs.context();
-  print_result(sim::run_policy(kind, config));
+  const std::unique_ptr<fault::FaultInjector> faults =
+      make_fault_injector(options, config.trace);
+  config.simulation.faults = faults.get();
+  const sim::SimulationResult result = sim::run_policy(kind, config);
+  print_result(result);
+  if (result.robustness.has_value()) {
+    print_robustness(*result.robustness);
+  }
   obs.finish();
   return 0;
 }
@@ -279,6 +337,9 @@ int cmd_run(const Options& options) {
 int cmd_compare(const Options& options) {
   sim::ExperimentConfig config = build_config(options);
   ObsSession obs(options);
+  const std::unique_ptr<fault::FaultInjector> faults =
+      make_fault_injector(options, config.trace);
+  config.simulation.faults = faults.get();
 
   sim::PolicyComparison c;
   if (obs.context() != nullptr) {
@@ -306,6 +367,10 @@ int cmd_compare(const Options& options) {
   print_result(c.conv);
   print_result(c.asap);
   print_result(c.fcdpm);
+  if (c.fcdpm.robustness.has_value()) {
+    std::printf("FC-DPM under faults:\n");
+    print_robustness(*c.fcdpm.robustness);
+  }
   std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
               100.0 * sim::fuel_saving(c.fcdpm, c.asap),
               sim::lifetime_extension(c.fcdpm, c.asap));
@@ -321,6 +386,9 @@ int cmd_lifetime(const Options& options) {
 
   ObsSession obs(options);
   config.simulation.observer = obs.context();
+  const std::unique_ptr<fault::FaultInjector> faults =
+      make_fault_injector(options, config.trace);
+  config.simulation.faults = faults.get();
 
   dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
   const std::unique_ptr<core::FcOutputPolicy> fc_policy =
@@ -342,6 +410,11 @@ int cmd_lifetime(const Options& options) {
   } else {
     std::printf("did not empty within %zu passes (%.1f min simulated)\n",
                 r.passes, r.lifetime.value() / 60.0);
+  }
+  if (faults != nullptr) {
+    // The injector accumulates across workload passes (the lifetime
+    // loop preserves source state), so this is whole-life accounting.
+    print_robustness(faults->stats());
   }
   obs.finish();
   return 0;
@@ -397,7 +470,12 @@ int usage() {
       "run/compare/lifetime also accept:\n"
       "  --trace-out f.json    Chrome/Perfetto trace (f.jsonl for JSONL)\n"
       "  --metrics-out f.csv   metrics registry dump (f.json for JSON)\n"
-      "  --profile-out f.csv   wall-clock hot-path profile\n");
+      "  --profile-out f.csv   wall-clock hot-path profile\n"
+      "  --faults SPEC         inject faults; SPEC is an inline schedule\n"
+      "                        (kind@start[:dur][xmag], e.g.\n"
+      "                        converter_dropout@120:30,brownout@400x0.5),\n"
+      "                        storm:SEED[:COUNT] for a seeded random\n"
+      "                        storm, or a CSV schedule file\n");
   return 1;
 }
 

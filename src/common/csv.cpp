@@ -56,7 +56,9 @@ CsvDocument read_csv(std::istream& in, bool has_header) {
   CsvDocument doc;
   std::string line;
   bool header_pending = has_header;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     const std::string_view stripped = trim(line);
     if (stripped.empty() || stripped.front() == '#') {
       continue;
@@ -67,6 +69,7 @@ CsvDocument read_csv(std::istream& in, bool has_header) {
       header_pending = false;
     } else {
       doc.rows.push_back(std::move(row));
+      doc.row_lines.push_back(line_number);
     }
   }
   return doc;

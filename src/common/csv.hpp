@@ -25,9 +25,17 @@ using CsvRow = std::vector<std::string>;
 struct CsvDocument {
   CsvRow header;
   std::vector<CsvRow> rows;
+  /// 1-based source line of each data row (blank/comment lines shift
+  /// these), parallel to `rows`. Empty for hand-built documents.
+  std::vector<std::size_t> row_lines;
 
   /// Index of a named header column; throws CsvError when absent.
   [[nodiscard]] std::size_t column(std::string_view name) const;
+
+  /// Source line of a data row, or 0 when unknown (hand-built document).
+  [[nodiscard]] std::size_t line_of(std::size_t row_index) const noexcept {
+    return row_index < row_lines.size() ? row_lines[row_index] : 0;
+  }
 };
 
 /// Parse one CSV line into fields (handles quotes and escaped quotes).

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/fault.hpp"
 
 namespace fcdpm::core {
 
@@ -57,6 +58,53 @@ void note_projection(obs::Context* obs, const char* event,
                   setting.floor_clamped)
                      ? 1.0
                      : 0.0}});
+}
+
+/// Project possibly-infeasible storage bounds back into [0, capacity]
+/// (a faded buffer can leave the pinned Cend — or even Cini — above the
+/// usable ceiling). Returns whether anything moved.
+bool reproject_bounds(StorageBounds& s) {
+  if (s.capacity.value() <= 0.0) {
+    return false;  // nothing sensible to project onto; solver reports it
+  }
+  const StorageBounds before = s;
+  s.initial = clamp(s.initial, Coulomb(0.0), s.capacity);
+  s.target_end = clamp(s.target_end, Coulomb(0.0), s.capacity);
+  return s.initial != before.initial || s.target_end != before.target_end;
+}
+
+void note_reprojection(obs::Context* obs, fault::RobustnessStats* stats) {
+  if (stats != nullptr) {
+    ++stats->reprojections;
+  }
+  if (obs != nullptr) {
+    obs->count("fault.reprojections");
+  }
+}
+
+/// A checked solve failed: record it and report the safe fallback (the
+/// Conv-DPM flat setting — always feasible for the hardware).
+void note_fallback(obs::Context* obs, fault::RobustnessStats* stats,
+                   const char* event, SolveStatus status) {
+  if (stats != nullptr) {
+    ++stats->solver_failures;
+    ++stats->fallbacks;
+  }
+  if (obs != nullptr) {
+    obs->count("fault.solver_failures");
+    obs->count("fault.fallbacks");
+    if (obs->tracing()) {
+      obs->instant("core", event,
+                   {{"status", static_cast<double>(static_cast<int>(status))}});
+    }
+  }
+}
+
+/// Top of the load-following range under an output derate (never below
+/// the bottom of the range — the FC cannot run below min_output).
+Ampere derated_max(const power::LinearEfficiencyModel& model,
+                   double derate) {
+  return max(model.min_output(), model.max_output() * derate);
 }
 
 }  // namespace
@@ -180,8 +228,13 @@ void FcDpmPolicy::on_idle_start(const IdleContext& context) {
   load.active = predicted_active;
   load.active_current = predicted_current;
 
-  const StorageBounds storage{context.storage_charge, target_end_,
-                              context.storage_capacity};
+  StorageBounds storage{context.storage_charge, target_end_,
+                        context.storage_capacity};
+  // Under storage fade the pinned Cend (or even the measured Cini) can
+  // sit above the usable ceiling: re-project instead of erroring.
+  if (reproject_bounds(storage)) {
+    note_reprojection(obs_, fault_stats_);
+  }
 
   // Note on Section 3.3.2: the paper folds the sleep transitions into an
   // extended active phase because its slot accounting keeps the idle
@@ -190,23 +243,47 @@ void FcDpmPolicy::on_idle_start(const IdleContext& context) {
   // overhead term again would double-count it — and bias the active
   // re-solve into the storage floor.
   if (quantizer_.has_value()) {
-    const QuantizedSetting setting = quantizer_->solve(load, storage);
-    if_idle_ = setting.if_idle;
-    if_active_ = setting.if_active;
-    if (obs_ != nullptr) {
-      obs_->count("core.solves");
-      obs_->observe("core.setpoint_A", setting.if_active.value());
-      if (obs_->tracing()) {
-        obs_->instant("core", "fc.plan_quantized",
-                      {{"if_idle_A", setting.if_idle.value()},
-                       {"if_active_A", setting.if_active.value()}});
+    try {
+      const QuantizedSetting setting = quantizer_->solve(load, storage);
+      if_idle_ = setting.if_idle;
+      if_active_ = setting.if_active;
+      if (obs_ != nullptr) {
+        obs_->count("core.solves");
+        obs_->observe("core.setpoint_A", setting.if_active.value());
+        if (obs_->tracing()) {
+          obs_->instant("core", "fc.plan_quantized",
+                        {{"if_idle_A", setting.if_idle.value()},
+                         {"if_active_A", setting.if_active.value()}});
+        }
       }
+    } catch (...) {
+      if_idle_ = if_active_ = optimizer_.model().max_output();
+      note_fallback(obs_, fault_stats_, "fc.plan_fallback",
+                    SolveStatus::InvalidInput);
     }
   } else {
-    const SlotSetting setting = optimizer_.solve(load, storage);
-    if_idle_ = setting.if_idle;
-    if_active_ = setting.if_active;
-    note_projection(obs_, "fc.plan", setting);
+    const CheckedSetting checked = optimizer_.solve_checked(load, storage);
+    if (checked.ok()) {
+      if_idle_ = checked.setting.if_idle;
+      if_active_ = checked.setting.if_active;
+      note_projection(obs_, "fc.plan", checked.setting);
+    } else {
+      // Safe flat fallback: the Conv-DPM setting is always feasible for
+      // the hardware, just not fuel-optimal.
+      if_idle_ = if_active_ = optimizer_.model().max_output();
+      note_fallback(obs_, fault_stats_, "fc.plan_fallback", checked.status);
+    }
+  }
+
+  // A derated source cannot honor a full-range plan: shrink [.., Imax].
+  if (context.fc_output_derate < 1.0) {
+    const Ampere ceiling =
+        derated_max(optimizer_.model(), context.fc_output_derate);
+    if (if_idle_ > ceiling || if_active_ > ceiling) {
+      if_idle_ = min(if_idle_, ceiling);
+      if_active_ = min(if_active_, ceiling);
+      note_reprojection(obs_, fault_stats_);
+    }
   }
 
   // Deep idle: if the whole idle period can run off the buffer (with
@@ -234,21 +311,44 @@ void FcDpmPolicy::on_active_start(const ActiveContext& context) {
   const Coulomb charge =
       context.active_current * context.active_duration;
 
-  const StorageBounds storage{context.storage_charge, target_end_,
-                              context.storage_capacity};
-  if (quantizer_.has_value()) {
-    SlotLoad active_only;
-    active_only.active = context.active_duration;
-    active_only.active_current = context.active_current;
-    const QuantizedSetting setting =
-        quantizer_->solve(active_only, storage);
-    if_active_ = setting.if_active;
-    return;
+  StorageBounds storage{context.storage_charge, target_end_,
+                        context.storage_capacity};
+  if (reproject_bounds(storage)) {
+    note_reprojection(obs_, fault_stats_);
   }
-  const SlotSetting setting = optimizer_.solve_active_only(
-      context.active_duration, charge, storage);
-  if_active_ = setting.if_active;
-  note_projection(obs_, "fc.replan", setting);
+  if (quantizer_.has_value()) {
+    try {
+      SlotLoad active_only;
+      active_only.active = context.active_duration;
+      active_only.active_current = context.active_current;
+      const QuantizedSetting setting =
+          quantizer_->solve(active_only, storage);
+      if_active_ = setting.if_active;
+    } catch (...) {
+      if_active_ = optimizer_.model().max_output();
+      note_fallback(obs_, fault_stats_, "fc.replan_fallback",
+                    SolveStatus::InvalidInput);
+    }
+  } else {
+    const CheckedSetting checked = optimizer_.solve_active_only_checked(
+        context.active_duration, charge, storage);
+    if (checked.ok()) {
+      if_active_ = checked.setting.if_active;
+      note_projection(obs_, "fc.replan", checked.setting);
+    } else {
+      if_active_ = optimizer_.model().max_output();
+      note_fallback(obs_, fault_stats_, "fc.replan_fallback",
+                    checked.status);
+    }
+  }
+  if (context.fc_output_derate < 1.0) {
+    const Ampere ceiling =
+        derated_max(optimizer_.model(), context.fc_output_derate);
+    if (if_active_ > ceiling) {
+      if_active_ = ceiling;
+      note_reprojection(obs_, fault_stats_);
+    }
+  }
 }
 
 SegmentSetpoint FcDpmPolicy::segment_setpoint(
@@ -344,25 +444,58 @@ void OracleFcPolicy::on_idle_start(const IdleContext& context) {
   load.active = max(context.actual_active, Seconds(0.1));
   load.active_current = context.actual_active_current;
 
-  const StorageBounds storage{context.storage_charge, target_end_,
-                              context.storage_capacity};
+  StorageBounds storage{context.storage_charge, target_end_,
+                        context.storage_capacity};
+  if (reproject_bounds(storage)) {
+    note_reprojection(obs_, fault_stats_);
+  }
 
-  const SlotSetting setting = optimizer_.solve(load, storage);
-  if_idle_ = setting.if_idle;
-  if_active_ = setting.if_active;
-  note_projection(obs_, "fc.plan", setting);
+  const CheckedSetting checked = optimizer_.solve_checked(load, storage);
+  if (checked.ok()) {
+    if_idle_ = checked.setting.if_idle;
+    if_active_ = checked.setting.if_active;
+    note_projection(obs_, "fc.plan", checked.setting);
+  } else {
+    if_idle_ = if_active_ = optimizer_.model().max_output();
+    note_fallback(obs_, fault_stats_, "fc.plan_fallback", checked.status);
+  }
+  if (context.fc_output_derate < 1.0) {
+    const Ampere ceiling =
+        derated_max(optimizer_.model(), context.fc_output_derate);
+    if (if_idle_ > ceiling || if_active_ > ceiling) {
+      if_idle_ = min(if_idle_, ceiling);
+      if_active_ = min(if_active_, ceiling);
+      note_reprojection(obs_, fault_stats_);
+    }
+  }
 }
 
 void OracleFcPolicy::on_active_start(const ActiveContext& context) {
   const Coulomb charge =
       context.active_current * context.active_duration;
 
-  const StorageBounds storage{context.storage_charge, target_end_,
-                              context.storage_capacity};
-  const SlotSetting setting = optimizer_.solve_active_only(
+  StorageBounds storage{context.storage_charge, target_end_,
+                        context.storage_capacity};
+  if (reproject_bounds(storage)) {
+    note_reprojection(obs_, fault_stats_);
+  }
+  const CheckedSetting checked = optimizer_.solve_active_only_checked(
       context.active_duration, charge, storage);
-  if_active_ = setting.if_active;
-  note_projection(obs_, "fc.replan", setting);
+  if (checked.ok()) {
+    if_active_ = checked.setting.if_active;
+    note_projection(obs_, "fc.replan", checked.setting);
+  } else {
+    if_active_ = optimizer_.model().max_output();
+    note_fallback(obs_, fault_stats_, "fc.replan_fallback", checked.status);
+  }
+  if (context.fc_output_derate < 1.0) {
+    const Ampere ceiling =
+        derated_max(optimizer_.model(), context.fc_output_derate);
+    if (if_active_ > ceiling) {
+      if_active_ = ceiling;
+      note_reprojection(obs_, fault_stats_);
+    }
+  }
 }
 
 SegmentSetpoint OracleFcPolicy::segment_setpoint(

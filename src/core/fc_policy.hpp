@@ -31,6 +31,10 @@
 #include "dpm/predictors.hpp"
 #include "obs/context.hpp"
 
+namespace fcdpm::fault {
+struct RobustnessStats;
+}
+
 namespace fcdpm::core {
 
 /// Which phase of a slot a segment belongs to.
@@ -44,6 +48,12 @@ struct IdleContext {
   Ampere idle_current{0.0};     ///< Isdb or Islp per the decision
   Coulomb storage_charge{0.0};
   Coulomb storage_capacity{0.0};
+
+  // Fault state the governor can see (a real controller reads the FC's
+  // health flags). Defaults describe a healthy source, so fault-unaware
+  // callers are unaffected.
+  double fc_output_derate = 1.0;  ///< usable fraction of max output
+  bool fc_available = true;       ///< false while the converter is out
 
   // Ground truth for the *coming* slot. Honest policies must not read
   // these; OracleFcPolicy does (it is the point of the oracle).
@@ -60,6 +70,8 @@ struct ActiveContext {
   Ampere active_current{0.0};
   Coulomb storage_charge{0.0};
   Coulomb storage_capacity{0.0};
+  double fc_output_derate = 1.0;  ///< usable fraction of max output
+  bool fc_available = true;       ///< false while the converter is out
 };
 
 /// Per-segment query: what should the FC deliver now?
@@ -118,8 +130,19 @@ class FcOutputPolicy {
   void set_observer(obs::Context* observer) noexcept { obs_ = observer; }
   [[nodiscard]] obs::Context* observer() const noexcept { return obs_; }
 
+  /// Attach (or detach with nullptr) the robustness accounting of a
+  /// faulted run; policies increment reprojection / fallback / solver-
+  /// failure counters through it. Not owned.
+  void set_fault_stats(fault::RobustnessStats* stats) noexcept {
+    fault_stats_ = stats;
+  }
+  [[nodiscard]] fault::RobustnessStats* fault_stats() const noexcept {
+    return fault_stats_;
+  }
+
  protected:
   obs::Context* obs_ = nullptr;
+  fault::RobustnessStats* fault_stats_ = nullptr;
 };
 
 /// Conv-DPM: IF pinned at max_output; no control at all.

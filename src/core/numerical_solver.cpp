@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "common/contracts.hpp"
 #include "common/solvers.hpp"
 #include "obs/profiler.hpp"
 
@@ -14,8 +14,7 @@ NumericalSlotSolver::NumericalSlotSolver(power::LinearEfficiencyModel model)
 
 NumericalSlotResult NumericalSlotSolver::solve(
     const SlotLoad& load, const StorageBounds& storage) const {
-  FCDPM_EXPECTS(load.idle.value() > 0.0 && load.active.value() > 0.0,
-                "numerical solver needs both phases non-empty");
+  NumericalSlotResult result;
 
   const double ti = load.idle.value();
   const double ta = load.active.value();
@@ -27,6 +26,19 @@ NumericalSlotResult NumericalSlotSolver::solve(
   const double lo = model_.min_output().value();
   const double hi = model_.max_output().value();
 
+  // Hardened input contract: instead of throwing out of the hot loop,
+  // degenerate phases and non-finite inputs come back as a status.
+  if (!(ti > 0.0) || !(ta > 0.0)) {
+    result.status = SolveStatus::InvalidInput;
+    return result;
+  }
+  for (const double v : {ti, ta, ild_i, qa, cini, cend, cmax}) {
+    if (!std::isfinite(v)) {
+      result.status = SolveStatus::InvalidInput;
+      return result;
+    }
+  }
+
   const auto active_of_idle = [&](double x) {
     // Charge balance (Eq. (13)) pins IF,a once IF,i is chosen.
     return (qa + cend - cini - (x - ild_i) * ti) / ta;
@@ -37,6 +49,8 @@ NumericalSlotResult NumericalSlotSolver::solve(
   };
 
   constexpr double kPenalty = 1e6;
+  constexpr int kMaxIterations = 400;
+  bool saw_non_finite = false;
   const auto objective = [&](double x) {
     const double xa = active_of_idle(x);
     double value = ti * g(x);
@@ -56,28 +70,41 @@ NumericalSlotResult NumericalSlotSolver::solve(
     if (after_idle < 0.0) {
       value += kPenalty * (-after_idle);
     }
+    if (!std::isfinite(value)) {
+      // Flag it and hand the search a huge-but-finite value so the
+      // bracketing arithmetic stays defined.
+      saw_non_finite = true;
+      return std::numeric_limits<double>::max() / 4.0;
+    }
     return value;
   };
 
   const obs::ProfileScope profile(
       obs_ != nullptr ? obs_->profiler() : nullptr, "core.numerical_solve");
-  const ScalarMinimum best = golden_section_minimize(objective, lo, hi,
-                                                     1e-12, 400);
+  const ScalarMinimum best =
+      golden_section_minimize(objective, lo, hi, 1e-12, kMaxIterations);
   if (obs_ != nullptr) {
     obs_->observe("core.golden_iterations",
                   static_cast<double>(best.iterations));
   }
 
-  NumericalSlotResult result;
-  result.if_idle = Ampere(best.x);
-  const double xa = active_of_idle(best.x);
-  result.if_active = Ampere(std::clamp(xa, lo, hi));
+  result.iterations = best.iterations;
+  result.converged = best.iterations < kMaxIterations;
 
+  const double xa = active_of_idle(best.x);
   const double after_idle = cini + (best.x - ild_i) * ti;
+  const double fuel = ti * g(best.x) + ta * g(std::clamp(xa, lo, hi));
+  if (saw_non_finite || !std::isfinite(best.x) || !std::isfinite(xa) ||
+      !std::isfinite(fuel)) {
+    result.status = SolveStatus::NonFinite;
+    return result;
+  }
+
+  result.if_idle = Ampere(best.x);
+  result.if_active = Ampere(std::clamp(xa, lo, hi));
   result.feasible = (xa >= lo - 1e-9 && xa <= hi + 1e-9 &&
                      after_idle >= -1e-9 && after_idle <= cmax + 1e-9);
-  result.fuel = Coulomb(ti * g(best.x) +
-                        ta * g(result.if_active.value()));
+  result.fuel = Coulomb(fuel);
   return result;
 }
 

@@ -20,14 +20,29 @@ struct NumericalSlotResult {
   /// balance and box constraints (the closed form then relaxes the end
   /// target instead).
   bool feasible = false;
+
+  /// Ok: solution valid. InvalidInput: a phase was non-positive or an
+  /// input non-finite. NonFinite: the objective produced NaN/Inf during
+  /// the search. On anything but Ok the setting fields are zero.
+  SolveStatus status = SolveStatus::Ok;
+  /// Golden-section iterations spent; `converged` is false when the
+  /// search stopped on the iteration cap rather than the tolerance (the
+  /// caller gets the best iterate found, flagged, never silently).
+  int iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == SolveStatus::Ok;
+  }
 };
 
 class NumericalSlotSolver {
  public:
   explicit NumericalSlotSolver(power::LinearEfficiencyModel model);
 
-  /// Solve the equality-constrained slot program numerically. Requires
-  /// load.idle > 0 and load.active > 0.
+  /// Solve the equality-constrained slot program numerically. Invalid
+  /// or non-finite inputs come back as `status != Ok` (no throw), and
+  /// hitting the iteration cap is reported via `converged`.
   [[nodiscard]] NumericalSlotResult solve(const SlotLoad& load,
                                           const StorageBounds& storage) const;
 

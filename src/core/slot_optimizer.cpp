@@ -1,8 +1,33 @@
 #include "core/slot_optimizer.hpp"
 
+#include <cmath>
+
 #include "common/contracts.hpp"
 
 namespace fcdpm::core {
+
+namespace {
+
+[[nodiscard]] bool finite(double v) noexcept { return std::isfinite(v); }
+
+[[nodiscard]] bool finite_setting(const SlotSetting& s) noexcept {
+  return finite(s.if_idle.value()) && finite(s.if_active.value()) &&
+         finite(s.expected_end.value()) && finite(s.fuel.value());
+}
+
+}  // namespace
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Ok:
+      return "ok";
+    case SolveStatus::InvalidInput:
+      return "invalid_input";
+    case SolveStatus::NonFinite:
+      return "non_finite";
+  }
+  return "?";
+}
 
 SlotOptimizer::SlotOptimizer(power::LinearEfficiencyModel model)
     : model_(model) {}
@@ -42,6 +67,56 @@ SlotSetting SlotOptimizer::solve_active_only(
     Seconds duration, Coulomb charge, const StorageBounds& storage) const {
   return solve_effective(Seconds(0.0), Ampere(0.0), duration, charge,
                          storage);
+}
+
+CheckedSetting SlotOptimizer::solve_checked(
+    const SlotLoad& load, const StorageBounds& storage) const noexcept {
+  CheckedSetting out;
+  if (!finite(load.idle.value()) || !finite(load.idle_current.value()) ||
+      !finite(load.active.value()) || !finite(load.active_current.value()) ||
+      !finite(storage.initial.value()) ||
+      !finite(storage.target_end.value()) ||
+      !finite(storage.capacity.value())) {
+    out.status = SolveStatus::NonFinite;
+    return out;
+  }
+  try {
+    out.setting = solve(load, storage);
+  } catch (...) {
+    out.status = SolveStatus::InvalidInput;
+    out.setting = SlotSetting{};
+    return out;
+  }
+  if (!finite_setting(out.setting)) {
+    out.status = SolveStatus::NonFinite;
+    out.setting = SlotSetting{};
+  }
+  return out;
+}
+
+CheckedSetting SlotOptimizer::solve_active_only_checked(
+    Seconds duration, Coulomb charge,
+    const StorageBounds& storage) const noexcept {
+  CheckedSetting out;
+  if (!finite(duration.value()) || !finite(charge.value()) ||
+      !finite(storage.initial.value()) ||
+      !finite(storage.target_end.value()) ||
+      !finite(storage.capacity.value())) {
+    out.status = SolveStatus::NonFinite;
+    return out;
+  }
+  try {
+    out.setting = solve_active_only(duration, charge, storage);
+  } catch (...) {
+    out.status = SolveStatus::InvalidInput;
+    out.setting = SlotSetting{};
+    return out;
+  }
+  if (!finite_setting(out.setting)) {
+    out.status = SolveStatus::NonFinite;
+    out.setting = SlotSetting{};
+  }
+  return out;
 }
 
 SlotSetting SlotOptimizer::solve_effective(Seconds idle, Ampere idle_current,

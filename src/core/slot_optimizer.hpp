@@ -71,6 +71,27 @@ struct SlotSetting {
   bool bleed_expected = false;
 };
 
+/// Outcome of a checked (non-throwing) solve.
+enum class SolveStatus {
+  Ok,            ///< solution valid
+  InvalidInput,  ///< a precondition failed (negative duration, bad bounds)
+  NonFinite,     ///< inputs or the computed setting contain NaN/Inf
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+/// A SlotSetting plus the status of the solve that produced it. When
+/// `status != Ok` the setting is default-constructed and must not be
+/// used; callers fall back to a safe flat-current program instead.
+struct CheckedSetting {
+  SolveStatus status = SolveStatus::Ok;
+  SlotSetting setting;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == SolveStatus::Ok;
+  }
+};
+
 /// Closed-form constrained solver.
 class SlotOptimizer {
  public:
@@ -103,6 +124,17 @@ class SlotOptimizer {
   [[nodiscard]] SlotSetting solve_active_only(
       Seconds duration, Coulomb charge,
       const StorageBounds& storage) const;
+
+  /// Non-throwing counterparts for the hot loop: inputs that would trip
+  /// an FCDPM_EXPECTS (or yield a non-finite setting, e.g. under active
+  /// faults) come back as a status code instead of an exception. The
+  /// arithmetic on the Ok path is the throwing solvers' own, so results
+  /// are bit-identical.
+  [[nodiscard]] CheckedSetting solve_checked(
+      const SlotLoad& load, const StorageBounds& storage) const noexcept;
+  [[nodiscard]] CheckedSetting solve_active_only_checked(
+      Seconds duration, Coulomb charge,
+      const StorageBounds& storage) const noexcept;
 
  private:
   power::LinearEfficiencyModel model_;

@@ -1,0 +1,90 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::StackDegradation:
+      return "stack_degradation";
+    case FaultKind::FuelStarvation:
+      return "fuel_starvation";
+    case FaultKind::DcdcEfficiencyDrop:
+      return "dcdc_drop";
+    case FaultKind::ConverterDropout:
+      return "converter_dropout";
+    case FaultKind::StorageFade:
+      return "storage_fade";
+    case FaultKind::Brownout:
+      return "brownout";
+    case FaultKind::SensorNoise:
+      return "sensor_noise";
+    case FaultKind::LoadSpike:
+      return "load_spike";
+  }
+  return "?";
+}
+
+bool parse_fault_kind(const std::string& name, FaultKind& out) {
+  constexpr FaultKind kAll[] = {
+      FaultKind::StackDegradation, FaultKind::FuelStarvation,
+      FaultKind::DcdcEfficiencyDrop, FaultKind::ConverterDropout,
+      FaultKind::StorageFade, FaultKind::Brownout,
+      FaultKind::SensorNoise, FaultKind::LoadSpike,
+  };
+  for (const FaultKind kind : kAll) {
+    if (name == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultEvent::active_at(Seconds t) const noexcept {
+  if (kind == FaultKind::Brownout) {
+    return false;
+  }
+  if (t < start) {
+    return false;
+  }
+  return duration.value() <= 0.0 || t < start + duration;
+}
+
+void FaultEvent::validate() const {
+  FCDPM_EXPECTS(std::isfinite(start.value()) &&
+                    std::isfinite(duration.value()) &&
+                    std::isfinite(magnitude),
+                std::string("fault event has a non-finite field (") +
+                    to_string(kind) + ")");
+  FCDPM_EXPECTS(start.value() >= 0.0, "fault start must be non-negative");
+  switch (kind) {
+    case FaultKind::StackDegradation:
+    case FaultKind::FuelStarvation:
+    case FaultKind::DcdcEfficiencyDrop:
+    case FaultKind::StorageFade:
+      FCDPM_EXPECTS(magnitude > 0.0 && magnitude <= 1.0,
+                    std::string(to_string(kind)) +
+                        " magnitude must be a remaining fraction in (0, 1]");
+      break;
+    case FaultKind::Brownout:
+      FCDPM_EXPECTS(magnitude >= 0.0 && magnitude <= 1.0,
+                    "brownout magnitude must be a lost fraction in [0, 1]");
+      break;
+    case FaultKind::SensorNoise:
+      FCDPM_EXPECTS(magnitude >= 0.0,
+                    "sensor noise sigma must be non-negative");
+      break;
+    case FaultKind::LoadSpike:
+      FCDPM_EXPECTS(magnitude >= 1.0,
+                    "load spike magnitude must be a multiplier >= 1");
+      break;
+    case FaultKind::ConverterDropout:
+      break;
+  }
+}
+
+}  // namespace fcdpm::fault

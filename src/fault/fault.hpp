@@ -1,0 +1,104 @@
+// Typed fault events for the hybrid-source simulation stack.
+//
+// The paper's FC-DPM assumes an always-available, non-degrading fuel
+// cell; real hybrid sources do neither (see PAPERS.md: Shi et al. on
+// health-aware multi-stack management, Chrétien et al. on
+// post-prognostics commitment). `fcdpm::fault` models the failure modes
+// the rest of the stack must degrade gracefully under:
+//
+//   fuelcell  — StackDegradation (efficiency loss: more fuel per amp),
+//               FuelStarvation   (the stack cannot deliver full output)
+//   power     — DcdcEfficiencyDrop (converter loss inflates fuel burn),
+//               ConverterDropout   (the FC contributes nothing at all)
+//   storage   — StorageFade (usable capacity derated),
+//               Brownout    (a one-shot loss of stored charge)
+//   dpm/wl    — SensorNoise (predictor inputs perturbed),
+//               LoadSpike   (the device draws more than the trace says)
+//
+// Events are activated purely by simulated time (or generated up front
+// from a seeded RNG, see FaultSchedule::random_storm), so every faulted
+// run is bit-reproducible. Like `obs`, this layer is a side-car: every
+// hook is a nullptr-checked pointer and the no-fault path stays
+// bit-identical to a build without the subsystem.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace fcdpm::fault {
+
+enum class FaultKind {
+  StackDegradation,   ///< magnitude = remaining stack efficiency (0, 1]
+  FuelStarvation,     ///< magnitude = remaining max-output fraction (0, 1]
+  DcdcEfficiencyDrop, ///< magnitude = remaining converter efficiency (0, 1]
+  ConverterDropout,   ///< magnitude unused; FC output forced to zero
+  StorageFade,        ///< magnitude = remaining usable capacity (0, 1]
+  Brownout,           ///< one-shot; magnitude = stored-charge fraction lost [0, 1]
+  SensorNoise,        ///< magnitude = relative noise sigma on predictions
+  LoadSpike,          ///< magnitude = load-current multiplier >= 1
+};
+
+/// Spec-token / CSV name of a kind ("stack_degradation", ...).
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Inverse of to_string; returns false when `name` is unknown.
+[[nodiscard]] bool parse_fault_kind(const std::string& name, FaultKind& out);
+
+/// One scheduled fault. `duration <= 0` means permanent from `start`.
+/// Brownout is instantaneous: it fires once when simulated time crosses
+/// `start` and its duration is ignored.
+struct FaultEvent {
+  FaultKind kind = FaultKind::ConverterDropout;
+  Seconds start{0.0};
+  Seconds duration{0.0};
+  double magnitude = 1.0;
+
+  /// True while `t` lies inside the activity window (brownouts are
+  /// never "active"; they are consumed as one-shots).
+  [[nodiscard]] bool active_at(Seconds t) const noexcept;
+
+  /// Throws PreconditionError on a non-finite or out-of-range field.
+  void validate() const;
+};
+
+/// Aggregate effect of every currently active fault, as the power and
+/// policy layers consume it. Overlapping faults of the same kind
+/// combine multiplicatively (two independent derates compound).
+struct ActiveFaults {
+  double fc_output_derate = 1.0;   ///< scales the FC's max output
+  double fuel_penalty = 1.0;       ///< multiplies fuel burned (>= 1)
+  bool fc_dropout = false;         ///< FC contributes nothing
+  double storage_derate = 1.0;     ///< scales usable buffer capacity
+  double sensor_noise_sigma = 0.0; ///< relative sigma on predictions
+  double load_scale = 1.0;         ///< multiplies the device current
+
+  [[nodiscard]] bool any() const noexcept {
+    return fc_output_derate < 1.0 || fuel_penalty > 1.0 || fc_dropout ||
+           storage_derate < 1.0 || sensor_noise_sigma > 0.0 ||
+           load_scale != 1.0;
+  }
+};
+
+/// Robustness accounting of one faulted run. The injector owns an
+/// instance; the hybrid source and the FC policies increment the parts
+/// they observe, and the simulator copies the result into
+/// SimulationResult::robustness. Everything is also mirrored into the
+/// obs metrics registry when one is attached (names under "fault.").
+struct RobustnessStats {
+  std::size_t activations = 0;      ///< fault windows entered
+  std::size_t dropouts = 0;         ///< ConverterDropout activations
+  std::size_t brownouts = 0;        ///< Brownout one-shots consumed
+  std::size_t fc_clamped_segments = 0;  ///< segments where faults cut IF
+  std::size_t reprojections = 0;    ///< policy re-projected constraints
+  std::size_t fallbacks = 0;        ///< policy fell back to safe flat IF
+  std::size_t solver_failures = 0;  ///< checked solves that failed
+  Coulomb brownout_lost{0.0};       ///< charge dumped by brownouts
+  Seconds degraded_time{0.0};       ///< simulated time with faults active
+  /// Time from the last fault clearing until the buffer recovered to
+  /// its pre-fault level (accumulated across fault episodes).
+  Seconds recovery_time{0.0};
+};
+
+}  // namespace fcdpm::fault

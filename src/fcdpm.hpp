@@ -6,6 +6,7 @@
 // Layering (each header is also individually includable):
 //   common   — units, math, solvers, RNG, CSV, contracts
 //   obs      — tracing, metrics registry, wall-clock profiling (opt-in)
+//   fault    — fault schedules/injection, robustness accounting (opt-in)
 //   fuelcell — polarization, stack, fuel/Gibbs model
 //   power    — converters, controllers, FC system, storage, hybrid
 //   dpm      — device power states, predictors, DPM policies
@@ -28,6 +29,10 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
+
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 
 #include "fuelcell/fuel_model.hpp"
 #include "fuelcell/polarization.hpp"

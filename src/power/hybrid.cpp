@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
 
 namespace fcdpm::power {
 
@@ -90,12 +91,75 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   SegmentResult result{};
   result.setpoint = if_setpoint;
 
+  // Fault side-car: advance the fault clock to the start of this
+  // segment, fire armed brownouts, enforce a faded capacity ceiling and
+  // derate/drop the FC range. All of it is skipped (and the arithmetic
+  // below untouched) when no injector is attached.
+  double fuel_penalty = 1.0;
+  double storage_derate = 1.0;
+  Ampere faulted_max = source_->max_output();
+  bool fc_dropped = false;
+  if (fault_injector_ != nullptr) {
+    const fault::ActiveFaults& faults =
+        fault_injector_->advance_to(totals_.duration);
+    const double lost_fraction = fault_injector_->consume_brownout();
+    if (lost_fraction > 0.0) {
+      const Coulomb before = storage_->charge();
+      const Coulomb lost = before * lost_fraction;
+      storage_->set_charge(before - lost);
+      fault_injector_->stats().brownout_lost += lost;
+      note_storage_level();
+      if (observer_ != nullptr) {
+        observer_->count("fault.brownouts");
+        if (observer_->metering()) {
+          observer_->count("fault.brownout_lost_As", lost.value());
+        }
+        if (observer_->tracing()) {
+          observer_->instant("fault", "storage.brownout_injected",
+                             {{"lost_As", lost.value()},
+                              {"fraction", lost_fraction}});
+        }
+      }
+    }
+    storage_derate = faults.storage_derate;
+    if (storage_derate < 1.0) {
+      // Charge held above the faded capacity is dumped into the bleeder.
+      const Coulomb faded_cap = storage_->capacity() * storage_derate;
+      const Coulomb level = storage_->charge();
+      if (level > faded_cap) {
+        storage_->set_charge(faded_cap);
+        totals_.bled += level - faded_cap;
+        note_storage_level();
+      }
+    }
+    fuel_penalty = faults.fuel_penalty;
+    fc_dropped = faults.fc_dropout;
+    if (faults.fc_output_derate < 1.0) {
+      faulted_max = max(source_->min_output(),
+                        source_->max_output() * faults.fc_output_derate);
+    }
+  }
+
   // IF == 0 idles the FC entirely; otherwise the FC can only operate
   // inside its load-following range.
-  const Ampere i_f =
+  Ampere i_f =
       (if_setpoint.value() == 0.0)
           ? Ampere(0.0)
           : clamp(if_setpoint, source_->min_output(), source_->max_output());
+  if (fault_injector_ != nullptr) {
+    const Ampere unfaulted_if = i_f;
+    if (fc_dropped) {
+      i_f = Ampere(0.0);
+    } else if (i_f > faulted_max) {
+      i_f = faulted_max;
+    }
+    if (i_f < unfaulted_if) {
+      ++fault_injector_->stats().fc_clamped_segments;
+      if (observer_ != nullptr) {
+        observer_->count("fault.fc_clamped");
+      }
+    }
+  }
   result.actual_if = i_f;
 
   if (duration.value() == 0.0) {
@@ -103,6 +167,9 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   }
 
   result.fuel = source_->fuel_current(i_f) * duration;
+  if (fuel_penalty > 1.0) {
+    result.fuel = result.fuel * fuel_penalty;
+  }
 
   // FC restart cost: idling the stack (IF = 0) is free, but bringing it
   // back up purges hydrogen.
@@ -124,6 +191,19 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
     const Coulomb surplus = (i_f - load) * duration;
     result.bled = storage_->store(surplus);
     result.stored = surplus - result.bled;
+    if (storage_derate < 1.0) {
+      // A faded buffer cannot hold charge above its derated ceiling:
+      // whatever this segment stored beyond it goes to the bleeder.
+      // (The over-cap pre-drain above guarantees excess <= stored.)
+      const Coulomb faded_cap = storage_->capacity() * storage_derate;
+      const Coulomb level = storage_->charge();
+      if (level > faded_cap) {
+        const Coulomb excess = level - faded_cap;
+        storage_->set_charge(faded_cap);
+        result.bled += excess;
+        result.stored -= excess;
+      }
+    }
   } else {
     const Coulomb deficit = (load - i_f) * duration;
     result.drawn = storage_->draw(deficit);
@@ -163,6 +243,13 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
                          {{"unserved_As", result.unserved.value()},
                           {"load_A", load.value()}});
     }
+  }
+
+  if (fault_injector_ != nullptr) {
+    // Advance the fault clock over the segment (accrues degraded time)
+    // and report the buffer level for recovery accounting.
+    (void)fault_injector_->advance_to(totals_.duration);
+    fault_injector_->note_storage(totals_.duration, storage_->fraction());
   }
   return result;
 }

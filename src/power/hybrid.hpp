@@ -14,6 +14,10 @@
 #include "power/fc_system.hpp"
 #include "power/storage.hpp"
 
+namespace fcdpm::fault {
+class FaultInjector;
+}
+
 namespace fcdpm::power {
 
 /// Fuel-side abstraction the hybrid source integrates against: maps a
@@ -153,6 +157,18 @@ class HybridPowerSource {
     return observer_;
   }
 
+  /// Attach (or detach with nullptr) a fault injector: every segment
+  /// then advances the fault clock on the accumulated duration, applies
+  /// active derates/dropouts/brownouts, and reports the storage level
+  /// for recovery accounting. Not owned; nullptr keeps the run
+  /// bit-identical to a build without the fault subsystem.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    fault_injector_ = injector;
+  }
+  [[nodiscard]] fault::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_;
+  }
+
  private:
   std::unique_ptr<FuelSource> source_;
   std::unique_ptr<ChargeStorage> storage_;
@@ -163,6 +179,7 @@ class HybridPowerSource {
   std::size_t startups_ = 0;
   bool fc_running_ = true;
   obs::Context* observer_ = nullptr;
+  fault::FaultInjector* fault_injector_ = nullptr;
 
   void note_storage_level();
 };

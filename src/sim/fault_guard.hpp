@@ -1,0 +1,46 @@
+// Internal to the simulators: attach the run's fault injector to the
+// hybrid source and its robustness accounting to the FC policy, and
+// restore whatever was attached before once the run returns. Exception
+// safe, mirroring ObserverGuard.
+#pragma once
+
+#include "core/fc_policy.hpp"
+#include "fault/injector.hpp"
+#include "power/hybrid.hpp"
+
+namespace fcdpm::sim {
+
+class FaultGuard {
+ public:
+  FaultGuard(fault::FaultInjector* injector, core::FcOutputPolicy& fc_policy,
+             power::HybridPowerSource& hybrid) noexcept
+      : active_(injector != nullptr),
+        fc_(fc_policy),
+        hybrid_(hybrid),
+        prev_stats_(fc_policy.fault_stats()),
+        prev_injector_(hybrid.fault_injector()) {
+    if (active_) {
+      fc_.set_fault_stats(&injector->stats());
+      hybrid_.set_fault_injector(injector);
+    }
+  }
+
+  ~FaultGuard() {
+    if (active_) {
+      fc_.set_fault_stats(prev_stats_);
+      hybrid_.set_fault_injector(prev_injector_);
+    }
+  }
+
+  FaultGuard(const FaultGuard&) = delete;
+  FaultGuard& operator=(const FaultGuard&) = delete;
+
+ private:
+  bool active_;
+  core::FcOutputPolicy& fc_;
+  power::HybridPowerSource& hybrid_;
+  fault::RobustnessStats* prev_stats_;
+  fault::FaultInjector* prev_injector_;
+};
+
+}  // namespace fcdpm::sim

@@ -7,6 +7,7 @@
 
 #include "common/units.hpp"
 #include "dpm/predictors.hpp"
+#include "fault/fault.hpp"
 #include "power/hybrid.hpp"
 #include "sim/recorder.hpp"
 
@@ -44,6 +45,10 @@ struct SimulationResult {
   std::optional<dpm::PredictionAccuracy> idle_accuracy;
   std::vector<SlotRecord> slot_records;
   std::optional<ProfileRecorder> profiles;
+
+  /// Robustness accounting of the run; present iff a fault injector was
+  /// attached (even an empty schedule yields zeroed stats).
+  std::optional<fault::RobustnessStats> robustness;
 
   /// The paper's headline metric: fuel consumed, in stack A-s.
   [[nodiscard]] Coulomb fuel() const { return totals.fuel; }

@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
 #include "obs/profiler.hpp"
+#include "sim/fault_guard.hpp"
 #include "sim/observer_guard.hpp"
 
 namespace fcdpm::sim {
@@ -112,6 +114,16 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       (obs != nullptr && obs->tracing()) ? obs : nullptr;
   obs::Profiler* profiler = obs != nullptr ? obs->profiler() : nullptr;
   const ObserverGuard observer_guard(obs, dpm_policy, fc_policy, hybrid);
+
+  // Fault side-car: reset the injector's clock at run start unless this
+  // run continues a previous pass (lifetime measurement), in which case
+  // the fault timeline spans the passes.
+  fault::FaultInjector* faults = options.faults;
+  if (faults != nullptr && !options.preserve_source_state) {
+    faults->reset();
+  }
+  const FaultGuard fault_guard(faults, fc_policy, hybrid);
+
   const obs::ProfileScope profile(profiler, "sim.simulate");
   if (trace_obs != nullptr) {
     trace_obs->span_begin("sim", "simulate",
@@ -120,10 +132,25 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
 
   for (std::size_t k = 0; k < trace.size(); ++k) {
     const wl::TaskSlot& slot = trace[k];
-    const Ampere run_current = slot.active_power / device.bus_voltage;
+    Ampere run_current = slot.active_power / device.bus_voltage;
     const Seconds active_eff = device.standby_to_run_delay + slot.active +
                                device.run_to_standby_delay;
     const Coulomb fuel_before = hybrid.totals().fuel;
+
+    // Faults visible at slot start: a load spike makes the device draw
+    // more than the trace says (the policies are NOT told — they plan
+    // against the nominal current, which is the point of the exercise).
+    Coulomb usable_capacity = capacity;
+    if (faults != nullptr) {
+      const fault::ActiveFaults& af =
+          faults->advance_to(hybrid.totals().duration);
+      if (af.load_scale != 1.0) {
+        run_current = run_current * af.load_scale;
+      }
+      if (af.storage_derate < 1.0) {
+        usable_capacity = capacity * af.storage_derate;
+      }
+    }
 
     if (obs != nullptr) {
       if (trace_obs != nullptr) {
@@ -154,10 +181,23 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     idle_context.idle_current = plan.slept ? device.sleep_current()
                                            : device.standby_current();
     idle_context.storage_charge = hybrid.storage().charge();
-    idle_context.storage_capacity = capacity;
+    idle_context.storage_capacity = usable_capacity;
     idle_context.actual_idle = slot.idle;
     idle_context.actual_active = active_eff;
     idle_context.actual_active_current = run_current;
+    if (faults != nullptr) {
+      const fault::ActiveFaults& af = faults->active();
+      if (af.sensor_noise_sigma > 0.0) {
+        // Perturb the predictor's output (the sensor chain, not the
+        // predictor state) with a deterministic relative noise draw.
+        idle_context.predicted_idle =
+            max(Seconds(0.01),
+                idle_context.predicted_idle *
+                    (1.0 + faults->noise(af.sensor_noise_sigma)));
+      }
+      idle_context.fc_output_derate = af.fc_output_derate;
+      idle_context.fc_available = !af.fc_dropout;
+    }
     fc_policy.on_idle_start(idle_context);
 
     Coulomb if_dt_idle{0.0};
@@ -167,7 +207,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       context.state = segment.state;
       context.device_current = segment.current;
       context.storage_charge = hybrid.storage().charge();
-      context.storage_capacity = capacity;
+      context.storage_capacity = usable_capacity;
       const char* segment_name =
           (segment.state == dpm::PowerState::Standby) ? "standby" : "sleep";
       if (trace_obs != nullptr) {
@@ -191,7 +231,17 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     active_context.active_duration = active_eff;
     active_context.active_current = run_current;
     active_context.storage_charge = hybrid.storage().charge();
-    active_context.storage_capacity = capacity;
+    active_context.storage_capacity = usable_capacity;
+    if (faults != nullptr) {
+      // The active set may have shifted during the idle phase.
+      const fault::ActiveFaults& af =
+          faults->advance_to(hybrid.totals().duration);
+      active_context.fc_output_derate = af.fc_output_derate;
+      active_context.fc_available = !af.fc_dropout;
+      if (af.storage_derate < 1.0) {
+        active_context.storage_capacity = capacity * af.storage_derate;
+      }
+    }
     fc_policy.on_active_start(active_context);
 
     core::SegmentContext context;
@@ -199,7 +249,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     context.state = dpm::PowerState::Run;
     context.device_current = run_current;
     context.storage_charge = hybrid.storage().charge();
-    context.storage_capacity = capacity;
+    context.storage_capacity = usable_capacity;
     Coulomb if_dt_active{0.0};
     if (trace_obs != nullptr) {
       trace_obs->span_begin("sim", "active",
@@ -253,6 +303,17 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   result.storage_end = hybrid.storage().charge();
   result.storage_min = hybrid.min_storage_seen();
   result.storage_max = hybrid.max_storage_seen();
+
+  if (faults != nullptr) {
+    (void)faults->advance_to(hybrid.totals().duration);
+    result.robustness = faults->stats();
+    if (obs != nullptr && obs->metering()) {
+      obs->gauge("fault.degraded_s",
+                 result.robustness->degraded_time.value());
+      obs->gauge("fault.recovery_s",
+                 result.robustness->recovery_time.value());
+    }
+  }
 
   if (const auto* predictive =
           dynamic_cast<const dpm::PredictiveDpmPolicy*>(&dpm_policy)) {

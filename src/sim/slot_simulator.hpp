@@ -17,6 +17,10 @@
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
 
+namespace fcdpm::fault {
+class FaultInjector;
+}
+
 namespace fcdpm::sim {
 
 struct SimulationOptions {
@@ -41,6 +45,14 @@ struct SimulationOptions {
   /// nullptr (the default) keeps the hot path allocation-free and the
   /// results bit-identical.
   obs::Context* observer = nullptr;
+  /// Opt-in fault injection. The simulator resets the injector at run
+  /// start (unless preserve_source_state continues a previous pass, so
+  /// the fault timeline spans passes), attaches it to the hybrid source
+  /// and the FC policy for the duration of the run, and copies its
+  /// RobustnessStats into SimulationResult::robustness. Not owned.
+  /// nullptr (the default) keeps results bit-identical to a build
+  /// without the fault subsystem.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// Simulate `trace` with the given policies over `hybrid`. The policies

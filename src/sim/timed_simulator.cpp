@@ -1,7 +1,9 @@
 #include "sim/timed_simulator.hpp"
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
 #include "obs/profiler.hpp"
+#include "sim/fault_guard.hpp"
 #include "sim/observer_guard.hpp"
 
 namespace fcdpm::sim {
@@ -72,6 +74,13 @@ SimulationResult simulate_timed(const wl::Trace& trace,
   obs::Context* trace_obs =
       (obs != nullptr && obs->tracing()) ? obs : nullptr;
   const ObserverGuard observer_guard(obs, dpm_policy, fc_policy, hybrid);
+
+  fault::FaultInjector* faults = options.faults;
+  if (faults != nullptr) {
+    faults->reset();
+  }
+  const FaultGuard fault_guard(faults, fc_policy, hybrid);
+
   const obs::ProfileScope profile(
       obs != nullptr ? obs->profiler() : nullptr, "sim.simulate_timed");
   if (trace_obs != nullptr) {
@@ -82,12 +91,24 @@ SimulationResult simulate_timed(const wl::Trace& trace,
 
   for (std::size_t k = 0; k < trace.size(); ++k) {
     const wl::TaskSlot& slot = trace[k];
-    const Ampere run_current = slot.active_power / device.bus_voltage;
+    Ampere run_current = slot.active_power / device.bus_voltage;
     const Seconds active_eff = device.standby_to_run_delay + slot.active +
                                device.run_to_standby_delay;
 
     const Coulomb fuel_before = hybrid.totals().fuel;
     const Joule delivered_before = hybrid.totals().delivered_energy;
+
+    Coulomb usable_capacity = capacity;
+    if (faults != nullptr) {
+      const fault::ActiveFaults& af =
+          faults->advance_to(hybrid.totals().duration);
+      if (af.load_scale != 1.0) {
+        run_current = run_current * af.load_scale;
+      }
+      if (af.storage_derate < 1.0) {
+        usable_capacity = capacity * af.storage_derate;
+      }
+    }
 
     dpm::IdlePlan plan = dpm_policy.plan_idle(slot.idle);
     if (plan.slept) {
@@ -102,10 +123,21 @@ SimulationResult simulate_timed(const wl::Trace& trace,
     idle_context.idle_current = plan.slept ? device.sleep_current()
                                            : device.standby_current();
     idle_context.storage_charge = hybrid.storage().charge();
-    idle_context.storage_capacity = capacity;
+    idle_context.storage_capacity = usable_capacity;
     idle_context.actual_idle = slot.idle;
     idle_context.actual_active = active_eff;
     idle_context.actual_active_current = run_current;
+    if (faults != nullptr) {
+      const fault::ActiveFaults& af = faults->active();
+      if (af.sensor_noise_sigma > 0.0) {
+        idle_context.predicted_idle =
+            max(Seconds(0.01),
+                idle_context.predicted_idle *
+                    (1.0 + faults->noise(af.sensor_noise_sigma)));
+      }
+      idle_context.fc_output_derate = af.fc_output_derate;
+      idle_context.fc_available = !af.fc_dropout;
+    }
     fc_policy.on_idle_start(idle_context);
 
     if (obs != nullptr) {
@@ -121,7 +153,7 @@ SimulationResult simulate_timed(const wl::Trace& trace,
       context.phase = core::Phase::Idle;
       context.state = segment.state;
       context.device_current = segment.current;
-      context.storage_capacity = capacity;
+      context.storage_capacity = usable_capacity;
       run_stepped(hybrid, fc_policy, context, segment.duration, dt,
                   trace_obs);
     }
@@ -134,14 +166,23 @@ SimulationResult simulate_timed(const wl::Trace& trace,
     active_context.active_duration = active_eff;
     active_context.active_current = run_current;
     active_context.storage_charge = hybrid.storage().charge();
-    active_context.storage_capacity = capacity;
+    active_context.storage_capacity = usable_capacity;
+    if (faults != nullptr) {
+      const fault::ActiveFaults& af =
+          faults->advance_to(hybrid.totals().duration);
+      active_context.fc_output_derate = af.fc_output_derate;
+      active_context.fc_available = !af.fc_dropout;
+      if (af.storage_derate < 1.0) {
+        active_context.storage_capacity = capacity * af.storage_derate;
+      }
+    }
     fc_policy.on_active_start(active_context);
 
     core::SegmentContext context;
     context.phase = core::Phase::Active;
     context.state = dpm::PowerState::Run;
     context.device_current = run_current;
-    context.storage_capacity = capacity;
+    context.storage_capacity = usable_capacity;
     if (trace_obs != nullptr) {
       trace_obs->span_begin("sim", "active",
                             {{"duration_s", active_eff.value()},
@@ -175,6 +216,17 @@ SimulationResult simulate_timed(const wl::Trace& trace,
   result.storage_end = hybrid.storage().charge();
   result.storage_min = hybrid.min_storage_seen();
   result.storage_max = hybrid.max_storage_seen();
+
+  if (faults != nullptr) {
+    (void)faults->advance_to(hybrid.totals().duration);
+    result.robustness = faults->stats();
+    if (obs != nullptr && obs->metering()) {
+      obs->gauge("fault.degraded_s",
+                 result.robustness->degraded_time.value());
+      obs->gauge("fault.recovery_s",
+                 result.robustness->recovery_time.value());
+    }
+  }
   return result;
 }
 

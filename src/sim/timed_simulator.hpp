@@ -12,6 +12,10 @@
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
 
+namespace fcdpm::fault {
+class FaultInjector;
+}
+
 namespace fcdpm::sim {
 
 struct TimedOptions {
@@ -23,6 +27,9 @@ struct TimedOptions {
   /// the context's simulated clock per step but emits counter samples
   /// only per segment. Not owned.
   obs::Context* observer = nullptr;
+  /// Opt-in fault injection, as in SimulationOptions (always reset at
+  /// run start — the timed simulator has no multi-pass mode). Not owned.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// dt-stepped counterpart of sim::simulate().

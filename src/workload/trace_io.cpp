@@ -1,6 +1,7 @@
 #include "workload/trace_io.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -36,14 +37,24 @@ Trace load_trace(std::istream& in, const std::string& name) {
   const std::size_t active_col = doc.column("active_s");
   const std::size_t power_col = doc.column("active_w");
 
+  // Errors cite the source line of the offending row (read_csv skips
+  // blank and comment lines, so the row index alone is not enough).
+  const auto where = [&](std::size_t row) {
+    const std::size_t line = doc.line_of(row);
+    return "trace " + name +
+           (line > 0 ? " line " + std::to_string(line)
+                     : " row " + std::to_string(row));
+  };
+
   Trace trace(name, {});
   for (std::size_t k = 0; k < doc.rows.size(); ++k) {
     const CsvRow& row = doc.rows[k];
     const std::size_t needed =
         std::max({idle_col, active_col, power_col}) + 1;
     if (row.size() < needed) {
-      throw CsvError("trace row " + std::to_string(k) +
-                     " has too few fields");
+      throw CsvError(where(k) + ": too few fields (need " +
+                     std::to_string(needed) + ", got " +
+                     std::to_string(row.size()) + ")");
     }
     double idle = 0.0;
     double active = 0.0;
@@ -51,8 +62,16 @@ Trace load_trace(std::istream& in, const std::string& name) {
     if (!parse_double(row[idle_col], idle) ||
         !parse_double(row[active_col], active) ||
         !parse_double(row[power_col], power)) {
-      throw CsvError("trace row " + std::to_string(k) +
-                     " has non-numeric fields");
+      throw CsvError(where(k) + ": non-numeric field");
+    }
+    if (!std::isfinite(idle) || !std::isfinite(active) ||
+        !std::isfinite(power)) {
+      throw CsvError(where(k) + ": non-finite field");
+    }
+    if (idle < 0.0 || active <= 0.0 || power <= 0.0) {
+      throw CsvError(where(k) +
+                     ": durations must be non-negative (active > 0) and "
+                     "active power positive");
     }
     trace.append({Seconds(idle), Seconds(active), Watt(power)});
   }

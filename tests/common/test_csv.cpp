@@ -94,6 +94,30 @@ TEST(CsvFile, MissingFileThrows) {
   EXPECT_THROW(write_csv_file("/nonexistent/dir/nope.csv", doc), CsvError);
 }
 
+TEST(CsvLines, RowsRememberTheirSourceLine) {
+  // Comments and blank lines shift physical line numbers away from row
+  // indices; line_of() lets loaders cite the real line in errors.
+  std::istringstream in(
+      "a,b\n"
+      "# comment\n"
+      "1,2\n"
+      "\n"
+      "3,4\n");
+  const CsvDocument doc = read_csv(in, true);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.line_of(0), 3u);
+  EXPECT_EQ(doc.line_of(1), 5u);
+  EXPECT_EQ(doc.line_of(99), 0u);  // out of range: unknown line
+}
+
+TEST(CsvLines, HeaderlessDocumentsStartAtLineOne) {
+  std::istringstream in("1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in, false);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.line_of(0), 1u);
+  EXPECT_EQ(doc.line_of(1), 2u);
+}
+
 TEST(CsvFile, RoundTripThroughDisk) {
   const std::string path = ::testing::TempDir() + "/fcdpm_csv_test.csv";
   CsvDocument doc;

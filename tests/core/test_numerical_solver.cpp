@@ -1,0 +1,127 @@
+#include "core/numerical_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/slot_optimizer.hpp"
+
+namespace fcdpm::core {
+namespace {
+
+NumericalSlotSolver paper_solver() {
+  return NumericalSlotSolver(power::LinearEfficiencyModel::paper_default());
+}
+
+SlotLoad motivational_load() {
+  return {Seconds(20.0), Ampere(0.2), Seconds(10.0), Ampere(1.2)};
+}
+
+StorageBounds big_storage() {
+  return {Coulomb(0.0), Coulomb(0.0), Coulomb(200.0)};
+}
+
+TEST(NumericalSolver, AgreesWithClosedFormAndReportsConvergence) {
+  const NumericalSlotResult r =
+      paper_solver().solve(motivational_load(), big_storage());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.status, SolveStatus::Ok);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LT(r.iterations, 400);  // well under the cap
+
+  const SlotSetting closed =
+      SlotOptimizer(power::LinearEfficiencyModel::paper_default())
+          .solve(motivational_load(), big_storage());
+  EXPECT_NEAR(r.if_idle.value(), closed.if_idle.value(), 1e-4);
+  EXPECT_NEAR(r.fuel.value(), closed.fuel.value(), 1e-3);
+}
+
+TEST(NumericalSolver, NonPositivePhasesAreInvalidInputNotAThrow) {
+  const NumericalSlotSolver solver = paper_solver();
+  SlotLoad load = motivational_load();
+  load.idle = Seconds(-1.0);
+  NumericalSlotResult r;
+  ASSERT_NO_THROW(r = solver.solve(load, big_storage()));
+  EXPECT_EQ(r.status, SolveStatus::InvalidInput);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.if_idle.value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.fuel.value(), 0.0);
+}
+
+TEST(NumericalSolver, NonFiniteInputsAreInvalidInputNotAThrow) {
+  const NumericalSlotSolver solver = paper_solver();
+  SlotLoad load = motivational_load();
+  load.active_current = Ampere(std::nan(""));
+  NumericalSlotResult r;
+  ASSERT_NO_THROW(r = solver.solve(load, big_storage()));
+  EXPECT_EQ(r.status, SolveStatus::InvalidInput);
+
+  StorageBounds storage = big_storage();
+  storage.initial = Coulomb(std::numeric_limits<double>::infinity());
+  ASSERT_NO_THROW(r = solver.solve(motivational_load(), storage));
+  EXPECT_EQ(r.status, SolveStatus::InvalidInput);
+}
+
+TEST(CheckedSlotOptimizer, OkPathIsBitIdenticalToThrowingSolve) {
+  const SlotOptimizer opt(power::LinearEfficiencyModel::paper_default());
+  const SlotSetting plain = opt.solve(motivational_load(), big_storage());
+  const CheckedSetting checked =
+      opt.solve_checked(motivational_load(), big_storage());
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.setting.if_idle.value(), plain.if_idle.value());
+  EXPECT_EQ(checked.setting.if_active.value(), plain.if_active.value());
+  EXPECT_EQ(checked.setting.fuel.value(), plain.fuel.value());
+  EXPECT_EQ(checked.setting.expected_end.value(),
+            plain.expected_end.value());
+}
+
+TEST(CheckedSlotOptimizer, PreconditionViolationsBecomeStatusCodes) {
+  const SlotOptimizer opt(power::LinearEfficiencyModel::paper_default());
+  // Negative capacity trips an FCDPM_EXPECTS inside solve(); the checked
+  // wrapper reports it instead of letting it escape.
+  const StorageBounds bad{Coulomb(1.0), Coulomb(0.0), Coulomb(-5.0)};
+  CheckedSetting checked;
+  ASSERT_NO_THROW(checked = opt.solve_checked(motivational_load(), bad));
+  EXPECT_EQ(checked.status, SolveStatus::InvalidInput);
+  EXPECT_FALSE(checked.ok());
+  EXPECT_DOUBLE_EQ(checked.setting.if_idle.value(), 0.0);
+}
+
+TEST(CheckedSlotOptimizer, NonFiniteInputsReportNonFinite) {
+  const SlotOptimizer opt(power::LinearEfficiencyModel::paper_default());
+  SlotLoad load = motivational_load();
+  load.idle_current = Ampere(std::nan(""));
+  CheckedSetting checked;
+  ASSERT_NO_THROW(checked = opt.solve_checked(load, big_storage()));
+  EXPECT_EQ(checked.status, SolveStatus::NonFinite);
+
+  Seconds duration(10.0);
+  CheckedSetting active = opt.solve_active_only_checked(
+      duration, Coulomb(std::nan("")),
+      {Coulomb(0.0), Coulomb(0.0), Coulomb(200.0)});
+  EXPECT_EQ(active.status, SolveStatus::NonFinite);
+}
+
+TEST(CheckedSlotOptimizer, ActiveOnlyOkPathMatchesThrowingSolve) {
+  const SlotOptimizer opt(power::LinearEfficiencyModel::paper_default());
+  const StorageBounds storage{Coulomb(3.0), Coulomb(3.0), Coulomb(6.0)};
+  const SlotSetting plain =
+      opt.solve_active_only(Seconds(10.0), Coulomb(12.0), storage);
+  const CheckedSetting checked =
+      opt.solve_active_only_checked(Seconds(10.0), Coulomb(12.0), storage);
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(checked.setting.if_active.value(), plain.if_active.value());
+  EXPECT_EQ(checked.setting.fuel.value(), plain.fuel.value());
+}
+
+TEST(SolveStatusNames, AreStable) {
+  EXPECT_STREQ(to_string(SolveStatus::Ok), "ok");
+  EXPECT_STREQ(to_string(SolveStatus::InvalidInput), "invalid_input");
+  EXPECT_STREQ(to_string(SolveStatus::NonFinite), "non_finite");
+}
+
+}  // namespace
+}  // namespace fcdpm::core

@@ -1,0 +1,144 @@
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/schedule.hpp"
+
+namespace fcdpm::fault {
+namespace {
+
+FaultInjector make(const std::string& spec) {
+  return FaultInjector(FaultSchedule::parse(spec));
+}
+
+TEST(FaultInjector, WindowEntryAndExit) {
+  FaultInjector inj = make("converter_dropout@100:50");
+  EXPECT_FALSE(inj.any_active());
+
+  const ActiveFaults& at_110 = inj.advance_to(Seconds(110.0));
+  EXPECT_TRUE(at_110.fc_dropout);
+  EXPECT_TRUE(inj.any_active());
+  EXPECT_EQ(inj.stats().activations, 1u);
+  EXPECT_EQ(inj.stats().dropouts, 1u);
+
+  const ActiveFaults& at_200 = inj.advance_to(Seconds(200.0));
+  EXPECT_FALSE(at_200.fc_dropout);
+  EXPECT_FALSE(inj.any_active());
+  // Entering the window is counted once, not per advance_to call.
+  EXPECT_EQ(inj.stats().activations, 1u);
+}
+
+TEST(FaultInjector, OverlappingDeratesCompoundMultiplicatively) {
+  FaultInjector inj = make(
+      "fuel_starvation@0:100x0.5,fuel_starvation@0:100x0.5,"
+      "stack_degradation@0:100x0.8,dcdc_drop@0:100x0.8,"
+      "load_spike@0:100x1.5,load_spike@0:100x2.0");
+  const ActiveFaults& active = inj.advance_to(Seconds(10.0));
+  EXPECT_DOUBLE_EQ(active.fc_output_derate, 0.25);
+  EXPECT_DOUBLE_EQ(active.fuel_penalty, 1.0 / 0.8 / 0.8);
+  EXPECT_DOUBLE_EQ(active.load_scale, 3.0);
+}
+
+TEST(FaultInjector, FaultAtTimeZeroIsActiveImmediately) {
+  FaultInjector inj = make("storage_fade@0x0.5");
+  // reset() (run by the constructor) establishes the t=0 active set.
+  EXPECT_TRUE(inj.any_active());
+  EXPECT_DOUBLE_EQ(inj.active().storage_derate, 0.5);
+}
+
+TEST(FaultInjector, BrownoutFiresExactlyOnce) {
+  FaultInjector inj = make("brownout@100x0.5");
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.0);
+
+  (void)inj.advance_to(Seconds(99.0));
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.0);
+
+  (void)inj.advance_to(Seconds(100.0));
+  EXPECT_FALSE(inj.any_active());  // one-shots are never "active"
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.5);
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.0);  // consumed
+  EXPECT_EQ(inj.stats().brownouts, 1u);
+
+  (void)inj.advance_to(Seconds(200.0));
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.0);
+  EXPECT_EQ(inj.stats().brownouts, 1u);
+}
+
+TEST(FaultInjector, SimultaneousBrownoutsCompoundLostFractions) {
+  FaultInjector inj = make("brownout@100x0.5,brownout@100x0.5");
+  (void)inj.advance_to(Seconds(150.0));
+  // Losing half twice leaves a quarter: combined loss is 75 %.
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.75);
+  EXPECT_EQ(inj.stats().brownouts, 2u);
+}
+
+TEST(FaultInjector, ClockIsMonotone) {
+  FaultInjector inj = make("load_spike@100:50x1.5");
+  (void)inj.advance_to(Seconds(120.0));
+  EXPECT_TRUE(inj.any_active());
+  // Going backwards clamps to the current clock: still active.
+  (void)inj.advance_to(Seconds(0.0));
+  EXPECT_TRUE(inj.any_active());
+}
+
+TEST(FaultInjector, DegradedTimeAccruesOverActiveIntervals) {
+  FaultInjector inj = make("load_spike@100:50x1.5");
+  (void)inj.advance_to(Seconds(100.0));  // window entered, 0 s elapsed
+  (void)inj.advance_to(Seconds(130.0));  // 30 s degraded
+  (void)inj.advance_to(Seconds(150.0));  // 20 s degraded, window ends
+  (void)inj.advance_to(Seconds(400.0));  // healthy stretch
+  EXPECT_NEAR(inj.stats().degraded_time.value(), 50.0, 1e-12);
+}
+
+TEST(FaultInjector, RecoveryTimeMeasuredFromClearToPrefaultLevel) {
+  FaultInjector inj = make("converter_dropout@100:50");
+  inj.note_storage(Seconds(50.0), 0.9);    // pre-fault level
+  (void)inj.advance_to(Seconds(120.0));    // episode running
+  inj.note_storage(Seconds(120.0), 0.4);   // buffer drained by the fault
+  (void)inj.advance_to(Seconds(150.0));    // fault cleared: clock starts
+  inj.note_storage(Seconds(160.0), 0.6);   // still below 0.9
+  EXPECT_DOUBLE_EQ(inj.stats().recovery_time.value(), 0.0);
+  inj.note_storage(Seconds(180.0), 0.9);   // recovered
+  EXPECT_NEAR(inj.stats().recovery_time.value(), 30.0, 1e-12);
+  // A later healthy report must not extend the closed episode.
+  inj.note_storage(Seconds(500.0), 0.95);
+  EXPECT_NEAR(inj.stats().recovery_time.value(), 30.0, 1e-12);
+}
+
+TEST(FaultInjector, NoiseIsDeterministicPerSchedule) {
+  FaultInjector a = make("sensor_noise@0:100x0.2");
+  FaultInjector b = make("sensor_noise@0:100x0.2");
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(a.noise(0.2), b.noise(0.2));
+  }
+  // sigma <= 0 draws nothing and consumes no engine state.
+  EXPECT_DOUBLE_EQ(a.noise(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.noise(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(a.noise(0.2), b.noise(0.2));
+}
+
+TEST(FaultInjector, ResetRestoresPristineState) {
+  FaultInjector inj = make("brownout@100x0.5,load_spike@50:500x2.0");
+  (void)inj.advance_to(Seconds(60.0));
+  (void)inj.advance_to(Seconds(300.0));
+  EXPECT_TRUE(inj.any_active());
+  EXPECT_GT(inj.stats().degraded_time.value(), 0.0);
+  const double first_draw = inj.noise(0.2);
+
+  inj.reset();
+  EXPECT_FALSE(inj.any_active());
+  EXPECT_EQ(inj.stats().activations, 0u);
+  EXPECT_EQ(inj.stats().brownouts, 0u);
+  EXPECT_DOUBLE_EQ(inj.stats().degraded_time.value(), 0.0);
+  EXPECT_DOUBLE_EQ(inj.consume_brownout(), 0.0);
+  // Same clock replay gives the same noise stream.
+  EXPECT_DOUBLE_EQ(inj.noise(0.2), first_draw);
+}
+
+TEST(FaultInjector, SensorNoiseSigmasAddInVariance) {
+  FaultInjector inj = make("sensor_noise@0:10x0.3,sensor_noise@0:10x0.4");
+  EXPECT_NEAR(inj.active().sensor_noise_sigma, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace fcdpm::fault

@@ -1,0 +1,186 @@
+#include "fault/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+
+namespace fcdpm::fault {
+namespace {
+
+TEST(FaultKindNames, RoundTripThroughStrings) {
+  const FaultKind kinds[] = {
+      FaultKind::StackDegradation, FaultKind::FuelStarvation,
+      FaultKind::DcdcEfficiencyDrop, FaultKind::ConverterDropout,
+      FaultKind::StorageFade, FaultKind::Brownout,
+      FaultKind::SensorNoise, FaultKind::LoadSpike};
+  for (const FaultKind kind : kinds) {
+    FaultKind parsed = FaultKind::Brownout;
+    ASSERT_TRUE(parse_fault_kind(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind unused;
+  EXPECT_FALSE(parse_fault_kind("meteor_strike", unused));
+}
+
+TEST(FaultEventValidate, RejectsOutOfRangeMagnitudes) {
+  FaultEvent event;
+  event.kind = FaultKind::StackDegradation;
+  event.start = Seconds(10.0);
+  event.magnitude = 0.8;
+  EXPECT_NO_THROW(event.validate());
+
+  event.magnitude = 0.0;  // derate kinds need (0, 1]
+  EXPECT_THROW(event.validate(), PreconditionError);
+  event.magnitude = 1.5;
+  EXPECT_THROW(event.validate(), PreconditionError);
+
+  event.kind = FaultKind::Brownout;
+  event.magnitude = 1.0;  // a brownout may lose everything
+  EXPECT_NO_THROW(event.validate());
+  event.magnitude = 1.2;
+  EXPECT_THROW(event.validate(), PreconditionError);
+
+  event.kind = FaultKind::LoadSpike;
+  event.magnitude = 0.5;  // spikes only increase the load
+  EXPECT_THROW(event.validate(), PreconditionError);
+  event.magnitude = 1.8;
+  EXPECT_NO_THROW(event.validate());
+
+  event.start = Seconds(-1.0);
+  EXPECT_THROW(event.validate(), PreconditionError);
+}
+
+TEST(FaultEventActivity, WindowAndPermanentSemantics) {
+  FaultEvent windowed{FaultKind::LoadSpike, Seconds(100.0), Seconds(50.0),
+                      1.5};
+  EXPECT_FALSE(windowed.active_at(Seconds(99.0)));
+  EXPECT_TRUE(windowed.active_at(Seconds(100.0)));
+  EXPECT_TRUE(windowed.active_at(Seconds(149.0)));
+  EXPECT_FALSE(windowed.active_at(Seconds(150.0)));
+
+  FaultEvent permanent{FaultKind::StorageFade, Seconds(100.0), Seconds(0.0),
+                       0.7};
+  EXPECT_TRUE(permanent.active_at(Seconds(1e9)));
+
+  // Brownouts are one-shots, never "active".
+  FaultEvent shot{FaultKind::Brownout, Seconds(100.0), Seconds(0.0), 0.5};
+  EXPECT_FALSE(shot.active_at(Seconds(100.0)));
+}
+
+TEST(FaultScheduleSpec, ParsesTheDocumentedGrammar) {
+  const FaultSchedule s = FaultSchedule::parse(
+      "converter_dropout@120:30,brownout@400x0.5;"
+      "load_spike@600:120x1.8,storage_fade@100x0.7");
+  ASSERT_EQ(s.size(), 4u);
+  // add() orders by start time.
+  EXPECT_EQ(s.events()[0].kind, FaultKind::StorageFade);
+  EXPECT_DOUBLE_EQ(s.events()[0].start.value(), 100.0);
+  EXPECT_DOUBLE_EQ(s.events()[0].duration.value(), 0.0);  // permanent
+  EXPECT_DOUBLE_EQ(s.events()[0].magnitude, 0.7);
+  EXPECT_EQ(s.events()[1].kind, FaultKind::ConverterDropout);
+  EXPECT_DOUBLE_EQ(s.events()[1].duration.value(), 30.0);
+  EXPECT_EQ(s.events()[2].kind, FaultKind::Brownout);
+  EXPECT_DOUBLE_EQ(s.events()[2].magnitude, 0.5);
+  EXPECT_EQ(s.events()[3].kind, FaultKind::LoadSpike);
+  EXPECT_DOUBLE_EQ(s.events()[3].magnitude, 1.8);
+}
+
+TEST(FaultScheduleSpec, MalformedTokensNameTheToken) {
+  try {
+    (void)FaultSchedule::parse("converter_dropout");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("converter_dropout"),
+              std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)FaultSchedule::parse("meteor@10"), PreconditionError);
+  EXPECT_THROW((void)FaultSchedule::parse("brownout@abc"),
+               PreconditionError);
+  EXPECT_THROW((void)FaultSchedule::parse("brownout@10x2.0"),
+               PreconditionError);
+}
+
+TEST(FaultScheduleSpec, ToSpecRoundTrips) {
+  const FaultSchedule original = FaultSchedule::parse(
+      "converter_dropout@120:30,brownout@400x0.5,load_spike@600:120x1.8");
+  const FaultSchedule reparsed = FaultSchedule::parse(original.to_spec());
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    EXPECT_EQ(reparsed.events()[k].kind, original.events()[k].kind);
+    EXPECT_DOUBLE_EQ(reparsed.events()[k].start.value(),
+                     original.events()[k].start.value());
+    EXPECT_DOUBLE_EQ(reparsed.events()[k].magnitude,
+                     original.events()[k].magnitude);
+  }
+}
+
+TEST(FaultScheduleCsv, SaveLoadRoundTrips) {
+  const FaultSchedule original = FaultSchedule::parse(
+      "storage_fade@100x0.7,converter_dropout@120:30,brownout@400x0.5");
+  std::ostringstream out;
+  original.save(out);
+
+  std::istringstream in(out.str());
+  const FaultSchedule loaded = FaultSchedule::load(in, "roundtrip");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    EXPECT_EQ(loaded.events()[k].kind, original.events()[k].kind);
+    EXPECT_DOUBLE_EQ(loaded.events()[k].start.value(),
+                     original.events()[k].start.value());
+    EXPECT_DOUBLE_EQ(loaded.events()[k].duration.value(),
+                     original.events()[k].duration.value());
+    EXPECT_DOUBLE_EQ(loaded.events()[k].magnitude,
+                     original.events()[k].magnitude);
+  }
+}
+
+TEST(FaultScheduleCsv, ErrorsCiteTheSourceLine) {
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "storage_fade,100,0,0.7\n"
+      "storage_fade,100,0,nope\n");
+  try {
+    (void)FaultSchedule::load(in, "bad");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FaultScheduleCsv, RejectsDecreasingStartTimes) {
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "storage_fade,100,0,0.7\n"
+      "brownout,50,0,0.5\n");
+  EXPECT_THROW((void)FaultSchedule::load(in, "unordered"), CsvError);
+}
+
+TEST(FaultScheduleStorm, DeterministicInTheSeed) {
+  const Seconds horizon(1000.0);
+  const FaultSchedule a = FaultSchedule::random_storm(42, 16, horizon);
+  const FaultSchedule b = FaultSchedule::random_storm(42, 16, horizon);
+  const FaultSchedule c = FaultSchedule::random_storm(43, 16, horizon);
+  ASSERT_EQ(a.size(), 16u);
+  EXPECT_EQ(a.to_spec(), b.to_spec());
+  EXPECT_NE(a.to_spec(), c.to_spec());
+  EXPECT_EQ(a.noise_seed(), 42u);
+
+  for (const FaultEvent& event : a.events()) {
+    EXPECT_NO_THROW(event.validate());
+    EXPECT_GE(event.start.value(), 0.0);
+    EXPECT_LT(event.start.value(), horizon.value());
+  }
+}
+
+TEST(FaultScheduleNoiseSeed, DefaultsToFixedConstant) {
+  const FaultSchedule s = FaultSchedule::parse("brownout@10x0.5");
+  EXPECT_EQ(s.noise_seed(), FaultSchedule::kDefaultNoiseSeed);
+}
+
+}  // namespace
+}  // namespace fcdpm::fault

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "sim/slot_simulator.hpp"
+#include "sim/timed_simulator.hpp"
+#include "workload/camcorder.hpp"
+
+namespace fcdpm::sim {
+namespace {
+
+using core::FcDpmPolicy;
+using dpm::DevicePowerModel;
+using dpm::PredictiveDpmPolicy;
+using fault::FaultInjector;
+using fault::FaultSchedule;
+using power::HybridPowerSource;
+using power::LinearEfficiencyModel;
+using power::LinearFuelSource;
+using power::SuperCapacitor;
+using wl::Trace;
+
+LinearEfficiencyModel model() {
+  return LinearEfficiencyModel::paper_default();
+}
+
+HybridPowerSource paper_hybrid() {
+  return HybridPowerSource(std::make_unique<LinearFuelSource>(model()),
+                           std::make_unique<SuperCapacitor>(Coulomb(6.0), 1.0));
+}
+
+PredictiveDpmPolicy paper_dpm() {
+  return PredictiveDpmPolicy::paper_policy(
+      DevicePowerModel::dvd_camcorder(), 0.5, Seconds(10.0));
+}
+
+FcDpmPolicy paper_fc() {
+  return FcDpmPolicy::paper_policy(model(),
+                                   DevicePowerModel::dvd_camcorder(), 0.5,
+                                   Seconds(3.0), Ampere(1.2));
+}
+
+Trace short_trace() {
+  return wl::paper_camcorder_trace().truncated(Seconds(600.0));
+}
+
+/// Storage stayed inside [0, Cmax] and every headline number is finite.
+void expect_physical(const SimulationResult& r, double capacity) {
+  EXPECT_GE(r.storage_min.value(), -1e-9);
+  EXPECT_LE(r.storage_max.value(), capacity + 1e-9);
+  EXPECT_TRUE(std::isfinite(r.fuel().value()));
+  EXPECT_TRUE(std::isfinite(r.totals.bled.value()));
+  EXPECT_TRUE(std::isfinite(r.totals.unserved.value()));
+  EXPECT_GE(r.fuel().value(), 0.0);
+}
+
+SimulationResult run_with(FaultInjector* faults) {
+  Trace trace = short_trace();
+  PredictiveDpmPolicy dpm = paper_dpm();
+  FcDpmPolicy fc = paper_fc();
+  HybridPowerSource hybrid = paper_hybrid();
+  SimulationOptions options;
+  options.faults = faults;
+  return simulate(trace, dpm, fc, hybrid, options);
+}
+
+TEST(FaultedSimulation, EmptyScheduleIsBitIdenticalToNoInjector) {
+  const SimulationResult baseline = run_with(nullptr);
+  FaultInjector empty{FaultSchedule{}};
+  const SimulationResult faulted = run_with(&empty);
+
+  EXPECT_EQ(baseline.fuel().value(), faulted.fuel().value());
+  EXPECT_EQ(baseline.storage_end.value(), faulted.storage_end.value());
+  EXPECT_EQ(baseline.totals.bled.value(), faulted.totals.bled.value());
+  EXPECT_EQ(baseline.sleeps, faulted.sleeps);
+  EXPECT_FALSE(baseline.robustness.has_value());
+  ASSERT_TRUE(faulted.robustness.has_value());
+  EXPECT_EQ(faulted.robustness->activations, 0u);
+}
+
+TEST(FaultedSimulation, RobustnessStatsSurfaceInTheResult) {
+  FaultInjector inj{FaultSchedule::parse(
+      "converter_dropout@60:30,brownout@400x0.5,load_spike@300:60x1.8")};
+  const SimulationResult r = run_with(&inj);
+  ASSERT_TRUE(r.robustness.has_value());
+  EXPECT_EQ(r.robustness->dropouts, 1u);
+  EXPECT_EQ(r.robustness->brownouts, 1u);
+  EXPECT_GT(r.robustness->brownout_lost.value(), 0.0);
+  EXPECT_GT(r.robustness->degraded_time.value(), 0.0);
+  expect_physical(r, 6.0);
+}
+
+TEST(FaultedSimulation, DropoutForcesStorageOnlyOperation) {
+  // While the converter is out the FC contributes nothing: fuel burn
+  // must drop below the healthy run's.
+  const SimulationResult healthy = run_with(nullptr);
+  FaultInjector inj{FaultSchedule::parse("converter_dropout@0:300")};
+  const SimulationResult r = run_with(&inj);
+  EXPECT_LT(r.fuel().value(), healthy.fuel().value());
+  EXPECT_GT(r.robustness->fc_clamped_segments, 0u);
+  expect_physical(r, 6.0);
+}
+
+TEST(FaultedSimulation, StackDegradationInflatesFuelBurn) {
+  const SimulationResult healthy = run_with(nullptr);
+  FaultInjector inj{FaultSchedule::parse("stack_degradation@0x0.8")};
+  const SimulationResult r = run_with(&inj);
+  // 80 % remaining efficiency: every A-s of stack output costs 1/0.8x.
+  EXPECT_NEAR(r.fuel().value(), healthy.fuel().value() / 0.8,
+              healthy.fuel().value() * 1e-9);
+  expect_physical(r, 6.0);
+}
+
+TEST(FaultedSimulation, StorageFadeKeepsChargeUnderTheFadedCap) {
+  FaultInjector inj{FaultSchedule::parse("storage_fade@0x0.5")};
+  const SimulationResult r = run_with(&inj);
+  // Usable capacity is halved for the whole run.
+  EXPECT_LE(r.storage_max.value(), 0.5 * 6.0 + 1e-9);
+  expect_physical(r, 6.0);
+}
+
+TEST(FaultedSimulation, FaultedRunsNeverThrowAcrossStormSeeds) {
+  const Trace trace = short_trace();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    FaultInjector inj{FaultSchedule::random_storm(
+        seed, 10, trace.stats().total_duration())};
+    SimulationResult r;
+    ASSERT_NO_THROW(r = run_with(&inj)) << "seed " << seed;
+    expect_physical(r, 6.0);
+    ASSERT_TRUE(r.robustness.has_value());
+  }
+}
+
+TEST(FaultedSimulation, StormRunsAreSeedReproducible) {
+  const Trace trace = short_trace();
+  FaultInjector a{FaultSchedule::random_storm(
+      7, 10, trace.stats().total_duration())};
+  FaultInjector b{FaultSchedule::random_storm(
+      7, 10, trace.stats().total_duration())};
+  const SimulationResult ra = run_with(&a);
+  const SimulationResult rb = run_with(&b);
+  EXPECT_EQ(ra.fuel().value(), rb.fuel().value());
+  EXPECT_EQ(ra.storage_end.value(), rb.storage_end.value());
+  EXPECT_EQ(ra.robustness->activations, rb.robustness->activations);
+  EXPECT_EQ(ra.robustness->degraded_time.value(),
+            rb.robustness->degraded_time.value());
+}
+
+TEST(FaultedSimulation, TimedSimulatorAcceptsTheSameInjector) {
+  Trace trace = wl::paper_camcorder_trace().truncated(Seconds(120.0));
+  PredictiveDpmPolicy dpm = paper_dpm();
+  FcDpmPolicy fc = paper_fc();
+  HybridPowerSource hybrid = paper_hybrid();
+
+  FaultInjector inj{FaultSchedule::parse(
+      "converter_dropout@20:10,brownout@60x0.4,sensor_noise@0:120x0.3")};
+  TimedOptions options;
+  options.timestep = Seconds(0.05);
+  options.faults = &inj;
+  SimulationResult r;
+  ASSERT_NO_THROW(
+      r = simulate_timed(trace, dpm, fc, hybrid, options));
+  ASSERT_TRUE(r.robustness.has_value());
+  EXPECT_EQ(r.robustness->dropouts, 1u);
+  EXPECT_EQ(r.robustness->brownouts, 1u);
+  expect_physical(r, 6.0);
+}
+
+TEST(FaultedSimulation, PolicyFallsBackOnNonFiniteInputs) {
+  // A NaN storage reading must not throw out of the planner: the policy
+  // falls back to the safe flat setting and counts it.
+  FcDpmPolicy fc = paper_fc();
+  fault::RobustnessStats stats;
+  fc.set_fault_stats(&stats);
+
+  core::IdleContext context;
+  context.predicted_idle = Seconds(10.0);
+  context.idle_current = Ampere(0.2);
+  context.storage_charge = Coulomb(std::nan(""));
+  context.storage_capacity = Coulomb(6.0);
+  ASSERT_NO_THROW(fc.on_idle_start(context));
+  EXPECT_GE(stats.fallbacks, 1u);
+  EXPECT_GE(stats.solver_failures, 1u);
+
+  core::SegmentContext segment;
+  segment.device_current = Ampere(0.2);
+  segment.storage_capacity = Coulomb(6.0);
+  const core::SegmentSetpoint sp = fc.segment_setpoint(segment);
+  EXPECT_TRUE(std::isfinite(sp.setpoint.value()));
+}
+
+TEST(FaultedSimulation, PolicyReprojectsOutOfRangeBounds) {
+  // Charge above the (faulted, shrunken) capacity is re-projected into
+  // the feasible box instead of tripping a precondition.
+  FcDpmPolicy fc = paper_fc();
+  fault::RobustnessStats stats;
+  fc.set_fault_stats(&stats);
+
+  core::IdleContext context;
+  context.predicted_idle = Seconds(10.0);
+  context.idle_current = Ampere(0.2);
+  context.storage_charge = Coulomb(6.0);   // real charge...
+  context.storage_capacity = Coulomb(3.0); // ...above the faded cap
+  ASSERT_NO_THROW(fc.on_idle_start(context));
+  EXPECT_GE(stats.reprojections, 1u);
+}
+
+}  // namespace
+}  // namespace fcdpm::sim

@@ -73,9 +73,38 @@ TEST(TraceIo, NonNumericThrows) {
   EXPECT_THROW((void)load_trace(in, "x"), CsvError);
 }
 
-TEST(TraceIo, InvalidSlotValuesRejectedByValidate) {
+TEST(TraceIo, InvalidSlotValuesRejectedWithLineNumber) {
   std::istringstream in("idle_s,active_s,active_w\n-1,2,3\n");
-  EXPECT_THROW((void)load_trace(in, "x"), PreconditionError);
+  try {
+    (void)load_trace(in, "x");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceIo, NonFiniteValuesRejectedWithLineNumber) {
+  std::istringstream in(
+      "idle_s,active_s,active_w\n"
+      "1,2,3\n"
+      "# comment shifts physical line numbers\n"
+      "1,inf,3\n");
+  try {
+    (void)load_trace(in, "x");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIo, NonPositiveActiveRejected) {
+  std::istringstream in("idle_s,active_s,active_w\n1,0,3\n");
+  EXPECT_THROW((void)load_trace(in, "x"), CsvError);
+  std::istringstream in2("idle_s,active_s,active_w\n1,2,-3\n");
+  EXPECT_THROW((void)load_trace(in2, "x"), CsvError);
 }
 
 TEST(TraceIo, FileRoundTrip) {
