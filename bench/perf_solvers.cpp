@@ -4,10 +4,42 @@
 // numerical validator is the reference cost.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
 #include "core/efficiency_estimator.hpp"
 #include "core/numerical_solver.hpp"
 #include "core/quantized_optimizer.hpp"
 #include "core/slot_optimizer.hpp"
+#include "dpm/predictors.hpp"
+
+// Global allocation counter: the per-slot hot path must be free of
+// heap traffic, and this binary proves it (see main below).
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs the replaced operator new with the in-class free() and
+// warns at inlined call sites; the pairing is in fact consistent
+// (malloc in, free out) across all replacements below.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -109,6 +141,49 @@ void BM_FuelRateEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_FuelRateEvaluation);
 
+void BM_RegressionPredict(benchmark::State& state) {
+  dpm::RegressionPredictor predictor(16, Seconds(0.0));
+  for (int k = 0; k < 20; ++k) {
+    predictor.observe(Seconds(5.0 + static_cast<double>(k % 7)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor.predict());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegressionPredict);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Self-check (exit 1 on regression): RegressionPredictor::predict is
+  // called twice per task slot and must not allocate — it used to build
+  // two scratch vectors per call.
+  fcdpm::dpm::RegressionPredictor predictor(16, fcdpm::Seconds(0.0));
+  for (int k = 0; k < 20; ++k) {
+    predictor.observe(fcdpm::Seconds(5.0 + static_cast<double>(k % 7)));
+  }
+  double sink = 0.0;
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int k = 0; k < 1000; ++k) {
+    sink += predictor.predict().value();
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  if (after != before) {
+    std::fprintf(stderr,
+                 "FAIL: RegressionPredictor::predict() allocated %zu "
+                 "times over 1000 calls (must be 0)\n",
+                 after - before);
+    return 1;
+  }
+  std::printf("predict() allocation-free over 1000 calls (mean %.6g s)\n",
+              sink / 1000.0);
+  return 0;
+}

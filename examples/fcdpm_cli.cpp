@@ -7,6 +7,9 @@
 //                      [--rho R] [--capacity A-s] [--initial A-s]
 //   fcdpm_cli compare  [--trace ... | --kind ...] (all policies, one table)
 //   fcdpm_cli lifetime --tank A-s [--policy ...] [--kind ...]
+//   fcdpm_cli sweep    [--jobs N] [--policies ...] [--rhos ...]
+//                      [--capacities ...] [--storm-seeds ...]
+//                      [--out BENCH_sweep.json]
 //
 // run/compare/lifetime accept --trace-out / --metrics-out /
 // --profile-out to capture a Perfetto trace, a metrics dump and a
@@ -28,7 +31,9 @@
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
 #include "obs/context.hpp"
+#include "par/sweep.hpp"
 #include "report/obs_export.hpp"
+#include "report/sweep_export.hpp"
 #include "report/table.hpp"
 #include "sim/experiments.hpp"
 #include "sim/lifetime.hpp"
@@ -420,6 +425,165 @@ int cmd_lifetime(const Options& options) {
   return 0;
 }
 
+/// Comma-separated list option; empty items are dropped.
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = value.substr(
+        start,
+        comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return items;
+}
+
+/// Bitwise comparison of two sweeps over the observable result fields —
+/// the CLI-side mirror of the tests' expect_same_result.
+bool identical_sweeps(const par::SweepResult& a, const par::SweepResult& b) {
+  if (a.points.size() != b.points.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    const sim::SimulationResult& x = a.points[k].result;
+    const sim::SimulationResult& y = b.points[k].result;
+    if (x.totals.fuel.value() != y.totals.fuel.value() ||
+        x.totals.duration.value() != y.totals.duration.value() ||
+        x.totals.bled.value() != y.totals.bled.value() ||
+        x.totals.unserved.value() != y.totals.unserved.value() ||
+        x.storage_end.value() != y.storage_end.value() ||
+        x.latency_added.value() != y.latency_added.value() ||
+        x.slots != y.slots || x.sleeps != y.sleeps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_sweep(const Options& options) {
+  const sim::ExperimentConfig config = build_config(options);
+
+  par::SweepGrid grid;
+  for (const std::string& name :
+       split_list(option_or(options, "policies", ""))) {
+    grid.policies.push_back(parse_policy(name));
+  }
+  for (const std::string& item :
+       split_list(option_or(options, "rhos", ""))) {
+    grid.rhos.push_back(std::atof(item.c_str()));
+  }
+  for (const std::string& item :
+       split_list(option_or(options, "capacities", ""))) {
+    grid.capacities.push_back(Coulomb(std::atof(item.c_str())));
+  }
+  for (const std::string& item :
+       split_list(option_or(options, "storm-seeds", ""))) {
+    grid.storm_seeds.push_back(static_cast<std::uint64_t>(
+        std::strtoull(item.c_str(), nullptr, 10)));
+  }
+  grid.storm_faults = static_cast<std::size_t>(number_or(
+      options, "storm-faults", static_cast<double>(grid.storm_faults)));
+
+  const auto jobs =
+      static_cast<std::size_t>(number_or(options, "jobs", 1.0));
+  // One knob covers all three quanta; 0 (default) keeps the cache
+  // transparent (exact keys, results bit-identical to cache-free runs).
+  const double quantum = number_or(options, "cache-quantum", 0.0);
+  par::SolveCacheConfig cache_config;
+  cache_config.time_quantum = Seconds(quantum);
+  cache_config.current_quantum = Ampere(quantum);
+  cache_config.charge_quantum = Coulomb(quantum);
+
+  ObsSession obs(options);
+
+  // Single-job reference first (own cache, same config): it provides
+  // the speedup baseline and the bit-identity check.
+  par::SweepResult serial;
+  bool have_serial = false;
+  if (jobs != 1 && option_or(options, "serial-check", "on") != "off") {
+    par::SharedSolveCache serial_cache(cache_config);
+    par::SweepOptions serial_options;
+    serial_options.jobs = 1;
+    serial_options.cache = &serial_cache;
+    serial = par::run_sweep(config, grid, serial_options);
+    have_serial = true;
+  }
+
+  par::SharedSolveCache cache(cache_config);
+  par::SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  sweep_options.cache = &cache;
+  sweep_options.observer = obs.context();
+  const par::SweepResult sweep = par::run_sweep(config, grid, sweep_options);
+
+  report::Table table(
+      "sweep: " + config.trace.name(),
+      {"policy", "rho", "capacity", "storm seed", "fuel (A-s)",
+       "bled (A-s)", "unserved (A-s)", "sleeps"});
+  for (const par::SweepPointResult& p : sweep.points) {
+    table.add_row({sim::to_string(p.point.policy),
+                   report::cell(p.point.rho, 2),
+                   report::cell(p.point.capacity.value(), 1),
+                   std::to_string(p.point.storm_seed),
+                   report::cell(p.result.totals.fuel.value(), 2),
+                   report::cell(p.result.totals.bled.value(), 2),
+                   report::cell(p.result.totals.unserved.value(), 2),
+                   std::to_string(p.result.sleeps)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  report::SweepBenchReport bench;
+  bench.trace_name = config.trace.name();
+  bench.points = sweep.stats.points;
+  bench.jobs = sweep.stats.jobs;
+  bench.wall_seconds = sweep.stats.wall_seconds;
+  bench.points_per_second = sweep.stats.points_per_second();
+  bench.cache_hits = sweep.stats.cache_hits;
+  bench.cache_misses = sweep.stats.cache_misses;
+  bench.cache_hit_rate = sweep.stats.cache_hit_rate();
+  std::printf(
+      "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
+      "solve-cache hit rate %.1f %%\n",
+      bench.points, bench.jobs, bench.wall_seconds,
+      bench.points_per_second, 100.0 * bench.cache_hit_rate);
+
+  bool diverged = false;
+  if (have_serial) {
+    bench.serial_wall_seconds = serial.stats.wall_seconds;
+    bench.speedup =
+        bench.wall_seconds > 0.0
+            ? bench.serial_wall_seconds / bench.wall_seconds
+            : 0.0;
+    const bool identical = identical_sweeps(serial, sweep);
+    bench.bit_identical_to_serial = identical ? 1 : 0;
+    diverged = !identical;
+    std::printf("vs --jobs 1: %.3f s serial, speedup %.2fx, results %s\n",
+                bench.serial_wall_seconds, bench.speedup,
+                identical ? "bit-identical" : "DIVERGED");
+  }
+
+  const std::string out = option_or(options, "out", "");
+  if (!out.empty()) {
+    report::write_sweep_bench_file(out, bench);
+    std::printf("wrote sweep bench to %s\n", out.c_str());
+  }
+  obs.finish();
+  if (diverged) {
+    std::fprintf(stderr,
+                 "error: parallel sweep diverged from the serial "
+                 "reference (determinism bug)\n");
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_aggregate(const Options& options) {
   const auto out_it = options.find("out");
   if (out_it == options.end()) {
@@ -465,6 +629,13 @@ int usage() {
       "           --kind ...] [--rho R] [--capacity C] [--initial C]\n"
       "  compare  [--trace f.csv | --kind ...] [--rho R] ...\n"
       "  lifetime --tank A-s [--policy ...] [--kind ...]\n"
+      "  sweep    [--jobs N] [--policies conv,asap,fcdpm,oracle]\n"
+      "           [--rhos R1,R2,...] [--capacities C1,C2,...]\n"
+      "           [--storm-seeds S1,S2,...] [--storm-faults N]\n"
+      "           [--cache-quantum Q] [--out BENCH_sweep.json]\n"
+      "           [--serial-check on|off] [--trace f.csv | --kind ...]\n"
+      "           (--jobs 0 = all cores; with --jobs != 1 a --jobs 1\n"
+      "           reference runs first for speedup and bit-identity)\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
       "run/compare/lifetime also accept:\n"
@@ -505,6 +676,9 @@ int main(int argc, char** argv) {
     }
     if (command == "lifetime") {
       return cmd_lifetime(options);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(options);
     }
     if (command == "aggregate") {
       return cmd_aggregate(options);

@@ -262,7 +262,7 @@ void FcDpmPolicy::on_idle_start(const IdleContext& context) {
                     SolveStatus::InvalidInput);
     }
   } else {
-    const CheckedSetting checked = optimizer_.solve_checked(load, storage);
+    const CheckedSetting checked = cached_solve(optimizer_, load, storage);
     if (checked.ok()) {
       if_idle_ = checked.setting.if_idle;
       if_active_ = checked.setting.if_active;
@@ -330,8 +330,8 @@ void FcDpmPolicy::on_active_start(const ActiveContext& context) {
                     SolveStatus::InvalidInput);
     }
   } else {
-    const CheckedSetting checked = optimizer_.solve_active_only_checked(
-        context.active_duration, charge, storage);
+    const CheckedSetting checked = cached_solve_active_only(
+        optimizer_, context.active_duration, charge, storage);
     if (checked.ok()) {
       if_active_ = checked.setting.if_active;
       note_projection(obs_, "fc.replan", checked.setting);
@@ -450,7 +450,7 @@ void OracleFcPolicy::on_idle_start(const IdleContext& context) {
     note_reprojection(obs_, fault_stats_);
   }
 
-  const CheckedSetting checked = optimizer_.solve_checked(load, storage);
+  const CheckedSetting checked = cached_solve(optimizer_, load, storage);
   if (checked.ok()) {
     if_idle_ = checked.setting.if_idle;
     if_active_ = checked.setting.if_active;
@@ -479,8 +479,8 @@ void OracleFcPolicy::on_active_start(const ActiveContext& context) {
   if (reproject_bounds(storage)) {
     note_reprojection(obs_, fault_stats_);
   }
-  const CheckedSetting checked = optimizer_.solve_active_only_checked(
-      context.active_duration, charge, storage);
+  const CheckedSetting checked = cached_solve_active_only(
+      optimizer_, context.active_duration, charge, storage);
   if (checked.ok()) {
     if_active_ = checked.setting.if_active;
     note_projection(obs_, "fc.replan", checked.setting);

@@ -27,6 +27,7 @@
 #include "core/efficiency_estimator.hpp"
 #include "core/quantized_optimizer.hpp"
 #include "core/slot_optimizer.hpp"
+#include "core/solve_cache.hpp"
 #include "dpm/power_states.hpp"
 #include "dpm/predictors.hpp"
 #include "obs/context.hpp"
@@ -140,9 +141,40 @@ class FcOutputPolicy {
     return fault_stats_;
   }
 
+  /// Attach (or detach with nullptr) a slot-solve memo: the solving
+  /// policies (FC-DPM, Oracle) then route their checked solves through
+  /// it. Not owned; like the observer, it is per-run wiring and is not
+  /// carried across clone().
+  void set_solve_cache(SlotSolveCache* cache) noexcept {
+    solve_cache_ = cache;
+  }
+  [[nodiscard]] SlotSolveCache* solve_cache() const noexcept {
+    return solve_cache_;
+  }
+
  protected:
+  /// Route a full-slot solve through the attached cache, if any.
+  [[nodiscard]] CheckedSetting cached_solve(
+      const SlotOptimizer& optimizer, const SlotLoad& load,
+      const StorageBounds& storage) const {
+    return solve_cache_ != nullptr
+               ? solve_cache_->solve(optimizer, load, storage)
+               : optimizer.solve_checked(load, storage);
+  }
+  /// Route an active-only re-solve through the attached cache, if any.
+  [[nodiscard]] CheckedSetting cached_solve_active_only(
+      const SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+      const StorageBounds& storage) const {
+    return solve_cache_ != nullptr
+               ? solve_cache_->solve_active_only(optimizer, duration,
+                                                 charge, storage)
+               : optimizer.solve_active_only_checked(duration, charge,
+                                                     storage);
+  }
+
   obs::Context* obs_ = nullptr;
   fault::RobustnessStats* fault_stats_ = nullptr;
+  SlotSolveCache* solve_cache_ = nullptr;
 };
 
 /// Conv-DPM: IF pinned at max_output; no control at all.

@@ -45,19 +45,43 @@ Seconds RegressionPredictor::predict() const {
     return Seconds(history_.back());
   }
 
-  // Regress T(k) on T(k-1) over the window.
-  std::vector<double> xs(history_.begin(), history_.end() - 1);
-  std::vector<double> ys(history_.begin() + 1, history_.end());
+  // Regress T(k) on T(k-1) over the window, streaming straight over the
+  // deque: xs = history[0 .. n-2], ys = history[1 .. n-1]. This runs in
+  // the simulator's per-slot hot loop, so no scratch copies — the
+  // accumulation order matches linear_least_squares exactly and the
+  // result is bit-identical to the copying implementation.
+  const std::size_t pairs = history_.size() - 1;
+  double x_min = history_[0];
+  double x_max = history_[0];
+  double x_sum = 0.0;
+  double y_sum = 0.0;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const double x = history_[k];
+    x_min = std::min(x_min, x);
+    x_max = std::max(x_max, x);
+    x_sum += x;
+    y_sum += history_[k + 1];
+  }
+  const double y_bar = y_sum / static_cast<double>(pairs);
 
   // Degenerate windows (constant xs) have no regression line; fall back
   // to the window mean.
-  const double x_min = *std::min_element(xs.begin(), xs.end());
-  const double x_max = *std::max_element(xs.begin(), xs.end());
   if (x_max - x_min < 1e-12) {
-    return Seconds(mean(ys));
+    return Seconds(y_bar);
   }
 
-  const LinearFit fit = linear_least_squares(xs, ys);
+  const double x_bar = x_sum / static_cast<double>(pairs);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const double dx = history_[k] - x_bar;
+    const double dy = history_[k + 1] - y_bar;
+    sxx += dx * dx;
+    sxy += dx * dy;
+  }
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = y_bar - fit.slope * x_bar;
   const double predicted = fit(history_.back());
   return Seconds(std::max(predicted, 0.0));
 }

@@ -14,6 +14,7 @@
 //   core     — slot optimizer(s), estimator, FC output policies
 //   dvs      — voltage/frequency scaling substrate
 //   sim      — simulators, experiments, lifetime, metrics
+//   par      — worker pool, shared solve cache, parallel sweep engine
 //   report   — tables, series export, report assembly
 #pragma once
 
@@ -64,6 +65,7 @@
 #include "core/numerical_solver.hpp"
 #include "core/quantized_optimizer.hpp"
 #include "core/slot_optimizer.hpp"
+#include "core/solve_cache.hpp"
 
 #include "dvs/planner.hpp"
 #include "dvs/processor.hpp"
@@ -76,8 +78,14 @@
 #include "sim/slot_simulator.hpp"
 #include "sim/timed_simulator.hpp"
 
+#include "par/bounded_queue.hpp"
+#include "par/solve_cache.hpp"
+#include "par/sweep.hpp"
+#include "par/worker_pool.hpp"
+
 #include "report/experiment_report.hpp"
 #include "report/obs_export.hpp"
 #include "report/series_export.hpp"
 #include "report/svg_export.hpp"
+#include "report/sweep_export.hpp"
 #include "report/table.hpp"

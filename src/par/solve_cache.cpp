@@ -1,0 +1,163 @@
+#include "par/solve_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <mutex>
+
+namespace fcdpm::par {
+
+namespace {
+
+double snap(double value, double quantum) {
+  if (quantum <= 0.0) {
+    return value;
+  }
+  return std::round(value / quantum) * quantum;
+}
+
+std::uint64_t word(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+SharedSolveCache::SharedSolveCache(SolveCacheConfig config)
+    : config_(config) {}
+
+std::size_t SharedSolveCache::KeyHash::operator()(
+    const Key& key) const noexcept {
+  // FNV-1a over the key words; cheap and stable.
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint64_t w : key) {
+    hash ^= w;
+    hash *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+double SharedSolveCache::hit_rate() const noexcept {
+  const double h = static_cast<double>(hits());
+  const double total = h + static_cast<double>(misses());
+  return total > 0.0 ? h / total : 0.0;
+}
+
+std::size_t SharedSolveCache::size() const {
+  const std::shared_lock lock(mutex_);
+  return entries_.size();
+}
+
+void SharedSolveCache::clear() {
+  const std::unique_lock lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+void SharedSolveCache::publish(obs::Context& obs) const {
+  obs.gauge("par.cache.hits", static_cast<double>(hits()));
+  obs.gauge("par.cache.misses", static_cast<double>(misses()));
+  obs.gauge("par.cache.entries", static_cast<double>(size()));
+  obs.gauge("par.cache.hit_rate", hit_rate());
+}
+
+core::CheckedSetting SharedSolveCache::solve(
+    const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+    const core::StorageBounds& storage) {
+  core::SlotLoad snapped = load;
+  snapped.idle = Seconds(snap(load.idle.value(), config_.time_quantum.value()));
+  snapped.active =
+      Seconds(snap(load.active.value(), config_.time_quantum.value()));
+  snapped.idle_current =
+      Ampere(snap(load.idle_current.value(), config_.current_quantum.value()));
+  snapped.active_current = Ampere(
+      snap(load.active_current.value(), config_.current_quantum.value()));
+  core::StorageBounds bounds = storage;
+  bounds.initial =
+      Coulomb(snap(storage.initial.value(), config_.charge_quantum.value()));
+  bounds.target_end = Coulomb(
+      snap(storage.target_end.value(), config_.charge_quantum.value()));
+  bounds.capacity =
+      Coulomb(snap(storage.capacity.value(), config_.charge_quantum.value()));
+
+  const power::LinearEfficiencyModel& model = optimizer.model();
+  const Key key{0ull,
+                word(model.bus_voltage().value()),
+                word(model.zeta()),
+                word(model.alpha()),
+                word(model.beta()),
+                word(model.min_output().value()),
+                word(model.max_output().value()),
+                word(snapped.idle.value()),
+                word(snapped.idle_current.value()),
+                word(snapped.active.value()),
+                word(snapped.active_current.value()),
+                word(bounds.initial.value()),
+                word(bounds.target_end.value()),
+                word(bounds.capacity.value())};
+  return lookup_or_solve(key, optimizer, snapped, bounds,
+                         /*active_only=*/false, Seconds(0.0), Coulomb(0.0));
+}
+
+core::CheckedSetting SharedSolveCache::solve_active_only(
+    const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+    const core::StorageBounds& storage) {
+  const Seconds snapped_duration =
+      Seconds(snap(duration.value(), config_.time_quantum.value()));
+  const Coulomb snapped_charge =
+      Coulomb(snap(charge.value(), config_.charge_quantum.value()));
+  core::StorageBounds bounds = storage;
+  bounds.initial =
+      Coulomb(snap(storage.initial.value(), config_.charge_quantum.value()));
+  bounds.target_end = Coulomb(
+      snap(storage.target_end.value(), config_.charge_quantum.value()));
+  bounds.capacity =
+      Coulomb(snap(storage.capacity.value(), config_.charge_quantum.value()));
+
+  const power::LinearEfficiencyModel& model = optimizer.model();
+  const Key key{1ull,
+                word(model.bus_voltage().value()),
+                word(model.zeta()),
+                word(model.alpha()),
+                word(model.beta()),
+                word(model.min_output().value()),
+                word(model.max_output().value()),
+                word(snapped_duration.value()),
+                word(snapped_charge.value()),
+                word(bounds.initial.value()),
+                word(bounds.target_end.value()),
+                word(bounds.capacity.value()),
+                0ull,
+                0ull};
+  return lookup_or_solve(key, optimizer, core::SlotLoad{}, bounds,
+                         /*active_only=*/true, snapped_duration,
+                         snapped_charge);
+}
+
+core::CheckedSetting SharedSolveCache::lookup_or_solve(
+    const Key& key, const core::SlotOptimizer& optimizer,
+    const core::SlotLoad& load, const core::StorageBounds& storage,
+    bool active_only, Seconds duration, Coulomb charge) {
+  {
+    const std::shared_lock lock(mutex_);
+    const auto found = entries_.find(key);
+    if (found != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return found->second;
+    }
+  }
+  // Miss: solve the snapped problem outside any lock. A concurrent
+  // worker racing on the same key computes the identical answer;
+  // try_emplace keeps whichever got there first.
+  const core::CheckedSetting answer =
+      active_only ? optimizer.solve_active_only_checked(duration, charge,
+                                                        storage)
+                  : optimizer.solve_checked(load, storage);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::unique_lock lock(mutex_);
+    entries_.try_emplace(key, answer);
+  }
+  return answer;
+}
+
+}  // namespace fcdpm::par

@@ -1,0 +1,91 @@
+// Thread-safe memo for slot solves, shared read-mostly across sweep
+// workers.
+//
+// Determinism: inputs are snapped to the quantization grid *before*
+// solving, so the hit path (lookup) and the miss path (solve + insert)
+// answer the identical snapped problem — a cached answer is
+// bit-identical to a fresh one on any thread, in any interleaving, and
+// a race between two workers solving the same key merely computes the
+// same value twice. With all quanta at 0 (the default) no snapping
+// happens and keys are the exact input bit patterns: the cache is then
+// transparent (results bit-identical to running without it), and only
+// genuinely recurring sub-problems hit. Coarser quanta trade a bounded
+// input perturbation for hit rate; see docs/ARCHITECTURE.md.
+//
+// Keys include the optimizer's efficiency model (bus, zeta, alpha,
+// beta, range), so policies with different — or adapting — models never
+// alias.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/solve_cache.hpp"
+#include "obs/context.hpp"
+
+namespace fcdpm::par {
+
+/// Quantization grid for solve inputs; 0 disables snapping for that
+/// unit. Snapping rounds to the nearest multiple of the quantum.
+struct SolveCacheConfig {
+  Seconds time_quantum{0.0};
+  Ampere current_quantum{0.0};
+  Coulomb charge_quantum{0.0};
+};
+
+class SharedSolveCache final : public core::SlotSolveCache {
+ public:
+  explicit SharedSolveCache(SolveCacheConfig config = {});
+
+  [[nodiscard]] core::CheckedSetting solve(
+      const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+      const core::StorageBounds& storage) override;
+
+  [[nodiscard]] core::CheckedSetting solve_active_only(
+      const core::SlotOptimizer& optimizer, Seconds duration,
+      Coulomb charge, const core::StorageBounds& storage) override;
+
+  [[nodiscard]] const SolveCacheConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// hits / (hits + misses); 0 when the cache was never consulted.
+  [[nodiscard]] double hit_rate() const noexcept;
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();
+
+  /// Publish par.cache.{hits,misses,entries,hit_rate} gauges. Call from
+  /// one thread after a run — obs::Context is not thread-safe.
+  void publish(obs::Context& obs) const;
+
+ private:
+  /// Solve kind tag + 6 model words + up to 7 input words.
+  using Key = std::array<std::uint64_t, 14>;
+
+  struct KeyHash {
+    [[nodiscard]] std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  [[nodiscard]] core::CheckedSetting lookup_or_solve(
+      const Key& key, const core::SlotOptimizer& optimizer,
+      const core::SlotLoad& load, const core::StorageBounds& storage,
+      bool active_only, Seconds duration, Coulomb charge);
+
+  SolveCacheConfig config_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, core::CheckedSetting, KeyHash> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace fcdpm::par

@@ -1,0 +1,127 @@
+#include "par/sweep.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "par/worker_pool.hpp"
+
+namespace fcdpm::par {
+
+std::vector<SweepPoint> SweepGrid::points(
+    const sim::ExperimentConfig& base) const {
+  const std::vector<sim::PolicyKind> kinds =
+      policies.empty()
+          ? std::vector<sim::PolicyKind>{sim::PolicyKind::Conv,
+                                         sim::PolicyKind::Asap,
+                                         sim::PolicyKind::FcDpm}
+          : policies;
+  const std::vector<double> rho_values =
+      rhos.empty() ? std::vector<double>{base.rho} : rhos;
+  const std::vector<Coulomb> capacity_values =
+      capacities.empty() ? std::vector<Coulomb>{base.storage_capacity}
+                         : capacities;
+  const std::vector<std::uint64_t> seeds =
+      storm_seeds.empty() ? std::vector<std::uint64_t>{0} : storm_seeds;
+
+  std::vector<SweepPoint> grid;
+  grid.reserve(kinds.size() * rho_values.size() * capacity_values.size() *
+               seeds.size());
+  for (const sim::PolicyKind kind : kinds) {
+    for (const double rho : rho_values) {
+      for (const Coulomb capacity : capacity_values) {
+        for (const std::uint64_t seed : seeds) {
+          grid.push_back({kind, rho, capacity, seed});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+SweepPointResult run_point(const sim::ExperimentConfig& base,
+                           const SweepPoint& point,
+                           std::size_t storm_faults,
+                           SharedSolveCache* cache) {
+  sim::ExperimentConfig config = base;
+  config.rho = point.rho;
+  config.storage_capacity = point.capacity;
+  // A shrunk buffer cannot hold the configured reserve.
+  config.initial_storage = min(config.initial_storage, point.capacity);
+  // Workers own everything they mutate; the run-level observer is
+  // published to after the batch, never attached to a worker's run.
+  config.simulation.observer = nullptr;
+
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+      sim::make_fc_policy(point.policy, config);
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+  if (cache != nullptr) {
+    fc_policy->set_solve_cache(cache);
+  }
+
+  sim::SimulationOptions options = config.simulation;
+  options.initial_storage = config.initial_storage;
+  std::optional<fault::FaultInjector> injector;
+  if (point.storm_seed != 0) {
+    injector.emplace(fault::FaultSchedule::random_storm(
+        point.storm_seed, storm_faults,
+        config.trace.stats().total_duration()));
+    options.faults = &*injector;
+  }
+
+  SweepPointResult out;
+  out.point = point;
+  out.result =
+      sim::simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
+  return out;
+}
+
+SweepResult run_sweep(const sim::ExperimentConfig& base,
+                      const SweepGrid& grid, const SweepOptions& options) {
+  const std::vector<SweepPoint> points = grid.points(base);
+
+  SweepResult out;
+  out.points.resize(points.size());
+  out.stats.points = points.size();
+
+  const std::uint64_t hits_before =
+      options.cache != nullptr ? options.cache->hits() : 0;
+  const std::uint64_t misses_before =
+      options.cache != nullptr ? options.cache->misses() : 0;
+
+  const auto started = std::chrono::steady_clock::now();
+  {
+    WorkerPool pool(options.jobs);
+    out.stats.jobs = pool.thread_count();
+    pool.run_indexed(points.size(), [&](std::size_t k) {
+      out.points[k] =
+          run_point(base, points[k], grid.storm_faults, options.cache);
+    });
+  }
+  out.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  if (options.cache != nullptr) {
+    out.stats.cache_hits = options.cache->hits() - hits_before;
+    out.stats.cache_misses = options.cache->misses() - misses_before;
+  }
+
+  if (options.observer != nullptr && options.observer->active()) {
+    obs::Context& obs = *options.observer;
+    obs.gauge("par.sweep.points", static_cast<double>(out.stats.points));
+    obs.gauge("par.sweep.jobs", static_cast<double>(out.stats.jobs));
+    obs.gauge("par.sweep.wall_s", out.stats.wall_seconds);
+    obs.gauge("par.sweep.points_per_s", out.stats.points_per_second());
+    if (options.cache != nullptr) {
+      options.cache->publish(obs);
+    }
+  }
+  return out;
+}
+
+}  // namespace fcdpm::par

@@ -1,0 +1,83 @@
+#include "par/worker_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::par {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  return std::max<std::size_t>(threads, 1);
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t threads)
+    : queue_(2 * resolve_threads(threads)) {
+  const std::size_t n = resolve_threads(threads);
+  threads_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    threads_.emplace_back([this] {
+      while (std::optional<std::function<void()>> task = queue_.pop()) {
+        (*task)();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  queue_.close();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void WorkerPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::size_t done = 0;
+  std::exception_ptr first_error;
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const bool pushed = queue_.push([&, k] {
+      try {
+        fn(k);
+      } catch (...) {
+        const std::lock_guard lock(mutex);
+        if (first_error == nullptr) {
+          first_error = std::current_exception();
+        }
+      }
+      {
+        // Notify while holding the lock: the condition variable lives on
+        // the caller's stack and is destroyed as soon as the waiter sees
+        // done == count, so the signal must complete before the waiter
+        // can observe the final increment.
+        const std::lock_guard lock(mutex);
+        ++done;
+        all_done.notify_one();
+      }
+    });
+    FCDPM_ENSURES(pushed, "worker pool queue closed mid-batch");
+  }
+
+  std::unique_lock lock(mutex);
+  all_done.wait(lock, [&] { return done == count; });
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace fcdpm::par

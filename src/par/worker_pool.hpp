@@ -1,0 +1,44 @@
+// Fixed-size worker pool over a bounded work queue.
+//
+// The pool exists for *deterministic* parallelism: run_indexed() hands
+// each index to exactly one worker, the caller stores results by index,
+// and nothing about scheduling order can leak into the results. The
+// bounded queue (capacity 2x the thread count) gives producer
+// backpressure instead of materializing the whole batch as closures.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "par/bounded_queue.hpp"
+
+namespace fcdpm::par {
+
+class WorkerPool {
+ public:
+  /// `threads == 0` resolves to the hardware concurrency (at least 1).
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+
+  /// Run fn(0) .. fn(count-1) across the pool and block until all have
+  /// finished. The first exception thrown by any invocation is captured
+  /// and rethrown here after the batch drains (the remaining tasks still
+  /// run — a sweep point must not be silently skipped).
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fcdpm::par

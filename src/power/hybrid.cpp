@@ -73,6 +73,7 @@ HybridPowerSource HybridPowerSource::paper_hybrid() {
 HybridPowerSource HybridPowerSource::clone() const {
   HybridPowerSource copy(source_->clone(), storage_->clone());
   copy.totals_ = totals_;
+  copy.epoch_ = epoch_;
   copy.min_storage_seen_ = min_storage_seen_;
   copy.max_storage_seen_ = max_storage_seen_;
   copy.startup_fuel_ = startup_fuel_;
@@ -101,7 +102,7 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   bool fc_dropped = false;
   if (fault_injector_ != nullptr) {
     const fault::ActiveFaults& faults =
-        fault_injector_->advance_to(totals_.duration);
+        fault_injector_->advance_to(elapsed_time());
     const double lost_fraction = fault_injector_->consume_brownout();
     if (lost_fraction > 0.0) {
       const Coulomb before = storage_->charge();
@@ -248,8 +249,8 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   if (fault_injector_ != nullptr) {
     // Advance the fault clock over the segment (accrues degraded time)
     // and report the buffer level for recovery accounting.
-    (void)fault_injector_->advance_to(totals_.duration);
-    fault_injector_->note_storage(totals_.duration, storage_->fraction());
+    (void)fault_injector_->advance_to(elapsed_time());
+    fault_injector_->note_storage(elapsed_time(), storage_->fraction());
   }
   return result;
 }
@@ -257,10 +258,16 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
 void HybridPowerSource::reset(Coulomb initial_charge) {
   storage_->set_charge(initial_charge);
   totals_ = HybridTotals{};
+  epoch_ = Seconds(0.0);
   min_storage_seen_ = initial_charge;
   max_storage_seen_ = initial_charge;
   startups_ = 0;
   fc_running_ = true;
+}
+
+void HybridPowerSource::reset_totals() noexcept {
+  epoch_ += totals_.duration;
+  totals_ = HybridTotals{};
 }
 
 void HybridPowerSource::set_startup_fuel(Coulomb fuel) {

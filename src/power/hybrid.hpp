@@ -136,6 +136,20 @@ class HybridPowerSource {
   /// Zero the accounting and restore the buffer to `initial_charge`.
   void reset(Coulomb initial_charge);
 
+  /// Fold the accumulated totals into the epoch clock and zero them,
+  /// leaving storage charge, FC on/off state and the min/max trackers
+  /// untouched. Multi-pass drivers (lifetime measurement) call this
+  /// between passes so each pass accounts from zero with bit-identical
+  /// arithmetic, while `elapsed_time()` — and with it the fault
+  /// timeline — keeps advancing monotonically.
+  void reset_totals() noexcept;
+
+  /// Monotonic simulated time: epochs folded by `reset_totals()` plus
+  /// the current totals' duration. This is the fault injector's clock.
+  [[nodiscard]] Seconds elapsed_time() const noexcept {
+    return epoch_ + totals_.duration;
+  }
+
   /// Fuel charged every time the FC restarts after being idled (IF
   /// transitions 0 -> positive): purging and re-pressurizing the stack
   /// costs hydrogen. Default 0. Enables studying the FC-off deep-idle
@@ -173,6 +187,7 @@ class HybridPowerSource {
   std::unique_ptr<FuelSource> source_;
   std::unique_ptr<ChargeStorage> storage_;
   HybridTotals totals_;
+  Seconds epoch_{0.0};
   Coulomb min_storage_seen_{0.0};
   Coulomb max_storage_seen_{0.0};
   Coulomb startup_fuel_{0.0};

@@ -1,0 +1,48 @@
+#include "report/sweep_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace fcdpm::report {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string sweep_bench_to_json(const SweepBenchReport& bench) {
+  std::string out = "{";
+  out += "\"trace\":\"" + obs::json_escape(bench.trace_name.c_str()) + "\"";
+  out += ",\"points\":" + std::to_string(bench.points);
+  out += ",\"jobs\":" + std::to_string(bench.jobs);
+  out += ",\"wall_s\":" + format_double(bench.wall_seconds);
+  out += ",\"points_per_s\":" + format_double(bench.points_per_second);
+  out += ",\"cache\":{\"hits\":" + std::to_string(bench.cache_hits) +
+         ",\"misses\":" + std::to_string(bench.cache_misses) +
+         ",\"hit_rate\":" + format_double(bench.cache_hit_rate) + "}";
+  out += ",\"serial_wall_s\":" + format_double(bench.serial_wall_seconds);
+  out += ",\"speedup\":" + format_double(bench.speedup);
+  out += ",\"bit_identical_to_serial\":" +
+         std::to_string(bench.bit_identical_to_serial);
+  out += "}\n";
+  return out;
+}
+
+void write_sweep_bench_file(const std::string& path,
+                            const SweepBenchReport& bench) {
+  std::ofstream out(path);
+  if (!out) {
+    throw CsvError("cannot create sweep bench file: " + path);
+  }
+  out << sweep_bench_to_json(bench);
+}
+
+}  // namespace fcdpm::report

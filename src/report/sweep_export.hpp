@@ -1,0 +1,37 @@
+// Machine-readable sweep benchmark report (BENCH_sweep.json): the perf
+// trajectory's first artifact. Plain data in, one JSON object out — the
+// report layer stays independent of fcdpm::par; the CLI fills this from
+// par::SweepRunStats.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fcdpm::report {
+
+struct SweepBenchReport {
+  std::string trace_name;
+  std::size_t points = 0;
+  std::size_t jobs = 0;
+  double wall_seconds = 0.0;
+  double points_per_second = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  /// Wall-clock of the single-job reference run; 0 when none was taken.
+  double serial_wall_seconds = 0.0;
+  /// serial_wall_seconds / wall_seconds; 0 when no reference run.
+  double speedup = 0.0;
+  /// -1 = not checked, 0 = results diverged, 1 = bit-identical.
+  int bit_identical_to_serial = -1;
+};
+
+/// One JSON object, newline-terminated.
+[[nodiscard]] std::string sweep_bench_to_json(const SweepBenchReport& bench);
+
+/// Write the JSON form to `path`. Throws CsvError when the file cannot
+/// be created (same error channel as the other report writers).
+void write_sweep_bench_file(const std::string& path,
+                            const SweepBenchReport& bench);
+
+}  // namespace fcdpm::report

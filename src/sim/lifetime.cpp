@@ -1,10 +1,66 @@
 #include "sim/lifetime.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
 
 namespace fcdpm::sim {
+
+namespace {
+
+/// Everything that characterizes one pass at pass resolution. Two
+/// passes with equal signatures burned the same fuel, took the same
+/// time and left the buffer in the same place bit-for-bit; a run of
+/// `convergence_passes` equal signatures is the steady-state criterion.
+struct PassSignature {
+  Coulomb fuel{0.0};
+  Seconds duration{0.0};
+  Coulomb bled{0.0};
+  Coulomb unserved{0.0};
+  Coulomb storage_end{0.0};
+  Seconds latency{0.0};
+  std::size_t sleeps = 0;
+
+  friend bool operator==(const PassSignature&,
+                         const PassSignature&) = default;
+};
+
+PassSignature signature_of(const SimulationResult& r) {
+  return PassSignature{r.totals.fuel,     r.totals.duration,
+                       r.totals.bled,     r.totals.unserved,
+                       r.storage_end,     r.latency_added,
+                       r.sleeps};
+}
+
+}  // namespace
+
+CrossingPoint resolve_crossing(std::span<const SlotRecord> records,
+                               Coulomb fuel_start, Coulomb tank) {
+  CrossingPoint point;
+  Coulomb previous_end = fuel_start;
+  for (const SlotRecord& record : records) {
+    const Coulomb cumulative = fuel_start + record.fuel_end;
+    const Seconds slot_span = record.idle + record.active + record.latency;
+    if (cumulative < tank) {
+      previous_end = cumulative;
+      point.elapsed_in_pass += slot_span;
+      ++point.slots_completed;
+      continue;
+    }
+    // Linear interpolation inside the crossing slot (fuel accrues
+    // piecewise-linearly in time; the error is bounded by one slot).
+    const double need = (tank - previous_end).value();
+    const double slot_fuel = (cumulative - previous_end).value();
+    const double fraction = slot_fuel > 0.0 ? need / slot_fuel : 1.0;
+    point.elapsed_in_pass += slot_span * std::clamp(fraction, 0.0, 1.0);
+    point.crossed = true;
+    break;
+  }
+  return point;
+}
 
 LifetimeResult measure_lifetime(const wl::Trace& trace,
                                 dpm::DpmPolicy& dpm_policy,
@@ -13,57 +69,120 @@ LifetimeResult measure_lifetime(const wl::Trace& trace,
                                 const LifetimeOptions& options) {
   FCDPM_EXPECTS(options.tank.value() > 0.0, "tank must be positive");
   FCDPM_EXPECTS(!trace.empty(), "lifetime needs a non-empty workload");
+  FCDPM_EXPECTS(options.convergence_passes >= 1,
+                "convergence needs at least one pass");
 
   LifetimeResult result;
 
-  Coulomb fuel_before_pass{0.0};
+  // Passes run recordless; only the crossing pass is re-run with slot
+  // records on, from a snapshot taken just before it.
+  SimulationOptions pass_options = options.simulation;
+  pass_options.keep_slot_records = false;
+
+  Coulomb fuel_cum{0.0};
   Seconds elapsed{0.0};
 
-  SimulationOptions pass_options = options.simulation;
-  pass_options.keep_slot_records = true;
+  // Faults are scheduled on the absolute timeline; extrapolated passes
+  // would jump over future fault windows, so they disable the fast path.
+  const bool fast_path =
+      options.steady_state && options.simulation.faults == nullptr;
+  std::optional<PassSignature> last_signature;
+  std::size_t identical_streak = 1;
 
-  for (std::size_t pass = 0; pass < options.max_passes; ++pass) {
+  while (result.passes < options.max_passes) {
+    // Pre-pass snapshot: if the tank empties within this pass it is
+    // re-run from here with records on (bit-identical — records do not
+    // feed back into the arithmetic) to drive the crossing walk.
+    auto dpm_snapshot = dpm_policy.clone();
+    auto fc_snapshot = fc_policy.clone();
+    power::HybridPowerSource hybrid_snapshot = hybrid.clone();
+    std::optional<fault::FaultInjector> fault_snapshot;
+    if (pass_options.faults != nullptr) {
+      fault_snapshot.emplace(*pass_options.faults);
+    }
+    const SimulationOptions snapshot_options = pass_options;
+
     const SimulationResult r =
         simulate(trace, dpm_policy, fc_policy, hybrid, pass_options);
     // Subsequent passes continue from the current source state.
     pass_options.preserve_source_state = true;
 
-    const Coulomb pass_fuel = hybrid.totals().fuel - fuel_before_pass;
-    if (hybrid.totals().fuel < options.tank) {
-      fuel_before_pass = hybrid.totals().fuel;
-      elapsed = r.totals.duration;  // totals are cumulative across passes
-      result.passes = pass + 1;
+    const Coulomb pass_fuel = r.totals.fuel;
+    const Seconds pass_duration = r.totals.duration;
+    // Contract check before any result mutation: a failed expectation
+    // must not leave a half-updated result behind.
+    FCDPM_EXPECTS(pass_fuel.value() > 0.0,
+                  "workload burns no fuel; lifetime unbounded");
+    ++result.simulated_passes;
+
+    const Coulomb fuel_after = fuel_cum + pass_fuel;
+    if (fuel_after < options.tank) {
+      // Pass-local accounting: fold this pass into the epoch clock so
+      // the next pass accumulates from zero — in steady state,
+      // bit-identically to this one.
+      hybrid.reset_totals();
+      fuel_cum = fuel_after;
+      elapsed += pass_duration;
+      ++result.passes;
       result.slots_completed += r.slots;
-      FCDPM_EXPECTS(pass_fuel.value() > 0.0,
-                    "workload burns no fuel; lifetime unbounded");
+
+      const PassSignature signature = signature_of(r);
+      if (last_signature.has_value() && signature == *last_signature) {
+        ++identical_streak;
+      } else {
+        identical_streak = 1;
+      }
+      last_signature = signature;
+
+      if (fast_path && identical_streak >= options.convergence_passes) {
+        // Steady state: replay exactly the additions the remaining
+        // whole passes would have performed. Bit-identical to running
+        // them, at pass-arithmetic cost.
+        while (result.passes < options.max_passes &&
+               fuel_cum + pass_fuel < options.tank) {
+          fuel_cum = fuel_cum + pass_fuel;
+          elapsed += pass_duration;
+          ++result.passes;
+          ++result.extrapolated_passes;
+          result.slots_completed += r.slots;
+        }
+        // Either the next pass crosses (the loop simulates it), or
+        // max_passes is exhausted (the loop exits).
+      }
       continue;
     }
 
-    // The tank empties within this pass: walk the slot records.
-    Coulomb cumulative = fuel_before_pass;
-    Seconds pass_elapsed{0.0};
-    for (const SlotRecord& record : r.slot_records) {
-      const Seconds slot_span =
-          record.idle + record.active + record.latency;
-      if (cumulative + record.fuel < options.tank) {
-        cumulative += record.fuel;
-        pass_elapsed += slot_span;
-        ++result.slots_completed;
-        continue;
-      }
-      // Linear interpolation inside the crossing slot (fuel accrues
-      // piecewise-linearly in time; the error is bounded by one slot).
-      const double need = (options.tank - cumulative).value();
-      const double fraction =
-          record.fuel.value() > 0.0 ? need / record.fuel.value() : 1.0;
-      pass_elapsed += slot_span * std::min(1.0, fraction);
-      break;
-    }
+    // The tank empties within this pass: re-run it from the pre-pass
+    // snapshot with slot records on. The observer is detached (its
+    // events were already emitted by the first run) and the fault
+    // timeline replays from its own snapshot.
+    SimulationOptions record_options = snapshot_options;
+    record_options.keep_slot_records = true;
+    record_options.record_profiles = false;
+    record_options.observer = nullptr;
+    record_options.faults =
+        fault_snapshot.has_value() ? &*fault_snapshot : nullptr;
+    const SimulationResult recorded = simulate(
+        trace, *dpm_snapshot, *fc_snapshot, hybrid_snapshot, record_options);
+    ++result.record_passes;
+    FCDPM_ENSURES(recorded.totals.fuel == pass_fuel,
+                  "crossing-pass re-run diverged from the measured pass "
+                  "(lossy policy or source clone)");
 
-    result.lifetime = elapsed + pass_elapsed;
+    // Walk the records against the same cumulative series the emptiness
+    // test used; the last record carries `fuel_end == pass_fuel`, so the
+    // crossing slot is guaranteed to be found.
+    const CrossingPoint point =
+        resolve_crossing(recorded.slot_records, fuel_cum, options.tank);
+    FCDPM_ENSURES(point.crossed, "crossing walk missed the emptying slot");
+
+    result.lifetime = elapsed + point.elapsed_in_pass;
+    result.slots_completed += point.slots_completed;
+    ++result.passes;
     result.tank_emptied = true;
-    result.passes = pass + 1;
-    result.average_fuel_current = options.tank / result.lifetime;
+    result.average_fuel_current = result.lifetime.value() > 0.0
+                                      ? options.tank / result.lifetime
+                                      : Ampere(0.0);
     return result;
   }
 
@@ -71,7 +190,7 @@ LifetimeResult measure_lifetime(const wl::Trace& trace,
   result.lifetime = elapsed;
   result.tank_emptied = false;
   if (elapsed.value() > 0.0) {
-    result.average_fuel_current = fuel_before_pass / elapsed;
+    result.average_fuel_current = fuel_cum / elapsed;
   }
   return result;
 }

@@ -21,7 +21,12 @@ struct SlotRecord {
   bool slept = false;
   Ampere if_idle{0.0};   ///< time-averaged FC output over the idle phase
   Ampere if_active{0.0};
-  Coulomb fuel{0.0};
+  Coulomb fuel{0.0};          ///< fuel burned within this slot
+  /// Cumulative `hybrid.totals().fuel` at slot end — the same series the
+  /// lifetime emptiness test reads, so walking `fuel_end` reconciles
+  /// exactly with the pass total (re-summing per-slot `fuel` does not,
+  /// by accumulated rounding).
+  Coulomb fuel_end{0.0};
   Coulomb storage_end{0.0};
   Seconds latency{0.0};
 };

@@ -143,7 +143,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     Coulomb usable_capacity = capacity;
     if (faults != nullptr) {
       const fault::ActiveFaults& af =
-          faults->advance_to(hybrid.totals().duration);
+          faults->advance_to(hybrid.elapsed_time());
       if (af.load_scale != 1.0) {
         run_current = run_current * af.load_scale;
       }
@@ -235,7 +235,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     if (faults != nullptr) {
       // The active set may have shifted during the idle phase.
       const fault::ActiveFaults& af =
-          faults->advance_to(hybrid.totals().duration);
+          faults->advance_to(hybrid.elapsed_time());
       active_context.fc_output_derate = af.fc_output_derate;
       active_context.fc_available = !af.fc_dropout;
       if (af.storage_derate < 1.0) {
@@ -286,6 +286,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                                                  : Ampere(0.0);
       record.if_active = if_dt_active / active_eff;
       record.fuel = hybrid.totals().fuel - fuel_before;
+      record.fuel_end = hybrid.totals().fuel;
       record.storage_end = hybrid.storage().charge();
       record.latency = plan.latency_spill;
       result.slot_records.push_back(record);
@@ -305,7 +306,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   result.storage_max = hybrid.max_storage_seen();
 
   if (faults != nullptr) {
-    (void)faults->advance_to(hybrid.totals().duration);
+    (void)faults->advance_to(hybrid.elapsed_time());
     result.robustness = faults->stats();
     if (obs != nullptr && obs->metering()) {
       obs->gauge("fault.degraded_s",

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/contracts.hpp"
+#include "common/math.hpp"
 
 namespace fcdpm::dpm {
 namespace {
@@ -106,6 +110,42 @@ TEST(Regression, WindowSlides) {
   }
   // Old regime fully evicted.
   EXPECT_NEAR(p.predict().value(), 5.0, 1e-6);
+}
+
+// Bugfix regression: predict() regresses in place over its window (it
+// runs in the per-slot hot loop). The streaming accumulation must stay
+// bit-identical to the original copy-into-vectors implementation, which
+// this reference reproduces.
+TEST(Regression, InPlaceFitIsBitIdenticalToTheCopyingReference) {
+  RegressionPredictor p(16, Seconds(0.0));
+  std::vector<double> history;
+  const auto reference_predict = [&history]() {
+    std::vector<double> xs(history.begin(), history.end() - 1);
+    std::vector<double> ys(history.begin() + 1, history.end());
+    const double x_min = *std::min_element(xs.begin(), xs.end());
+    const double x_max = *std::max_element(xs.begin(), xs.end());
+    if (x_max - x_min < 1e-12) {
+      return mean(ys);
+    }
+    const LinearFit fit = linear_least_squares(xs, ys);
+    return std::max(fit(history.back()), 0.0);
+  };
+
+  // Irregular values exercise both the fitted and the clamped paths.
+  const double values[] = {12.25, 3.5,  17.75, 9.0, 14.5, 1.25,
+                           22.0,  8.75, 8.75,  0.5, 30.25, 6.0,
+                           11.5,  19.0, 2.75,  13.25, 27.5, 4.25};
+  for (const double v : values) {
+    p.observe(Seconds(v));
+    history.push_back(v);
+    if (history.size() > 16) {
+      history.erase(history.begin());
+    }
+    if (history.size() >= 3) {
+      EXPECT_EQ(p.predict().value(), reference_predict())
+          << "after observing " << v;
+    }
+  }
 }
 
 TEST(Regression, RejectsTinyWindow) {

@@ -1,0 +1,201 @@
+#include "par/solve_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/slot_optimizer.hpp"
+#include "obs/context.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::par {
+namespace {
+
+core::SlotLoad sample_load(int variant = 0) {
+  const double t = static_cast<double>(variant % 7);
+  return {Seconds(10.0 + t), Ampere(0.15 + 0.01 * t), Seconds(3.0 + t),
+          Ampere(1.0 + 0.02 * t)};
+}
+
+core::StorageBounds sample_bounds() {
+  return {Coulomb(1.0), Coulomb(1.0), Coulomb(6.0)};
+}
+
+TEST(SharedSolveCache, MissThenHitCountsAndAnswersMatchFreshSolve) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;  // quantum 0: exact bit-pattern keys
+
+  const core::CheckedSetting fresh =
+      optimizer.solve_checked(sample_load(), sample_bounds());
+  const core::CheckedSetting miss =
+      cache.solve(optimizer, sample_load(), sample_bounds());
+  const core::CheckedSetting hit =
+      cache.solve(optimizer, sample_load(), sample_bounds());
+
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+
+  for (const core::CheckedSetting& got : {miss, hit}) {
+    EXPECT_EQ(got.status, fresh.status);
+    EXPECT_EQ(got.setting.if_idle.value(), fresh.setting.if_idle.value());
+    EXPECT_EQ(got.setting.if_active.value(),
+              fresh.setting.if_active.value());
+    EXPECT_EQ(got.setting.expected_end.value(),
+              fresh.setting.expected_end.value());
+    EXPECT_EQ(got.setting.fuel.value(), fresh.setting.fuel.value());
+  }
+}
+
+TEST(SharedSolveCache, ActiveOnlySolvesUseADistinctKeySpace) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;
+
+  const core::CheckedSetting fresh = optimizer.solve_active_only_checked(
+      Seconds(3.0), Coulomb(3.6), sample_bounds());
+  const core::CheckedSetting got = cache.solve_active_only(
+      optimizer, Seconds(3.0), Coulomb(3.6), sample_bounds());
+  EXPECT_EQ(got.setting.if_active.value(),
+            fresh.setting.if_active.value());
+  EXPECT_EQ(got.setting.fuel.value(), fresh.setting.fuel.value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // A full solve with overlapping numbers must not alias the
+  // active-only entry.
+  (void)cache.solve(optimizer, sample_load(), sample_bounds());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SharedSolveCache, QuantizedCacheAnswersTheSnappedProblemExactly) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SolveCacheConfig config;
+  config.time_quantum = Seconds(0.01);
+  config.current_quantum = Ampere(0.001);
+  config.charge_quantum = Coulomb(0.001);
+  SharedSolveCache cache(config);
+
+  core::SlotLoad noisy = sample_load();
+  noisy.idle = Seconds(noisy.idle.value() + 1.7e-4);
+  noisy.active_current = Ampere(noisy.active_current.value() - 2.3e-5);
+
+  const core::CheckedSetting cached =
+      cache.solve(optimizer, noisy, sample_bounds());
+
+  // Snap by the cache's rule and solve fresh: the cached answer is the
+  // exact solve of the snapped problem, not of the noisy one.
+  core::SlotLoad snapped = noisy;
+  const auto snap = [](double v, double q) {
+    return std::round(v / q) * q;
+  };
+  snapped.idle = Seconds(snap(noisy.idle.value(), 0.01));
+  snapped.active = Seconds(snap(noisy.active.value(), 0.01));
+  snapped.idle_current = Ampere(snap(noisy.idle_current.value(), 0.001));
+  snapped.active_current =
+      Ampere(snap(noisy.active_current.value(), 0.001));
+  const core::CheckedSetting fresh =
+      optimizer.solve_checked(snapped, sample_bounds());
+
+  EXPECT_EQ(cached.setting.if_idle.value(),
+            fresh.setting.if_idle.value());
+  EXPECT_EQ(cached.setting.if_active.value(),
+            fresh.setting.if_active.value());
+  EXPECT_EQ(cached.setting.fuel.value(), fresh.setting.fuel.value());
+
+  // Two noisy inputs inside the same cell share one entry.
+  core::SlotLoad nearby = noisy;
+  nearby.idle = Seconds(noisy.idle.value() + 5.0e-4);
+  (void)cache.solve(optimizer, nearby, sample_bounds());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SharedSolveCache, ClearResetsEntriesAndCounters) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;
+  (void)cache.solve(optimizer, sample_load(), sample_bounds());
+  (void)cache.solve(optimizer, sample_load(), sample_bounds());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+TEST(SharedSolveCache, PublishEmitsGauges) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;
+  (void)cache.solve(optimizer, sample_load(), sample_bounds());
+  (void)cache.solve(optimizer, sample_load(), sample_bounds());
+
+  obs::MetricsRegistry metrics;
+  obs::Context obs(nullptr, &metrics, nullptr);
+  cache.publish(obs);
+  EXPECT_EQ(metrics.gauge("par.cache.hits").last(), 1.0);
+  EXPECT_EQ(metrics.gauge("par.cache.misses").last(), 1.0);
+  EXPECT_EQ(metrics.gauge("par.cache.entries").last(), 1.0);
+  EXPECT_EQ(metrics.gauge("par.cache.hit_rate").last(), 0.5);
+}
+
+// Hammer one cache from many threads over overlapping keys: every
+// answer must be bit-identical to an uncached solve, and the counters
+// must add up. (This is the test the TSan CI job leans on.)
+TEST(SharedSolveCache, ConcurrentMixedKeysStayBitIdentical) {
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  std::vector<core::CheckedSetting> reference;
+  reference.reserve(7);
+  for (int v = 0; v < 7; ++v) {
+    reference.push_back(
+        optimizer.solve_checked(sample_load(v), sample_bounds()));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kIterations; ++k) {
+        const int v = (t + k) % 7;
+        const core::CheckedSetting got =
+            cache.solve(optimizer, sample_load(v), sample_bounds());
+        const core::CheckedSetting& want = reference[v];
+        if (got.setting.fuel.value() != want.setting.fuel.value() ||
+            got.setting.if_idle.value() !=
+                want.setting.if_idle.value() ||
+            got.setting.if_active.value() !=
+                want.setting.if_active.value()) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_LE(cache.size(), 7u);
+  // Racing misses on the same key are allowed, but every key misses at
+  // least once and the vast majority of traffic must hit.
+  EXPECT_GE(cache.misses(), cache.size());
+  EXPECT_GT(cache.hits(), cache.misses());
+}
+
+}  // namespace
+}  // namespace fcdpm::par

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 #include "sim/experiments.hpp"
 #include "workload/camcorder.hpp"
 
@@ -116,6 +120,232 @@ TEST(Lifetime, RejectsBadInput) {
   EXPECT_THROW(
       (void)measure_lifetime(empty, dpm_policy, *fc, hybrid, options),
       PreconditionError);
+}
+
+// --- resolve_crossing --------------------------------------------------------
+
+SlotRecord make_record(double span, double fuel_end) {
+  SlotRecord record;
+  record.idle = Seconds(span * 0.6);
+  record.active = Seconds(span * 0.4);
+  record.fuel_end = Coulomb(fuel_end);
+  return record;
+}
+
+TEST(ResolveCrossing, InterpolatesInsideTheCrossingSlot) {
+  const std::vector<SlotRecord> records = {make_record(5.0, 10.0),
+                                           make_record(5.0, 20.0)};
+  const CrossingPoint point =
+      resolve_crossing(records, Coulomb(0.0), Coulomb(15.0));
+  EXPECT_TRUE(point.crossed);
+  EXPECT_EQ(point.slots_completed, 1u);
+  EXPECT_DOUBLE_EQ(point.elapsed_in_pass.value(), 7.5);
+}
+
+TEST(ResolveCrossing, ZeroSpanRecordsYieldAFiniteZeroCrossing) {
+  // Degenerate records (no simulated time, fuel still attributed): the
+  // walk must cross at time zero rather than divide by a zero span —
+  // and the caller's average-current guard turns the 0-lifetime case
+  // into 0 A, never Inf.
+  const std::vector<SlotRecord> records = {make_record(0.0, 4.0)};
+  const CrossingPoint point =
+      resolve_crossing(records, Coulomb(0.0), Coulomb(2.0));
+  EXPECT_TRUE(point.crossed);
+  EXPECT_EQ(point.slots_completed, 0u);
+  EXPECT_EQ(point.elapsed_in_pass.value(), 0.0);
+  EXPECT_TRUE(std::isfinite(point.elapsed_in_pass.value()));
+}
+
+TEST(ResolveCrossing, ReportsWhenTheTankIsNeverReached) {
+  const std::vector<SlotRecord> records = {make_record(5.0, 10.0)};
+  const CrossingPoint point =
+      resolve_crossing(records, Coulomb(0.0), Coulomb(50.0));
+  EXPECT_FALSE(point.crossed);
+  EXPECT_EQ(point.slots_completed, 1u);
+}
+
+TEST(ResolveCrossing, CrossesOnExactTankEqualityAtTheFinalRecord) {
+  // The lifetime loop detects emptiness with `fuel_cum + pass_fuel >=
+  // tank` and the last record carries `fuel_end == pass_fuel` — when the
+  // sum equals the tank exactly, the walk must still cross. (The old
+  // walk re-summed per-slot `fuel` deltas, a *different* series whose
+  // rounding can land one ulp short and miss the crossing entirely.)
+  const double fuel_start = 75.186978448148267;  // one real ASAP pass
+  const std::vector<SlotRecord> records = {make_record(5.0, 30.0),
+                                           make_record(5.0, 69.38048906734663)};
+  const Coulomb tank = Coulomb(fuel_start) + records.back().fuel_end;
+  const CrossingPoint point =
+      resolve_crossing(records, Coulomb(fuel_start), tank);
+  EXPECT_TRUE(point.crossed);
+  EXPECT_EQ(point.slots_completed, 1u);
+}
+
+// --- lifetime accounting regressions -----------------------------------------
+
+// Bugfix regression: the crossing walk must read the same cumulative
+// fuel series as the emptiness test. The old implementation re-summed
+// per-slot `record.fuel` deltas from the multi-pass base; accumulated
+// rounding let that re-sum fall one ulp short of the pass total, the
+// walk ran off the end of the records, and the run was credited a full
+// extra slot (and its span). This test places the tank exactly at the
+// end of a pass where the drift manifests and pins the correct count.
+TEST(Lifetime, CrossingWalkReconcilesWithTheEmptinessSeries) {
+  ExperimentConfig config = experiment1_config();
+  config.trace = config.trace.truncated(Seconds(120.0));
+
+  // Reference runs replicating measure_lifetime's pass-local
+  // accounting, records on (records never feed back into the
+  // arithmetic). Find a pass where the telescoped re-sum of
+  // `record.fuel` from the pre-pass base misses the pass-end tank.
+  dpm::PredictiveDpmPolicy ref_dpm = make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> ref_fc =
+      make_fc_policy(PolicyKind::Asap, config);
+  power::HybridPowerSource ref_hybrid = make_hybrid(config);
+  SimulationOptions sim_options = config.simulation;
+  sim_options.initial_storage = config.initial_storage;
+  sim_options.keep_slot_records = true;
+
+  Coulomb fuel_cum{0.0};
+  Coulomb tank{0.0};
+  std::size_t crossing_pass = 0;
+  std::size_t expected_slots = 0;
+  std::size_t slots_before = 0;
+  for (std::size_t pass = 1; pass <= 64 && crossing_pass == 0; ++pass) {
+    const SimulationResult r =
+        simulate(config.trace, ref_dpm, *ref_fc, ref_hybrid, sim_options);
+    sim_options.preserve_source_state = true;
+    const Coulomb pass_fuel = ref_hybrid.totals().fuel;
+    const Coulomb pass_tank = fuel_cum + pass_fuel;
+    // Old walk: telescoped deltas from the multi-pass base.
+    double walk = fuel_cum.value();
+    bool old_walk_crosses = false;
+    for (const SlotRecord& record : r.slot_records) {
+      if (walk + record.fuel.value() < pass_tank.value()) {
+        walk += record.fuel.value();
+        continue;
+      }
+      old_walk_crosses = true;
+      break;
+    }
+    if (!old_walk_crosses) {
+      crossing_pass = pass;
+      tank = pass_tank;
+      // Correct count: every slot of every prior pass, plus all but the
+      // final (crossing) slot of this pass.
+      expected_slots = slots_before + r.slots - 1;
+    }
+    slots_before += r.slots;
+    fuel_cum = pass_tank;
+    ref_hybrid.reset_totals();
+  }
+  if (crossing_pass == 0) {
+    GTEST_SKIP() << "telescoped-sum drift does not manifest on this "
+                    "platform's floating-point";
+  }
+
+  dpm::PredictiveDpmPolicy dpm_policy = make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc =
+      make_fc_policy(PolicyKind::Asap, config);
+  power::HybridPowerSource hybrid = make_hybrid(config);
+  LifetimeOptions options;
+  options.tank = tank;
+  options.simulation = config.simulation;
+  options.simulation.initial_storage = config.initial_storage;
+  const LifetimeResult r =
+      measure_lifetime(config.trace, dpm_policy, *fc, hybrid, options);
+
+  EXPECT_TRUE(r.tank_emptied);
+  EXPECT_EQ(r.passes, crossing_pass);
+  // The old walk missed the crossing and credited the full pass
+  // (expected_slots + 1); the fuel_end series is guaranteed to cross.
+  EXPECT_EQ(r.slots_completed, expected_slots);
+  EXPECT_EQ(r.record_passes, 1u);
+  EXPECT_GT(r.lifetime.value(), 0.0);
+  EXPECT_TRUE(std::isfinite(r.average_fuel_current.value()));
+}
+
+// Bugfix regression: slot records are kept only for the crossing pass
+// (re-run from a snapshot), not for every pass of the whole search.
+TEST(Lifetime, RecordsAreKeptOnlyForTheCrossingPass) {
+  const LifetimeResult emptied = measure(PolicyKind::FcDpm, Coulomb(500.0));
+  EXPECT_TRUE(emptied.tank_emptied);
+  EXPECT_EQ(emptied.record_passes, 1u);
+  EXPECT_EQ(emptied.passes,
+            emptied.simulated_passes + emptied.extrapolated_passes);
+
+  // A search that never empties the tank keeps records for no pass.
+  ExperimentConfig config = experiment1_config();
+  config.trace = config.trace.truncated(Seconds(60.0));
+  dpm::PredictiveDpmPolicy dpm_policy = make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc =
+      make_fc_policy(PolicyKind::Conv, config);
+  power::HybridPowerSource hybrid = make_hybrid(config);
+  LifetimeOptions options;
+  options.tank = Coulomb(1e9);
+  options.max_passes = 3;
+  const LifetimeResult capped =
+      measure_lifetime(config.trace, dpm_policy, *fc, hybrid, options);
+  EXPECT_EQ(capped.record_passes, 0u);
+}
+
+// --- steady-state fast path --------------------------------------------------
+
+TEST(Lifetime, SteadyStateFastPathIsBitIdenticalToBruteForce) {
+  ExperimentConfig config = experiment1_config();
+  config.trace = config.trace.truncated(Seconds(120.0));
+
+  LifetimeResult results[2];
+  for (const bool fast : {false, true}) {
+    dpm::PredictiveDpmPolicy dpm_policy = make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc =
+        make_fc_policy(PolicyKind::FcDpm, config);
+    power::HybridPowerSource hybrid = make_hybrid(config);
+    LifetimeOptions options;
+    options.tank = Coulomb(3000.0);
+    options.simulation = config.simulation;
+    options.simulation.initial_storage = config.initial_storage;
+    options.steady_state = fast;
+    results[fast ? 1 : 0] =
+        measure_lifetime(config.trace, dpm_policy, *fc, hybrid, options);
+  }
+  const LifetimeResult& brute = results[0];
+  const LifetimeResult& fast = results[1];
+
+  EXPECT_TRUE(brute.tank_emptied);
+  EXPECT_TRUE(fast.tank_emptied);
+  EXPECT_EQ(fast.lifetime.value(), brute.lifetime.value());
+  EXPECT_EQ(fast.passes, brute.passes);
+  EXPECT_EQ(fast.slots_completed, brute.slots_completed);
+  EXPECT_EQ(fast.average_fuel_current.value(),
+            brute.average_fuel_current.value());
+  // The point of the fast path: most passes were answered arithmetically.
+  EXPECT_EQ(brute.extrapolated_passes, 0u);
+  EXPECT_GT(fast.extrapolated_passes, 0u);
+  EXPECT_LT(fast.simulated_passes, brute.simulated_passes);
+}
+
+TEST(Lifetime, FastPathIsDisabledUnderFaultInjection) {
+  // Faults live on the absolute timeline; extrapolated passes would
+  // jump future fault windows, so the fast path must stand down.
+  ExperimentConfig config = experiment1_config();
+  config.trace = config.trace.truncated(Seconds(120.0));
+  dpm::PredictiveDpmPolicy dpm_policy = make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc =
+      make_fc_policy(PolicyKind::FcDpm, config);
+  power::HybridPowerSource hybrid = make_hybrid(config);
+
+  fault::FaultInjector injector{
+      fault::FaultSchedule::random_storm(11, 6, Seconds(2000.0))};
+  LifetimeOptions options;
+  options.tank = Coulomb(1500.0);
+  options.simulation = config.simulation;
+  options.simulation.initial_storage = config.initial_storage;
+  options.simulation.faults = &injector;
+  const LifetimeResult r =
+      measure_lifetime(config.trace, dpm_policy, *fc, hybrid, options);
+  EXPECT_TRUE(r.tank_emptied);
+  EXPECT_EQ(r.extrapolated_passes, 0u);
+  EXPECT_EQ(r.passes, r.simulated_passes);
 }
 
 }  // namespace
