@@ -10,14 +10,22 @@
 //   fcdpm_cli sweep    [--jobs N] [--policies ...] [--rhos ...]
 //                      [--capacities ...] [--storm-seeds ...]
 //                      [--out BENCH_sweep.json]
+//                      [--journal J] [--resume J] [--max-retries N]
+//                      [--point-deadline SLOTS] [--watchdog-stall-ms MS]
 //
 // run/compare/lifetime accept --trace-out / --metrics-out /
 // --profile-out to capture a Perfetto trace, a metrics dump and a
 // wall-clock profile of the run (see docs/ARCHITECTURE.md,
 // "Observability"), and --faults <spec|file|storm:SEED[:N]> to inject a
-// fault schedule (see "Fault model & graceful degradation").
+// fault schedule (see "Fault model & graceful degradation"). sweep's
+// resilience flags (see "Crash-safe sweeps & failure quarantine")
+// engage the journaling/retry/watchdog runner; without them the plain
+// deterministic engine runs untouched.
 //
-// Exit code 0 on success, 1 on CLI errors, 2 on runtime errors.
+// Exit code 0 on success, 1 on CLI errors, 2 on runtime errors. A
+// quarantined grid point is *not* a sweep failure: the point is
+// reported with its typed error and the exit code stays 0.
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -28,11 +36,14 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
+#include "common/text.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
 #include "obs/context.hpp"
 #include "par/sweep.hpp"
 #include "report/obs_export.hpp"
+#include "resilience/resilient_sweep.hpp"
 #include "report/sweep_export.hpp"
 #include "report/table.hpp"
 #include "sim/experiments.hpp"
@@ -136,7 +147,10 @@ class ObsSession {
         metrics_path_(option_or(options, "metrics-out", "")),
         profile_path_(option_or(options, "profile-out", "")) {
     if (!trace_path_.empty()) {
-      stream_.open(trace_path_);
+      // Stream into the atomic-write staging sibling; finish() renames
+      // it over the destination, so a killed run never leaves a
+      // truncated trace behind.
+      stream_.open(atomic_temp_path(trace_path_));
       if (!stream_) {
         throw std::runtime_error("cannot create trace file: " + trace_path_);
       }
@@ -177,6 +191,7 @@ class ObsSession {
       sink_->flush();
       sink_.reset();
       stream_.close();
+      commit_file(atomic_temp_path(trace_path_), trace_path_);
       std::printf("wrote trace to %s\n", trace_path_.c_str());
     }
     if (!metrics_path_.empty()) {
@@ -425,24 +440,91 @@ int cmd_lifetime(const Options& options) {
   return 0;
 }
 
-/// Comma-separated list option; empty items are dropped.
-std::vector<std::string> split_list(const std::string& value) {
+/// Strict comma-separated list option. Items are trimmed; an empty
+/// item ("0.5,,0.7", a trailing comma, or an empty value) and a
+/// duplicate item are rejected with the 1-based position — a sweep grid
+/// with silently dropped or doubled points reports misleading results.
+/// Absent option (or absent with empty fallback semantics) returns {}.
+std::vector<std::string> parse_list(const Options& options,
+                                    const std::string& key) {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return {};
+  }
+  const std::vector<std::string> raw = split(it->second, ',');
   std::vector<std::string> items;
-  std::size_t start = 0;
-  while (start <= value.size()) {
-    const std::size_t comma = value.find(',', start);
-    const std::string item = value.substr(
-        start,
-        comma == std::string::npos ? std::string::npos : comma - start);
-    if (!item.empty()) {
-      items.push_back(item);
+  items.reserve(raw.size());
+  for (std::size_t k = 0; k < raw.size(); ++k) {
+    const std::string item{trim(raw[k])};
+    if (item.empty()) {
+      throw std::runtime_error("--" + key + ": empty value at position " +
+                               std::to_string(k + 1));
     }
-    if (comma == std::string::npos) {
-      break;
-    }
-    start = comma + 1;
+    items.push_back(item);
   }
   return items;
+}
+
+/// Report a duplicate grid value: "--rhos: duplicate value '0.5' at
+/// position 2 (first at position 1)".
+[[noreturn]] void duplicate_error(const std::string& key,
+                                  const std::string& item, std::size_t at,
+                                  std::size_t first) {
+  throw std::runtime_error("--" + key + ": duplicate value '" + item +
+                           "' at position " + std::to_string(at + 1) +
+                           " (first at position " +
+                           std::to_string(first + 1) + ")");
+}
+
+/// Reject duplicates by *parsed* value, so "0.5,0.50" is caught too.
+template <typename T>
+void check_unique(const std::string& key,
+                  const std::vector<std::string>& items,
+                  const std::vector<T>& values) {
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (values[j] == values[k]) {
+        duplicate_error(key, items[k], k, j);
+      }
+    }
+  }
+}
+
+std::vector<double> parse_number_list(const Options& options,
+                                      const std::string& key) {
+  const std::vector<std::string> items = parse_list(options, key);
+  std::vector<double> values;
+  values.reserve(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    double value = 0.0;
+    if (!parse_double(items[k], value)) {
+      throw std::runtime_error("--" + key + ": invalid number '" +
+                               items[k] + "' at position " +
+                               std::to_string(k + 1));
+    }
+    values.push_back(value);
+  }
+  check_unique(key, items, values);
+  return values;
+}
+
+std::vector<std::uint64_t> parse_seed_list(const Options& options,
+                                           const std::string& key) {
+  const std::vector<std::string> items = parse_list(options, key);
+  std::vector<std::uint64_t> values;
+  values.reserve(items.size());
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(items[k].c_str(), &end, 10);
+    if (end == items[k].c_str() || *end != '\0') {
+      throw std::runtime_error("--" + key + ": invalid seed '" + items[k] +
+                               "' at position " + std::to_string(k + 1));
+    }
+    values.push_back(static_cast<std::uint64_t>(value));
+  }
+  check_unique(key, items, values);
+  return values;
 }
 
 /// Bitwise comparison of two sweeps over the observable result fields —
@@ -467,29 +549,182 @@ bool identical_sweeps(const par::SweepResult& a, const par::SweepResult& b) {
   return true;
 }
 
-int cmd_sweep(const Options& options) {
-  const sim::ExperimentConfig config = build_config(options);
+/// BENCH_sweep.json per-point row from a grid point and (when ok) its
+/// observable result.
+report::SweepPointRow make_point_row(const par::SweepPoint& point,
+                                     const sim::SimulationResult& result) {
+  report::SweepPointRow row;
+  row.policy = sim::to_string(point.policy);
+  row.rho = point.rho;
+  row.capacity = point.capacity.value();
+  row.storm_seed = point.storm_seed;
+  row.fuel = result.totals.fuel.value();
+  row.bled = result.totals.bled.value();
+  row.unserved = result.totals.unserved.value();
+  row.duration = result.totals.duration.value();
+  row.storage_end = result.storage_end.value();
+  row.latency = result.latency_added.value();
+  row.slots = result.slots;
+  row.sleeps = result.sleeps;
+  return row;
+}
 
+par::SweepGrid parse_sweep_grid(const Options& options) {
   par::SweepGrid grid;
-  for (const std::string& name :
-       split_list(option_or(options, "policies", ""))) {
+  const std::vector<std::string> policy_names =
+      parse_list(options, "policies");
+  for (const std::string& name : policy_names) {
     grid.policies.push_back(parse_policy(name));
   }
-  for (const std::string& item :
-       split_list(option_or(options, "rhos", ""))) {
-    grid.rhos.push_back(std::atof(item.c_str()));
+  check_unique("policies", policy_names, grid.policies);
+  grid.rhos = parse_number_list(options, "rhos");
+  for (const double value : parse_number_list(options, "capacities")) {
+    grid.capacities.push_back(Coulomb(value));
   }
-  for (const std::string& item :
-       split_list(option_or(options, "capacities", ""))) {
-    grid.capacities.push_back(Coulomb(std::atof(item.c_str())));
-  }
-  for (const std::string& item :
-       split_list(option_or(options, "storm-seeds", ""))) {
-    grid.storm_seeds.push_back(static_cast<std::uint64_t>(
-        std::strtoull(item.c_str(), nullptr, 10)));
-  }
+  grid.storm_seeds = parse_seed_list(options, "storm-seeds");
   grid.storm_faults = static_cast<std::size_t>(number_or(
       options, "storm-faults", static_cast<double>(grid.storm_faults)));
+  return grid;
+}
+
+/// The journaling/retry/watchdog sweep path behind the resilience
+/// flags. Quarantined points are reported, not fatal: exit code 0.
+int cmd_sweep_resilient(const sim::ExperimentConfig& config,
+                        const par::SweepGrid& grid, const Options& options,
+                        ObsSession& obs, std::size_t jobs,
+                        const par::SolveCacheConfig& cache_config) {
+  resilience::ResilienceOptions ropt;
+  ropt.contract.max_retries =
+      static_cast<std::size_t>(number_or(options, "max-retries", 2.0));
+  ropt.contract.point_deadline_slots = static_cast<std::size_t>(
+      number_or(options, "point-deadline", 0.0));
+  if (options.find("inject-fail") != options.end()) {
+    ropt.contract.inject_fail_index =
+        static_cast<std::size_t>(number_or(options, "inject-fail", 0.0));
+  }
+  ropt.journal_path = option_or(options, "journal", "");
+  const std::string resume = option_or(options, "resume", "");
+  if (!resume.empty()) {
+    if (!ropt.journal_path.empty() && ropt.journal_path != resume) {
+      throw std::runtime_error(
+          "--journal and --resume name different files");
+    }
+    ropt.journal_path = resume;
+    ropt.resume = true;
+  }
+  ropt.spot_checks =
+      static_cast<std::size_t>(number_or(options, "spot-checks", 1.0));
+  ropt.watchdog_stall = std::chrono::milliseconds(static_cast<long long>(
+      number_or(options, "watchdog-stall-ms", 0.0)));
+  ropt.jobs = jobs;
+  par::SharedSolveCache cache(cache_config);
+  ropt.cache = &cache;
+  ropt.observer = obs.context();
+
+  const resilience::ResilientSweepResult sweep =
+      resilience::run_resilient_sweep(config, grid, ropt);
+
+  report::Table table(
+      "sweep: " + config.trace.name(),
+      {"policy", "rho", "capacity", "storm seed", "fuel (A-s)",
+       "bled (A-s)", "unserved (A-s)", "sleeps", "status"});
+  for (const resilience::ResilientPoint& p : sweep.points) {
+    const par::SweepPoint& point = p.result.point;
+    if (p.ok) {
+      table.add_row({sim::to_string(point.policy),
+                     report::cell(point.rho, 2),
+                     report::cell(point.capacity.value(), 1),
+                     std::to_string(point.storm_seed),
+                     report::cell(p.result.result.totals.fuel.value(), 2),
+                     report::cell(p.result.result.totals.bled.value(), 2),
+                     report::cell(
+                         p.result.result.totals.unserved.value(), 2),
+                     std::to_string(p.result.result.sleeps),
+                     p.replayed ? "replayed" : "ok"});
+    } else {
+      table.add_row({sim::to_string(point.policy),
+                     report::cell(point.rho, 2),
+                     report::cell(point.capacity.value(), 1),
+                     std::to_string(point.storm_seed), "-", "-", "-", "-",
+                     std::string("quarantined: ") +
+                         resilience::to_string(p.error.kind)});
+    }
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  report::SweepBenchReport bench;
+  bench.trace_name = config.trace.name();
+  bench.points = sweep.stats.points;
+  bench.jobs = sweep.stats.jobs;
+  bench.wall_seconds = sweep.stats.wall_seconds;
+  bench.points_per_second = sweep.stats.points_per_second();
+  bench.cache_hits = sweep.stats.cache_hits;
+  bench.cache_misses = sweep.stats.cache_misses;
+  bench.cache_hit_rate = sweep.stats.cache_hit_rate();
+  for (const resilience::ResilientPoint& p : sweep.points) {
+    report::SweepPointRow row =
+        make_point_row(p.result.point, p.result.result);
+    row.ok = p.ok;
+    row.attempts = p.attempts;
+    row.replayed = p.replayed;
+    if (!p.ok) {
+      row.error = resilience::to_string(p.error.kind);
+      row.fuel = row.bled = row.unserved = 0.0;
+      row.duration = row.storage_end = row.latency = 0.0;
+      row.slots = row.sleeps = 0;
+    }
+    bench.results.push_back(std::move(row));
+  }
+  const resilience::ResilienceStats& rs = sweep.resilience;
+  bench.resilience.enabled = true;
+  bench.resilience.scheduled = rs.scheduled;
+  bench.resilience.replayed = rs.replayed;
+  bench.resilience.retries = rs.retries;
+  bench.resilience.quarantined = rs.quarantined;
+  bench.resilience.rounds = rs.rounds;
+  bench.resilience.spot_checks = rs.spot_checks;
+  bench.resilience.torn_tail_recovered = rs.torn_tail_recovered;
+  bench.resilience.torn_bytes_dropped = rs.torn_bytes_dropped;
+  bench.resilience.watchdog_stalls = rs.watchdog_stalls;
+  bench.resilience.max_retries = ropt.contract.max_retries;
+  bench.resilience.point_deadline_slots =
+      ropt.contract.point_deadline_slots;
+
+  std::printf(
+      "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
+      "solve-cache hit rate %.1f %%\n",
+      bench.points, bench.jobs, bench.wall_seconds,
+      bench.points_per_second, 100.0 * bench.cache_hit_rate);
+  std::printf(
+      "resilience: %zu scheduled | %zu replayed | %zu retries | "
+      "%zu quarantined | %zu rounds | %zu spot-checks | %zu stalls\n",
+      rs.scheduled, rs.replayed, rs.retries, rs.quarantined, rs.rounds,
+      rs.spot_checks, rs.watchdog_stalls);
+  if (rs.torn_tail_recovered) {
+    std::printf("journal torn tail recovered (%zu bytes dropped)\n",
+                rs.torn_bytes_dropped);
+  }
+  for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+    const resilience::ResilientPoint& p = sweep.points[k];
+    if (!p.ok) {
+      std::printf("quarantined point %zu after %zu attempts: %s: %s\n", k,
+                  p.attempts, resilience::to_string(p.error.kind),
+                  p.error.detail.c_str());
+    }
+  }
+
+  const std::string out = option_or(options, "out", "");
+  if (!out.empty()) {
+    report::write_sweep_bench_file(out, bench);
+    std::printf("wrote sweep bench to %s\n", out.c_str());
+  }
+  obs.finish();
+  return 0;
+}
+
+int cmd_sweep(const Options& options) {
+  const sim::ExperimentConfig config = build_config(options);
+  const par::SweepGrid grid = parse_sweep_grid(options);
 
   const auto jobs =
       static_cast<std::size_t>(number_or(options, "jobs", 1.0));
@@ -502,6 +737,17 @@ int cmd_sweep(const Options& options) {
   cache_config.charge_quantum = Coulomb(quantum);
 
   ObsSession obs(options);
+
+  // Any resilience flag routes to the journaling/retry/watchdog runner;
+  // without them the plain engine below runs byte-for-byte as before.
+  for (const char* flag :
+       {"journal", "resume", "max-retries", "point-deadline",
+        "watchdog-stall-ms", "spot-checks", "inject-fail"}) {
+    if (options.find(flag) != options.end()) {
+      return cmd_sweep_resilient(config, grid, options, obs, jobs,
+                                 cache_config);
+    }
+  }
 
   // Single-job reference first (own cache, same config): it provides
   // the speedup baseline and the bit-identity check.
@@ -548,6 +794,9 @@ int cmd_sweep(const Options& options) {
   bench.cache_hits = sweep.stats.cache_hits;
   bench.cache_misses = sweep.stats.cache_misses;
   bench.cache_hit_rate = sweep.stats.cache_hit_rate();
+  for (const par::SweepPointResult& p : sweep.points) {
+    bench.results.push_back(make_point_row(p.point, p.result));
+  }
   std::printf(
       "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
       "solve-cache hit rate %.1f %%\n",
@@ -636,6 +885,15 @@ int usage() {
       "           [--serial-check on|off] [--trace f.csv | --kind ...]\n"
       "           (--jobs 0 = all cores; with --jobs != 1 a --jobs 1\n"
       "           reference runs first for speedup and bit-identity)\n"
+      "           resilience (any flag engages the crash-safe runner):\n"
+      "           [--journal J.fcj]     fsync'd per-point result journal\n"
+      "           [--resume J.fcj]      replay J, run only the remainder\n"
+      "           [--max-retries N]     retries before quarantine (2)\n"
+      "           [--point-deadline S]  per-point simulated-slot budget\n"
+      "           [--watchdog-stall-ms MS]  hung-worker watchdog window\n"
+      "           [--spot-checks N]     replayed points re-verified (1)\n"
+      "           [--inject-fail K]     test hook: grid point K always\n"
+      "                                 fails (exercises quarantine)\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
       "run/compare/lifetime also accept:\n"

@@ -1,0 +1,66 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/csv.hpp"
+
+namespace fcdpm {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw CsvError(what + ": " + path + " (" + std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+std::string atomic_temp_path(const std::string& path) {
+  return path + ".tmp";
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string temp = atomic_temp_path(path);
+  const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    fail("cannot create file", temp);
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      fail("cannot write file", temp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    fail("cannot sync file", temp);
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    fail("cannot rename into place", path);
+  }
+}
+
+void commit_file(const std::string& temp_path, const std::string& path) {
+  const int fd = ::open(temp_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail("cannot open staged file", temp_path);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    fail("cannot sync staged file", temp_path);
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    fail("cannot rename into place", path);
+  }
+}
+
+}  // namespace fcdpm

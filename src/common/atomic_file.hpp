@@ -1,0 +1,28 @@
+// Crash-safe whole-file writes: content lands in a sibling temp file,
+// is flushed to disk, and is atomically renamed over the destination.
+// A process killed at any instant therefore leaves either the previous
+// file or the complete new one — never a truncated artifact. Every
+// report writer (CSV, JSON, SVG, traces) funnels through here.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace fcdpm {
+
+/// Name of the temp sibling `write_file_atomic` stages into
+/// (`path + ".tmp"`); exposed so callers that stream incrementally
+/// (e.g. trace sinks) can stage into the same location and finish with
+/// `commit_file`.
+[[nodiscard]] std::string atomic_temp_path(const std::string& path);
+
+/// Write `content` to `path` via temp file + fsync + atomic rename.
+/// Throws CsvError (the report writers' shared error channel) when the
+/// temp file cannot be created, written, synced or renamed.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Atomically rename an already-written staging file over `path`,
+/// fsyncing it first. Throws CsvError on failure.
+void commit_file(const std::string& temp_path, const std::string& path);
+
+}  // namespace fcdpm

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/text.hpp"
 
 namespace fcdpm {
@@ -123,11 +124,10 @@ void write_csv(std::ostream& out, const CsvDocument& doc) {
 }
 
 void write_csv_file(const std::string& path, const CsvDocument& doc) {
-  std::ofstream out(path);
-  if (!out) {
-    throw CsvError("cannot create CSV file: " + path);
-  }
+  // Crash-safe: a killed process never leaves a truncated CSV behind.
+  std::ostringstream out;
   write_csv(out, doc);
+  write_file_atomic(path, out.str());
 }
 
 }  // namespace fcdpm

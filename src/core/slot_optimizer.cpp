@@ -29,6 +29,18 @@ const char* to_string(SolveStatus status) noexcept {
   return "?";
 }
 
+const char* to_string(SolveFailureKind kind) noexcept {
+  switch (kind) {
+    case SolveFailureKind::None:
+      return "none";
+    case SolveFailureKind::Contract:
+      return "contract";
+    case SolveFailureKind::Numeric:
+      return "numeric";
+  }
+  return "?";
+}
+
 SlotOptimizer::SlotOptimizer(power::LinearEfficiencyModel model)
     : model_(model) {}
 

@@ -80,6 +80,32 @@ enum class SolveStatus {
 
 [[nodiscard]] const char* to_string(SolveStatus status) noexcept;
 
+/// Coarse classification of a SolveStatus for error-reporting layers:
+/// contract failures are caller bugs (bad inputs), numeric failures are
+/// divergence/NaN under extreme operating points. fcdpm::resilience maps
+/// these onto its typed PointError taxonomy when deciding whether a
+/// failed grid point is retryable.
+enum class SolveFailureKind {
+  None,      ///< status == Ok
+  Contract,  ///< InvalidInput: precondition violated, retrying is futile
+  Numeric,   ///< NonFinite: the solve diverged / produced NaN or Inf
+};
+
+[[nodiscard]] constexpr SolveFailureKind classify(
+    SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Ok:
+      return SolveFailureKind::None;
+    case SolveStatus::InvalidInput:
+      return SolveFailureKind::Contract;
+    case SolveStatus::NonFinite:
+      return SolveFailureKind::Numeric;
+  }
+  return SolveFailureKind::Contract;
+}
+
+[[nodiscard]] const char* to_string(SolveFailureKind kind) noexcept;
+
 /// A SlotSetting plus the status of the solve that produced it. When
 /// `status != Ok` the setting is default-constructed and must not be
 /// used; callers fall back to a safe flat-current program instead.

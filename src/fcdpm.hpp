@@ -15,6 +15,7 @@
 //   dvs      — voltage/frequency scaling substrate
 //   sim      — simulators, experiments, lifetime, metrics
 //   par      — worker pool, shared solve cache, parallel sweep engine
+//   resilience — crash-safe journal/resume, retries, quarantine, watchdog
 //   report   — tables, series export, report assembly
 #pragma once
 
@@ -82,6 +83,11 @@
 #include "par/solve_cache.hpp"
 #include "par/sweep.hpp"
 #include "par/worker_pool.hpp"
+
+#include "resilience/journal.hpp"
+#include "resilience/resilient_sweep.hpp"
+#include "resilience/retry.hpp"
+#include "resilience/watchdog.hpp"
 
 #include "report/experiment_report.hpp"
 #include "report/obs_export.hpp"

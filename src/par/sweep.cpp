@@ -44,7 +44,9 @@ std::vector<SweepPoint> SweepGrid::points(
 SweepPointResult run_point(const sim::ExperimentConfig& base,
                            const SweepPoint& point,
                            std::size_t storm_faults,
-                           SharedSolveCache* cache) {
+                           SharedSolveCache* cache,
+                           sim::CancellationToken* cancel,
+                           std::size_t slot_budget) {
   sim::ExperimentConfig config = base;
   config.rho = point.rho;
   config.storage_capacity = point.capacity;
@@ -64,6 +66,8 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
 
   sim::SimulationOptions options = config.simulation;
   options.initial_storage = config.initial_storage;
+  options.cancel = cancel;
+  options.slot_budget = slot_budget;
   std::optional<fault::FaultInjector> injector;
   if (point.storm_seed != 0) {
     injector.emplace(fault::FaultSchedule::random_storm(

@@ -15,6 +15,7 @@
 
 #include "obs/context.hpp"
 #include "par/solve_cache.hpp"
+#include "sim/cancellation.hpp"
 #include "sim/experiments.hpp"
 
 namespace fcdpm::par {
@@ -84,11 +85,18 @@ struct SweepResult {
   SweepRunStats stats;
 };
 
-/// Evaluate one grid point serially (what each worker runs).
+/// Evaluate one grid point serially (what each worker runs). `cancel`
+/// and `slot_budget` thread straight into SimulationOptions: the
+/// resilience layer uses them for watchdog cancellation and the
+/// deterministic per-point deadline; the defaults leave the plain sweep
+/// path untouched.
 [[nodiscard]] SweepPointResult run_point(const sim::ExperimentConfig& base,
                                          const SweepPoint& point,
                                          std::size_t storm_faults,
-                                         SharedSolveCache* cache);
+                                         SharedSolveCache* cache,
+                                         sim::CancellationToken* cancel =
+                                             nullptr,
+                                         std::size_t slot_budget = 0);
 
 /// Fan the grid across `options.jobs` workers.
 [[nodiscard]] SweepResult run_sweep(const sim::ExperimentConfig& base,

@@ -25,9 +25,10 @@ WorkerPool::WorkerPool(std::size_t threads)
   const std::size_t n = resolve_threads(threads);
   threads_.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
-    threads_.emplace_back([this] {
-      while (std::optional<std::function<void()>> task = queue_.pop()) {
-        (*task)();
+    threads_.emplace_back([this, k] {
+      while (std::optional<std::function<void(std::size_t)>> task =
+                 queue_.pop()) {
+        (*task)(k);
       }
     });
   }
@@ -42,6 +43,13 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
+  run_indexed_on_workers(
+      count, [&fn](std::size_t /*worker*/, std::size_t index) { fn(index); });
+}
+
+void WorkerPool::run_indexed_on_workers(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) {
     return;
   }
@@ -51,9 +59,9 @@ void WorkerPool::run_indexed(std::size_t count,
   std::exception_ptr first_error;
 
   for (std::size_t k = 0; k < count; ++k) {
-    const bool pushed = queue_.push([&, k] {
+    const bool pushed = queue_.push([&, k](std::size_t worker) {
       try {
-        fn(k);
+        fn(worker, k);
       } catch (...) {
         const std::lock_guard lock(mutex);
         if (first_error == nullptr) {

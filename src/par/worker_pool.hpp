@@ -36,8 +36,17 @@ class WorkerPool {
   void run_indexed(std::size_t count,
                    const std::function<void(std::size_t)>& fn);
 
+  /// Like run_indexed, but the task also learns which worker thread runs
+  /// it (0 .. thread_count()-1). The resilience watchdog keys its
+  /// per-worker heartbeat slots off this index; results must never
+  /// depend on it.
+  void run_indexed_on_workers(
+      std::size_t count,
+      const std::function<void(std::size_t worker, std::size_t index)>& fn);
+
  private:
-  BoundedQueue<std::function<void()>> queue_;
+  /// Queued tasks receive the index of the worker executing them.
+  BoundedQueue<std::function<void(std::size_t)>> queue_;
   std::vector<std::thread> threads_;
 };
 

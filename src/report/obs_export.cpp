@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace fcdpm::report {
@@ -63,11 +64,7 @@ void write_metrics_file(const std::string& path,
   const bool json =
       path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
   if (json) {
-    std::ofstream out(path);
-    if (!out) {
-      throw CsvError("cannot create metrics file: " + path);
-    }
-    out << metrics_to_json(metrics);
+    write_file_atomic(path, metrics_to_json(metrics));
     return;
   }
   write_csv_file(path, metrics_to_csv(metrics));

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_file.hpp"
 #include "common/contracts.hpp"
 #include "common/text.hpp"
 
@@ -225,11 +226,8 @@ std::string render_step_svg(
 }
 
 void write_svg_file(const std::string& path, const std::string& svg) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot create SVG file: " + path);
-  }
-  out << svg;
+  // Crash-safe: temp + atomic rename, like every other report writer.
+  write_file_atomic(path, svg);
 }
 
 }  // namespace fcdpm::report

@@ -1,9 +1,8 @@
 #include "report/sweep_export.hpp"
 
 #include <cstdio>
-#include <fstream>
 
-#include "common/csv.hpp"
+#include "common/atomic_file.hpp"
 #include "obs/trace_sink.hpp"
 
 namespace fcdpm::report {
@@ -14,6 +13,61 @@ std::string format_double(double value) {
   char buffer[40];
   std::snprintf(buffer, sizeof(buffer), "%.12g", value);
   return buffer;
+}
+
+/// Exact round-trip form for result values (17 significant digits
+/// reproduce any IEEE binary64 bit pattern).
+std::string format_exact(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string point_row_to_json(const SweepPointRow& row) {
+  std::string out = "{";
+  out += "\"policy\":\"" + obs::json_escape(row.policy.c_str()) + "\"";
+  out += ",\"rho\":" + format_exact(row.rho);
+  out += ",\"capacity\":" + format_exact(row.capacity);
+  out += ",\"storm_seed\":" + std::to_string(row.storm_seed);
+  out += ",\"ok\":";
+  out += row.ok ? "true" : "false";
+  if (!row.error.empty()) {
+    out += ",\"error\":\"" + obs::json_escape(row.error.c_str()) + "\"";
+  }
+  out += ",\"attempts\":" + std::to_string(row.attempts);
+  out += ",\"replayed\":";
+  out += row.replayed ? "true" : "false";
+  if (row.ok) {
+    out += ",\"fuel\":" + format_exact(row.fuel);
+    out += ",\"bled\":" + format_exact(row.bled);
+    out += ",\"unserved\":" + format_exact(row.unserved);
+    out += ",\"duration\":" + format_exact(row.duration);
+    out += ",\"storage_end\":" + format_exact(row.storage_end);
+    out += ",\"latency\":" + format_exact(row.latency);
+    out += ",\"slots\":" + std::to_string(row.slots);
+    out += ",\"sleeps\":" + std::to_string(row.sleeps);
+  }
+  out += "}";
+  return out;
+}
+
+std::string resilience_to_json(const SweepResilienceReport& r) {
+  std::string out = "{";
+  out += "\"scheduled\":" + std::to_string(r.scheduled);
+  out += ",\"replayed\":" + std::to_string(r.replayed);
+  out += ",\"retries\":" + std::to_string(r.retries);
+  out += ",\"quarantined\":" + std::to_string(r.quarantined);
+  out += ",\"rounds\":" + std::to_string(r.rounds);
+  out += ",\"spot_checks\":" + std::to_string(r.spot_checks);
+  out += ",\"torn_tail_recovered\":";
+  out += r.torn_tail_recovered ? "true" : "false";
+  out += ",\"torn_bytes_dropped\":" + std::to_string(r.torn_bytes_dropped);
+  out += ",\"watchdog_stalls\":" + std::to_string(r.watchdog_stalls);
+  out += ",\"max_retries\":" + std::to_string(r.max_retries);
+  out +=
+      ",\"point_deadline_slots\":" + std::to_string(r.point_deadline_slots);
+  out += "}";
+  return out;
 }
 
 }  // namespace
@@ -32,17 +86,23 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
   out += ",\"speedup\":" + format_double(bench.speedup);
   out += ",\"bit_identical_to_serial\":" +
          std::to_string(bench.bit_identical_to_serial);
-  out += "}\n";
+  if (bench.resilience.enabled) {
+    out += ",\"resilience\":" + resilience_to_json(bench.resilience);
+  }
+  out += ",\"results\":[";
+  for (std::size_t k = 0; k < bench.results.size(); ++k) {
+    if (k != 0) {
+      out += ',';
+    }
+    out += point_row_to_json(bench.results[k]);
+  }
+  out += "]}\n";
   return out;
 }
 
 void write_sweep_bench_file(const std::string& path,
                             const SweepBenchReport& bench) {
-  std::ofstream out(path);
-  if (!out) {
-    throw CsvError("cannot create sweep bench file: " + path);
-  }
-  out << sweep_bench_to_json(bench);
+  write_file_atomic(path, sweep_bench_to_json(bench));
 }
 
 }  // namespace fcdpm::report

@@ -1,13 +1,55 @@
 // Machine-readable sweep benchmark report (BENCH_sweep.json): the perf
 // trajectory's first artifact. Plain data in, one JSON object out — the
-// report layer stays independent of fcdpm::par; the CLI fills this from
-// par::SweepRunStats.
+// report layer stays independent of fcdpm::par and fcdpm::resilience;
+// the CLI fills this from par::SweepRunStats / resilience stats.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace fcdpm::report {
+
+/// One grid point's deterministic outcome. Doubles are serialized with
+/// 17 significant digits, which round-trips IEEE binary64 exactly, so
+/// two runs producing bitwise-equal results emit byte-equal rows.
+struct SweepPointRow {
+  std::string policy;
+  double rho = 0.0;
+  double capacity = 0.0;
+  std::uint64_t storm_seed = 0;
+  bool ok = true;
+  /// Typed PointError kind for quarantined points; empty when ok.
+  std::string error;
+  std::size_t attempts = 1;
+  /// Restored from a journal instead of re-simulated this run.
+  bool replayed = false;
+  double fuel = 0.0;
+  double bled = 0.0;
+  double unserved = 0.0;
+  double duration = 0.0;
+  double storage_end = 0.0;
+  double latency = 0.0;
+  std::size_t slots = 0;
+  std::size_t sleeps = 0;
+};
+
+/// Fault-tolerant execution accounting (`SweepReport::resilience`);
+/// emitted only when the resilient runner was engaged.
+struct SweepResilienceReport {
+  bool enabled = false;
+  std::size_t scheduled = 0;   ///< points simulated this run
+  std::size_t replayed = 0;    ///< points restored from the journal
+  std::size_t retries = 0;     ///< extra attempts beyond the first
+  std::size_t quarantined = 0;
+  std::size_t rounds = 0;      ///< scheduling rounds (retry backoff)
+  std::size_t spot_checks = 0; ///< journal points re-verified bitwise
+  bool torn_tail_recovered = false;
+  std::size_t torn_bytes_dropped = 0;
+  std::uint64_t watchdog_stalls = 0;
+  std::size_t max_retries = 0;
+  std::size_t point_deadline_slots = 0;
+};
 
 struct SweepBenchReport {
   std::string trace_name;
@@ -24,13 +66,18 @@ struct SweepBenchReport {
   double speedup = 0.0;
   /// -1 = not checked, 0 = results diverged, 1 = bit-identical.
   int bit_identical_to_serial = -1;
+  /// Per-point deterministic results, grid order.
+  std::vector<SweepPointRow> results;
+  SweepResilienceReport resilience;
 };
 
 /// One JSON object, newline-terminated.
 [[nodiscard]] std::string sweep_bench_to_json(const SweepBenchReport& bench);
 
-/// Write the JSON form to `path`. Throws CsvError when the file cannot
-/// be created (same error channel as the other report writers).
+/// Write the JSON form to `path` via temp file + atomic rename (a
+/// killed run never leaves a truncated artifact). Throws CsvError when
+/// the file cannot be created (same error channel as the other report
+/// writers).
 void write_sweep_bench_file(const std::string& path,
                             const SweepBenchReport& bench);
 

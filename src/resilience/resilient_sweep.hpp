@@ -1,0 +1,89 @@
+// Crash-safe sweep runner: journaling + resume, retries with
+// deterministic backoff ordering, failure quarantine, and an optional
+// hung-worker watchdog — all layered over the fcdpm::par engine.
+//
+// Execution proceeds in scheduling *rounds*. Round 0 holds every point
+// not replayed from a journal; a failed attempt is pushed back by
+// backoff_delay_rounds() and re-run in a later round, until its
+// attempts exhaust the contract and the point is quarantined. Rounds
+// and their batch order are a pure function of the grid and the
+// contract, so the sweep's results (and its journal, modulo the
+// append interleaving within a round) are reproducible for any job
+// count. Completed points are journaled with an fsync before the sweep
+// moves on: a SIGKILL at any instant loses at most work in flight,
+// never a committed result.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "par/solve_cache.hpp"
+#include "par/sweep.hpp"
+#include "resilience/retry.hpp"
+
+namespace fcdpm::resilience {
+
+struct ResilienceOptions {
+  ExecutionContract contract;
+
+  /// Journal file to create (or, with `resume`, to continue). Empty =
+  /// run without a journal (retry/quarantine still apply).
+  std::string journal_path;
+  /// Replay completed points from `journal_path` and schedule only the
+  /// remainder. The journal's grid fingerprint must match.
+  bool resume = false;
+  /// Replayed points re-simulated and compared bit-for-bit against the
+  /// journal (capped at the number of replayed ok points). A mismatch
+  /// throws: the journal does not describe this build/grid.
+  std::size_t spot_checks = 1;
+
+  /// Watchdog stall window; zero disables the watchdog entirely.
+  std::chrono::milliseconds watchdog_stall{0};
+  std::chrono::milliseconds watchdog_poll{25};
+
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t jobs = 1;
+  par::SharedSolveCache* cache = nullptr;
+  /// Post-run stats publication only (never attached to worker runs).
+  obs::Context* observer = nullptr;
+};
+
+/// Per-point outcome of a resilient sweep, in grid order.
+struct ResilientPoint {
+  par::SweepPointResult result;  ///< .point always set; .result valid when ok
+  bool ok = false;
+  PointError error;       ///< valid when !ok (the point is quarantined)
+  std::size_t attempts = 1;
+  bool replayed = false;  ///< restored from the journal, not re-run
+};
+
+/// Bookkeeping for reports and the resilience.* metrics.
+struct ResilienceStats {
+  std::size_t scheduled = 0;    ///< points simulated this run
+  std::size_t replayed = 0;     ///< points restored from the journal
+  std::size_t retries = 0;      ///< re-attempts beyond each first try
+  std::size_t quarantined = 0;  ///< points that exhausted their retries
+  std::size_t rounds = 0;       ///< scheduling rounds executed
+  std::size_t spot_checks = 0;  ///< replayed points re-verified bitwise
+  bool torn_tail_recovered = false;
+  std::size_t torn_bytes_dropped = 0;
+  std::size_t watchdog_stalls = 0;
+};
+
+struct ResilientSweepResult {
+  std::vector<ResilientPoint> points;  ///< grid order
+  par::SweepRunStats stats;
+  ResilienceStats resilience;
+};
+
+/// Run the grid under the resilience contract. Throws CsvError for
+/// journal-level failures (unreadable header, fingerprint mismatch,
+/// failed spot-check); individual point failures never propagate — they
+/// are retried and ultimately quarantined in the result.
+[[nodiscard]] ResilientSweepResult run_resilient_sweep(
+    const sim::ExperimentConfig& base, const par::SweepGrid& grid,
+    const ResilienceOptions& options);
+
+}  // namespace fcdpm::resilience

@@ -1,0 +1,89 @@
+#include "resilience/watchdog.hpp"
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::resilience {
+
+Watchdog::Watchdog(std::size_t workers, WatchdogConfig config)
+    : config_(config) {
+  FCDPM_EXPECTS(workers > 0, "watchdog needs at least one worker slot");
+  FCDPM_EXPECTS(config_.poll.count() > 0, "watchdog poll must be positive");
+  FCDPM_EXPECTS(config_.stall_after.count() > 0,
+                "watchdog stall window must be positive");
+  slots_.reserve(workers);
+  for (std::size_t k = 0; k < workers; ++k) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::begin_work(std::size_t worker,
+                          sim::CancellationToken* token) {
+  FCDPM_EXPECTS(worker < slots_.size(), "watchdog worker index out of range");
+  FCDPM_EXPECTS(token != nullptr, "watchdog needs a token to watch");
+  Slot& slot = *slots_[worker];
+  const std::lock_guard lock(slot.mutex);
+  slot.token = token;
+  slot.last_beat = token->heartbeat();
+  slot.last_advance = std::chrono::steady_clock::now();
+  slot.stalled = false;
+}
+
+void Watchdog::end_work(std::size_t worker) {
+  FCDPM_EXPECTS(worker < slots_.size(), "watchdog worker index out of range");
+  Slot& slot = *slots_[worker];
+  const std::lock_guard lock(slot.mutex);
+  slot.token = nullptr;
+}
+
+void Watchdog::poll_loop() {
+  std::unique_lock stop_lock(stop_mutex_);
+  while (!stopping_) {
+    // Waiting on the condition variable keeps shutdown prompt: stop()
+    // wakes the poll immediately instead of sleeping out the interval.
+    stop_cv_.wait_for(stop_lock, config_.poll,
+                      [this] { return stopping_; });
+    if (stopping_) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (const std::unique_ptr<Slot>& owned : slots_) {
+      Slot& slot = *owned;
+      const std::lock_guard lock(slot.mutex);
+      if (slot.token == nullptr || slot.stalled) {
+        continue;
+      }
+      const std::uint64_t beat = slot.token->heartbeat();
+      if (beat != slot.last_beat) {
+        slot.last_beat = beat;
+        slot.last_advance = now;
+        continue;
+      }
+      if (now - slot.last_advance >= config_.stall_after) {
+        slot.stalled = true;
+        stalls_.fetch_add(1, std::memory_order_acq_rel);
+        if (config_.cancel_on_stall) {
+          slot.token->cancel();
+        }
+      }
+    }
+  }
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard lock(stop_mutex_);
+    if (stopping_ && !thread_.joinable()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+}  // namespace fcdpm::resilience

@@ -1,0 +1,92 @@
+// Hung-worker watchdog.
+//
+// Each worker registers its cancellation token when it starts a grid
+// point; the simulator beats the token's heartbeat once per simulated
+// slot. A background poll thread watches every registered heartbeat and
+// declares a worker *stalled* when the count stops advancing for the
+// configured wall-clock window — the one place in the resilience layer
+// where wall time is consulted, because a genuinely hung worker, by
+// definition, makes no deterministic progress to observe. On a stall
+// the watchdog (optionally) fires the worker's cancellation token; the
+// simulator notices at the next slot boundary and the point fails with
+// deadline_exceeded, feeding the normal retry/quarantine machinery.
+// Detection changes *whether* a point completes, never its value, so
+// results stay bit-identical whenever no stall fires.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/cancellation.hpp"
+
+namespace fcdpm::resilience {
+
+struct WatchdogConfig {
+  /// How often the poll thread inspects heartbeats.
+  std::chrono::milliseconds poll{25};
+  /// A worker whose heartbeat has not advanced for this long while
+  /// registered is declared stalled.
+  std::chrono::milliseconds stall_after{2000};
+  /// Fire the stalled worker's cancellation token (the production
+  /// behaviour; tests disable it to observe detection alone).
+  bool cancel_on_stall = true;
+};
+
+/// Watches one heartbeat slot per worker thread. Thread-safe; the poll
+/// thread starts in the constructor and joins in stop()/destructor.
+class Watchdog {
+ public:
+  explicit Watchdog(std::size_t workers, WatchdogConfig config = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Worker `worker` begins a grid point beating `token`. The stall
+  /// window starts fresh here.
+  void begin_work(std::size_t worker, sim::CancellationToken* token);
+
+  /// Worker `worker` finished (or abandoned) its point; its slot is no
+  /// longer watched.
+  void end_work(std::size_t worker);
+
+  /// Stalls declared so far (monotonic; a worker can stall once per
+  /// begin_work).
+  [[nodiscard]] std::size_t stalls_detected() const noexcept {
+    return stalls_.load(std::memory_order_acquire);
+  }
+
+  /// Join the poll thread. Idempotent; implied by the destructor.
+  void stop();
+
+ private:
+  /// Heap-held per-worker state: the vector never reallocates after
+  /// construction, and each slot has its own lock so begin/end never
+  /// contend across workers.
+  struct Slot {
+    std::mutex mutex;
+    sim::CancellationToken* token = nullptr;  ///< null = not working
+    std::uint64_t last_beat = 0;
+    std::chrono::steady_clock::time_point last_advance{};
+    bool stalled = false;
+  };
+
+  void poll_loop();
+
+  WatchdogConfig config_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::size_t> stalls_{0};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fcdpm::resilience

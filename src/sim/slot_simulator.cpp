@@ -1,5 +1,6 @@
 #include "sim/slot_simulator.hpp"
 
+#include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -131,6 +132,22 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   }
 
   for (std::size_t k = 0; k < trace.size(); ++k) {
+    // Cancellation / deadline checkpoint: slot boundaries are the only
+    // places a run may stop early, so a cancelled or over-budget run
+    // leaves no half-integrated slot behind.
+    if (options.cancel != nullptr) {
+      options.cancel->beat();
+      if (options.cancel->cancelled()) {
+        throw CancelledError("simulation cancelled at slot " +
+                             std::to_string(k) + " of " +
+                             std::to_string(trace.size()));
+      }
+    }
+    if (options.slot_budget != 0 && k >= options.slot_budget) {
+      throw DeadlineExceededError(
+          "slot budget exhausted: " + std::to_string(options.slot_budget) +
+          " slots simulated, " + std::to_string(trace.size()) + " required");
+    }
     const wl::TaskSlot& slot = trace[k];
     Ampere run_current = slot.active_power / device.bus_voltage;
     const Seconds active_eff = device.standby_to_run_delay + slot.active +

@@ -14,6 +14,7 @@
 #include "dpm/dpm_policy.hpp"
 #include "obs/context.hpp"
 #include "power/hybrid.hpp"
+#include "sim/cancellation.hpp"
 #include "sim/metrics.hpp"
 #include "workload/trace.hpp"
 
@@ -53,6 +54,16 @@ struct SimulationOptions {
   /// nullptr (the default) keeps results bit-identical to a build
   /// without the fault subsystem.
   fault::FaultInjector* faults = nullptr;
+  /// Opt-in cooperative cancellation. Checked (and `beat()`) once per
+  /// slot boundary; a cancelled token makes simulate() throw
+  /// CancelledError. Not owned. nullptr (the default) costs one pointer
+  /// compare per slot and changes nothing else.
+  CancellationToken* cancel = nullptr;
+  /// Deterministic per-run deadline: the maximum number of slots this
+  /// call may simulate before throwing DeadlineExceededError (0 = no
+  /// limit). Simulated-slot based, so the same point exceeds (or meets)
+  /// its deadline identically on any machine.
+  std::size_t slot_budget = 0;
 };
 
 /// Simulate `trace` with the given policies over `hybrid`. The policies

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "common/text.hpp"
@@ -24,11 +25,10 @@ void save_trace(std::ostream& out, const Trace& trace) {
 }
 
 void save_trace_file(const std::string& path, const Trace& trace) {
-  std::ofstream out(path);
-  if (!out) {
-    throw CsvError("cannot create trace file: " + path);
-  }
+  // Crash-safe: trace files land via temp + atomic rename.
+  std::ostringstream out;
   save_trace(out, trace);
+  write_file_atomic(path, out.str());
 }
 
 Trace load_trace(std::istream& in, const std::string& name) {

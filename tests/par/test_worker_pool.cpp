@@ -83,6 +83,24 @@ TEST(WorkerPool, PoolIsReusableAcrossBatches) {
   EXPECT_EQ(total.load(), 20);
 }
 
+TEST(WorkerPool, IndexedOnWorkersReportsInRangeWorkerIds) {
+  WorkerPool pool(3);
+  constexpr std::size_t kCount = 60;
+  std::vector<std::atomic<int>> counts(kCount);
+  std::atomic<bool> worker_in_range{true};
+  pool.run_indexed_on_workers(
+      kCount, [&](std::size_t worker, std::size_t index) {
+        if (worker >= pool.thread_count()) {
+          worker_in_range.store(false);
+        }
+        counts[index].fetch_add(1);
+      });
+  EXPECT_TRUE(worker_in_range.load());
+  for (std::size_t k = 0; k < kCount; ++k) {
+    EXPECT_EQ(counts[k].load(), 1) << "index " << k;
+  }
+}
+
 TEST(WorkerPool, FirstExceptionPropagatesAfterBatchDrains) {
   WorkerPool pool(2);
   std::atomic<int> completed{0};

@@ -1,0 +1,351 @@
+#include "resilience/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "sim/experiments.hpp"
+
+namespace fcdpm::resilience {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "fcdpm_journal_" + name;
+}
+
+sim::ExperimentConfig small_base() {
+  sim::ExperimentConfig config = sim::experiment1_config();
+  config.trace = config.trace.truncated(Seconds(60.0));
+  return config;
+}
+
+/// Synthetic but fully-populated record for grid point `k`: journal
+/// serialization is exercised without running a simulation.
+JournalRecord make_record(std::size_t k, const par::SweepPoint& point) {
+  JournalRecord record;
+  record.index = k;
+  record.point = point;
+  record.attempts = 1 + k % 3;
+  record.ok = true;
+  sim::SimulationResult& r = record.result;
+  r.trace_name = "trace-" + std::to_string(k);
+  r.dpm_policy = "dpm \"quoted\"\nline";  // exercises JSON escaping
+  r.fc_policy = "fc-" + std::to_string(k);
+  const double base = 1.0 / (3.0 + static_cast<double>(k));  // inexact
+  r.totals.fuel = Coulomb(base * 1000.0);
+  r.totals.delivered_energy = Joule(base * 12000.0);
+  r.totals.load_energy = Joule(base * 11000.0);
+  r.totals.bled = Coulomb(base * 7.0);
+  r.totals.unserved = Coulomb(base / 13.0);
+  r.totals.duration = Seconds(1680.0 + base);
+  r.slots = 100 + k;
+  r.sleeps = 40 + k;
+  r.latency_added = Seconds(base * 2.0);
+  r.storage_initial = Coulomb(1.0);
+  r.storage_end = Coulomb(base * 5.0);
+  r.storage_min = Coulomb(0.0);
+  r.storage_max = Coulomb(base * 6.0);
+  return record;
+}
+
+void expect_same_record(const JournalRecord& a, const JournalRecord& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.point.policy, b.point.policy);
+  EXPECT_EQ(a.point.rho, b.point.rho);
+  EXPECT_EQ(a.point.capacity.value(), b.point.capacity.value());
+  EXPECT_EQ(a.point.storm_seed, b.point.storm_seed);
+  EXPECT_EQ(a.attempts, b.attempts);
+  ASSERT_EQ(a.ok, b.ok);
+  if (!a.ok) {
+    EXPECT_EQ(a.error.kind, b.error.kind);
+    EXPECT_EQ(a.error.detail, b.error.detail);
+    return;
+  }
+  EXPECT_EQ(a.result.trace_name, b.result.trace_name);
+  EXPECT_EQ(a.result.dpm_policy, b.result.dpm_policy);
+  EXPECT_EQ(a.result.fc_policy, b.result.fc_policy);
+  EXPECT_EQ(a.result.totals.fuel.value(), b.result.totals.fuel.value());
+  EXPECT_EQ(a.result.totals.delivered_energy.value(),
+            b.result.totals.delivered_energy.value());
+  EXPECT_EQ(a.result.totals.load_energy.value(),
+            b.result.totals.load_energy.value());
+  EXPECT_EQ(a.result.totals.bled.value(), b.result.totals.bled.value());
+  EXPECT_EQ(a.result.totals.unserved.value(),
+            b.result.totals.unserved.value());
+  EXPECT_EQ(a.result.totals.duration.value(),
+            b.result.totals.duration.value());
+  EXPECT_EQ(a.result.slots, b.result.slots);
+  EXPECT_EQ(a.result.sleeps, b.result.sleeps);
+  EXPECT_EQ(a.result.latency_added.value(),
+            b.result.latency_added.value());
+  EXPECT_EQ(a.result.storage_initial.value(),
+            b.result.storage_initial.value());
+  EXPECT_EQ(a.result.storage_end.value(), b.result.storage_end.value());
+  EXPECT_EQ(a.result.storage_min.value(), b.result.storage_min.value());
+  EXPECT_EQ(a.result.storage_max.value(), b.result.storage_max.value());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<par::SweepPoint> grid_points(std::size_t shape) {
+  par::SweepGrid grid;
+  switch (shape % 3) {
+    case 0:
+      grid.policies = {sim::PolicyKind::FcDpm};
+      grid.rhos = {0.3, 0.7};
+      break;
+    case 1:
+      grid.rhos = {0.5};
+      grid.capacities = {Coulomb(3.0), Coulomb(9.0)};
+      grid.storm_seeds = {0, 11};
+      break;
+    default:
+      grid.policies = {sim::PolicyKind::Conv, sim::PolicyKind::Oracle};
+      grid.capacities = {Coulomb(6.0)};
+      grid.storm_seeds = {5};
+      break;
+  }
+  return grid.points(small_base());
+}
+
+TEST(JournalTest, RoundTripsOkAndFailedRecordsBitExactly) {
+  const std::string path = temp_path("roundtrip.fcj");
+  const std::vector<par::SweepPoint> points = grid_points(1);
+
+  std::vector<JournalRecord> written;
+  {
+    Journal journal =
+        Journal::create(path, {"camcorder", points.size(), 0xabcdefull});
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      JournalRecord record = make_record(k, points[k]);
+      if (k == 2) {
+        record.ok = false;
+        record.error = {PointErrorKind::deadline_exceeded,
+                        "slot budget exhausted: 7 \"slots\""};
+      }
+      journal.append(record);
+      written.push_back(record);
+    }
+  }
+
+  const JournalLoad load = load_journal(path);
+  EXPECT_EQ(load.header.trace_name, "camcorder");
+  EXPECT_EQ(load.header.points, points.size());
+  EXPECT_EQ(load.header.fingerprint, 0xabcdefull);
+  EXPECT_FALSE(load.torn_tail);
+  EXPECT_EQ(load.dropped_bytes, 0u);
+  ASSERT_EQ(load.records.size(), written.size());
+  for (std::size_t k = 0; k < written.size(); ++k) {
+    SCOPED_TRACE(testing::Message() << "record=" << k);
+    expect_same_record(load.records[k], written[k]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, HexfloatSerializationRoundTripsHostileDoubles) {
+  const std::string path = temp_path("hexfloat.fcj");
+  const std::vector<par::SweepPoint> points = grid_points(0);
+  const double hostile[] = {0.1 + 0.2,
+                            1.0 / 3.0,
+                            3.141592653589793,
+                            5e-324,  // smallest subnormal
+                            -0.0,
+                            1.7976931348623157e308};
+  {
+    Journal journal = Journal::create(path, {"t", 6, 1});
+    for (std::size_t k = 0; k < 6; ++k) {
+      JournalRecord record = make_record(k, points[k % points.size()]);
+      record.index = k;
+      record.point.rho = hostile[k];
+      record.result.totals.fuel = Coulomb(hostile[k]);
+      journal.append(record);
+    }
+  }
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 6u);
+  for (std::size_t k = 0; k < 6; ++k) {
+    SCOPED_TRACE(testing::Message() << "value=" << hostile[k]);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(load.records[k].point.rho),
+              std::bit_cast<std::uint64_t>(hostile[k]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(
+                  load.records[k].result.totals.fuel.value()),
+              std::bit_cast<std::uint64_t>(hostile[k]));
+  }
+  std::remove(path.c_str());
+}
+
+// Satellite: a journal truncated at *every byte offset* of its final
+// record loads the preceding records and reports the torn tail, across
+// three different grid shapes.
+TEST(JournalTest, TruncationAtEveryByteOffsetOfFinalRecordRecovers) {
+  for (std::size_t shape = 0; shape < 3; ++shape) {
+    const std::vector<par::SweepPoint> points = grid_points(shape);
+    const std::string path =
+        temp_path("torn_" + std::to_string(shape) + ".fcj");
+    {
+      Journal journal = Journal::create(path, {"t", points.size(), shape});
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        journal.append(make_record(k, points[k]));
+      }
+    }
+    const std::string full = read_file(path);
+    const JournalLoad complete = load_journal(path);
+    ASSERT_EQ(complete.records.size(), points.size());
+    ASSERT_EQ(complete.valid_bytes, full.size());
+
+    // Find where the final record starts: reload after dropping the
+    // last byte — valid_bytes then names the final record's offset.
+    std::string cut_file = path + ".cut";
+    write_file(cut_file, full.substr(0, full.size() - 1));
+    const std::size_t final_start = load_journal(cut_file).valid_bytes;
+    ASSERT_LT(final_start, full.size());
+
+    for (std::size_t cut = final_start; cut < full.size(); ++cut) {
+      write_file(cut_file, full.substr(0, cut));
+      const JournalLoad load = load_journal(cut_file);
+      ASSERT_EQ(load.records.size(), points.size() - 1)
+          << "shape=" << shape << " cut=" << cut;
+      // A cut exactly on the record boundary leaves a *clean* shorter
+      // journal; every later cut leaves a torn tail to drop.
+      ASSERT_EQ(load.torn_tail, cut != final_start)
+          << "shape=" << shape << " cut=" << cut;
+      ASSERT_EQ(load.valid_bytes, final_start)
+          << "shape=" << shape << " cut=" << cut;
+      ASSERT_EQ(load.dropped_bytes, cut - final_start)
+          << "shape=" << shape << " cut=" << cut;
+    }
+    std::remove(path.c_str());
+    std::remove(cut_file.c_str());
+  }
+}
+
+TEST(JournalTest, ChecksumCorruptionDropsTheRecordAndItsTail) {
+  const std::vector<par::SweepPoint> points = grid_points(2);
+  const std::string path = temp_path("corrupt.fcj");
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 9});
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      journal.append(make_record(k, points[k]));
+    }
+  }
+  std::string bytes = read_file(path);
+  // Flip one payload byte inside the *second* record: find the second
+  // "R " framing and damage a byte well past its prefix.
+  const std::size_t first_nl = bytes.find("\nR ");
+  ASSERT_NE(first_nl, std::string::npos);
+  const std::size_t second_nl = bytes.find("\nR ", first_nl + 1);
+  ASSERT_NE(second_nl, std::string::npos);
+  const std::size_t second = second_nl + 1;
+  bytes[second + 40] ^= 0x01;
+  write_file(path, bytes);
+
+  const JournalLoad load = load_journal(path);
+  // Only the record before the corruption survives; everything from the
+  // damaged record on is dropped as a torn tail.
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_TRUE(load.torn_tail);
+  EXPECT_EQ(load.valid_bytes, second);
+  expect_same_record(load.records[0], make_record(0, points[0]));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, OpenForAppendTruncatesTornTailAndContinues) {
+  const std::vector<par::SweepPoint> points = grid_points(1);
+  ASSERT_GE(points.size(), 3u);
+  const std::string path = temp_path("resume.fcj");
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 4});
+    journal.append(make_record(0, points[0]));
+    journal.append(make_record(1, points[1]));
+  }
+  // Tear the second record in half.
+  const std::string full = read_file(path);
+  const std::size_t first_nl = full.find("\nR ");
+  ASSERT_NE(first_nl, std::string::npos);
+  const std::size_t second_nl = full.find("\nR ", first_nl + 1);
+  ASSERT_NE(second_nl, std::string::npos);
+  write_file(path, full.substr(0, second_nl + 1 + 25));
+
+  const JournalLoad torn = load_journal(path);
+  ASSERT_EQ(torn.records.size(), 1u);
+  ASSERT_TRUE(torn.torn_tail);
+  {
+    Journal journal = Journal::open_for_append(path, torn.valid_bytes);
+    journal.append(make_record(1, points[1]));
+    journal.append(make_record(2, points[2]));
+  }
+  const JournalLoad healed = load_journal(path);
+  EXPECT_FALSE(healed.torn_tail);
+  ASSERT_EQ(healed.records.size(), 3u);
+  expect_same_record(healed.records[0], make_record(0, points[0]));
+  expect_same_record(healed.records[1], make_record(1, points[1]));
+  expect_same_record(healed.records[2], make_record(2, points[2]));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DuplicateIndicesKeepTheFirstRecord) {
+  const std::vector<par::SweepPoint> points = grid_points(0);
+  const std::string path = temp_path("dup.fcj");
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 2});
+    JournalRecord original = make_record(0, points[0]);
+    journal.append(original);
+    JournalRecord shadow = make_record(0, points[0]);
+    shadow.attempts = 99;
+    journal.append(shadow);
+  }
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 1u);
+  EXPECT_EQ(load.records[0].attempts, make_record(0, points[0]).attempts);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileAndGarbageHeaderThrow) {
+  EXPECT_THROW((void)load_journal(temp_path("does_not_exist.fcj")),
+               CsvError);
+  const std::string path = temp_path("garbage.fcj");
+  write_file(path, "not a journal header\nR 0000 junk\n");
+  EXPECT_THROW((void)load_journal(path), CsvError);
+  std::remove(path.c_str());
+}
+
+TEST(GridFingerprintTest, SensitiveToConfigPointsAndStormSize) {
+  const sim::ExperimentConfig base = small_base();
+  const std::vector<par::SweepPoint> points = grid_points(0);
+
+  const std::uint64_t reference = grid_fingerprint(base, points, 12);
+  EXPECT_EQ(grid_fingerprint(base, points, 12), reference);
+
+  sim::ExperimentConfig other = base;
+  other.rho = base.rho + 0.01;
+  EXPECT_NE(grid_fingerprint(other, points, 12), reference);
+
+  std::vector<par::SweepPoint> reordered = points;
+  std::swap(reordered.front(), reordered.back());
+  EXPECT_NE(grid_fingerprint(base, reordered, 12), reference);
+
+  std::vector<par::SweepPoint> tweaked = points;
+  tweaked[0].storm_seed += 1;
+  EXPECT_NE(grid_fingerprint(base, tweaked, 12), reference);
+
+  EXPECT_NE(grid_fingerprint(base, points, 13), reference);
+}
+
+}  // namespace
+}  // namespace fcdpm::resilience

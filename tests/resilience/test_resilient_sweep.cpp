@@ -1,0 +1,372 @@
+#include "resilience/resilient_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "obs/context.hpp"
+#include "obs/metrics.hpp"
+#include "resilience/journal.hpp"
+#include "sim/experiments.hpp"
+
+namespace fcdpm::resilience {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "fcdpm_resweep_" + name;
+}
+
+sim::ExperimentConfig small_base() {
+  sim::ExperimentConfig config = sim::experiment1_config();
+  config.trace = config.trace.truncated(Seconds(120.0));
+  return config;
+}
+
+par::SweepGrid small_grid() {
+  par::SweepGrid grid;
+  grid.rhos = {0.3, 0.5};
+  grid.capacities = {Coulomb(3.0), Coulomb(6.0)};
+  grid.storm_seeds = {0, 42};
+  return grid;  // Table-2 trio x 2 x 2 x 2 -> 24 points
+}
+
+void expect_same_result(const sim::SimulationResult& a,
+                        const sim::SimulationResult& b) {
+  EXPECT_EQ(a.totals.fuel.value(), b.totals.fuel.value());
+  EXPECT_EQ(a.totals.duration.value(), b.totals.duration.value());
+  EXPECT_EQ(a.totals.bled.value(), b.totals.bled.value());
+  EXPECT_EQ(a.totals.unserved.value(), b.totals.unserved.value());
+  EXPECT_EQ(a.storage_end.value(), b.storage_end.value());
+  EXPECT_EQ(a.latency_added.value(), b.latency_added.value());
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.sleeps, b.sleeps);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ResilientSweepTest, MatchesThePlainEngineBitwiseAcrossJobCounts) {
+  const sim::ExperimentConfig base = small_base();
+  const par::SweepGrid grid = small_grid();
+
+  par::SweepOptions plain_options;
+  plain_options.jobs = 1;
+  const par::SweepResult plain = par::run_sweep(base, grid, plain_options);
+
+  for (const std::size_t jobs : {1u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "jobs=" << jobs);
+    ResilienceOptions options;
+    options.jobs = jobs;
+    const ResilientSweepResult sweep =
+        run_resilient_sweep(base, grid, options);
+
+    ASSERT_EQ(sweep.points.size(), plain.points.size());
+    EXPECT_EQ(sweep.resilience.quarantined, 0u);
+    EXPECT_EQ(sweep.resilience.retries, 0u);
+    EXPECT_EQ(sweep.resilience.rounds, 1u);
+    for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+      SCOPED_TRACE(testing::Message() << "point=" << k);
+      ASSERT_TRUE(sweep.points[k].ok);
+      EXPECT_EQ(sweep.points[k].attempts, 1u);
+      expect_same_result(sweep.points[k].result.result,
+                         plain.points[k].result);
+    }
+  }
+}
+
+// Acceptance: a permanently-failing point is retried exactly
+// max_retries times, quarantined with its typed error, and no other
+// point changes bitwise.
+TEST(ResilientSweepTest, PoisonedPointIsQuarantinedOthersUntouched) {
+  const sim::ExperimentConfig base = small_base();
+  const par::SweepGrid grid = small_grid();
+  const std::size_t poisoned = 5;
+
+  par::SweepOptions plain_options;
+  plain_options.jobs = 1;
+  const par::SweepResult plain = par::run_sweep(base, grid, plain_options);
+
+  ResilienceOptions options;
+  options.jobs = 4;
+  options.contract.max_retries = 3;
+  options.contract.inject_fail_index = poisoned;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, options);
+
+  EXPECT_EQ(sweep.resilience.quarantined, 1u);
+  EXPECT_EQ(sweep.resilience.retries, 3u);
+  ASSERT_FALSE(sweep.points[poisoned].ok);
+  EXPECT_EQ(sweep.points[poisoned].attempts, 1u + 3u);
+  EXPECT_EQ(sweep.points[poisoned].error.kind,
+            PointErrorKind::solver_diverged);
+  for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+    if (k == poisoned) {
+      continue;
+    }
+    SCOPED_TRACE(testing::Message() << "point=" << k);
+    ASSERT_TRUE(sweep.points[k].ok);
+    expect_same_result(sweep.points[k].result.result,
+                       plain.points[k].result);
+  }
+}
+
+TEST(ResilientSweepTest, QuarantineLandsInTheJournalWithItsTypedError) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.3, 0.5, 0.7};
+  const std::string path = temp_path("quarantine.fcj");
+
+  ResilienceOptions options;
+  options.journal_path = path;
+  options.contract.max_retries = 1;
+  options.contract.inject_fail_index = 1;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, options);
+  EXPECT_EQ(sweep.resilience.quarantined, 1u);
+
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 3u);
+  std::size_t failed = 0;
+  for (const JournalRecord& record : load.records) {
+    if (!record.ok) {
+      ++failed;
+      EXPECT_EQ(record.index, 1u);
+      EXPECT_EQ(record.attempts, 2u);
+      EXPECT_EQ(record.error.kind, PointErrorKind::solver_diverged);
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  std::remove(path.c_str());
+}
+
+// Acceptance: kill-and-resume. The journal of an interrupted sweep
+// (simulated by cutting it mid-record) resumes to results bit-identical
+// to the uninterrupted run, re-simulating zero completed points beyond
+// the spot-check.
+TEST(ResilientSweepTest, TornJournalResumesBitIdenticalToUninterrupted) {
+  const sim::ExperimentConfig base = small_base();
+  const par::SweepGrid grid = small_grid();
+  const std::string path = temp_path("kill_resume.fcj");
+
+  ResilienceOptions first;
+  first.jobs = 2;
+  first.journal_path = path;
+  const ResilientSweepResult uninterrupted =
+      run_resilient_sweep(base, grid, first);
+  ASSERT_EQ(uninterrupted.resilience.quarantined, 0u);
+
+  // "SIGKILL" partway through: keep the header, 10 full records and a
+  // torn 11th.
+  const std::string full = read_file(path);
+  std::size_t cut = full.find('\n') + 1;
+  for (int records = 0; records < 10; ++records) {
+    cut = full.find('\n', cut) + 1;
+  }
+  write_file(path, full.substr(0, cut + 17));
+
+  ResilienceOptions second;
+  second.jobs = 2;
+  second.journal_path = path;
+  second.resume = true;
+  second.spot_checks = 1;
+  const ResilientSweepResult resumed =
+      run_resilient_sweep(base, grid, second);
+
+  EXPECT_TRUE(resumed.resilience.torn_tail_recovered);
+  EXPECT_EQ(resumed.resilience.replayed, 10u);
+  EXPECT_EQ(resumed.resilience.scheduled, grid.points(base).size() - 10u);
+  EXPECT_EQ(resumed.resilience.spot_checks, 1u);
+  ASSERT_EQ(resumed.points.size(), uninterrupted.points.size());
+  std::size_t replayed_points = 0;
+  for (std::size_t k = 0; k < resumed.points.size(); ++k) {
+    SCOPED_TRACE(testing::Message() << "point=" << k);
+    ASSERT_TRUE(resumed.points[k].ok);
+    // With jobs=2 the journal's append order follows completion, not
+    // grid order — which 10 points were committed is scheduling-
+    // dependent, but their *results* must replay bit-identically.
+    replayed_points += resumed.points[k].replayed ? 1 : 0;
+    expect_same_result(resumed.points[k].result.result,
+                       uninterrupted.points[k].result.result);
+  }
+  EXPECT_EQ(replayed_points, 10u);
+
+  // The healed journal now holds every point exactly once.
+  const JournalLoad healed = load_journal(path);
+  EXPECT_FALSE(healed.torn_tail);
+  EXPECT_EQ(healed.records.size(), resumed.points.size());
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSweepTest, FullJournalResumeReSimulatesNothing) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.rhos = {0.4, 0.6};
+  const std::string path = temp_path("full_resume.fcj");
+
+  ResilienceOptions first;
+  first.journal_path = path;
+  const ResilientSweepResult original =
+      run_resilient_sweep(base, grid, first);
+
+  ResilienceOptions second;
+  second.journal_path = path;
+  second.resume = true;
+  second.spot_checks = 0;  // isolate "zero re-simulation"
+  const ResilientSweepResult resumed =
+      run_resilient_sweep(base, grid, second);
+
+  EXPECT_EQ(resumed.resilience.scheduled, 0u);
+  EXPECT_EQ(resumed.resilience.rounds, 0u);
+  EXPECT_EQ(resumed.resilience.replayed, original.points.size());
+  for (std::size_t k = 0; k < resumed.points.size(); ++k) {
+    ASSERT_TRUE(resumed.points[k].replayed);
+    expect_same_result(resumed.points[k].result.result,
+                       original.points[k].result.result);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSweepTest, ResumeRejectsAForeignGridFingerprint) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.rhos = {0.4, 0.6};
+  const std::string path = temp_path("foreign.fcj");
+
+  ResilienceOptions first;
+  first.journal_path = path;
+  (void)run_resilient_sweep(base, grid, first);
+
+  par::SweepGrid other = grid;
+  other.rhos.push_back(0.8);
+  ResilienceOptions second;
+  second.journal_path = path;
+  second.resume = true;
+  EXPECT_THROW((void)run_resilient_sweep(base, other, second), CsvError);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSweepTest, SpotCheckCatchesATamperedJournal) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.5};
+  const std::string path = temp_path("tampered.fcj");
+  const std::vector<par::SweepPoint> points = grid.points(base);
+  ASSERT_EQ(points.size(), 1u);
+
+  // Forge a journal whose record checksums fine but whose fuel value is
+  // wrong: only the spot-check's re-simulation can expose it.
+  const par::SweepPointResult honest =
+      par::run_point(base, points[0], grid.storm_faults, nullptr);
+  JournalRecord record;
+  record.index = 0;
+  record.point = points[0];
+  record.result = honest.result;
+  record.result.totals.fuel =
+      Coulomb(honest.result.totals.fuel.value() + 1.0);
+  {
+    Journal journal = Journal::create(
+        path, {base.trace.name(), points.size(),
+               grid_fingerprint(base, points, grid.storm_faults)});
+    journal.append(record);
+  }
+
+  ResilienceOptions options;
+  options.journal_path = path;
+  options.resume = true;
+  options.spot_checks = 1;
+  EXPECT_THROW((void)run_resilient_sweep(base, grid, options), CsvError);
+
+  // With spot-checks disabled the forged journal replays unchallenged —
+  // the check is exactly what stands between the two behaviours.
+  options.spot_checks = 0;
+  const ResilientSweepResult blind =
+      run_resilient_sweep(base, grid, options);
+  EXPECT_EQ(blind.points[0].result.result.totals.fuel.value(),
+            honest.result.totals.fuel.value() + 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ResilientSweepTest, PublishesResilienceMetrics) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.3, 0.5, 0.7};
+
+  obs::MetricsRegistry metrics;
+  obs::Context obs(nullptr, &metrics, nullptr);
+  ResilienceOptions options;
+  options.observer = &obs;
+  options.contract.max_retries = 2;
+  options.contract.inject_fail_index = 0;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, options);
+
+  EXPECT_EQ(metrics.gauge("resilience.scheduled").last(), 3.0);
+  EXPECT_EQ(metrics.gauge("resilience.retries").last(), 2.0);
+  EXPECT_EQ(metrics.gauge("resilience.quarantined").last(), 1.0);
+  EXPECT_EQ(metrics.gauge("resilience.replayed").last(), 0.0);
+  EXPECT_EQ(metrics.gauge("resilience.watchdog_stalls").last(), 0.0);
+  EXPECT_EQ(metrics.gauge("resilience.rounds").last(),
+            static_cast<double>(sweep.resilience.rounds));
+}
+
+TEST(ResilientSweepTest, DeadlineContractQuarantinesEveryPointTyped) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::Conv, sim::PolicyKind::FcDpm};
+  ResilienceOptions options;
+  options.contract.max_retries = 1;
+  options.contract.point_deadline_slots = 2;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, options);
+  ASSERT_EQ(sweep.points.size(), 2u);
+  EXPECT_EQ(sweep.resilience.quarantined, 2u);
+  for (const ResilientPoint& point : sweep.points) {
+    ASSERT_FALSE(point.ok);
+    EXPECT_EQ(point.error.kind, PointErrorKind::deadline_exceeded);
+    EXPECT_EQ(point.attempts, 2u);
+  }
+}
+
+TEST(ResilientSweepTest, WatchdogEnabledSweepStaysBitIdentical) {
+  // Healthy workers beat every slot, so an armed watchdog must be
+  // invisible in the results.
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.rhos = {0.3, 0.7};
+
+  ResilienceOptions plain;
+  const ResilientSweepResult reference =
+      run_resilient_sweep(base, grid, plain);
+
+  ResilienceOptions watched;
+  watched.jobs = 2;
+  watched.watchdog_stall = std::chrono::milliseconds(2000);
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, watched);
+
+  EXPECT_EQ(sweep.resilience.watchdog_stalls, 0u);
+  ASSERT_EQ(sweep.points.size(), reference.points.size());
+  for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+    ASSERT_TRUE(sweep.points[k].ok);
+    expect_same_result(sweep.points[k].result.result,
+                       reference.points[k].result.result);
+  }
+}
+
+}  // namespace
+}  // namespace fcdpm::resilience

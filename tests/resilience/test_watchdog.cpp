@@ -1,0 +1,136 @@
+#include "resilience/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::resilience {
+namespace {
+
+using namespace std::chrono_literals;
+
+WatchdogConfig fast_config() {
+  WatchdogConfig config;
+  config.poll = 5ms;
+  config.stall_after = 60ms;
+  return config;
+}
+
+/// Poll until `done` or the (generous) deadline: keeps the tests
+/// prompt on fast machines without flaking on loaded CI runners.
+template <typename Predicate>
+bool eventually(Predicate done,
+                std::chrono::milliseconds deadline = 3000ms) {
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > give_up) {
+      return false;
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+  return true;
+}
+
+TEST(WatchdogTest, SilentWorkerIsDeclaredStalledAndCancelled) {
+  sim::CancellationToken token;
+  Watchdog watchdog(2, fast_config());
+  watchdog.begin_work(0, &token);  // never beats
+
+  EXPECT_TRUE(eventually([&] { return watchdog.stalls_detected() == 1; }));
+  EXPECT_TRUE(token.cancelled());
+
+  // One stall per begin_work: the counter does not keep climbing.
+  std::this_thread::sleep_for(150ms);
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  watchdog.stop();
+}
+
+TEST(WatchdogTest, BeatingWorkerIsNeverStalled) {
+  sim::CancellationToken token;
+  Watchdog watchdog(1, fast_config());
+  watchdog.begin_work(0, &token);
+
+  std::atomic<bool> running{true};
+  std::thread beater([&] {
+    while (running.load()) {
+      token.beat();
+      std::this_thread::sleep_for(5ms);
+    }
+  });
+  std::this_thread::sleep_for(300ms);  // several stall windows
+  running.store(false);
+  beater.join();
+
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+  EXPECT_FALSE(token.cancelled());
+  watchdog.end_work(0);
+  watchdog.stop();
+}
+
+TEST(WatchdogTest, EndWorkStopsWatchingTheSlot) {
+  sim::CancellationToken token;
+  Watchdog watchdog(1, fast_config());
+  watchdog.begin_work(0, &token);
+  watchdog.end_work(0);
+
+  std::this_thread::sleep_for(200ms);  // well past the stall window
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+  EXPECT_FALSE(token.cancelled());
+  watchdog.stop();
+}
+
+TEST(WatchdogTest, DetectionWithoutCancellationWhenConfigured) {
+  sim::CancellationToken token;
+  WatchdogConfig config = fast_config();
+  config.cancel_on_stall = false;
+  Watchdog watchdog(1, config);
+  watchdog.begin_work(0, &token);
+
+  EXPECT_TRUE(eventually([&] { return watchdog.stalls_detected() == 1; }));
+  EXPECT_FALSE(token.cancelled());
+  watchdog.stop();
+}
+
+TEST(WatchdogTest, ReRegisteringAfterAStallWatchesAfresh) {
+  sim::CancellationToken token;
+  Watchdog watchdog(1, fast_config());
+  watchdog.begin_work(0, &token);
+  ASSERT_TRUE(eventually([&] { return watchdog.stalls_detected() == 1; }));
+  watchdog.end_work(0);
+
+  // A retry on the same worker gets its own stall window.
+  token.reset();
+  watchdog.begin_work(0, &token);
+  EXPECT_TRUE(eventually([&] { return watchdog.stalls_detected() == 2; }));
+  watchdog.stop();
+}
+
+TEST(WatchdogTest, RejectsOutOfRangeWorkersAndBadConfig) {
+  sim::CancellationToken token;
+  Watchdog watchdog(1, fast_config());
+  EXPECT_THROW(watchdog.begin_work(1, &token), PreconditionError);
+  EXPECT_THROW(watchdog.end_work(7), PreconditionError);
+  watchdog.stop();
+  EXPECT_THROW(Watchdog(0, fast_config()), PreconditionError);
+}
+
+TEST(CancellationTokenTest, BeatCancelAndResetSemantics) {
+  sim::CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.heartbeat(), 0u);
+  token.beat();
+  token.beat();
+  EXPECT_EQ(token.heartbeat(), 2u);
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.heartbeat(), 0u);
+}
+
+}  // namespace
+}  // namespace fcdpm::resilience
