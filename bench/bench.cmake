@@ -51,3 +51,7 @@ fcdpm_add_perf_bench(perf_simulator)
 # Self-checking overhead budget: exits 1 when the null-sink tracing
 # path costs >= 2 % over observability disabled.
 fcdpm_add_bench(perf_tracing_overhead)
+
+# Regression-gated hot-engine bench: writes BENCH_core.json, exits 1 on
+# any hot-vs-reference bit divergence (and on --min-speedup misses).
+fcdpm_add_bench(perf_harness)

@@ -40,6 +40,9 @@
 #include "common/text.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
+#include "hot/compiled_trace.hpp"
+#include "hot/engine.hpp"
+#include "hot/lifetime.hpp"
 #include "obs/context.hpp"
 #include "par/sweep.hpp"
 #include "report/obs_export.hpp"
@@ -132,7 +135,33 @@ sim::ExperimentConfig build_config(const Options& options) {
   config.initial_storage = Coulomb(
       number_or(options, "initial", config.initial_storage.value()));
   config.simulation.initial_storage = config.initial_storage;
+  const std::string engine = option_or(options, "engine", "reference");
+  if (engine == "hot") {
+    config.simulation.engine = sim::Engine::Hot;
+  } else if (engine != "reference") {
+    throw std::runtime_error("unknown engine: " + engine +
+                             " (use reference|hot)");
+  }
   return config;
+}
+
+/// sim::run_policy with the engine honoured: `--engine hot` compiles
+/// the trace and runs hot::simulate (bit-identical to the reference;
+/// ineligible configurations fall back inside hot::simulate).
+sim::SimulationResult run_policy_with_engine(
+    sim::PolicyKind kind, const sim::ExperimentConfig& config) {
+  if (config.simulation.engine != sim::Engine::Hot) {
+    return sim::run_policy(kind, config);
+  }
+  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+      sim::make_fc_policy(kind, config);
+  power::HybridPowerSource hybrid = sim::make_hybrid(config);
+  sim::SimulationOptions sim_options = config.simulation;
+  sim_options.initial_storage = config.initial_storage;
+  const hot::CompiledTrace compiled(config.trace, config.device);
+  return hot::simulate(compiled, dpm_policy, *fc_policy, hybrid,
+                       sim_options);
 }
 
 /// Observability wiring behind --trace-out / --metrics-out /
@@ -345,7 +374,7 @@ int cmd_run(const Options& options) {
   const std::unique_ptr<fault::FaultInjector> faults =
       make_fault_injector(options, config.trace);
   config.simulation.faults = faults.get();
-  const sim::SimulationResult result = sim::run_policy(kind, config);
+  const sim::SimulationResult result = run_policy_with_engine(kind, config);
   print_result(result);
   if (result.robustness.has_value()) {
     print_robustness(*result.robustness);
@@ -362,8 +391,10 @@ int cmd_compare(const Options& options) {
   config.simulation.faults = faults.get();
 
   sim::PolicyComparison c;
-  if (obs.context() != nullptr) {
-    // Re-run per policy so each lands on its own trace track.
+  if (obs.context() != nullptr ||
+      config.simulation.engine == sim::Engine::Hot) {
+    // Re-run per policy so each lands on its own trace track (and so
+    // the hot engine is honoured per run).
     config.simulation.observer = obs.context();
     sim::SimulationResult* const results[] = {&c.conv, &c.asap, &c.fcdpm};
     const sim::PolicyKind kinds[] = {sim::PolicyKind::Conv,
@@ -371,7 +402,7 @@ int cmd_compare(const Options& options) {
                                      sim::PolicyKind::FcDpm};
     for (int k = 0; k < 3; ++k) {
       obs.start_run(k);
-      *results[k] = sim::run_policy(kinds[k], config);
+      *results[k] = run_policy_with_engine(kinds[k], config);
     }
   } else {
     c = sim::compare_policies(config);
@@ -418,8 +449,15 @@ int cmd_lifetime(const Options& options) {
   sim::LifetimeOptions lifetime_options;
   lifetime_options.tank = tank;
   lifetime_options.simulation = config.simulation;
-  const sim::LifetimeResult r = sim::measure_lifetime(
-      config.trace, dpm_policy, *fc_policy, hybrid, lifetime_options);
+  sim::LifetimeResult r;
+  if (config.simulation.engine == sim::Engine::Hot) {
+    const hot::CompiledTrace compiled(config.trace, config.device);
+    r = hot::measure_lifetime(compiled, dpm_policy, *fc_policy, hybrid,
+                              lifetime_options);
+  } else {
+    r = sim::measure_lifetime(config.trace, dpm_policy, *fc_policy, hybrid,
+                              lifetime_options);
+  }
 
   std::printf("%s on a %.0f A-s tank: ", sim::to_string(kind),
               tank.value());
@@ -896,7 +934,10 @@ int usage() {
       "                                 fails (exercises quarantine)\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
-      "run/compare/lifetime also accept:\n"
+      "run/compare/lifetime/sweep also accept:\n"
+      "  --engine reference|hot  simulation engine (default reference;\n"
+      "                        hot = compiled-trace fast path,\n"
+      "                        bit-identical results)\n"
       "  --trace-out f.json    Chrome/Perfetto trace (f.jsonl for JSONL)\n"
       "  --metrics-out f.csv   metrics registry dump (f.json for JSON)\n"
       "  --profile-out f.csv   wall-clock hot-path profile\n"

@@ -15,6 +15,22 @@ namespace {
          finite(s.expected_end.value()) && finite(s.fuel.value());
 }
 
+/// Mirrors every FCDPM_EXPECTS in solve_effective() (and, transitively,
+/// fuel_rate/efficiency: their arguments are clamped into [0, if_max]
+/// before the call, and construction pins alpha - beta*if_max > 0), so
+/// once this predicate holds on finite inputs no throw is reachable and
+/// the checked solvers can call the throwing path directly without a
+/// try/catch on the hot loop.
+[[nodiscard]] bool effective_inputs_ok(Seconds idle, Ampere idle_current,
+                                       Seconds active, Coulomb active_charge,
+                                       const StorageBounds& s) noexcept {
+  return idle.value() >= 0.0 && active.value() >= 0.0 &&
+         idle_current.value() >= 0.0 && active_charge.value() >= 0.0 &&
+         s.capacity.value() > 0.0 &&
+         s.initial.value() >= 0.0 && s.initial <= s.capacity &&
+         s.target_end.value() >= 0.0 && s.target_end <= s.capacity;
+}
+
 }  // namespace
 
 const char* to_string(SolveStatus status) noexcept {
@@ -84,21 +100,23 @@ SlotSetting SlotOptimizer::solve_active_only(
 CheckedSetting SlotOptimizer::solve_checked(
     const SlotLoad& load, const StorageBounds& storage) const noexcept {
   CheckedSetting out;
+  const Coulomb active_charge = load.active_current * load.active;
   if (!finite(load.idle.value()) || !finite(load.idle_current.value()) ||
       !finite(load.active.value()) || !finite(load.active_current.value()) ||
+      !finite(active_charge.value()) ||
       !finite(storage.initial.value()) ||
       !finite(storage.target_end.value()) ||
       !finite(storage.capacity.value())) {
     out.status = SolveStatus::NonFinite;
     return out;
   }
-  try {
-    out.setting = solve(load, storage);
-  } catch (...) {
+  if (!effective_inputs_ok(load.idle, load.idle_current, load.active,
+                           active_charge, storage)) {
     out.status = SolveStatus::InvalidInput;
-    out.setting = SlotSetting{};
     return out;
   }
+  out.setting = solve_effective(load.idle, load.idle_current, load.active,
+                                active_charge, storage);
   if (!finite_setting(out.setting)) {
     out.status = SolveStatus::NonFinite;
     out.setting = SlotSetting{};
@@ -117,13 +135,13 @@ CheckedSetting SlotOptimizer::solve_active_only_checked(
     out.status = SolveStatus::NonFinite;
     return out;
   }
-  try {
-    out.setting = solve_active_only(duration, charge, storage);
-  } catch (...) {
+  if (!effective_inputs_ok(Seconds(0.0), Ampere(0.0), duration, charge,
+                           storage)) {
     out.status = SolveStatus::InvalidInput;
-    out.setting = SlotSetting{};
     return out;
   }
+  out.setting = solve_effective(Seconds(0.0), Ampere(0.0), duration, charge,
+                                storage);
   if (!finite_setting(out.setting)) {
     out.status = SolveStatus::NonFinite;
     out.setting = SlotSetting{};

@@ -22,21 +22,25 @@ Coulomb IdlePlan::total_charge() const {
   return total;
 }
 
-IdlePlan plan_standby(const DevicePowerModel& device, Seconds actual_idle) {
+void plan_standby_into(const DevicePowerModel& device, Seconds actual_idle,
+                       InlineIdlePlan& plan) {
   FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
-  IdlePlan plan;
   plan.slept = false;
+  plan.predicted_idle = Seconds(0.0);
+  plan.latency_spill = Seconds(0.0);
+  plan.count = 0;
   if (actual_idle.value() > 0.0) {
-    plan.segments.push_back(
-        {actual_idle, device.standby_current(), PowerState::Standby});
+    plan.segments[plan.count++] =
+        {actual_idle, device.standby_current(), PowerState::Standby};
   }
-  return plan;
 }
 
-IdlePlan plan_sleep(const DevicePowerModel& device, Seconds actual_idle) {
+void plan_sleep_into(const DevicePowerModel& device, Seconds actual_idle,
+                     InlineIdlePlan& plan) {
   FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
-  IdlePlan plan;
   plan.slept = true;
+  plan.predicted_idle = Seconds(0.0);
+  plan.count = 0;
 
   const Seconds transitions = device.sleep_transition_delay();
   const Seconds sleep_time =
@@ -44,19 +48,62 @@ IdlePlan plan_sleep(const DevicePowerModel& device, Seconds actual_idle) {
   plan.latency_spill = max(transitions - actual_idle, Seconds(0.0));
 
   if (device.power_down_delay.value() > 0.0) {
-    plan.segments.push_back({device.power_down_delay,
-                             device.power_down_current(),
-                             PowerState::Sleep});
+    plan.segments[plan.count++] = {device.power_down_delay,
+                                   device.power_down_current(),
+                                   PowerState::Sleep};
   }
   if (sleep_time.value() > 0.0) {
-    plan.segments.push_back(
-        {sleep_time, device.sleep_current(), PowerState::Sleep});
+    plan.segments[plan.count++] =
+        {sleep_time, device.sleep_current(), PowerState::Sleep};
   }
   if (device.wake_up_delay.value() > 0.0) {
-    plan.segments.push_back(
-        {device.wake_up_delay, device.wake_up_current(), PowerState::Sleep});
+    plan.segments[plan.count++] =
+        {device.wake_up_delay, device.wake_up_current(), PowerState::Sleep};
+  }
+}
+
+namespace {
+
+/// Materialize an inline layout as a vector-backed plan. Segments are
+/// appended one by one (no reserve): the vector plan keeps its historic
+/// growth pattern, so existing callers see unchanged behavior while the
+/// segment arithmetic itself is single-sourced in the _into functions.
+[[nodiscard]] IdlePlan to_idle_plan(const InlineIdlePlan& inline_plan) {
+  IdlePlan plan;
+  plan.slept = inline_plan.slept;
+  plan.predicted_idle = inline_plan.predicted_idle;
+  plan.latency_spill = inline_plan.latency_spill;
+  for (std::size_t k = 0; k < inline_plan.count; ++k) {
+    plan.segments.push_back(inline_plan.segments[k]);
   }
   return plan;
+}
+
+}  // namespace
+
+IdlePlan plan_standby(const DevicePowerModel& device, Seconds actual_idle) {
+  InlineIdlePlan inline_plan;
+  plan_standby_into(device, actual_idle, inline_plan);
+  return to_idle_plan(inline_plan);
+}
+
+IdlePlan plan_sleep(const DevicePowerModel& device, Seconds actual_idle) {
+  InlineIdlePlan inline_plan;
+  plan_sleep_into(device, actual_idle, inline_plan);
+  return to_idle_plan(inline_plan);
+}
+
+void DpmPolicy::plan_idle_into(Seconds actual_idle, InlineIdlePlan& out) {
+  const IdlePlan plan = plan_idle(actual_idle);
+  FCDPM_ENSURES(plan.segments.size() <= out.segments.size(),
+                "idle plan exceeds inline segment storage");
+  out.slept = plan.slept;
+  out.predicted_idle = plan.predicted_idle;
+  out.latency_spill = plan.latency_spill;
+  out.count = plan.segments.size();
+  for (std::size_t k = 0; k < plan.segments.size(); ++k) {
+    out.segments[k] = plan.segments[k];
+  }
 }
 
 // --- PredictiveDpmPolicy -----------------------------------------------------
@@ -84,26 +131,47 @@ IdlePlan PredictiveDpmPolicy::plan_idle(Seconds actual_idle) {
                       : plan_standby(device_, actual_idle);
   plan.predicted_idle = predicted;
 
-  if (obs_ != nullptr) {
-    if (obs_->metering()) {
-      obs_->count(plan.slept ? "dpm.decision.sleep"
-                             : "dpm.decision.standby");
-      obs_->observe("dpm.predictor_abs_error_s",
-                    fcdpm::abs(predicted - actual_idle).value());
-      if (plan.latency_spill.value() > 0.0) {
-        obs_->count("dpm.latency_spills");
-        obs_->observe("dpm.latency_spill_s", plan.latency_spill.value());
-      }
-    }
-    if (obs_->tracing()) {
-      obs_->instant("dpm", plan.slept ? "dpm.sleep" : "dpm.standby",
-                    {{"predicted_idle_s", predicted.value()},
-                     {"actual_idle_s", actual_idle.value()},
-                     {"break_even_s", break_even_.value()},
-                     {"latency_spill_s", plan.latency_spill.value()}});
+  emit_decision(plan.slept, plan.latency_spill, predicted, actual_idle);
+  return plan;
+}
+
+void PredictiveDpmPolicy::plan_idle_into(Seconds actual_idle,
+                                         InlineIdlePlan& out) {
+  const Seconds predicted = predictor_->predict();
+  accuracy_.record(predicted, actual_idle, break_even_);
+
+  if (predicted >= break_even_) {
+    plan_sleep_into(device_, actual_idle, out);
+  } else {
+    plan_standby_into(device_, actual_idle, out);
+  }
+  out.predicted_idle = predicted;
+
+  emit_decision(out.slept, out.latency_spill, predicted, actual_idle);
+}
+
+void PredictiveDpmPolicy::emit_decision(bool slept, Seconds latency_spill,
+                                        Seconds predicted,
+                                        Seconds actual_idle) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  if (obs_->metering()) {
+    obs_->count(slept ? "dpm.decision.sleep" : "dpm.decision.standby");
+    obs_->observe("dpm.predictor_abs_error_s",
+                  fcdpm::abs(predicted - actual_idle).value());
+    if (latency_spill.value() > 0.0) {
+      obs_->count("dpm.latency_spills");
+      obs_->observe("dpm.latency_spill_s", latency_spill.value());
     }
   }
-  return plan;
+  if (obs_->tracing()) {
+    obs_->instant("dpm", slept ? "dpm.sleep" : "dpm.standby",
+                  {{"predicted_idle_s", predicted.value()},
+                   {"actual_idle_s", actual_idle.value()},
+                   {"break_even_s", break_even_.value()},
+                   {"latency_spill_s", latency_spill.value()}});
+  }
 }
 
 void PredictiveDpmPolicy::observe_idle(Seconds actual_idle) {
@@ -163,6 +231,33 @@ IdlePlan TimeoutDpmPolicy::plan_idle(Seconds actual_idle) {
   return plan;
 }
 
+void TimeoutDpmPolicy::plan_idle_into(Seconds actual_idle,
+                                      InlineIdlePlan& out) {
+  FCDPM_EXPECTS(actual_idle.value() >= 0.0, "idle length must be >= 0");
+
+  const Seconds estimate =
+      (last_idle_.value() > 0.0) ? last_idle_ : timeout_;
+
+  if (actual_idle <= timeout_) {
+    plan_standby_into(device_, actual_idle, out);
+    out.predicted_idle = estimate;
+    return;
+  }
+
+  plan_sleep_into(device_, actual_idle - timeout_, out);
+  if (timeout_.value() > 0.0) {
+    FCDPM_ENSURES(out.count < out.segments.size(),
+                  "idle plan exceeds inline segment storage");
+    for (std::size_t k = out.count; k > 0; --k) {
+      out.segments[k] = out.segments[k - 1];
+    }
+    out.segments[0] =
+        {timeout_, device_.standby_current(), PowerState::Standby};
+    ++out.count;
+  }
+  out.predicted_idle = estimate;
+}
+
 std::unique_ptr<DpmPolicy> TimeoutDpmPolicy::clone() const {
   return std::make_unique<TimeoutDpmPolicy>(*this);
 }
@@ -174,6 +269,11 @@ AlwaysStandbyDpmPolicy::AlwaysStandbyDpmPolicy(DevicePowerModel device)
 
 IdlePlan AlwaysStandbyDpmPolicy::plan_idle(Seconds actual_idle) {
   return plan_standby(device_, actual_idle);
+}
+
+void AlwaysStandbyDpmPolicy::plan_idle_into(Seconds actual_idle,
+                                            InlineIdlePlan& out) {
+  plan_standby_into(device_, actual_idle, out);
 }
 
 std::unique_ptr<DpmPolicy> AlwaysStandbyDpmPolicy::clone() const {

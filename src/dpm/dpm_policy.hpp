@@ -8,6 +8,8 @@
 // latency, a metric the ablations track.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +42,36 @@ struct IdlePlan {
   [[nodiscard]] Coulomb total_charge() const;
 };
 
+/// Idle plan laid out into fixed inline storage — the allocation-free
+/// counterpart of IdlePlan for the hot engine (`fcdpm::hot`). Four
+/// segments cover every layout the policies produce (the deepest is
+/// timeout shutdown: standby + power-down + sleep + wake-up).
+struct InlineIdlePlan {
+  bool slept = false;
+  Seconds predicted_idle{0.0};
+  /// Wake-up time exceeding the idle window (response latency added).
+  Seconds latency_spill{0.0};
+  std::array<IdleSegment, 4> segments{};
+  std::size_t count = 0;
+
+  /// Sum of segment durations (== actual idle + latency_spill).
+  [[nodiscard]] Seconds total_duration() const noexcept {
+    Seconds total{0.0};
+    for (std::size_t k = 0; k < count; ++k) {
+      total += segments[k].duration;
+    }
+    return total;
+  }
+};
+
+/// Allocation-free layout primitives. These are the single source of
+/// truth for the segment arithmetic: plan_standby()/plan_sleep() wrap
+/// them, so the vector-based and inline plans cannot drift apart.
+void plan_standby_into(const DevicePowerModel& device, Seconds actual_idle,
+                       InlineIdlePlan& plan);
+void plan_sleep_into(const DevicePowerModel& device, Seconds actual_idle,
+                     InlineIdlePlan& plan);
+
 /// Lay out an idle period of `actual_idle` as STANDBY only.
 [[nodiscard]] IdlePlan plan_standby(const DevicePowerModel& device,
                                     Seconds actual_idle);
@@ -60,6 +92,14 @@ class DpmPolicy {
   /// out against its actual length. Must not let `actual_idle` influence
   /// the decision — only the layout.
   [[nodiscard]] virtual IdlePlan plan_idle(Seconds actual_idle) = 0;
+
+  /// Allocation-free counterpart of plan_idle() for the hot engine: lay
+  /// the idle period out into caller-owned inline storage. Must make
+  /// the same decision, mutate the same internal state, and produce the
+  /// same segments as plan_idle() — the differential tests hold every
+  /// policy to that. The default wraps plan_idle() (and allocates);
+  /// policies on the hot path override it.
+  virtual void plan_idle_into(Seconds actual_idle, InlineIdlePlan& out);
 
   /// Feed the observed idle length back to the predictor.
   virtual void observe_idle(Seconds actual_idle) = 0;
@@ -98,6 +138,7 @@ class PredictiveDpmPolicy final : public DpmPolicy {
       DevicePowerModel device, double rho, Seconds initial);
 
   [[nodiscard]] IdlePlan plan_idle(Seconds actual_idle) override;
+  void plan_idle_into(Seconds actual_idle, InlineIdlePlan& out) override;
   void observe_idle(Seconds actual_idle) override;
   [[nodiscard]] Seconds predicted_idle() const override;
   [[nodiscard]] const DevicePowerModel& device() const override {
@@ -120,6 +161,9 @@ class PredictiveDpmPolicy final : public DpmPolicy {
   std::unique_ptr<DurationPredictor> predictor_;
   Seconds break_even_;
   PredictionAccuracy accuracy_;
+
+  void emit_decision(bool slept, Seconds latency_spill, Seconds predicted,
+                     Seconds actual_idle);
 };
 
 /// Timeout shutdown: wait `timeout` in STANDBY, then sleep for whatever
@@ -129,6 +173,7 @@ class TimeoutDpmPolicy final : public DpmPolicy {
   TimeoutDpmPolicy(DevicePowerModel device, Seconds timeout);
 
   [[nodiscard]] IdlePlan plan_idle(Seconds actual_idle) override;
+  void plan_idle_into(Seconds actual_idle, InlineIdlePlan& out) override;
   void observe_idle(Seconds actual_idle) override {
     last_idle_ = actual_idle;
   }
@@ -154,6 +199,7 @@ class AlwaysStandbyDpmPolicy final : public DpmPolicy {
   explicit AlwaysStandbyDpmPolicy(DevicePowerModel device);
 
   [[nodiscard]] IdlePlan plan_idle(Seconds actual_idle) override;
+  void plan_idle_into(Seconds actual_idle, InlineIdlePlan& out) override;
   void observe_idle(Seconds actual_idle) override {
     last_idle_ = actual_idle;
   }

@@ -79,6 +79,12 @@
 #include "sim/slot_simulator.hpp"
 #include "sim/timed_simulator.hpp"
 
+#include "hot/arena.hpp"
+#include "hot/compiled_trace.hpp"
+#include "hot/engine.hpp"
+#include "hot/lifetime.hpp"
+#include "hot/polarization_table.hpp"
+
 #include "par/bounded_queue.hpp"
 #include "par/solve_cache.hpp"
 #include "par/sweep.hpp"

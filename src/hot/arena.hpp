@@ -1,0 +1,52 @@
+// Reserve-once storage for the hot loop: a vector that commits to its
+// capacity up front and treats growth past it as a contract violation
+// instead of a reallocation. This is what lets the steady-state slot
+// loop claim "zero heap allocations" as a checkable property (the
+// new-counter assertion in bench/perf_simulator) rather than a hope.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::hot {
+
+template <typename T>
+class FixedCapacityBuffer {
+ public:
+  /// One allocation, here, at construction; never again.
+  explicit FixedCapacityBuffer(std::size_t capacity) : capacity_(capacity) {
+    data_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  void push_back(const T& value) {
+    FCDPM_EXPECTS(data_.size() < capacity_,
+                  "FixedCapacityBuffer overflow: capacity " +
+                      std::to_string(capacity_) + " exhausted");
+    data_.push_back(value);
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t k) const { return data_[k]; }
+  [[nodiscard]] T& operator[](std::size_t k) { return data_[k]; }
+
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  void clear() noexcept { data_.clear(); }
+
+  /// Move the contents out (e.g. into SimulationResult::slot_records)
+  /// without copying; the buffer is empty afterwards.
+  [[nodiscard]] std::vector<T> take() noexcept { return std::move(data_); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> data_;
+};
+
+}  // namespace fcdpm::hot

@@ -1,0 +1,42 @@
+// fcdpm::hot — the single-run hot-path engine.
+//
+// hot::simulate runs a CompiledTrace through an allocation-free slot
+// loop: the hybrid source's segment integration is mirrored on a local
+// register-resident lane (HybridLane), the DPM layout goes through
+// plan_idle_into() into inline storage, and the FC policy is dispatched
+// once per run (devirtualized for the four shipped policies) instead of
+// per segment. The arithmetic is the reference loop's own, expression
+// for expression, so results are bit-identical — sim::simulate stays
+// the differential oracle (tests/hot holds every path to that).
+//
+// Configurations the lane cannot mirror (fault injection, segment
+// recording, a tracing/metering observer, non-paper source or storage
+// types) transparently fall back to the reference loop, so calling
+// hot::simulate is always safe; eligibility only picks the loop.
+#pragma once
+
+#include "core/fc_policy.hpp"
+#include "dpm/dpm_policy.hpp"
+#include "hot/compiled_trace.hpp"
+#include "power/hybrid.hpp"
+#include "sim/slot_simulator.hpp"
+
+namespace fcdpm::hot {
+
+/// True when (hybrid, options) can take the allocation-free lane: no
+/// fault injector, no segment recording, observer absent or
+/// profiler-only, and the hybrid is the paper configuration
+/// (LinearFuelSource + SuperCapacitor).
+[[nodiscard]] bool lane_eligible(const power::HybridPowerSource& hybrid,
+                                 const sim::SimulationOptions& options);
+
+/// Simulate `trace` through the hot lane when eligible, else delegate
+/// to sim::simulate(trace.trace(), ...). Bit-identical to the reference
+/// in either case. The trace must have been compiled against the DPM
+/// policy's device model (checked).
+[[nodiscard]] sim::SimulationResult simulate(
+    const CompiledTrace& trace, dpm::DpmPolicy& dpm_policy,
+    core::FcOutputPolicy& fc_policy, power::HybridPowerSource& hybrid,
+    const sim::SimulationOptions& options = {});
+
+}  // namespace fcdpm::hot

@@ -1,0 +1,21 @@
+// Lifetime measurement over the hot engine: sim::measure_lifetime with
+// every pass (including the crossing re-run) routed through
+// hot::simulate via the PassEngine hook. Bit-identical to the reference
+// measurement — the steady-state signature comparison and the
+// crossing-pass re-run contract both hold, because each pass is.
+#pragma once
+
+#include "hot/compiled_trace.hpp"
+#include "sim/lifetime.hpp"
+
+namespace fcdpm::hot {
+
+/// sim::measure_lifetime(trace.trace(), ...) with passes executed by
+/// hot::simulate over `trace`. Any engine/engine_ctx already set in
+/// `options` is overwritten.
+[[nodiscard]] sim::LifetimeResult measure_lifetime(
+    const CompiledTrace& trace, dpm::DpmPolicy& dpm_policy,
+    core::FcOutputPolicy& fc_policy, power::HybridPowerSource& hybrid,
+    sim::LifetimeOptions options = {});
+
+}  // namespace fcdpm::hot

@@ -6,6 +6,7 @@
 
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
+#include "hot/engine.hpp"
 #include "par/worker_pool.hpp"
 
 namespace fcdpm::par {
@@ -46,7 +47,8 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
                            std::size_t storm_faults,
                            SharedSolveCache* cache,
                            sim::CancellationToken* cancel,
-                           std::size_t slot_budget) {
+                           std::size_t slot_budget,
+                           const hot::CompiledTrace* compiled) {
   sim::ExperimentConfig config = base;
   config.rho = point.rho;
   config.storage_capacity = point.capacity;
@@ -78,8 +80,21 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
 
   SweepPointResult out;
   out.point = point;
-  out.result =
-      sim::simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
+  if (options.engine == sim::Engine::Hot) {
+    // The grid varies rho/capacity/seed but never the trace or device,
+    // so one compiled trace serves every point. A direct caller without
+    // one (the resilience retry path) compiles its own.
+    std::optional<hot::CompiledTrace> local;
+    if (compiled == nullptr) {
+      local.emplace(config.trace, config.device);
+      compiled = &*local;
+    }
+    out.result =
+        hot::simulate(*compiled, dpm_policy, *fc_policy, hybrid, options);
+  } else {
+    out.result =
+        sim::simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
+  }
   return out;
 }
 
@@ -96,13 +111,22 @@ SweepResult run_sweep(const sim::ExperimentConfig& base,
   const std::uint64_t misses_before =
       options.cache != nullptr ? options.cache->misses() : 0;
 
+  // Compile the trace once, up front, and share it read-only across all
+  // workers (CompiledTrace is immutable after construction).
+  std::optional<hot::CompiledTrace> compiled;
+  if (base.simulation.engine == sim::Engine::Hot) {
+    compiled.emplace(base.trace, base.device);
+  }
+  const hot::CompiledTrace* shared =
+      compiled.has_value() ? &*compiled : nullptr;
+
   const auto started = std::chrono::steady_clock::now();
   {
     WorkerPool pool(options.jobs);
     out.stats.jobs = pool.thread_count();
     pool.run_indexed(points.size(), [&](std::size_t k) {
-      out.points[k] =
-          run_point(base, points[k], grid.storm_faults, options.cache);
+      out.points[k] = run_point(base, points[k], grid.storm_faults,
+                                options.cache, nullptr, 0, shared);
     });
   }
   out.stats.wall_seconds =

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hot/compiled_trace.hpp"
 #include "obs/context.hpp"
 #include "par/solve_cache.hpp"
 #include "sim/cancellation.hpp"
@@ -89,14 +90,15 @@ struct SweepResult {
 /// and `slot_budget` thread straight into SimulationOptions: the
 /// resilience layer uses them for watchdog cancellation and the
 /// deterministic per-point deadline; the defaults leave the plain sweep
-/// path untouched.
-[[nodiscard]] SweepPointResult run_point(const sim::ExperimentConfig& base,
-                                         const SweepPoint& point,
-                                         std::size_t storm_faults,
-                                         SharedSolveCache* cache,
-                                         sim::CancellationToken* cancel =
-                                             nullptr,
-                                         std::size_t slot_budget = 0);
+/// path untouched. When `base.simulation.engine == sim::Engine::Hot`
+/// the point runs through hot::simulate (bit-identical); `compiled` is
+/// the trace compiled once by run_sweep and shared read-only across
+/// points — nullptr makes the point compile its own.
+[[nodiscard]] SweepPointResult run_point(
+    const sim::ExperimentConfig& base, const SweepPoint& point,
+    std::size_t storm_faults, SharedSolveCache* cache,
+    sim::CancellationToken* cancel = nullptr, std::size_t slot_budget = 0,
+    const hot::CompiledTrace* compiled = nullptr);
 
 /// Fan the grid across `options.jobs` workers.
 [[nodiscard]] SweepResult run_sweep(const sim::ExperimentConfig& base,

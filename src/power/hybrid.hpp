@@ -18,6 +18,10 @@ namespace fcdpm::fault {
 class FaultInjector;
 }
 
+namespace fcdpm::hot {
+class HybridLane;
+}
+
 namespace fcdpm::power {
 
 /// Fuel-side abstraction the hybrid source integrates against: maps a
@@ -184,6 +188,11 @@ class HybridPowerSource {
   }
 
  private:
+  // The hot engine's lane mirrors run_segment() bit-for-bit on local
+  // state and writes the result back through this friendship, so a run
+  // can resume on the reference path mid-stream.
+  friend class fcdpm::hot::HybridLane;
+
   std::unique_ptr<FuelSource> source_;
   std::unique_ptr<ChargeStorage> storage_;
   HybridTotals totals_;

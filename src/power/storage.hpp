@@ -15,6 +15,10 @@
 
 #include "common/units.hpp"
 
+namespace fcdpm::hot {
+class HybridLane;
+}
+
 namespace fcdpm::power {
 
 /// Abstract storage element. Implementations may lose charge on the way
@@ -86,6 +90,12 @@ class SuperCapacitor final : public ChargeStorage {
 
   [[nodiscard]] Coulomb capacity() const override { return capacity_; }
   [[nodiscard]] Coulomb charge() const override { return charge_; }
+  /// Per-leg efficiency (sqrt of the round trip), applied once on store
+  /// and once on draw. The hot engine mirrors the store/draw arithmetic
+  /// inline and needs this factor.
+  [[nodiscard]] double one_way_efficiency() const noexcept {
+    return one_way_efficiency_;
+  }
   [[nodiscard]] Coulomb store(Coulomb amount) override;
   [[nodiscard]] Coulomb draw(Coulomb amount) override;
   void set_charge(Coulomb charge) override;
@@ -94,6 +104,13 @@ class SuperCapacitor final : public ChargeStorage {
   [[nodiscard]] std::unique_ptr<ChargeStorage> clone() const override;
 
  private:
+  // The hot engine's lane accumulates `charge_ += landed` on a local
+  // mirror and writes the final value back directly: `set_charge`'s
+  // range contract would reject the 1-ulp overshoot the reference's own
+  // accumulation legitimately produces, and clamping would break
+  // bit-identity.
+  friend class fcdpm::hot::HybridLane;
+
   Coulomb capacity_;
   Coulomb charge_{0.0};
   double one_way_efficiency_;  // sqrt(round trip), applied on each leg

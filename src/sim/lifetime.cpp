@@ -74,6 +74,18 @@ LifetimeResult measure_lifetime(const wl::Trace& trace,
 
   LifetimeResult result;
 
+  // Every pass (including the crossing re-run) goes through the same
+  // engine so the signature comparison and the re-run contract compare
+  // like with like.
+  const auto run_pass = [&options](const wl::Trace& t, dpm::DpmPolicy& d,
+                                   core::FcOutputPolicy& f,
+                                   power::HybridPowerSource& h,
+                                   const SimulationOptions& o) {
+    return options.engine != nullptr
+               ? options.engine(t, d, f, h, o, options.engine_ctx)
+               : simulate(t, d, f, h, o);
+  };
+
   // Passes run recordless; only the crossing pass is re-run with slot
   // records on, from a snapshot taken just before it.
   SimulationOptions pass_options = options.simulation;
@@ -103,7 +115,7 @@ LifetimeResult measure_lifetime(const wl::Trace& trace,
     const SimulationOptions snapshot_options = pass_options;
 
     const SimulationResult r =
-        simulate(trace, dpm_policy, fc_policy, hybrid, pass_options);
+        run_pass(trace, dpm_policy, fc_policy, hybrid, pass_options);
     // Subsequent passes continue from the current source state.
     pass_options.preserve_source_state = true;
 
@@ -162,7 +174,7 @@ LifetimeResult measure_lifetime(const wl::Trace& trace,
     record_options.observer = nullptr;
     record_options.faults =
         fault_snapshot.has_value() ? &*fault_snapshot : nullptr;
-    const SimulationResult recorded = simulate(
+    const SimulationResult recorded = run_pass(
         trace, *dpm_snapshot, *fc_snapshot, hybrid_snapshot, record_options);
     ++result.record_passes;
     FCDPM_ENSURES(recorded.totals.fuel == pass_fuel,

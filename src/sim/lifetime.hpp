@@ -21,10 +21,29 @@
 
 namespace fcdpm::sim {
 
+/// Pluggable single-pass engine for measure_lifetime: same signature as
+/// sim::simulate plus an opaque context. Lets fcdpm::hot run the passes
+/// through its compiled-trace loop without sim depending on hot (the
+/// dependency points the other way).
+using PassEngine = SimulationResult (*)(const wl::Trace& trace,
+                                        dpm::DpmPolicy& dpm_policy,
+                                        core::FcOutputPolicy& fc_policy,
+                                        power::HybridPowerSource& hybrid,
+                                        const SimulationOptions& options,
+                                        void* ctx);
+
 struct LifetimeOptions {
   /// Tank size in fuel A-s (stack charge).
   Coulomb tank{3600.0};
   SimulationOptions simulation;
+  /// Engine executing each pass; nullptr (default) = sim::simulate.
+  /// Any non-null engine must be bit-identical to the reference — the
+  /// crossing-pass re-run contract (`recorded fuel == pass fuel`) and
+  /// the steady-state signature comparison both assume it.
+  PassEngine engine = nullptr;
+  /// Opaque pointer handed to `engine` on every call (e.g. the
+  /// hot engine's CompiledTrace). Not owned.
+  void* engine_ctx = nullptr;
   /// Safety bound on workload repetitions.
   std::size_t max_passes = 100000;
   /// Steady-state fast path: once `convergence_passes` consecutive

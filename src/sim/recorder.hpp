@@ -30,6 +30,10 @@ class StepSeries {
   [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
   [[nodiscard]] Seconds end_time() const noexcept { return end_time_; }
 
+  /// Pre-size the point storage (the slot simulator reserves from the
+  /// trace's segment count so steady-state recording never reallocates).
+  void reserve(std::size_t points) { points_.reserve(points); }
+
   /// Append a stretch of `duration` at `value` starting at end_time().
   /// Adjacent equal values are merged.
   void append(Seconds duration, double value);
@@ -59,6 +63,16 @@ class ProfileRecorder {
   /// Record only the first `limit` of simulated time (Figure 7 shows
   /// 300 s); records everything when limit <= 0.
   void set_limit(Seconds limit) { limit_ = limit; }
+
+  /// Pre-size all three series for `slots` task slots. A slot records at
+  /// most ten segments: up to four idle segments plus the active phase,
+  /// each splittable in two by the stop-charging-when-full rule.
+  /// Adjacent merging only shrinks that.
+  void reserve_for_slots(std::size_t slots) {
+    load_.reserve(10 * slots);
+    fc_.reserve(10 * slots);
+    storage_.reserve(10 * slots);
+  }
 
   void record(Seconds duration, Ampere load, Ampere fc_output,
               Coulomb storage);

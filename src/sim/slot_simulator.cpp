@@ -103,6 +103,12 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   ProfileRecorder recorder;
   recorder.set_limit(options.profile_limit);
   ProfileRecorder* rec = options.record_profiles ? &recorder : nullptr;
+  if (rec != nullptr) {
+    recorder.reserve_for_slots(trace.size());
+  }
+  if (options.keep_slot_records) {
+    result.slot_records.reserve(trace.size());
+  }
 
   // An inactive context (e.g. only a NullTraceSink attached) is
   // treated exactly like no observer at all.

@@ -24,6 +24,14 @@ class FaultInjector;
 
 namespace fcdpm::sim {
 
+/// Which slot-loop implementation executes a run. Both produce
+/// bit-identical results; the reference loop stays as the differential
+/// oracle the hot engine is tested against.
+enum class Engine {
+  Reference,  ///< sim::simulate's virtual-dispatch loop (the oracle)
+  Hot,        ///< fcdpm::hot — compiled trace, allocation-free slot loop
+};
+
 struct SimulationOptions {
   /// Buffer charge at t = 0; negative means "start full". Default is
   /// empty: FC-DPM pins its end-of-slot target to the initial charge
@@ -64,6 +72,10 @@ struct SimulationOptions {
   /// limit). Simulated-slot based, so the same point exceeds (or meets)
   /// its deadline identically on any machine.
   std::size_t slot_budget = 0;
+  /// Which engine executes the run. sim::simulate itself always runs the
+  /// reference loop; dispatchers that know about the hot engine
+  /// (hot::simulate, par::run_sweep, the CLI) consult this field.
+  Engine engine = Engine::Reference;
 };
 
 /// Simulate `trace` with the given policies over `hybrid`. The policies

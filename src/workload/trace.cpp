@@ -1,5 +1,6 @@
 #include "workload/trace.hpp"
 
+#include <cmath>
 #include <limits>
 #include <string>
 #include <utility>
@@ -8,10 +9,38 @@
 
 namespace fcdpm::wl {
 
-Trace::Trace(std::string name, std::vector<TaskSlot> slots)
-    : name_(std::move(name)), slots_(std::move(slots)) {}
+namespace {
 
-void Trace::append(TaskSlot slot) { slots_.push_back(slot); }
+/// Shared slot contract, `trace_io`-style: finite fields, idle >= 0,
+/// active > 0, active power > 0. `index` is 1-based, matching the
+/// "line N" convention of the CSV loader's diagnostics.
+void check_slot(const TaskSlot& slot, std::size_t index) {
+  const auto where = [index] { return "slot " + std::to_string(index); };
+  FCDPM_EXPECTS(std::isfinite(slot.idle.value()) &&
+                    std::isfinite(slot.active.value()) &&
+                    std::isfinite(slot.active_power.value()),
+                where() + ": non-finite field");
+  FCDPM_EXPECTS(slot.idle.value() >= 0.0,
+                where() + ": negative idle time");
+  FCDPM_EXPECTS(slot.active.value() > 0.0,
+                where() + ": active time must be > 0");
+  FCDPM_EXPECTS(slot.active_power.value() > 0.0,
+                where() + ": active power must be positive");
+}
+
+}  // namespace
+
+Trace::Trace(std::string name, std::vector<TaskSlot> slots)
+    : name_(std::move(name)), slots_(std::move(slots)) {
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    check_slot(slots_[k], k + 1);
+  }
+}
+
+void Trace::append(TaskSlot slot) {
+  check_slot(slot, slots_.size() + 1);
+  slots_.push_back(slot);
+}
 
 TraceStats Trace::stats() const {
   FCDPM_EXPECTS(!slots_.empty(), "stats of an empty trace");
@@ -69,14 +98,7 @@ Trace Trace::repeated(std::size_t count) const {
 
 void Trace::validate() const {
   for (std::size_t k = 0; k < slots_.size(); ++k) {
-    const TaskSlot& slot = slots_[k];
-    FCDPM_EXPECTS(slot.idle.value() >= 0.0,
-                  "slot " + std::to_string(k) + ": negative idle time");
-    FCDPM_EXPECTS(slot.active.value() > 0.0,
-                  "slot " + std::to_string(k) + ": active time must be > 0");
-    FCDPM_EXPECTS(slot.active_power.value() > 0.0,
-                  "slot " + std::to_string(k) +
-                      ": active power must be positive");
+    check_slot(slots_[k], k + 1);
   }
 }
 

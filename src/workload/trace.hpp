@@ -42,6 +42,8 @@ struct TraceStats {
 class Trace {
  public:
   Trace() = default;
+  /// Validates every slot on construction (same contract as validate());
+  /// programmatic construction cannot bypass the trace_io checks.
   Trace(std::string name, std::vector<TaskSlot> slots);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -54,6 +56,7 @@ class Trace {
     return slots_[k];
   }
 
+  /// Appends one slot after validating it (1-based index in the error).
   void append(TaskSlot slot);
 
   /// Slot-wise statistics; requires a non-empty trace.
@@ -67,8 +70,10 @@ class Trace {
   /// lifetime studies). Requires count >= 1.
   [[nodiscard]] Trace repeated(std::size_t count) const;
 
-  /// Validation: positive durations, positive active power. Throws
-  /// PreconditionError describing the first offending slot.
+  /// Validation: finite fields, non-negative idle, positive active time
+  /// and power. Throws PreconditionError naming the first offending slot
+  /// (1-based). Construction and append() already enforce this; validate()
+  /// remains for callers re-checking externally produced traces.
   void validate() const;
 
  private:

@@ -1,0 +1,105 @@
+// plan_idle_into must be the allocation-free twin of plan_idle: same
+// decision, same internal state mutation, same segments — on every
+// policy. Verified by driving a policy and its clone through the same
+// idle sequence, one via each entry point.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dpm/dpm_policy.hpp"
+#include "dpm/power_states.hpp"
+#include "dpm/predictors.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+const std::vector<double> kIdleSequence = {0.4,  5.0, 0.9, 12.0, 1.0,
+                                           0.05, 7.5, 2.0, 30.0, 0.0};
+
+void expect_plans_equal(const dpm::IdlePlan& plan,
+                        const dpm::InlineIdlePlan& inline_plan) {
+  EXPECT_EQ(plan.slept, inline_plan.slept);
+  EXPECT_EQ(plan.predicted_idle.value(), inline_plan.predicted_idle.value());
+  EXPECT_EQ(plan.latency_spill.value(), inline_plan.latency_spill.value());
+  ASSERT_EQ(plan.segments.size(), inline_plan.count);
+  for (std::size_t k = 0; k < inline_plan.count; ++k) {
+    const dpm::IdleSegment& a = plan.segments[k];
+    const dpm::IdleSegment& b = inline_plan.segments[k];
+    EXPECT_EQ(a.duration.value(), b.duration.value());
+    EXPECT_EQ(a.current.value(), b.current.value());
+    EXPECT_EQ(a.state, b.state);
+  }
+  EXPECT_EQ(plan.total_duration().value(),
+            inline_plan.total_duration().value());
+}
+
+/// Drive `policy` (via plan_idle) and its clone (via plan_idle_into)
+/// through the same idle sequence; every step must agree exactly.
+void expect_equivalent_planning(dpm::DpmPolicy& policy) {
+  const std::unique_ptr<dpm::DpmPolicy> twin = policy.clone();
+  for (const double idle : kIdleSequence) {
+    const Seconds actual(idle);
+    const dpm::IdlePlan plan = policy.plan_idle(actual);
+    dpm::InlineIdlePlan inline_plan;
+    twin->plan_idle_into(actual, inline_plan);
+    expect_plans_equal(plan, inline_plan);
+    policy.observe_idle(actual);
+    twin->observe_idle(actual);
+    EXPECT_EQ(policy.predicted_idle().value(),
+              twin->predicted_idle().value());
+  }
+}
+
+TEST(InlineIdlePlan, PredictivePolicyPlansIdentically) {
+  dpm::PredictiveDpmPolicy policy = dpm::PredictiveDpmPolicy::paper_policy(
+      dpm::DevicePowerModel::dvd_camcorder(), 0.5, Seconds(5.0));
+  expect_equivalent_planning(policy);
+}
+
+TEST(InlineIdlePlan, PredictivePolicyOnSlowDevicePlansIdentically) {
+  dpm::PredictiveDpmPolicy policy = dpm::PredictiveDpmPolicy::paper_policy(
+      dpm::DevicePowerModel::experiment2_device(), 0.5, Seconds(5.0));
+  expect_equivalent_planning(policy);
+}
+
+TEST(InlineIdlePlan, TimeoutPolicyPlansIdentically) {
+  dpm::TimeoutDpmPolicy policy(dpm::DevicePowerModel::dvd_camcorder(),
+                               Seconds(2.0));
+  expect_equivalent_planning(policy);
+}
+
+TEST(InlineIdlePlan, AlwaysStandbyPolicyPlansIdentically) {
+  dpm::AlwaysStandbyDpmPolicy policy(
+      dpm::DevicePowerModel::dvd_camcorder());
+  expect_equivalent_planning(policy);
+}
+
+TEST(InlineIdlePlan, PrimitivesMatchTheVectorLayouts) {
+  const dpm::DevicePowerModel device =
+      dpm::DevicePowerModel::dvd_camcorder();
+  for (const double idle : kIdleSequence) {
+    const Seconds actual(idle);
+    dpm::InlineIdlePlan standby;
+    dpm::plan_standby_into(device, actual, standby);
+    expect_plans_equal(dpm::plan_standby(device, actual), standby);
+    dpm::InlineIdlePlan sleep;
+    dpm::plan_sleep_into(device, actual, sleep);
+    expect_plans_equal(dpm::plan_sleep(device, actual), sleep);
+  }
+}
+
+TEST(InlineIdlePlan, FourSegmentsCoverTheDeepestLayout) {
+  // Timeout shutdown is the deepest layout: standby wait + power-down +
+  // sleep + wake-up.
+  dpm::TimeoutDpmPolicy policy(dpm::DevicePowerModel::dvd_camcorder(),
+                               Seconds(2.0));
+  policy.observe_idle(Seconds(30.0));
+  dpm::InlineIdlePlan plan;
+  policy.plan_idle_into(Seconds(30.0), plan);
+  EXPECT_EQ(plan.count, 4u);
+  EXPECT_TRUE(plan.slept);
+}
+
+}  // namespace

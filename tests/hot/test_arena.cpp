@@ -1,0 +1,82 @@
+#include "hot/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace {
+
+using fcdpm::PreconditionError;
+using fcdpm::hot::FixedCapacityBuffer;
+
+TEST(FixedCapacityBuffer, PushesUpToCapacity) {
+  FixedCapacityBuffer<int> buffer(3);
+  EXPECT_EQ(buffer.capacity(), 3u);
+  EXPECT_TRUE(buffer.empty());
+  buffer.push_back(10);
+  buffer.push_back(20);
+  buffer.push_back(30);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer[0], 10);
+  EXPECT_EQ(buffer[2], 30);
+}
+
+TEST(FixedCapacityBuffer, OverflowThrowsInsteadOfReallocating) {
+  FixedCapacityBuffer<int> buffer(2);
+  buffer.push_back(1);
+  buffer.push_back(2);
+  EXPECT_THROW(buffer.push_back(3), PreconditionError);
+}
+
+TEST(FixedCapacityBuffer, ZeroCapacityRejectsEveryPush) {
+  FixedCapacityBuffer<int> buffer(0);
+  EXPECT_THROW(buffer.push_back(1), PreconditionError);
+}
+
+TEST(FixedCapacityBuffer, NeverReallocatesWhileFilling) {
+  FixedCapacityBuffer<int> buffer(64);
+  buffer.push_back(0);
+  const int* const data = &buffer[0];
+  for (int k = 1; k < 64; ++k) {
+    buffer.push_back(k);
+  }
+  EXPECT_EQ(&buffer[0], data);
+}
+
+TEST(FixedCapacityBuffer, TakeMovesContentsOut) {
+  FixedCapacityBuffer<std::string> buffer(2);
+  buffer.push_back("idle");
+  buffer.push_back("active");
+  const std::vector<std::string> taken = buffer.take();
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0], "idle");
+  EXPECT_EQ(taken[1], "active");
+}
+
+TEST(FixedCapacityBuffer, ClearKeepsCapacity) {
+  FixedCapacityBuffer<int> buffer(2);
+  buffer.push_back(1);
+  buffer.push_back(2);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  buffer.push_back(3);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer[0], 3);
+}
+
+TEST(FixedCapacityBuffer, IteratesInInsertionOrder) {
+  FixedCapacityBuffer<int> buffer(4);
+  for (int k = 0; k < 4; ++k) {
+    buffer.push_back(k);
+  }
+  int expected = 0;
+  for (const int value : buffer) {
+    EXPECT_EQ(value, expected++);
+  }
+  EXPECT_EQ(expected, 4);
+}
+
+}  // namespace

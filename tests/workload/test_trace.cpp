@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/contracts.hpp"
 
 namespace fcdpm::wl {
@@ -78,26 +81,50 @@ TEST(Trace, ValidateAcceptsGoodTrace) {
   EXPECT_NO_THROW(small_trace().validate());
 }
 
-TEST(Trace, ValidateRejectsNegativeIdle) {
-  const Trace t("bad", {{Seconds(-1.0), Seconds(3.0), Watt(14.0)}});
-  EXPECT_THROW(t.validate(), PreconditionError);
+// Construction itself enforces the slot contract: programmatic traces
+// cannot bypass the trace_io-style validation.
+TEST(Trace, ConstructorRejectsNegativeIdle) {
+  EXPECT_THROW(Trace("bad", {{Seconds(-1.0), Seconds(3.0), Watt(14.0)}}),
+               PreconditionError);
 }
 
-TEST(Trace, ValidateRejectsZeroActive) {
-  const Trace t("bad", {{Seconds(1.0), Seconds(0.0), Watt(14.0)}});
-  EXPECT_THROW(t.validate(), PreconditionError);
+TEST(Trace, ConstructorRejectsZeroActive) {
+  EXPECT_THROW(Trace("bad", {{Seconds(1.0), Seconds(0.0), Watt(14.0)}}),
+               PreconditionError);
 }
 
-TEST(Trace, ValidateRejectsNonPositivePower) {
-  const Trace t("bad", {{Seconds(1.0), Seconds(3.0), Watt(0.0)}});
-  EXPECT_THROW(t.validate(), PreconditionError);
+TEST(Trace, ConstructorRejectsNonPositivePower) {
+  EXPECT_THROW(Trace("bad", {{Seconds(1.0), Seconds(3.0), Watt(0.0)}}),
+               PreconditionError);
 }
 
-TEST(Trace, ValidateNamesOffendingSlot) {
-  Trace t = small_trace();
-  t.append({Seconds(1.0), Seconds(3.0), Watt(-2.0)});
+TEST(Trace, ConstructorRejectsNonFiniteFields) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Trace("bad", {{Seconds(nan), Seconds(3.0), Watt(14.0)}}),
+               PreconditionError);
+  EXPECT_THROW(Trace("bad", {{Seconds(1.0), Seconds(inf), Watt(14.0)}}),
+               PreconditionError);
+  EXPECT_THROW(Trace("bad", {{Seconds(1.0), Seconds(3.0), Watt(nan)}}),
+               PreconditionError);
+}
+
+TEST(Trace, AppendRejectsBadSlotWithOneBasedIndex) {
+  Trace t = small_trace();  // 3 valid slots; the bad append is slot 4
   try {
-    t.validate();
+    t.append({Seconds(1.0), Seconds(3.0), Watt(-2.0)});
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("slot 4"), std::string::npos);
+  }
+  EXPECT_EQ(t.size(), 3u);  // the rejected slot was not appended
+}
+
+TEST(Trace, ConstructorNamesOffendingSlotOneBased) {
+  try {
+    Trace t("bad", {{Seconds(10.0), Seconds(3.0), Watt(14.0)},
+                    {Seconds(20.0), Seconds(4.0), Watt(12.0)},
+                    {Seconds(1.0), Seconds(3.0), Watt(-2.0)}});
     FAIL() << "should have thrown";
   } catch (const PreconditionError& e) {
     EXPECT_NE(std::string(e.what()).find("slot 3"), std::string::npos);
