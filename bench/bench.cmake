@@ -55,3 +55,8 @@ fcdpm_add_bench(perf_tracing_overhead)
 # Regression-gated hot-engine bench: writes BENCH_core.json, exits 1 on
 # any hot-vs-reference bit divergence (and on --min-speedup misses).
 fcdpm_add_bench(perf_harness)
+
+# Bench-history ledger: appends BENCH_*.json rows to
+# BENCH_HISTORY.jsonl; --check exits 2 when a headline metric
+# regressed past tolerance against the trailing-window median.
+fcdpm_add_bench(bench_history)

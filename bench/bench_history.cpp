@@ -1,0 +1,216 @@
+// Bench-history ledger front end: turns one-shot BENCH_*.json
+// artifacts into BENCH_HISTORY.jsonl rows and gates CI on drift.
+//
+//   bench_history --bench BENCH_core.json [--history BENCH_HISTORY.jsonl]
+//                 [--git-sha SHA] [--timestamp ISO8601]
+//     Append one ledger row derived from the bench artifact.
+//
+//   bench_history --check --bench BENCH_core.json [--history F]
+//                 [--tolerance 0.15] [--window 8] [--metrics a,b,...]
+//     Compare the artifact's headline metrics against the median of
+//     the trailing same-kind window. Exit 2 when any gated metric
+//     regressed past tolerance; nothing is appended. A metric with no
+//     history yet always passes (first run seeds the ledger).
+//
+// CI order is check-then-append: the fresh row is never part of its
+// own baseline.
+//
+// Exit codes: 0 ok, 1 usage/artifact errors, 2 regression detected.
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/bench_history.hpp"
+#include "telemetry/json.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+struct Args {
+  std::string bench_path;
+  std::string history_path = "BENCH_HISTORY.jsonl";
+  std::string git_sha;
+  std::string timestamp;
+  bool check = false;
+  double tolerance = 0.15;
+  std::size_t window = 8;
+  std::vector<std::string> metrics;
+};
+
+void split_csv(const std::string& text, std::vector<std::string>& out) {
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+}
+
+/// Current UTC time, ISO-8601; the default row timestamp.
+std::string utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_history [--check] --bench BENCH_x.json\n"
+      "                     [--history BENCH_HISTORY.jsonl]\n"
+      "                     [--git-sha SHA] [--timestamp ISO8601]\n"
+      "                     [--tolerance F] [--window N]\n"
+      "                     [--metrics name1,name2,...]\n"
+      "default: append one ledger row; --check: gate against the\n"
+      "trailing window instead (exit 2 on regression, appends nothing)\n");
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int k = 1; k < argc; ++k) {
+    const std::string key = argv[k];
+    auto value = [&]() -> const char* {
+      return k + 1 < argc ? argv[++k] : nullptr;
+    };
+    if (key == "--check") {
+      args.check = true;
+    } else if (key == "--bench") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.bench_path = v;
+    } else if (key == "--history") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.history_path = v;
+    } else if (key == "--git-sha") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.git_sha = v;
+    } else if (key == "--timestamp") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.timestamp = v;
+    } else if (key == "--tolerance") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.tolerance = std::strtod(v, nullptr);
+    } else if (key == "--window") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.window = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (key == "--metrics") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      split_csv(v, args.metrics);
+    } else {
+      std::fprintf(stderr, "bench_history: unknown option %s\n", key.c_str());
+      return false;
+    }
+  }
+  return !args.bench_path.empty();
+}
+
+/// Strip the directory part for the row's `source` field.
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+const char* arrow(telemetry::Direction direction) {
+  return direction == telemetry::Direction::HigherIsBetter ? ">=" : "<=";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    return usage();
+  }
+
+  std::ifstream bench_file(args.bench_path);
+  if (!bench_file) {
+    std::fprintf(stderr, "bench_history: cannot read %s\n",
+                 args.bench_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << bench_file.rdbuf();
+  const telemetry::json::ParseResult parsed =
+      telemetry::json::parse(buffer.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bench_history: %s: parse error at byte %zu: %s\n",
+                 args.bench_path.c_str(), parsed.error_byte,
+                 parsed.error.c_str());
+    return 1;
+  }
+
+  telemetry::HistoryRow row;
+  std::string error;
+  if (!telemetry::make_history_row(parsed.value,
+                                   basename_of(args.bench_path), row,
+                                   error)) {
+    std::fprintf(stderr, "bench_history: %s: %s\n", args.bench_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  row.git_sha = args.git_sha;
+  row.timestamp = args.timestamp.empty() ? utc_now() : args.timestamp;
+
+  if (args.check) {
+    std::size_t skipped = 0;
+    const std::vector<telemetry::HistoryRow> history =
+        telemetry::load_history(args.history_path, &skipped);
+    if (skipped != 0) {
+      std::fprintf(stderr, "bench_history: skipped %zu malformed rows in %s\n",
+                   skipped, args.history_path.c_str());
+    }
+    telemetry::CheckOptions options;
+    options.tolerance = args.tolerance;
+    options.window = args.window;
+    options.metrics = args.metrics;
+    const telemetry::CheckResult result =
+        telemetry::check_regression(history, row, options);
+    if (result.checks.empty()) {
+      std::printf(
+          "bench_history: no %s history in %s yet; nothing to gate\n",
+          row.kind.c_str(), args.history_path.c_str());
+      return 0;
+    }
+    for (const telemetry::MetricCheck& check : result.checks) {
+      std::printf("  %-22s %12.6g %s %12.6g (median of %zu, tol %.0f%%) %s\n",
+                  check.name.c_str(), check.value, arrow(check.direction),
+                  check.baseline, check.samples, 100.0 * args.tolerance,
+                  check.regressed ? "REGRESSED" : "ok");
+    }
+    if (!result.ok) {
+      std::fprintf(stderr,
+                   "bench_history: %s regressed against %s (tolerance %g)\n",
+                   args.bench_path.c_str(), args.history_path.c_str(),
+                   args.tolerance);
+      return 2;
+    }
+    std::printf("bench_history: %s within tolerance of %s\n",
+                args.bench_path.c_str(), args.history_path.c_str());
+    return 0;
+  }
+
+  if (!telemetry::append_history(args.history_path, row)) {
+    std::fprintf(stderr, "bench_history: cannot append to %s\n",
+                 args.history_path.c_str());
+    return 1;
+  }
+  std::printf("bench_history: appended %s row (%zu metrics) to %s\n",
+              row.kind.c_str(), row.metrics.size(),
+              args.history_path.c_str());
+  return 0;
+}

@@ -3,6 +3,13 @@
 // serializer. The null-sink path is the cost ceiling for leaving the
 // pipeline wired into sweeps; this bench FAILS (exit 1) when it exceeds
 // the 2 % budget over the disabled path.
+//
+// Second section: sweep-scale telemetry. run_sweep wall time with no
+// telemetry vs with shards attached and a null aggregator (no sampler
+// thread, snapshots never pulled during the run) — the cost ceiling
+// for leaving shards wired into every sweep. Same 2 % budget, same
+// exit-1 gate, plus a hard bit-identity assertion between the
+// telemetry-on and telemetry-off results.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -10,8 +17,12 @@
 #include <streambuf>
 
 #include "obs/context.hpp"
+#include "par/solve_cache.hpp"
+#include "par/sweep.hpp"
+#include "par/worker_pool.hpp"
 #include "sim/experiments.hpp"
 #include "sim/slot_simulator.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 
 namespace {
 
@@ -65,6 +76,71 @@ double best_of(const sim::ExperimentConfig& config, obs::Context* observer) {
   return best;
 }
 
+// --- sweep-scale telemetry overhead ---------------------------------
+
+constexpr std::size_t kSweepJobs = 2;
+constexpr int kSweepInner = 8;    // one sample = this many sweeps
+constexpr int kSweepSamples = 9;
+
+par::SweepGrid sweep_grid() {
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::Conv, sim::PolicyKind::FcDpm};
+  grid.rhos = {0.5, 0.7};
+  grid.capacities = {Coulomb(300.0), Coulomb(600.0)};
+  return grid;
+}
+
+double sweep_sample(const sim::ExperimentConfig& config,
+                    const par::SweepGrid& grid,
+                    telemetry::SweepTelemetry* telemetry) {
+  const Clock::time_point start = Clock::now();
+  for (int k = 0; k < kSweepInner; ++k) {
+    par::SweepOptions options;
+    options.jobs = kSweepJobs;
+    options.telemetry = telemetry;
+    const par::SweepResult result = par::run_sweep(config, grid, options);
+    static volatile std::size_t sink_value;
+    sink_value = result.points.size();
+  }
+  const std::chrono::duration<double, std::milli> elapsed =
+      Clock::now() - start;
+  return elapsed.count();
+}
+
+double sweep_best_of(const sim::ExperimentConfig& config,
+                     const par::SweepGrid& grid,
+                     telemetry::SweepTelemetry* telemetry) {
+  double best = sweep_sample(config, grid, telemetry);
+  for (int s = 1; s < kSweepSamples; ++s) {
+    const double sample = sweep_sample(config, grid, telemetry);
+    if (sample < best) {
+      best = sample;
+    }
+  }
+  return best;
+}
+
+/// Bitwise equality of every per-point result field the reports carry.
+bool identical_results(const par::SweepResult& a, const par::SweepResult& b) {
+  if (a.points.size() != b.points.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    const sim::SimulationResult& x = a.points[k].result;
+    const sim::SimulationResult& y = b.points[k].result;
+    if (x.totals.fuel.value() != y.totals.fuel.value() ||
+        x.totals.bled.value() != y.totals.bled.value() ||
+        x.totals.unserved.value() != y.totals.unserved.value() ||
+        x.totals.duration.value() != y.totals.duration.value() ||
+        x.storage_end.value() != y.storage_end.value() ||
+        x.latency_added.value() != y.latency_added.value() ||
+        x.slots != y.slots || x.sleeps != y.sleeps) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
@@ -107,5 +183,58 @@ int main() {
     return 1;
   }
   std::printf("PASS: null-sink overhead %.2f%% < 2%%\n", overhead_pct);
+
+  // --- sweep-scale telemetry ----------------------------------------
+  const par::SweepGrid grid = sweep_grid();
+
+  // Bit-identity first: telemetry must be observation-only.
+  {
+    par::SweepOptions plain;
+    plain.jobs = kSweepJobs;
+    const par::SweepResult without = par::run_sweep(config, grid, plain);
+    telemetry::TelemetryConfig tconfig;
+    tconfig.workers = par::WorkerPool::resolve(kSweepJobs);
+    tconfig.total_points = grid.points(config).size();
+    telemetry::SweepTelemetry telemetry(tconfig);
+    par::SweepOptions shielded;
+    shielded.jobs = kSweepJobs;
+    shielded.telemetry = &telemetry;
+    const par::SweepResult with = par::run_sweep(config, grid, shielded);
+    if (!identical_results(without, with)) {
+      std::fprintf(stderr,
+                   "FAIL: sweep results changed with telemetry attached\n");
+      return 1;
+    }
+  }
+
+  (void)sweep_sample(config, grid, nullptr);  // warmup
+  const double sweep_off_ms = sweep_best_of(config, grid, nullptr);
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.workers = par::WorkerPool::resolve(kSweepJobs);
+  tconfig.total_points = grid.points(config).size();
+  telemetry::SweepTelemetry telemetry(tconfig);
+  const double sweep_on_ms = sweep_best_of(config, grid, &telemetry);
+
+  const double per_sweep = 1.0 / kSweepInner;
+  const double sweep_pct =
+      100.0 * (sweep_on_ms - sweep_off_ms) / sweep_off_ms;
+  std::printf(
+      "sweep telemetry overhead (%zu-point grid x %d, %zu jobs, best of "
+      "%d)\n",
+      grid.points(config).size(), kSweepInner, kSweepJobs, kSweepSamples);
+  std::printf("  %-22s %8.3f ms/sweep\n", "telemetry off",
+              sweep_off_ms * per_sweep);
+  std::printf("  %-22s %8.3f ms/sweep  (%+.2f%%)\n", "shards, no sampler",
+              sweep_on_ms * per_sweep, sweep_pct);
+  if (sweep_pct >= 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry shard overhead %.2f%% exceeds the 2%% "
+                 "budget\n",
+                 sweep_pct);
+    return 1;
+  }
+  std::printf("PASS: telemetry shard overhead %.2f%% < 2%%\n", sweep_pct);
+  std::printf("PASS: sweep results bit-identical with telemetry attached\n");
   return 0;
 }

@@ -33,6 +33,8 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -45,9 +47,13 @@
 #include "hot/lifetime.hpp"
 #include "obs/context.hpp"
 #include "par/sweep.hpp"
+#include "par/worker_pool.hpp"
 #include "report/obs_export.hpp"
 #include "resilience/resilient_sweep.hpp"
 #include "report/sweep_export.hpp"
+#include "telemetry/lanes.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 #include "report/table.hpp"
 #include "sim/experiments.hpp"
 #include "sim/lifetime.hpp"
@@ -206,6 +212,10 @@ class ObsSession {
     return enabled() ? &context_ : nullptr;
   }
 
+  /// The attached trace sink (nullptr without --trace-out). Valid until
+  /// finish(); the sweep commands drain telemetry lanes into it first.
+  [[nodiscard]] obs::TraceSink* sink() { return sink_.get(); }
+
   /// Rewind the simulated clock and switch tracks; one track per run
   /// keeps sequential runs side by side in the trace viewer.
   void start_run(int track) {
@@ -247,6 +257,137 @@ class ObsSession {
   obs::MetricsRegistry metrics_;
   obs::Profiler profiler_;
   obs::Context context_;
+};
+
+/// Sweep telemetry wiring behind --progress / --progress-out /
+/// --progress-interval-ms (and lane recording when --trace-out is
+/// given). Owns the SweepTelemetry shards, the JSONL progress stream
+/// and the background sampler for one sweep; disabled (telemetry() ==
+/// nullptr) when none of the flags ask for it, which leaves the sweep
+/// hot path byte-for-byte as before.
+class TelemetrySession {
+ public:
+  TelemetrySession(const Options& options, std::size_t jobs,
+                   std::size_t total_points, bool record_lanes)
+      : progress_path_(option_or(options, "progress-out", "")),
+        live_(option_or(options, "progress", "off") == "on"),
+        record_lanes_(record_lanes) {
+    if (!live_ && progress_path_.empty() && !record_lanes_) {
+      return;
+    }
+    telemetry::TelemetryConfig config;
+    config.workers = par::WorkerPool::resolve(jobs);
+    config.total_points = total_points;
+    config.record_lanes = record_lanes_;
+    telemetry_.emplace(config);
+    if (!progress_path_.empty()) {
+      progress_stream_.open(progress_path_);
+      if (!progress_stream_) {
+        throw std::runtime_error("cannot create progress file: " +
+                                 progress_path_);
+      }
+    }
+    if (live_ || !progress_path_.empty()) {
+      auto interval_ms = static_cast<long long>(
+          number_or(options, "progress-interval-ms", 200.0));
+      if (interval_ms <= 0) {
+        interval_ms = 200;
+      }
+      sampler_.emplace(*telemetry_, std::chrono::milliseconds(interval_ms),
+                       [this](const telemetry::SweepSnapshot& snap) {
+                         emit(snap);
+                       });
+    }
+  }
+
+  /// nullptr when no telemetry flag was given.
+  [[nodiscard]] telemetry::SweepTelemetry* telemetry() {
+    return telemetry_.has_value() ? &*telemetry_ : nullptr;
+  }
+
+  /// Stop the sampler, take the final authoritative snapshot (its
+  /// totals equal the sweep report — the last JSONL line is the whole
+  /// run), emit it, drain recorded lanes into the trace sink, and fill
+  /// `bench.telemetry`.
+  void finish(report::SweepBenchReport& bench, obs::TraceSink* sink) {
+    if (!telemetry_.has_value()) {
+      return;
+    }
+    std::uint64_t sampled = 0;
+    if (sampler_.has_value()) {
+      sampler_->stop();
+      sampled = sampler_->emitted();
+    }
+    const telemetry::SweepSnapshot snap = telemetry_->snapshot();
+    emit(snap);
+    if (live_) {
+      std::fprintf(stderr, "\n");
+    }
+    if (progress_stream_.is_open()) {
+      progress_stream_.flush();
+      std::printf("wrote progress stream to %s\n", progress_path_.c_str());
+    }
+    if (record_lanes_ && sink != nullptr &&
+        telemetry_->lanes() != nullptr) {
+      telemetry::emit_lanes(*telemetry_->lanes(), telemetry_->total_points(),
+                            *sink);
+    }
+
+    report::TelemetryReport& t = bench.telemetry;
+    t.enabled = true;
+    t.snapshots = sampled + 1;
+    t.done = snap.done;
+    t.retried = snap.retried;
+    t.quarantined = snap.quarantined;
+    t.cache_hits = snap.cache_hits;
+    t.cache_misses = snap.cache_misses;
+    t.hot_dispatches = snap.hot_dispatches;
+    t.reference_dispatches = snap.reference_dispatches;
+    t.heartbeats = snap.heartbeats;
+    t.slots = snap.slots;
+    t.throughput_points_per_s = snap.throughput_points_per_s;
+    t.wall_p50_us = snap.wall_p50_us;
+    t.wall_p95_us = snap.wall_p95_us;
+    t.wall_p99_us = snap.wall_p99_us;
+    t.wall_max_us = snap.wall_max_us;
+    t.worker_skew = snap.worker_skew;
+    for (const telemetry::WorkerSnapshot& w : snap.workers) {
+      report::TelemetryWorkerRow row;
+      row.worker = w.worker;
+      row.done = w.done;
+      row.retried = w.retried;
+      row.quarantined = w.quarantined;
+      row.cache_hits = w.cache_hits;
+      row.cache_misses = w.cache_misses;
+      row.hot_dispatches = w.hot_dispatches;
+      row.reference_dispatches = w.reference_dispatches;
+      row.heartbeats = w.heartbeats;
+      row.slots = w.slots;
+      row.busy_seconds = w.busy_seconds;
+      t.workers.push_back(row);
+    }
+  }
+
+ private:
+  /// Called from the sampler thread while running and once more from
+  /// finish() after stop() — never concurrently.
+  void emit(const telemetry::SweepSnapshot& snap) {
+    if (progress_stream_.is_open()) {
+      progress_stream_ << telemetry::snapshot_to_json(snap) << '\n';
+      progress_stream_.flush();
+    }
+    if (live_) {
+      std::fprintf(stderr, "\r%s", telemetry::progress_line(snap).c_str());
+      std::fflush(stderr);
+    }
+  }
+
+  std::string progress_path_;
+  bool live_ = false;
+  bool record_lanes_ = false;
+  std::ofstream progress_stream_;
+  std::optional<telemetry::SweepTelemetry> telemetry_;
+  std::optional<telemetry::Sampler> sampler_;
 };
 
 /// --faults wiring. Three argument forms:
@@ -659,6 +800,10 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
   ropt.cache = &cache;
   ropt.observer = obs.context();
 
+  TelemetrySession tel(options, jobs, grid.points(config).size(),
+                       !option_or(options, "trace-out", "").empty());
+  ropt.telemetry = tel.telemetry();
+
   const resilience::ResilientSweepResult sweep =
       resilience::run_resilient_sweep(config, grid, ropt);
 
@@ -751,6 +896,8 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
     }
   }
 
+  tel.finish(bench, obs.sink());
+
   const std::string out = option_or(options, "out", "");
   if (!out.empty()) {
     report::write_sweep_bench_file(out, bench);
@@ -800,11 +947,17 @@ int cmd_sweep(const Options& options) {
     have_serial = true;
   }
 
+  // The serial reference above runs without telemetry: shards observe
+  // only the measured parallel run, so snapshot totals equal its report.
+  TelemetrySession tel(options, jobs, grid.points(config).size(),
+                       !option_or(options, "trace-out", "").empty());
+
   par::SharedSolveCache cache(cache_config);
   par::SweepOptions sweep_options;
   sweep_options.jobs = jobs;
   sweep_options.cache = &cache;
   sweep_options.observer = obs.context();
+  sweep_options.telemetry = tel.telemetry();
   const par::SweepResult sweep = par::run_sweep(config, grid, sweep_options);
 
   report::Table table(
@@ -855,6 +1008,8 @@ int cmd_sweep(const Options& options) {
                 bench.serial_wall_seconds, bench.speedup,
                 identical ? "bit-identical" : "DIVERGED");
   }
+
+  tel.finish(bench, obs.sink());
 
   const std::string out = option_or(options, "out", "");
   if (!out.empty()) {
@@ -932,6 +1087,12 @@ int usage() {
       "           [--spot-checks N]     replayed points re-verified (1)\n"
       "           [--inject-fail K]     test hook: grid point K always\n"
       "                                 fails (exercises quarantine)\n"
+      "           telemetry (derived observation; results unchanged):\n"
+      "           [--progress on]       live progress line on stderr\n"
+      "           [--progress-out f.jsonl]  snapshot stream, one JSON\n"
+      "                                 object per line; the final line\n"
+      "                                 totals the whole sweep\n"
+      "           [--progress-interval-ms MS]  sampler period (200)\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
       "run/compare/lifetime/sweep also accept:\n"

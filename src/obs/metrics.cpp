@@ -118,6 +118,7 @@ std::vector<MetricRow> MetricsRegistry::rows() const {
     row.max = h.max();
     row.p50 = h.quantile(0.5);
     row.p95 = h.quantile(0.95);
+    row.p99 = h.quantile(0.99);
     out.push_back(std::move(row));
   }
   std::sort(out.begin(), out.end(),

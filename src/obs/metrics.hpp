@@ -106,6 +106,7 @@ struct MetricRow {
   double max = 0.0;
   double p50 = 0.0;  ///< histograms only (0 otherwise)
   double p95 = 0.0;  ///< histograms only (0 otherwise)
+  double p99 = 0.0;  ///< histograms only (0 otherwise)
 };
 
 /// Owns every instrument; lookups by name create on first use and stay

@@ -108,6 +108,15 @@ void JsonlTraceSink::event(const TraceEvent& e) {
   *out_ << line;
 }
 
+void JsonlTraceSink::track_name(int track, const char* name) {
+  std::string line = "{\"ph\":\"M\",\"name\":\"thread_name\",\"track\":";
+  append_number(line, static_cast<double>(track));
+  line += ",\"args\":{\"name\":\"";
+  line += json_escape(name);
+  line += "\"}}\n";
+  *out_ << line;
+}
+
 void JsonlTraceSink::flush() { out_->flush(); }
 
 // --- ChromeTraceSink ---------------------------------------------------------
@@ -145,6 +154,22 @@ void ChromeTraceSink::event(const TraceEvent& e) {
     append_args(entry, e);
   }
   entry += "}";
+  *out_ << entry;
+}
+
+void ChromeTraceSink::track_name(int track, const char* name) {
+  if (closed_) {
+    return;
+  }
+  std::string entry;
+  entry += first_ ? "\n" : ",\n";
+  first_ = false;
+  entry +=
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+  append_number(entry, static_cast<double>(track));
+  entry += ",\"args\":{\"name\":\"";
+  entry += json_escape(name);
+  entry += "\"}}";
   *out_ << entry;
 }
 

@@ -64,6 +64,13 @@ class TraceSink {
 
   virtual void event(const TraceEvent& event) = 0;
 
+  /// Assign a human-readable name to a timeline track (Chrome "tid").
+  /// Sinks that support it emit a metadata record (Chrome "M" phase
+  /// `thread_name`, which Perfetto renders as the track label); the
+  /// default is a no-op. Unlike event names, `name` is copied — it need
+  /// not outlive the call.
+  virtual void track_name(int /*track*/, const char* /*name*/) {}
+
   /// Push buffered output to the underlying stream (no-op by default).
   virtual void flush() {}
 
@@ -90,6 +97,7 @@ class JsonlTraceSink final : public TraceSink {
   explicit JsonlTraceSink(std::ostream& out);
 
   void event(const TraceEvent& event) override;
+  void track_name(int track, const char* name) override;
   void flush() override;
 
  private:
@@ -109,6 +117,7 @@ class ChromeTraceSink final : public TraceSink {
   ChromeTraceSink& operator=(const ChromeTraceSink&) = delete;
 
   void event(const TraceEvent& event) override;
+  void track_name(int track, const char* name) override;
   void flush() override;
 
   /// Write the closing brackets; idempotent.

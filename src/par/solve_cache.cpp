@@ -63,6 +63,20 @@ void SharedSolveCache::publish(obs::Context& obs) const {
 core::CheckedSetting SharedSolveCache::solve(
     const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
     const core::StorageBounds& storage) {
+  bool hit = false;
+  return solve(optimizer, load, storage, hit);
+}
+
+core::CheckedSetting SharedSolveCache::solve_active_only(
+    const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+    const core::StorageBounds& storage) {
+  bool hit = false;
+  return solve_active_only(optimizer, duration, charge, storage, hit);
+}
+
+core::CheckedSetting SharedSolveCache::solve(
+    const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+    const core::StorageBounds& storage, bool& hit) {
   core::SlotLoad snapped = load;
   snapped.idle = Seconds(snap(load.idle.value(), config_.time_quantum.value()));
   snapped.active =
@@ -95,12 +109,13 @@ core::CheckedSetting SharedSolveCache::solve(
                 word(bounds.target_end.value()),
                 word(bounds.capacity.value())};
   return lookup_or_solve(key, optimizer, snapped, bounds,
-                         /*active_only=*/false, Seconds(0.0), Coulomb(0.0));
+                         /*active_only=*/false, Seconds(0.0), Coulomb(0.0),
+                         hit);
 }
 
 core::CheckedSetting SharedSolveCache::solve_active_only(
     const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
-    const core::StorageBounds& storage) {
+    const core::StorageBounds& storage, bool& hit) {
   const Seconds snapped_duration =
       Seconds(snap(duration.value(), config_.time_quantum.value()));
   const Coulomb snapped_charge =
@@ -130,21 +145,23 @@ core::CheckedSetting SharedSolveCache::solve_active_only(
                 0ull};
   return lookup_or_solve(key, optimizer, core::SlotLoad{}, bounds,
                          /*active_only=*/true, snapped_duration,
-                         snapped_charge);
+                         snapped_charge, hit);
 }
 
 core::CheckedSetting SharedSolveCache::lookup_or_solve(
     const Key& key, const core::SlotOptimizer& optimizer,
     const core::SlotLoad& load, const core::StorageBounds& storage,
-    bool active_only, Seconds duration, Coulomb charge) {
+    bool active_only, Seconds duration, Coulomb charge, bool& hit) {
   {
     const std::shared_lock lock(mutex_);
     const auto found = entries_.find(key);
     if (found != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit = true;
       return found->second;
     }
   }
+  hit = false;
   // Miss: solve the snapped problem outside any lock. A concurrent
   // worker racing on the same key computes the identical answer;
   // try_emplace keeps whichever got there first.

@@ -48,6 +48,18 @@ class SharedSolveCache final : public core::SlotSolveCache {
       const core::SlotOptimizer& optimizer, Seconds duration,
       Coulomb charge, const core::StorageBounds& storage) override;
 
+  /// Attributable variants: `hit` reports whether *this call* was
+  /// served from the memo. The global hits()/misses() counters cannot
+  /// answer that per caller (deltas race across workers); the tap
+  /// (SolveCacheTap) uses these to attribute traffic to one worker.
+  [[nodiscard]] core::CheckedSetting solve(
+      const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+      const core::StorageBounds& storage, bool& hit);
+
+  [[nodiscard]] core::CheckedSetting solve_active_only(
+      const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+      const core::StorageBounds& storage, bool& hit);
+
   [[nodiscard]] const SolveCacheConfig& config() const noexcept {
     return config_;
   }
@@ -79,13 +91,61 @@ class SharedSolveCache final : public core::SlotSolveCache {
   [[nodiscard]] core::CheckedSetting lookup_or_solve(
       const Key& key, const core::SlotOptimizer& optimizer,
       const core::SlotLoad& load, const core::StorageBounds& storage,
-      bool active_only, Seconds duration, Coulomb charge);
+      bool active_only, Seconds duration, Coulomb charge, bool& hit);
 
   SolveCacheConfig config_;
   mutable std::shared_mutex mutex_;
   std::unordered_map<Key, core::CheckedSetting, KeyHash> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Per-worker counting wrapper around a SharedSolveCache. One tap lives
+/// on each worker's stack; it forwards every solve to the shared memo
+/// (answers stay bit-identical — it adds no caching of its own) and
+/// counts the hits and misses of *this worker only* in plain fields
+/// read on the same thread. Telemetry folds the per-point deltas into
+/// the worker's shard; the shared cache's global counters are untouched
+/// in meaning (they still total all workers).
+class SolveCacheTap final : public core::SlotSolveCache {
+ public:
+  explicit SolveCacheTap(SharedSolveCache& cache) : cache_(&cache) {}
+
+  [[nodiscard]] core::CheckedSetting solve(
+      const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+      const core::StorageBounds& storage) override {
+    bool hit = false;
+    const core::CheckedSetting answer =
+        cache_->solve(optimizer, load, storage, hit);
+    count(hit);
+    return answer;
+  }
+
+  [[nodiscard]] core::CheckedSetting solve_active_only(
+      const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+      const core::StorageBounds& storage) override {
+    bool hit = false;
+    const core::CheckedSetting answer =
+        cache_->solve_active_only(optimizer, duration, charge, storage, hit);
+    count(hit);
+    return answer;
+  }
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  void count(bool hit) noexcept {
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+
+  SharedSolveCache* cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace fcdpm::par

@@ -8,6 +8,7 @@
 #include "fault/schedule.hpp"
 #include "hot/engine.hpp"
 #include "par/worker_pool.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 
 namespace fcdpm::par {
 
@@ -45,7 +46,7 @@ std::vector<SweepPoint> SweepGrid::points(
 SweepPointResult run_point(const sim::ExperimentConfig& base,
                            const SweepPoint& point,
                            std::size_t storm_faults,
-                           SharedSolveCache* cache,
+                           core::SlotSolveCache* cache,
                            sim::CancellationToken* cancel,
                            std::size_t slot_budget,
                            const hot::CompiledTrace* compiled) {
@@ -89,6 +90,10 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
       local.emplace(config.trace, config.device);
       compiled = &*local;
     }
+    // Mirror of hot::simulate's internal dispatch: ineligible runs
+    // (storm faults, attached observers) fall back to the reference
+    // interpreter inside, so count them as reference dispatches.
+    out.ran_hot = hot::lane_eligible(hybrid, options);
     out.result =
         hot::simulate(*compiled, dpm_policy, *fc_policy, hybrid, options);
   } else {
@@ -124,10 +129,68 @@ SweepResult run_sweep(const sim::ExperimentConfig& base,
   {
     WorkerPool pool(options.jobs);
     out.stats.jobs = pool.thread_count();
-    pool.run_indexed(points.size(), [&](std::size_t k) {
-      out.points[k] = run_point(base, points[k], grid.storm_faults,
-                                options.cache, nullptr, 0, shared);
-    });
+    telemetry::SweepTelemetry* tel = options.telemetry;
+    if (tel == nullptr) {
+      pool.run_indexed(points.size(), [&](std::size_t k) {
+        out.points[k] = run_point(base, points[k], grid.storm_faults,
+                                  options.cache, nullptr, 0, shared);
+      });
+    } else {
+      pool.run_indexed_on_workers(
+          points.size(), [&](std::size_t worker, std::size_t k) {
+            telemetry::WorkerShard& shard = tel->shards().shard(worker);
+            // The tap attributes this point's cache traffic to this
+            // worker; it adds no caching, so results are unchanged.
+            std::optional<SolveCacheTap> tap;
+            if (options.cache != nullptr) {
+              tap.emplace(*options.cache);
+            }
+            const std::uint64_t t0 = tel->now_ns();
+            out.points[k] = run_point(
+                base, points[k], grid.storm_faults,
+                tap.has_value() ? static_cast<core::SlotSolveCache*>(&*tap)
+                                : nullptr,
+                nullptr, 0, shared);
+            const std::uint64_t t1 = tel->now_ns();
+
+            const SweepPointResult& done = out.points[k];
+            shard.points_done.fetch_add(1, std::memory_order_relaxed);
+            shard.busy_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+            shard.slots.fetch_add(done.result.slots,
+                                  std::memory_order_relaxed);
+            if (done.ran_hot) {
+              shard.hot_dispatches.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              shard.reference_dispatches.fetch_add(1,
+                                                   std::memory_order_relaxed);
+            }
+            std::uint64_t point_hits = 0;
+            std::uint64_t point_misses = 0;
+            if (tap.has_value()) {
+              point_hits = tap->hits();
+              point_misses = tap->misses();
+              shard.cache_hits.fetch_add(point_hits,
+                                         std::memory_order_relaxed);
+              shard.cache_misses.fetch_add(point_misses,
+                                           std::memory_order_relaxed);
+            }
+            shard.wall_us.observe(static_cast<double>(t1 - t0) * 1e-3);
+            shard.sim_s.observe(done.result.totals.duration.value());
+
+            if (telemetry::LaneRecorder* lanes = tel->lanes()) {
+              telemetry::PointLane lane;
+              lane.start_ns = t0;
+              lane.end_ns = t1;
+              lane.point_index = static_cast<std::uint32_t>(k);
+              lane.attempt = 1;
+              lane.cache_hits = static_cast<std::uint32_t>(point_hits);
+              lane.cache_misses = static_cast<std::uint32_t>(point_misses);
+              lane.ok = true;
+              lane.hot = done.ran_hot;
+              lanes->record(worker, lane);
+            }
+          });
+    }
   }
   out.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -139,17 +202,24 @@ SweepResult run_sweep(const sim::ExperimentConfig& base,
     out.stats.cache_misses = options.cache->misses() - misses_before;
   }
 
-  if (options.observer != nullptr && options.observer->active()) {
-    obs::Context& obs = *options.observer;
-    obs.gauge("par.sweep.points", static_cast<double>(out.stats.points));
-    obs.gauge("par.sweep.jobs", static_cast<double>(out.stats.jobs));
-    obs.gauge("par.sweep.wall_s", out.stats.wall_seconds);
-    obs.gauge("par.sweep.points_per_s", out.stats.points_per_second());
-    if (options.cache != nullptr) {
-      options.cache->publish(obs);
-    }
+  if (options.observer != nullptr) {
+    publish_sweep_stats(*options.observer, out.stats, options.cache);
   }
   return out;
+}
+
+void publish_sweep_stats(obs::Context& obs, const SweepRunStats& stats,
+                         const SharedSolveCache* cache) {
+  if (!obs.active()) {
+    return;
+  }
+  obs.gauge("par.sweep.points", static_cast<double>(stats.points));
+  obs.gauge("par.sweep.jobs", static_cast<double>(stats.jobs));
+  obs.gauge("par.sweep.wall_s", stats.wall_seconds);
+  obs.gauge("par.sweep.points_per_s", stats.points_per_second());
+  if (cache != nullptr) {
+    cache->publish(obs);
+  }
 }
 
 }  // namespace fcdpm::par

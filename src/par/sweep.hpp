@@ -19,6 +19,10 @@
 #include "sim/cancellation.hpp"
 #include "sim/experiments.hpp"
 
+namespace fcdpm::telemetry {
+class SweepTelemetry;
+}  // namespace fcdpm::telemetry
+
 namespace fcdpm::par {
 
 /// One point of the sweep grid.
@@ -53,11 +57,20 @@ struct SweepOptions {
   /// Post-run stats publication only — never attached to worker runs
   /// (obs::Context is not thread-safe).
   obs::Context* observer = nullptr;
+  /// Live per-worker shards + optional lane recording. Must be sized
+  /// with >= WorkerPool::resolve(jobs) shards and total_points >= the
+  /// grid size. Purely derived observation: results stay bit-identical
+  /// with this attached or not.
+  telemetry::SweepTelemetry* telemetry = nullptr;
 };
 
 struct SweepPointResult {
   SweepPoint point;
   sim::SimulationResult result;
+  /// The compiled hot lane actually ran this point (engine == Hot and
+  /// the run was lane-eligible; storms/observers fall back to the
+  /// reference interpreter inside hot::simulate).
+  bool ran_hot = false;
 };
 
 struct SweepRunStats {
@@ -96,7 +109,7 @@ struct SweepResult {
 /// points — nullptr makes the point compile its own.
 [[nodiscard]] SweepPointResult run_point(
     const sim::ExperimentConfig& base, const SweepPoint& point,
-    std::size_t storm_faults, SharedSolveCache* cache,
+    std::size_t storm_faults, core::SlotSolveCache* cache,
     sim::CancellationToken* cancel = nullptr, std::size_t slot_budget = 0,
     const hot::CompiledTrace* compiled = nullptr);
 
@@ -104,5 +117,15 @@ struct SweepResult {
 [[nodiscard]] SweepResult run_sweep(const sim::ExperimentConfig& base,
                                     const SweepGrid& grid,
                                     const SweepOptions& options = {});
+
+/// Publish the end-of-sweep gauges — par.sweep.{points,jobs,wall_s,
+/// points_per_s} plus, when a cache was attached, par.cache.* via
+/// SharedSolveCache::publish — in one place. Both run_sweep and the
+/// resilient runner call this exactly once at sweep end, so the
+/// par.cache.* gauges always equal the cache's own hits()/misses() at
+/// that instant (no ad hoc call sites drifting out of sync). No-op
+/// when the observer is inactive.
+void publish_sweep_stats(obs::Context& obs, const SweepRunStats& stats,
+                         const SharedSolveCache* cache);
 
 }  // namespace fcdpm::par

@@ -9,20 +9,16 @@
 
 namespace fcdpm::par {
 
-namespace {
-
-std::size_t resolve_threads(std::size_t threads) {
+std::size_t WorkerPool::resolve(std::size_t threads) noexcept {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
   }
   return std::max<std::size_t>(threads, 1);
 }
 
-}  // namespace
-
 WorkerPool::WorkerPool(std::size_t threads)
-    : queue_(2 * resolve_threads(threads)) {
-  const std::size_t n = resolve_threads(threads);
+    : queue_(2 * WorkerPool::resolve(threads)) {
+  const std::size_t n = WorkerPool::resolve(threads);
   threads_.reserve(n);
   for (std::size_t k = 0; k < n; ++k) {
     threads_.emplace_back([this, k] {

@@ -29,6 +29,12 @@ class WorkerPool {
     return threads_.size();
   }
 
+  /// The thread count a given `threads` request resolves to (0 -> the
+  /// hardware concurrency, floor 1). Lets callers that must size
+  /// per-worker state *before* constructing the pool — telemetry
+  /// shards, watchdog heartbeat slots — agree exactly with the pool.
+  [[nodiscard]] static std::size_t resolve(std::size_t threads) noexcept;
+
   /// Run fn(0) .. fn(count-1) across the pool and block until all have
   /// finished. The first exception thrown by any invocation is captured
   /// and rethrown here after the batch drains (the remaining tasks still

@@ -28,12 +28,12 @@ std::string format_count(std::uint64_t value) {
 CsvDocument metrics_to_csv(const obs::MetricsRegistry& metrics) {
   CsvDocument doc;
   doc.header = {"name", "type", "count", "value",
-                "min",  "max",  "p50",   "p95"};
+                "min",  "max",  "p50",   "p95",   "p99"};
   for (const obs::MetricRow& row : metrics.rows()) {
     doc.rows.push_back({row.name, row.type, format_count(row.count),
                         format_double(row.value), format_double(row.min),
                         format_double(row.max), format_double(row.p50),
-                        format_double(row.p95)});
+                        format_double(row.p95), format_double(row.p99)});
   }
   return doc;
 }
@@ -53,7 +53,8 @@ std::string metrics_to_json(const obs::MetricsRegistry& metrics) {
            ",\"min\":" + format_double(row.min) +
            ",\"max\":" + format_double(row.max) +
            ",\"p50\":" + format_double(row.p50) +
-           ",\"p95\":" + format_double(row.p95) + "}";
+           ",\"p95\":" + format_double(row.p95) +
+           ",\"p99\":" + format_double(row.p99) + "}";
   }
   out += "]}\n";
   return out;

@@ -70,6 +70,54 @@ std::string resilience_to_json(const SweepResilienceReport& r) {
   return out;
 }
 
+std::string telemetry_worker_to_json(const TelemetryWorkerRow& w) {
+  std::string out = "{";
+  out += "\"worker\":" + std::to_string(w.worker);
+  out += ",\"done\":" + std::to_string(w.done);
+  out += ",\"retried\":" + std::to_string(w.retried);
+  out += ",\"quarantined\":" + std::to_string(w.quarantined);
+  out += ",\"cache_hits\":" + std::to_string(w.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(w.cache_misses);
+  out += ",\"hot_dispatches\":" + std::to_string(w.hot_dispatches);
+  out += ",\"reference_dispatches\":" +
+         std::to_string(w.reference_dispatches);
+  out += ",\"heartbeats\":" + std::to_string(w.heartbeats);
+  out += ",\"slots\":" + std::to_string(w.slots);
+  out += ",\"busy_s\":" + format_double(w.busy_seconds);
+  out += "}";
+  return out;
+}
+
+std::string telemetry_to_json(const TelemetryReport& t) {
+  std::string out = "{";
+  out += "\"snapshots\":" + std::to_string(t.snapshots);
+  out += ",\"done\":" + std::to_string(t.done);
+  out += ",\"retried\":" + std::to_string(t.retried);
+  out += ",\"quarantined\":" + std::to_string(t.quarantined);
+  out += ",\"cache_hits\":" + std::to_string(t.cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(t.cache_misses);
+  out += ",\"hot_dispatches\":" + std::to_string(t.hot_dispatches);
+  out += ",\"reference_dispatches\":" +
+         std::to_string(t.reference_dispatches);
+  out += ",\"heartbeats\":" + std::to_string(t.heartbeats);
+  out += ",\"slots\":" + std::to_string(t.slots);
+  out += ",\"points_per_s\":" + format_double(t.throughput_points_per_s);
+  out += ",\"wall_p50_us\":" + format_double(t.wall_p50_us);
+  out += ",\"wall_p95_us\":" + format_double(t.wall_p95_us);
+  out += ",\"wall_p99_us\":" + format_double(t.wall_p99_us);
+  out += ",\"wall_max_us\":" + format_double(t.wall_max_us);
+  out += ",\"worker_skew\":" + format_double(t.worker_skew);
+  out += ",\"workers\":[";
+  for (std::size_t k = 0; k < t.workers.size(); ++k) {
+    if (k != 0) {
+      out += ',';
+    }
+    out += telemetry_worker_to_json(t.workers[k]);
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string sweep_bench_to_json(const SweepBenchReport& bench) {
@@ -88,6 +136,9 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
          std::to_string(bench.bit_identical_to_serial);
   if (bench.resilience.enabled) {
     out += ",\"resilience\":" + resilience_to_json(bench.resilience);
+  }
+  if (bench.telemetry.enabled) {
+    out += ",\"telemetry\":" + telemetry_to_json(bench.telemetry);
   }
   out += ",\"results\":[";
   for (std::size_t k = 0; k < bench.results.size(); ++k) {

@@ -51,6 +51,46 @@ struct SweepResilienceReport {
   std::size_t point_deadline_slots = 0;
 };
 
+/// One worker's telemetry totals (`TelemetryReport::workers`).
+struct TelemetryWorkerRow {
+  std::size_t worker = 0;
+  std::uint64_t done = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t hot_dispatches = 0;
+  std::uint64_t reference_dispatches = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t slots = 0;
+  double busy_seconds = 0.0;
+};
+
+/// Final telemetry snapshot of the sweep (`SweepBenchReport::telemetry`);
+/// emitted only when the CLI ran with telemetry attached. Plain data —
+/// the report layer stays independent of fcdpm::telemetry; the CLI
+/// copies the final SweepSnapshot in.
+struct TelemetryReport {
+  bool enabled = false;
+  std::uint64_t snapshots = 0;  ///< progress snapshots emitted (sampler+final)
+  std::uint64_t done = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t hot_dispatches = 0;
+  std::uint64_t reference_dispatches = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t slots = 0;
+  double throughput_points_per_s = 0.0;
+  double wall_p50_us = 0.0;
+  double wall_p95_us = 0.0;
+  double wall_p99_us = 0.0;
+  double wall_max_us = 0.0;
+  double worker_skew = 0.0;
+  std::vector<TelemetryWorkerRow> workers;
+};
+
 struct SweepBenchReport {
   std::string trace_name;
   std::size_t points = 0;
@@ -69,6 +109,7 @@ struct SweepBenchReport {
   /// Per-point deterministic results, grid order.
   std::vector<SweepPointRow> results;
   SweepResilienceReport resilience;
+  TelemetryReport telemetry;
 };
 
 /// One JSON object, newline-terminated.

@@ -12,6 +12,7 @@
 #include "par/worker_pool.hpp"
 #include "resilience/journal.hpp"
 #include "resilience/watchdog.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 
 namespace fcdpm::resilience {
 
@@ -193,12 +194,83 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
             if (watchdog.has_value()) {
               watchdog->begin_work(worker, &token);
             }
+            telemetry::SweepTelemetry* tel = options.telemetry;
+            // Per-worker cache tap: attributes this attempt's traffic
+            // to this worker's shard without touching the shared
+            // counters' meaning (they still total everything).
+            std::optional<par::SolveCacheTap> tap;
+            if (tel != nullptr && options.cache != nullptr) {
+              tap.emplace(*options.cache);
+            }
+            core::SlotSolveCache* attempt_cache =
+                tap.has_value()
+                    ? static_cast<core::SlotSolveCache*>(&*tap)
+                    : static_cast<core::SlotSolveCache*>(options.cache);
+            const std::uint64_t t0 = tel != nullptr ? tel->now_ns() : 0;
             outcomes[j] = execute_point(base, points[item.index],
                                         item.index, grid.storm_faults,
-                                        options.cache, options.contract,
+                                        attempt_cache, options.contract,
                                         &token);
             if (watchdog.has_value()) {
               watchdog->end_work(worker);
+            }
+            if (tel != nullptr) {
+              const std::uint64_t t1 = tel->now_ns();
+              telemetry::WorkerShard& shard = tel->shards().shard(worker);
+              const PointOutcome& outcome = outcomes[j];
+              const bool final_attempt = item.attempt >= max_attempts;
+              if (outcome.ok) {
+                shard.points_done.fetch_add(1, std::memory_order_relaxed);
+              } else if (final_attempt) {
+                shard.points_quarantined.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              } else {
+                shard.points_retried.fetch_add(1, std::memory_order_relaxed);
+              }
+              shard.busy_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+              // Heartbeats accumulated by this attempt's run (the token
+              // is reset per attempt, so this is exactly one attempt's
+              // slot beats).
+              shard.heartbeats.fetch_add(token.heartbeat(),
+                                         std::memory_order_relaxed);
+              std::uint64_t point_hits = 0;
+              std::uint64_t point_misses = 0;
+              if (tap.has_value()) {
+                point_hits = tap->hits();
+                point_misses = tap->misses();
+                shard.cache_hits.fetch_add(point_hits,
+                                           std::memory_order_relaxed);
+                shard.cache_misses.fetch_add(point_misses,
+                                             std::memory_order_relaxed);
+              }
+              shard.wall_us.observe(static_cast<double>(t1 - t0) * 1e-3);
+              if (outcome.ok) {
+                // A failed attempt has no trustworthy result fields.
+                shard.slots.fetch_add(outcome.result.result.slots,
+                                      std::memory_order_relaxed);
+                shard.sim_s.observe(
+                    outcome.result.result.totals.duration.value());
+                if (outcome.result.ran_hot) {
+                  shard.hot_dispatches.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                } else {
+                  shard.reference_dispatches.fetch_add(
+                      1, std::memory_order_relaxed);
+                }
+              }
+              if (telemetry::LaneRecorder* lanes = tel->lanes()) {
+                telemetry::PointLane lane;
+                lane.start_ns = t0;
+                lane.end_ns = t1;
+                lane.point_index = static_cast<std::uint32_t>(item.index);
+                lane.attempt = static_cast<std::uint32_t>(item.attempt);
+                lane.cache_hits = static_cast<std::uint32_t>(point_hits);
+                lane.cache_misses = static_cast<std::uint32_t>(point_misses);
+                lane.ok = outcome.ok;
+                lane.quarantined = !outcome.ok && final_attempt;
+                lane.hot = outcome.ok && outcome.result.ran_hot;
+                lanes->record(worker, lane);
+              }
             }
             // Journal a committed outcome immediately (ok, or the final
             // failed attempt): the record is fsync'd before any later
@@ -268,10 +340,10 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
 
   if (options.observer != nullptr && options.observer->active()) {
     obs::Context& obs = *options.observer;
-    obs.gauge("par.sweep.points", static_cast<double>(out.stats.points));
-    obs.gauge("par.sweep.jobs", static_cast<double>(out.stats.jobs));
-    obs.gauge("par.sweep.wall_s", out.stats.wall_seconds);
-    obs.gauge("par.sweep.points_per_s", out.stats.points_per_second());
+    // Shared end-of-sweep publication (par.sweep.* + par.cache.*): one
+    // site for both runners, so the cache gauges always equal the
+    // cache's own counters at sweep end.
+    par::publish_sweep_stats(obs, out.stats, options.cache);
     obs.gauge("resilience.scheduled",
               static_cast<double>(out.resilience.scheduled));
     obs.gauge("resilience.replayed",
@@ -288,9 +360,6 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
               static_cast<double>(out.resilience.watchdog_stalls));
     obs.gauge("resilience.torn_bytes_dropped",
               static_cast<double>(out.resilience.torn_bytes_dropped));
-    if (options.cache != nullptr) {
-      options.cache->publish(obs);
-    }
   }
   return out;
 }

@@ -48,6 +48,11 @@ struct ResilienceOptions {
   par::SharedSolveCache* cache = nullptr;
   /// Post-run stats publication only (never attached to worker runs).
   obs::Context* observer = nullptr;
+  /// Live per-worker shards + optional lane recording (see
+  /// par::SweepOptions::telemetry). Shard count must be >=
+  /// par::WorkerPool::resolve(jobs). Derived observation only; results
+  /// and the journal are unchanged by attaching it.
+  telemetry::SweepTelemetry* telemetry = nullptr;
 };
 
 /// Per-point outcome of a resilient sweep, in grid order.

@@ -62,7 +62,7 @@ PointOutcome execute_point(const sim::ExperimentConfig& base,
                            const par::SweepPoint& point,
                            std::size_t point_index,
                            std::size_t storm_faults,
-                           par::SharedSolveCache* cache,
+                           core::SlotSolveCache* cache,
                            const ExecutionContract& contract,
                            sim::CancellationToken* cancel) {
   PointOutcome out;

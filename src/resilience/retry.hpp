@@ -84,7 +84,7 @@ struct PointOutcome {
                                          const par::SweepPoint& point,
                                          std::size_t point_index,
                                          std::size_t storm_faults,
-                                         par::SharedSolveCache* cache,
+                                         core::SlotSolveCache* cache,
                                          const ExecutionContract& contract,
                                          sim::CancellationToken* cancel);
 

@@ -1,0 +1,337 @@
+#include "telemetry/json.hpp"
+
+#include <cstdlib>
+
+namespace fcdpm::telemetry::json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) {
+    return nullptr;
+  }
+  for (const Member& member : members_) {
+    if (member.first == key) {
+      return &member.second;
+    }
+  }
+  return nullptr;
+}
+
+const Value* Value::at_path(std::string_view path) const noexcept {
+  const Value* current = this;
+  while (!path.empty()) {
+    const std::size_t dot = path.find('.');
+    const std::string_view key =
+        dot == std::string_view::npos ? path : path.substr(0, dot);
+    current = current->find(key);
+    if (current == nullptr) {
+      return nullptr;
+    }
+    path = dot == std::string_view::npos ? std::string_view{}
+                                         : path.substr(dot + 1);
+  }
+  return current;
+}
+
+std::optional<double> Value::number_at(std::string_view path) const noexcept {
+  const Value* v = at_path(path);
+  if (v == nullptr || !v->is_number()) {
+    return std::nullopt;
+  }
+  return v->as_number();
+}
+
+std::string Value::string_at(std::string_view path) const {
+  const Value* v = at_path(path);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string{};
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult result;
+    skip_ws();
+    if (!parse_value(result.value)) {
+      result.error = error_;
+      result.error_byte = pos_;
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing content after document";
+      result.error_byte = pos_;
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  bool expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (at_end()) {
+      return fail("unexpected end of input");
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) {
+          return false;
+        }
+        out = Value::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!expect_literal("true")) {
+          return false;
+        }
+        out = Value::make_bool(true);
+        return true;
+      case 'f':
+        if (!expect_literal("false")) {
+          return false;
+        }
+        out = Value::make_bool(false);
+        return true;
+      case 'n':
+        if (!expect_literal("null")) {
+          return false;
+        }
+        out = Value::make_null();
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    ++pos_;  // '{'
+    std::vector<Value::Member> members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      out = Value::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (at_end() || peek() != ':') {
+        return fail("expected ':' after key");
+      }
+      ++pos_;
+      skip_ws();
+      Value value;
+      if (!parse_value(value)) {
+        return false;
+      }
+      members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (at_end()) {
+        return fail("unterminated object");
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out = Value::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      out = Value::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value value;
+      if (!parse_value(value)) {
+        return false;
+      }
+      items.push_back(std::move(value));
+      skip_ws();
+      if (at_end()) {
+        return fail("unterminated array");
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out = Value::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (at_end()) {
+        return fail("unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) {
+        return fail("unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) {
+              return fail("truncated \\u escape");
+            }
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          // BMP only (surrogate pairs never appear in this repo's
+          // machine-written output); encode as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') {
+      ++pos_;
+    }
+    while (!at_end()) {
+      const char c = peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return fail("invalid number");
+    }
+    out = Value::make_number(number);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace fcdpm::telemetry::json

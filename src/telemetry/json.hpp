@@ -1,0 +1,120 @@
+// Minimal recursive-descent JSON reader for the bench-history ledger.
+//
+// The repo *writes* JSON in several places (report/, obs/) but until
+// now never read it back; bench_history must parse its own BENCH_*.json
+// outputs and BENCH_HISTORY.jsonl rows. This is a deliberately small
+// reader for that machine-written subset: full JSON values, UTF-8
+// passed through opaquely, \uXXXX unescaped only for the BMP. Objects
+// preserve insertion order (a vector of pairs) so round-trips are
+// stable and duplicate keys keep first-wins lookup semantics.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fcdpm::telemetry::json {
+
+enum class Kind { Null, Bool, Number, String, Array, Object };
+
+class Value {
+ public:
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::String;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::Bool; }
+
+  [[nodiscard]] bool as_bool() const noexcept { return bool_; }
+  [[nodiscard]] double as_number() const noexcept { return number_; }
+  [[nodiscard]] const std::string& as_string() const noexcept {
+    return string_;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] const std::vector<Member>& members() const noexcept {
+    return members_;
+  }
+
+  /// Object member lookup (first match); nullptr when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  /// Dotted-path lookup, e.g. `at_path("timing.single_run.speedup")`.
+  [[nodiscard]] const Value* at_path(std::string_view path) const noexcept;
+
+  /// Convenience: number at a dotted path, or nullopt when the path is
+  /// missing or not a number.
+  [[nodiscard]] std::optional<double> number_at(
+      std::string_view path) const noexcept;
+  /// Convenience: string at a dotted path, or empty when missing.
+  [[nodiscard]] std::string string_at(std::string_view path) const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b) {
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value make_number(double n) {
+    Value v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+  }
+  static Value make_string(std::string s) {
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value make_array(std::vector<Value> items) {
+    Value v;
+    v.kind_ = Kind::Array;
+    v.items_ = std::move(items);
+    return v;
+  }
+  static Value make_object(std::vector<Member> members) {
+    Value v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+  }
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;       ///< empty on success
+  std::size_t error_byte = 0;  ///< byte offset of the failure
+};
+
+/// Parse one complete JSON document; trailing whitespace is allowed,
+/// any other trailing content is an error.
+[[nodiscard]] ParseResult parse(std::string_view text);
+
+}  // namespace fcdpm::telemetry::json

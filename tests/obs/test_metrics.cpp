@@ -110,6 +110,44 @@ TEST(MetricsRegistry, RowsSortedByTypeThenName) {
   EXPECT_EQ(rows[3].count, 1u);
 }
 
+TEST(Histogram, P99AndMaxEdgeCases) {
+  // Empty: every summary statistic is zero.
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  // Single sample: p50 == p99 == max == the sample.
+  Histogram one;
+  one.observe(42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(one.max(), 42.0);
+
+  // All-equal samples: the distribution is a spike; every quantile
+  // collapses onto it.
+  Histogram equal;
+  for (int k = 0; k < 1000; ++k) {
+    equal.observe(7.0);
+  }
+  EXPECT_DOUBLE_EQ(equal.quantile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(equal.quantile(0.99), 7.0);
+  EXPECT_DOUBLE_EQ(equal.max(), 7.0);
+}
+
+TEST(MetricsRegistry, RowsExposeP99BetweenP95AndMax) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  for (int k = 1; k <= 100; ++k) {
+    h.observe(static_cast<double>(k));
+  }
+  const std::vector<MetricRow> rows = registry.rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].p99, h.quantile(0.99));
+  EXPECT_GE(rows[0].p99, rows[0].p95);
+  EXPECT_LE(rows[0].p99, rows[0].max);
+  EXPECT_GT(rows[0].p99, 0.0);
+}
+
 TEST(MetricsRegistry, EmptyAndClear) {
   MetricsRegistry registry;
   EXPECT_TRUE(registry.empty());

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "obs/context.hpp"
+#include "par/worker_pool.hpp"
 #include "sim/experiments.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 #include "workload/camcorder.hpp"
 
 namespace fcdpm::par {
@@ -182,6 +184,95 @@ TEST(SweepTest, StatsCountPointsAndPublishToObserver) {
   EXPECT_GT(sweep.stats.points_per_second(), 0.0);
   EXPECT_EQ(metrics.gauge("par.sweep.points").last(), 2.0);
   EXPECT_EQ(metrics.gauge("par.sweep.jobs").last(), 2.0);
+}
+
+TEST(SweepTelemetryTest, AttachedTelemetryChangesNoResultAtAnyJobCount) {
+  const sim::ExperimentConfig base = small_base();
+  const SweepGrid grid = table2_grid();
+  const SweepResult plain = run_sweep(base, grid, SweepOptions{});
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    telemetry::TelemetryConfig tconfig;
+    tconfig.workers = WorkerPool::resolve(jobs);
+    tconfig.total_points = grid.points(base).size();
+    tconfig.record_lanes = true;
+    telemetry::SweepTelemetry tel(tconfig);
+    SweepOptions options;
+    options.jobs = jobs;
+    options.telemetry = &tel;
+    const SweepResult observed = run_sweep(base, grid, options);
+    ASSERT_EQ(observed.points.size(), plain.points.size());
+    for (std::size_t k = 0; k < plain.points.size(); ++k) {
+      expect_same_result(plain.points[k].result, observed.points[k].result);
+    }
+  }
+}
+
+TEST(SweepTelemetryTest, FinalSnapshotTotalsEqualTheSweepReport) {
+  const sim::ExperimentConfig base = small_base();
+  const SweepGrid grid = table2_grid();
+  const std::size_t total = grid.points(base).size();
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.workers = WorkerPool::resolve(4);
+  tconfig.total_points = total;
+  tconfig.record_lanes = true;
+  telemetry::SweepTelemetry tel(tconfig);
+
+  SharedSolveCache cache(SolveCacheConfig{});
+  SweepOptions options;
+  options.jobs = 4;
+  options.cache = &cache;
+  options.telemetry = &tel;
+  const SweepResult sweep = run_sweep(base, grid, options);
+
+  const telemetry::SweepSnapshot snap = tel.snapshot();
+  EXPECT_EQ(snap.done, sweep.stats.points);
+  EXPECT_EQ(snap.retried, 0u);
+  EXPECT_EQ(snap.quarantined, 0u);
+  // Worker-attributed cache traffic equals the report's shared-counter
+  // deltas: every lookup of this sweep went through a worker tap.
+  EXPECT_EQ(snap.cache_hits, sweep.stats.cache_hits);
+  EXPECT_EQ(snap.cache_misses, sweep.stats.cache_misses);
+  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches,
+            sweep.stats.points);
+  EXPECT_GT(snap.slots, 0u);
+  EXPECT_GT(snap.wall_max_us, 0.0);
+
+  // Lanes recorded exactly one attempt per grid point.
+  ASSERT_NE(tel.lanes(), nullptr);
+  std::size_t lanes = 0;
+  for (std::size_t w = 0; w < tel.lanes()->workers(); ++w) {
+    lanes += tel.lanes()->lane(w).size();
+  }
+  EXPECT_EQ(lanes, total);
+}
+
+TEST(SweepTelemetryTest, PublishedCacheGaugesMatchTheCountersExactly) {
+  const sim::ExperimentConfig base = small_base();
+  SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.5, 0.5};  // duplicate rho: guaranteed cache hits
+  grid.capacities = {Coulomb(6.0)};
+  grid.storm_seeds = {0};
+
+  obs::MetricsRegistry metrics;
+  obs::Context obs(nullptr, &metrics, nullptr);
+  SharedSolveCache cache(SolveCacheConfig{});
+  SweepOptions options;
+  options.jobs = 2;
+  options.cache = &cache;
+  options.observer = &obs;
+  (void)run_sweep(base, grid, options);
+
+  // publish_sweep_stats is the single publication site: the gauges must
+  // equal the cache's own counters, not some call-site snapshot.
+  EXPECT_EQ(metrics.gauge("par.cache.hits").last(),
+            static_cast<double>(cache.hits()));
+  EXPECT_EQ(metrics.gauge("par.cache.misses").last(),
+            static_cast<double>(cache.misses()));
+  EXPECT_EQ(metrics.gauge("par.cache.entries").last(),
+            static_cast<double>(cache.size()));
 }
 
 }  // namespace

@@ -10,8 +10,10 @@
 #include "common/csv.hpp"
 #include "obs/context.hpp"
 #include "obs/metrics.hpp"
+#include "par/worker_pool.hpp"
 #include "resilience/journal.hpp"
 #include "sim/experiments.hpp"
+#include "telemetry/sweep_telemetry.hpp"
 
 namespace fcdpm::resilience {
 namespace {
@@ -366,6 +368,79 @@ TEST(ResilientSweepTest, WatchdogEnabledSweepStaysBitIdentical) {
     expect_same_result(sweep.points[k].result.result,
                        reference.points[k].result.result);
   }
+}
+
+TEST(ResilientSweepTest, TelemetryCountsRetriesAndQuarantines) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.3, 0.5, 0.7};
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.workers = par::WorkerPool::resolve(2);
+  tconfig.total_points = 3;
+  tconfig.record_lanes = true;
+  telemetry::SweepTelemetry tel(tconfig);
+
+  ResilienceOptions options;
+  options.jobs = 2;
+  options.contract.max_retries = 2;
+  options.contract.inject_fail_index = 0;
+  options.telemetry = &tel;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, options);
+
+  const telemetry::SweepSnapshot snap = tel.snapshot();
+  // Point 0: 3 attempts — two retried, the final one quarantined. The
+  // other two points complete first try.
+  EXPECT_EQ(snap.done, 2u);
+  EXPECT_EQ(snap.retried, 2u);
+  EXPECT_EQ(snap.quarantined, 1u);
+  EXPECT_EQ(snap.settled(), 3u);
+  EXPECT_EQ(sweep.resilience.retries, 2u);
+  EXPECT_GT(snap.heartbeats, 0u);
+  // Only successful attempts contribute simulated slots/dispatches.
+  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches, 2u);
+  EXPECT_GT(snap.slots, 0u);
+
+  // Every attempt — including failed ones — leaves a lane record.
+  ASSERT_NE(tel.lanes(), nullptr);
+  std::size_t lanes = 0;
+  std::size_t quarantined_lanes = 0;
+  for (std::size_t w = 0; w < tel.lanes()->workers(); ++w) {
+    for (const telemetry::PointLane& lane : tel.lanes()->lane(w)) {
+      ++lanes;
+      quarantined_lanes += lane.quarantined;
+    }
+  }
+  EXPECT_EQ(lanes, 5u);  // 2 ok + 3 attempts of the poisoned point
+  EXPECT_EQ(quarantined_lanes, 1u);
+}
+
+TEST(ResilientSweepTest, TelemetryAttachedRunStaysBitIdentical) {
+  const sim::ExperimentConfig base = small_base();
+  par::SweepGrid grid;
+  grid.rhos = {0.3, 0.7};
+
+  const ResilientSweepResult reference =
+      run_resilient_sweep(base, grid, ResilienceOptions{});
+
+  telemetry::TelemetryConfig tconfig;
+  tconfig.workers = par::WorkerPool::resolve(2);
+  tconfig.total_points = reference.points.size();
+  telemetry::SweepTelemetry tel(tconfig);
+  ResilienceOptions observed;
+  observed.jobs = 2;
+  observed.telemetry = &tel;
+  const ResilientSweepResult sweep =
+      run_resilient_sweep(base, grid, observed);
+
+  ASSERT_EQ(sweep.points.size(), reference.points.size());
+  for (std::size_t k = 0; k < sweep.points.size(); ++k) {
+    expect_same_result(sweep.points[k].result.result,
+                       reference.points[k].result.result);
+  }
+  EXPECT_EQ(tel.snapshot().done, reference.points.size());
 }
 
 }  // namespace

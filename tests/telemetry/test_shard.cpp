@@ -1,0 +1,101 @@
+#include "telemetry/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace fcdpm::telemetry {
+namespace {
+
+TEST(AtomicHistogramTest, BucketOfMatchesThePowerOfTwoLadder) {
+  EXPECT_EQ(AtomicHistogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(0.999), 0u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(1.0), 1u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(1.999), 1u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(2.0), 2u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(3.999), 2u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(4.0), 3u);
+  EXPECT_EQ(AtomicHistogram::bucket_of(1024.0), 11u);
+  // The top bucket absorbs everything beyond the ladder.
+  EXPECT_EQ(AtomicHistogram::bucket_of(1e300),
+            AtomicHistogram::kBuckets - 1);
+}
+
+TEST(AtomicHistogramTest, BucketRepresentativeIsTheGeometricMidpoint) {
+  EXPECT_DOUBLE_EQ(AtomicHistogram::bucket_representative(0), 0.5);
+  EXPECT_DOUBLE_EQ(AtomicHistogram::bucket_representative(1), 1.5);
+  EXPECT_DOUBLE_EQ(AtomicHistogram::bucket_representative(2), 3.0);
+  EXPECT_DOUBLE_EQ(AtomicHistogram::bucket_representative(3), 6.0);
+  // The representative lands inside its own bucket.
+  for (std::size_t k = 0; k < AtomicHistogram::kBuckets; ++k) {
+    EXPECT_EQ(AtomicHistogram::bucket_of(
+                  AtomicHistogram::bucket_representative(k)),
+              k);
+  }
+}
+
+TEST(AtomicHistogramTest, CountSumAndMaxAreExact) {
+  AtomicHistogram h;
+  h.observe(3.0);
+  h.observe(10.0);
+  h.observe(0.25);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 13.25);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0.25
+  EXPECT_EQ(h.bucket(2), 1u);  // 3.0
+  EXPECT_EQ(h.bucket(4), 1u);  // 10.0
+}
+
+TEST(AtomicHistogramTest, NegativeAndNanSamplesClampIntoBucketZero) {
+  AtomicHistogram h;
+  h.observe(-5.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+}
+
+TEST(AtomicHistogramTest, ConcurrentObserversLoseNothing) {
+  AtomicHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int k = 0; k < kPerThread; ++k) {
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10000.0 * (1 + 2 + 3 + 4));
+}
+
+TEST(WorkerShardTest, ShardsAreCacheLineAlignedAndPadded) {
+  static_assert(alignof(WorkerShard) == kCacheLine);
+  static_assert(sizeof(WorkerShard) % kCacheLine == 0);
+  ShardSet set(3);
+  EXPECT_EQ(set.size(), 3u);
+  // Adjacent shards never share a cache line.
+  const auto* a = reinterpret_cast<const char*>(&set.shard(0));
+  const auto* b = reinterpret_cast<const char*>(&set.shard(1));
+  EXPECT_GE(static_cast<std::size_t>(b - a), kCacheLine);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kCacheLine, 0u);
+}
+
+TEST(WorkerShardTest, ZeroWorkerRequestStillYieldsOneShard) {
+  ShardSet set(0);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fcdpm::telemetry
