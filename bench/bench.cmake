@@ -52,6 +52,11 @@ fcdpm_add_perf_bench(perf_simulator)
 # path costs >= 2 % over observability disabled.
 fcdpm_add_bench(perf_tracing_overhead)
 
+# Cap-governor budget: exits 1 when an attached-but-idle governor costs
+# >= 2 % over no governor, throttles a healthy run, or perturbs its
+# output.
+fcdpm_add_bench(perf_cap)
+
 # Regression-gated hot-engine bench: writes BENCH_core.json, exits 1 on
 # any hot-vs-reference bit divergence (and on --min-speedup misses).
 fcdpm_add_bench(perf_harness)

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/governor.hpp"
 #include "common/atomic_file.hpp"
 #include "common/text.hpp"
 #include "fault/injector.hpp"
@@ -148,6 +149,19 @@ sim::ExperimentConfig build_config(const Options& options) {
     throw std::runtime_error("unknown engine: " + engine +
                              " (use reference|hot)");
   }
+  const std::string cap = option_or(options, "cap", "off");
+  if (cap == "on") {
+    config.cap.enabled = true;
+  } else if (cap != "off") {
+    throw std::runtime_error("unknown --cap value: " + cap +
+                             " (use on|off)");
+  }
+  config.cap.table_csv = option_or(options, "cap-table", "");
+  config.cap.hysteresis_slots = static_cast<std::size_t>(number_or(
+      options, "cap-hysteresis",
+      static_cast<double>(config.cap.hysteresis_slots)));
+  config.cap.storage_draw_fraction = number_or(
+      options, "cap-draw-fraction", config.cap.storage_draw_fraction);
   return config;
 }
 
@@ -165,6 +179,11 @@ sim::SimulationResult run_policy_with_engine(
   power::HybridPowerSource hybrid = sim::make_hybrid(config);
   sim::SimulationOptions sim_options = config.simulation;
   sim_options.initial_storage = config.initial_storage;
+  std::optional<cap::Governor> governor;
+  if (config.cap.enabled && sim_options.governor == nullptr) {
+    governor.emplace(cap::make_governor(config.cap, config.efficiency));
+    sim_options.governor = &*governor;
+  }
   const hot::CompiledTrace compiled(config.trace, config.device);
   return hot::simulate(compiled, dpm_policy, *fc_policy, hybrid,
                        sim_options);
@@ -345,6 +364,7 @@ class TelemetrySession {
     t.reference_dispatches = snap.reference_dispatches;
     t.heartbeats = snap.heartbeats;
     t.slots = snap.slots;
+    t.capped_slots = snap.capped_slots;
     t.throughput_points_per_s = snap.throughput_points_per_s;
     t.wall_p50_us = snap.wall_p50_us;
     t.wall_p95_us = snap.wall_p95_us;
@@ -363,6 +383,7 @@ class TelemetrySession {
       row.reference_dispatches = w.reference_dispatches;
       row.heartbeats = w.heartbeats;
       row.slots = w.slots;
+      row.capped_slots = w.capped_slots;
       row.busy_seconds = w.busy_seconds;
       t.workers.push_back(row);
     }
@@ -435,6 +456,15 @@ void print_robustness(const fault::RobustnessStats& r) {
               r.brownout_lost.value(), r.fc_clamped_segments,
               r.reprojections, r.fallbacks, r.solver_failures,
               r.degraded_time.value(), r.recovery_time.value());
+}
+
+void print_cap(const cap::CapStats& c) {
+  std::printf("  power cap : %zu/%zu slots capped | %zu reductions | "
+              "%zu restorations | deferred %.1f J (%.1f s) | "
+              "%zu budget violations\n",
+              c.slots_capped, c.slots_seen, c.level_reductions,
+              c.level_restorations, c.energy_deferred.value(),
+              c.time_deferred.value(), c.budget_violations);
 }
 
 sim::PolicyKind parse_policy(const std::string& name) {
@@ -520,6 +550,9 @@ int cmd_run(const Options& options) {
   if (result.robustness.has_value()) {
     print_robustness(*result.robustness);
   }
+  if (result.cap.has_value()) {
+    print_cap(*result.cap);
+  }
   obs.finish();
   return 0;
 }
@@ -562,6 +595,10 @@ int cmd_compare(const Options& options) {
   if (c.fcdpm.robustness.has_value()) {
     std::printf("FC-DPM under faults:\n");
     print_robustness(*c.fcdpm.robustness);
+  }
+  if (c.fcdpm.cap.has_value()) {
+    std::printf("FC-DPM under power cap:\n");
+    print_cap(*c.fcdpm.cap);
   }
   std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
               100.0 * sim::fuel_saving(c.fcdpm, c.asap),
@@ -745,7 +782,30 @@ report::SweepPointRow make_point_row(const par::SweepPoint& point,
   row.latency = result.latency_added.value();
   row.slots = result.slots;
   row.sleeps = result.sleeps;
+  if (result.cap.has_value()) {
+    row.cap_enabled = true;
+    row.capped_slots = result.cap->slots_capped;
+    row.cap_violations = result.cap->budget_violations;
+    row.cap_deferred_j = result.cap->energy_deferred.value();
+    row.cap_deferred_s = result.cap->time_deferred.value();
+  }
   return row;
+}
+
+/// Sweep-level cap rollup for BENCH_sweep.json; no-op when the point
+/// carried no cap stats (cap off).
+void accumulate_cap(report::SweepBenchReport& bench,
+                    const sim::SimulationResult& result) {
+  if (!result.cap.has_value()) {
+    return;
+  }
+  bench.cap_enabled = true;
+  bench.capped_slots += result.cap->slots_capped;
+  if (result.cap->slots_capped > 0) {
+    ++bench.capped_points;
+  }
+  bench.cap_violations += result.cap->budget_violations;
+  bench.cap_deferred_j += result.cap->energy_deferred.value();
 }
 
 par::SweepGrid parse_sweep_grid(const Options& options) {
@@ -777,6 +837,10 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
       static_cast<std::size_t>(number_or(options, "max-retries", 2.0));
   ropt.contract.point_deadline_slots = static_cast<std::size_t>(
       number_or(options, "point-deadline", 0.0));
+  if (options.find("unserved-budget") != options.end()) {
+    ropt.contract.unserved_budget_as =
+        number_or(options, "unserved-budget", 0.0);
+  }
   if (options.find("inject-fail") != options.end()) {
     ropt.contract.inject_fail_index =
         static_cast<std::size_t>(number_or(options, "inject-fail", 0.0));
@@ -807,30 +871,44 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
   const resilience::ResilientSweepResult sweep =
       resilience::run_resilient_sweep(config, grid, ropt);
 
-  report::Table table(
-      "sweep: " + config.trace.name(),
-      {"policy", "rho", "capacity", "storm seed", "fuel (A-s)",
-       "bled (A-s)", "unserved (A-s)", "sleeps", "status"});
+  std::vector<std::string> columns = {
+      "policy", "rho", "capacity", "storm seed", "fuel (A-s)",
+      "bled (A-s)", "unserved (A-s)", "sleeps"};
+  if (config.cap.enabled) {
+    columns.push_back("capped");
+  }
+  columns.push_back("status");
+  report::Table table("sweep: " + config.trace.name(), std::move(columns));
   for (const resilience::ResilientPoint& p : sweep.points) {
     const par::SweepPoint& point = p.result.point;
     if (p.ok) {
-      table.add_row({sim::to_string(point.policy),
-                     report::cell(point.rho, 2),
-                     report::cell(point.capacity.value(), 1),
-                     std::to_string(point.storm_seed),
-                     report::cell(p.result.result.totals.fuel.value(), 2),
-                     report::cell(p.result.result.totals.bled.value(), 2),
-                     report::cell(
-                         p.result.result.totals.unserved.value(), 2),
-                     std::to_string(p.result.result.sleeps),
-                     p.replayed ? "replayed" : "ok"});
+      std::vector<std::string> cells = {
+          sim::to_string(point.policy), report::cell(point.rho, 2),
+          report::cell(point.capacity.value(), 1),
+          std::to_string(point.storm_seed),
+          report::cell(p.result.result.totals.fuel.value(), 2),
+          report::cell(p.result.result.totals.bled.value(), 2),
+          report::cell(p.result.result.totals.unserved.value(), 2),
+          std::to_string(p.result.result.sleeps)};
+      if (config.cap.enabled) {
+        cells.push_back(p.result.result.cap.has_value()
+                            ? std::to_string(
+                                  p.result.result.cap->slots_capped)
+                            : "-");
+      }
+      cells.push_back(p.replayed ? "replayed" : "ok");
+      table.add_row(std::move(cells));
     } else {
-      table.add_row({sim::to_string(point.policy),
-                     report::cell(point.rho, 2),
-                     report::cell(point.capacity.value(), 1),
-                     std::to_string(point.storm_seed), "-", "-", "-", "-",
-                     std::string("quarantined: ") +
-                         resilience::to_string(p.error.kind)});
+      std::vector<std::string> cells = {
+          sim::to_string(point.policy), report::cell(point.rho, 2),
+          report::cell(point.capacity.value(), 1),
+          std::to_string(point.storm_seed), "-", "-", "-", "-"};
+      if (config.cap.enabled) {
+        cells.push_back("-");
+      }
+      cells.push_back(std::string("quarantined: ") +
+                      resilience::to_string(p.error.kind));
+      table.add_row(std::move(cells));
     }
   }
   std::printf("%s\n", table.to_ascii().c_str());
@@ -855,6 +933,8 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
       row.fuel = row.bled = row.unserved = 0.0;
       row.duration = row.storage_end = row.latency = 0.0;
       row.slots = row.sleeps = 0;
+    } else {
+      accumulate_cap(bench, p.result.result);
     }
     bench.results.push_back(std::move(row));
   }
@@ -872,6 +952,8 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
   bench.resilience.max_retries = ropt.contract.max_retries;
   bench.resilience.point_deadline_slots =
       ropt.contract.point_deadline_slots;
+  bench.resilience.cap_enabled = config.cap.enabled;
+  bench.resilience.capped_ok = rs.capped_ok;
 
   std::printf(
       "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
@@ -883,6 +965,13 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
       "%zu quarantined | %zu rounds | %zu spot-checks | %zu stalls\n",
       rs.scheduled, rs.replayed, rs.retries, rs.quarantined, rs.rounds,
       rs.spot_checks, rs.watchdog_stalls);
+  if (config.cap.enabled) {
+    std::printf("power cap: %zu points throttled to completion | "
+                "%llu capped slots | %llu budget violations\n",
+                rs.capped_ok,
+                static_cast<unsigned long long>(bench.capped_slots),
+                static_cast<unsigned long long>(bench.cap_violations));
+  }
   if (rs.torn_tail_recovered) {
     std::printf("journal torn tail recovered (%zu bytes dropped)\n",
                 rs.torn_bytes_dropped);
@@ -927,7 +1016,8 @@ int cmd_sweep(const Options& options) {
   // without them the plain engine below runs byte-for-byte as before.
   for (const char* flag :
        {"journal", "resume", "max-retries", "point-deadline",
-        "watchdog-stall-ms", "spot-checks", "inject-fail"}) {
+        "watchdog-stall-ms", "spot-checks", "inject-fail",
+        "unserved-budget"}) {
     if (options.find(flag) != options.end()) {
       return cmd_sweep_resilient(config, grid, options, obs, jobs,
                                  cache_config);
@@ -960,19 +1050,28 @@ int cmd_sweep(const Options& options) {
   sweep_options.telemetry = tel.telemetry();
   const par::SweepResult sweep = par::run_sweep(config, grid, sweep_options);
 
-  report::Table table(
-      "sweep: " + config.trace.name(),
-      {"policy", "rho", "capacity", "storm seed", "fuel (A-s)",
-       "bled (A-s)", "unserved (A-s)", "sleeps"});
+  std::vector<std::string> columns = {
+      "policy", "rho", "capacity", "storm seed", "fuel (A-s)",
+      "bled (A-s)", "unserved (A-s)", "sleeps"};
+  if (config.cap.enabled) {
+    columns.push_back("capped");
+  }
+  report::Table table("sweep: " + config.trace.name(), std::move(columns));
   for (const par::SweepPointResult& p : sweep.points) {
-    table.add_row({sim::to_string(p.point.policy),
-                   report::cell(p.point.rho, 2),
-                   report::cell(p.point.capacity.value(), 1),
-                   std::to_string(p.point.storm_seed),
-                   report::cell(p.result.totals.fuel.value(), 2),
-                   report::cell(p.result.totals.bled.value(), 2),
-                   report::cell(p.result.totals.unserved.value(), 2),
-                   std::to_string(p.result.sleeps)});
+    std::vector<std::string> cells = {
+        sim::to_string(p.point.policy), report::cell(p.point.rho, 2),
+        report::cell(p.point.capacity.value(), 1),
+        std::to_string(p.point.storm_seed),
+        report::cell(p.result.totals.fuel.value(), 2),
+        report::cell(p.result.totals.bled.value(), 2),
+        report::cell(p.result.totals.unserved.value(), 2),
+        std::to_string(p.result.sleeps)};
+    if (config.cap.enabled) {
+      cells.push_back(p.result.cap.has_value()
+                          ? std::to_string(p.result.cap->slots_capped)
+                          : "-");
+    }
+    table.add_row(std::move(cells));
   }
   std::printf("%s\n", table.to_ascii().c_str());
 
@@ -987,12 +1086,21 @@ int cmd_sweep(const Options& options) {
   bench.cache_hit_rate = sweep.stats.cache_hit_rate();
   for (const par::SweepPointResult& p : sweep.points) {
     bench.results.push_back(make_point_row(p.point, p.result));
+    accumulate_cap(bench, p.result);
   }
   std::printf(
       "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
       "solve-cache hit rate %.1f %%\n",
       bench.points, bench.jobs, bench.wall_seconds,
       bench.points_per_second, 100.0 * bench.cache_hit_rate);
+  if (bench.cap_enabled) {
+    std::printf("power cap: %zu/%zu points throttled | %llu capped slots | "
+                "%llu budget violations | %.1f J deferred\n",
+                bench.capped_points, bench.points,
+                static_cast<unsigned long long>(bench.capped_slots),
+                static_cast<unsigned long long>(bench.cap_violations),
+                bench.cap_deferred_j);
+  }
 
   bool diverged = false;
   if (have_serial) {
@@ -1087,6 +1195,9 @@ int usage() {
       "           [--spot-checks N]     replayed points re-verified (1)\n"
       "           [--inject-fail K]     test hook: grid point K always\n"
       "                                 fails (exercises quarantine)\n"
+      "           [--unserved-budget A-s]  quarantine a point whose\n"
+      "                                 unserved charge exceeds this\n"
+      "                                 (power_undeliverable)\n"
       "           telemetry (derived observation; results unchanged):\n"
       "           [--progress on]       live progress line on stderr\n"
       "           [--progress-out f.jsonl]  snapshot stream, one JSON\n"
@@ -1106,7 +1217,16 @@ int usage() {
       "                        (kind@start[:dur][xmag], e.g.\n"
       "                        converter_dropout@120:30,brownout@400x0.5),\n"
       "                        storm:SEED[:COUNT] for a seeded random\n"
-      "                        storm, or a CSV schedule file\n");
+      "                        storm, or a CSV schedule file\n"
+      "  --cap on|off          closed-loop power capping (default off):\n"
+      "                        throttle DVS level when the plan exceeds\n"
+      "                        the deliverable envelope instead of\n"
+      "                        browning out\n"
+      "  --cap-table f.csv     corecap table (min_budget_w,max_level);\n"
+      "                        default derived from the DVS processor\n"
+      "  --cap-hysteresis N    clean slots before stepping back up (4)\n"
+      "  --cap-draw-fraction F storage charge fraction spendable per\n"
+      "                        slot when computing the envelope (0.5)\n");
   return 1;
 }
 

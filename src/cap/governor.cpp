@@ -1,0 +1,120 @@
+#include "cap/governor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace fcdpm::cap {
+
+Governor::Governor(dvs::DvsPlanner planner, CapTable table, CapConfig config)
+    : planner_(std::move(planner)),
+      table_(std::move(table)),
+      config_(config),
+      top_level_(planner_.processor().level_count() - 1),
+      held_level_(top_level_) {
+  FCDPM_EXPECTS(config_.hysteresis_slots >= 1,
+                "hysteresis must be at least one slot");
+  FCDPM_EXPECTS(std::isfinite(config_.storage_draw_fraction) &&
+                    config_.storage_draw_fraction >= 0.0 &&
+                    config_.storage_draw_fraction <= 1.0,
+                "storage draw fraction must lie in [0, 1]");
+  for (const CapTableEntry& e : table_.entries()) {
+    FCDPM_EXPECTS(e.max_level <= top_level_,
+                  "cap table names a level the processor does not have");
+  }
+  stats_.time_at_level_s.assign(top_level_ + 1, 0.0);
+}
+
+void Governor::reset() {
+  held_level_ = top_level_;
+  clear_streak_ = 0;
+  stats_ = CapStats{};
+  stats_.time_at_level_s.assign(top_level_ + 1, 0.0);
+}
+
+SlotPlan Governor::plan_slot_slow(const SlotDemand& demand) {
+  FCDPM_EXPECTS(demand.active_s > 0.0, "slot active window must be > 0");
+  FCDPM_EXPECTS(demand.bus_v > 0.0, "bus voltage must be positive");
+  ++stats_.slots_seen;
+
+  // 1. Deliverable envelope: derated FC ceiling plus a bounded slice of
+  //    the buffered charge spread over this slot's active window.
+  const double budget_a =
+      demand.fc_max_a + demand.storage_charge_as *
+                            config_.storage_draw_fraction / demand.active_s;
+
+  // 2. Corecap lookup + hysteresis. The table is consulted only when
+  //    the planned draw exceeds the envelope — a healthy slot always
+  //    targets the top level, so a healthy run never throttles. Down
+  //    immediately, up one level only after `hysteresis_slots`
+  //    consecutive slots of headroom.
+  const std::size_t target =
+      demand.run_current_a <= budget_a
+          ? top_level_
+          : table_.level_for(Watt(budget_a * demand.bus_v));
+  if (target < held_level_) {
+    held_level_ = target;
+    clear_streak_ = 0;
+    ++stats_.level_reductions;
+  } else if (target > held_level_) {
+    ++clear_streak_;
+    if (clear_streak_ >= config_.hysteresis_slots) {
+      ++held_level_;
+      clear_streak_ = 0;
+      ++stats_.level_restorations;
+    }
+  } else {
+    clear_streak_ = 0;
+  }
+
+  // 3. Re-plan the slot at the held level: current scales with the
+  //    level's power ratio, the window stretches by 1/speed (work is
+  //    deferred, not dropped). A deep brownout that outruns even the
+  //    held level is hard current-clamped to the envelope.
+  SlotPlan plan;
+  plan.budget_a = budget_a;
+  plan.level = held_level_;
+  plan.run_current_a = demand.run_current_a;
+  plan.active_s = demand.active_s;
+  if (held_level_ < top_level_) {
+    const dvs::DvsProcessor& cpu = planner_.processor();
+    const double scale = cpu.level(held_level_).run_power.value() /
+                         cpu.level(top_level_).run_power.value();
+    plan.run_current_a = demand.run_current_a * scale;
+    plan.active_s = demand.active_s / cpu.level(held_level_).speed;
+  }
+  if (plan.run_current_a > budget_a) {
+    plan.run_current_a = budget_a;
+  }
+  plan.capped = plan.run_current_a != demand.run_current_a ||
+                plan.active_s != demand.active_s;
+
+  if (plan.capped) {
+    ++stats_.slots_capped;
+    stats_.energy_deferred +=
+        Joule((demand.run_current_a - plan.run_current_a) * demand.bus_v *
+              demand.active_s);
+    stats_.time_deferred += Seconds(plan.active_s - demand.active_s);
+  }
+  if (plan.run_current_a > plan.budget_a) {
+    ++stats_.budget_violations;  // invariant: unreachable
+  }
+  stats_.time_at_level_s[plan.level] += plan.active_s;
+  return plan;
+}
+
+Governor make_governor(const CapSpec& spec,
+                       const power::LinearEfficiencyModel& model) {
+  const dvs::DvsProcessor cpu = dvs::DvsProcessor::typical_embedded();
+  CapTable table = spec.table_csv.empty()
+                       ? CapTable::from_processor(cpu)
+                       : CapTable::load_file(spec.table_csv,
+                                             cpu.level_count());
+  CapConfig config;
+  config.hysteresis_slots = spec.hysteresis_slots;
+  config.storage_draw_fraction = spec.storage_draw_fraction;
+  return Governor(dvs::DvsPlanner(cpu, model), std::move(table), config);
+}
+
+}  // namespace fcdpm::cap

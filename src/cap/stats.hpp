@@ -1,0 +1,39 @@
+// Accounting block for the power-capping governor. Split out of
+// governor.hpp so result structs (sim/metrics.hpp) can carry a
+// `CapStats` without pulling the dvs layer into every translation
+// unit that touches a SimulationResult.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fcdpm::cap {
+
+/// Every capping decision the governor made during one run. All
+/// counters are exact and deterministic: for a fixed trace, config and
+/// fault schedule the block is bit-identical across engines and worker
+/// counts.
+struct CapStats {
+  /// Slots the governor planned (== trace slots when attached).
+  std::size_t slots_seen = 0;
+  /// Slots where the applied plan differs from the request.
+  std::size_t slots_capped = 0;
+  /// Held-level step-downs (immediate, on budget pressure).
+  std::size_t level_reductions = 0;
+  /// Held-level step-ups (only after the hysteresis streak).
+  std::size_t level_restorations = 0;
+  /// Slots whose applied draw exceeded the computed budget. Invariant:
+  /// stays 0 — the governor clamps before it ever over-draws.
+  std::size_t budget_violations = 0;
+  /// Active energy shaved off the nominal window by throttling; the
+  /// work is deferred (stretched active phase), not dropped.
+  Joule energy_deferred{0.0};
+  /// Extra active seconds added by running below full speed.
+  Seconds time_deferred{0.0};
+  /// Active seconds spent at each applied DVS level (index == level).
+  std::vector<double> time_at_level_s;
+};
+
+}  // namespace fcdpm::cap

@@ -1,0 +1,111 @@
+#include "cap/table.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/text.hpp"
+#include "dvs/processor.hpp"
+
+namespace fcdpm::cap {
+
+CapTable::CapTable(std::vector<CapTableEntry> entries)
+    : entries_(std::move(entries)) {
+  FCDPM_EXPECTS(!entries_.empty(), "cap table needs at least one entry");
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const CapTableEntry& e = entries_[k];
+    const auto where = [k] { return "entry " + std::to_string(k + 1); };
+    FCDPM_EXPECTS(std::isfinite(e.min_budget.value()),
+                  where() + ": non-finite budget");
+    FCDPM_EXPECTS(e.min_budget.value() > 0.0,
+                  where() + ": budget must be positive");
+    if (k > 0) {
+      FCDPM_EXPECTS(entries_[k - 1].min_budget < e.min_budget,
+                    where() + ": budgets must be strictly increasing");
+      FCDPM_EXPECTS(entries_[k - 1].max_level <= e.max_level,
+                    where() + ": levels must be non-decreasing");
+    }
+  }
+}
+
+CapTable CapTable::from_processor(const dvs::DvsProcessor& processor) {
+  std::vector<CapTableEntry> entries;
+  entries.reserve(processor.level_count());
+  for (std::size_t k = 0; k < processor.level_count(); ++k) {
+    const Watt budget = processor.level(k).run_power;
+    if (!entries.empty() && !(entries.back().min_budget < budget)) {
+      // Equal-power neighbours (the processor allows plateaus): keep
+      // one entry at the faster level.
+      entries.back().max_level = k;
+      continue;
+    }
+    entries.push_back({budget, k});
+  }
+  return CapTable(std::move(entries));
+}
+
+CapTable CapTable::load(std::istream& in, const std::string& name,
+                        std::size_t levels) {
+  const CsvDocument doc = read_csv(in, /*has_header=*/true);
+  const std::size_t budget_col = doc.column("min_budget_w");
+  const std::size_t level_col = doc.column("max_level");
+
+  const auto where = [&](std::size_t row) {
+    const std::size_t line = doc.line_of(row);
+    return name + (line > 0 ? " line " + std::to_string(line)
+                            : " row " + std::to_string(row));
+  };
+
+  std::vector<CapTableEntry> entries;
+  entries.reserve(doc.rows.size());
+  for (std::size_t k = 0; k < doc.rows.size(); ++k) {
+    const CsvRow& row = doc.rows[k];
+    const std::size_t needed = std::max(budget_col, level_col) + 1;
+    if (row.size() < needed) {
+      throw CsvError(where(k) + ": cap row has too few fields");
+    }
+    double budget = 0.0;
+    double level = 0.0;
+    if (!parse_double(row[budget_col], budget) ||
+        !parse_double(row[level_col], level)) {
+      throw CsvError(where(k) + ": non-numeric cap field");
+    }
+    if (!std::isfinite(budget) || budget <= 0.0) {
+      throw CsvError(where(k) + ": min_budget_w must be finite and > 0");
+    }
+    if (level < 0.0 || level != std::floor(level) ||
+        level >= static_cast<double>(levels)) {
+      throw CsvError(where(k) + ": max_level must be an integer in [0, " +
+                     std::to_string(levels) + ")");
+    }
+    entries.push_back({Watt(budget), static_cast<std::size_t>(level)});
+  }
+  try {
+    return CapTable(std::move(entries));
+  } catch (const PreconditionError& error) {
+    throw CsvError(name + ": " + error.what());
+  }
+}
+
+CapTable CapTable::load_file(const std::string& path, std::size_t levels) {
+  std::ifstream in(path);
+  if (!in) {
+    throw CsvError("cannot open cap table file: " + path);
+  }
+  return load(in, path, levels);
+}
+
+std::size_t CapTable::level_for(Watt budget) const noexcept {
+  std::size_t allowed = entries_.front().max_level;
+  for (const CapTableEntry& e : entries_) {
+    if (budget < e.min_budget) {
+      break;
+    }
+    allowed = e.max_level;
+  }
+  return allowed;
+}
+
+}  // namespace fcdpm::cap

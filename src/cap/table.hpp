@@ -1,0 +1,64 @@
+// Corecap-style capping table: a sorted list of power budgets, each
+// naming the highest DVS level the device may run at while the
+// deliverable envelope is at or above that budget (the shape of
+// Tegra's sysedp corecaps, mapped onto this repo's DvsProcessor
+// levels). The governor consults it once per slot.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace fcdpm::dvs {
+class DvsProcessor;
+}  // namespace fcdpm::dvs
+
+namespace fcdpm::cap {
+
+/// "With at least `min_budget` deliverable, run up to `max_level`."
+struct CapTableEntry {
+  Watt min_budget{0.0};
+  std::size_t max_level = 0;
+};
+
+/// Validated, budget-sorted capping table.
+///
+/// Construction enforces: non-empty, finite positive budgets, strictly
+/// increasing `min_budget`, non-decreasing `max_level`. `level_for`
+/// returns the most permissive entry the budget affords; budgets below
+/// the first entry fall back to the first (lowest) entry — the
+/// governor's hard current clamp covers the remaining gap.
+class CapTable {
+ public:
+  explicit CapTable(std::vector<CapTableEntry> entries);
+
+  /// Default table for a processor: one entry per DVS level at that
+  /// level's run power (duplicate-power levels collapse into the
+  /// fastest of the tie).
+  [[nodiscard]] static CapTable from_processor(
+      const dvs::DvsProcessor& processor);
+
+  /// CSV columns `min_budget_w,max_level`; diagnostics carry
+  /// "<name> line N" positions via the csv reader's row_lines.
+  /// `levels` bounds max_level (the attached processor's level count).
+  [[nodiscard]] static CapTable load(std::istream& in,
+                                     const std::string& name,
+                                     std::size_t levels);
+  [[nodiscard]] static CapTable load_file(const std::string& path,
+                                          std::size_t levels);
+
+  /// Highest allowed level for a deliverable budget.
+  [[nodiscard]] std::size_t level_for(Watt budget) const noexcept;
+
+  [[nodiscard]] const std::vector<CapTableEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<CapTableEntry> entries_;
+};
+
+}  // namespace fcdpm::cap

@@ -1,5 +1,7 @@
 #include "dvs/processor.hpp"
 
+#include <cmath>
+#include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -17,15 +19,21 @@ DvsProcessor::DvsProcessor(std::vector<DvsLevel> levels, Watt idle_power,
   FCDPM_EXPECTS(bus_voltage.value() > 0.0, "bus voltage must be positive");
   for (std::size_t k = 0; k < levels_.size(); ++k) {
     const DvsLevel& l = levels_[k];
+    // 1-based, mirroring wl::Trace's "slot N: ..." validation.
+    const auto where = [k] { return "level " + std::to_string(k + 1); };
+    FCDPM_EXPECTS(std::isfinite(l.speed) && std::isfinite(l.run_power.value()),
+                  where() + ": non-finite value");
     FCDPM_EXPECTS(l.speed > 0.0 && l.speed <= 1.0,
-                  "speeds must lie in (0, 1]");
+                  where() + ": speed must lie in (0, 1]");
     FCDPM_EXPECTS(l.run_power > idle_power,
-                  "running must cost more than idling");
+                  where() + ": running must cost more than idling");
     if (k > 0) {
       FCDPM_EXPECTS(levels_[k - 1].speed < l.speed,
-                    "levels must be sorted by ascending speed");
-      FCDPM_EXPECTS(levels_[k - 1].run_power < l.run_power,
-                    "power must increase with speed");
+                    where() + ": speed must be strictly increasing");
+      // Non-decreasing, not strict: real tables have plateaus where a
+      // faster level costs the same power (and is then always better).
+      FCDPM_EXPECTS(levels_[k - 1].run_power <= l.run_power,
+                    where() + ": power must not decrease with speed");
     }
   }
 }

@@ -94,6 +94,9 @@ struct RobustnessStats {
   std::size_t reprojections = 0;    ///< policy re-projected constraints
   std::size_t fallbacks = 0;        ///< policy fell back to safe flat IF
   std::size_t solver_failures = 0;  ///< checked solves that failed
+  /// Slots the cap governor throttled while this injector was attached
+  /// (a capped slot rode through a shortfall instead of failing it).
+  std::size_t capped_slots = 0;
   Coulomb brownout_lost{0.0};       ///< charge dumped by brownouts
   Seconds degraded_time{0.0};       ///< simulated time with faults active
   /// Time from the last fault clearing until the buffer recovered to

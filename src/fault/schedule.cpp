@@ -142,6 +142,10 @@ FaultSchedule FaultSchedule::load(std::istream& in,
 
   FaultSchedule schedule;
   Seconds previous_start{0.0};
+  // Open brownout window from an earlier row: [start, end) plus the row
+  // index that opened it, for a two-line overlap message.
+  double brownout_end = -1.0;
+  std::size_t brownout_row = 0;
   for (std::size_t k = 0; k < doc.rows.size(); ++k) {
     const CsvRow& row = doc.rows[k];
     const std::size_t needed =
@@ -172,6 +176,30 @@ FaultSchedule FaultSchedule::load(std::istream& in,
                      ": fault start times must be non-decreasing");
     }
     previous_start = Seconds(start);
+
+    // Brownout rows carry the cap governor's worst case, so they get
+    // stricter checks than FaultEvent::validate applies: a magnitude of
+    // zero is a typo (no charge lost = no brownout), a negative
+    // duration is nonsense, and two overlapping brownout windows would
+    // double-charge the loss.
+    if (event.kind == FaultKind::Brownout) {
+      if (magnitude <= 0.0) {
+        throw CsvError(where(k) +
+                       ": brownout magnitude must be positive (fraction "
+                       "of stored charge lost)");
+      }
+      if (duration < 0.0) {
+        throw CsvError(where(k) + ": brownout duration must not be negative");
+      }
+      if (start < brownout_end) {
+        throw CsvError(where(k) + ": brownout window overlaps the one at " +
+                       where(brownout_row));
+      }
+      if (start + duration > brownout_end) {
+        brownout_end = start + duration;
+        brownout_row = k;
+      }
+    }
 
     event.start = Seconds(start);
     event.duration = Seconds(duration);

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "cap/governor.hpp"
 #include "common/contracts.hpp"
 #include "hot/arena.hpp"
 #include "obs/profiler.hpp"
@@ -235,6 +236,15 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
   HybridLane lane(hybrid, source, cap);
   const obs::ProfileScope profile(profiler, "hot.simulate");
 
+  // Cap side-car, mirroring sim::simulate: reset unless this run
+  // continues previous source state. The lane is fault-free (faults
+  // force the reference fallback), so the envelope's FC term is the
+  // un-derated ceiling — the same value the reference reads there.
+  cap::Governor* governor = options.governor;
+  if (governor != nullptr && !options.preserve_source_state) {
+    governor->reset();
+  }
+
   dpm::InlineIdlePlan plan;
   const std::size_t slot_count = ct.size();
   for (std::size_t k = 0; k < slot_count; ++k) {
@@ -252,9 +262,28 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
           " slots simulated, " + std::to_string(slot_count) + " required");
     }
     const Seconds slot_idle = ct.idle(k);
-    const Ampere run_current = ct.run_current(k);
-    const Seconds active_eff = ct.active_eff(k);
+    Ampere run_current = ct.run_current(k);
+    Seconds active_eff = ct.active_eff(k);
     const Coulomb fuel_before = lane.totals().fuel;
+
+    // Same decision point as the reference loop: the capped current and
+    // stretched window are what every planner below sees, and the
+    // latency accumulation happens in the same order (cap stretch, then
+    // this slot's plan spill) so the sums stay bit-identical.
+    if (governor != nullptr) {
+      cap::SlotDemand demand;
+      demand.run_current_a = run_current.value();
+      demand.active_s = active_eff.value();
+      demand.bus_v = device.bus_voltage.value();
+      demand.fc_max_a = lane.if_max();
+      demand.storage_charge_as = lane.charge().value();
+      const cap::SlotPlan cap_plan = governor->plan_slot(demand);
+      if (cap_plan.capped) {
+        result.latency_added += Seconds(cap_plan.active_s) - active_eff;
+        run_current = Ampere(cap_plan.run_current_a);
+        active_eff = Seconds(cap_plan.active_s);
+      }
+    }
 
     // --- idle phase ------------------------------------------------------
     {
@@ -343,6 +372,10 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
   result.storage_end = lane.charge();
   result.storage_min = lane.min_charge();
   result.storage_max = lane.max_charge();
+
+  if (governor != nullptr) {
+    result.cap = governor->stats();
+  }
 
   if (const auto* predictive =
           dynamic_cast<const dpm::PredictiveDpmPolicy*>(&dpm_policy)) {

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "cap/governor.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
 #include "hot/engine.hpp"
@@ -77,6 +78,14 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
         point.storm_seed, storm_faults,
         config.trace.stats().total_duration()));
     options.faults = &*injector;
+  }
+  // Workers own their governor like they own their injector: one fresh
+  // instance per point keeps the held-level state thread-private and
+  // the results independent of point execution order.
+  std::optional<cap::Governor> governor;
+  if (config.cap.enabled) {
+    governor.emplace(cap::make_governor(config.cap, config.efficiency));
+    options.governor = &*governor;
   }
 
   SweepPointResult out;
@@ -172,6 +181,10 @@ SweepResult run_sweep(const sim::ExperimentConfig& base,
               shard.cache_hits.fetch_add(point_hits,
                                          std::memory_order_relaxed);
               shard.cache_misses.fetch_add(point_misses,
+                                           std::memory_order_relaxed);
+            }
+            if (done.result.cap.has_value()) {
+              shard.capped_slots.fetch_add(done.result.cap->slots_capped,
                                            std::memory_order_relaxed);
             }
             shard.wall_us.observe(static_cast<double>(t1 - t0) * 1e-3);

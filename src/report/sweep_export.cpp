@@ -46,6 +46,12 @@ std::string point_row_to_json(const SweepPointRow& row) {
     out += ",\"latency\":" + format_exact(row.latency);
     out += ",\"slots\":" + std::to_string(row.slots);
     out += ",\"sleeps\":" + std::to_string(row.sleeps);
+    if (row.cap_enabled) {
+      out += ",\"capped_slots\":" + std::to_string(row.capped_slots);
+      out += ",\"cap_violations\":" + std::to_string(row.cap_violations);
+      out += ",\"cap_deferred_j\":" + format_exact(row.cap_deferred_j);
+      out += ",\"cap_deferred_s\":" + format_exact(row.cap_deferred_s);
+    }
   }
   out += "}";
   return out;
@@ -66,6 +72,9 @@ std::string resilience_to_json(const SweepResilienceReport& r) {
   out += ",\"max_retries\":" + std::to_string(r.max_retries);
   out +=
       ",\"point_deadline_slots\":" + std::to_string(r.point_deadline_slots);
+  if (r.cap_enabled) {
+    out += ",\"capped_ok\":" + std::to_string(r.capped_ok);
+  }
   out += "}";
   return out;
 }
@@ -83,6 +92,9 @@ std::string telemetry_worker_to_json(const TelemetryWorkerRow& w) {
          std::to_string(w.reference_dispatches);
   out += ",\"heartbeats\":" + std::to_string(w.heartbeats);
   out += ",\"slots\":" + std::to_string(w.slots);
+  if (w.capped_slots > 0) {
+    out += ",\"capped_slots\":" + std::to_string(w.capped_slots);
+  }
   out += ",\"busy_s\":" + format_double(w.busy_seconds);
   out += "}";
   return out;
@@ -101,6 +113,9 @@ std::string telemetry_to_json(const TelemetryReport& t) {
          std::to_string(t.reference_dispatches);
   out += ",\"heartbeats\":" + std::to_string(t.heartbeats);
   out += ",\"slots\":" + std::to_string(t.slots);
+  if (t.capped_slots > 0) {
+    out += ",\"capped_slots\":" + std::to_string(t.capped_slots);
+  }
   out += ",\"points_per_s\":" + format_double(t.throughput_points_per_s);
   out += ",\"wall_p50_us\":" + format_double(t.wall_p50_us);
   out += ",\"wall_p95_us\":" + format_double(t.wall_p95_us);
@@ -134,6 +149,12 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
   out += ",\"speedup\":" + format_double(bench.speedup);
   out += ",\"bit_identical_to_serial\":" +
          std::to_string(bench.bit_identical_to_serial);
+  if (bench.cap_enabled) {
+    out += ",\"cap\":{\"capped_slots\":" + std::to_string(bench.capped_slots) +
+           ",\"capped_points\":" + std::to_string(bench.capped_points) +
+           ",\"violations\":" + std::to_string(bench.cap_violations) +
+           ",\"deferred_j\":" + format_double(bench.cap_deferred_j) + "}";
+  }
   if (bench.resilience.enabled) {
     out += ",\"resilience\":" + resilience_to_json(bench.resilience);
   }

@@ -32,6 +32,13 @@ struct SweepPointRow {
   double latency = 0.0;
   std::size_t slots = 0;
   std::size_t sleeps = 0;
+  /// Cap-governor fields; serialized only when `cap_enabled` so cap-off
+  /// reports stay byte-identical to pre-cap builds.
+  bool cap_enabled = false;
+  std::size_t capped_slots = 0;
+  std::size_t cap_violations = 0;
+  double cap_deferred_j = 0.0;
+  double cap_deferred_s = 0.0;
 };
 
 /// Fault-tolerant execution accounting (`SweepReport::resilience`);
@@ -49,6 +56,9 @@ struct SweepResilienceReport {
   std::uint64_t watchdog_stalls = 0;
   std::size_t max_retries = 0;
   std::size_t point_deadline_slots = 0;
+  /// Emit `capped_ok` (below) — true only when the cap governor ran.
+  bool cap_enabled = false;
+  std::size_t capped_ok = 0;  ///< ok points the governor throttled
 };
 
 /// One worker's telemetry totals (`TelemetryReport::workers`).
@@ -63,6 +73,9 @@ struct TelemetryWorkerRow {
   std::uint64_t reference_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
+  /// Governor-throttled slots; serialized only when nonzero (cap-off
+  /// telemetry stays byte-identical).
+  std::uint64_t capped_slots = 0;
   double busy_seconds = 0.0;
 };
 
@@ -82,6 +95,7 @@ struct TelemetryReport {
   std::uint64_t reference_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
+  std::uint64_t capped_slots = 0;  ///< serialized only when nonzero
   double throughput_points_per_s = 0.0;
   double wall_p50_us = 0.0;
   double wall_p95_us = 0.0;
@@ -106,6 +120,13 @@ struct SweepBenchReport {
   double speedup = 0.0;
   /// -1 = not checked, 0 = results diverged, 1 = bit-identical.
   int bit_identical_to_serial = -1;
+  /// Sweep-level cap-governor rollup (`"cap":{...}`); emitted only when
+  /// `cap_enabled` so cap-off reports keep their pre-cap bytes.
+  bool cap_enabled = false;
+  std::uint64_t capped_slots = 0;   ///< throttled slots across all points
+  std::size_t capped_points = 0;    ///< ok points with >=1 capped slot
+  std::uint64_t cap_violations = 0; ///< budget violations (zero by invariant)
+  double cap_deferred_j = 0.0;      ///< total energy pushed past its slot
   /// Per-point deterministic results, grid order.
   std::vector<SweepPointRow> results;
   SweepResilienceReport resilience;

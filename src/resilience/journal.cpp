@@ -3,6 +3,7 @@
 #include <bit>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "cap/stats.hpp"
 #include "common/atomic_file.hpp"
 #include "common/csv.hpp"
 #include "obs/trace_sink.hpp"
@@ -332,6 +334,15 @@ std::uint64_t grid_fingerprint(const sim::ExperimentConfig& base,
   hash_double(hash, base.active_current_estimate.value());
   hash_double(hash, base.storage_capacity.value());
   hash_double(hash, base.initial_storage.value());
+  if (base.cap.enabled) {
+    // Hashed only when capping is on: cap-off grids keep their pre-cap
+    // fingerprints, so journals written before the governor existed
+    // still resume.
+    hash_u64(hash, 1);
+    hash_u64(hash, base.cap.hysteresis_slots);
+    hash_double(hash, base.cap.storage_draw_fraction);
+    hash_u64(hash, fnv1a64(base.cap.table_csv));
+  }
   hash_u64(hash, storm_faults);
   hash_u64(hash, points.size());
   for (const par::SweepPoint& point : points) {
@@ -382,6 +393,28 @@ std::string record_to_json(const JournalRecord& record) {
   out += ",\"storage_end\":\"" + hex_double(r.storage_end.value()) + "\"";
   out += ",\"storage_min\":\"" + hex_double(r.storage_min.value()) + "\"";
   out += ",\"storage_max\":\"" + hex_double(r.storage_max.value()) + "\"";
+  if (r.cap.has_value()) {
+    // Cap block only when a governor ran: cap-off journals stay
+    // byte-identical to pre-cap builds.
+    const cap::CapStats& c = *r.cap;
+    out += ",\"cap_slots\":" + std::to_string(c.slots_seen);
+    out += ",\"cap_capped\":" + std::to_string(c.slots_capped);
+    out += ",\"cap_reductions\":" + std::to_string(c.level_reductions);
+    out += ",\"cap_restorations\":" + std::to_string(c.level_restorations);
+    out += ",\"cap_violations\":" + std::to_string(c.budget_violations);
+    out += ",\"cap_deferred_j\":\"" + hex_double(c.energy_deferred.value()) +
+           "\"";
+    out += ",\"cap_deferred_s\":\"" + hex_double(c.time_deferred.value()) +
+           "\"";
+    std::string levels;
+    for (const double seconds : c.time_at_level_s) {
+      if (!levels.empty()) {
+        levels += ',';
+      }
+      levels += hex_double(seconds);  // hexfloats never need escaping
+    }
+    out += ",\"cap_levels\":\"" + levels + "\"";
+  }
   out += "}";
   return out;
 }
@@ -426,7 +459,8 @@ bool record_from_json(std::string_view payload, JournalRecord& record) {
     for (const PointErrorKind candidate :
          {PointErrorKind::solver_diverged, PointErrorKind::non_finite_result,
           PointErrorKind::deadline_exceeded,
-          PointErrorKind::contract_violation, PointErrorKind::io_error}) {
+          PointErrorKind::contract_violation, PointErrorKind::io_error,
+          PointErrorKind::power_undeliverable}) {
       if (kind == to_string(candidate)) {
         record.error.kind = candidate;
         return true;
@@ -478,6 +512,51 @@ bool record_from_json(std::string_view payload, JournalRecord& record) {
   r.storage_end = Coulomb(s_end);
   r.storage_min = Coulomb(s_min);
   r.storage_max = Coulomb(s_max);
+
+  // Cap block is optional (absent on cap-off runs); when the marker
+  // field is present every cap field is required together.
+  if (fields.find("cap_slots") != nullptr) {
+    std::uint64_t cap_slots = 0;
+    std::uint64_t cap_capped = 0;
+    std::uint64_t cap_reductions = 0;
+    std::uint64_t cap_restorations = 0;
+    std::uint64_t cap_violations = 0;
+    double deferred_j = 0.0;
+    double deferred_s = 0.0;
+    std::string levels;
+    if (!fields.integer("cap_slots", cap_slots) ||
+        !fields.integer("cap_capped", cap_capped) ||
+        !fields.integer("cap_reductions", cap_reductions) ||
+        !fields.integer("cap_restorations", cap_restorations) ||
+        !fields.integer("cap_violations", cap_violations) ||
+        !fields.number("cap_deferred_j", deferred_j) ||
+        !fields.number("cap_deferred_s", deferred_s) ||
+        !fields.string("cap_levels", levels)) {
+      return false;
+    }
+    cap::CapStats stats;
+    stats.slots_seen = static_cast<std::size_t>(cap_slots);
+    stats.slots_capped = static_cast<std::size_t>(cap_capped);
+    stats.level_reductions = static_cast<std::size_t>(cap_reductions);
+    stats.level_restorations = static_cast<std::size_t>(cap_restorations);
+    stats.budget_violations = static_cast<std::size_t>(cap_violations);
+    stats.energy_deferred = Joule(deferred_j);
+    stats.time_deferred = Seconds(deferred_s);
+    std::size_t pos = 0;
+    while (pos < levels.size()) {
+      const std::size_t comma = levels.find(',', pos);
+      const std::string token = levels.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      char* end = nullptr;
+      const double seconds = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0' || !std::isfinite(seconds)) {
+        return false;
+      }
+      stats.time_at_level_s.push_back(seconds);
+      pos = comma == std::string::npos ? levels.size() : comma + 1;
+    }
+    r.cap = std::move(stats);
+  }
   return true;
 }
 

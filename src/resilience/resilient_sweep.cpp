@@ -7,6 +7,7 @@
 #include <optional>
 #include <utility>
 
+#include "cap/stats.hpp"
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "par/worker_pool.hpp"
@@ -28,6 +29,34 @@ bool same_point(const par::SweepPoint& a, const par::SweepPoint& b) noexcept {
          a.storm_seed == b.storm_seed;
 }
 
+/// Bitwise equality over the journaled cap-governor block (absent on
+/// cap-off runs; both sides must agree it is absent).
+bool same_cap(const std::optional<cap::CapStats>& a,
+              const std::optional<cap::CapStats>& b) {
+  if (a.has_value() != b.has_value()) {
+    return false;
+  }
+  if (!a.has_value()) {
+    return true;
+  }
+  if (a->slots_seen != b->slots_seen ||
+      a->slots_capped != b->slots_capped ||
+      a->level_reductions != b->level_reductions ||
+      a->level_restorations != b->level_restorations ||
+      a->budget_violations != b->budget_violations ||
+      !same_bits(a->energy_deferred.value(), b->energy_deferred.value()) ||
+      !same_bits(a->time_deferred.value(), b->time_deferred.value()) ||
+      a->time_at_level_s.size() != b->time_at_level_s.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a->time_at_level_s.size(); ++k) {
+    if (!same_bits(a->time_at_level_s[k], b->time_at_level_s[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Bitwise equality over every observable (journaled) result field.
 bool same_observable(const sim::SimulationResult& a,
                      const sim::SimulationResult& b) {
@@ -46,7 +75,8 @@ bool same_observable(const sim::SimulationResult& a,
          same_bits(a.storage_initial.value(), b.storage_initial.value()) &&
          same_bits(a.storage_end.value(), b.storage_end.value()) &&
          same_bits(a.storage_min.value(), b.storage_min.value()) &&
-         same_bits(a.storage_max.value(), b.storage_max.value());
+         same_bits(a.storage_max.value(), b.storage_max.value()) &&
+         same_cap(a.cap, b.cap);
 }
 
 /// One scheduled unit of work: a grid point and which attempt this is.
@@ -248,6 +278,11 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
                 // A failed attempt has no trustworthy result fields.
                 shard.slots.fetch_add(outcome.result.result.slots,
                                       std::memory_order_relaxed);
+                if (outcome.result.result.cap.has_value()) {
+                  shard.capped_slots.fetch_add(
+                      outcome.result.result.cap->slots_capped,
+                      std::memory_order_relaxed);
+                }
                 shard.sim_s.observe(
                     outcome.result.result.totals.duration.value());
                 if (outcome.result.ran_hot) {
@@ -330,6 +365,11 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
   for (const ResilientPoint& point : out.points) {
     if (!point.ok) {
       ++out.resilience.quarantined;
+    } else if (point.result.result.cap.has_value() &&
+               point.result.result.cap->slots_capped > 0) {
+      // Points that survived only by throttling — the governor's
+      // headline number for brownout reports.
+      ++out.resilience.capped_ok;
     }
   }
 
@@ -352,6 +392,8 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
               static_cast<double>(out.resilience.retries));
     obs.gauge("resilience.quarantined",
               static_cast<double>(out.resilience.quarantined));
+    obs.gauge("resilience.capped_ok",
+              static_cast<double>(out.resilience.capped_ok));
     obs.gauge("resilience.rounds",
               static_cast<double>(out.resilience.rounds));
     obs.gauge("resilience.spot_checks",

@@ -70,6 +70,7 @@ struct ResilienceStats {
   std::size_t replayed = 0;     ///< points restored from the journal
   std::size_t retries = 0;      ///< re-attempts beyond each first try
   std::size_t quarantined = 0;  ///< points that exhausted their retries
+  std::size_t capped_ok = 0;    ///< ok points the cap governor throttled
   std::size_t rounds = 0;       ///< scheduling rounds executed
   std::size_t spot_checks = 0;  ///< replayed points re-verified bitwise
   bool torn_tail_recovered = false;

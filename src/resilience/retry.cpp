@@ -41,6 +41,8 @@ const char* to_string(PointErrorKind kind) noexcept {
       return "contract_violation";
     case PointErrorKind::io_error:
       return "io_error";
+    case PointErrorKind::power_undeliverable:
+      return "power_undeliverable";
   }
   return "?";
 }
@@ -112,6 +114,16 @@ PointOutcome execute_point(const sim::ExperimentConfig& base,
             " solver failures exceed budget of " +
             std::to_string(contract.solver_failure_budget) + " (" +
             core::to_string(core::SolveFailureKind::Numeric) + ")"};
+    return out;
+  }
+  if (out.result.result.totals.unserved.value() >
+      contract.unserved_budget_as) {
+    out.error = {
+        PointErrorKind::power_undeliverable,
+        "unserved charge " +
+            std::to_string(out.result.result.totals.unserved.value()) +
+            " A-s exceeds budget of " +
+            std::to_string(contract.unserved_budget_as) + " A-s"};
     return out;
   }
   out.ok = true;

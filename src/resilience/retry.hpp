@@ -28,6 +28,11 @@ enum class PointErrorKind {
   deadline_exceeded,  ///< slot budget exhausted or watchdog-cancelled
   contract_violation, ///< precondition/invariant tripped mid-point
   io_error,           ///< journal or file I/O failed for this point
+  /// The source could not deliver the load: unserved charge exceeded
+  /// the contract's budget. The cap governor exists to prevent exactly
+  /// this outcome — a capped-but-completed point is a success, never
+  /// this error.
+  power_undeliverable,
 };
 
 [[nodiscard]] const char* to_string(PointErrorKind kind) noexcept;
@@ -53,6 +58,10 @@ struct ExecutionContract {
   /// count). Default: unlimited — graceful degradation stays the norm.
   std::size_t solver_failure_budget =
       std::numeric_limits<std::size_t>::max();
+  /// Unserved charge (A-s) tolerated per point before it is declared
+  /// power_undeliverable. Default: unlimited — shortfalls degrade
+  /// results but never fail points, exactly the pre-contract behavior.
+  double unserved_budget_as = std::numeric_limits<double>::infinity();
   /// Test hook: this grid index always fails with solver_diverged
   /// (simulating a permanently poisoned point). npos = disabled.
   std::size_t inject_fail_index = std::numeric_limits<std::size_t>::max();

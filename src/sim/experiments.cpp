@@ -1,5 +1,7 @@
 #include "sim/experiments.hpp"
 
+#include <optional>
+
 #include "common/contracts.hpp"
 #include "workload/camcorder.hpp"
 #include "workload/synthetic.hpp"
@@ -84,6 +86,11 @@ SimulationResult run_policy(PolicyKind kind,
 
   SimulationOptions options = config.simulation;
   options.initial_storage = config.initial_storage;
+  std::optional<cap::Governor> governor;
+  if (config.cap.enabled && options.governor == nullptr) {
+    governor.emplace(cap::make_governor(config.cap, config.efficiency));
+    options.governor = &*governor;
+  }
   return simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
 }
 

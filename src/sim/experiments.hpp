@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/governor.hpp"
 #include "core/fc_policy.hpp"
 #include "dpm/dpm_policy.hpp"
 #include "sim/metrics.hpp"
@@ -38,6 +39,12 @@ struct ExperimentConfig {
   /// Cini(1): a small reserve keeps FC-DPM's end-of-slot target off the
   /// storage floor under misprediction (see EXPERIMENTS.md).
   Coulomb initial_storage{1.0};
+
+  /// Opt-in power capping. When enabled, run_policy / par::run_point
+  /// build one cap::Governor per run from this spec (the simulation
+  /// options' raw governor pointer is for callers that manage their
+  /// own instance).
+  cap::CapSpec cap;
 
   SimulationOptions simulation;
 };

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/stats.hpp"
 #include "common/units.hpp"
 #include "dpm/predictors.hpp"
 #include "fault/fault.hpp"
@@ -54,6 +55,11 @@ struct SimulationResult {
   /// Robustness accounting of the run; present iff a fault injector was
   /// attached (even an empty schedule yields zeroed stats).
   std::optional<fault::RobustnessStats> robustness;
+
+  /// Capping accounting of the run; present iff a cap::Governor was
+  /// attached (a run the governor never throttled yields zeroed
+  /// counters and a full time-at-top-level histogram).
+  std::optional<cap::CapStats> cap;
 
   /// The paper's headline metric: fuel consumed, in stack A-s.
   [[nodiscard]] Coulomb fuel() const { return totals.fuel; }

@@ -1,8 +1,10 @@
 #include "sim/slot_simulator.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
+#include "cap/governor.hpp"
 #include "common/contracts.hpp"
 #include "fault/injector.hpp"
 #include "obs/profiler.hpp"
@@ -131,6 +133,20 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   }
   const FaultGuard fault_guard(faults, fc_policy, hybrid);
 
+  // Cap side-car: like faults, the governor's held-level state spans
+  // passes when the run continues previous source state.
+  cap::Governor* governor = options.governor;
+  if (governor != nullptr && !options.preserve_source_state) {
+    governor->reset();
+  }
+  // The load-following ceiling is a per-run characterization (both fuel
+  // sources return a stored constant), hoisted past the virtual call so
+  // the per-slot governor cost is pure arithmetic.
+  const double fc_ceiling_a =
+      governor != nullptr ? hybrid.source().max_output().value() : 0.0;
+  const double fc_floor_a =
+      governor != nullptr ? hybrid.source().min_output().value() : 0.0;
+
   const obs::ProfileScope profile(profiler, "sim.simulate");
   if (trace_obs != nullptr) {
     trace_obs->span_begin("sim", "simulate",
@@ -156,8 +172,8 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     }
     const wl::TaskSlot& slot = trace[k];
     Ampere run_current = slot.active_power / device.bus_voltage;
-    const Seconds active_eff = device.standby_to_run_delay + slot.active +
-                               device.run_to_standby_delay;
+    Seconds active_eff = device.standby_to_run_delay + slot.active +
+                         device.run_to_standby_delay;
     const Coulomb fuel_before = hybrid.totals().fuel;
 
     // Faults visible at slot start: a load spike makes the device draw
@@ -172,6 +188,42 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       }
       if (af.storage_derate < 1.0) {
         usable_capacity = capacity * af.storage_derate;
+      }
+    }
+
+    // Closed capping loop: hand the governor this slot's demand plus
+    // the live source envelope, and apply its (possibly throttled) plan
+    // *before* any planner sees the slot — the policies then plan
+    // against the capped current and the stretched active window.
+    if (governor != nullptr) {
+      cap::SlotDemand demand;
+      demand.run_current_a = run_current.value();
+      demand.active_s = active_eff.value();
+      demand.bus_v = device.bus_voltage.value();
+      double fc_max = fc_ceiling_a;
+      if (faults != nullptr) {
+        const fault::ActiveFaults& af = faults->active();
+        if (af.fc_dropout) {
+          fc_max = 0.0;
+        } else if (af.fc_output_derate < 1.0) {
+          // Mirrors the hybrid's own fault clamp: the stack never
+          // derates below its minimum sustained output.
+          fc_max = std::max(fc_floor_a, fc_max * af.fc_output_derate);
+        }
+      }
+      demand.fc_max_a = fc_max;
+      demand.storage_charge_as = hybrid.storage().charge().value();
+      const cap::SlotPlan cap_plan = governor->plan_slot(demand);
+      if (cap_plan.capped) {
+        result.latency_added += Seconds(cap_plan.active_s) - active_eff;
+        run_current = Ampere(cap_plan.run_current_a);
+        active_eff = Seconds(cap_plan.active_s);
+        if (faults != nullptr) {
+          ++faults->stats().capped_slots;
+        }
+        if (obs != nullptr) {
+          obs->count("cap.capped_slots");
+        }
       }
     }
 
@@ -336,6 +388,19 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                  result.robustness->degraded_time.value());
       obs->gauge("fault.recovery_s",
                  result.robustness->recovery_time.value());
+    }
+  }
+
+  if (governor != nullptr) {
+    result.cap = governor->stats();
+    if (obs != nullptr && obs->metering()) {
+      obs->gauge("cap.slots_capped",
+                 static_cast<double>(result.cap->slots_capped));
+      obs->gauge("cap.energy_deferred_j",
+                 result.cap->energy_deferred.value());
+      obs->gauge("cap.time_deferred_s", result.cap->time_deferred.value());
+      obs->gauge("cap.budget_violations",
+                 static_cast<double>(result.cap->budget_violations));
     }
   }
 

@@ -22,6 +22,10 @@ namespace fcdpm::fault {
 class FaultInjector;
 }
 
+namespace fcdpm::cap {
+class Governor;
+}
+
 namespace fcdpm::sim {
 
 /// Which slot-loop implementation executes a run. Both produce
@@ -62,6 +66,13 @@ struct SimulationOptions {
   /// nullptr (the default) keeps results bit-identical to a build
   /// without the fault subsystem.
   fault::FaultInjector* faults = nullptr;
+  /// Opt-in dynamic power capping. The simulator resets the governor at
+  /// run start (unless preserve_source_state continues a previous pass),
+  /// consults it once per slot before the planners see the slot, and
+  /// copies its CapStats into SimulationResult::cap. Not owned. nullptr
+  /// (the default) keeps results bit-identical to a build without the
+  /// cap subsystem.
+  cap::Governor* governor = nullptr;
   /// Opt-in cooperative cancellation. Checked (and `beat()`) once per
   /// slot boundary; a cancelled token makes simulate() throw
   /// CancelledError. Not owned. nullptr (the default) costs one pointer

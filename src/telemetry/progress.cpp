@@ -36,6 +36,11 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
          std::to_string(snap.reference_dispatches);
   out += ",\"heartbeats\":" + std::to_string(snap.heartbeats);
   out += ",\"slots\":" + std::to_string(snap.slots);
+  // Emitted only once capping is live so cap-off streams stay
+  // byte-identical to pre-cap builds.
+  if (snap.capped_slots > 0) {
+    out += ",\"capped_slots\":" + std::to_string(snap.capped_slots);
+  }
   out += ",\"points_per_s\":" + fmt(snap.throughput_points_per_s);
   out += ",\"eta_s\":" + fmt(snap.eta_seconds);
   out += ",\"wall_p50_us\":" + fmt(snap.wall_p50_us);
@@ -64,6 +69,9 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
            std::to_string(w.reference_dispatches);
     out += ",\"heartbeats\":" + std::to_string(w.heartbeats);
     out += ",\"slots\":" + std::to_string(w.slots);
+    if (w.capped_slots > 0) {
+      out += ",\"capped_slots\":" + std::to_string(w.capped_slots);
+    }
     out += ",\"busy_s\":" + fmt(w.busy_seconds) + "}";
   }
   out += "]}";
@@ -85,6 +93,9 @@ std::string progress_line(const SweepSnapshot& snap) {
   out += "  p95 " + fmt1(snap.wall_p95_us) + "us";
   if (snap.cache_hits + snap.cache_misses > 0) {
     out += "  cache " + fmt1(100.0 * snap.cache_hit_rate()) + "%";
+  }
+  if (snap.capped_slots > 0) {
+    out += "  capped " + std::to_string(snap.capped_slots);
   }
   if (snap.retried > 0) {
     out += "  retried " + std::to_string(snap.retried);

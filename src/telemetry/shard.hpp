@@ -117,6 +117,7 @@ struct alignas(kCacheLine) WorkerShard {
   std::atomic<std::uint64_t> heartbeats{0};  ///< watchdog-token slot beats
   std::atomic<std::uint64_t> busy_ns{0};     ///< wall time inside points
   std::atomic<std::uint64_t> slots{0};       ///< simulated slots executed
+  std::atomic<std::uint64_t> capped_slots{0};  ///< governor-throttled slots
   AtomicHistogram wall_us;  ///< per-point wall latency, microseconds
   AtomicHistogram sim_s;    ///< per-point simulated duration, seconds
 };

@@ -90,6 +90,7 @@ SweepSnapshot SweepTelemetry::snapshot() const {
         shard.reference_dispatches.load(std::memory_order_relaxed);
     row.heartbeats = shard.heartbeats.load(std::memory_order_relaxed);
     row.slots = shard.slots.load(std::memory_order_relaxed);
+    row.capped_slots = shard.capped_slots.load(std::memory_order_relaxed);
     row.busy_seconds =
         static_cast<double>(shard.busy_ns.load(std::memory_order_relaxed)) *
         1e-9;
@@ -103,6 +104,7 @@ SweepSnapshot SweepTelemetry::snapshot() const {
     snap.reference_dispatches += row.reference_dispatches;
     snap.heartbeats += row.heartbeats;
     snap.slots += row.slots;
+    snap.capped_slots += row.capped_slots;
     max_done = std::max(max_done, row.done);
 
     wall.add(shard.wall_us);

@@ -40,6 +40,7 @@ struct WorkerSnapshot {
   std::uint64_t reference_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
+  std::uint64_t capped_slots = 0;
   double busy_seconds = 0.0;
 };
 
@@ -57,6 +58,7 @@ struct SweepSnapshot {
   std::uint64_t reference_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
+  std::uint64_t capped_slots = 0;
   double throughput_points_per_s = 0.0;
   /// Remaining points / throughput; 0 when done or unknown.
   double eta_seconds = 0.0;

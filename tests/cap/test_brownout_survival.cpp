@@ -1,0 +1,115 @@
+// Satellite regression for the capping tentpole: a seeded storm whose
+// brownouts exhaust the unserved-charge contract quarantines points
+// when capping is off, yet every point completes — throttled, never
+// over budget — when capping is on, bit-identically at any job count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "resilience/resilient_sweep.hpp"
+#include "resilience/retry.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+// Seeds probed against experiment 1 at 3 F: with capping off these
+// storms leave >= 30 A-s unserved; with capping on, under 17 A-s.
+par::SweepGrid brownout_grid() {
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm};
+  grid.rhos = {0.5};
+  grid.capacities = {Coulomb(3.0)};
+  grid.storm_seeds = {11, 13, 21};
+  grid.storm_faults = 14;
+  return grid;
+}
+
+resilience::ResilienceOptions survival_options(std::size_t jobs) {
+  resilience::ResilienceOptions options;
+  options.contract.unserved_budget_as = 25.0;
+  options.jobs = jobs;
+  return options;
+}
+
+void expect_identical_points(const resilience::ResilientSweepResult& a,
+                             const resilience::ResilientSweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t k = 0; k < a.points.size(); ++k) {
+    SCOPED_TRACE(k);
+    ASSERT_EQ(a.points[k].ok, b.points[k].ok);
+    const sim::SimulationResult& ra = a.points[k].result.result;
+    const sim::SimulationResult& rb = b.points[k].result.result;
+    EXPECT_EQ(std::memcmp(&ra.totals, &rb.totals, sizeof ra.totals), 0);
+    EXPECT_EQ(ra.sleeps, rb.sleeps);
+    EXPECT_EQ(ra.storage_end.value(), rb.storage_end.value());
+    ASSERT_EQ(ra.cap.has_value(), rb.cap.has_value());
+    if (ra.cap.has_value()) {
+      EXPECT_EQ(ra.cap->slots_capped, rb.cap->slots_capped);
+      EXPECT_EQ(ra.cap->level_reductions, rb.cap->level_reductions);
+      EXPECT_EQ(ra.cap->level_restorations, rb.cap->level_restorations);
+      EXPECT_EQ(ra.cap->energy_deferred.value(),
+                rb.cap->energy_deferred.value());
+      ASSERT_EQ(ra.cap->time_at_level_s.size(),
+                rb.cap->time_at_level_s.size());
+      for (std::size_t j = 0; j < ra.cap->time_at_level_s.size(); ++j) {
+        EXPECT_EQ(ra.cap->time_at_level_s[j], rb.cap->time_at_level_s[j]);
+      }
+    }
+  }
+}
+
+TEST(BrownoutSurvival, CapOffQuarantinesCapOnCompletes) {
+  sim::ExperimentConfig base = sim::experiment1_config();
+  const par::SweepGrid grid = brownout_grid();
+
+  // Capping off: the storms blow through the unserved budget.
+  const resilience::ResilientSweepResult off =
+      resilience::run_resilient_sweep(base, grid, survival_options(2));
+  std::size_t quarantined = 0;
+  for (const resilience::ResilientPoint& p : off.points) {
+    if (!p.ok) {
+      ++quarantined;
+      EXPECT_EQ(p.error.kind,
+                resilience::PointErrorKind::power_undeliverable);
+      EXPECT_FALSE(p.result.result.cap.has_value());
+    }
+  }
+  ASSERT_GE(quarantined, 1u);
+  EXPECT_EQ(off.resilience.quarantined, quarantined);
+  EXPECT_EQ(off.resilience.capped_ok, 0u);
+
+  // Capping on: the same storms complete -- throttled, never failed.
+  base.cap.enabled = true;
+  const resilience::ResilientSweepResult on =
+      resilience::run_resilient_sweep(base, grid, survival_options(2));
+  ASSERT_EQ(on.points.size(), grid.points(base).size());
+  for (const resilience::ResilientPoint& p : on.points) {
+    SCOPED_TRACE(p.result.point.storm_seed);
+    ASSERT_TRUE(p.ok);
+    ASSERT_TRUE(p.result.result.cap.has_value());
+    EXPECT_GT(p.result.result.cap->slots_capped, 0u);
+    EXPECT_EQ(p.result.result.cap->budget_violations, 0u);
+    EXPECT_LE(p.result.result.totals.unserved.value(), 25.0);
+  }
+  EXPECT_EQ(on.resilience.quarantined, 0u);
+  EXPECT_EQ(on.resilience.capped_ok, on.points.size());
+}
+
+TEST(BrownoutSurvival, CappedSweepIsBitIdenticalAcrossJobCounts) {
+  sim::ExperimentConfig base = sim::experiment1_config();
+  base.cap.enabled = true;
+  const par::SweepGrid grid = brownout_grid();
+
+  const resilience::ResilientSweepResult one =
+      resilience::run_resilient_sweep(base, grid, survival_options(1));
+  const resilience::ResilientSweepResult two =
+      resilience::run_resilient_sweep(base, grid, survival_options(2));
+  const resilience::ResilientSweepResult eight =
+      resilience::run_resilient_sweep(base, grid, survival_options(8));
+  expect_identical_points(one, two);
+  expect_identical_points(one, eight);
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+#include "cap/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "common/random.hpp"
+#include "dvs/planner.hpp"
+#include "dvs/processor.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::cap {
+namespace {
+
+Governor make_test_governor(CapConfig config = {}) {
+  const dvs::DvsProcessor cpu = dvs::DvsProcessor::typical_embedded();
+  return Governor(
+      dvs::DvsPlanner(cpu, power::LinearEfficiencyModel::paper_default()),
+      CapTable::from_processor(cpu), config);
+}
+
+/// A slot the typical embedded device can always afford.
+SlotDemand healthy_demand() {
+  SlotDemand d;
+  d.run_current_a = 0.9;
+  d.active_s = 1.0;
+  d.fc_max_a = 1.2;
+  d.storage_charge_as = 3.0;
+  d.bus_v = 12.0;
+  return d;
+}
+
+TEST(Governor, EnvelopeSpreadsStorageOverTheActiveWindow) {
+  Governor g = make_test_governor();
+  SlotDemand d = healthy_demand();
+  d.run_current_a = 0.5;
+  d.fc_max_a = 1.0;
+  d.storage_charge_as = 2.0;
+  d.active_s = 1.0;  // budget = 1.0 + 2.0 * 0.5 / 1.0 = 2.0 A
+  const SlotPlan plan = g.plan_slot(d);
+  EXPECT_DOUBLE_EQ(plan.budget_a, 2.0);
+  EXPECT_FALSE(plan.capped);
+  EXPECT_EQ(plan.level, 3u);
+  EXPECT_DOUBLE_EQ(plan.run_current_a, 0.5);
+  EXPECT_DOUBLE_EQ(plan.active_s, 1.0);
+
+  d.active_s = 2.0;  // same charge over a longer window: thinner budget
+  const SlotPlan stretched = g.plan_slot(d);
+  EXPECT_DOUBLE_EQ(stretched.budget_a, 1.5);
+}
+
+TEST(Governor, HealthySlotsNeverThrottle) {
+  Governor g = make_test_governor();
+  for (int k = 0; k < 100; ++k) {
+    const SlotPlan plan = g.plan_slot(healthy_demand());
+    EXPECT_FALSE(plan.capped);
+    EXPECT_EQ(plan.level, 3u);
+  }
+  EXPECT_EQ(g.stats().slots_seen, 100u);
+  EXPECT_EQ(g.stats().slots_capped, 0u);
+  EXPECT_EQ(g.stats().level_reductions, 0u);
+  EXPECT_DOUBLE_EQ(g.stats().energy_deferred.value(), 0.0);
+  // All active time lands in the top level's histogram bucket.
+  EXPECT_DOUBLE_EQ(g.stats().time_at_level_s[3], 100.0);
+  EXPECT_DOUBLE_EQ(g.stats().time_at_level_s[0], 0.0);
+}
+
+TEST(Governor, StepDownIsImmediateAndReplansAtTheHeldLevel) {
+  Governor g = make_test_governor();
+  // Top-level draw (18.4 W / 12 V) against a 0.9 A envelope: 10.8 W
+  // affords level 1 (8.1 W) in the corecap table.
+  SlotDemand d;
+  d.run_current_a = 18.4 / 12.0;
+  d.active_s = 1.0;
+  d.fc_max_a = 0.9;
+  d.storage_charge_as = 0.0;
+  const SlotPlan plan = g.plan_slot(d);
+  EXPECT_TRUE(plan.capped);
+  EXPECT_EQ(plan.level, 1u);
+  EXPECT_EQ(g.stats().level_reductions, 1u);
+  // Current scales by the level power ratio; the window stretches by
+  // 1/speed — the work is deferred, not dropped.
+  EXPECT_DOUBLE_EQ(plan.run_current_a, (18.4 / 12.0) * (8.1 / 18.4));
+  EXPECT_DOUBLE_EQ(plan.active_s, 1.0 / 0.6);
+  EXPECT_LE(plan.run_current_a, plan.budget_a);
+  EXPECT_GT(g.stats().energy_deferred.value(), 0.0);
+  EXPECT_GT(g.stats().time_deferred.value(), 0.0);
+  EXPECT_EQ(g.stats().budget_violations, 0u);
+}
+
+TEST(Governor, StepUpWaitsOutHysteresisAndClimbsOneLevelAtATime) {
+  CapConfig config;
+  config.hysteresis_slots = 2;
+  Governor g = make_test_governor(config);
+
+  SlotDemand brownout;
+  brownout.run_current_a = 18.4 / 12.0;
+  brownout.active_s = 1.0;
+  brownout.fc_max_a = 0.9;  // -> level 1
+  (void)g.plan_slot(brownout);
+  ASSERT_EQ(g.stats().level_reductions, 1u);
+
+  // Recovery: two healthy slots climb one level, not all the way back.
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 1u);  // streak 1
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 2u);  // streak 2 -> up
+  EXPECT_EQ(g.stats().level_restorations, 1u);
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 2u);
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 3u);
+  EXPECT_EQ(g.stats().level_restorations, 2u);
+}
+
+TEST(Governor, RenewedPressureResetsTheRecoveryStreak) {
+  CapConfig config;
+  config.hysteresis_slots = 2;
+  Governor g = make_test_governor(config);
+
+  SlotDemand brownout;
+  brownout.run_current_a = 18.4 / 12.0;
+  brownout.active_s = 1.0;
+  brownout.fc_max_a = 0.9;
+  (void)g.plan_slot(brownout);
+
+  // One clean slot, then pressure again: the streak must restart.
+  (void)g.plan_slot(healthy_demand());
+  (void)g.plan_slot(brownout);
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 1u);  // streak 1 again
+  EXPECT_EQ(g.plan_slot(healthy_demand()).level, 2u);
+}
+
+TEST(Governor, DeepBrownoutHardClampsToTheEnvelope) {
+  Governor g = make_test_governor();
+  // 0.1 A envelope is below even the lowest level's draw (5.2 W ->
+  // 0.43 A): the plan must clamp to the budget, never exceed it.
+  SlotDemand d;
+  d.run_current_a = 18.4 / 12.0;
+  d.active_s = 1.0;
+  d.fc_max_a = 0.1;
+  d.storage_charge_as = 0.0;
+  const SlotPlan plan = g.plan_slot(d);
+  EXPECT_TRUE(plan.capped);
+  EXPECT_EQ(plan.level, 0u);
+  EXPECT_DOUBLE_EQ(plan.run_current_a, 0.1);
+  EXPECT_EQ(g.stats().budget_violations, 0u);
+}
+
+TEST(Governor, ResetClearsHeldStateAndStats) {
+  Governor g = make_test_governor();
+  SlotDemand brownout;
+  brownout.run_current_a = 18.4 / 12.0;
+  brownout.active_s = 1.0;
+  brownout.fc_max_a = 0.1;
+  (void)g.plan_slot(brownout);
+  ASSERT_GT(g.stats().slots_capped, 0u);
+
+  g.reset();
+  EXPECT_EQ(g.stats().slots_seen, 0u);
+  EXPECT_EQ(g.stats().slots_capped, 0u);
+  EXPECT_DOUBLE_EQ(g.stats().energy_deferred.value(), 0.0);
+  ASSERT_EQ(g.stats().time_at_level_s.size(), 4u);
+  // Held level is back at the top: a healthy slot runs uncapped.
+  const SlotPlan plan = g.plan_slot(healthy_demand());
+  EXPECT_FALSE(plan.capped);
+  EXPECT_EQ(plan.level, 3u);
+}
+
+TEST(Governor, RejectsMalformedConfigs) {
+  CapConfig zero_hysteresis;
+  zero_hysteresis.hysteresis_slots = 0;
+  EXPECT_THROW((void)make_test_governor(zero_hysteresis),
+               PreconditionError);
+
+  CapConfig bad_fraction;
+  bad_fraction.storage_draw_fraction = 1.5;
+  EXPECT_THROW((void)make_test_governor(bad_fraction), PreconditionError);
+  bad_fraction.storage_draw_fraction = -0.1;
+  EXPECT_THROW((void)make_test_governor(bad_fraction), PreconditionError);
+  bad_fraction.storage_draw_fraction =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)make_test_governor(bad_fraction), PreconditionError);
+
+  // A table naming a level the processor lacks is rejected up front.
+  const dvs::DvsProcessor cpu = dvs::DvsProcessor::typical_embedded();
+  EXPECT_THROW(
+      Governor(
+          dvs::DvsPlanner(cpu, power::LinearEfficiencyModel::paper_default()),
+          CapTable({{Watt(5.0), 7}}), CapConfig{}),
+      PreconditionError);
+}
+
+TEST(Governor, RejectsDegenerateSlots) {
+  Governor g = make_test_governor();
+  SlotDemand d = healthy_demand();
+  d.active_s = 0.0;
+  EXPECT_THROW((void)g.plan_slot(d), PreconditionError);
+  d = healthy_demand();
+  d.bus_v = 0.0;
+  EXPECT_THROW((void)g.plan_slot(d), PreconditionError);
+}
+
+TEST(MakeGovernor, DefaultsToTheProcessorTable) {
+  CapSpec spec;
+  spec.hysteresis_slots = 3;
+  spec.storage_draw_fraction = 0.25;
+  const Governor g =
+      make_governor(spec, power::LinearEfficiencyModel::paper_default());
+  EXPECT_EQ(g.table().entries().size(), 4u);
+  EXPECT_EQ(g.config().hysteresis_slots, 3u);
+  EXPECT_DOUBLE_EQ(g.config().storage_draw_fraction, 0.25);
+}
+
+// Unit-level invariant fuzz: whatever the demand, the applied draw
+// never exceeds the computed envelope, and the histogram reconciles
+// with the applied windows.
+TEST(Governor, FuzzedDemandsNeverOverdrawTheBudget) {
+  Rng rng(0x5eed);
+  Governor g = make_test_governor();
+  double applied_active = 0.0;
+  for (int k = 0; k < 5000; ++k) {
+    SlotDemand d;
+    d.run_current_a = rng.uniform(0.0, 3.0);
+    d.active_s = rng.uniform(0.05, 4.0);
+    d.fc_max_a = rng.chance(0.2) ? 0.0 : rng.uniform(0.0, 1.5);
+    d.storage_charge_as = rng.uniform(0.0, 6.0);
+    const SlotPlan plan = g.plan_slot(d);
+    ASSERT_LE(plan.run_current_a, plan.budget_a);
+    applied_active += plan.active_s;
+  }
+  EXPECT_EQ(g.stats().budget_violations, 0u);
+  EXPECT_EQ(g.stats().slots_seen, 5000u);
+  double histogram_total = 0.0;
+  for (const double s : g.stats().time_at_level_s) {
+    histogram_total += s;
+  }
+  EXPECT_NEAR(histogram_total, applied_active, 1e-9 * applied_active);
+}
+
+}  // namespace
+}  // namespace fcdpm::cap

@@ -1,0 +1,121 @@
+#include "cap/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "dvs/processor.hpp"
+
+namespace fcdpm::cap {
+namespace {
+
+TEST(CapTable, FromProcessorMapsOneEntryPerLevel) {
+  const dvs::DvsProcessor cpu = dvs::DvsProcessor::typical_embedded();
+  const CapTable table = CapTable::from_processor(cpu);
+  ASSERT_EQ(table.entries().size(), cpu.level_count());
+  for (std::size_t k = 0; k < table.entries().size(); ++k) {
+    EXPECT_DOUBLE_EQ(table.entries()[k].min_budget.value(),
+                     cpu.level(k).run_power.value());
+    EXPECT_EQ(table.entries()[k].max_level, k);
+  }
+}
+
+TEST(CapTable, FromProcessorCollapsesEqualPowerPlateaus) {
+  const dvs::DvsProcessor cpu({{0.4, Volt(1.0), Watt(8.0)},
+                               {0.6, Volt(1.1), Watt(8.0)},
+                               {1.0, Volt(1.4), Watt(12.0)}},
+                              Watt(2.0));
+  const CapTable table = CapTable::from_processor(cpu);
+  ASSERT_EQ(table.entries().size(), 2u);
+  // The plateau keeps the faster level: 8 W affords level 1, not 0.
+  EXPECT_EQ(table.entries()[0].max_level, 1u);
+  EXPECT_EQ(table.entries()[1].max_level, 2u);
+}
+
+TEST(CapTable, LevelForPicksTheMostPermissiveAffordableEntry) {
+  const CapTable table(
+      {{Watt(5.0), 0}, {Watt(10.0), 1}, {Watt(18.0), 3}});
+  EXPECT_EQ(table.level_for(Watt(4.0)), 0u);  // below first: lowest entry
+  EXPECT_EQ(table.level_for(Watt(5.0)), 0u);
+  EXPECT_EQ(table.level_for(Watt(9.9)), 0u);
+  EXPECT_EQ(table.level_for(Watt(10.0)), 1u);
+  EXPECT_EQ(table.level_for(Watt(17.9)), 1u);
+  EXPECT_EQ(table.level_for(Watt(100.0)), 3u);
+}
+
+TEST(CapTable, ConstructionRejectionsNameTheEntry) {
+  const auto message_of = [](auto&& make) -> std::string {
+    try {
+      make();
+    } catch (const PreconditionError& error) {
+      return error.what();
+    }
+    return "";
+  };
+  EXPECT_THROW(CapTable({}), PreconditionError);
+  EXPECT_NE(message_of([] {
+              CapTable({{Watt(5.0), 0}, {Watt(5.0), 1}});
+            }).find("entry 2: budgets must be strictly increasing"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              CapTable({{Watt(5.0), 2}, {Watt(10.0), 1}});
+            }).find("entry 2: levels must be non-decreasing"),
+            std::string::npos);
+  EXPECT_NE(message_of([] { CapTable({{Watt(0.0), 0}}); })
+                .find("entry 1: budget must be positive"),
+            std::string::npos);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_NE(message_of([inf] { CapTable({{Watt(inf), 0}}); })
+                .find("entry 1: non-finite budget"),
+            std::string::npos);
+}
+
+TEST(CapTableCsv, LoadsTheDocumentedColumns) {
+  std::istringstream in(
+      "min_budget_w,max_level\n"
+      "5.2,0\n"
+      "12.4,2\n"
+      "18.4,3\n");
+  const CapTable table = CapTable::load(in, "caps", 4);
+  ASSERT_EQ(table.entries().size(), 3u);
+  EXPECT_DOUBLE_EQ(table.entries()[1].min_budget.value(), 12.4);
+  EXPECT_EQ(table.entries()[1].max_level, 2u);
+}
+
+TEST(CapTableCsv, ErrorsCiteTheSourceLine) {
+  const auto message_of = [](const std::string& csv) -> std::string {
+    std::istringstream in(csv);
+    try {
+      (void)CapTable::load(in, "caps", 4);
+    } catch (const CsvError& error) {
+      return error.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of("min_budget_w,max_level\n5.2\n")
+                .find("caps line 2: cap row has too few fields"),
+            std::string::npos);
+  EXPECT_NE(message_of("min_budget_w,max_level\n5.2,zero\n")
+                .find("caps line 2: non-numeric cap field"),
+            std::string::npos);
+  EXPECT_NE(message_of("min_budget_w,max_level\n-1,0\n")
+                .find("caps line 2: min_budget_w must be finite and > 0"),
+            std::string::npos);
+  EXPECT_NE(message_of("min_budget_w,max_level\n5.2,1.5\n")
+                .find("caps line 2: max_level must be an integer in [0, 4)"),
+            std::string::npos);
+  EXPECT_NE(message_of("min_budget_w,max_level\n5.2,7\n")
+                .find("caps line 2: max_level must be an integer in [0, 4)"),
+            std::string::npos);
+  // Ordering violations surface as CsvError too (rewrapped ctor check).
+  EXPECT_NE(message_of("min_budget_w,max_level\n5.2,0\n5.2,1\n")
+                .find("strictly increasing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcdpm::cap

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
 #include "common/contracts.hpp"
 
 namespace fcdpm::dvs {
@@ -78,6 +81,57 @@ TEST(DvsProcessor, RejectsMalformedLevelSets) {
   // Running cheaper than idle.
   EXPECT_THROW(DvsProcessor({{0.4, Volt(1.0), Watt(1.0)}}, Watt(2.0)),
                PreconditionError);
+}
+
+// Each rejection names the offending level 1-based, mirroring the
+// workload trace loader's "slot N: ..." messages.
+TEST(DvsProcessor, RejectionMessagesArePositioned) {
+  const auto message_of = [](auto&& make) -> std::string {
+    try {
+      make();
+    } catch (const PreconditionError& error) {
+      return error.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of([] {
+              DvsProcessor({{0.8, Volt(1.2), Watt(10.0)},
+                            {0.4, Volt(1.0), Watt(12.0)}},
+                           Watt(2.0));
+            }).find("level 2: speed must be strictly increasing"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              DvsProcessor({{0.4, Volt(1.0), Watt(10.0)},
+                            {0.8, Volt(1.2), Watt(5.0)}},
+                           Watt(2.0));
+            }).find("level 2: power must not decrease with speed"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              DvsProcessor({{0.4, Volt(1.0), Watt(10.0)},
+                            {1.4, Volt(1.2), Watt(12.0)}},
+                           Watt(2.0));
+            }).find("level 2: speed must lie in (0, 1]"),
+            std::string::npos);
+  EXPECT_NE(message_of([] {
+              DvsProcessor({{0.4, Volt(1.0), Watt(1.0)}}, Watt(2.0));
+            }).find("level 1: running must cost more than idling"),
+            std::string::npos);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message_of([nan] {
+              DvsProcessor({{0.4, Volt(1.0), Watt(nan)}}, Watt(2.0));
+            }).find("level 1: non-finite value"),
+            std::string::npos);
+}
+
+// Equal-power neighbours are a legal plateau (the faster level then
+// strictly dominates); only a power *decrease* is rejected.
+TEST(DvsProcessor, AcceptsEqualPowerPlateau) {
+  const DvsProcessor cpu({{0.4, Volt(1.0), Watt(8.0)},
+                          {0.6, Volt(1.1), Watt(8.0)},
+                          {1.0, Volt(1.4), Watt(12.0)}},
+                         Watt(2.0));
+  EXPECT_EQ(cpu.level_count(), 3u);
+  EXPECT_DOUBLE_EQ(cpu.level(1).run_power.value(), 8.0);
 }
 
 TEST(PeriodicTask, Utilization) {

@@ -160,6 +160,65 @@ TEST(FaultScheduleCsv, RejectsDecreasingStartTimes) {
   EXPECT_THROW((void)FaultSchedule::load(in, "unordered"), CsvError);
 }
 
+TEST(FaultScheduleCsv, RejectsNonPositiveBrownoutMagnitude) {
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "brownout,100,10,0\n");
+  try {
+    (void)FaultSchedule::load(in, "flat");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("magnitude must be positive"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(FaultScheduleCsv, RejectsNegativeBrownoutDuration) {
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "brownout,100,-5,0.5\n");
+  try {
+    (void)FaultSchedule::load(in, "negdur");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("duration must not be negative"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(FaultScheduleCsv, RejectsOverlappingBrownoutWindows) {
+  // Second brownout starts inside the first's [100, 160) window; the
+  // error cites both source lines.
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "brownout,100,60,0.5\n"
+      "storage_fade,120,0,0.7\n"
+      "brownout,150,10,0.3\n");
+  try {
+    (void)FaultSchedule::load(in, "overlap");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("overlaps"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultScheduleCsv, AcceptsAdjacentBrownoutWindows) {
+  // Back-to-back windows share only the boundary instant — legal.
+  std::istringstream in(
+      "kind,start_s,duration_s,magnitude\n"
+      "brownout,100,60,0.5\n"
+      "brownout,160,10,0.3\n");
+  const FaultSchedule s = FaultSchedule::load(in, "adjacent");
+  EXPECT_EQ(s.size(), 2u);
+}
+
 TEST(FaultScheduleStorm, DeterministicInTheSeed) {
   const Seconds horizon(1000.0);
   const FaultSchedule a = FaultSchedule::random_storm(42, 16, horizon);

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/stats.hpp"
 #include "common/csv.hpp"
 #include "sim/experiments.hpp"
 
@@ -89,6 +90,23 @@ void expect_same_record(const JournalRecord& a, const JournalRecord& b) {
   EXPECT_EQ(a.result.storage_end.value(), b.result.storage_end.value());
   EXPECT_EQ(a.result.storage_min.value(), b.result.storage_min.value());
   EXPECT_EQ(a.result.storage_max.value(), b.result.storage_max.value());
+  ASSERT_EQ(a.result.cap.has_value(), b.result.cap.has_value());
+  if (a.result.cap.has_value()) {
+    const cap::CapStats& ca = *a.result.cap;
+    const cap::CapStats& cb = *b.result.cap;
+    EXPECT_EQ(ca.slots_seen, cb.slots_seen);
+    EXPECT_EQ(ca.slots_capped, cb.slots_capped);
+    EXPECT_EQ(ca.level_reductions, cb.level_reductions);
+    EXPECT_EQ(ca.level_restorations, cb.level_restorations);
+    EXPECT_EQ(ca.budget_violations, cb.budget_violations);
+    EXPECT_EQ(ca.energy_deferred.value(), cb.energy_deferred.value());
+    EXPECT_EQ(ca.time_deferred.value(), cb.time_deferred.value());
+    ASSERT_EQ(ca.time_at_level_s.size(), cb.time_at_level_s.size());
+    for (std::size_t j = 0; j < ca.time_at_level_s.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ca.time_at_level_s[j]),
+                std::bit_cast<std::uint64_t>(cb.time_at_level_s[j]));
+    }
+  }
 }
 
 std::string read_file(const std::string& path) {
@@ -187,6 +205,45 @@ TEST(JournalTest, HexfloatSerializationRoundTripsHostileDoubles) {
                   load.records[k].result.totals.fuel.value()),
               std::bit_cast<std::uint64_t>(hostile[k]));
   }
+  std::remove(path.c_str());
+}
+
+// Cap-stats block: present iff the run carried a governor, hexfloat
+// round-trip including the per-level histogram, capless records coexist
+// in the same journal.
+TEST(JournalTest, CapStatsRoundTripBitExactly) {
+  const std::string path = temp_path("cap.fcj");
+  const std::vector<par::SweepPoint> points = grid_points(1);
+  ASSERT_GE(points.size(), 2u);
+
+  std::vector<JournalRecord> written;
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 0xcab});
+    JournalRecord capped = make_record(0, points[0]);
+    cap::CapStats stats;
+    stats.slots_seen = 112;
+    stats.slots_capped = 51;
+    stats.level_reductions = 2;
+    stats.level_restorations = 2;
+    stats.budget_violations = 0;
+    stats.energy_deferred = Joule(1.0 / 3.0);
+    stats.time_deferred = Seconds(0.1 + 0.2);
+    stats.time_at_level_s = {5e-324, -0.0, 3.141592653589793, 42.0};
+    capped.result.cap = stats;
+    journal.append(capped);
+    written.push_back(capped);
+
+    const JournalRecord plain = make_record(1, points[1]);
+    journal.append(plain);
+    written.push_back(plain);
+  }
+
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 2u);
+  expect_same_record(load.records[0], written[0]);
+  EXPECT_TRUE(load.records[0].result.cap.has_value());
+  expect_same_record(load.records[1], written[1]);
+  EXPECT_FALSE(load.records[1].result.cap.has_value());
   std::remove(path.c_str());
 }
 
@@ -345,6 +402,20 @@ TEST(GridFingerprintTest, SensitiveToConfigPointsAndStormSize) {
   EXPECT_NE(grid_fingerprint(base, tweaked, 12), reference);
 
   EXPECT_NE(grid_fingerprint(base, points, 13), reference);
+
+  // Capping config participates only when enabled: a journal from a
+  // capped sweep must not resume an uncapped one (or one with other
+  // governor knobs), while the disabled spec leaves the print alone.
+  sim::ExperimentConfig capped = base;
+  capped.cap.enabled = true;
+  const std::uint64_t capped_print = grid_fingerprint(capped, points, 12);
+  EXPECT_NE(capped_print, reference);
+  capped.cap.hysteresis_slots = 7;
+  EXPECT_NE(grid_fingerprint(capped, points, 12), capped_print);
+
+  sim::ExperimentConfig disabled_tweak = base;
+  disabled_tweak.cap.hysteresis_slots = 7;  // inert while disabled
+  EXPECT_EQ(grid_fingerprint(disabled_tweak, points, 12), reference);
 }
 
 }  // namespace

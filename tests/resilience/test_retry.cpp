@@ -66,6 +66,8 @@ TEST(PointErrorKindTest, NamesAreStableJournalTokens) {
   EXPECT_STREQ(to_string(PointErrorKind::contract_violation),
                "contract_violation");
   EXPECT_STREQ(to_string(PointErrorKind::io_error), "io_error");
+  EXPECT_STREQ(to_string(PointErrorKind::power_undeliverable),
+               "power_undeliverable");
 }
 
 TEST(SolveFailureKindTest, ClassifiesTheSolveStatusTaxonomy) {
@@ -143,6 +145,31 @@ TEST(ExecutePointTest, PreCancelledTokenFailsTheAttemptOnly) {
       &token);
   EXPECT_TRUE(retried.ok);
   EXPECT_GT(token.heartbeat(), 0u);
+}
+
+TEST(ExecutePointTest, UnservedBudgetQuarantinesABrownedOutPoint) {
+  // Storm 11 over experiment 1 at 3 F leaves ~30 A-s unserved; a 25 A-s
+  // contract declares the point power_undeliverable. The same storm
+  // with the cap governor attached throttles through and stays ok.
+  sim::ExperimentConfig base = sim::experiment1_config();
+  const par::SweepPoint stormy{sim::PolicyKind::FcDpm, base.rho,
+                               Coulomb(3.0), 11};
+  ExecutionContract contract;
+  contract.unserved_budget_as = 25.0;
+
+  const PointOutcome uncapped =
+      execute_point(base, stormy, 0, 14, nullptr, contract, nullptr);
+  ASSERT_FALSE(uncapped.ok);
+  EXPECT_EQ(uncapped.error.kind, PointErrorKind::power_undeliverable);
+  EXPECT_NE(uncapped.error.detail.find("unserved"), std::string::npos);
+
+  base.cap.enabled = true;
+  const PointOutcome capped =
+      execute_point(base, stormy, 0, 14, nullptr, contract, nullptr);
+  ASSERT_TRUE(capped.ok);
+  ASSERT_TRUE(capped.result.result.cap.has_value());
+  EXPECT_GT(capped.result.result.cap->slots_capped, 0u);
+  EXPECT_EQ(capped.result.result.cap->budget_violations, 0u);
 }
 
 TEST(ExecutePointTest, SolverFailureBudgetZeroQuarantinesAStormPoint) {
