@@ -58,6 +58,7 @@
 #include "report/table.hpp"
 #include "sim/experiments.hpp"
 #include "sim/lifetime.hpp"
+#include "stacks/multi_stack.hpp"
 #include "workload/aggregation.hpp"
 #include "workload/analysis.hpp"
 #include "workload/camcorder.hpp"
@@ -162,6 +163,24 @@ sim::ExperimentConfig build_config(const Options& options) {
       static_cast<double>(config.cap.hysteresis_slots)));
   config.cap.storage_draw_fraction = number_or(
       options, "cap-draw-fraction", config.cap.storage_draw_fraction);
+  // Multi-stack source: --stacks N (>= 1) enables it; sweeps may pass a
+  // comma list here, in which case atof's first value seeds the base
+  // config and the grid axis overrides every point.
+  const auto stack_count =
+      static_cast<std::size_t>(number_or(options, "stacks", 0.0));
+  config.stacks.config_csv = option_or(options, "stacks-config", "");
+  if (stack_count > 0 || !config.stacks.config_csv.empty()) {
+    config.stacks.enabled = true;
+    config.stacks.count = stack_count > 0 ? stack_count : 1;
+  }
+  const std::string distribution = option_or(options, "distribution", "");
+  if (!distribution.empty()) {
+    config.stacks.distribution = stacks::parse_distribution(distribution);
+  }
+  config.stacks.charge_fade_per_as = number_or(
+      options, "stack-charge-fade", config.stacks.charge_fade_per_as);
+  config.stacks.cycle_fade =
+      number_or(options, "stack-cycle-fade", config.stacks.cycle_fade);
   return config;
 }
 
@@ -467,6 +486,18 @@ void print_cap(const cap::CapStats& c) {
               c.time_deferred.value(), c.budget_violations);
 }
 
+void print_stacks(const stacks::StacksStats& s) {
+  std::printf("  stacks    : %zu x %s | startups %zu | max wear %.3g\n",
+              s.stacks.size(), stacks::to_string(s.distribution),
+              s.total_startups(), s.max_wear());
+  for (std::size_t k = 0; k < s.stacks.size(); ++k) {
+    const stacks::StackTotals& t = s.stacks[k];
+    std::printf("    stack %zu : fuel %9.2f A-s | delivered %9.2f A-s | "
+                "startups %zu | wear %.3g\n",
+                k, t.fuel_as, t.delivered_as, t.startups, t.wear);
+  }
+}
+
 sim::PolicyKind parse_policy(const std::string& name) {
   if (name == "conv") {
     return sim::PolicyKind::Conv;
@@ -553,6 +584,9 @@ int cmd_run(const Options& options) {
   if (result.cap.has_value()) {
     print_cap(*result.cap);
   }
+  if (result.stacks.has_value()) {
+    print_stacks(*result.stacks);
+  }
   obs.finish();
   return 0;
 }
@@ -599,6 +633,10 @@ int cmd_compare(const Options& options) {
   if (c.fcdpm.cap.has_value()) {
     std::printf("FC-DPM under power cap:\n");
     print_cap(*c.fcdpm.cap);
+  }
+  if (c.fcdpm.stacks.has_value()) {
+    std::printf("FC-DPM multi-stack split:\n");
+    print_stacks(*c.fcdpm.stacks);
   }
   std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
               100.0 * sim::fuel_saving(c.fcdpm, c.asap),
@@ -761,6 +799,23 @@ bool identical_sweeps(const par::SweepResult& a, const par::SweepResult& b) {
         x.slots != y.slots || x.sleeps != y.sleeps) {
       return false;
     }
+    if (x.stacks.has_value() != y.stacks.has_value()) {
+      return false;
+    }
+    if (x.stacks.has_value()) {
+      if (x.stacks->stacks.size() != y.stacks->stacks.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < x.stacks->stacks.size(); ++i) {
+        const stacks::StackTotals& sx = x.stacks->stacks[i];
+        const stacks::StackTotals& sy = y.stacks->stacks[i];
+        if (sx.fuel_as != sy.fuel_as ||
+            sx.delivered_as != sy.delivered_as ||
+            sx.startups != sy.startups || sx.wear != sy.wear) {
+          return false;
+        }
+      }
+    }
   }
   return true;
 }
@@ -789,6 +844,17 @@ report::SweepPointRow make_point_row(const par::SweepPoint& point,
     row.cap_deferred_j = result.cap->energy_deferred.value();
     row.cap_deferred_s = result.cap->time_deferred.value();
   }
+  if (result.stacks.has_value()) {
+    row.stacks_enabled = true;
+    row.stacks = result.stacks->stacks.size();
+    row.distribution = stacks::to_string(result.stacks->distribution);
+    row.stack_startups = result.stacks->total_startups();
+    row.stack_max_wear = result.stacks->max_wear();
+    row.stack_fuel.reserve(result.stacks->stacks.size());
+    for (const stacks::StackTotals& t : result.stacks->stacks) {
+      row.stack_fuel.push_back(t.fuel_as);
+    }
+  }
   return row;
 }
 
@@ -808,6 +874,21 @@ void accumulate_cap(report::SweepBenchReport& bench,
   bench.cap_deferred_j += result.cap->energy_deferred.value();
 }
 
+/// Sweep-level multi-stack rollup; no-op on single-stack points.
+void accumulate_stacks(report::SweepBenchReport& bench,
+                       const sim::SimulationResult& result) {
+  if (!result.stacks.has_value()) {
+    return;
+  }
+  bench.stacks_enabled = true;
+  ++bench.stack_points;
+  bench.stack_startups += result.stacks->total_startups();
+  const double worst = result.stacks->max_wear();
+  if (worst > bench.stack_max_wear) {
+    bench.stack_max_wear = worst;
+  }
+}
+
 par::SweepGrid parse_sweep_grid(const Options& options) {
   par::SweepGrid grid;
   const std::vector<std::string> policy_names =
@@ -823,6 +904,28 @@ par::SweepGrid parse_sweep_grid(const Options& options) {
   grid.storm_seeds = parse_seed_list(options, "storm-seeds");
   grid.storm_faults = static_cast<std::size_t>(number_or(
       options, "storm-faults", static_cast<double>(grid.storm_faults)));
+  for (const double value : parse_number_list(options, "stacks")) {
+    if (value < 0.0 || value != static_cast<double>(
+                                   static_cast<std::size_t>(value))) {
+      throw std::runtime_error(
+          "--stacks: counts must be non-negative integers (0 = the "
+          "single-stack base source)");
+    }
+    grid.stack_counts.push_back(static_cast<std::size_t>(value));
+  }
+  const std::vector<std::string> dist_names =
+      parse_list(options, "distributions");
+  for (const std::string& name : dist_names) {
+    grid.distributions.push_back(stacks::parse_distribution(name));
+  }
+  check_unique("distributions", dist_names, grid.distributions);
+  if (!grid.distributions.empty() && grid.stack_counts.empty() &&
+      number_or(options, "stacks", 0.0) <= 0.0 &&
+      option_or(options, "stacks-config", "").empty()) {
+    throw std::runtime_error(
+        "--distributions needs a multi-stack source (--stacks N or "
+        "--stacks-config FILE)");
+  }
   return grid;
 }
 
@@ -877,6 +980,10 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
   if (config.cap.enabled) {
     columns.push_back("capped");
   }
+  if (config.stacks.enabled) {
+    columns.push_back("stacks");
+    columns.push_back("dist");
+  }
   columns.push_back("status");
   report::Table table("sweep: " + config.trace.name(), std::move(columns));
   for (const resilience::ResilientPoint& p : sweep.points) {
@@ -896,6 +1003,17 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
                                   p.result.result.cap->slots_capped)
                             : "-");
       }
+      if (config.stacks.enabled) {
+        if (p.result.result.stacks.has_value()) {
+          cells.push_back(
+              std::to_string(p.result.result.stacks->stacks.size()));
+          cells.push_back(
+              stacks::to_string(p.result.result.stacks->distribution));
+        } else {
+          cells.push_back("-");
+          cells.push_back("-");
+        }
+      }
       cells.push_back(p.replayed ? "replayed" : "ok");
       table.add_row(std::move(cells));
     } else {
@@ -904,6 +1022,10 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
           report::cell(point.capacity.value(), 1),
           std::to_string(point.storm_seed), "-", "-", "-", "-"};
       if (config.cap.enabled) {
+        cells.push_back("-");
+      }
+      if (config.stacks.enabled) {
+        cells.push_back("-");
         cells.push_back("-");
       }
       cells.push_back(std::string("quarantined: ") +
@@ -935,6 +1057,7 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
       row.slots = row.sleeps = 0;
     } else {
       accumulate_cap(bench, p.result.result);
+      accumulate_stacks(bench, p.result.result);
     }
     bench.results.push_back(std::move(row));
   }
@@ -971,6 +1094,13 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
                 rs.capped_ok,
                 static_cast<unsigned long long>(bench.capped_slots),
                 static_cast<unsigned long long>(bench.cap_violations));
+  }
+  if (bench.stacks_enabled) {
+    std::printf("stacks: %zu multi-stack points | %llu stack startups | "
+                "max wear %.6g\n",
+                bench.stack_points,
+                static_cast<unsigned long long>(bench.stack_startups),
+                bench.stack_max_wear);
   }
   if (rs.torn_tail_recovered) {
     std::printf("journal torn tail recovered (%zu bytes dropped)\n",
@@ -1056,6 +1186,10 @@ int cmd_sweep(const Options& options) {
   if (config.cap.enabled) {
     columns.push_back("capped");
   }
+  if (config.stacks.enabled) {
+    columns.push_back("stacks");
+    columns.push_back("dist");
+  }
   report::Table table("sweep: " + config.trace.name(), std::move(columns));
   for (const par::SweepPointResult& p : sweep.points) {
     std::vector<std::string> cells = {
@@ -1070,6 +1204,15 @@ int cmd_sweep(const Options& options) {
       cells.push_back(p.result.cap.has_value()
                           ? std::to_string(p.result.cap->slots_capped)
                           : "-");
+    }
+    if (config.stacks.enabled) {
+      if (p.result.stacks.has_value()) {
+        cells.push_back(std::to_string(p.result.stacks->stacks.size()));
+        cells.push_back(stacks::to_string(p.result.stacks->distribution));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
     }
     table.add_row(std::move(cells));
   }
@@ -1087,6 +1230,7 @@ int cmd_sweep(const Options& options) {
   for (const par::SweepPointResult& p : sweep.points) {
     bench.results.push_back(make_point_row(p.point, p.result));
     accumulate_cap(bench, p.result);
+    accumulate_stacks(bench, p.result);
   }
   std::printf(
       "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
@@ -1100,6 +1244,13 @@ int cmd_sweep(const Options& options) {
                 static_cast<unsigned long long>(bench.capped_slots),
                 static_cast<unsigned long long>(bench.cap_violations),
                 bench.cap_deferred_j);
+  }
+  if (bench.stacks_enabled) {
+    std::printf("stacks: %zu multi-stack points | %llu stack startups | "
+                "max wear %.6g\n",
+                bench.stack_points,
+                static_cast<unsigned long long>(bench.stack_startups),
+                bench.stack_max_wear);
   }
 
   bool diverged = false;
@@ -1182,6 +1333,9 @@ int usage() {
       "  sweep    [--jobs N] [--policies conv,asap,fcdpm,oracle]\n"
       "           [--rhos R1,R2,...] [--capacities C1,C2,...]\n"
       "           [--storm-seeds S1,S2,...] [--storm-faults N]\n"
+      "           [--stacks N1,N2,...]  stack-count axis (0 = the\n"
+      "                                 single-stack base source)\n"
+      "           [--distributions proportional,waterfill,health]\n"
       "           [--cache-quantum Q] [--out BENCH_sweep.json]\n"
       "           [--serial-check on|off] [--trace f.csv | --kind ...]\n"
       "           (--jobs 0 = all cores; with --jobs != 1 a --jobs 1\n"
@@ -1226,7 +1380,19 @@ int usage() {
       "                        default derived from the DVS processor\n"
       "  --cap-hysteresis N    clean slots before stepping back up (4)\n"
       "  --cap-draw-fraction F storage charge fraction spendable per\n"
-      "                        slot when computing the envelope (0.5)\n");
+      "                        slot when computing the envelope (0.5)\n"
+      "  --stacks N            split the fuel cell into N parallel\n"
+      "                        stacks (clones of the base curve) with\n"
+      "                        per-stack degradation accounting\n"
+      "  --distribution proportional|waterfill|health\n"
+      "                        power split across stacks: by ceiling,\n"
+      "                        efficiency-optimal water-filling, or\n"
+      "                        health-aware (rest the most worn stack)\n"
+      "  --stacks-config f.csv heterogeneous stacks, one per row\n"
+      "                        (alpha,beta,if_min_a,if_max_a,\n"
+      "                        charge_fade_per_as,cycle_fade)\n"
+      "  --stack-charge-fade F efficiency fade per delivered A-s (0)\n"
+      "  --stack-cycle-fade F  efficiency fade per on/off cycle (0)\n");
   return 1;
 }
 

@@ -28,15 +28,28 @@ std::vector<SweepPoint> SweepGrid::points(
                          : capacities;
   const std::vector<std::uint64_t> seeds =
       storm_seeds.empty() ? std::vector<std::uint64_t>{0} : storm_seeds;
+  const std::vector<std::size_t> counts =
+      stack_counts.empty()
+          ? std::vector<std::size_t>{base.stacks.enabled ? base.stacks.count
+                                                         : 0}
+          : stack_counts;
+  const std::vector<stacks::Distribution> dists =
+      distributions.empty()
+          ? std::vector<stacks::Distribution>{base.stacks.distribution}
+          : distributions;
 
   std::vector<SweepPoint> grid;
   grid.reserve(kinds.size() * rho_values.size() * capacity_values.size() *
-               seeds.size());
+               counts.size() * dists.size() * seeds.size());
   for (const sim::PolicyKind kind : kinds) {
     for (const double rho : rho_values) {
       for (const Coulomb capacity : capacity_values) {
-        for (const std::uint64_t seed : seeds) {
-          grid.push_back({kind, rho, capacity, seed});
+        for (const std::size_t count : counts) {
+          for (const stacks::Distribution dist : dists) {
+            for (const std::uint64_t seed : seeds) {
+              grid.push_back({kind, rho, capacity, seed, count, dist});
+            }
+          }
         }
       }
     }
@@ -56,6 +69,11 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
   config.storage_capacity = point.capacity;
   // A shrunk buffer cannot hold the configured reserve.
   config.initial_storage = min(config.initial_storage, point.capacity);
+  if (point.stacks > 0) {
+    config.stacks.enabled = true;
+    config.stacks.count = point.stacks;
+    config.stacks.distribution = point.distribution;
+  }
   // Workers own everything they mutate; the run-level observer is
   // published to after the batch, never attached to a worker's run.
   config.simulation.observer = nullptr;

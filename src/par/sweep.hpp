@@ -31,6 +31,10 @@ struct SweepPoint {
   double rho = 0.5;
   Coulomb capacity{6.0};
   std::uint64_t storm_seed = 0;  ///< 0 = fault-free
+  /// Multi-stack axis: 0 = run the base config's source unchanged;
+  /// N >= 1 forces an N-stack source with `distribution`.
+  std::size_t stacks = 0;
+  stacks::Distribution distribution = stacks::Distribution::Proportional;
 };
 
 /// Grid specification. Empty dimensions fall back to a single value
@@ -42,9 +46,14 @@ struct SweepGrid {
   std::vector<std::uint64_t> storm_seeds;
   /// Events per random storm (seeds != 0).
   std::size_t storm_faults = 12;
+  /// Stack-count axis; empty = one entry mirroring the base config
+  /// (its configured count when stacks are enabled, else 0).
+  std::vector<std::size_t> stack_counts;
+  /// Distribution-policy axis; empty = the base config's policy.
+  std::vector<stacks::Distribution> distributions;
 
   /// Cartesian product in deterministic nested order:
-  /// policy -> rho -> capacity -> seed.
+  /// policy -> rho -> capacity -> stacks -> distribution -> seed.
   [[nodiscard]] std::vector<SweepPoint> points(
       const sim::ExperimentConfig& base) const;
 };

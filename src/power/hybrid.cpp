@@ -7,6 +7,10 @@
 
 namespace fcdpm::power {
 
+void FuelSource::note_delivery(Ampere /*i_f*/, Seconds /*duration*/) {}
+
+void FuelSource::reset() {}
+
 LinearFuelSource::LinearFuelSource(LinearEfficiencyModel model)
     : model_(model) {}
 
@@ -129,7 +133,8 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
       const Coulomb level = storage_->charge();
       if (level > faded_cap) {
         storage_->set_charge(faded_cap);
-        totals_.bled += level - faded_cap;
+        result.pre_bled = level - faded_cap;
+        totals_.bled += result.pre_bled;
         note_storage_level();
       }
     }
@@ -168,9 +173,6 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
   }
 
   result.fuel = source_->fuel_current(i_f) * duration;
-  if (fuel_penalty > 1.0) {
-    result.fuel = result.fuel * fuel_penalty;
-  }
 
   // FC restart cost: idling the stack (IF = 0) is free, but bringing it
   // back up purges hydrogen.
@@ -187,6 +189,15 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
     }
   }
   fc_running_ = fc_on;
+
+  // A fuel-system fault taxes everything burned this segment — the
+  // restart purge included, so a storm that power-cycles the FC cannot
+  // refuel at the un-penalized rate.
+  if (fuel_penalty > 1.0) {
+    result.fuel = result.fuel * fuel_penalty;
+  }
+
+  source_->note_delivery(i_f, duration);
 
   if (i_f >= load) {
     const Coulomb surplus = (i_f - load) * duration;
@@ -250,13 +261,25 @@ SegmentResult HybridPowerSource::run_segment(Seconds duration, Ampere load,
     // Advance the fault clock over the segment (accrues degraded time)
     // and report the buffer level for recovery accounting.
     (void)fault_injector_->advance_to(elapsed_time());
-    fault_injector_->note_storage(elapsed_time(), storage_->fraction());
+    // A faded buffer's recovery target is its effective ceiling: report
+    // the fraction of the derated capacity, not the nominal one (a
+    // fully-faded buffer otherwise reads as partially full forever).
+    double fraction = 0.0;
+    if (storage_derate < 1.0) {
+      const double faded_cap = storage_->capacity().value() * storage_derate;
+      fraction =
+          faded_cap > 0.0 ? storage_->charge().value() / faded_cap : 0.0;
+    } else {
+      fraction = storage_->fraction();
+    }
+    fault_injector_->note_storage(elapsed_time(), fraction);
   }
   return result;
 }
 
 void HybridPowerSource::reset(Coulomb initial_charge) {
   storage_->set_charge(initial_charge);
+  source_->reset();
   totals_ = HybridTotals{};
   epoch_ = Seconds(0.0);
   min_storage_seen_ = initial_charge;

@@ -38,6 +38,15 @@ class FuelSource {
   [[nodiscard]] virtual Ampere fuel_current(Ampere i_f) const = 0;
   [[nodiscard]] virtual Volt bus_voltage() const = 0;
   [[nodiscard]] virtual std::unique_ptr<FuelSource> clone() const = 0;
+
+  /// Post-segment accrual hook: the hybrid reports every integrated
+  /// segment's actual output (0 when the FC was idled) and duration.
+  /// Stateful sources (multi-stack degradation) accrue delivered charge
+  /// and on/off cycles here; stateless sources ignore it.
+  virtual void note_delivery(Ampere i_f, Seconds duration);
+  /// Restore internal state to the fresh-build condition; called by
+  /// HybridPowerSource::reset. Stateless sources ignore it.
+  virtual void reset();
 };
 
 /// Fuel source defined by the paper's linear efficiency model (Eq. (4)).
@@ -99,6 +108,12 @@ struct SegmentResult {
   Coulomb drawn;     ///< charge delivered from the buffer
   Coulomb bled;
   Coulomb unserved;
+  /// Charge a storage-fade fault bled before this segment's flows (the
+  /// over-cap pre-drain). Kept separate from `bled` so flow accounting
+  /// stays comparable across faulted and fault-free runs, but included
+  /// in HybridTotals::bled — per-segment sums of `bled + pre_bled`
+  /// reconcile exactly with the totals.
+  Coulomb pre_bled;
 };
 
 /// FC + storage + bleeder. Move-only; `clone()` deep-copies.

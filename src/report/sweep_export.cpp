@@ -52,6 +52,21 @@ std::string point_row_to_json(const SweepPointRow& row) {
       out += ",\"cap_deferred_j\":" + format_exact(row.cap_deferred_j);
       out += ",\"cap_deferred_s\":" + format_exact(row.cap_deferred_s);
     }
+    if (row.stacks_enabled) {
+      out += ",\"stacks\":" + std::to_string(row.stacks);
+      out += ",\"distribution\":\"" +
+             obs::json_escape(row.distribution.c_str()) + "\"";
+      out += ",\"stack_startups\":" + std::to_string(row.stack_startups);
+      out += ",\"stack_max_wear\":" + format_exact(row.stack_max_wear);
+      out += ",\"stack_fuel\":[";
+      for (std::size_t k = 0; k < row.stack_fuel.size(); ++k) {
+        if (k != 0) {
+          out += ',';
+        }
+        out += format_exact(row.stack_fuel[k]);
+      }
+      out += "]";
+    }
   }
   out += "}";
   return out;
@@ -154,6 +169,11 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
            ",\"capped_points\":" + std::to_string(bench.capped_points) +
            ",\"violations\":" + std::to_string(bench.cap_violations) +
            ",\"deferred_j\":" + format_double(bench.cap_deferred_j) + "}";
+  }
+  if (bench.stacks_enabled) {
+    out += ",\"stacks\":{\"points\":" + std::to_string(bench.stack_points) +
+           ",\"startups\":" + std::to_string(bench.stack_startups) +
+           ",\"max_wear\":" + format_exact(bench.stack_max_wear) + "}";
   }
   if (bench.resilience.enabled) {
     out += ",\"resilience\":" + resilience_to_json(bench.resilience);

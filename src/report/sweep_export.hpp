@@ -39,6 +39,14 @@ struct SweepPointRow {
   std::size_t cap_violations = 0;
   double cap_deferred_j = 0.0;
   double cap_deferred_s = 0.0;
+  /// Multi-stack fields; serialized only when `stacks_enabled` so
+  /// single-stack reports stay byte-identical to pre-stacks builds.
+  bool stacks_enabled = false;
+  std::size_t stacks = 0;
+  std::string distribution;
+  std::size_t stack_startups = 0;
+  double stack_max_wear = 0.0;
+  std::vector<double> stack_fuel;  ///< per-stack fuel A-s
 };
 
 /// Fault-tolerant execution accounting (`SweepReport::resilience`);
@@ -127,6 +135,12 @@ struct SweepBenchReport {
   std::size_t capped_points = 0;    ///< ok points with >=1 capped slot
   std::uint64_t cap_violations = 0; ///< budget violations (zero by invariant)
   double cap_deferred_j = 0.0;      ///< total energy pushed past its slot
+  /// Sweep-level multi-stack rollup (`"stacks":{...}`); emitted only
+  /// when `stacks_enabled` so single-stack reports keep their bytes.
+  bool stacks_enabled = false;
+  std::size_t stack_points = 0;       ///< ok points run multi-stack
+  std::uint64_t stack_startups = 0;   ///< per-stack startups, all points
+  double stack_max_wear = 0.0;        ///< worst final wear seen
   /// Per-point deterministic results, grid order.
   std::vector<SweepPointRow> results;
   SweepResilienceReport resilience;

@@ -343,6 +343,16 @@ std::uint64_t grid_fingerprint(const sim::ExperimentConfig& base,
     hash_double(hash, base.cap.storage_draw_fraction);
     hash_u64(hash, fnv1a64(base.cap.table_csv));
   }
+  if (base.stacks.enabled) {
+    // Same compatibility rule as the cap block: single-stack grids keep
+    // their pre-stacks fingerprints.
+    hash_u64(hash, 2);
+    hash_u64(hash, base.stacks.count);
+    hash_u64(hash, static_cast<std::uint64_t>(base.stacks.distribution));
+    hash_double(hash, base.stacks.charge_fade_per_as);
+    hash_double(hash, base.stacks.cycle_fade);
+    hash_u64(hash, fnv1a64(base.stacks.config_csv));
+  }
   hash_u64(hash, storm_faults);
   hash_u64(hash, points.size());
   for (const par::SweepPoint& point : points) {
@@ -350,6 +360,10 @@ std::uint64_t grid_fingerprint(const sim::ExperimentConfig& base,
     hash_double(hash, point.rho);
     hash_double(hash, point.capacity.value());
     hash_u64(hash, point.storm_seed);
+    if (point.stacks > 0) {
+      hash_u64(hash, point.stacks);
+      hash_u64(hash, static_cast<std::uint64_t>(point.distribution));
+    }
   }
   return hash;
 }
@@ -363,6 +377,13 @@ std::string record_to_json(const JournalRecord& record) {
   out += ",\"capacity\":\"" + hex_double(record.point.capacity.value()) +
          "\"";
   out += ",\"seed\":" + std::to_string(record.point.storm_seed);
+  if (record.point.stacks > 0) {
+    // Multi-stack point coordinates, serialized only on stack points so
+    // single-stack journals stay byte-identical to pre-stacks builds.
+    out += ",\"stacks\":" + std::to_string(record.point.stacks);
+    out += ",\"dist\":" +
+           std::to_string(static_cast<int>(record.point.distribution));
+  }
   out += ",\"attempts\":" + std::to_string(record.attempts);
   out += ",\"ok\":";
   out += record.ok ? "true" : "false";
@@ -415,6 +436,34 @@ std::string record_to_json(const JournalRecord& record) {
     }
     out += ",\"cap_levels\":\"" + levels + "\"";
   }
+  if (r.stacks.has_value()) {
+    // Stacks block only when the run's source was multi-stack:
+    // single-stack journals stay byte-identical to pre-stacks builds.
+    const stacks::StacksStats& s = *r.stacks;
+    out += ",\"stk_n\":" + std::to_string(s.stacks.size());
+    out += ",\"stk_dist\":" +
+           std::to_string(static_cast<int>(s.distribution));
+    std::string fuel_list;
+    std::string delivered_list;
+    std::string startups_list;
+    std::string wear_list;
+    for (const stacks::StackTotals& t : s.stacks) {
+      if (!fuel_list.empty()) {
+        fuel_list += ',';
+        delivered_list += ',';
+        startups_list += ',';
+        wear_list += ',';
+      }
+      fuel_list += hex_double(t.fuel_as);  // hexfloats never need escaping
+      delivered_list += hex_double(t.delivered_as);
+      startups_list += std::to_string(t.startups);
+      wear_list += hex_double(t.wear);
+    }
+    out += ",\"stk_fuel\":\"" + fuel_list + "\"";
+    out += ",\"stk_delivered\":\"" + delivered_list + "\"";
+    out += ",\"stk_startups\":\"" + startups_list + "\"";
+    out += ",\"stk_wear\":\"" + wear_list + "\"";
+  }
   out += "}";
   return out;
 }
@@ -449,6 +498,19 @@ bool record_from_json(std::string_view payload, JournalRecord& record) {
   record.point.capacity = Coulomb(capacity);
   record.point.storm_seed = seed;
   record.attempts = static_cast<std::size_t>(attempts);
+
+  // Multi-stack point coordinates are optional (absent on single-stack
+  // points); when the marker is present both fields are required.
+  if (fields.find("stacks") != nullptr) {
+    std::uint64_t stack_count = 0;
+    std::uint64_t dist = 0;
+    if (!fields.integer("stacks", stack_count) ||
+        !fields.integer("dist", dist) || stack_count == 0 || dist > 2) {
+      return false;
+    }
+    record.point.stacks = static_cast<std::size_t>(stack_count);
+    record.point.distribution = static_cast<stacks::Distribution>(dist);
+  }
 
   if (!record.ok) {
     std::string kind;
@@ -556,6 +618,71 @@ bool record_from_json(std::string_view payload, JournalRecord& record) {
       pos = comma == std::string::npos ? levels.size() : comma + 1;
     }
     r.cap = std::move(stats);
+  }
+
+  // Stacks block is optional (absent on single-stack runs); when the
+  // marker field is present every stacks field is required together.
+  if (fields.find("stk_n") != nullptr) {
+    std::uint64_t stack_count = 0;
+    std::uint64_t dist = 0;
+    std::string fuel_list;
+    std::string delivered_list;
+    std::string startups_list;
+    std::string wear_list;
+    if (!fields.integer("stk_n", stack_count) ||
+        !fields.integer("stk_dist", dist) ||
+        !fields.string("stk_fuel", fuel_list) ||
+        !fields.string("stk_delivered", delivered_list) ||
+        !fields.string("stk_startups", startups_list) ||
+        !fields.string("stk_wear", wear_list) || stack_count == 0 ||
+        dist > 2) {
+      return false;
+    }
+    const auto parse_doubles = [](const std::string& list,
+                                  std::vector<double>& out) {
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string token = list.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0' || !std::isfinite(value)) {
+          return false;
+        }
+        out.push_back(value);
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+      return true;
+    };
+    std::vector<double> fuel_values;
+    std::vector<double> delivered_values;
+    std::vector<double> startup_values;
+    std::vector<double> wear_values;
+    if (!parse_doubles(fuel_list, fuel_values) ||
+        !parse_doubles(delivered_list, delivered_values) ||
+        !parse_doubles(startups_list, startup_values) ||
+        !parse_doubles(wear_list, wear_values) ||
+        fuel_values.size() != stack_count ||
+        delivered_values.size() != stack_count ||
+        startup_values.size() != stack_count ||
+        wear_values.size() != stack_count) {
+      return false;
+    }
+    stacks::StacksStats stats;
+    stats.distribution = static_cast<stacks::Distribution>(dist);
+    stats.stacks.resize(stack_count);
+    for (std::size_t i = 0; i < stack_count; ++i) {
+      if (startup_values[i] < 0.0 ||
+          startup_values[i] != std::floor(startup_values[i])) {
+        return false;
+      }
+      stats.stacks[i].fuel_as = fuel_values[i];
+      stats.stacks[i].delivered_as = delivered_values[i];
+      stats.stacks[i].startups = static_cast<std::size_t>(startup_values[i]);
+      stats.stacks[i].wear = wear_values[i];
+    }
+    r.stacks = std::move(stats);
   }
   return true;
 }

@@ -71,6 +71,12 @@ dpm::PredictiveDpmPolicy make_dpm_policy(const ExperimentConfig& config) {
 }
 
 power::HybridPowerSource make_hybrid(const ExperimentConfig& config) {
+  if (config.stacks.enabled) {
+    return power::HybridPowerSource(
+        stacks::make_multi_stack(config.stacks, config.efficiency),
+        std::make_unique<power::SuperCapacitor>(config.storage_capacity,
+                                                1.0));
+  }
   return power::HybridPowerSource(
       std::make_unique<power::LinearFuelSource>(config.efficiency),
       std::make_unique<power::SuperCapacitor>(config.storage_capacity,

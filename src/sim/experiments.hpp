@@ -46,6 +46,11 @@ struct ExperimentConfig {
   /// own instance).
   cap::CapSpec cap;
 
+  /// Opt-in multi-stack fuel source. When enabled, make_hybrid builds a
+  /// stacks::MultiStackFuelSource (N copies of `efficiency`, or the
+  /// spec's heterogeneous fleet CSV) instead of a LinearFuelSource.
+  stacks::StacksSpec stacks;
+
   SimulationOptions simulation;
 };
 

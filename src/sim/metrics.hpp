@@ -11,6 +11,7 @@
 #include "fault/fault.hpp"
 #include "power/hybrid.hpp"
 #include "sim/recorder.hpp"
+#include "stacks/multi_stack.hpp"
 
 namespace fcdpm::sim {
 
@@ -60,6 +61,10 @@ struct SimulationResult {
   /// attached (a run the governor never throttled yields zeroed
   /// counters and a full time-at-top-level histogram).
   std::optional<cap::CapStats> cap;
+
+  /// Per-stack accounting; present iff the hybrid's fuel source was a
+  /// stacks::MultiStackFuelSource.
+  std::optional<stacks::StacksStats> stacks;
 
   /// The paper's headline metric: fuel consumed, in stack A-s.
   [[nodiscard]] Coulomb fuel() const { return totals.fuel; }

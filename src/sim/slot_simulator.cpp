@@ -10,6 +10,7 @@
 #include "obs/profiler.hpp"
 #include "sim/fault_guard.hpp"
 #include "sim/observer_guard.hpp"
+#include "stacks/multi_stack.hpp"
 
 namespace fcdpm::sim {
 
@@ -139,11 +140,11 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   if (governor != nullptr && !options.preserve_source_state) {
     governor->reset();
   }
-  // The load-following ceiling is a per-run characterization (both fuel
-  // sources return a stored constant), hoisted past the virtual call so
-  // the per-slot governor cost is pure arithmetic.
-  const double fc_ceiling_a =
-      governor != nullptr ? hybrid.source().max_output().value() : 0.0;
+  // The load-following floor is a per-run characterization (every fuel
+  // source returns a stored constant); the ceiling is re-read per slot
+  // below, because a degrading multi-stack source lowers its deliverable
+  // envelope as wear accrues and the governor must budget against the
+  // live value. Constant sources return the same bits every slot.
   const double fc_floor_a =
       governor != nullptr ? hybrid.source().min_output().value() : 0.0;
 
@@ -200,7 +201,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       demand.run_current_a = run_current.value();
       demand.active_s = active_eff.value();
       demand.bus_v = device.bus_voltage.value();
-      double fc_max = fc_ceiling_a;
+      double fc_max = hybrid.source().max_output().value();
       if (faults != nullptr) {
         const fault::ActiveFaults& af = faults->active();
         if (af.fc_dropout) {
@@ -401,6 +402,19 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
       obs->gauge("cap.time_deferred_s", result.cap->time_deferred.value());
       obs->gauge("cap.budget_violations",
                  static_cast<double>(result.cap->budget_violations));
+    }
+  }
+
+  if (const auto* multi = dynamic_cast<const stacks::MultiStackFuelSource*>(
+          &hybrid.source())) {
+    result.stacks = multi->stats();
+    if (obs != nullptr && obs->metering()) {
+      obs->gauge("stacks.count",
+                 static_cast<double>(result.stacks->stacks.size()));
+      obs->gauge("stacks.startups",
+                 static_cast<double>(result.stacks->total_startups()));
+      obs->gauge("stacks.delivered_as", result.stacks->total_delivered_as());
+      obs->gauge("stacks.max_wear", result.stacks->max_wear());
     }
   }
 

@@ -1,0 +1,291 @@
+#include "stacks/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace fcdpm::stacks {
+namespace {
+
+double clamp_share(double x, double lo, double hi) {
+  if (x < lo) {
+    return lo;
+  }
+  return x > hi ? hi : x;
+}
+
+/// Proportional split by derated ceiling, repaired by idling every
+/// stack whose proportional share falls below its minimum (all
+/// violators per pass, so the result is order-independent) and
+/// re-splitting across the survivors.
+void distribute_proportional(double total, const std::vector<StackUnit>& stacks,
+                             std::vector<double>& shares) {
+  const std::size_t n = stacks.size();
+  std::vector<char> active(n, 1);
+  for (std::size_t pass = 0; pass < n; ++pass) {
+    double total_cap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] != 0) {
+        total_cap += stacks[i].derated_ceiling().value();
+      }
+    }
+    if (total_cap <= 0.0) {
+      break;
+    }
+    bool repaired = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] == 0) {
+        shares[i] = 0.0;
+        continue;
+      }
+      const double cap = stacks[i].derated_ceiling().value();
+      const double share = total * (cap / total_cap);
+      if (share < stacks[i].curve().min_output().value()) {
+        active[i] = 0;
+        shares[i] = 0.0;
+        repaired = true;
+      } else {
+        shares[i] = share > cap ? cap : share;
+      }
+    }
+    if (!repaired) {
+      return;
+    }
+  }
+  // Everyone idled: the total is too small for any proportional split.
+  // Commit it to the stack with the smallest minimum (ties: lowest
+  // index), clamped into that stack's range.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < stacks.size(); ++i) {
+    if (stacks[i].curve().min_output() < stacks[best].curve().min_output()) {
+      best = i;
+    }
+  }
+  std::fill(shares.begin(), shares.end(), 0.0);
+  shares[best] =
+      clamp_share(total, stacks[best].curve().min_output().value(),
+                  stacks[best].derated_ceiling().value());
+}
+
+/// Marginal fuel cost d(fuel)/d(share) of stack i at output x:
+///   k * alpha / (fade * (alpha - beta*x)^2)
+double marginal_cost(const StackUnit& stack, double x) {
+  const auto& c = stack.curve();
+  const double eta = c.alpha() - c.beta() * x;
+  return c.k() * c.alpha() / (stack.fade() * eta * eta);
+}
+
+/// Inverse of the marginal cost: the output at which stack i's marginal
+/// cost equals lambda (beta == 0 stacks have a constant marginal cost
+/// and are handled by the caller's clamping).
+double share_at_lambda(const StackUnit& stack, double lambda) {
+  const auto& c = stack.curve();
+  if (c.beta() == 0.0) {
+    // Constant marginal: all-or-nothing around the threshold.
+    return lambda >= marginal_cost(stack, 0.0)
+               ? stack.derated_ceiling().value()
+               : stack.curve().min_output().value();
+  }
+  const double eta = std::sqrt(c.k() * c.alpha() / (stack.fade() * lambda));
+  return (c.alpha() - eta) / c.beta();
+}
+
+double fuel_of(const std::vector<StackUnit>& stacks,
+               const std::vector<double>& shares) {
+  double fuel = 0.0;
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    fuel += stacks[i].fuel_current(Ampere(shares[i])).value();
+  }
+  return fuel;
+}
+
+/// Water-filling: order stacks by marginal cost at their minimum, try
+/// every prefix as the active set, equalize marginal cost inside it by
+/// bisection on lambda, and keep the feasible candidate with the least
+/// fuel (ties: fewer stacks).
+void distribute_waterfill(double total, const std::vector<StackUnit>& stacks,
+                          std::vector<double>& shares) {
+  const std::size_t n = stacks.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> entry_cost(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entry_cost[i] = marginal_cost(stacks[i], stacks[i].curve().min_output().value());
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (entry_cost[a] != entry_cost[b]) {
+      return entry_cost[a] < entry_cost[b];
+    }
+    return a < b;
+  });
+
+  double best_fuel = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n, 0.0);
+  std::vector<double> candidate(n);
+  bool found = false;
+
+  for (std::size_t m = 1; m <= n; ++m) {
+    double sum_min = 0.0;
+    double sum_cap = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const StackUnit& s = stacks[order[j]];
+      sum_min += s.curve().min_output().value();
+      sum_cap += s.derated_ceiling().value();
+    }
+    // A candidate set must be able to carry the total without forced
+    // over- or under-delivery; m == 1 is kept as the clamp-of-last-
+    // resort for tiny totals, m == n for totals above every ceiling.
+    if (sum_min > total && m > 1) {
+      continue;
+    }
+    if (sum_cap < total && m < n) {
+      continue;
+    }
+
+    std::fill(candidate.begin(), candidate.end(), 0.0);
+    if (m == 1) {
+      const StackUnit& s = stacks[order[0]];
+      candidate[order[0]] = clamp_share(total, s.curve().min_output().value(),
+                                        s.derated_ceiling().value());
+    } else {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = 0.0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const StackUnit& s = stacks[order[j]];
+        lo = std::min(lo, marginal_cost(s, s.curve().min_output().value()));
+        hi = std::max(hi, marginal_cost(s, s.derated_ceiling().value()));
+      }
+      for (int iter = 0; iter < 64; ++iter) {
+        const double lambda = 0.5 * (lo + hi);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+          const StackUnit& s = stacks[order[j]];
+          sum += clamp_share(share_at_lambda(s, lambda),
+                             s.curve().min_output().value(),
+                             s.derated_ceiling().value());
+        }
+        if (sum < total) {
+          lo = lambda;
+        } else {
+          hi = lambda;
+        }
+      }
+      const double lambda = 0.5 * (lo + hi);
+      for (std::size_t j = 0; j < m; ++j) {
+        const StackUnit& s = stacks[order[j]];
+        candidate[order[j]] =
+            clamp_share(share_at_lambda(s, lambda),
+                        s.curve().min_output().value(),
+                        s.derated_ceiling().value());
+      }
+    }
+
+    const double fuel = fuel_of(stacks, candidate);
+    if (!found || fuel < best_fuel) {
+      found = true;
+      best_fuel = fuel;
+      best = candidate;
+    }
+  }
+
+  shares = best;
+}
+
+/// Health-aware commitment: greedily fill the least-worn stacks (ties:
+/// lowest index) so the most-degraded stack carries load only when the
+/// healthier ones cannot absorb the total.
+void distribute_health(double total, const std::vector<StackUnit>& stacks,
+                       std::vector<double>& shares) {
+  const std::size_t n = stacks.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double wa = stacks[a].wear();
+    const double wb = stacks[b].wear();
+    if (wa != wb) {
+      return wa < wb;
+    }
+    return a < b;
+  });
+  double remaining = total;
+  bool any = false;
+  for (const std::size_t i : order) {
+    const double lo = stacks[i].curve().min_output().value();
+    const double cap = stacks[i].derated_ceiling().value();
+    if (remaining >= lo) {
+      const double share = remaining < cap ? remaining : cap;
+      shares[i] = share;
+      remaining -= share;
+      any = true;
+    } else {
+      shares[i] = 0.0;
+    }
+  }
+  if (!any) {
+    // Total below even the healthiest stack's minimum: the healthiest
+    // stack carries it clamped rather than dropping the setpoint.
+    const std::size_t i = order[0];
+    shares[i] = clamp_share(total, stacks[i].curve().min_output().value(),
+                            stacks[i].derated_ceiling().value());
+  }
+}
+
+}  // namespace
+
+const char* to_string(Distribution policy) noexcept {
+  switch (policy) {
+    case Distribution::Proportional:
+      return "proportional";
+    case Distribution::Waterfill:
+      return "waterfill";
+    case Distribution::Health:
+      return "health";
+  }
+  return "proportional";
+}
+
+Distribution parse_distribution(const std::string& text) {
+  if (text == "proportional") {
+    return Distribution::Proportional;
+  }
+  if (text == "waterfill") {
+    return Distribution::Waterfill;
+  }
+  if (text == "health") {
+    return Distribution::Health;
+  }
+  throw std::runtime_error("unknown distribution policy: " + text +
+                           " (expected proportional|waterfill|health)");
+}
+
+void distribute(Distribution policy, double total,
+                const std::vector<StackUnit>& stacks,
+                std::vector<double>& shares) {
+  const std::size_t n = stacks.size();
+  shares.assign(n, 0.0);
+  if (n == 0 || total <= 0.0) {
+    return;
+  }
+  if (n == 1) {
+    // Single stack: the plain range clamp, identical bits for every
+    // policy (and an identity for any in-range total).
+    shares[0] = clamp_share(total, stacks[0].curve().min_output().value(),
+                            stacks[0].derated_ceiling().value());
+    return;
+  }
+  switch (policy) {
+    case Distribution::Proportional:
+      distribute_proportional(total, stacks, shares);
+      return;
+    case Distribution::Waterfill:
+      distribute_waterfill(total, stacks, shares);
+      return;
+    case Distribution::Health:
+      distribute_health(total, stacks, shares);
+      return;
+  }
+}
+
+}  // namespace fcdpm::stacks

@@ -1,0 +1,50 @@
+// Power-distribution policies for a multi-stack fuel source: how one
+// shared FC setpoint IF is split into per-stack shares.
+//
+//   proportional — split by deliverable capability (derated ceilings);
+//                  the naive baseline every deployment starts from.
+//   waterfill    — efficiency-optimal: equalize marginal fuel cost
+//                  across the active set (water-filling on the
+//                  per-stack eta(IF) curves, arXiv 1601.07275), trying
+//                  every active-set size and keeping the cheapest.
+//   health       — health-aware commitment: load the least-worn stacks
+//                  first so the most-degraded one rests
+//                  (arXiv 1710.08812).
+//
+// All policies are pure deterministic double arithmetic over the stack
+// states — both engines and any worker count see identical shares. A
+// single-stack source short-circuits before policy dispatch, so every
+// policy is bit-identical to the plain clamp at N=1.
+//
+// Shares respect each active stack's [min, derated-ceiling] range; a
+// stack that cannot be given its minimum idles at 0. Shares need not
+// sum exactly to IF — the hybrid's charge flows use the total, shares
+// feed only fuel and degradation accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stacks/stack.hpp"
+
+namespace fcdpm::stacks {
+
+enum class Distribution {
+  Proportional = 0,
+  Waterfill = 1,
+  Health = 2,
+};
+
+[[nodiscard]] const char* to_string(Distribution policy) noexcept;
+
+/// Parse "proportional" | "waterfill" | "health" (case-sensitive);
+/// throws std::runtime_error on anything else.
+[[nodiscard]] Distribution parse_distribution(const std::string& text);
+
+/// Split `total` amperes across `stacks`; writes one share per stack
+/// into `shares` (resized and overwritten). total <= 0 idles everything.
+void distribute(Distribution policy, double total,
+                const std::vector<StackUnit>& stacks,
+                std::vector<double>& shares);
+
+}  // namespace fcdpm::stacks

@@ -1,0 +1,114 @@
+// One FC stack inside a MultiStackFuelSource: a per-stack linear
+// efficiency curve (the paper's Eq. (4) characterization, possibly with
+// different alpha/beta/range per stack) plus a cumulative degradation
+// state. Efficiency fades with delivered charge and with on/off cycles
+// (health-aware multi-stack EMS, arXiv 2310.13208; post-prognostics
+// commitment, arXiv 1710.08812):
+//
+//   wear  = delivered_As * charge_fade_per_as + startups * cycle_fade
+//   fade  = 1 / (1 + wear)            (1.0 for a fresh stack)
+//   fuel  = stack_current(share) / fade
+//   ceiling = max(if_min, if_max * fade)
+//
+// A fresh stack (both fade rates zero, or nothing delivered yet) takes
+// guarded paths that return the nominal model's bits exactly — this is
+// what keeps an N=1 multi-stack source bit-identical to the plain
+// LinearFuelSource it generalizes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::stacks {
+
+/// Degradation rates; both default to zero (no fade).
+struct StackWearConfig {
+  /// Wear added per delivered ampere-second.
+  double charge_fade_per_as = 0.0;
+  /// Wear added per off->on transition (restart stress).
+  double cycle_fade = 0.0;
+};
+
+/// Cumulative degradation state, accrued segment by segment.
+struct StackState {
+  double delivered_as = 0.0;  ///< total output charge delivered
+  std::size_t startups = 0;   ///< off -> on transitions
+  bool running = true;        ///< carried positive share last segment
+};
+
+/// Curve + wear config + state for one stack. Value type; copies carry
+/// the degradation state (MultiStackFuelSource::clone relies on this).
+class StackUnit {
+ public:
+  StackUnit(power::LinearEfficiencyModel curve, StackWearConfig wear_config)
+      : curve_(curve), wear_config_(wear_config) {}
+
+  [[nodiscard]] const power::LinearEfficiencyModel& curve() const noexcept {
+    return curve_;
+  }
+  [[nodiscard]] const StackWearConfig& wear_config() const noexcept {
+    return wear_config_;
+  }
+  [[nodiscard]] const StackState& state() const noexcept { return state_; }
+
+  /// Accumulated wear (dimensionless, >= 0).
+  [[nodiscard]] double wear() const noexcept {
+    return state_.delivered_as * wear_config_.charge_fade_per_as +
+           static_cast<double>(state_.startups) * wear_config_.cycle_fade;
+  }
+
+  /// Efficiency fade factor 1/(1+wear); exactly 1.0 for a fresh stack.
+  [[nodiscard]] double fade() const noexcept {
+    const double w = wear();
+    return w > 0.0 ? 1.0 / (1.0 + w) : 1.0;
+  }
+
+  /// Deliverable ceiling after degradation. Guarded so an un-degraded
+  /// stack returns the nominal maximum bit-for-bit.
+  [[nodiscard]] Ampere derated_ceiling() const noexcept {
+    const double f = fade();
+    if (f >= 1.0) {
+      return curve_.max_output();
+    }
+    return max(curve_.min_output(), curve_.max_output() * f);
+  }
+
+  /// Fuel (stack) current burning `share` on this stack; a degraded
+  /// stack burns 1/fade more. Guarded so an un-degraded stack returns
+  /// the nominal model's bits.
+  [[nodiscard]] Ampere fuel_current(Ampere share) const {
+    if (share.value() == 0.0) {
+      return Ampere(0.0);
+    }
+    const Ampere nominal = curve_.stack_current(share);
+    const double f = fade();
+    if (f >= 1.0) {
+      return nominal;
+    }
+    return nominal / f;
+  }
+
+  /// Accrue one integrated segment's share (0 = this stack idled).
+  void note_delivery(Ampere share, Seconds duration) {
+    const bool on = share.value() > 0.0;
+    if (on) {
+      state_.delivered_as += share.value() * duration.value();
+      if (!state_.running) {
+        ++state_.startups;
+      }
+    }
+    state_.running = on;
+  }
+
+  /// Back to the fresh-build state.
+  void reset() { state_ = StackState{}; }
+
+ private:
+  power::LinearEfficiencyModel curve_;
+  StackWearConfig wear_config_;
+  StackState state_;
+};
+
+}  // namespace fcdpm::stacks

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/contracts.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
 
 namespace fcdpm::power {
 namespace {
@@ -224,6 +228,108 @@ TEST(Hybrid, ResetClearsStartupCount) {
   hybrid.reset(Coulomb(25.0));
   EXPECT_EQ(hybrid.startups(), 0u);
   EXPECT_THROW(hybrid.set_startup_fuel(Coulomb(-1.0)), PreconditionError);
+}
+
+// Regression: a fuel-system fault must tax the restart purge too. The
+// penalty used to be applied before startup fuel was added, so a storm
+// that power-cycled the FC refueled its purges at the un-penalized rate.
+TEST(HybridFaults, FuelPenaltyTaxesTheStartupPurge) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(50.0));
+  hybrid.reset(Coulomb(25.0));
+  hybrid.set_startup_fuel(Coulomb(2.0));
+  fault::FaultSchedule schedule;
+  // Permanent StackDegradation at half efficiency: fuel_penalty = 2.
+  schedule.add({fault::FaultKind::StackDegradation, Seconds(0.0),
+                Seconds(0.0), 0.5});
+  fault::FaultInjector injector(schedule);
+  hybrid.set_fault_injector(&injector);
+
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.0));
+  const SegmentResult restart =
+      hybrid.run_segment(Seconds(5.0), Ampere(0.2), Ampere(0.3));
+  EXPECT_EQ(hybrid.startups(), 1u);
+
+  const double g03 = 0.32 * 0.3 / (0.45 - 0.13 * 0.3);
+  EXPECT_NEAR(restart.fuel.value(), (g03 * 5.0 + 2.0) * 2.0, 1e-9);
+}
+
+// Regression: the storage-fade pre-drain used to bleed straight into
+// the totals without appearing in any SegmentResult, so per-segment
+// sums under-reported the bleeder. `pre_bled` closes the gap.
+TEST(HybridFaults, PreDrainIsSurfacedAsPreBled) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  hybrid.reset(Coulomb(0.0));
+  fault::FaultSchedule schedule;
+  schedule.add({fault::FaultKind::StorageFade, Seconds(10.0), Seconds(0.0),
+                0.5});
+  fault::FaultInjector injector(schedule);
+  hybrid.set_fault_injector(&injector);
+
+  // Fill to 9 A-s before the fade lands.
+  const SegmentResult fill =
+      hybrid.run_segment(Seconds(10.0), Ampere(0.0), Ampere(0.9));
+  EXPECT_DOUBLE_EQ(fill.pre_bled.value(), 0.0);
+  // Fade active: 9 A-s held against a 5 A-s faded ceiling drains 4
+  // through the bleeder before this segment's flows.
+  const SegmentResult faded =
+      hybrid.run_segment(Seconds(10.0), Ampere(0.0), Ampere(0.5));
+  EXPECT_NEAR(faded.pre_bled.value(), 4.0, 1e-12);
+  const Coulomb acc = fill.pre_bled + fill.bled + faded.pre_bled +
+                      faded.bled;
+  EXPECT_EQ(acc.value(), hybrid.totals().bled.value());
+}
+
+// Invariant: accumulating each segment's pre_bled + bled in order
+// reproduces the run's bleed total bit-exactly, storms included.
+TEST(HybridFaults, SegmentBledSumsReconcileWithTotalsUnderStorms) {
+  const std::uint64_t seeds[] = {3, 17, 99};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE(seed);
+    HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(6.0));
+    hybrid.reset(Coulomb(3.0));
+    fault::FaultInjector injector(
+        fault::FaultSchedule::random_storm(seed, 10, Seconds(300.0)));
+    hybrid.set_fault_injector(&injector);
+    const double loads[] = {0.2, 0.0, 1.1, 0.5, 0.8};
+    const double setpoints[] = {0.0, 0.1, 0.6, 1.2, 0.3};
+    Coulomb acc{0.0};
+    for (int k = 0; k < 60; ++k) {
+      const SegmentResult r = hybrid.run_segment(
+          Seconds(5.0), Ampere(loads[k % 5]), Ampere(setpoints[(k / 5) % 5]));
+      acc += r.pre_bled;
+      acc += r.bled;
+    }
+    EXPECT_EQ(acc.value(), hybrid.totals().bled.value());
+  }
+}
+
+// Regression: recovery accounting used to report the fraction of the
+// *nominal* capacity while a storage fade was active, so a buffer
+// riding its derated ceiling read as half-empty and the recovery clock
+// kept running long after the buffer held all it could.
+TEST(HybridFaults, RecoveryFractionUsesTheDeratedCapacity) {
+  HybridPowerSource hybrid = make_lossless_hybrid(Coulomb(10.0));
+  hybrid.reset(Coulomb(10.0));
+  fault::FaultSchedule schedule;
+  schedule.add({fault::FaultKind::StorageFade, Seconds(5.0), Seconds(5.0),
+                0.5});
+  fault::FaultInjector injector(schedule);
+  hybrid.set_fault_injector(&injector);
+
+  // Pre-fault: full buffer, balanced flows (fraction 1.0 snapshotted).
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.1), Ampere(0.1));
+  // Fade window: pre-drain to 5 A-s = the derated ceiling, i.e. as full
+  // as the faded buffer can be. The episode clears at this segment's
+  // end, and the boundary report must say "full", completing recovery
+  // immediately.
+  (void)hybrid.run_segment(Seconds(5.0), Ampere(0.1), Ampere(0.1));
+  // Refill to nominal full; with the nominal-fraction bug the recovery
+  // clock would only stop here, accruing the whole refill time.
+  for (int k = 0; k < 3; ++k) {
+    (void)hybrid.run_segment(Seconds(5.0), Ampere(0.1), Ampere(0.5));
+  }
+  EXPECT_NEAR(hybrid.storage().charge().value(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(injector.stats().recovery_time.value(), 0.0);
 }
 
 TEST(Hybrid, PaperHybridFactoryConfiguration) {

@@ -90,6 +90,24 @@ void expect_same_record(const JournalRecord& a, const JournalRecord& b) {
   EXPECT_EQ(a.result.storage_end.value(), b.result.storage_end.value());
   EXPECT_EQ(a.result.storage_min.value(), b.result.storage_min.value());
   EXPECT_EQ(a.result.storage_max.value(), b.result.storage_max.value());
+  EXPECT_EQ(a.point.stacks, b.point.stacks);
+  EXPECT_EQ(a.point.distribution, b.point.distribution);
+  ASSERT_EQ(a.result.stacks.has_value(), b.result.stacks.has_value());
+  if (a.result.stacks.has_value()) {
+    const stacks::StacksStats& sa = *a.result.stacks;
+    const stacks::StacksStats& sb = *b.result.stacks;
+    EXPECT_EQ(sa.distribution, sb.distribution);
+    ASSERT_EQ(sa.stacks.size(), sb.stacks.size());
+    for (std::size_t j = 0; j < sa.stacks.size(); ++j) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.stacks[j].fuel_as),
+                std::bit_cast<std::uint64_t>(sb.stacks[j].fuel_as));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.stacks[j].delivered_as),
+                std::bit_cast<std::uint64_t>(sb.stacks[j].delivered_as));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.stacks[j].wear),
+                std::bit_cast<std::uint64_t>(sb.stacks[j].wear));
+      EXPECT_EQ(sa.stacks[j].startups, sb.stacks[j].startups);
+    }
+  }
   ASSERT_EQ(a.result.cap.has_value(), b.result.cap.has_value());
   if (a.result.cap.has_value()) {
     const cap::CapStats& ca = *a.result.cap;
@@ -244,6 +262,43 @@ TEST(JournalTest, CapStatsRoundTripBitExactly) {
   EXPECT_TRUE(load.records[0].result.cap.has_value());
   expect_same_record(load.records[1], written[1]);
   EXPECT_FALSE(load.records[1].result.cap.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, StacksStatsRoundTripBitExactly) {
+  const std::string path = temp_path("stacks.fcj");
+  const std::vector<par::SweepPoint> points = grid_points(1);
+  ASSERT_GE(points.size(), 2u);
+
+  std::vector<JournalRecord> written;
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 0x57ac});
+    JournalRecord stacked = make_record(0, points[0]);
+    stacked.point.stacks = 3;
+    stacked.point.distribution = stacks::Distribution::Health;
+    stacks::StacksStats stats;
+    stats.distribution = stacks::Distribution::Health;
+    stats.stacks.resize(3);
+    stats.stacks[0] = {1.0 / 3.0, 5e-324, 7, 0.1 + 0.2};
+    stats.stacks[1] = {-0.0, 3.141592653589793, 0, 0.0};
+    stats.stacks[2] = {42.0, 1e300, 12, 2.2250738585072014e-308};
+    stacked.result.stacks = stats;
+    journal.append(stacked);
+    written.push_back(stacked);
+
+    const JournalRecord plain = make_record(1, points[1]);
+    journal.append(plain);
+    written.push_back(plain);
+  }
+
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 2u);
+  expect_same_record(load.records[0], written[0]);
+  EXPECT_TRUE(load.records[0].result.stacks.has_value());
+  EXPECT_EQ(load.records[0].point.stacks, 3u);
+  expect_same_record(load.records[1], written[1]);
+  EXPECT_FALSE(load.records[1].result.stacks.has_value());
+  EXPECT_EQ(load.records[1].point.stacks, 0u);
   std::remove(path.c_str());
 }
 
@@ -416,6 +471,33 @@ TEST(GridFingerprintTest, SensitiveToConfigPointsAndStormSize) {
   sim::ExperimentConfig disabled_tweak = base;
   disabled_tweak.cap.hysteresis_slots = 7;  // inert while disabled
   EXPECT_EQ(grid_fingerprint(disabled_tweak, points, 12), reference);
+
+  // Same contract for the multi-stack spec: enabled participates (count,
+  // distribution and fade rates all matter), disabled stays inert.
+  sim::ExperimentConfig stacked = base;
+  stacked.stacks.enabled = true;
+  stacked.stacks.count = 3;
+  const std::uint64_t stacked_print = grid_fingerprint(stacked, points, 12);
+  EXPECT_NE(stacked_print, reference);
+  stacked.stacks.distribution = stacks::Distribution::Waterfill;
+  EXPECT_NE(grid_fingerprint(stacked, points, 12), stacked_print);
+  stacked.stacks.distribution = stacks::Distribution::Proportional;
+  stacked.stacks.charge_fade_per_as = 1e-5;
+  EXPECT_NE(grid_fingerprint(stacked, points, 12), stacked_print);
+
+  sim::ExperimentConfig stacks_inert = base;
+  stacks_inert.stacks.count = 5;  // inert while disabled
+  stacks_inert.stacks.cycle_fade = 0.25;
+  EXPECT_EQ(grid_fingerprint(stacks_inert, points, 12), reference);
+
+  // Per-point stack axes participate too.
+  std::vector<par::SweepPoint> stack_points = points;
+  stack_points[0].stacks = 2;
+  EXPECT_NE(grid_fingerprint(base, stack_points, 12), reference);
+  std::vector<par::SweepPoint> dist_points = stack_points;
+  dist_points[0].distribution = stacks::Distribution::Health;
+  EXPECT_NE(grid_fingerprint(base, dist_points, 12),
+            grid_fingerprint(base, stack_points, 12));
 }
 
 }  // namespace

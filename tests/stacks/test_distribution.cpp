@@ -1,0 +1,155 @@
+#include "stacks/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::stacks {
+namespace {
+
+power::LinearEfficiencyModel curve(double alpha, double beta) {
+  return power::LinearEfficiencyModel(Volt(12.0), 37.5, alpha, beta,
+                                      Ampere(0.1), Ampere(1.2));
+}
+
+StackUnit stack_with(double alpha, double beta,
+                     StackWearConfig wear = {}) {
+  return StackUnit(curve(alpha, beta), wear);
+}
+
+double fuel_of(const std::vector<StackUnit>& stacks,
+               const std::vector<double>& shares) {
+  double fuel = 0.0;
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    fuel += stacks[i].fuel_current(Ampere(shares[i])).value();
+  }
+  return fuel;
+}
+
+void expect_feasible(const std::vector<StackUnit>& stacks,
+                     const std::vector<double>& shares) {
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    SCOPED_TRACE(i);
+    if (shares[i] != 0.0) {
+      EXPECT_GE(shares[i], stacks[i].curve().min_output().value());
+      EXPECT_LE(shares[i], stacks[i].derated_ceiling().value() + 1e-12);
+    }
+  }
+}
+
+TEST(Distribution, NamesRoundTrip) {
+  for (const Distribution d : {Distribution::Proportional,
+                               Distribution::Waterfill,
+                               Distribution::Health}) {
+    EXPECT_EQ(parse_distribution(to_string(d)), d);
+  }
+  EXPECT_THROW((void)parse_distribution("fair"), std::runtime_error);
+  EXPECT_THROW((void)parse_distribution(""), std::runtime_error);
+}
+
+TEST(Distribution, SingleStackIsThePlainRangeClamp) {
+  const std::vector<StackUnit> one = {stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  for (const Distribution d : {Distribution::Proportional,
+                               Distribution::Waterfill,
+                               Distribution::Health}) {
+    distribute(d, 0.7, one, shares);
+    EXPECT_EQ(shares, std::vector<double>{0.7});  // in-range: identity
+    distribute(d, 0.05, one, shares);
+    EXPECT_EQ(shares, std::vector<double>{0.1});  // clamped up to min
+    distribute(d, 3.0, one, shares);
+    EXPECT_EQ(shares, std::vector<double>{1.2});  // clamped to ceiling
+  }
+}
+
+TEST(Distribution, ZeroTotalIdlesEveryStack) {
+  const std::vector<StackUnit> two = {stack_with(0.45, 0.13),
+                                      stack_with(0.36, 0.13)};
+  std::vector<double> shares;
+  distribute(Distribution::Waterfill, 0.0, two, shares);
+  EXPECT_EQ(shares, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(Distribution, ProportionalSplitsByDeratedCeiling) {
+  const std::vector<StackUnit> two = {stack_with(0.45, 0.13),
+                                      stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  distribute(Distribution::Proportional, 1.0, two, shares);
+  EXPECT_DOUBLE_EQ(shares[0], 0.5);
+  EXPECT_DOUBLE_EQ(shares[1], 0.5);
+}
+
+TEST(Distribution, ProportionalIdlesUnderMinStacksAndResplits) {
+  // Total 0.15: a 50/50 split gives 0.075 < min 0.1 on both; the repair
+  // idles both, then the fallback commits the total to one stack.
+  const std::vector<StackUnit> two = {stack_with(0.45, 0.13),
+                                      stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  distribute(Distribution::Proportional, 0.15, two, shares);
+  EXPECT_DOUBLE_EQ(shares[0], 0.15);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+}
+
+TEST(Distribution, WaterfillNeverBurnsMoreThanProportional) {
+  // Heterogeneous efficiency: stack 0 is the paper curve, stack 1 runs
+  // visibly less efficient at every operating point.
+  const std::vector<StackUnit> fleet = {stack_with(0.45, 0.13),
+                                        stack_with(0.36, 0.13)};
+  std::vector<double> prop;
+  std::vector<double> water;
+  bool strictly_better = false;
+  for (double total = 0.3; total <= 2.3; total += 0.2) {
+    SCOPED_TRACE(total);
+    distribute(Distribution::Proportional, total, fleet, prop);
+    distribute(Distribution::Waterfill, total, fleet, water);
+    expect_feasible(fleet, water);
+    const double fp = fuel_of(fleet, prop);
+    const double fw = fuel_of(fleet, water);
+    EXPECT_LE(fw, fp + 1e-9);
+    if (fw < fp - 1e-6) {
+      strictly_better = true;
+    }
+  }
+  EXPECT_TRUE(strictly_better);
+}
+
+TEST(Distribution, WaterfillEqualizesMarginalCostAcrossIdenticalStacks) {
+  const std::vector<StackUnit> two = {stack_with(0.45, 0.13),
+                                      stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  distribute(Distribution::Waterfill, 1.6, two, shares);
+  EXPECT_NEAR(shares[0] + shares[1], 1.6, 1e-9);
+  EXPECT_NEAR(shares[0], shares[1], 1e-9);
+}
+
+TEST(Distribution, HealthRestsTheMostDegradedStack) {
+  StackUnit worn = stack_with(0.45, 0.13, {0.01, 0.0});
+  worn.note_delivery(Ampere(1.0), Seconds(100.0));  // wear 1.0
+  const std::vector<StackUnit> fleet = {worn, stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  // The fresh stack can absorb the whole total: the worn one rests.
+  distribute(Distribution::Health, 0.8, fleet, shares);
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.8);
+  // Beyond the fresh stack's ceiling the worn one takes the remainder.
+  distribute(Distribution::Health, 1.5, fleet, shares);
+  EXPECT_DOUBLE_EQ(shares[1], 1.2);
+  EXPECT_NEAR(shares[0], 0.3, 1e-12);
+  expect_feasible(fleet, shares);
+}
+
+TEST(Distribution, HealthFallsBackToTheHealthiestForTinyTotals) {
+  StackUnit worn = stack_with(0.45, 0.13, {0.01, 0.0});
+  worn.note_delivery(Ampere(1.0), Seconds(100.0));
+  const std::vector<StackUnit> fleet = {worn, stack_with(0.45, 0.13)};
+  std::vector<double> shares;
+  distribute(Distribution::Health, 0.05, fleet, shares);
+  EXPECT_DOUBLE_EQ(shares[0], 0.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.1);  // clamped up to the fresh min
+}
+
+}  // namespace
+}  // namespace fcdpm::stacks

@@ -1,0 +1,206 @@
+#include "stacks/multi_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+
+namespace fcdpm::stacks {
+namespace {
+
+power::LinearEfficiencyModel paper_curve() {
+  return power::LinearEfficiencyModel::paper_default();
+}
+
+std::string temp_csv(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "fcdpm_stacks_" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << body;
+  return path;
+}
+
+TEST(MultiStack, SingleStackMatchesLinearFuelSourceBitForBit) {
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 1;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  const power::LinearFuelSource plain(paper_curve());
+  EXPECT_EQ(multi->min_output().value(), plain.min_output().value());
+  EXPECT_EQ(multi->max_output().value(), plain.max_output().value());
+  EXPECT_EQ(multi->bus_voltage().value(), plain.bus_voltage().value());
+  // The contract domain is zero or [min, max] — the engines never ask
+  // for a sub-minimum nonzero current (the fleet layer clamps those up).
+  EXPECT_EQ(multi->fuel_current(Ampere(0.0)).value(),
+            plain.fuel_current(Ampere(0.0)).value());
+  for (int k = 10; k <= 120; ++k) {
+    const double i_f = k / 100.0;
+    EXPECT_EQ(multi->fuel_current(Ampere(i_f)).value(),
+              plain.fuel_current(Ampere(i_f)).value());
+  }
+}
+
+TEST(MultiStack, HomogeneousFleetSharesTheEnvelope) {
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 3;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  EXPECT_EQ(multi->stacks().size(), 3u);
+  EXPECT_DOUBLE_EQ(multi->min_output().value(), 0.1);
+  EXPECT_DOUBLE_EQ(multi->max_output().value(), 3.6);
+}
+
+TEST(MultiStack, DegradationShrinksTheEnvelopeAndRaisesFuel) {
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 2;
+  spec.charge_fade_per_as = 1e-3;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  const double fresh_max = multi->max_output().value();
+  const double fresh_fuel = multi->fuel_current(Ampere(1.0)).value();
+  for (int k = 0; k < 100; ++k) {
+    multi->note_delivery(Ampere(1.0), Seconds(10.0));
+  }
+  EXPECT_GT(multi->stats().max_wear(), 0.0);
+  EXPECT_LT(multi->max_output().value(), fresh_max);
+  EXPECT_GT(multi->fuel_current(Ampere(1.0)).value(), fresh_fuel);
+}
+
+TEST(MultiStack, NoteDeliveryAccruesPerStackTotals) {
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 2;
+  spec.cycle_fade = 0.1;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  multi->note_delivery(Ampere(1.0), Seconds(10.0));
+  multi->note_delivery(Ampere(0.0), Seconds(5.0));   // all stacks idle
+  multi->note_delivery(Ampere(1.0), Seconds(10.0));  // all restart
+  const StacksStats stats = multi->stats();
+  ASSERT_EQ(stats.stacks.size(), 2u);
+  EXPECT_EQ(stats.total_startups(), 2u);
+  EXPECT_NEAR(stats.total_delivered_as(), 20.0, 1e-9);
+  const double fuel_each =
+      paper_curve().stack_current(Ampere(0.5)).value() * 20.0;
+  for (const StackTotals& t : stats.stacks) {
+    EXPECT_DOUBLE_EQ(t.delivered_as, 10.0);  // half of 1 A for 20 s on
+    EXPECT_NEAR(t.fuel_as, fuel_each, 1e-9);
+    EXPECT_DOUBLE_EQ(t.wear, 0.1);  // one restart each
+  }
+  // A zero-duration segment accrues nothing.
+  multi->note_delivery(Ampere(1.0), Seconds(0.0));
+  EXPECT_NEAR(multi->stats().total_delivered_as(), 20.0, 1e-9);
+}
+
+TEST(MultiStack, CloneCarriesStateAndResetClearsIt) {
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 2;
+  spec.charge_fade_per_as = 1e-2;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  multi->note_delivery(Ampere(1.0), Seconds(100.0));
+  const double worn = multi->stats().max_wear();
+  ASSERT_GT(worn, 0.0);
+
+  const auto copy = multi->clone();
+  auto* copied = dynamic_cast<MultiStackFuelSource*>(copy.get());
+  ASSERT_NE(copied, nullptr);
+  EXPECT_DOUBLE_EQ(copied->stats().max_wear(), worn);
+
+  copied->note_delivery(Ampere(1.0), Seconds(100.0));
+  EXPECT_GT(copied->stats().max_wear(), worn);  // deep copy
+  EXPECT_DOUBLE_EQ(multi->stats().max_wear(), worn);
+
+  multi->reset();
+  EXPECT_EQ(multi->stats().max_wear(), 0.0);
+  EXPECT_EQ(multi->stats().total_delivered_as(), 0.0);
+  EXPECT_EQ(multi->stats().total_startups(), 0u);
+}
+
+TEST(MultiStack, RejectsEmptyAndMixedBusFleets) {
+  EXPECT_THROW(MultiStackFuelSource({}, Distribution::Proportional),
+               PreconditionError);
+  const power::LinearEfficiencyModel other(Volt(24.0), 37.5, 0.45, 0.13,
+                                           Ampere(0.1), Ampere(1.2));
+  EXPECT_THROW(
+      MultiStackFuelSource({StackUnit(paper_curve(), {}),
+                            StackUnit(other, {})},
+                           Distribution::Proportional),
+      PreconditionError);
+}
+
+TEST(MultiStackCsv, LoadsAHeterogeneousFleet) {
+  const std::string path = temp_csv(
+      "fleet.csv",
+      "alpha,beta,if_min_a,if_max_a,charge_fade_per_as,cycle_fade\n"
+      "0.45,0.13,0.1,1.2,0,0\n"
+      "0.36,0.13,0.1,1.2,1e-5,0.001\n");
+  const std::vector<StackUnit> units =
+      load_stack_units(path, paper_curve());
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_DOUBLE_EQ(units[0].curve().alpha(), 0.45);
+  EXPECT_DOUBLE_EQ(units[1].curve().alpha(), 0.36);
+  EXPECT_DOUBLE_EQ(units[1].wear_config().charge_fade_per_as, 1e-5);
+  EXPECT_DOUBLE_EQ(units[1].wear_config().cycle_fade, 0.001);
+  // Bus voltage and zeta come from the base model.
+  EXPECT_DOUBLE_EQ(units[1].curve().bus_voltage().value(), 12.0);
+  EXPECT_DOUBLE_EQ(units[1].curve().zeta(), 37.5);
+  std::remove(path.c_str());
+}
+
+TEST(MultiStackCsv, ErrorsCiteTheSourceLine) {
+  const auto message_of = [&](const std::string& name,
+                              const std::string& body) -> std::string {
+    const std::string path = temp_csv(name, body);
+    std::string message;
+    try {
+      (void)load_stack_units(path, paper_curve());
+    } catch (const CsvError& error) {
+      message = error.what();
+    }
+    std::remove(path.c_str());
+    return message;
+  };
+  const std::string header =
+      "alpha,beta,if_min_a,if_max_a,charge_fade_per_as,cycle_fade\n";
+  EXPECT_NE(message_of("short.csv", header + "0.45,0.13\n")
+                .find("line 2: stack row has too few fields"),
+            std::string::npos);
+  EXPECT_NE(message_of("text.csv", header + "0.45,0.13,0.1,1.2,zero,0\n")
+                .find("line 2: non-numeric stack field"),
+            std::string::npos);
+  EXPECT_NE(message_of("fade.csv", header + "0.45,0.13,0.1,1.2,-1,0\n")
+                .find("line 2: fade rates must be non-negative"),
+            std::string::npos);
+  // Curve validation failures are rewrapped with the line context.
+  EXPECT_NE(message_of("range.csv", header + "0.45,0.13,1.2,0.1,0,0\n")
+                .find("line 2"),
+            std::string::npos);
+  EXPECT_NE(message_of("empty.csv", header)
+                .find("no rows"),
+            std::string::npos);
+}
+
+TEST(MultiStackCsv, SpecPrefersTheFleetFileOverTheCount) {
+  const std::string path = temp_csv(
+      "spec.csv",
+      "alpha,beta,if_min_a,if_max_a,charge_fade_per_as,cycle_fade\n"
+      "0.45,0.13,0.1,1.2,0,0\n"
+      "0.36,0.13,0.1,1.2,0,0\n"
+      "0.40,0.10,0.1,1.0,0,0\n");
+  StacksSpec spec;
+  spec.enabled = true;
+  spec.count = 7;  // ignored: the CSV decides
+  spec.config_csv = path;
+  spec.distribution = Distribution::Waterfill;
+  const auto multi = make_multi_stack(spec, paper_curve());
+  EXPECT_EQ(multi->stacks().size(), 3u);
+  EXPECT_EQ(multi->distribution(), Distribution::Waterfill);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fcdpm::stacks

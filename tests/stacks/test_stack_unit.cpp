@@ -1,0 +1,80 @@
+#include "stacks/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "power/efficiency_model.hpp"
+
+namespace fcdpm::stacks {
+namespace {
+
+StackUnit fresh_paper_stack(StackWearConfig wear = {}) {
+  return StackUnit(power::LinearEfficiencyModel::paper_default(), wear);
+}
+
+TEST(StackUnit, FreshStackReturnsTheNominalModelBits) {
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();
+  const StackUnit stack = fresh_paper_stack({1e-5, 1e-3});
+  EXPECT_EQ(stack.wear(), 0.0);
+  EXPECT_EQ(stack.fade(), 1.0);
+  EXPECT_EQ(stack.derated_ceiling().value(), model.max_output().value());
+  for (double i_f = 0.1; i_f <= 1.2; i_f += 0.05) {
+    EXPECT_EQ(stack.fuel_current(Ampere(i_f)).value(),
+              model.stack_current(Ampere(i_f)).value());
+  }
+  EXPECT_EQ(stack.fuel_current(Ampere(0.0)).value(), 0.0);
+}
+
+TEST(StackUnit, NoteDeliveryAccruesChargeAndCycles) {
+  StackUnit stack = fresh_paper_stack();
+  EXPECT_TRUE(stack.state().running);  // fresh build starts running
+  stack.note_delivery(Ampere(0.5), Seconds(10.0));
+  EXPECT_DOUBLE_EQ(stack.state().delivered_as, 5.0);
+  EXPECT_EQ(stack.state().startups, 0u);  // was already running
+
+  stack.note_delivery(Ampere(0.0), Seconds(10.0));
+  EXPECT_FALSE(stack.state().running);
+  stack.note_delivery(Ampere(0.3), Seconds(10.0));
+  EXPECT_EQ(stack.state().startups, 1u);
+  EXPECT_DOUBLE_EQ(stack.state().delivered_as, 8.0);
+}
+
+TEST(StackUnit, WearCombinesChargeAndCycleFade) {
+  StackUnit stack = fresh_paper_stack({0.01, 0.5});
+  stack.note_delivery(Ampere(1.0), Seconds(10.0));   // 10 A-s
+  stack.note_delivery(Ampere(0.0), Seconds(1.0));    // off
+  stack.note_delivery(Ampere(1.0), Seconds(10.0));   // restart, +10 A-s
+  // wear = 20 * 0.01 + 1 * 0.5 = 0.7; fade = 1 / 1.7.
+  EXPECT_DOUBLE_EQ(stack.wear(), 0.7);
+  EXPECT_DOUBLE_EQ(stack.fade(), 1.0 / 1.7);
+
+  const power::LinearEfficiencyModel model =
+      power::LinearEfficiencyModel::paper_default();
+  // A degraded stack burns 1/fade more fuel for the same share...
+  EXPECT_DOUBLE_EQ(stack.fuel_current(Ampere(0.6)).value(),
+                   model.stack_current(Ampere(0.6)).value() * 1.7);
+  // ...and its deliverable ceiling shrinks with the fade.
+  EXPECT_DOUBLE_EQ(stack.derated_ceiling().value(), 1.2 / 1.7);
+}
+
+TEST(StackUnit, DeratedCeilingNeverFallsBelowTheMinimum) {
+  StackUnit stack = fresh_paper_stack({1.0, 0.0});
+  stack.note_delivery(Ampere(1.0), Seconds(1000.0));  // wear 1000
+  EXPECT_DOUBLE_EQ(stack.derated_ceiling().value(),
+                   stack.curve().min_output().value());
+}
+
+TEST(StackUnit, ResetRestoresTheFreshState) {
+  StackUnit stack = fresh_paper_stack({0.01, 0.5});
+  stack.note_delivery(Ampere(0.0), Seconds(1.0));
+  stack.note_delivery(Ampere(1.0), Seconds(10.0));
+  ASSERT_GT(stack.wear(), 0.0);
+  stack.reset();
+  EXPECT_EQ(stack.wear(), 0.0);
+  EXPECT_EQ(stack.fade(), 1.0);
+  EXPECT_EQ(stack.state().startups, 0u);
+  EXPECT_TRUE(stack.state().running);
+}
+
+}  // namespace
+}  // namespace fcdpm::stacks
