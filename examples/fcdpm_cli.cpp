@@ -12,6 +12,8 @@
 //                      [--out BENCH_sweep.json]
 //                      [--journal J] [--resume J] [--max-retries N]
 //                      [--point-deadline SLOTS] [--watchdog-stall-ms MS]
+//   fcdpm_cli bisect   [--policy ...] [--trace ... | --kind ...]
+//                      [--perturb-slot K] [--repro-out prefix]
 //
 // run/compare/lifetime accept --trace-out / --metrics-out /
 // --profile-out to capture a Perfetto trace, a metrics dump and a
@@ -38,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
+#include "audit/bisect.hpp"
 #include "cap/governor.hpp"
 #include "common/atomic_file.hpp"
 #include "common/text.hpp"
@@ -105,6 +109,41 @@ double number_or(const Options& options, const std::string& key,
   return it == options.end() ? fallback : std::atof(it->second.c_str());
 }
 
+/// Like number_or but strict: a value that does not parse as a number
+/// is a CLI error, not silently 0. New flags use this; pre-existing
+/// flags keep number_or so their (permissive) behavior is unchanged.
+double checked_number_or(const Options& options, const std::string& key,
+                         double fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  double value = 0.0;
+  if (!parse_double(it->second, value)) {
+    throw std::runtime_error("--" + key + ": invalid number '" +
+                             it->second + "'");
+  }
+  return value;
+}
+
+/// Strict non-negative integer option (counts, slot indices).
+std::size_t checked_index_or(const Options& options, const std::string& key,
+                             std::size_t fallback) {
+  const auto it = options.find(key);
+  if (it == options.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long value =
+      std::strtoull(it->second.c_str(), &end, 10);
+  if (it->second.empty() || it->second[0] == '-' ||
+      end != it->second.c_str() + it->second.size()) {
+    throw std::runtime_error("--" + key + ": invalid count '" +
+                             it->second + "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
 wl::Trace load_workload(const Options& options) {
   const auto trace_it = options.find("trace");
   if (trace_it != options.end()) {
@@ -161,8 +200,29 @@ sim::ExperimentConfig build_config(const Options& options) {
   config.cap.hysteresis_slots = static_cast<std::size_t>(number_or(
       options, "cap-hysteresis",
       static_cast<double>(config.cap.hysteresis_slots)));
-  config.cap.storage_draw_fraction = number_or(
+  config.cap.storage_draw_fraction = checked_number_or(
       options, "cap-draw-fraction", config.cap.storage_draw_fraction);
+  if (config.cap.storage_draw_fraction <= 0.0 ||
+      config.cap.storage_draw_fraction > 1.0) {
+    throw std::runtime_error(
+        "--cap-draw-fraction: '" +
+        option_or(options, "cap-draw-fraction", "") +
+        "' out of range (need a fraction in (0, 1])");
+  }
+  // Runtime invariant auditing (opt-in; results stay bit-identical).
+  const std::string audit_mode = option_or(options, "audit", "off");
+  if (!audit::parse_mode(audit_mode, config.audit.mode)) {
+    throw std::runtime_error("unknown --audit value: '" + audit_mode +
+                             "' (use off|sample|strict)");
+  }
+  config.audit.sample_period = checked_index_or(
+      options, "audit-sample-period", config.audit.sample_period);
+  if (config.audit.sample_period == 0) {
+    throw std::runtime_error(
+        "--audit-sample-period: must be a positive slot count");
+  }
+  config.audit.tamper_slot = checked_index_or(
+      options, "audit-tamper-slot", config.audit.tamper_slot);
   // Multi-stack source: --stacks N (>= 1) enables it; sweeps may pass a
   // comma list here, in which case atof's first value seeds the base
   // config and the grid axis overrides every point.
@@ -186,26 +246,63 @@ sim::ExperimentConfig build_config(const Options& options) {
 
 /// sim::run_policy with the engine honoured: `--engine hot` compiles
 /// the trace and runs hot::simulate (bit-identical to the reference;
-/// ineligible configurations fall back inside hot::simulate).
+/// ineligible configurations fall back inside hot::simulate). With
+/// `--audit` on, the hot run carries a fail-fast auditor; a violation
+/// self-heals by replaying the run on the reference engine (tamper hook
+/// cleared — it models a hot-engine defect) and recording an
+/// engine_fallback in the result's AuditStats.
 sim::SimulationResult run_policy_with_engine(
     sim::PolicyKind kind, const sim::ExperimentConfig& config) {
   if (config.simulation.engine != sim::Engine::Hot) {
     return sim::run_policy(kind, config);
   }
-  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
-  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
-      sim::make_fc_policy(kind, config);
-  power::HybridPowerSource hybrid = sim::make_hybrid(config);
-  sim::SimulationOptions sim_options = config.simulation;
-  sim_options.initial_storage = config.initial_storage;
-  std::optional<cap::Governor> governor;
-  if (config.cap.enabled && sim_options.governor == nullptr) {
-    governor.emplace(cap::make_governor(config.cap, config.efficiency));
-    sim_options.governor = &*governor;
+  std::optional<audit::AuditStats> failed_stats;
+  const auto run_hot = [&]() {
+    dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+        sim::make_fc_policy(kind, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
+    sim::SimulationOptions sim_options = config.simulation;
+    sim_options.initial_storage = config.initial_storage;
+    std::optional<cap::Governor> governor;
+    if (config.cap.enabled && sim_options.governor == nullptr) {
+      governor.emplace(cap::make_governor(config.cap, config.efficiency));
+      sim_options.governor = &*governor;
+    }
+    std::optional<audit::Auditor> auditor;
+    if (config.audit.enabled() && sim_options.auditor == nullptr) {
+      auditor.emplace(config.audit, /*fail_fast=*/true);
+      sim_options.auditor = &*auditor;
+    }
+    const hot::CompiledTrace compiled(config.trace, config.device);
+    try {
+      return hot::simulate(compiled, dpm_policy, *fc_policy, hybrid,
+                           sim_options);
+    } catch (const audit::AuditError&) {
+      if (auditor.has_value()) {
+        failed_stats = auditor->stats();
+      }
+      throw;
+    }
+  };
+  try {
+    return run_hot();
+  } catch (const audit::AuditError&) {
+    // Self-heal: replay on the reference engine. The simulators reset
+    // any attached fault injector at run start, so the shared pointers
+    // in config.simulation replay cleanly.
+    sim::ExperimentConfig reference = config;
+    reference.simulation.engine = sim::Engine::Reference;
+    reference.audit.tamper_slot = audit::npos;
+    sim::SimulationResult result = sim::run_policy(kind, reference);
+    if (!result.audit.has_value()) {
+      result.audit.emplace();
+      result.audit->mode = static_cast<int>(config.audit.mode);
+    }
+    audit::record_engine_fallback(*result.audit,
+                                  failed_stats.value_or(audit::AuditStats{}));
+    return result;
   }
-  const hot::CompiledTrace compiled(config.trace, config.device);
-  return hot::simulate(compiled, dpm_policy, *fc_policy, hybrid,
-                       sim_options);
 }
 
 /// Observability wiring behind --trace-out / --metrics-out /
@@ -384,6 +481,9 @@ class TelemetrySession {
     t.heartbeats = snap.heartbeats;
     t.slots = snap.slots;
     t.capped_slots = snap.capped_slots;
+    t.audited_slots = snap.audited_slots;
+    t.audit_violations = snap.audit_violations;
+    t.engine_fallbacks = snap.engine_fallbacks;
     t.throughput_points_per_s = snap.throughput_points_per_s;
     t.wall_p50_us = snap.wall_p50_us;
     t.wall_p95_us = snap.wall_p95_us;
@@ -403,6 +503,9 @@ class TelemetrySession {
       row.heartbeats = w.heartbeats;
       row.slots = w.slots;
       row.capped_slots = w.capped_slots;
+      row.audited_slots = w.audited_slots;
+      row.audit_violations = w.audit_violations;
+      row.engine_fallbacks = w.engine_fallbacks;
       row.busy_seconds = w.busy_seconds;
       t.workers.push_back(row);
     }
@@ -498,6 +601,21 @@ void print_stacks(const stacks::StacksStats& s) {
   }
 }
 
+void print_audit(const audit::AuditStats& a) {
+  std::printf("  audit     : %s | %llu slots + %llu segments audited | "
+              "%llu checks | %llu violations | %llu engine fallbacks\n",
+              audit::to_string(static_cast<audit::Mode>(a.mode)),
+              static_cast<unsigned long long>(a.slots_audited),
+              static_cast<unsigned long long>(a.segments_audited),
+              static_cast<unsigned long long>(a.checks_run),
+              static_cast<unsigned long long>(a.violations),
+              static_cast<unsigned long long>(a.engine_fallbacks));
+  if (!a.first_violation.empty()) {
+    std::printf("    first violation: %s at slot %zu\n",
+                a.first_violation.c_str(), a.first_violation_slot);
+  }
+}
+
 sim::PolicyKind parse_policy(const std::string& name) {
   if (name == "conv") {
     return sim::PolicyKind::Conv;
@@ -587,6 +705,9 @@ int cmd_run(const Options& options) {
   if (result.stacks.has_value()) {
     print_stacks(*result.stacks);
   }
+  if (result.audit.has_value()) {
+    print_audit(*result.audit);
+  }
   obs.finish();
   return 0;
 }
@@ -637,6 +758,10 @@ int cmd_compare(const Options& options) {
   if (c.fcdpm.stacks.has_value()) {
     std::printf("FC-DPM multi-stack split:\n");
     print_stacks(*c.fcdpm.stacks);
+  }
+  if (c.fcdpm.audit.has_value()) {
+    std::printf("FC-DPM audit:\n");
+    print_audit(*c.fcdpm.audit);
   }
   std::printf("\nFC-DPM vs ASAP-DPM: %.1f%% fuel saving, %.2fx lifetime\n",
               100.0 * sim::fuel_saving(c.fcdpm, c.asap),
@@ -855,6 +980,14 @@ report::SweepPointRow make_point_row(const par::SweepPoint& point,
       row.stack_fuel.push_back(t.fuel_as);
     }
   }
+  if (result.audit.has_value()) {
+    row.audit_enabled = true;
+    row.audit_slots = result.audit->slots_audited;
+    row.audit_checks = result.audit->checks_run;
+    row.audit_violations = result.audit->violations;
+    row.engine_fallbacks = result.audit->engine_fallbacks;
+    row.audit_first = result.audit->first_violation;
+  }
   return row;
 }
 
@@ -887,6 +1020,38 @@ void accumulate_stacks(report::SweepBenchReport& bench,
   if (worst > bench.stack_max_wear) {
     bench.stack_max_wear = worst;
   }
+}
+
+/// Sweep-level runtime-audit rollup; no-op on unaudited points.
+void accumulate_audit(report::SweepBenchReport& bench,
+                      const sim::SimulationResult& result) {
+  if (!result.audit.has_value()) {
+    return;
+  }
+  bench.audit_enabled = true;
+  bench.audit_mode =
+      audit::to_string(static_cast<audit::Mode>(result.audit->mode));
+  bench.audited_slots += result.audit->slots_audited;
+  bench.audit_checks += result.audit->checks_run;
+  bench.audit_violations += result.audit->violations;
+  bench.engine_fallbacks += result.audit->engine_fallbacks;
+  if (result.audit->engine_fallbacks > 0) {
+    ++bench.fallback_points;
+  }
+}
+
+void print_audit_rollup(const report::SweepBenchReport& bench) {
+  if (!bench.audit_enabled) {
+    return;
+  }
+  std::printf("audit (%s): %llu slots audited | %llu checks | "
+              "%llu violations | %llu engine fallbacks (%zu points)\n",
+              bench.audit_mode.c_str(),
+              static_cast<unsigned long long>(bench.audited_slots),
+              static_cast<unsigned long long>(bench.audit_checks),
+              static_cast<unsigned long long>(bench.audit_violations),
+              static_cast<unsigned long long>(bench.engine_fallbacks),
+              bench.fallback_points);
 }
 
 par::SweepGrid parse_sweep_grid(const Options& options) {
@@ -942,7 +1107,13 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
       number_or(options, "point-deadline", 0.0));
   if (options.find("unserved-budget") != options.end()) {
     ropt.contract.unserved_budget_as =
-        number_or(options, "unserved-budget", 0.0);
+        checked_number_or(options, "unserved-budget", 0.0);
+    if (ropt.contract.unserved_budget_as < 0.0) {
+      throw std::runtime_error(
+          "--unserved-budget: '" +
+          option_or(options, "unserved-budget", "") +
+          "' out of range (need a non-negative charge in A-s)");
+    }
   }
   if (options.find("inject-fail") != options.end()) {
     ropt.contract.inject_fail_index =
@@ -1058,6 +1229,7 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
     } else {
       accumulate_cap(bench, p.result.result);
       accumulate_stacks(bench, p.result.result);
+      accumulate_audit(bench, p.result.result);
     }
     bench.results.push_back(std::move(row));
   }
@@ -1102,6 +1274,7 @@ int cmd_sweep_resilient(const sim::ExperimentConfig& config,
                 static_cast<unsigned long long>(bench.stack_startups),
                 bench.stack_max_wear);
   }
+  print_audit_rollup(bench);
   if (rs.torn_tail_recovered) {
     std::printf("journal torn tail recovered (%zu bytes dropped)\n",
                 rs.torn_bytes_dropped);
@@ -1231,6 +1404,7 @@ int cmd_sweep(const Options& options) {
     bench.results.push_back(make_point_row(p.point, p.result));
     accumulate_cap(bench, p.result);
     accumulate_stacks(bench, p.result);
+    accumulate_audit(bench, p.result);
   }
   std::printf(
       "%zu points at %zu jobs: %.3f s wall (%.1f points/s), "
@@ -1252,6 +1426,7 @@ int cmd_sweep(const Options& options) {
                 static_cast<unsigned long long>(bench.stack_startups),
                 bench.stack_max_wear);
   }
+  print_audit_rollup(bench);
 
   bool diverged = false;
   if (have_serial) {
@@ -1281,6 +1456,46 @@ int cmd_sweep(const Options& options) {
                  "error: parallel sweep diverged from the serial "
                  "reference (determinism bug)\n");
     return 2;
+  }
+  return 0;
+}
+
+/// Divergence bisection: binary-search the first slot where the hot
+/// engine disagrees with the reference and dump a minimized repro.
+/// Exit 0 either way — finding (or excluding) a divergence is the
+/// tool's successful outcome; tests and CI parse the report.
+int cmd_bisect(const Options& options) {
+  sim::ExperimentConfig config = build_config(options);
+  const sim::PolicyKind kind =
+      parse_policy(option_or(options, "policy", "fcdpm"));
+  audit::BisectOptions bisect_options;
+  bisect_options.perturb_slot =
+      checked_index_or(options, "perturb-slot", audit::npos);
+  const audit::BisectReport report =
+      audit::bisect_point(config, kind, bisect_options);
+  if (!report.diverged) {
+    std::printf("engines agree: %s on %s is bit-identical over all "
+                "%zu slots (%zu probe runs)\n",
+                sim::to_string(kind), config.trace.name().c_str(),
+                config.trace.size(), report.runs);
+    return 0;
+  }
+  std::printf("first divergent slot: %zu of %zu (%zu probe runs)\n",
+              report.first_divergent_slot, config.trace.size(),
+              report.runs);
+  std::printf("  entry state : fuel %.17g A-s | storage %.17g A-s\n",
+              report.entry_fuel_as, report.entry_storage_as);
+  std::printf("  reference   : fuel %.17g A-s | storage end %.17g A-s\n",
+              report.reference.totals.fuel.value(),
+              report.reference.storage_end.value());
+  std::printf("  hot         : fuel %.17g A-s | storage end %.17g A-s\n",
+              report.hot.totals.fuel.value(),
+              report.hot.storage_end.value());
+  const std::string out = option_or(options, "repro-out", "");
+  if (!out.empty()) {
+    audit::write_repro(out, config, kind, report);
+    std::printf("wrote repro to %s.json and %s_window.csv\n", out.c_str(),
+                out.c_str());
   }
   return 0;
 }
@@ -1358,6 +1573,15 @@ int usage() {
       "                                 object per line; the final line\n"
       "                                 totals the whole sweep\n"
       "           [--progress-interval-ms MS]  sampler period (200)\n"
+      "  bisect   [--policy ...] [--trace f.csv | --kind ...]\n"
+      "           [--perturb-slot K]   synthetic hot-engine defect at\n"
+      "                                 slot K (test hook / CI smoke)\n"
+      "           [--repro-out prefix] write prefix.json (entry state +\n"
+      "                                 bit patterns) and\n"
+      "                                 prefix_window.csv (runnable\n"
+      "                                 trace window)\n"
+      "           binary-search the first slot where the hot engine\n"
+      "           diverges from the reference\n"
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
       "run/compare/lifetime/sweep also accept:\n"
@@ -1392,7 +1616,21 @@ int usage() {
       "                        (alpha,beta,if_min_a,if_max_a,\n"
       "                        charge_fade_per_as,cycle_fade)\n"
       "  --stack-charge-fade F efficiency fade per delivered A-s (0)\n"
-      "  --stack-cycle-fade F  efficiency fade per on/off cycle (0)\n");
+      "  --stack-cycle-fade F  efficiency fade per on/off cycle (0)\n"
+      "  --audit off|sample|strict\n"
+      "                        runtime invariant auditing (default off;\n"
+      "                        results stay bit-identical): fuel-burn\n"
+      "                        integral reconciliation, storage bounds,\n"
+      "                        cap budget, stack wear, solve-cache\n"
+      "                        spot checks. A hot-engine violation\n"
+      "                        self-heals: the run replays on the\n"
+      "                        reference engine and records an\n"
+      "                        engine_fallback\n"
+      "  --audit-sample-period N\n"
+      "                        sample mode checks every Nth slot (16)\n"
+      "  --audit-tamper-slot K test hook: corrupt the auditor's observed\n"
+      "                        integral at slot K on the hot lane\n"
+      "                        (exercises the self-heal path)\n");
   return 1;
 }
 
@@ -1425,6 +1663,9 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") {
       return cmd_sweep(options);
+    }
+    if (command == "bisect") {
+      return cmd_bisect(options);
     }
     if (command == "aggregate") {
       return cmd_aggregate(options);

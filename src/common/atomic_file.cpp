@@ -48,6 +48,7 @@ void write_file_atomic(const std::string& path, std::string_view content) {
   if (std::rename(temp.c_str(), path.c_str()) != 0) {
     fail("cannot rename into place", path);
   }
+  fsync_parent_dir(path);
 }
 
 void commit_file(const std::string& temp_path, const std::string& path) {
@@ -60,6 +61,29 @@ void commit_file(const std::string& temp_path, const std::string& path) {
   }
   if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
     fail("cannot rename into place", path);
+  }
+  fsync_parent_dir(path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string dir = (slash == std::string::npos) ? std::string(".")
+                                                 : path.substr(0, slash);
+  if (dir.empty()) {
+    dir = "/";
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    fail("cannot open parent directory", dir);
+  }
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("cannot sync parent directory", dir);
+  }
+  if (::close(fd) != 0) {
+    fail("cannot close parent directory", dir);
   }
 }
 

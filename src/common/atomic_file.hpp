@@ -25,4 +25,14 @@ void write_file_atomic(const std::string& path, std::string_view content);
 /// fsyncing it first. Throws CsvError on failure.
 void commit_file(const std::string& temp_path, const std::string& path);
 
+/// fsync the directory containing `path` (its dirname; "." when the
+/// path has no directory component). A rename is durable only once the
+/// parent directory's entry is on disk — POSIX makes the rename itself
+/// atomic, but after a power loss the *old* name can still come back
+/// unless the directory is synced. Both writers above call this after
+/// their rename; exposed for callers doing their own renames. Opens the
+/// directory read-only (O_DIRECTORY) and closes it before returning on
+/// every path. Throws CsvError on failure.
+void fsync_parent_dir(const std::string& path);
+
 }  // namespace fcdpm

@@ -13,6 +13,7 @@
 //   workload — traces, generators, analysis, aggregation, merge, I/O
 //   core     — slot optimizer(s), estimator, FC output policies
 //   dvs      — voltage/frequency scaling substrate
+//   audit    — runtime invariant auditing, divergence bisection (opt-in)
 //   sim      — simulators, experiments, lifetime, metrics
 //   par      — worker pool, shared solve cache, parallel sweep engine
 //   resilience — crash-safe journal/resume, retries, quarantine, watchdog
@@ -70,6 +71,9 @@
 
 #include "dvs/planner.hpp"
 #include "dvs/processor.hpp"
+
+#include "audit/audit.hpp"
+#include "audit/bisect.hpp"
 
 #include "sim/experiments.hpp"
 #include "sim/lifetime.hpp"

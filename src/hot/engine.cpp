@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "audit/audit.hpp"
 #include "cap/governor.hpp"
 #include "common/contracts.hpp"
 #include "hot/arena.hpp"
@@ -245,6 +246,13 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
     governor->reset();
   }
 
+  // Audit side-car: pure reader of the lane's mirrored state. A
+  // fail-fast auditor throws from the slot boundary; the lane's
+  // destructor write-back still runs, so the dispatcher's reference
+  // replay starts from a consistent hybrid.
+  audit::Auditor* auditor = options.auditor;
+  const double bus_v = device.bus_voltage.value();
+
   dpm::InlineIdlePlan plan;
   const std::size_t slot_count = ct.size();
   for (std::size_t k = 0; k < slot_count; ++k) {
@@ -265,6 +273,7 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
     Ampere run_current = ct.run_current(k);
     Seconds active_eff = ct.active_eff(k);
     const Coulomb fuel_before = lane.totals().fuel;
+    const Joule delivered_before = lane.totals().delivered_energy;
 
     // Same decision point as the reference loop: the capped current and
     // stretched window are what every planner below sees, and the
@@ -350,6 +359,22 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
     observation.fuel_used = lane.totals().fuel - fuel_before;
     fc_policy.on_slot_end(observation);
 
+    // Unsampled slots skip the audit plumbing (view included) — the
+    // lane's per-slot cost with sample mode attached stays near zero.
+    if (auditor != nullptr && auditor->wants_slot(k)) {
+      audit::SlotAudit view;
+      view.slot = k;
+      view.bus_v = bus_v;
+      view.fuel_before = fuel_before.value();
+      view.fuel_after = lane.totals().fuel.value();
+      view.delivered_before = delivered_before.value();
+      view.delivered_after = lane.totals().delivered_energy.value();
+      view.if_dt = (if_dt_idle + if_dt_active).value();
+      view.storage_charge = lane.charge().value();
+      view.storage_capacity = capacity.value();
+      auditor->on_slot(view);
+    }
+
     if (options.keep_slot_records) {
       sim::SlotRecord record;
       record.index = k;
@@ -375,6 +400,17 @@ sim::SimulationResult run_lane(const CompiledTrace& ct,
 
   if (governor != nullptr) {
     result.cap = governor->stats();
+  }
+
+  if (auditor != nullptr) {
+    audit::EndAudit end;
+    end.totals = &result.totals;
+    end.storage_end = result.storage_end.value();
+    end.storage_capacity = capacity.value();
+    end.slots = result.slots;
+    end.cap = result.cap.has_value() ? &*result.cap : nullptr;
+    auditor->on_run_end(end);
+    result.audit = auditor->stats();
   }
 
   if (const auto* predictive =

@@ -74,9 +74,7 @@ core::CheckedSetting SharedSolveCache::solve_active_only(
   return solve_active_only(optimizer, duration, charge, storage, hit);
 }
 
-core::CheckedSetting SharedSolveCache::solve(
-    const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
-    const core::StorageBounds& storage, bool& hit) {
+core::SlotLoad SharedSolveCache::snap_load(const core::SlotLoad& load) const {
   core::SlotLoad snapped = load;
   snapped.idle = Seconds(snap(load.idle.value(), config_.time_quantum.value()));
   snapped.active =
@@ -85,6 +83,11 @@ core::CheckedSetting SharedSolveCache::solve(
       Ampere(snap(load.idle_current.value(), config_.current_quantum.value()));
   snapped.active_current = Ampere(
       snap(load.active_current.value(), config_.current_quantum.value()));
+  return snapped;
+}
+
+core::StorageBounds SharedSolveCache::snap_bounds(
+    const core::StorageBounds& storage) const {
   core::StorageBounds bounds = storage;
   bounds.initial =
       Coulomb(snap(storage.initial.value(), config_.charge_quantum.value()));
@@ -92,6 +95,30 @@ core::CheckedSetting SharedSolveCache::solve(
       snap(storage.target_end.value(), config_.charge_quantum.value()));
   bounds.capacity =
       Coulomb(snap(storage.capacity.value(), config_.charge_quantum.value()));
+  return bounds;
+}
+
+core::CheckedSetting SharedSolveCache::solve_fresh(
+    const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+    const core::StorageBounds& storage) const {
+  // Same snapped problem as the miss path, straight to the optimizer.
+  return optimizer.solve_checked(snap_load(load), snap_bounds(storage));
+}
+
+core::CheckedSetting SharedSolveCache::solve_active_only_fresh(
+    const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+    const core::StorageBounds& storage) const {
+  return optimizer.solve_active_only_checked(
+      Seconds(snap(duration.value(), config_.time_quantum.value())),
+      Coulomb(snap(charge.value(), config_.charge_quantum.value())),
+      snap_bounds(storage));
+}
+
+core::CheckedSetting SharedSolveCache::solve(
+    const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+    const core::StorageBounds& storage, bool& hit) {
+  const core::SlotLoad snapped = snap_load(load);
+  const core::StorageBounds bounds = snap_bounds(storage);
 
   const power::LinearEfficiencyModel& model = optimizer.model();
   const Key key{0ull,
@@ -120,13 +147,7 @@ core::CheckedSetting SharedSolveCache::solve_active_only(
       Seconds(snap(duration.value(), config_.time_quantum.value()));
   const Coulomb snapped_charge =
       Coulomb(snap(charge.value(), config_.charge_quantum.value()));
-  core::StorageBounds bounds = storage;
-  bounds.initial =
-      Coulomb(snap(storage.initial.value(), config_.charge_quantum.value()));
-  bounds.target_end = Coulomb(
-      snap(storage.target_end.value(), config_.charge_quantum.value()));
-  bounds.capacity =
-      Coulomb(snap(storage.capacity.value(), config_.charge_quantum.value()));
+  const core::StorageBounds bounds = snap_bounds(storage);
 
   const power::LinearEfficiencyModel& model = optimizer.model();
   const Key key{1ull,

@@ -60,6 +60,17 @@ class SharedSolveCache final : public core::SlotSolveCache {
       const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
       const core::StorageBounds& storage, bool& hit);
 
+  /// Audit seam: solve the *snapped* problem directly — no lookup, no
+  /// insert, counters untouched — so a cached answer can be compared
+  /// bit-for-bit against a fresh computation of the identical problem.
+  [[nodiscard]] core::CheckedSetting solve_fresh(
+      const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+      const core::StorageBounds& storage) const;
+
+  [[nodiscard]] core::CheckedSetting solve_active_only_fresh(
+      const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+      const core::StorageBounds& storage) const;
+
   [[nodiscard]] const SolveCacheConfig& config() const noexcept {
     return config_;
   }
@@ -81,6 +92,10 @@ class SharedSolveCache final : public core::SlotSolveCache {
   void publish(obs::Context& obs) const;
 
  private:
+  [[nodiscard]] core::SlotLoad snap_load(const core::SlotLoad& load) const;
+  [[nodiscard]] core::StorageBounds snap_bounds(
+      const core::StorageBounds& storage) const;
+
   /// Solve kind tag + 6 model words + up to 7 input words.
   using Key = std::array<std::uint64_t, 14>;
 
@@ -133,6 +148,12 @@ class SolveCacheTap final : public core::SlotSolveCache {
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+
+  /// The shared memo this tap forwards to (the audit layer uses it for
+  /// fresh-solve comparisons).
+  [[nodiscard]] SharedSolveCache& underlying() const noexcept {
+    return *cache_;
+  }
 
  private:
   void count(bool hit) noexcept {

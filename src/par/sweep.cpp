@@ -4,10 +4,12 @@
 #include <optional>
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "cap/governor.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
 #include "hot/engine.hpp"
+#include "par/verifying_cache.hpp"
 #include "par/worker_pool.hpp"
 #include "telemetry/sweep_telemetry.hpp"
 
@@ -78,54 +80,130 @@ SweepPointResult run_point(const sim::ExperimentConfig& base,
   // published to after the batch, never attached to a worker's run.
   config.simulation.observer = nullptr;
 
-  dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
-  const std::unique_ptr<core::FcOutputPolicy> fc_policy =
-      sim::make_fc_policy(point.policy, config);
-  power::HybridPowerSource hybrid = sim::make_hybrid(config);
-  if (cache != nullptr) {
-    fc_policy->set_solve_cache(cache);
+  // Fresh-solve source for audited cache verification. The memo itself
+  // qualifies, and so does the telemetry tap wrapping it; any other
+  // cache implementation simply runs unverified.
+  const SharedSolveCache* fresh_source = nullptr;
+  if (config.audit.enabled() && cache != nullptr) {
+    fresh_source = dynamic_cast<const SharedSolveCache*>(cache);
+    if (fresh_source == nullptr) {
+      if (const auto* tap = dynamic_cast<const SolveCacheTap*>(cache)) {
+        fresh_source = &tap->underlying();
+      }
+    }
   }
 
-  sim::SimulationOptions options = config.simulation;
-  options.initial_storage = config.initial_storage;
-  options.cancel = cancel;
-  options.slot_budget = slot_budget;
-  std::optional<fault::FaultInjector> injector;
-  if (point.storm_seed != 0) {
-    injector.emplace(fault::FaultSchedule::random_storm(
-        point.storm_seed, storm_faults,
-        config.trace.stats().total_duration()));
-    options.faults = &*injector;
-  }
-  // Workers own their governor like they own their injector: one fresh
-  // instance per point keeps the held-level state thread-private and
-  // the results independent of point execution order.
-  std::optional<cap::Governor> governor;
-  if (config.cap.enabled) {
-    governor.emplace(cap::make_governor(config.cap, config.efficiency));
-    options.governor = &*governor;
-  }
+  // Everything stateful — policies, hybrid, injector, governor, auditor
+  // — is rebuilt per attempt, so the self-heal replay below starts from
+  // the same clean state the hot attempt did.
+  std::optional<audit::AuditStats> failed_stats;
+  const auto run_once = [&](sim::Engine engine, bool tamper_allowed,
+                            bool& ran_hot) -> sim::SimulationResult {
+    dpm::PredictiveDpmPolicy dpm_policy = sim::make_dpm_policy(config);
+    const std::unique_ptr<core::FcOutputPolicy> fc_policy =
+        sim::make_fc_policy(point.policy, config);
+    power::HybridPowerSource hybrid = sim::make_hybrid(config);
 
-  SweepPointResult out;
-  out.point = point;
-  if (options.engine == sim::Engine::Hot) {
+    sim::SimulationOptions options = config.simulation;
+    options.engine = engine;
+    options.initial_storage = config.initial_storage;
+    options.cancel = cancel;
+    options.slot_budget = slot_budget;
+    std::optional<fault::FaultInjector> injector;
+    if (point.storm_seed != 0) {
+      injector.emplace(fault::FaultSchedule::random_storm(
+          point.storm_seed, storm_faults,
+          config.trace.stats().total_duration()));
+      options.faults = &*injector;
+    }
+    // Workers own their governor like they own their injector: one
+    // fresh instance per point keeps the held-level state
+    // thread-private and the results independent of execution order.
+    std::optional<cap::Governor> governor;
+    if (config.cap.enabled) {
+      governor.emplace(cap::make_governor(config.cap, config.efficiency));
+      options.governor = &*governor;
+    }
+
+    const bool hot_engine = engine == sim::Engine::Hot;
     // The grid varies rho/capacity/seed but never the trace or device,
     // so one compiled trace serves every point. A direct caller without
     // one (the resilience retry path) compiles its own.
     std::optional<hot::CompiledTrace> local;
-    if (compiled == nullptr) {
+    const hot::CompiledTrace* trace = compiled;
+    if (hot_engine && trace == nullptr) {
       local.emplace(config.trace, config.device);
-      compiled = &*local;
+      trace = &*local;
     }
     // Mirror of hot::simulate's internal dispatch: ineligible runs
     // (storm faults, attached observers) fall back to the reference
     // interpreter inside, so count them as reference dispatches.
-    out.ran_hot = hot::lane_eligible(hybrid, options);
-    out.result =
-        hot::simulate(*compiled, dpm_policy, *fc_policy, hybrid, options);
-  } else {
-    out.result =
-        sim::simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
+    ran_hot = hot_engine && hot::lane_eligible(hybrid, options);
+
+    // The auditor is built after eligibility is known: hot lanes always
+    // fail fast (the catch below self-heals them), reference runs fail
+    // fast only in strict mode (the escape is the resilience layer's
+    // contract_violation). Tamper models a hot-engine defect, so it
+    // arms only on a hot lane — and never on the replay.
+    std::optional<audit::Auditor> auditor;
+    std::optional<VerifyingSolveCache> verifier;
+    core::SlotSolveCache* point_cache = cache;
+    if (config.audit.enabled()) {
+      audit::AuditSpec spec = config.audit;
+      if (!(ran_hot && tamper_allowed)) {
+        spec.tamper_slot = audit::npos;
+      }
+      auditor.emplace(spec, ran_hot || spec.mode == audit::Mode::Strict);
+      options.auditor = &*auditor;
+      if (fresh_source != nullptr) {
+        verifier.emplace(*cache, *fresh_source, *auditor);
+        point_cache = &*verifier;
+      }
+    }
+    if (point_cache != nullptr) {
+      fc_policy->set_solve_cache(point_cache);
+    }
+
+    try {
+      if (hot_engine) {
+        return hot::simulate(*trace, dpm_policy, *fc_policy, hybrid,
+                             options);
+      }
+      return sim::simulate(config.trace, dpm_policy, *fc_policy, hybrid,
+                           options);
+    } catch (const audit::AuditError&) {
+      // The auditor dies with this frame; keep its tally for the
+      // fallback record before rethrowing to the dispatcher.
+      if (auditor.has_value()) {
+        failed_stats = auditor->stats();
+      }
+      throw;
+    }
+  };
+
+  SweepPointResult out;
+  out.point = point;
+  try {
+    out.result = run_once(config.simulation.engine, /*tamper_allowed=*/true,
+                          out.ran_hot);
+  } catch (const audit::AuditError&) {
+    if (!out.ran_hot) {
+      // Reference-engine violation: nothing trusted to heal onto.
+      throw;
+    }
+    // Self-heal: the hot lane broke an invariant, so replay the point
+    // on the reference engine (fresh state, tamper disarmed) and keep
+    // that result, recording the hot run's violations as a fallback.
+    const audit::AuditStats hot_stats = failed_stats.value_or(
+        audit::AuditStats{});
+    failed_stats.reset();
+    out.result = run_once(sim::Engine::Reference, /*tamper_allowed=*/false,
+                          out.ran_hot);
+    if (!out.result.audit.has_value()) {
+      out.result.audit.emplace();
+      out.result.audit->mode = static_cast<int>(config.audit.mode);
+    }
+    audit::record_engine_fallback(*out.result.audit, hot_stats);
   }
   return out;
 }
@@ -204,6 +282,15 @@ SweepResult run_sweep(const sim::ExperimentConfig& base,
             if (done.result.cap.has_value()) {
               shard.capped_slots.fetch_add(done.result.cap->slots_capped,
                                            std::memory_order_relaxed);
+            }
+            if (done.result.audit.has_value()) {
+              const audit::AuditStats& a = *done.result.audit;
+              shard.audited_slots.fetch_add(a.slots_audited,
+                                            std::memory_order_relaxed);
+              shard.audit_violations.fetch_add(a.violations,
+                                               std::memory_order_relaxed);
+              shard.engine_fallbacks.fetch_add(a.engine_fallbacks,
+                                               std::memory_order_relaxed);
             }
             shard.wall_us.observe(static_cast<double>(t1 - t0) * 1e-3);
             shard.sim_s.observe(done.result.totals.duration.value());

@@ -67,6 +67,16 @@ std::string point_row_to_json(const SweepPointRow& row) {
       }
       out += "]";
     }
+    if (row.audit_enabled) {
+      out += ",\"audit_slots\":" + std::to_string(row.audit_slots);
+      out += ",\"audit_checks\":" + std::to_string(row.audit_checks);
+      out += ",\"audit_violations\":" + std::to_string(row.audit_violations);
+      out += ",\"engine_fallbacks\":" + std::to_string(row.engine_fallbacks);
+      if (!row.audit_first.empty()) {
+        out += ",\"audit_first\":\"" +
+               obs::json_escape(row.audit_first.c_str()) + "\"";
+      }
+    }
   }
   out += "}";
   return out;
@@ -110,6 +120,11 @@ std::string telemetry_worker_to_json(const TelemetryWorkerRow& w) {
   if (w.capped_slots > 0) {
     out += ",\"capped_slots\":" + std::to_string(w.capped_slots);
   }
+  if (w.audited_slots > 0) {
+    out += ",\"audited_slots\":" + std::to_string(w.audited_slots);
+    out += ",\"audit_violations\":" + std::to_string(w.audit_violations);
+    out += ",\"engine_fallbacks\":" + std::to_string(w.engine_fallbacks);
+  }
   out += ",\"busy_s\":" + format_double(w.busy_seconds);
   out += "}";
   return out;
@@ -130,6 +145,11 @@ std::string telemetry_to_json(const TelemetryReport& t) {
   out += ",\"slots\":" + std::to_string(t.slots);
   if (t.capped_slots > 0) {
     out += ",\"capped_slots\":" + std::to_string(t.capped_slots);
+  }
+  if (t.audited_slots > 0) {
+    out += ",\"audited_slots\":" + std::to_string(t.audited_slots);
+    out += ",\"audit_violations\":" + std::to_string(t.audit_violations);
+    out += ",\"engine_fallbacks\":" + std::to_string(t.engine_fallbacks);
   }
   out += ",\"points_per_s\":" + format_double(t.throughput_points_per_s);
   out += ",\"wall_p50_us\":" + format_double(t.wall_p50_us);
@@ -174,6 +194,16 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
     out += ",\"stacks\":{\"points\":" + std::to_string(bench.stack_points) +
            ",\"startups\":" + std::to_string(bench.stack_startups) +
            ",\"max_wear\":" + format_exact(bench.stack_max_wear) + "}";
+  }
+  if (bench.audit_enabled) {
+    out += ",\"audit\":{\"mode\":\"" +
+           obs::json_escape(bench.audit_mode.c_str()) + "\"" +
+           ",\"audited_slots\":" + std::to_string(bench.audited_slots) +
+           ",\"checks\":" + std::to_string(bench.audit_checks) +
+           ",\"violations\":" + std::to_string(bench.audit_violations) +
+           ",\"engine_fallbacks\":" + std::to_string(bench.engine_fallbacks) +
+           ",\"fallback_points\":" + std::to_string(bench.fallback_points) +
+           "}";
   }
   if (bench.resilience.enabled) {
     out += ",\"resilience\":" + resilience_to_json(bench.resilience);

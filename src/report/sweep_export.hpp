@@ -47,6 +47,14 @@ struct SweepPointRow {
   std::size_t stack_startups = 0;
   double stack_max_wear = 0.0;
   std::vector<double> stack_fuel;  ///< per-stack fuel A-s
+  /// Runtime-audit fields; serialized only when `audit_enabled` so
+  /// audit-off reports stay byte-identical to pre-audit builds.
+  bool audit_enabled = false;
+  std::uint64_t audit_slots = 0;       ///< slots the auditor sampled
+  std::uint64_t audit_checks = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t engine_fallbacks = 0;  ///< hot runs self-healed
+  std::string audit_first;             ///< first violated check; empty = clean
 };
 
 /// Fault-tolerant execution accounting (`SweepReport::resilience`);
@@ -84,6 +92,10 @@ struct TelemetryWorkerRow {
   /// Governor-throttled slots; serialized only when nonzero (cap-off
   /// telemetry stays byte-identical).
   std::uint64_t capped_slots = 0;
+  /// Audit counters; serialized only when audited_slots is nonzero.
+  std::uint64_t audited_slots = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t engine_fallbacks = 0;
   double busy_seconds = 0.0;
 };
 
@@ -104,6 +116,10 @@ struct TelemetryReport {
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;  ///< serialized only when nonzero
+  /// Audit counters; serialized only when audited_slots is nonzero.
+  std::uint64_t audited_slots = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t engine_fallbacks = 0;
   double throughput_points_per_s = 0.0;
   double wall_p50_us = 0.0;
   double wall_p95_us = 0.0;
@@ -141,6 +157,15 @@ struct SweepBenchReport {
   std::size_t stack_points = 0;       ///< ok points run multi-stack
   std::uint64_t stack_startups = 0;   ///< per-stack startups, all points
   double stack_max_wear = 0.0;        ///< worst final wear seen
+  /// Sweep-level runtime-audit rollup (`"audit":{...}`); emitted only
+  /// when `audit_enabled` so audit-off reports keep their bytes.
+  bool audit_enabled = false;
+  std::string audit_mode;              ///< "sample" | "strict"
+  std::uint64_t audited_slots = 0;     ///< slots sampled across all points
+  std::uint64_t audit_checks = 0;      ///< invariant checks evaluated
+  std::uint64_t audit_violations = 0;  ///< checks that failed
+  std::uint64_t engine_fallbacks = 0;  ///< hot runs replayed on reference
+  std::size_t fallback_points = 0;     ///< ok points that self-healed
   /// Per-point deterministic results, grid order.
   std::vector<SweepPointRow> results;
   SweepResilienceReport resilience;

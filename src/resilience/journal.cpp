@@ -15,6 +15,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "audit/audit.hpp"
 #include "cap/stats.hpp"
 #include "common/atomic_file.hpp"
 #include "common/csv.hpp"
@@ -353,6 +354,16 @@ std::uint64_t grid_fingerprint(const sim::ExperimentConfig& base,
     hash_double(hash, base.stacks.cycle_fade);
     hash_u64(hash, fnv1a64(base.stacks.config_csv));
   }
+  if (base.audit.enabled()) {
+    // Same compatibility rule again — and a resume that flips the audit
+    // mode (or the tamper hook) is a different run: the replayed
+    // spot-check would compare strict-mode results against journal rows
+    // written without auditing, so the fingerprints must not splice.
+    hash_u64(hash, 3);
+    hash_u64(hash, static_cast<std::uint64_t>(base.audit.mode));
+    hash_u64(hash, static_cast<std::uint64_t>(base.audit.sample_period));
+    hash_u64(hash, static_cast<std::uint64_t>(base.audit.tamper_slot));
+  }
   hash_u64(hash, storm_faults);
   hash_u64(hash, points.size());
   for (const par::SweepPoint& point : points) {
@@ -463,6 +474,28 @@ std::string record_to_json(const JournalRecord& record) {
     out += ",\"stk_delivered\":\"" + delivered_list + "\"";
     out += ",\"stk_startups\":\"" + startups_list + "\"";
     out += ",\"stk_wear\":\"" + wear_list + "\"";
+  }
+  if (r.audit.has_value()) {
+    // Audit block only when an auditor ran: audit-off journals stay
+    // byte-identical to pre-audit builds.
+    const audit::AuditStats& a = *r.audit;
+    out += ",\"aud_mode\":" + std::to_string(a.mode);
+    out += ",\"aud_slots\":" + std::to_string(a.slots_audited);
+    out += ",\"aud_segments\":" + std::to_string(a.segments_audited);
+    out += ",\"aud_checks\":" + std::to_string(a.checks_run);
+    out += ",\"aud_violations\":" + std::to_string(a.violations);
+    out += ",\"aud_fuel\":" + std::to_string(a.fuel_violations);
+    out += ",\"aud_storage\":" + std::to_string(a.storage_violations);
+    out += ",\"aud_cap\":" + std::to_string(a.cap_violations);
+    out += ",\"aud_stacks\":" + std::to_string(a.stacks_violations);
+    out += ",\"aud_cache\":" + std::to_string(a.cache_violations);
+    out += ",\"aud_fallbacks\":" + std::to_string(a.engine_fallbacks);
+    if (!a.first_violation.empty()) {
+      out += ",\"aud_first_slot\":" +
+             std::to_string(a.first_violation_slot);
+      out += ",\"aud_first\":\"" +
+             obs::json_escape(a.first_violation.c_str()) + "\"";
+    }
   }
   out += "}";
   return out;
@@ -683,6 +716,36 @@ bool record_from_json(std::string_view payload, JournalRecord& record) {
       stats.stacks[i].wear = wear_values[i];
     }
     r.stacks = std::move(stats);
+  }
+
+  // Audit block is optional (absent on audit-off runs); when the marker
+  // field is present every audit field is required together.
+  if (fields.find("aud_mode") != nullptr) {
+    std::uint64_t mode = 0;
+    audit::AuditStats stats;
+    if (!fields.integer("aud_mode", mode) || mode > 2 ||
+        !fields.integer("aud_slots", stats.slots_audited) ||
+        !fields.integer("aud_segments", stats.segments_audited) ||
+        !fields.integer("aud_checks", stats.checks_run) ||
+        !fields.integer("aud_violations", stats.violations) ||
+        !fields.integer("aud_fuel", stats.fuel_violations) ||
+        !fields.integer("aud_storage", stats.storage_violations) ||
+        !fields.integer("aud_cap", stats.cap_violations) ||
+        !fields.integer("aud_stacks", stats.stacks_violations) ||
+        !fields.integer("aud_cache", stats.cache_violations) ||
+        !fields.integer("aud_fallbacks", stats.engine_fallbacks)) {
+      return false;
+    }
+    stats.mode = static_cast<int>(mode);
+    if (fields.find("aud_first") != nullptr) {
+      std::uint64_t first_slot = 0;
+      if (!fields.integer("aud_first_slot", first_slot) ||
+          !fields.string("aud_first", stats.first_violation)) {
+        return false;
+      }
+      stats.first_violation_slot = static_cast<std::size_t>(first_slot);
+    }
+    r.audit = std::move(stats);
   }
   return true;
 }

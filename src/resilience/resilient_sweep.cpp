@@ -57,6 +57,30 @@ bool same_cap(const std::optional<cap::CapStats>& a,
   return true;
 }
 
+/// Equality over the journaled audit block (absent on audit-off runs;
+/// both sides must agree it is absent). Counters are exact integers,
+/// so this is also bitwise.
+bool same_audit(const std::optional<audit::AuditStats>& a,
+                const std::optional<audit::AuditStats>& b) {
+  if (a.has_value() != b.has_value()) {
+    return false;
+  }
+  if (!a.has_value()) {
+    return true;
+  }
+  return a->mode == b->mode && a->slots_audited == b->slots_audited &&
+         a->segments_audited == b->segments_audited &&
+         a->checks_run == b->checks_run && a->violations == b->violations &&
+         a->fuel_violations == b->fuel_violations &&
+         a->storage_violations == b->storage_violations &&
+         a->cap_violations == b->cap_violations &&
+         a->stacks_violations == b->stacks_violations &&
+         a->cache_violations == b->cache_violations &&
+         a->engine_fallbacks == b->engine_fallbacks &&
+         a->first_violation_slot == b->first_violation_slot &&
+         a->first_violation == b->first_violation;
+}
+
 /// Bitwise equality over every observable (journaled) result field.
 bool same_observable(const sim::SimulationResult& a,
                      const sim::SimulationResult& b) {
@@ -76,7 +100,7 @@ bool same_observable(const sim::SimulationResult& a,
          same_bits(a.storage_end.value(), b.storage_end.value()) &&
          same_bits(a.storage_min.value(), b.storage_min.value()) &&
          same_bits(a.storage_max.value(), b.storage_max.value()) &&
-         same_cap(a.cap, b.cap);
+         same_cap(a.cap, b.cap) && same_audit(a.audit, b.audit);
 }
 
 /// One scheduled unit of work: a grid point and which attempt this is.
@@ -282,6 +306,15 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
                   shard.capped_slots.fetch_add(
                       outcome.result.result.cap->slots_capped,
                       std::memory_order_relaxed);
+                }
+                if (outcome.result.result.audit.has_value()) {
+                  const audit::AuditStats& a = *outcome.result.result.audit;
+                  shard.audited_slots.fetch_add(a.slots_audited,
+                                                std::memory_order_relaxed);
+                  shard.audit_violations.fetch_add(
+                      a.violations, std::memory_order_relaxed);
+                  shard.engine_fallbacks.fetch_add(
+                      a.engine_fallbacks, std::memory_order_relaxed);
                 }
                 shard.sim_s.observe(
                     outcome.result.result.totals.duration.value());

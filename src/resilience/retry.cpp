@@ -1,7 +1,9 @@
 #include "resilience/retry.hpp"
 
 #include <cmath>
+#include <string>
 
+#include "audit/audit.hpp"
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "core/slot_optimizer.hpp"
@@ -92,6 +94,14 @@ PointOutcome execute_point(const sim::ExperimentConfig& base,
     return out;
   } catch (const InvariantError& error) {
     out.error = {PointErrorKind::contract_violation, error.what()};
+    return out;
+  } catch (const audit::AuditError& error) {
+    // Only reference-engine strict violations escape run_point (hot-lane
+    // violations self-heal onto the reference engine inside it); there
+    // is no healthier engine to heal onto, so the point quarantines
+    // under the contract taxonomy.
+    out.error = {PointErrorKind::contract_violation,
+                 std::string("audit: ") + error.what()};
     return out;
   } catch (const std::exception& error) {
     out.error = {PointErrorKind::contract_violation, error.what()};

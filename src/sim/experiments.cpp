@@ -97,6 +97,17 @@ SimulationResult run_policy(PolicyKind kind,
     governor.emplace(cap::make_governor(config.cap, config.efficiency));
     options.governor = &*governor;
   }
+  // Reference-engine auditing: strict fails fast (the resilience layer
+  // classifies the escape as contract_violation), sample records.
+  // Tamper models a hot-engine defect; the reference run is the truth
+  // it is checked against, so it never tampers here.
+  std::optional<audit::Auditor> auditor;
+  if (config.audit.enabled() && options.auditor == nullptr) {
+    audit::AuditSpec spec = config.audit;
+    spec.tamper_slot = audit::npos;
+    auditor.emplace(spec, spec.mode == audit::Mode::Strict);
+    options.auditor = &*auditor;
+  }
   return simulate(config.trace, dpm_policy, *fc_policy, hybrid, options);
 }
 

@@ -51,6 +51,14 @@ struct ExperimentConfig {
   /// spec's heterogeneous fleet CSV) instead of a LinearFuelSource.
   stacks::StacksSpec stacks;
 
+  /// Opt-in runtime invariant auditing. When enabled, run_policy /
+  /// par::run_point build one audit::Auditor per run from this spec
+  /// (the simulation options' raw auditor pointer is for callers that
+  /// manage their own instance). Hot-lane violations self-heal by
+  /// replaying on the reference engine; strict reference violations
+  /// throw audit::AuditError.
+  audit::AuditSpec audit;
+
   SimulationOptions simulation;
 };
 

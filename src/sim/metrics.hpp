@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "cap/stats.hpp"
 #include "common/units.hpp"
 #include "dpm/predictors.hpp"
@@ -65,6 +66,10 @@ struct SimulationResult {
   /// Per-stack accounting; present iff the hybrid's fuel source was a
   /// stacks::MultiStackFuelSource.
   std::optional<stacks::StacksStats> stacks;
+
+  /// Invariant-audit accounting; present iff an audit::Auditor was
+  /// attached (a clean run yields zeroed violation counters).
+  std::optional<audit::AuditStats> audit;
 
   /// The paper's headline metric: fuel consumed, in stack A-s.
   [[nodiscard]] Coulomb fuel() const { return totals.fuel; }

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "audit/audit.hpp"
 #include "cap/governor.hpp"
 #include "common/contracts.hpp"
 #include "fault/injector.hpp"
@@ -26,7 +27,8 @@ Coulomb run_segment(power::HybridPowerSource& hybrid,
                     core::FcOutputPolicy& fc_policy,
                     const core::SegmentContext& context, Seconds duration,
                     ProfileRecorder* recorder, Coulomb& if_dt_accumulator,
-                    obs::Context* trace_obs, obs::Profiler* profiler) {
+                    obs::Context* trace_obs, obs::Profiler* profiler,
+                    audit::Auditor* auditor, std::size_t slot_index) {
   const obs::ProfileScope profile(profiler, "sim.run_segment");
   const core::SegmentSetpoint sp = fc_policy.segment_setpoint(context);
 
@@ -43,6 +45,9 @@ Coulomb run_segment(power::HybridPowerSource& hybrid,
       hybrid.run_segment(first_span, context.device_current, sp.setpoint);
   fuel += first.fuel;
   if_dt_accumulator += first.actual_if * first_span;
+  if (auditor != nullptr) {
+    auditor->on_segment({slot_index, first_span.value(), &first});
+  }
   if (recorder != nullptr) {
     recorder->record(first_span, context.device_current, first.actual_if,
                      hybrid.storage().charge());
@@ -64,6 +69,9 @@ Coulomb run_segment(power::HybridPowerSource& hybrid,
         hybrid.run_segment(remainder, context.device_current, follow);
     fuel += rest.fuel;
     if_dt_accumulator += rest.actual_if * remainder;
+    if (auditor != nullptr) {
+      auditor->on_segment({slot_index, remainder.value(), &rest});
+    }
     if (recorder != nullptr) {
       recorder->record(remainder, context.device_current, rest.actual_if,
                        hybrid.storage().charge());
@@ -148,6 +156,12 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
   const double fc_floor_a =
       governor != nullptr ? hybrid.source().min_output().value() : 0.0;
 
+  // Audit side-car: read-only observer of the integration, so attaching
+  // one cannot change results. Fed per segment (above), per slot, and
+  // once at run end.
+  audit::Auditor* auditor = options.auditor;
+  const double bus_v = device.bus_voltage.value();
+
   const obs::ProfileScope profile(profiler, "sim.simulate");
   if (trace_obs != nullptr) {
     trace_obs->span_begin("sim", "simulate",
@@ -176,6 +190,11 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     Seconds active_eff = device.standby_to_run_delay + slot.active +
                          device.run_to_standby_delay;
     const Coulomb fuel_before = hybrid.totals().fuel;
+    const Joule delivered_before = hybrid.totals().delivered_energy;
+    // Slots the auditor would ignore skip the audit plumbing entirely
+    // (view construction included) — sample mode stays near-free.
+    audit::Auditor* slot_auditor =
+        (auditor != nullptr && auditor->wants_slot(k)) ? auditor : nullptr;
 
     // Faults visible at slot start: a load spike makes the device draw
     // more than the trace says (the policies are NOT told — they plan
@@ -292,7 +311,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                                {"duration_s", segment.duration.value()}});
       }
       run_segment(hybrid, fc_policy, context, segment.duration, rec,
-                  if_dt_idle, trace_obs, profiler);
+                  if_dt_idle, trace_obs, profiler, slot_auditor, k);
       if (trace_obs != nullptr) {
         trace_obs->span_end("sim", segment_name);
       }
@@ -333,7 +352,7 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                              {"current_A", run_current.value()}});
     }
     run_segment(hybrid, fc_policy, context, active_eff, rec, if_dt_active,
-                trace_obs, profiler);
+                trace_obs, profiler, slot_auditor, k);
     if (trace_obs != nullptr) {
       trace_obs->span_end("sim", "active");
     }
@@ -350,6 +369,20 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
     observation.delivered_charge = if_dt_idle + if_dt_active;
     observation.fuel_used = hybrid.totals().fuel - fuel_before;
     fc_policy.on_slot_end(observation);
+
+    if (slot_auditor != nullptr) {
+      audit::SlotAudit view;
+      view.slot = k;
+      view.bus_v = bus_v;
+      view.fuel_before = fuel_before.value();
+      view.fuel_after = hybrid.totals().fuel.value();
+      view.delivered_before = delivered_before.value();
+      view.delivered_after = hybrid.totals().delivered_energy.value();
+      view.if_dt = (if_dt_idle + if_dt_active).value();
+      view.storage_charge = hybrid.storage().charge().value();
+      view.storage_capacity = usable_capacity.value();
+      slot_auditor->on_slot(view);
+    }
 
     if (options.keep_slot_records) {
       SlotRecord record;
@@ -415,6 +448,32 @@ SimulationResult simulate(const wl::Trace& trace, dpm::DpmPolicy& dpm_policy,
                  static_cast<double>(result.stacks->total_startups()));
       obs->gauge("stacks.delivered_as", result.stacks->total_delivered_as());
       obs->gauge("stacks.max_wear", result.stacks->max_wear());
+    }
+  }
+
+  if (auditor != nullptr) {
+    Coulomb usable_end = capacity;
+    if (faults != nullptr && faults->active().storage_derate < 1.0) {
+      usable_end = capacity * faults->active().storage_derate;
+    }
+    audit::EndAudit end;
+    end.totals = &result.totals;
+    end.storage_end = result.storage_end.value();
+    end.storage_capacity = usable_end.value();
+    end.slots = result.slots;
+    end.cap = result.cap.has_value() ? &*result.cap : nullptr;
+    end.stacks = result.stacks.has_value() ? &*result.stacks : nullptr;
+    auditor->on_run_end(end);
+    result.audit = auditor->stats();
+    if (obs != nullptr && obs->metering()) {
+      obs->gauge("audit.slots_audited",
+                 static_cast<double>(result.audit->slots_audited));
+      obs->gauge("audit.checks_run",
+                 static_cast<double>(result.audit->checks_run));
+      obs->gauge("audit.violations",
+                 static_cast<double>(result.audit->violations));
+      obs->gauge("audit.engine_fallbacks",
+                 static_cast<double>(result.audit->engine_fallbacks));
     }
   }
 

@@ -26,6 +26,10 @@ namespace fcdpm::cap {
 class Governor;
 }
 
+namespace fcdpm::audit {
+class Auditor;
+}
+
 namespace fcdpm::sim {
 
 /// Which slot-loop implementation executes a run. Both produce
@@ -73,6 +77,14 @@ struct SimulationOptions {
   /// (the default) keeps results bit-identical to a build without the
   /// cap subsystem.
   cap::Governor* governor = nullptr;
+  /// Opt-in runtime invariant auditing. The simulator feeds the auditor
+  /// read-only per-segment/per-slot/run-end views; the auditor never
+  /// mutates simulation state, so results are bit-identical with it
+  /// attached. Its stats are copied into SimulationResult::audit. A
+  /// fail-fast auditor may throw audit::AuditError from a slot
+  /// boundary; the dispatchers (par::run_point, the CLI) self-heal a
+  /// hot-engine throw by replaying on the reference engine. Not owned.
+  audit::Auditor* auditor = nullptr;
   /// Opt-in cooperative cancellation. Checked (and `beat()`) once per
   /// slot boundary; a cancelled token makes simulate() throw
   /// CancelledError. Not owned. nullptr (the default) costs one pointer

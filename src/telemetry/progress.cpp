@@ -41,6 +41,12 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
   if (snap.capped_slots > 0) {
     out += ",\"capped_slots\":" + std::to_string(snap.capped_slots);
   }
+  // Same gating for auditing: audit-off streams keep their bytes.
+  if (snap.audited_slots > 0) {
+    out += ",\"audited_slots\":" + std::to_string(snap.audited_slots);
+    out += ",\"audit_violations\":" + std::to_string(snap.audit_violations);
+    out += ",\"engine_fallbacks\":" + std::to_string(snap.engine_fallbacks);
+  }
   out += ",\"points_per_s\":" + fmt(snap.throughput_points_per_s);
   out += ",\"eta_s\":" + fmt(snap.eta_seconds);
   out += ",\"wall_p50_us\":" + fmt(snap.wall_p50_us);
@@ -72,6 +78,11 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
     if (w.capped_slots > 0) {
       out += ",\"capped_slots\":" + std::to_string(w.capped_slots);
     }
+    if (w.audited_slots > 0) {
+      out += ",\"audited_slots\":" + std::to_string(w.audited_slots);
+      out += ",\"audit_violations\":" + std::to_string(w.audit_violations);
+      out += ",\"engine_fallbacks\":" + std::to_string(w.engine_fallbacks);
+    }
     out += ",\"busy_s\":" + fmt(w.busy_seconds) + "}";
   }
   out += "]}";
@@ -96,6 +107,12 @@ std::string progress_line(const SweepSnapshot& snap) {
   }
   if (snap.capped_slots > 0) {
     out += "  capped " + std::to_string(snap.capped_slots);
+  }
+  if (snap.audit_violations > 0) {
+    out += "  audit-violations " + std::to_string(snap.audit_violations);
+  }
+  if (snap.engine_fallbacks > 0) {
+    out += "  fallbacks " + std::to_string(snap.engine_fallbacks);
   }
   if (snap.retried > 0) {
     out += "  retried " + std::to_string(snap.retried);

@@ -118,6 +118,9 @@ struct alignas(kCacheLine) WorkerShard {
   std::atomic<std::uint64_t> busy_ns{0};     ///< wall time inside points
   std::atomic<std::uint64_t> slots{0};       ///< simulated slots executed
   std::atomic<std::uint64_t> capped_slots{0};  ///< governor-throttled slots
+  std::atomic<std::uint64_t> audited_slots{0};  ///< auditor-sampled slots
+  std::atomic<std::uint64_t> audit_violations{0};
+  std::atomic<std::uint64_t> engine_fallbacks{0};  ///< hot runs self-healed
   AtomicHistogram wall_us;  ///< per-point wall latency, microseconds
   AtomicHistogram sim_s;    ///< per-point simulated duration, seconds
 };

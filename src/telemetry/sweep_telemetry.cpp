@@ -91,6 +91,11 @@ SweepSnapshot SweepTelemetry::snapshot() const {
     row.heartbeats = shard.heartbeats.load(std::memory_order_relaxed);
     row.slots = shard.slots.load(std::memory_order_relaxed);
     row.capped_slots = shard.capped_slots.load(std::memory_order_relaxed);
+    row.audited_slots = shard.audited_slots.load(std::memory_order_relaxed);
+    row.audit_violations =
+        shard.audit_violations.load(std::memory_order_relaxed);
+    row.engine_fallbacks =
+        shard.engine_fallbacks.load(std::memory_order_relaxed);
     row.busy_seconds =
         static_cast<double>(shard.busy_ns.load(std::memory_order_relaxed)) *
         1e-9;
@@ -105,6 +110,9 @@ SweepSnapshot SweepTelemetry::snapshot() const {
     snap.heartbeats += row.heartbeats;
     snap.slots += row.slots;
     snap.capped_slots += row.capped_slots;
+    snap.audited_slots += row.audited_slots;
+    snap.audit_violations += row.audit_violations;
+    snap.engine_fallbacks += row.engine_fallbacks;
     max_done = std::max(max_done, row.done);
 
     wall.add(shard.wall_us);

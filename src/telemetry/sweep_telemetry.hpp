@@ -41,6 +41,9 @@ struct WorkerSnapshot {
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;
+  std::uint64_t audited_slots = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t engine_fallbacks = 0;
   double busy_seconds = 0.0;
 };
 
@@ -59,6 +62,9 @@ struct SweepSnapshot {
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;
+  std::uint64_t audited_slots = 0;
+  std::uint64_t audit_violations = 0;
+  std::uint64_t engine_fallbacks = 0;
   double throughput_points_per_s = 0.0;
   /// Remaining points / throughput; 0 when done or unknown.
   double eta_seconds = 0.0;

@@ -1,0 +1,111 @@
+// Crash-safe file writes: temp + fsync + rename + parent-dir fsync,
+// with strict fd discipline (no descriptor leaks on any path).
+#include "common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+
+namespace fcdpm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "fcdpm_atomic_" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Number of open file descriptors in this process (the /proc walk's
+/// own directory fd is constant across calls, so deltas are exact).
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return 0;  // no procfs: the fd-discipline checks become vacuous
+  }
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) {
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+TEST(AtomicFile, WritesContentAndLeavesNoTempSibling) {
+  const std::string path = temp_path("roundtrip.txt");
+  write_file_atomic(path, "hello\natomic\n");
+  EXPECT_EQ(read_file(path), "hello\natomic\n");
+  // The staging sibling is consumed by the rename.
+  std::ifstream tmp(atomic_temp_path(path));
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, OverwriteReplacesWholeContent) {
+  const std::string path = temp_path("overwrite.txt");
+  write_file_atomic(path, "a longer first version of the file\n");
+  write_file_atomic(path, "short\n");
+  EXPECT_EQ(read_file(path), "short\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, CommitFileRenamesAStagedFile) {
+  const std::string path = temp_path("commit.txt");
+  const std::string staged = atomic_temp_path(path);
+  {
+    std::ofstream out(staged, std::ios::binary);
+    out << "staged bytes";
+  }
+  commit_file(staged, path);
+  EXPECT_EQ(read_file(path), "staged bytes");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FsyncParentDirHandlesPlainAndNestedPaths) {
+  // Slash-less relative path: the parent is ".".
+  EXPECT_NO_THROW(fsync_parent_dir("no_directory_component.txt"));
+  // Nested path: the parent is the containing directory.
+  EXPECT_NO_THROW(fsync_parent_dir(temp_path("nested.txt")));
+  // A missing parent directory is an error, not a silent skip.
+  EXPECT_THROW(fsync_parent_dir("/nonexistent_fcdpm_dir/x.txt"), CsvError);
+}
+
+TEST(AtomicFile, WriteToUnwritableDirectoryThrowsCsvError) {
+  EXPECT_THROW(write_file_atomic("/nonexistent_fcdpm_dir/out.txt", "x"),
+               CsvError);
+}
+
+TEST(AtomicFile, NoFileDescriptorLeaksOnSuccessOrFailure) {
+  const std::string path = temp_path("fds.txt");
+  // Warm up any lazily-opened process state before taking the baseline.
+  write_file_atomic(path, "warmup");
+  const std::size_t before = open_fd_count();
+
+  for (int k = 0; k < 16; ++k) {
+    write_file_atomic(path, "pass " + std::to_string(k));
+    fsync_parent_dir(path);
+  }
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_THROW(write_file_atomic("/nonexistent_fcdpm_dir/out.txt", "x"),
+                 CsvError);
+    EXPECT_THROW(fsync_parent_dir("/nonexistent_fcdpm_dir/x.txt"), CsvError);
+  }
+
+  EXPECT_EQ(open_fd_count(), before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fcdpm

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "cap/stats.hpp"
 #include "common/csv.hpp"
 #include "sim/experiments.hpp"
@@ -124,6 +125,24 @@ void expect_same_record(const JournalRecord& a, const JournalRecord& b) {
       EXPECT_EQ(std::bit_cast<std::uint64_t>(ca.time_at_level_s[j]),
                 std::bit_cast<std::uint64_t>(cb.time_at_level_s[j]));
     }
+  }
+  ASSERT_EQ(a.result.audit.has_value(), b.result.audit.has_value());
+  if (a.result.audit.has_value()) {
+    const audit::AuditStats& aa = *a.result.audit;
+    const audit::AuditStats& ab = *b.result.audit;
+    EXPECT_EQ(aa.mode, ab.mode);
+    EXPECT_EQ(aa.slots_audited, ab.slots_audited);
+    EXPECT_EQ(aa.segments_audited, ab.segments_audited);
+    EXPECT_EQ(aa.checks_run, ab.checks_run);
+    EXPECT_EQ(aa.violations, ab.violations);
+    EXPECT_EQ(aa.fuel_violations, ab.fuel_violations);
+    EXPECT_EQ(aa.storage_violations, ab.storage_violations);
+    EXPECT_EQ(aa.cap_violations, ab.cap_violations);
+    EXPECT_EQ(aa.stacks_violations, ab.stacks_violations);
+    EXPECT_EQ(aa.cache_violations, ab.cache_violations);
+    EXPECT_EQ(aa.engine_fallbacks, ab.engine_fallbacks);
+    EXPECT_EQ(aa.first_violation_slot, ab.first_violation_slot);
+    EXPECT_EQ(aa.first_violation, ab.first_violation);
   }
 }
 
@@ -300,6 +319,106 @@ TEST(JournalTest, StacksStatsRoundTripBitExactly) {
   EXPECT_FALSE(load.records[1].result.stacks.has_value());
   EXPECT_EQ(load.records[1].point.stacks, 0u);
   std::remove(path.c_str());
+}
+
+// Audit block: present iff an auditor ran; a violated record keeps its
+// first-violation token (with escaping), a clean audited record omits
+// it, and unaudited records coexist byte-identically to pre-audit form.
+TEST(JournalTest, AuditStatsRoundTripBitExactly) {
+  const std::string path = temp_path("audit.fcj");
+  const std::vector<par::SweepPoint> points = grid_points(0);
+  ASSERT_GE(points.size(), 2u);
+
+  std::vector<JournalRecord> written;
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 0xaad});
+    JournalRecord violated = make_record(0, points[0]);
+    audit::AuditStats stats;
+    stats.mode = 2;
+    stats.slots_audited = 95;
+    stats.segments_audited = 241;
+    stats.checks_run = 1023;
+    stats.violations = 3;
+    stats.fuel_violations = 1;
+    stats.storage_violations = 0;
+    stats.cap_violations = 0;
+    stats.stacks_violations = 1;
+    stats.cache_violations = 1;
+    stats.engine_fallbacks = 1;
+    stats.first_violation_slot = 40;
+    stats.first_violation = "delivered \"integral\"\n";  // escaping
+    violated.result.audit = stats;
+    journal.append(violated);
+    written.push_back(violated);
+
+    JournalRecord clean = make_record(1, points[1]);
+    audit::AuditStats clean_stats;
+    clean_stats.mode = 1;
+    clean_stats.slots_audited = 7;
+    clean_stats.checks_run = 35;
+    clean.result.audit = clean_stats;  // first_violation empty, slot npos
+    journal.append(clean);
+    written.push_back(clean);
+
+    const JournalRecord unaudited = make_record(0, points[0]);
+    journal.append(unaudited);  // duplicate index: dropped on load
+  }
+
+  const JournalLoad load = load_journal(path);
+  ASSERT_EQ(load.records.size(), 2u);
+  expect_same_record(load.records[0], written[0]);
+  ASSERT_TRUE(load.records[0].result.audit.has_value());
+  EXPECT_EQ(load.records[0].result.audit->first_violation,
+            "delivered \"integral\"\n");
+  expect_same_record(load.records[1], written[1]);
+  ASSERT_TRUE(load.records[1].result.audit.has_value());
+  EXPECT_EQ(load.records[1].result.audit->first_violation_slot, audit::npos);
+  EXPECT_TRUE(load.records[1].result.audit->first_violation.empty());
+  std::remove(path.c_str());
+}
+
+// Satellite: a torn tail across a record that carries an audit block —
+// truncation at every byte offset of the final (audited) record drops
+// exactly that record and keeps the earlier audited one intact.
+TEST(JournalTest, TruncationAcrossAuditedFinalRecordRecovers) {
+  const std::vector<par::SweepPoint> points = grid_points(0);
+  ASSERT_GE(points.size(), 2u);
+  const std::string path = temp_path("torn_audit.fcj");
+  auto audited = [&](std::size_t k) {
+    JournalRecord record = make_record(k, points[k]);
+    audit::AuditStats stats;
+    stats.mode = 2;
+    stats.slots_audited = 10 + k;
+    stats.checks_run = 50 + k;
+    stats.violations = k;
+    stats.fuel_violations = k;
+    if (k != 0) {
+      stats.first_violation_slot = 4;
+      stats.first_violation = "fuel_integral";
+    }
+    record.result.audit = stats;
+    return record;
+  };
+  {
+    Journal journal = Journal::create(path, {"t", points.size(), 0x7a});
+    journal.append(audited(0));
+    journal.append(audited(1));
+  }
+  const std::string full = read_file(path);
+  const std::string cut_file = path + ".cut";
+  write_file(cut_file, full.substr(0, full.size() - 1));
+  const std::size_t final_start = load_journal(cut_file).valid_bytes;
+  ASSERT_LT(final_start, full.size());
+
+  for (std::size_t cut = final_start; cut < full.size(); ++cut) {
+    write_file(cut_file, full.substr(0, cut));
+    const JournalLoad load = load_journal(cut_file);
+    ASSERT_EQ(load.records.size(), 1u) << "cut=" << cut;
+    ASSERT_EQ(load.torn_tail, cut != final_start) << "cut=" << cut;
+    expect_same_record(load.records[0], audited(0));
+  }
+  std::remove(path.c_str());
+  std::remove(cut_file.c_str());
 }
 
 // Satellite: a journal truncated at *every byte offset* of its final
@@ -498,6 +617,27 @@ TEST(GridFingerprintTest, SensitiveToConfigPointsAndStormSize) {
   dist_points[0].distribution = stacks::Distribution::Health;
   EXPECT_NE(grid_fingerprint(base, dist_points, 12),
             grid_fingerprint(base, stack_points, 12));
+
+  // Audit spec participates when enabled — so a journal written with
+  // auditing on cannot silently resume a sweep run with it off (or in
+  // another mode), while audit-off knob tweaks stay inert.
+  sim::ExperimentConfig audited = base;
+  audited.audit.mode = audit::Mode::Strict;
+  const std::uint64_t audited_print = grid_fingerprint(audited, points, 12);
+  EXPECT_NE(audited_print, reference);
+  audited.audit.mode = audit::Mode::Sample;
+  const std::uint64_t sampled_print = grid_fingerprint(audited, points, 12);
+  EXPECT_NE(sampled_print, audited_print);
+  audited.audit.sample_period = 5;
+  EXPECT_NE(grid_fingerprint(audited, points, 12), sampled_print);
+  audited.audit.sample_period = 16;
+  audited.audit.tamper_slot = 3;
+  EXPECT_NE(grid_fingerprint(audited, points, 12), sampled_print);
+
+  sim::ExperimentConfig audit_inert = base;
+  audit_inert.audit.sample_period = 5;  // inert while mode is Off
+  audit_inert.audit.tamper_slot = 3;
+  EXPECT_EQ(grid_fingerprint(audit_inert, points, 12), reference);
 }
 
 }  // namespace
