@@ -61,6 +61,11 @@ fcdpm_add_bench(perf_cap)
 # any hot-vs-reference bit divergence (and on --min-speedup misses).
 fcdpm_add_bench(perf_harness)
 
+# Regression-gated batched-sweep bench: writes BENCH_batch.json, exits 1
+# on any batched-vs-reference bit divergence at either job count (and on
+# --min-speedup misses; CI gates at 4x).
+fcdpm_add_bench(perf_batch)
+
 # Bench-history ledger: appends BENCH_*.json rows to
 # BENCH_HISTORY.jsonl; --check exits 2 when a headline metric
 # regressed past tolerance against the trailing-window median.

@@ -1,0 +1,274 @@
+// Regression-gated perf bench for the batched sweep engine:
+// BENCH_batch.json.
+//
+// Measures par::run_sweep over a merge-heavy capacity grid (camcorder
+// trace, pure policies, shared sub-capacity initial charge — the sweep
+// shape the batched engine amortizes) on the reference and batched
+// engines, at --jobs 1 and --jobs N — min-of-N wall clock with warmup —
+// plus the merge accounting of one batched run, and writes the lot
+// atomically as JSON.
+//
+// Two gates, both exit 1:
+//   * bit-identity: every batched point must reproduce the reference
+//     sweep to the last bit, at both job counts;
+//   * --min-speedup X (default 0 = report only): the measured jobs-1
+//     batched-vs-reference speedup must reach X. CI runs with
+//     --min-speedup 4; the checked-in baseline shows >= 4x.
+//
+//   perf_batch [--out BENCH_batch.json] [--repeats N] [--min-speedup X]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/atomic_file.hpp"
+#include "par/sweep.hpp"
+#include "sim/experiments.hpp"
+
+namespace {
+
+using namespace fcdpm;
+using Clock = std::chrono::steady_clock;
+
+/// Merge-heavy grid: planning policies only — Asap's stateful lanes
+/// never merge, and Conv pins storage at the ceiling from the first
+/// slot, so both would just dilute the measurement into a
+/// hot-vs-reference comparison. The capacity axis spans the
+/// above-saturation regime a capacity ablation actually explores
+/// (where the planner's buffered level fits and lanes stay bitwise
+/// shared), with a sub-saturation tail so the split/hand-off machinery
+/// is exercised too.
+par::SweepGrid bench_grid() {
+  par::SweepGrid grid;
+  grid.policies = {sim::PolicyKind::FcDpm, sim::PolicyKind::Oracle};
+  grid.rhos = {0.3, 0.5, 0.7};
+  grid.capacities = {Coulomb(3.0),  Coulomb(4.0),  Coulomb(5.0),
+                     Coulomb(6.0),  Coulomb(7.0),  Coulomb(8.0),
+                     Coulomb(10.0), Coulomb(12.0), Coulomb(14.0),
+                     Coulomb(16.0), Coulomb(20.0), Coulomb(24.0),
+                     Coulomb(32.0), Coulomb(40.0), Coulomb(48.0),
+                     Coulomb(64.0)};
+  return grid;
+}
+
+/// Best-of-`repeats` wall-clock seconds for one call of `body`, after
+/// `warmup` unmeasured calls.
+template <typename Body>
+double best_of(int repeats, int warmup, Body&& body) {
+  for (int k = 0; k < warmup; ++k) {
+    body();
+  }
+  double best = 1e300;
+  for (int k = 0; k < repeats; ++k) {
+    const auto start = Clock::now();
+    body();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed < best) {
+      best = elapsed;
+    }
+  }
+  return best;
+}
+
+bool identical_sweeps(const par::SweepResult& ref,
+                      const par::SweepResult& got) {
+  if (ref.points.size() != got.points.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < ref.points.size(); ++k) {
+    const sim::SimulationResult& a = ref.points[k].result;
+    const sim::SimulationResult& b = got.points[k].result;
+    if (std::memcmp(&a.totals, &b.totals, sizeof a.totals) != 0 ||
+        a.slots != b.slots || a.sleeps != b.sleeps ||
+        a.storage_end != b.storage_end || a.storage_min != b.storage_min ||
+        a.storage_max != b.storage_max ||
+        a.latency_added != b.latency_added) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_number(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void fail(const char* what) {
+  std::fprintf(stderr, "FAIL: %s\n", what);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_batch.json";
+  int repeats = 7;
+  double min_speedup = 0.0;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    const auto value = [&]() -> std::string {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "dangling option: %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++k];
+    };
+    if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--repeats") {
+      repeats = std::atoi(value().c_str());
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::atof(value().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_batch [--out FILE] [--repeats N] "
+                   "[--min-speedup X]\n");
+      return 1;
+    }
+  }
+  if (repeats < 1) {
+    repeats = 1;
+  }
+
+  sim::ExperimentConfig reference = sim::experiment1_config();
+  // Sub-capacity shared initial charge: capacity-only lanes start
+  // physically identical, which is what makes them mergeable.
+  reference.initial_storage = Coulomb(1.0);
+  sim::ExperimentConfig batched = reference;
+  batched.simulation.engine = sim::Engine::Batched;
+  const par::SweepGrid grid = bench_grid();
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t jobs_n = hw > 1 ? hw : 2;
+  par::SweepOptions one;
+  one.jobs = 1;
+  par::SweepOptions many;
+  many.jobs = jobs_n;
+
+  // ---- Gate 1: bit-identity at both job counts. -----------------------
+  const par::SweepResult ref_run = par::run_sweep(reference, grid, one);
+  const par::SweepResult batch_run = par::run_sweep(batched, grid, one);
+  if (!identical_sweeps(ref_run, batch_run)) {
+    fail("batched sweep diverged from the reference sweep (--jobs 1)");
+  }
+  const par::SweepResult batch_run_n = par::run_sweep(batched, grid, many);
+  if (!identical_sweeps(ref_run, batch_run_n)) {
+    fail("batched sweep diverged from the reference sweep (--jobs N)");
+  }
+  const std::size_t points = ref_run.points.size();
+  if (batch_run.stats.points_batched != points) {
+    fail("a grid point fell off the batched path");
+  }
+  if (batch_run.stats.batch_merged_lane_slots == 0) {
+    fail("no follower slot was served by a leader (merging is dead)");
+  }
+  std::printf("bit-identity: OK (%zu points, %zu merge sets, "
+              "%zu merged lane-slots, %zu splits, %llu journal hits)\n",
+              points, batch_run.stats.batch_merge_sets,
+              batch_run.stats.batch_merged_lane_slots,
+              batch_run.stats.batch_splits,
+              static_cast<unsigned long long>(
+                  batch_run.stats.batch_journal_hits));
+
+  // ---- Timing: min-of-N with warmup. ----------------------------------
+  volatile double sink = 0.0;
+  const auto time_sweep = [&](const sim::ExperimentConfig& config,
+                              const par::SweepOptions& options) {
+    return best_of(repeats, 1, [&] {
+      const par::SweepResult r = par::run_sweep(config, grid, options);
+      sink = sink + r.points.back().result.totals.fuel.value();
+    });
+  };
+  const double ref_1 = time_sweep(reference, one);
+  const double batch_1 = time_sweep(batched, one);
+  const double ref_n = time_sweep(reference, many);
+  const double batch_n = time_sweep(batched, many);
+
+  const double pts = static_cast<double>(points);
+  const double speedup_1 = batch_1 > 0.0 ? ref_1 / batch_1 : 0.0;
+  const double speedup_n = batch_n > 0.0 ? ref_n / batch_n : 0.0;
+  std::printf("--jobs 1 : ref %.2f ms, batched %.2f ms (%.2fx, "
+              "%.0f devices/s)\n",
+              ref_1 * 1e3, batch_1 * 1e3, speedup_1, pts / batch_1);
+  std::printf("--jobs %zu: ref %.2f ms, batched %.2f ms (%.2fx, "
+              "%.0f devices/s)\n",
+              jobs_n, ref_n * 1e3, batch_n * 1e3, speedup_n,
+              pts / batch_n);
+
+  // ---- BENCH_batch.json. ----------------------------------------------
+  const bool speedup_ok = speedup_1 >= min_speedup;
+  const par::SweepRunStats& bs = batch_run.stats;
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"schema\": \"fcdpm.bench.batch.v1\",\n"
+       << "  \"generated_by\": \"bench/perf_batch\",\n"
+       << "  \"env\": {\n"
+       << "    \"compiler\": \"" << __VERSION__ << "\",\n"
+       << "    \"cpp_standard\": " << __cplusplus << ",\n"
+#ifdef NDEBUG
+       << "    \"assertions\": \"off\",\n"
+#else
+       << "    \"assertions\": \"on\",\n"
+#endif
+       << "    \"pointer_bits\": " << 8 * sizeof(void*) << ",\n"
+       << "    \"hardware_threads\": " << hw << "\n"
+       << "  },\n"
+       << "  \"workload\": {\n"
+       << "    \"trace\": \"" << reference.trace.name() << "\",\n"
+       << "    \"slots\": " << reference.trace.size() << ",\n"
+       << "    \"policies\": [\"fcdpm\", \"oracle\"],\n"
+       << "    \"rhos\": " << grid.rhos.size() << ",\n"
+       << "    \"capacities\": " << grid.capacities.size() << ",\n"
+       << "    \"points\": " << points << "\n"
+       << "  },\n"
+       << "  \"identity\": {\n"
+       << "    \"bit_identical_jobs1\": true,\n"
+       << "    \"bit_identical_jobsN\": true,\n"
+       << "    \"points_batched\": " << bs.points_batched << "\n"
+       << "  },\n"
+       << "  \"merge\": {\n"
+       << "    \"sets\": " << bs.batch_merge_sets << ",\n"
+       << "    \"merged_lane_slots\": " << bs.batch_merged_lane_slots
+       << ",\n"
+       << "    \"splits\": " << bs.batch_splits << ",\n"
+       << "    \"journal_hits\": " << bs.batch_journal_hits << "\n"
+       << "  },\n"
+       << "  \"timing\": {\n"
+       << "    \"repeats\": " << repeats << ",\n"
+       << "    \"jobs1\": {\n"
+       << "      \"reference_s\": " << json_number(ref_1) << ",\n"
+       << "      \"batched_s\": " << json_number(batch_1) << ",\n"
+       << "      \"speedup\": " << json_number(speedup_1) << ",\n"
+       << "      \"devices_per_s\": " << json_number(pts / batch_1) << "\n"
+       << "    },\n"
+       << "    \"jobsN\": {\n"
+       << "      \"jobs\": " << jobs_n << ",\n"
+       << "      \"reference_s\": " << json_number(ref_n) << ",\n"
+       << "      \"batched_s\": " << json_number(batch_n) << ",\n"
+       << "      \"speedup\": " << json_number(speedup_n) << ",\n"
+       << "      \"devices_per_s\": " << json_number(pts / batch_n) << "\n"
+       << "    }\n"
+       << "  },\n"
+       << "  \"gates\": {\n"
+       << "    \"min_speedup\": " << json_number(min_speedup) << ",\n"
+       << "    \"passed\": " << (speedup_ok ? "true" : "false") << "\n"
+       << "  }\n"
+       << "}\n";
+  write_file_atomic(out_path, json.str());
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!speedup_ok) {
+    std::fprintf(stderr,
+                 "FAIL: --jobs 1 batched speedup %.2fx below the "
+                 "--min-speedup %.2fx gate\n",
+                 speedup_1, min_speedup);
+    return 1;
+  }
+  return 0;
+}

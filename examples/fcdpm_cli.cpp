@@ -47,6 +47,8 @@
 #include "common/text.hpp"
 #include "fault/injector.hpp"
 #include "fault/schedule.hpp"
+#include "batch/engine.hpp"
+#include "batch/lifetime.hpp"
 #include "hot/compiled_trace.hpp"
 #include "hot/engine.hpp"
 #include "hot/lifetime.hpp"
@@ -185,9 +187,11 @@ sim::ExperimentConfig build_config(const Options& options) {
   const std::string engine = option_or(options, "engine", "reference");
   if (engine == "hot") {
     config.simulation.engine = sim::Engine::Hot;
+  } else if (engine == "batched") {
+    config.simulation.engine = sim::Engine::Batched;
   } else if (engine != "reference") {
     throw std::runtime_error("unknown engine: " + engine +
-                             " (use reference|hot)");
+                             " (use reference|hot|batched)");
   }
   const std::string cap = option_or(options, "cap", "off");
   if (cap == "on") {
@@ -223,6 +227,23 @@ sim::ExperimentConfig build_config(const Options& options) {
   }
   config.audit.tamper_slot = checked_index_or(
       options, "audit-tamper-slot", config.audit.tamper_slot);
+  // The batched engine refuses combinations it would otherwise have to
+  // silently degrade on, instead of quietly running something else.
+  if (config.simulation.engine == sim::Engine::Batched) {
+    if (options.find("faults") != options.end()) {
+      throw std::runtime_error(
+          "--engine batched: incompatible with --faults (fault injection "
+          "is not modelled by the batch loop; use --engine hot or "
+          "--engine reference)");
+    }
+    if (config.audit.mode == audit::Mode::Strict) {
+      throw std::runtime_error(
+          "--engine batched: incompatible with --audit strict (strict "
+          "violations must propagate, but batched lanes self-heal onto "
+          "the reference engine; use --audit sample or --engine "
+          "reference)");
+    }
+  }
   // Multi-stack source: --stacks N (>= 1) enables it; sweeps may pass a
   // comma list here, in which case atof's first value seeds the base
   // config and the grid axis overrides every point.
@@ -246,14 +267,17 @@ sim::ExperimentConfig build_config(const Options& options) {
 
 /// sim::run_policy with the engine honoured: `--engine hot` compiles
 /// the trace and runs hot::simulate (bit-identical to the reference;
-/// ineligible configurations fall back inside hot::simulate). With
-/// `--audit` on, the hot run carries a fail-fast auditor; a violation
-/// self-heals by replaying the run on the reference engine (tamper hook
-/// cleared — it models a hot-engine defect) and recording an
-/// engine_fallback in the result's AuditStats.
+/// ineligible configurations fall back inside hot::simulate), and
+/// `--engine batched` runs batch::simulate (a B = 1 batch, same
+/// fallback chain). With `--audit` on, the compiled run carries a
+/// fail-fast auditor; a violation self-heals by replaying the run on
+/// the reference engine (tamper hook cleared — it models a compiled-
+/// engine defect) and recording an engine_fallback in the result's
+/// AuditStats.
 sim::SimulationResult run_policy_with_engine(
     sim::PolicyKind kind, const sim::ExperimentConfig& config) {
-  if (config.simulation.engine != sim::Engine::Hot) {
+  const bool batched = config.simulation.engine == sim::Engine::Batched;
+  if (config.simulation.engine != sim::Engine::Hot && !batched) {
     return sim::run_policy(kind, config);
   }
   std::optional<audit::AuditStats> failed_stats;
@@ -276,6 +300,10 @@ sim::SimulationResult run_policy_with_engine(
     }
     const hot::CompiledTrace compiled(config.trace, config.device);
     try {
+      if (batched) {
+        return batch::simulate(compiled, dpm_policy, *fc_policy, hybrid,
+                               sim_options);
+      }
       return hot::simulate(compiled, dpm_policy, *fc_policy, hybrid,
                            sim_options);
     } catch (const audit::AuditError&) {
@@ -478,6 +506,7 @@ class TelemetrySession {
     t.cache_misses = snap.cache_misses;
     t.hot_dispatches = snap.hot_dispatches;
     t.reference_dispatches = snap.reference_dispatches;
+    t.batched_dispatches = snap.batched_dispatches;
     t.heartbeats = snap.heartbeats;
     t.slots = snap.slots;
     t.capped_slots = snap.capped_slots;
@@ -500,6 +529,7 @@ class TelemetrySession {
       row.cache_misses = w.cache_misses;
       row.hot_dispatches = w.hot_dispatches;
       row.reference_dispatches = w.reference_dispatches;
+      row.batched_dispatches = w.batched_dispatches;
       row.heartbeats = w.heartbeats;
       row.slots = w.slots;
       row.capped_slots = w.capped_slots;
@@ -721,7 +751,7 @@ int cmd_compare(const Options& options) {
 
   sim::PolicyComparison c;
   if (obs.context() != nullptr ||
-      config.simulation.engine == sim::Engine::Hot) {
+      config.simulation.engine != sim::Engine::Reference) {
     // Re-run per policy so each lands on its own trace track (and so
     // the hot engine is honoured per run).
     config.simulation.observer = obs.context();
@@ -791,7 +821,11 @@ int cmd_lifetime(const Options& options) {
   lifetime_options.tank = tank;
   lifetime_options.simulation = config.simulation;
   sim::LifetimeResult r;
-  if (config.simulation.engine == sim::Engine::Hot) {
+  if (config.simulation.engine == sim::Engine::Batched) {
+    const hot::CompiledTrace compiled(config.trace, config.device);
+    r = batch::measure_lifetime(compiled, dpm_policy, *fc_policy, hybrid,
+                                lifetime_options);
+  } else if (config.simulation.engine == sim::Engine::Hot) {
     const hot::CompiledTrace compiled(config.trace, config.device);
     r = hot::measure_lifetime(compiled, dpm_policy, *fc_policy, hybrid,
                               lifetime_options);
@@ -1400,6 +1434,11 @@ int cmd_sweep(const Options& options) {
   bench.cache_hits = sweep.stats.cache_hits;
   bench.cache_misses = sweep.stats.cache_misses;
   bench.cache_hit_rate = sweep.stats.cache_hit_rate();
+  bench.batched_points = sweep.stats.points_batched;
+  bench.batch_merge_sets = sweep.stats.batch_merge_sets;
+  bench.batch_merged_lane_slots = sweep.stats.batch_merged_lane_slots;
+  bench.batch_splits = sweep.stats.batch_splits;
+  bench.batch_journal_hits = sweep.stats.batch_journal_hits;
   for (const par::SweepPointResult& p : sweep.points) {
     bench.results.push_back(make_point_row(p.point, p.result));
     accumulate_cap(bench, p.result);
@@ -1425,6 +1464,13 @@ int cmd_sweep(const Options& options) {
                 bench.stack_points,
                 static_cast<unsigned long long>(bench.stack_startups),
                 bench.stack_max_wear);
+  }
+  if (bench.batched_points > 0) {
+    std::printf("batched: %zu/%zu points | %zu merge sets | %zu merged "
+                "lane-slots | %zu splits | %llu journal hits\n",
+                bench.batched_points, bench.points, bench.batch_merge_sets,
+                bench.batch_merged_lane_slots, bench.batch_splits,
+                static_cast<unsigned long long>(bench.batch_journal_hits));
   }
   print_audit_rollup(bench);
 
@@ -1585,9 +1631,13 @@ int usage() {
       "  aggregate --out f.csv [--defer S] [--trace ... | --kind ...]\n"
       "  merge    <out.csv> <in1.csv> <in2.csv> [...]\n"
       "run/compare/lifetime/sweep also accept:\n"
-      "  --engine reference|hot  simulation engine (default reference;\n"
-      "                        hot = compiled-trace fast path,\n"
-      "                        bit-identical results)\n"
+      "  --engine reference|hot|batched\n"
+      "                        simulation engine (default reference;\n"
+      "                        hot = compiled-trace fast path, batched =\n"
+      "                        multi-point SoA batch loop for sweeps with\n"
+      "                        prefix-sharing across capacities; both\n"
+      "                        bit-identical results). batched rejects\n"
+      "                        --faults and --audit strict\n"
       "  --trace-out f.json    Chrome/Perfetto trace (f.jsonl for JSONL)\n"
       "  --metrics-out f.csv   metrics registry dump (f.json for JSON)\n"
       "  --profile-out f.csv   wall-clock hot-path profile\n"

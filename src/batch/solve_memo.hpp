@@ -1,0 +1,174 @@
+// Per-slot solve journal: the batch engine's core::SlotSolveCache.
+//
+// Within one merge set and one slot, the leader's solves are journaled
+// (inputs + answer + whether the answer was shaped by the buffer
+// capacity). Every solve first scans the journal for an entry whose
+// model and inputs match bit-for-bit *excluding capacity*: by the
+// capacity-slack property of the slot optimizer (solve reads `capacity`
+// only in its preconditions and the two store-clamp branches, both of
+// which set `capacity_clamped`), an unclamped Ok answer is bitwise
+// valid for any capacity >= the leader's. Merge sets order lanes so the
+// leader has the smallest capacity, and leadership only ever hands off
+// *up* the capacity order, so a journal hit replaces the solve outright
+// — that is how a seated successor re-runs a phase after a clamp
+// hand-off, and how its idle-phase catch-up replays the plan, without
+// paying for a single solve. A miss (inputs diverged, or the recorded
+// answer was capacity-shaped and must be recomputed at the larger
+// capacity) falls through to the underlying cache (the sweep's
+// SharedSolveCache tap) or a fresh solve, exactly what the point would
+// have done running alone.
+//
+// The journal is a fixed inline array (a slot makes at most two solves
+// per policy — idle plan + active replan — plus fallbacks), cleared
+// every slot; no hashing, no allocation. Lookup is a handful of word
+// compares, orders of magnitude cheaper than the closed-form solve.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/solve_cache.hpp"
+
+namespace fcdpm::batch {
+
+class BatchSolveMemo final : public core::SlotSolveCache {
+ public:
+  explicit BatchSolveMemo(core::SlotSolveCache* underlying = nullptr)
+      : underlying_(underlying) {}
+
+  /// Clear the journal at a slot boundary.
+  void begin_slot() noexcept {
+    count_ = 0;
+    clamped_ = false;
+  }
+
+  /// Recording on: solves that miss the journal record their answers
+  /// (leader mode). Recording off: misses solve without journaling
+  /// (hand-off catch-up replays). Lookups always run first either way —
+  /// a successor seated after a clamp hand-off reuses every entry its
+  /// smaller-capacity predecessor left behind.
+  void set_recording(bool recording) noexcept { recording_ = recording; }
+
+  /// True when any solve recorded since the last take_clamped() had a
+  /// capacity-shaped (or failed) answer — the engine then splits every
+  /// merged follower for this phase. Resets the flag.
+  [[nodiscard]] bool take_clamped() noexcept {
+    const bool clamped = clamped_;
+    clamped_ = false;
+    return clamped;
+  }
+
+  [[nodiscard]] std::uint64_t journal_hits() const noexcept { return hits_; }
+
+  [[nodiscard]] core::CheckedSetting solve(
+      const core::SlotOptimizer& optimizer, const core::SlotLoad& load,
+      const core::StorageBounds& storage) override {
+    const std::array<std::uint64_t, 6> inputs = {
+        bits(load.idle.value()),        bits(load.idle_current.value()),
+        bits(load.active.value()),      bits(load.active_current.value()),
+        bits(storage.initial.value()),  bits(storage.target_end.value())};
+    if (const core::CheckedSetting* found = find(false, optimizer, inputs)) {
+      ++hits_;
+      return *found;
+    }
+    const core::CheckedSetting answer =
+        underlying_ != nullptr ? underlying_->solve(optimizer, load, storage)
+                               : optimizer.solve_checked(load, storage);
+    if (recording_) {
+      record(false, optimizer, inputs, answer);
+    }
+    return answer;
+  }
+
+  [[nodiscard]] core::CheckedSetting solve_active_only(
+      const core::SlotOptimizer& optimizer, Seconds duration, Coulomb charge,
+      const core::StorageBounds& storage) override {
+    const std::array<std::uint64_t, 6> inputs = {
+        bits(duration.value()),        bits(charge.value()),
+        bits(storage.initial.value()), bits(storage.target_end.value()),
+        0,                             0};
+    if (const core::CheckedSetting* found = find(true, optimizer, inputs)) {
+      ++hits_;
+      return *found;
+    }
+    const core::CheckedSetting answer =
+        underlying_ != nullptr
+            ? underlying_->solve_active_only(optimizer, duration, charge,
+                                             storage)
+            : optimizer.solve_active_only_checked(duration, charge, storage);
+    if (recording_) {
+      record(true, optimizer, inputs, answer);
+    }
+    return answer;
+  }
+
+ private:
+  struct Entry {
+    bool active_only = false;
+    bool reusable = false;
+    std::array<std::uint64_t, 6> model{};
+    std::array<std::uint64_t, 6> inputs{};
+    core::CheckedSetting result;
+  };
+
+  [[nodiscard]] static std::uint64_t bits(double value) noexcept {
+    return std::bit_cast<std::uint64_t>(value);
+  }
+
+  [[nodiscard]] static std::array<std::uint64_t, 6> model_words(
+      const core::SlotOptimizer& optimizer) noexcept {
+    const power::LinearEfficiencyModel& m = optimizer.model();
+    return {bits(m.bus_voltage().value()), bits(m.zeta()),
+            bits(m.alpha()),               bits(m.beta()),
+            bits(m.min_output().value()),  bits(m.max_output().value())};
+  }
+
+  [[nodiscard]] const core::CheckedSetting* find(
+      bool active_only, const core::SlotOptimizer& optimizer,
+      const std::array<std::uint64_t, 6>& inputs) const noexcept {
+    if (count_ == 0) {
+      return nullptr;
+    }
+    const std::array<std::uint64_t, 6> model = model_words(optimizer);
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Entry& e = journal_[i];
+      if (e.reusable && e.active_only == active_only && e.inputs == inputs &&
+          e.model == model) {
+        return &e.result;
+      }
+    }
+    return nullptr;
+  }
+
+  void record(bool active_only, const core::SlotOptimizer& optimizer,
+              const std::array<std::uint64_t, 6>& inputs,
+              const core::CheckedSetting& answer) noexcept {
+    // Only an Ok, capacity-unclamped answer carries the slack property;
+    // anything else marks the phase capacity-sensitive so the engine
+    // splits its followers instead of sharing a possibly capacity-
+    // shaped answer.
+    const bool reusable = answer.ok() && !answer.setting.capacity_clamped;
+    if (!reusable) {
+      clamped_ = true;
+    }
+    if (count_ < journal_.size()) {
+      Entry& e = journal_[count_++];
+      e.active_only = active_only;
+      e.reusable = reusable;
+      e.model = model_words(optimizer);
+      e.inputs = inputs;
+      e.result = answer;
+    }
+  }
+
+  core::SlotSolveCache* underlying_ = nullptr;
+  std::array<Entry, 6> journal_{};
+  std::size_t count_ = 0;
+  bool recording_ = false;
+  bool clamped_ = false;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace fcdpm::batch

@@ -1,5 +1,7 @@
 #include "core/fc_policy.hpp"
 
+#include <bit>
+#include <cstdint>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -107,6 +109,38 @@ Ampere derated_max(const power::LinearEfficiencyModel& model,
   return max(model.min_output(), model.max_output() * derate);
 }
 
+// merge_equivalent compares doubles bitwise: consumers need
+// bit-identical futures, and == would conflate -0.0 with 0.0 (whose
+// downstream arithmetic can differ in the last bit).
+[[nodiscard]] bool same_bits(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+[[nodiscard]] bool same_model(const power::LinearEfficiencyModel& a,
+                              const power::LinearEfficiencyModel& b) noexcept {
+  return same_bits(a.bus_voltage().value(), b.bus_voltage().value()) &&
+         same_bits(a.zeta(), b.zeta()) && same_bits(a.alpha(), b.alpha()) &&
+         same_bits(a.beta(), b.beta()) &&
+         same_bits(a.min_output().value(), b.min_output().value()) &&
+         same_bits(a.max_output().value(), b.max_output().value());
+}
+
+[[nodiscard]] bool same_device(const dpm::DevicePowerModel& a,
+                               const dpm::DevicePowerModel& b) noexcept {
+  return same_bits(a.bus_voltage.value(), b.bus_voltage.value()) &&
+         same_bits(a.run_power.value(), b.run_power.value()) &&
+         same_bits(a.standby_power.value(), b.standby_power.value()) &&
+         same_bits(a.sleep_power.value(), b.sleep_power.value()) &&
+         same_bits(a.power_down_delay.value(), b.power_down_delay.value()) &&
+         same_bits(a.power_down_power.value(), b.power_down_power.value()) &&
+         same_bits(a.wake_up_delay.value(), b.wake_up_delay.value()) &&
+         same_bits(a.wake_up_power.value(), b.wake_up_power.value()) &&
+         same_bits(a.standby_to_run_delay.value(),
+                   b.standby_to_run_delay.value()) &&
+         same_bits(a.run_to_standby_delay.value(),
+                   b.run_to_standby_delay.value());
+}
+
 }  // namespace
 
 // --- ConvFcPolicy ------------------------------------------------------------
@@ -120,6 +154,12 @@ SegmentSetpoint ConvFcPolicy::segment_setpoint(const SegmentContext&) {
 
 std::unique_ptr<FcOutputPolicy> ConvFcPolicy::clone() const {
   return std::make_unique<ConvFcPolicy>(*this);
+}
+
+bool ConvFcPolicy::merge_equivalent(
+    const FcOutputPolicy& other) const noexcept {
+  const auto* o = dynamic_cast<const ConvFcPolicy*>(&other);
+  return o != nullptr && same_model(model_, o->model_);
 }
 
 // --- AsapFcPolicy ------------------------------------------------------------
@@ -394,6 +434,35 @@ void FcDpmPolicy::on_slot_end(const SlotObservation& observation) {
   }
 }
 
+bool FcDpmPolicy::merge_equivalent(
+    const FcOutputPolicy& other) const noexcept {
+  const auto* o = dynamic_cast<const FcDpmPolicy*>(&other);
+  if (o == nullptr) {
+    return false;
+  }
+  // A quantized policy solves through the level search, which reads the
+  // capacity without reporting capacity_clamped — the merge journal
+  // cannot certify its answers. An adaptive policy re-fits its model
+  // from telemetry; the states stay equal in lock-step, but comparing
+  // the RLS internals is not worth the coupling. Both stay solo.
+  if (quantizer_.has_value() || o->quantizer_.has_value() ||
+      estimator_.has_value() || o->estimator_.has_value()) {
+    return false;
+  }
+  return same_model(optimizer_.model(), o->optimizer_.model()) &&
+         same_device(device_, o->device_) &&
+         active_predictor_->equivalent(*o->active_predictor_) &&
+         current_estimator_.equivalent(o->current_estimator_) &&
+         shutdown_enabled_ == o->shutdown_enabled_ &&
+         same_bits(shutdown_min_idle_.value(),
+                   o->shutdown_min_idle_.value()) &&
+         same_bits(shutdown_margin_, o->shutdown_margin_) &&
+         have_target_ == o->have_target_ &&
+         same_bits(target_end_.value(), o->target_end_.value()) &&
+         same_bits(if_idle_.value(), o->if_idle_.value()) &&
+         same_bits(if_active_.value(), o->if_active_.value());
+}
+
 std::unique_ptr<FcOutputPolicy> FcDpmPolicy::clone() const {
   auto copy = std::make_unique<FcDpmPolicy>(
       optimizer_.model(), device_, active_predictor_->clone(),
@@ -505,6 +574,16 @@ SegmentSetpoint OracleFcPolicy::segment_setpoint(
 
 std::unique_ptr<FcOutputPolicy> OracleFcPolicy::clone() const {
   return std::make_unique<OracleFcPolicy>(*this);
+}
+
+bool OracleFcPolicy::merge_equivalent(
+    const FcOutputPolicy& other) const noexcept {
+  const auto* o = dynamic_cast<const OracleFcPolicy*>(&other);
+  return o != nullptr && same_model(optimizer_.model(), o->optimizer_.model()) &&
+         same_device(device_, o->device_) && have_target_ == o->have_target_ &&
+         same_bits(target_end_.value(), o->target_end_.value()) &&
+         same_bits(if_idle_.value(), o->if_idle_.value()) &&
+         same_bits(if_active_.value(), o->if_active_.value());
 }
 
 void OracleFcPolicy::reset() {

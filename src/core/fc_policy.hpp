@@ -124,6 +124,34 @@ class FcOutputPolicy {
   [[nodiscard]] virtual std::unique_ptr<FcOutputPolicy> clone() const = 0;
   virtual void reset() = 0;
 
+  /// True when segment_setpoint() is a pure function of the segment's
+  /// phase for the duration of one slot: it mutates no policy state and
+  /// every idle (resp. active) segment of a slot gets the same answer
+  /// regardless of the context's charge/current fields. The batch
+  /// engine (`fcdpm::batch`) merges lanes only for pure policies — it
+  /// probes the setpoint once per phase and reuses it across segments
+  /// and lanes. Conservative default: impure.
+  [[nodiscard]] virtual bool segment_setpoint_is_pure() const noexcept {
+    return false;
+  }
+
+  /// True when `other` is an interchangeable copy of this policy: same
+  /// dynamic type, same configuration, and bitwise-identical mutable
+  /// state, so the two emit bit-identical decisions forever given
+  /// identical observation streams, and capacity influences those
+  /// decisions only through solves whose capacity-shaping the solver
+  /// reports (CheckedSetting::capacity_clamped). The batch engine
+  /// merges lanes only under this contract — a merged follower's policy
+  /// is frozen and the leader's plans stand in for it — so an
+  /// implementation must compare every behavior-bearing member and must
+  /// refuse variants that solve through unreported capacity-dependent
+  /// paths (e.g. quantized level search). Conservative default: not
+  /// equivalent.
+  [[nodiscard]] virtual bool merge_equivalent(
+      const FcOutputPolicy& /*other*/) const noexcept {
+    return false;
+  }
+
   /// Attach (or detach with nullptr) an observability context; the
   /// simulator does this for the duration of a run and restores the
   /// previous value when it returns. Policies emit plan/replan
@@ -190,6 +218,11 @@ class ConvFcPolicy final : public FcOutputPolicy {
   [[nodiscard]] std::string name() const override { return "Conv-DPM"; }
   [[nodiscard]] std::unique_ptr<FcOutputPolicy> clone() const override;
   void reset() override {}
+  [[nodiscard]] bool segment_setpoint_is_pure() const noexcept override {
+    return true;  // constant max-output setpoint, no state
+  }
+  [[nodiscard]] bool merge_equivalent(
+      const FcOutputPolicy& other) const noexcept override;
 
  private:
   power::LinearEfficiencyModel model_;
@@ -265,6 +298,11 @@ class FcDpmPolicy final : public FcOutputPolicy {
   [[nodiscard]] std::string name() const override { return "FC-DPM"; }
   [[nodiscard]] std::unique_ptr<FcOutputPolicy> clone() const override;
   void reset() override;
+  [[nodiscard]] bool segment_setpoint_is_pure() const noexcept override {
+    return true;  // reads only the phase (if_idle_/if_active_)
+  }
+  [[nodiscard]] bool merge_equivalent(
+      const FcOutputPolicy& other) const noexcept override;
 
   [[nodiscard]] const SlotOptimizer& optimizer() const noexcept {
     return optimizer_;
@@ -306,6 +344,11 @@ class OracleFcPolicy final : public FcOutputPolicy {
   [[nodiscard]] std::string name() const override { return "Oracle-FC-DPM"; }
   [[nodiscard]] std::unique_ptr<FcOutputPolicy> clone() const override;
   void reset() override;
+  [[nodiscard]] bool segment_setpoint_is_pure() const noexcept override {
+    return true;  // reads only the phase (if_idle_/if_active_)
+  }
+  [[nodiscard]] bool merge_equivalent(
+      const FcOutputPolicy& other) const noexcept override;
 
  private:
   SlotOptimizer optimizer_;

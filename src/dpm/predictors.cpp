@@ -1,12 +1,29 @@
 #include "dpm/predictors.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "common/contracts.hpp"
 #include "common/math.hpp"
 
 namespace fcdpm::dpm {
+
+namespace {
+
+/// Equivalence compares doubles bitwise, not by ==: two states that
+/// differ only in -0.0 vs 0.0 (or carry NaNs) can still drift apart
+/// arithmetically, and consumers rely on bit-identical futures.
+[[nodiscard]] bool same_bits(double a, double b) noexcept {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+[[nodiscard]] bool same_bits(Seconds a, Seconds b) noexcept {
+  return same_bits(a.value(), b.value());
+}
+
+}  // namespace
 
 // --- ExponentialAveragePredictor --------------------------------------------
 
@@ -27,6 +44,13 @@ void ExponentialAveragePredictor::reset() { estimate_ = initial_; }
 std::unique_ptr<DurationPredictor> ExponentialAveragePredictor::clone()
     const {
   return std::make_unique<ExponentialAveragePredictor>(*this);
+}
+
+bool ExponentialAveragePredictor::equivalent(
+    const DurationPredictor& other) const noexcept {
+  const auto* o = dynamic_cast<const ExponentialAveragePredictor*>(&other);
+  return o != nullptr && same_bits(rho_, o->rho_) &&
+         same_bits(initial_, o->initial_) && same_bits(estimate_, o->estimate_);
 }
 
 // --- RegressionPredictor -----------------------------------------------------
@@ -98,6 +122,18 @@ void RegressionPredictor::reset() { history_.clear(); }
 
 std::unique_ptr<DurationPredictor> RegressionPredictor::clone() const {
   return std::make_unique<RegressionPredictor>(*this);
+}
+
+bool RegressionPredictor::equivalent(
+    const DurationPredictor& other) const noexcept {
+  const auto* o = dynamic_cast<const RegressionPredictor*>(&other);
+  if (o == nullptr || window_ != o->window_ ||
+      !same_bits(initial_, o->initial_) ||
+      history_.size() != o->history_.size()) {
+    return false;
+  }
+  return std::equal(history_.begin(), history_.end(), o->history_.begin(),
+                    [](double a, double b) { return same_bits(a, b); });
 }
 
 // --- LearningTreePredictor ---------------------------------------------------
@@ -192,6 +228,21 @@ std::unique_ptr<DurationPredictor> LearningTreePredictor::clone() const {
   return std::make_unique<LearningTreePredictor>(*this);
 }
 
+bool LearningTreePredictor::equivalent(
+    const DurationPredictor& other) const noexcept {
+  const auto* o = dynamic_cast<const LearningTreePredictor*>(&other);
+  if (o == nullptr || depth_ != o->depth_ ||
+      edges_.size() != o->edges_.size() ||
+      !fallback_.equivalent(o->fallback_) || pattern_ != o->pattern_) {
+    return false;
+  }
+  if (!std::equal(edges_.begin(), edges_.end(), o->edges_.begin(),
+                  [](Seconds a, Seconds b) { return same_bits(a, b); })) {
+    return false;
+  }
+  return counts_ == o->counts_;  // integer histograms: exact compare
+}
+
 // --- OraclePredictor ---------------------------------------------------------
 
 OraclePredictor::OraclePredictor(Seconds initial)
@@ -214,6 +265,13 @@ std::unique_ptr<DurationPredictor> OraclePredictor::clone() const {
   return std::make_unique<OraclePredictor>(*this);
 }
 
+bool OraclePredictor::equivalent(
+    const DurationPredictor& other) const noexcept {
+  const auto* o = dynamic_cast<const OraclePredictor*>(&other);
+  return o != nullptr && same_bits(initial_, o->initial_) &&
+         same_bits(next_, o->next_);
+}
+
 // --- FixedPredictor ----------------------------------------------------------
 
 FixedPredictor::FixedPredictor(Seconds value) : value_(value) {
@@ -224,6 +282,12 @@ void FixedPredictor::observe(Seconds /*actual*/) {}
 
 std::unique_ptr<DurationPredictor> FixedPredictor::clone() const {
   return std::make_unique<FixedPredictor>(*this);
+}
+
+bool FixedPredictor::equivalent(
+    const DurationPredictor& other) const noexcept {
+  const auto* o = dynamic_cast<const FixedPredictor*>(&other);
+  return o != nullptr && same_bits(value_, o->value_);
 }
 
 // --- CurrentEstimator --------------------------------------------------------
@@ -248,6 +312,12 @@ void CurrentEstimator::observe(Ampere actual) {
 void CurrentEstimator::reset() {
   sum_ = 0.0;
   count_ = 0;
+}
+
+bool CurrentEstimator::equivalent(
+    const CurrentEstimator& other) const noexcept {
+  return same_bits(initial_.value(), other.initial_.value()) &&
+         same_bits(sum_, other.sum_) && count_ == other.count_;
 }
 
 // --- PredictionAccuracy ------------------------------------------------------

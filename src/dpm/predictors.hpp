@@ -35,6 +35,18 @@ class DurationPredictor {
   [[nodiscard]] virtual std::string name() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<DurationPredictor> clone() const = 0;
+
+  /// True when `other` is an interchangeable copy of this predictor:
+  /// same dynamic type, same configuration, and bitwise-equal mutable
+  /// state, so the two return bit-identical predictions forever given
+  /// identical observation streams. Consumers (the batch engine's lane
+  /// merging) use this to prove two policies can share one plan, so
+  /// implementations must compare every behavior-bearing member.
+  /// Conservative default: not equivalent.
+  [[nodiscard]] virtual bool equivalent(
+      const DurationPredictor& /*other*/) const noexcept {
+    return false;
+  }
 };
 
 /// Hwang-Wu exponential average (Eq. (14)):
@@ -49,6 +61,8 @@ class ExponentialAveragePredictor final : public DurationPredictor {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "exp-average"; }
   [[nodiscard]] std::unique_ptr<DurationPredictor> clone() const override;
+  [[nodiscard]] bool equivalent(
+      const DurationPredictor& other) const noexcept override;
 
   [[nodiscard]] double rho() const noexcept { return rho_; }
 
@@ -70,6 +84,8 @@ class RegressionPredictor final : public DurationPredictor {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "regression"; }
   [[nodiscard]] std::unique_ptr<DurationPredictor> clone() const override;
+  [[nodiscard]] bool equivalent(
+      const DurationPredictor& other) const noexcept override;
 
  private:
   std::size_t window_;
@@ -93,6 +109,8 @@ class LearningTreePredictor final : public DurationPredictor {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "learning-tree"; }
   [[nodiscard]] std::unique_ptr<DurationPredictor> clone() const override;
+  [[nodiscard]] bool equivalent(
+      const DurationPredictor& other) const noexcept override;
 
   [[nodiscard]] int quantize(Seconds value) const;
   [[nodiscard]] Seconds level_representative(int level) const;
@@ -120,6 +138,8 @@ class OraclePredictor final : public DurationPredictor {
   void reset() override;
   [[nodiscard]] std::string name() const override { return "oracle"; }
   [[nodiscard]] std::unique_ptr<DurationPredictor> clone() const override;
+  [[nodiscard]] bool equivalent(
+      const DurationPredictor& other) const noexcept override;
 
  private:
   Seconds initial_;
@@ -137,6 +157,8 @@ class FixedPredictor final : public DurationPredictor {
   void reset() override {}
   [[nodiscard]] std::string name() const override { return "fixed"; }
   [[nodiscard]] std::unique_ptr<DurationPredictor> clone() const override;
+  [[nodiscard]] bool equivalent(
+      const DurationPredictor& other) const noexcept override;
 
  private:
   Seconds value_;
@@ -152,6 +174,9 @@ class CurrentEstimator {
   [[nodiscard]] Ampere estimate() const;
   void observe(Ampere actual);
   void reset();
+
+  /// Bitwise state equality (see DurationPredictor::equivalent).
+  [[nodiscard]] bool equivalent(const CurrentEstimator& other) const noexcept;
 
  private:
   Ampere initial_;

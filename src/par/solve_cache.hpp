@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+#include <type_traits>
 #include <unordered_map>
 
 #include "core/solve_cache.hpp"
@@ -98,6 +99,15 @@ class SharedSolveCache final : public core::SlotSolveCache {
 
   /// Solve kind tag + 6 model words + up to 7 input words.
   using Key = std::array<std::uint64_t, 14>;
+  // The key is hashed and compared as raw bytes, so it must not carry
+  // padding: uninitialized pad bytes would make bit-identical problems
+  // hash to different buckets (silent miss) or — worse — compare
+  // unequal under a byte-wise comparator. std::array<std::uint64_t, N>
+  // is guaranteed contiguous, but assert it stays that way if the key
+  // is ever widened into a struct.
+  static_assert(std::has_unique_object_representations_v<Key>,
+                "SolveCache::Key must be padding-free: it is hashed and "
+                "compared by value, and pad bytes are indeterminate");
 
   struct KeyHash {
     [[nodiscard]] std::size_t operator()(const Key& key) const noexcept;

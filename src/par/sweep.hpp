@@ -80,6 +80,10 @@ struct SweepPointResult {
   /// the run was lane-eligible; storms/observers fall back to the
   /// reference interpreter inside hot::simulate).
   bool ran_hot = false;
+  /// The batched engine actually ran this point (engine == Batched and
+  /// the point was batch-eligible — fault-free, single-stack, paper
+  /// hybrid). Mutually exclusive with ran_hot.
+  bool ran_batched = false;
 };
 
 struct SweepRunStats {
@@ -89,6 +93,15 @@ struct SweepRunStats {
   /// Cache traffic attributable to this run (delta over the run).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Points executed inside multi-point batch tasks (engine Batched).
+  std::size_t points_batched = 0;
+  /// Merge accounting aggregated over every batched task: sets formed,
+  /// follower-slots served by a leader, followers split back out, and
+  /// follower solves answered from a leader's per-slot journal.
+  std::size_t batch_merge_sets = 0;
+  std::size_t batch_merged_lane_slots = 0;
+  std::size_t batch_splits = 0;
+  std::uint64_t batch_journal_hits = 0;
 
   [[nodiscard]] double points_per_second() const noexcept {
     return wall_seconds > 0.0
@@ -113,9 +126,11 @@ struct SweepResult {
 /// resilience layer uses them for watchdog cancellation and the
 /// deterministic per-point deadline; the defaults leave the plain sweep
 /// path untouched. When `base.simulation.engine == sim::Engine::Hot`
-/// the point runs through hot::simulate (bit-identical); `compiled` is
-/// the trace compiled once by run_sweep and shared read-only across
-/// points — nullptr makes the point compile its own.
+/// the point runs through hot::simulate (bit-identical), and when it is
+/// `sim::Engine::Batched` through batch::simulate (a B = 1 batch, with
+/// the same transparent fallback chain); `compiled` is the trace
+/// compiled once by run_sweep and shared read-only across points —
+/// nullptr makes the point compile its own.
 [[nodiscard]] SweepPointResult run_point(
     const sim::ExperimentConfig& base, const SweepPoint& point,
     std::size_t storm_faults, core::SlotSolveCache* cache,

@@ -22,6 +22,10 @@ namespace fcdpm::hot {
 class HybridLane;
 }
 
+namespace fcdpm::batch {
+class BatchState;
+}
+
 namespace fcdpm::power {
 
 /// Fuel-side abstraction the hybrid source integrates against: maps a
@@ -205,8 +209,10 @@ class HybridPowerSource {
  private:
   // The hot engine's lane mirrors run_segment() bit-for-bit on local
   // state and writes the result back through this friendship, so a run
-  // can resume on the reference path mid-stream.
+  // can resume on the reference path mid-stream. The batch engine's
+  // SoA state does the same for B lanes at once.
   friend class fcdpm::hot::HybridLane;
+  friend class fcdpm::batch::BatchState;
 
   std::unique_ptr<FuelSource> source_;
   std::unique_ptr<ChargeStorage> storage_;

@@ -19,6 +19,10 @@ namespace fcdpm::hot {
 class HybridLane;
 }
 
+namespace fcdpm::batch {
+class BatchState;
+}
+
 namespace fcdpm::power {
 
 /// Abstract storage element. Implementations may lose charge on the way
@@ -110,6 +114,7 @@ class SuperCapacitor final : public ChargeStorage {
   // accumulation legitimately produces, and clamping would break
   // bit-identity.
   friend class fcdpm::hot::HybridLane;
+  friend class fcdpm::batch::BatchState;
 
   Coulomb capacity_;
   Coulomb charge_{0.0};

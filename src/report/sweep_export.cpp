@@ -115,6 +115,10 @@ std::string telemetry_worker_to_json(const TelemetryWorkerRow& w) {
   out += ",\"hot_dispatches\":" + std::to_string(w.hot_dispatches);
   out += ",\"reference_dispatches\":" +
          std::to_string(w.reference_dispatches);
+  if (w.batched_dispatches > 0) {
+    out += ",\"batched_dispatches\":" +
+           std::to_string(w.batched_dispatches);
+  }
   out += ",\"heartbeats\":" + std::to_string(w.heartbeats);
   out += ",\"slots\":" + std::to_string(w.slots);
   if (w.capped_slots > 0) {
@@ -141,6 +145,10 @@ std::string telemetry_to_json(const TelemetryReport& t) {
   out += ",\"hot_dispatches\":" + std::to_string(t.hot_dispatches);
   out += ",\"reference_dispatches\":" +
          std::to_string(t.reference_dispatches);
+  if (t.batched_dispatches > 0) {
+    out += ",\"batched_dispatches\":" +
+           std::to_string(t.batched_dispatches);
+  }
   out += ",\"heartbeats\":" + std::to_string(t.heartbeats);
   out += ",\"slots\":" + std::to_string(t.slots);
   if (t.capped_slots > 0) {
@@ -194,6 +202,15 @@ std::string sweep_bench_to_json(const SweepBenchReport& bench) {
     out += ",\"stacks\":{\"points\":" + std::to_string(bench.stack_points) +
            ",\"startups\":" + std::to_string(bench.stack_startups) +
            ",\"max_wear\":" + format_exact(bench.stack_max_wear) + "}";
+  }
+  if (bench.batched_points > 0) {
+    out += ",\"batch\":{\"points\":" + std::to_string(bench.batched_points) +
+           ",\"merge_sets\":" + std::to_string(bench.batch_merge_sets) +
+           ",\"merged_lane_slots\":" +
+           std::to_string(bench.batch_merged_lane_slots) +
+           ",\"splits\":" + std::to_string(bench.batch_splits) +
+           ",\"journal_hits\":" + std::to_string(bench.batch_journal_hits) +
+           "}";
   }
   if (bench.audit_enabled) {
     out += ",\"audit\":{\"mode\":\"" +

@@ -87,6 +87,8 @@ struct TelemetryWorkerRow {
   std::uint64_t cache_misses = 0;
   std::uint64_t hot_dispatches = 0;
   std::uint64_t reference_dispatches = 0;
+  /// Batch-lane dispatches; serialized only when nonzero.
+  std::uint64_t batched_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   /// Governor-throttled slots; serialized only when nonzero (cap-off
@@ -113,6 +115,7 @@ struct TelemetryReport {
   std::uint64_t cache_misses = 0;
   std::uint64_t hot_dispatches = 0;
   std::uint64_t reference_dispatches = 0;
+  std::uint64_t batched_dispatches = 0;  ///< serialized only when nonzero
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;  ///< serialized only when nonzero
@@ -157,6 +160,13 @@ struct SweepBenchReport {
   std::size_t stack_points = 0;       ///< ok points run multi-stack
   std::uint64_t stack_startups = 0;   ///< per-stack startups, all points
   double stack_max_wear = 0.0;        ///< worst final wear seen
+  /// Sweep-level batched-engine rollup (`"batch":{...}`); emitted only
+  /// when `batched_points > 0` so non-batched reports keep their bytes.
+  std::size_t batched_points = 0;   ///< points run inside batch tasks
+  std::size_t batch_merge_sets = 0; ///< merge sets formed across tasks
+  std::size_t batch_merged_lane_slots = 0;  ///< follower slots off leaders
+  std::size_t batch_splits = 0;     ///< followers replayed onto own lanes
+  std::uint64_t batch_journal_hits = 0;  ///< journal-served follower solves
   /// Sweep-level runtime-audit rollup (`"audit":{...}`); emitted only
   /// when `audit_enabled` so audit-off reports keep their bytes.
   bool audit_enabled = false;

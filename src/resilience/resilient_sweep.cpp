@@ -318,7 +318,10 @@ ResilientSweepResult run_resilient_sweep(const sim::ExperimentConfig& base,
                 }
                 shard.sim_s.observe(
                     outcome.result.result.totals.duration.value());
-                if (outcome.result.ran_hot) {
+                if (outcome.result.ran_batched) {
+                  shard.batched_dispatches.fetch_add(
+                      1, std::memory_order_relaxed);
+                } else if (outcome.result.ran_hot) {
                   shard.hot_dispatches.fetch_add(1,
                                                  std::memory_order_relaxed);
                 } else {

@@ -38,6 +38,7 @@ namespace fcdpm::sim {
 enum class Engine {
   Reference,  ///< sim::simulate's virtual-dispatch loop (the oracle)
   Hot,        ///< fcdpm::hot — compiled trace, allocation-free slot loop
+  Batched,    ///< fcdpm::batch — SoA multi-point slot loop over hot lanes
 };
 
 struct SimulationOptions {

@@ -71,6 +71,13 @@ bool make_history_row(const json::Value& bench,
     add_metric(bench, "timing.lifetime.speedup", "lifetime_speedup", out);
     return true;
   }
+  if (schema == "fcdpm.bench.batch.v1") {
+    out.kind = "batch";
+    add_metric(bench, "timing.jobs1.speedup", "speedup_jobs1", out);
+    add_metric(bench, "timing.jobsN.speedup", "speedup_jobsN", out);
+    add_metric(bench, "timing.jobs1.devices_per_s", "devices_per_s", out);
+    return true;
+  }
   if (bench.at_path("points_per_s") != nullptr) {
     out.kind = "sweep";
     add_metric(bench, "wall_s", "wall_s", out);
@@ -182,8 +189,9 @@ bool append_history(const std::string& path, const HistoryRow& row) {
 
 bool metric_direction(const std::string& name, Direction& out) {
   static constexpr const char* kHigher[] = {
-      "points_per_s", "speedup", "single_run_speedup", "lifetime_speedup",
-      "cache_hit_rate"};
+      "points_per_s", "speedup",       "single_run_speedup",
+      "lifetime_speedup", "cache_hit_rate", "speedup_jobs1",
+      "speedup_jobsN", "devices_per_s"};
   static constexpr const char* kLower[] = {"wall_s", "hot_us", "hot_ms"};
   for (const char* metric : kHigher) {
     if (name == metric) {

@@ -34,6 +34,11 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
   out += ",\"hot_dispatches\":" + std::to_string(snap.hot_dispatches);
   out += ",\"reference_dispatches\":" +
          std::to_string(snap.reference_dispatches);
+  // Gated like capping/auditing: batched-off streams keep their bytes.
+  if (snap.batched_dispatches > 0) {
+    out += ",\"batched_dispatches\":" +
+           std::to_string(snap.batched_dispatches);
+  }
   out += ",\"heartbeats\":" + std::to_string(snap.heartbeats);
   out += ",\"slots\":" + std::to_string(snap.slots);
   // Emitted only once capping is live so cap-off streams stay
@@ -73,6 +78,10 @@ std::string snapshot_to_json(const SweepSnapshot& snap) {
     out += ",\"hot_dispatches\":" + std::to_string(w.hot_dispatches);
     out += ",\"reference_dispatches\":" +
            std::to_string(w.reference_dispatches);
+    if (w.batched_dispatches > 0) {
+      out += ",\"batched_dispatches\":" +
+             std::to_string(w.batched_dispatches);
+    }
     out += ",\"heartbeats\":" + std::to_string(w.heartbeats);
     out += ",\"slots\":" + std::to_string(w.slots);
     if (w.capped_slots > 0) {

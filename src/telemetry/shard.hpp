@@ -114,6 +114,7 @@ struct alignas(kCacheLine) WorkerShard {
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> hot_dispatches{0};  ///< hot lane actually ran
   std::atomic<std::uint64_t> reference_dispatches{0};
+  std::atomic<std::uint64_t> batched_dispatches{0};  ///< batch lane ran
   std::atomic<std::uint64_t> heartbeats{0};  ///< watchdog-token slot beats
   std::atomic<std::uint64_t> busy_ns{0};     ///< wall time inside points
   std::atomic<std::uint64_t> slots{0};       ///< simulated slots executed

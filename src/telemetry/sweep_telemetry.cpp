@@ -88,6 +88,8 @@ SweepSnapshot SweepTelemetry::snapshot() const {
         shard.hot_dispatches.load(std::memory_order_relaxed);
     row.reference_dispatches =
         shard.reference_dispatches.load(std::memory_order_relaxed);
+    row.batched_dispatches =
+        shard.batched_dispatches.load(std::memory_order_relaxed);
     row.heartbeats = shard.heartbeats.load(std::memory_order_relaxed);
     row.slots = shard.slots.load(std::memory_order_relaxed);
     row.capped_slots = shard.capped_slots.load(std::memory_order_relaxed);
@@ -107,6 +109,7 @@ SweepSnapshot SweepTelemetry::snapshot() const {
     snap.cache_misses += row.cache_misses;
     snap.hot_dispatches += row.hot_dispatches;
     snap.reference_dispatches += row.reference_dispatches;
+    snap.batched_dispatches += row.batched_dispatches;
     snap.heartbeats += row.heartbeats;
     snap.slots += row.slots;
     snap.capped_slots += row.capped_slots;

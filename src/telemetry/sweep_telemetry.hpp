@@ -38,6 +38,7 @@ struct WorkerSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t hot_dispatches = 0;
   std::uint64_t reference_dispatches = 0;
+  std::uint64_t batched_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;
@@ -59,6 +60,7 @@ struct SweepSnapshot {
   std::uint64_t cache_misses = 0;
   std::uint64_t hot_dispatches = 0;
   std::uint64_t reference_dispatches = 0;
+  std::uint64_t batched_dispatches = 0;
   std::uint64_t heartbeats = 0;
   std::uint64_t slots = 0;
   std::uint64_t capped_slots = 0;

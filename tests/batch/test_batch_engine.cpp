@@ -1,0 +1,389 @@
+// Differential suite for fcdpm::batch: every lane of a batch — merged,
+// split, ragged, or audited — must be bit-identical to running that
+// point alone on the reference simulator, and the merge machinery
+// (sets, cascade re-forms, journals) is pure bookkeeping that never
+// leaks into results. One CompiledTrace is shared read-only by many
+// concurrent batches (the sweep scheduler's usage), which makes this
+// binary the TSan probe for the batched path.
+#include "batch/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "batch/lifetime.hpp"
+#include "hot/compiled_trace.hpp"
+#include "hot/engine.hpp"
+#include "obs/context.hpp"
+#include "obs/profiler.hpp"
+#include "sim/experiments.hpp"
+#include "sim/lifetime.hpp"
+#include "sim/slot_simulator.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace fcdpm;
+
+/// Per-lane wiring for one batched point: the capacity-adjusted config,
+/// its FC policy, and its hybrid (the engine mutates both).
+struct LaneRig {
+  sim::ExperimentConfig config;
+  std::unique_ptr<core::FcOutputPolicy> fc;
+  power::HybridPowerSource hybrid;
+
+  LaneRig(sim::ExperimentConfig base, sim::PolicyKind kind, Coulomb capacity)
+      : config(std::move(base)),
+        fc(nullptr),
+        hybrid((config.storage_capacity = capacity,
+                config.initial_storage =
+                    min(config.initial_storage, capacity),
+                sim::make_hybrid(config))) {
+    fc = sim::make_fc_policy(kind, config);
+  }
+};
+
+void expect_identical_results(const sim::SimulationResult& ref,
+                              const sim::SimulationResult& got) {
+  EXPECT_EQ(std::memcmp(&ref.totals, &got.totals, sizeof ref.totals), 0);
+  EXPECT_EQ(ref.slots, got.slots);
+  EXPECT_EQ(ref.sleeps, got.sleeps);
+  EXPECT_EQ(ref.latency_added.value(), got.latency_added.value());
+  EXPECT_EQ(ref.storage_end.value(), got.storage_end.value());
+  EXPECT_EQ(ref.storage_min.value(), got.storage_min.value());
+  EXPECT_EQ(ref.storage_max.value(), got.storage_max.value());
+}
+
+void expect_identical_hybrids(const power::HybridPowerSource& ref,
+                              const power::HybridPowerSource& got) {
+  EXPECT_EQ(std::memcmp(&ref.totals(), &got.totals(), sizeof ref.totals()),
+            0);
+  EXPECT_EQ(ref.storage().charge().value(), got.storage().charge().value());
+  EXPECT_EQ(ref.min_storage_seen().value(), got.min_storage_seen().value());
+  EXPECT_EQ(ref.max_storage_seen().value(), got.max_storage_seen().value());
+  EXPECT_EQ(ref.startups(), got.startups());
+}
+
+/// Reference run of one capacity point with run_point's exact wiring.
+/// A nonzero sub-trace `slot_budget` throws on the reference engine;
+/// the returned hybrid then holds the partial state at the throw.
+struct RefRun {
+  sim::SimulationResult result;
+  power::HybridPowerSource hybrid;
+};
+
+RefRun reference_run(const sim::ExperimentConfig& base, sim::PolicyKind kind,
+                     Coulomb capacity, std::size_t slot_budget = 0) {
+  LaneRig rig(base, kind, capacity);
+  dpm::PredictiveDpmPolicy dpm = sim::make_dpm_policy(rig.config);
+  sim::SimulationOptions options = rig.config.simulation;
+  options.initial_storage = rig.config.initial_storage;
+  options.slot_budget = slot_budget;
+  sim::SimulationResult result;
+  if (slot_budget != 0 && slot_budget < base.trace.size()) {
+    EXPECT_THROW((void)sim::simulate(rig.config.trace, dpm, *rig.fc,
+                                     rig.hybrid, options),
+                 sim::DeadlineExceededError);
+  } else {
+    result = sim::simulate(rig.config.trace, dpm, *rig.fc, rig.hybrid,
+                           options);
+  }
+  return {std::move(result), std::move(rig.hybrid)};
+}
+
+/// Batch run of `capacities` under one shared DPM policy, compared
+/// lane-by-lane against solo reference runs. Returns the stats.
+batch::BatchStats run_and_check_batch(const sim::ExperimentConfig& base,
+                                      sim::PolicyKind kind,
+                                      const std::vector<Coulomb>& capacities,
+                                      const hot::CompiledTrace& compiled) {
+  dpm::PredictiveDpmPolicy dpm = sim::make_dpm_policy(base);
+  std::vector<LaneRig> rigs;
+  rigs.reserve(capacities.size());
+  std::vector<batch::BatchLaneSpec> lanes;
+  lanes.reserve(capacities.size());
+  for (const Coulomb capacity : capacities) {
+    rigs.emplace_back(base, kind, capacity);
+    batch::BatchLaneSpec lane;
+    lane.fc = rigs.back().fc.get();
+    lane.hybrid = &rigs.back().hybrid;
+    lanes.push_back(lane);
+  }
+  sim::SimulationOptions shared = base.simulation;
+  shared.initial_storage = base.initial_storage;
+
+  batch::BatchStats stats;
+  const std::vector<batch::LaneOutcome> outcomes =
+      batch::run_batch(compiled, dpm, lanes, shared, nullptr, &stats);
+
+  EXPECT_EQ(outcomes.size(), capacities.size());
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    SCOPED_TRACE(capacities[k].value());
+    EXPECT_EQ(outcomes[k].end, batch::LaneOutcome::End::Completed);
+    const RefRun ref = reference_run(base, kind, capacities[k]);
+    expect_identical_results(ref.result, outcomes[k].result);
+    expect_identical_hybrids(ref.hybrid, rigs[k].hybrid);
+  }
+  return stats;
+}
+
+sim::ExperimentConfig base_config() {
+  sim::ExperimentConfig config = sim::experiment1_config();
+  // A shared sub-capacity initial charge is the sweep shape that makes
+  // capacity-only lanes physically identical and thus mergeable.
+  config.initial_storage = Coulomb(1.0);
+  return config;
+}
+
+TEST(BatchEngine, CapacityBatchIsBitIdenticalToSoloReferenceRuns) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  const std::vector<Coulomb> capacities{Coulomb(1.5), Coulomb(3.0),
+                                        Coulomb(6.0), Coulomb(12.0),
+                                        Coulomb(24.0)};
+  for (const sim::PolicyKind kind :
+       {sim::PolicyKind::Conv, sim::PolicyKind::Asap, sim::PolicyKind::FcDpm,
+        sim::PolicyKind::Oracle}) {
+    SCOPED_TRACE(sim::to_string(kind));
+    (void)run_and_check_batch(base, kind, capacities, compiled);
+  }
+}
+
+TEST(BatchEngine, PureLanesMergeAndCascadeAfterLeaderDivergence) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  const std::vector<Coulomb> capacities{Coulomb(1.5), Coulomb(3.0),
+                                        Coulomb(6.0), Coulomb(12.0),
+                                        Coulomb(24.0)};
+  const batch::BatchStats stats =
+      run_and_check_batch(base, sim::PolicyKind::FcDpm, capacities, compiled);
+  EXPECT_EQ(stats.lanes, capacities.size());
+  // Five identical-but-for-capacity pure lanes form one merge set that
+  // persists through the cascade: when the 1.5 A-s leader's buffer
+  // fills, leadership hands off to the next-smallest capacity in place
+  // (the clamped ex-leader splits out solo) instead of dissolving and
+  // re-forming the set.
+  EXPECT_GE(stats.merge_sets, 1u);
+  EXPECT_GT(stats.merged_lane_slots, 0u);
+  // Each hand-off splits exactly one ex-leader out, and a lane can exit
+  // leadership at most once — strictly fewer splits than lanes.
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_LT(stats.splits, capacities.size());
+  // journal_hits is not asserted: the shipped policies solve once per
+  // planning callback, and a seated successor only re-plans when that
+  // one solve was capacity-clamped (non-reusable), so the journal can
+  // legitimately serve zero hits on this workload.
+}
+
+TEST(BatchEngine, StatefulPolicyNeverMergesButStaysIdentical) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  const std::vector<Coulomb> capacities{Coulomb(3.0), Coulomb(6.0),
+                                        Coulomb(12.0)};
+  const batch::BatchStats stats =
+      run_and_check_batch(base, sim::PolicyKind::Asap, capacities, compiled);
+  EXPECT_EQ(stats.merge_sets, 0u);
+  EXPECT_EQ(stats.merged_lane_slots, 0u);
+  EXPECT_EQ(stats.splits, 0u);
+}
+
+TEST(BatchEngine, FuzzedTracesStayBitIdenticalAcrossRhoAndCapacity) {
+  for (const std::uint64_t seed : {7u, 42u, 99991u}) {
+    for (const double rho : {0.3, 0.7}) {
+      SCOPED_TRACE(seed);
+      SCOPED_TRACE(rho);
+      sim::ExperimentConfig base = base_config();
+      base.rho = rho;
+      wl::SyntheticConfig synth;
+      synth.seed = seed;
+      base.trace = wl::generate_synthetic_trace(synth);
+      const hot::CompiledTrace compiled(base.trace, base.device);
+      const std::vector<Coulomb> capacities{Coulomb(1.5), Coulomb(4.0),
+                                            Coulomb(24.0)};
+      for (const sim::PolicyKind kind :
+           {sim::PolicyKind::Conv, sim::PolicyKind::FcDpm,
+            sim::PolicyKind::Oracle}) {
+        SCOPED_TRACE(sim::to_string(kind));
+        (void)run_and_check_batch(base, kind, capacities, compiled);
+      }
+    }
+  }
+}
+
+TEST(BatchEngine, RaggedBudgetsEjectLanesWithIdenticalPartialState) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+
+  dpm::PredictiveDpmPolicy dpm = sim::make_dpm_policy(base);
+  LaneRig full(base, sim::PolicyKind::FcDpm, Coulomb(6.0));
+  LaneRig ragged(base, sim::PolicyKind::FcDpm, Coulomb(6.0));
+  LaneRig other(base, sim::PolicyKind::FcDpm, Coulomb(24.0));
+
+  std::vector<batch::BatchLaneSpec> lanes(3);
+  lanes[0].fc = full.fc.get();
+  lanes[0].hybrid = &full.hybrid;
+  lanes[1].fc = ragged.fc.get();
+  lanes[1].hybrid = &ragged.hybrid;
+  lanes[1].slot_budget = 50;
+  lanes[2].fc = other.fc.get();
+  lanes[2].hybrid = &other.hybrid;
+
+  sim::SimulationOptions shared = base.simulation;
+  shared.initial_storage = base.initial_storage;
+  const std::vector<batch::LaneOutcome> outcomes =
+      batch::run_batch(compiled, dpm, lanes, shared);
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].end, batch::LaneOutcome::End::Completed);
+  EXPECT_EQ(outcomes[1].end, batch::LaneOutcome::End::BudgetExhausted);
+  EXPECT_EQ(outcomes[2].end, batch::LaneOutcome::End::Completed);
+
+  const RefRun ref_full =
+      reference_run(base, sim::PolicyKind::FcDpm, Coulomb(6.0));
+  expect_identical_results(ref_full.result, outcomes[0].result);
+  expect_identical_hybrids(ref_full.hybrid, full.hybrid);
+
+  // The ejected lane's write-back must land the reference engine's
+  // exact partial state after the same budget throw.
+  const RefRun ref_ragged =
+      reference_run(base, sim::PolicyKind::FcDpm, Coulomb(6.0), 50);
+  expect_identical_hybrids(ref_ragged.hybrid, ragged.hybrid);
+  EXPECT_EQ(outcomes[1].result.slots, 50u);
+}
+
+TEST(BatchEngine, EightConcurrentBatchesShareOneCompiledTrace) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  const std::vector<Coulomb> capacities{Coulomb(1.5), Coulomb(3.0),
+                                        Coulomb(6.0), Coulomb(12.0)};
+
+  // Golden: one serial batch.
+  dpm::PredictiveDpmPolicy golden_dpm = sim::make_dpm_policy(base);
+  std::vector<LaneRig> golden_rigs;
+  std::vector<batch::BatchLaneSpec> golden_lanes;
+  golden_rigs.reserve(capacities.size());
+  for (const Coulomb capacity : capacities) {
+    golden_rigs.emplace_back(base, sim::PolicyKind::FcDpm, capacity);
+    batch::BatchLaneSpec lane;
+    lane.fc = golden_rigs.back().fc.get();
+    lane.hybrid = &golden_rigs.back().hybrid;
+    golden_lanes.push_back(lane);
+  }
+  sim::SimulationOptions shared = base.simulation;
+  shared.initial_storage = base.initial_storage;
+  const std::vector<batch::LaneOutcome> golden =
+      batch::run_batch(compiled, golden_dpm, golden_lanes, shared);
+
+  // Eight threads, each running the same batch against the one shared
+  // CompiledTrace (read-only). Under TSan this is the race probe for
+  // the sweep scheduler's chunk fan-out.
+  constexpr int kThreads = 8;
+  std::vector<std::vector<batch::LaneOutcome>> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      dpm::PredictiveDpmPolicy dpm = sim::make_dpm_policy(base);
+      std::vector<LaneRig> rigs;
+      std::vector<batch::BatchLaneSpec> lanes;
+      rigs.reserve(capacities.size());
+      for (const Coulomb capacity : capacities) {
+        rigs.emplace_back(base, sim::PolicyKind::FcDpm, capacity);
+        batch::BatchLaneSpec lane;
+        lane.fc = rigs.back().fc.get();
+        lane.hybrid = &rigs.back().hybrid;
+        lanes.push_back(lane);
+      }
+      outcomes[t] = batch::run_batch(compiled, dpm, lanes, shared);
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    SCOPED_TRACE(t);
+    ASSERT_EQ(outcomes[t].size(), golden.size());
+    for (std::size_t k = 0; k < golden.size(); ++k) {
+      expect_identical_results(golden[k].result, outcomes[t][k].result);
+    }
+  }
+}
+
+TEST(BatchEngine, SimulateMatchesHotAndReferenceForASingleRun) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  for (const sim::PolicyKind kind :
+       {sim::PolicyKind::Conv, sim::PolicyKind::Asap, sim::PolicyKind::FcDpm,
+        sim::PolicyKind::Oracle}) {
+    SCOPED_TRACE(sim::to_string(kind));
+    sim::SimulationOptions options = base.simulation;
+
+    dpm::PredictiveDpmPolicy ref_dpm = sim::make_dpm_policy(base);
+    auto ref_fc = sim::make_fc_policy(kind, base);
+    power::HybridPowerSource ref_hybrid = sim::make_hybrid(base);
+    const sim::SimulationResult ref =
+        sim::simulate(base.trace, ref_dpm, *ref_fc, ref_hybrid, options);
+
+    dpm::PredictiveDpmPolicy got_dpm = sim::make_dpm_policy(base);
+    auto got_fc = sim::make_fc_policy(kind, base);
+    power::HybridPowerSource got_hybrid = sim::make_hybrid(base);
+    const sim::SimulationResult got =
+        batch::simulate(compiled, got_dpm, *got_fc, got_hybrid, options);
+
+    expect_identical_results(ref, got);
+    expect_identical_hybrids(ref_hybrid, got_hybrid);
+  }
+}
+
+TEST(BatchEngine, LifetimeMeasurementIsBitIdentical) {
+  const sim::ExperimentConfig base = base_config();
+  const hot::CompiledTrace compiled(base.trace, base.device);
+  sim::LifetimeOptions options;
+  options.tank = Coulomb(36000.0);
+  options.simulation = base.simulation;
+
+  dpm::PredictiveDpmPolicy ref_dpm = sim::make_dpm_policy(base);
+  auto ref_fc = sim::make_fc_policy(sim::PolicyKind::FcDpm, base);
+  power::HybridPowerSource ref_hybrid = sim::make_hybrid(base);
+  const sim::LifetimeResult ref = sim::measure_lifetime(
+      base.trace, ref_dpm, *ref_fc, ref_hybrid, options);
+
+  dpm::PredictiveDpmPolicy got_dpm = sim::make_dpm_policy(base);
+  auto got_fc = sim::make_fc_policy(sim::PolicyKind::FcDpm, base);
+  power::HybridPowerSource got_hybrid = sim::make_hybrid(base);
+  const sim::LifetimeResult got = batch::measure_lifetime(
+      compiled, got_dpm, *got_fc, got_hybrid, options);
+
+  EXPECT_EQ(ref.lifetime.value(), got.lifetime.value());
+  EXPECT_EQ(ref.passes, got.passes);
+  EXPECT_EQ(ref.slots_completed, got.slots_completed);
+  EXPECT_EQ(ref.tank_emptied, got.tank_emptied);
+  EXPECT_EQ(ref.average_fuel_current.value(),
+            got.average_fuel_current.value());
+}
+
+TEST(BatchEngine, LaneEligibilityIsStricterThanHot) {
+  const sim::ExperimentConfig base = base_config();
+  power::HybridPowerSource hybrid = sim::make_hybrid(base);
+  const sim::SimulationOptions plain = base.simulation;
+  EXPECT_TRUE(batch::lane_eligible(hybrid, plain));
+
+  // A profiler-only observer keeps the hot lane but evicts from the
+  // batch loop (it has no per-phase profile scopes).
+  obs::Profiler profiler;
+  obs::Context profiled;
+  profiled.set_profiler(&profiler);
+  sim::SimulationOptions with_profiler = plain;
+  with_profiler.observer = &profiled;
+  EXPECT_TRUE(hot::lane_eligible(hybrid, with_profiler));
+  EXPECT_FALSE(batch::lane_eligible(hybrid, with_profiler));
+
+  sim::SimulationOptions with_profiles = plain;
+  with_profiles.record_profiles = true;
+  EXPECT_FALSE(batch::lane_eligible(hybrid, with_profiles));
+}
+
+}  // namespace

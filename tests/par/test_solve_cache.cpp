@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/slot_optimizer.hpp"
@@ -195,6 +197,41 @@ TEST(SharedSolveCache, ConcurrentMixedKeysStayBitIdentical) {
   // least once and the vast majority of traffic must hit.
   EXPECT_GE(cache.misses(), cache.size());
   EXPECT_GT(cache.hits(), cache.misses());
+}
+
+// Regression: the cache key is hashed and compared as raw bytes, so its
+// representation must be padding-free. A struct-shaped key with mixed
+// member widths would carry indeterminate pad bytes — bit-identical
+// problems could then hash apart (silent miss) or compare unequal. The
+// header static_asserts the private Key alias; this mirrors the check on
+// the public contract (the key is built from uint64 words) and pins the
+// behavioral consequence: re-deriving the same inputs through different
+// arithmetic must still hit.
+TEST(SharedSolveCache, KeyRepresentationIsPaddingFree) {
+  static_assert(
+      std::has_unique_object_representations_v<std::array<std::uint64_t, 14>>,
+      "key word-array must have unique object representations");
+
+  const core::SlotOptimizer optimizer(
+      power::LinearEfficiencyModel::paper_default());
+  SharedSolveCache cache;
+
+  // Same problem, values re-derived via arithmetic that round-trips to
+  // the identical bit patterns. Any padding or non-value state in the
+  // key would have a fresh chance to differ between the two builds.
+  const double base = 10.0;
+  const core::SlotLoad first{Seconds(base), Ampere(0.15), Seconds(3.0),
+                             Ampere(1.0)};
+  const double rebuilt = (base * 4.0) / 4.0;  // exact in binary64
+  const core::SlotLoad second{Seconds(rebuilt), Ampere(0.30 / 2.0),
+                              Seconds(6.0 / 2.0), Ampere(0.5 * 2.0)};
+
+  (void)cache.solve(optimizer, first, sample_bounds());
+  (void)cache.solve(optimizer, second, sample_bounds());
+
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

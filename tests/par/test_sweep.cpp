@@ -234,7 +234,8 @@ TEST(SweepTelemetryTest, FinalSnapshotTotalsEqualTheSweepReport) {
   // deltas: every lookup of this sweep went through a worker tap.
   EXPECT_EQ(snap.cache_hits, sweep.stats.cache_hits);
   EXPECT_EQ(snap.cache_misses, sweep.stats.cache_misses);
-  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches,
+  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches +
+                snap.batched_dispatches,
             sweep.stats.points);
   EXPECT_GT(snap.slots, 0u);
   EXPECT_GT(snap.wall_max_us, 0.0);

@@ -400,7 +400,9 @@ TEST(ResilientSweepTest, TelemetryCountsRetriesAndQuarantines) {
   EXPECT_EQ(sweep.resilience.retries, 2u);
   EXPECT_GT(snap.heartbeats, 0u);
   // Only successful attempts contribute simulated slots/dispatches.
-  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches, 2u);
+  EXPECT_EQ(snap.hot_dispatches + snap.reference_dispatches +
+                snap.batched_dispatches,
+            2u);
   EXPECT_GT(snap.slots, 0u);
 
   // Every attempt — including failed ones — leaves a lane record.

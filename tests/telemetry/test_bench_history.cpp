@@ -114,6 +114,31 @@ TEST(BenchHistoryTest, BuildsASweepRowFromBenchSweepJson) {
   EXPECT_DOUBLE_EQ(*row.metric("cache_hit_rate"), 0.8333);
 }
 
+TEST(BenchHistoryTest, BuildsABatchRowFromBenchBatchJson) {
+  const json::Value bench = parse_ok(R"({
+    "schema": "fcdpm.bench.batch.v1",
+    "env": {"compiler": "gcc 13"},
+    "timing": {
+      "jobs1": {"speedup": 5.4, "devices_per_s": 140000.0},
+      "jobsN": {"jobs": 2, "speedup": 5.5}
+    }
+  })");
+  HistoryRow row;
+  std::string error;
+  ASSERT_TRUE(make_history_row(bench, "BENCH_batch.json", row, error))
+      << error;
+  EXPECT_EQ(row.kind, "batch");
+  EXPECT_DOUBLE_EQ(*row.metric("speedup_jobs1"), 5.4);
+  EXPECT_DOUBLE_EQ(*row.metric("speedup_jobsN"), 5.5);
+  EXPECT_DOUBLE_EQ(*row.metric("devices_per_s"), 140000.0);
+  // Batch speedups gate as higher-is-better like every other speedup.
+  Direction direction{};
+  ASSERT_TRUE(metric_direction("speedup_jobs1", direction));
+  EXPECT_EQ(direction, Direction::HigherIsBetter);
+  ASSERT_TRUE(metric_direction("devices_per_s", direction));
+  EXPECT_EQ(direction, Direction::HigherIsBetter);
+}
+
 TEST(BenchHistoryTest, RejectsUnknownDocuments) {
   HistoryRow row;
   std::string error;
